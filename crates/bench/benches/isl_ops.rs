@@ -1,0 +1,48 @@
+//! Microbenchmarks of the integer-set substrate: the operations the paper
+//! lists in Section V-C (reverse, apply_range, card) on representative
+//! relation shapes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tenet_isl::Map;
+
+fn bench_isl(c: &mut Criterion) {
+    let theta = Map::parse(
+        "{ S[i,j,k] -> ST[i mod 8, j mod 8, floor(i/8), floor(j/8), i mod 8 + j mod 8 + k] \
+         : 0 <= i < 64 and 0 <= j < 64 and 0 <= k < 64 }",
+    )
+    .unwrap();
+    let access = Map::parse(
+        "{ S[i,j,k] -> A[i,k] : 0 <= i < 64 and 0 <= j < 64 and 0 <= k < 64 }",
+    )
+    .unwrap();
+
+    c.bench_function("isl_reverse", |b| b.iter(|| theta.reverse()));
+    c.bench_function("isl_apply_range", |b| {
+        b.iter(|| theta.reverse().apply_range(&access).unwrap())
+    });
+    let adf = theta.reverse().apply_range(&access).unwrap();
+    c.bench_function("isl_card_assignment", |b| b.iter(|| adf.card().unwrap()));
+    c.bench_function("isl_card_skewed_box", |b| {
+        let s = tenet_isl::Set::parse(
+            "{ A[x,y,z] : 0 <= x < 100 and 0 <= y < 100 and 0 <= z < 100 and x + y + z < 150 }",
+        )
+        .unwrap();
+        b.iter(|| s.card().unwrap())
+    });
+    c.bench_function("isl_subtract", |b| {
+        let a = tenet_isl::Set::parse("{ A[x,y] : 0 <= x < 50 and 0 <= y < 50 }").unwrap();
+        let c2 = tenet_isl::Set::parse("{ A[x,y] : 10 <= x < 40 and 5 <= y < 45 }").unwrap();
+        b.iter(|| a.subtract(&c2).unwrap().card().unwrap())
+    });
+    c.bench_function("isl_parse", |b| {
+        b.iter(|| {
+            Map::parse(
+                "{ S[k,c,ox,oy,rx,ry] -> PE[k mod 8, c mod 8] : 0 <= k < 64 and 0 <= c < 64 }",
+            )
+            .unwrap()
+        })
+    });
+}
+
+criterion_group!(benches, bench_isl);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Figure 8 (Criterion-grade): modeling time for a single dataflow across
+//! array sizes and interconnects, plus the MAESTRO baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tenet_bench::analyze_fitted;
+use tenet_core::{ArchSpec, Interconnect};
+use tenet_maestro::{evaluate, to_data_centric};
+use tenet_workloads::{dataflows, kernels};
+
+fn bench_tenet(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig08_tenet_modeling");
+    g.sample_size(10);
+    for pe in [4i64, 8, 16] {
+        for ic in [
+            Interconnect::Systolic1D,
+            Interconnect::Systolic2D,
+            Interconnect::Mesh,
+        ] {
+            let label = format!("gemm_{pe}x{pe}_{}", ic.label());
+            let op = kernels::gemm(32, 32, 32).unwrap();
+            let df = dataflows::gemm_dataflows(pe, pe * pe)[0].clone();
+            g.bench_with_input(BenchmarkId::from_parameter(label), &ic, |b, ic| {
+                b.iter(|| analyze_fitted(&op, &df, ic.clone(), 8.0, 1).unwrap())
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_maestro(c: &mut Criterion) {
+    let op = kernels::conv2d(32, 32, 8, 8, 3, 3).unwrap();
+    let df = dataflows::conv_dataflows(8, 64)
+        .into_iter()
+        .find(|d| tenet_maestro::representable(d, &op))
+        .unwrap();
+    let mapping = to_data_centric(&df, &op).unwrap();
+    let arch = ArchSpec::new("8x8", [8, 8], Interconnect::Mesh, 8.0);
+    c.bench_function("fig08_maestro_modeling", |b| {
+        b.iter(|| evaluate(&op, &mapping, &arch))
+    });
+}
+
+criterion_group!(benches, bench_tenet, bench_maestro);
+criterion_main!(benches);

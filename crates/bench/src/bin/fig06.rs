@@ -1,0 +1,100 @@
+//! Figure 6: latency of TENET-only (skewed) dataflows vs the best
+//! data-centric dataflow, swept over scratchpad bandwidth.
+//!
+//! The relation-centric dataflows with affine time-stamps cannot be
+//! expressed in data-centric notation; the figure shows they dominate as
+//! bandwidth shrinks (paper: up to 47.4% / 77% latency reduction; 37.4%
+//! and 51.4% on average for CONV and GEMM).
+
+use tenet_bench::{analyze_fitted, latency_at, BITS_PER_ELEMENT};
+use tenet_core::{Interconnect, PerformanceReport};
+use tenet_maestro::representable;
+use tenet_workloads::{dataflows, kernels};
+
+fn sweep(title: &str, reports: &[(String, bool, PerformanceReport)]) {
+    println!("== {title} ==");
+    print!("{:>10}", "bw(bit/c)");
+    for (name, rc_only, _) in reports {
+        print!("  {:>26}", format!("{}{}", name, if *rc_only { " [TENET-only]" } else { "" }));
+    }
+    println!();
+    let mut avg_red = 0.0;
+    let mut n = 0u32;
+    for bits in [160.0, 144.0, 128.0, 112.0, 96.0, 80.0, 64.0] {
+        let bw = bits / BITS_PER_ELEMENT;
+        print!("{bits:>10}");
+        let best_dc = reports
+            .iter()
+            .filter(|(_, rc_only, _)| !*rc_only)
+            .map(|(_, _, r)| latency_at(r, bw))
+            .fold(f64::INFINITY, f64::min);
+        let best_rc = reports
+            .iter()
+            .map(|(_, _, r)| latency_at(r, bw))
+            .fold(f64::INFINITY, f64::min);
+        for (_, _, r) in reports {
+            print!("  {:>26.0}", latency_at(r, bw));
+        }
+        let red = 100.0 * (1.0 - best_rc / best_dc);
+        println!("   | reduction {red:>5.1}%");
+        avg_red += red;
+        n += 1;
+    }
+    println!("average latency reduction vs best data-centric dataflow: {:.1}%", avg_red / n as f64);
+    println!();
+}
+
+fn main() {
+    // --- 2D-CONV ---------------------------------------------------------
+    let conv = kernels::conv2d(64, 64, 14, 14, 3, 3).unwrap();
+    let mut conv_reports = Vec::new();
+    for df in dataflows::conv_dataflows(8, 64) {
+        let name = df.name().unwrap().to_string();
+        // The comparison uses a mesh network (Section VI-A).
+        match analyze_fitted(&conv, &df, Interconnect::Mesh, 8.0, 1) {
+            Ok(r) => conv_reports.push((name, !representable(&df, &conv), r)),
+            Err(e) => eprintln!("skipping {name}: {e}"),
+        }
+    }
+    // Keep the figure's three series: the two affine TENET dataflows and
+    // the best data-centric one.
+    let mut keep: Vec<(String, bool, PerformanceReport)> = Vec::new();
+    for (name, rc, r) in &conv_reports {
+        if name.contains("KCOX") || name.contains("KOXC") {
+            keep.push((name.clone(), *rc, r.clone()));
+        }
+    }
+    if let Some(best_dc) = conv_reports
+        .iter()
+        .filter(|(_, rc, _)| !*rc)
+        .min_by(|a, b| a.2.latency.total().total_cmp(&b.2.latency.total()))
+    {
+        keep.push((format!("MAESTRO-best {}", best_dc.0), false, best_dc.2.clone()));
+    }
+    sweep("2D-CONV (K=64 C=64 14x14, 3x3) on mesh", &keep);
+
+    // --- GEMM -------------------------------------------------------------
+    let gemm = kernels::gemm(64, 64, 64).unwrap();
+    let mut gemm_reports = Vec::new();
+    for df in dataflows::gemm_dataflows(8, 64) {
+        let name = df.name().unwrap().to_string();
+        match analyze_fitted(&gemm, &df, Interconnect::Mesh, 8.0, 1) {
+            Ok(r) => gemm_reports.push((name, !representable(&df, &gemm), r)),
+            Err(e) => eprintln!("skipping {name}: {e}"),
+        }
+    }
+    let mut keep: Vec<(String, bool, PerformanceReport)> = Vec::new();
+    for (name, rc, r) in &gemm_reports {
+        if name.contains("IJK") && (name.starts_with("(IJ") || name.starts_with("(KJ")) {
+            keep.push((name.clone(), *rc, r.clone()));
+        }
+    }
+    if let Some(best_dc) = gemm_reports
+        .iter()
+        .filter(|(_, rc, _)| !*rc)
+        .min_by(|a, b| a.2.latency.total().total_cmp(&b.2.latency.total()))
+    {
+        keep.push((format!("MAESTRO-best {}", best_dc.0), false, best_dc.2.clone()));
+    }
+    sweep("GEMM (64x64x64) on mesh", &keep);
+}

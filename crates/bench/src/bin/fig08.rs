@@ -1,0 +1,65 @@
+//! Figure 8: wall-clock modeling time for a single dataflow, TENET vs the
+//! MAESTRO-style baseline, across PE array sizes and interconnects.
+//!
+//! The paper reports ~1e-2 s for MAESTRO and ~1e-1 s for TENET, with
+//! TENET's time growing with interconnect complexity and staying largely
+//! insensitive to array size. Absolute numbers depend on the host; the
+//! relative shape is what this binary regenerates. (Criterion-grade
+//! timings: `cargo bench --bench modeling_time`.)
+
+use std::time::Instant;
+use tenet_bench::analyze_fitted;
+use tenet_core::{ArchSpec, Interconnect};
+use tenet_maestro::{evaluate, to_data_centric};
+use tenet_workloads::{dataflows, kernels};
+
+fn time_tenet(op: &tenet_core::TensorOp, df: &tenet_core::Dataflow, ic: Interconnect) -> f64 {
+    let t0 = Instant::now();
+    let _ = analyze_fitted(op, df, ic, 8.0, 1).unwrap();
+    t0.elapsed().as_secs_f64()
+}
+
+fn main() {
+    println!("Figure 8: modeling time for a single dataflow (seconds)");
+    println!(
+        "{:<10} {:<8} {:>12} {:>12}",
+        "kernel", "array", "interconnect", "time(s)"
+    );
+    for (kname, pe) in [("2D-CONV", 4i64), ("2D-CONV", 8), ("2D-CONV", 16), ("GEMM", 4), ("GEMM", 8), ("GEMM", 16)] {
+        for ic in [
+            Interconnect::Systolic1D,
+            Interconnect::Systolic2D,
+            Interconnect::Mesh,
+        ] {
+            let label = ic.label();
+            let t = if kname == "GEMM" {
+                let op = kernels::gemm(32, 32, 32).unwrap();
+                let df = &dataflows::gemm_dataflows(pe, pe * pe)[0];
+                time_tenet(&op, df, ic)
+            } else {
+                let op = kernels::conv2d(32, 32, 8, 8, 3, 3).unwrap();
+                let df = &dataflows::conv_dataflows(pe, pe * pe)[0];
+                time_tenet(&op, df, ic)
+            };
+            println!("{kname:<10} {:<8} {label:>12} {t:>12.4}", format!("{pe}x{pe}"));
+        }
+    }
+    // MAESTRO baseline modeling time (polynomials: near-instant).
+    let op = kernels::conv2d(32, 32, 8, 8, 3, 3).unwrap();
+    let df = dataflows::conv_dataflows(8, 64)
+        .into_iter()
+        .find(|d| tenet_maestro::representable(d, &op))
+        .unwrap();
+    let mapping = to_data_centric(&df, &op).unwrap();
+    let arch = ArchSpec::new("8x8", [8, 8], Interconnect::Mesh, 8.0);
+    let t0 = Instant::now();
+    let iters = 1000;
+    for _ in 0..iters {
+        let _ = evaluate(&op, &mapping, &arch);
+    }
+    let t = t0.elapsed().as_secs_f64() / iters as f64;
+    println!("{:<10} {:<8} {:>12} {t:>12.6}", "2D-CONV", "8x8", "MAESTRO");
+    println!();
+    println!("Expected shape: MAESTRO orders of magnitude faster; TENET time grows");
+    println!("with interconnect complexity (mesh > 2D-sys > 1D-sys), not array size.");
+}

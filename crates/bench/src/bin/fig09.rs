@@ -1,0 +1,68 @@
+//! Figure 9: the critical metrics (temporal/spatial reuse per tensor, max
+//! and average PE utilization, latency) for every Table III dataflow of
+//! GEMM, 2D-CONV, MTTKRP, and Jacobi-2D, under a systolic interconnect.
+
+use tenet_bench::analyze_fitted;
+use tenet_core::{Interconnect, Role, TensorOp};
+use tenet_workloads::{dataflows, kernels};
+
+fn report(op: &TensorOp, dfs: &[tenet_core::Dataflow]) {
+    println!("--- {} ---", op.name());
+    println!(
+        "{:<28} {:<7} {:>10} {:>10} {:>8} {:>8} {:>12}",
+        "dataflow", "tensor", "tmp.reuse", "sp.reuse", "maxU", "avgU", "latency"
+    );
+    let n = op.instances().unwrap() as f64;
+    for df in dfs {
+        // The figure applies the systolic topology to every dataflow.
+        let ic = if df.n_space() == 1 {
+            Interconnect::Systolic1D
+        } else {
+            Interconnect::Systolic2D
+        };
+        let r = match analyze_fitted(op, df, ic, 8.0, 1) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("skip {:?}: {e}", df.name());
+                continue;
+            }
+        };
+        let mut first = true;
+        for (t, m) in &r.tensors {
+            let label = match m.role {
+                Role::Output => "output".to_string(),
+                Role::Input => format!("input-{t}"),
+            };
+            println!(
+                "{:<28} {:<7} {:>10.3} {:>10.3} {:>8} {:>8} {:>12}",
+                if first { df.name().unwrap_or("") } else { "" },
+                label,
+                m.volumes.temporal_reuse as f64 / n,
+                m.volumes.spatial_reuse as f64 / n,
+                if first { format!("{:.2}", r.utilization.max) } else { String::new() },
+                if first { format!("{:.2}", r.utilization.average) } else { String::new() },
+                if first { format!("{:.0}", r.latency.total()) } else { String::new() },
+            );
+            first = false;
+        }
+    }
+    println!();
+}
+
+fn main() {
+    println!("Figure 9: critical metrics per dataflow (systolic interconnect)");
+    println!("reuse volumes normalized by the instance count\n");
+    report(&kernels::gemm(64, 64, 64).unwrap(), &dataflows::gemm_dataflows(8, 64));
+    report(
+        &kernels::conv2d(64, 16, 16, 16, 3, 3).unwrap(),
+        &dataflows::conv_dataflows(8, 64),
+    );
+    report(
+        &kernels::mttkrp(32, 32, 32, 32).unwrap(),
+        &dataflows::mttkrp_dataflows(8),
+    );
+    report(
+        &kernels::jacobi2d(66).unwrap(),
+        &dataflows::jacobi_dataflows(8, 64),
+    );
+}

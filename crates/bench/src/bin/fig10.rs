@@ -1,0 +1,68 @@
+//! Figure 10: interconnect (IBW) and scratchpad (SBW) bandwidth
+//! requirements per tensor across three interconnect topologies
+//! (2D-systolic, mesh, 1D-systolic).
+
+use tenet_bench::analyze_fitted;
+use tenet_core::{Dataflow, Interconnect, TensorOp};
+use tenet_workloads::{dataflows, kernels};
+
+fn study(op: &TensorOp, dfs: &[Dataflow]) {
+    println!("--- {} ---", op.name());
+    println!(
+        "{:<28} {:>8} {:<7} {:>9} {:>9}",
+        "dataflow", "topo", "tensor", "IBW", "SBW"
+    );
+    for df in dfs {
+        if df.n_space() != 2 {
+            continue; // topology sweep applies to 2-D arrays
+        }
+        for ic in [
+            Interconnect::Systolic2D,
+            Interconnect::Mesh,
+            Interconnect::Systolic1D,
+        ] {
+            let label = ic.label();
+            let r = match analyze_fitted(op, df, ic, 8.0, 1) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("skip {:?} on {label}: {e}", df.name());
+                    continue;
+                }
+            };
+            let mut first = true;
+            for t in r.tensors.keys() {
+                println!(
+                    "{:<28} {:>8} {:<7} {:>9.3} {:>9.3}",
+                    if first { df.name().unwrap_or("") } else { "" },
+                    if first { label } else { "" },
+                    t,
+                    r.bandwidth.interconnect_per_tensor[t],
+                    r.bandwidth.scratchpad_per_tensor[t],
+                );
+                first = false;
+            }
+        }
+    }
+    println!();
+}
+
+fn main() {
+    println!("Figure 10: bandwidth requirements per interconnect topology");
+    println!("(elements/cycle; multicast wires assumed present, Section VI-D)\n");
+    let conv = kernels::conv2d(32, 16, 14, 14, 3, 3).unwrap();
+    let conv_dfs: Vec<Dataflow> = dataflows::conv_dataflows(8, 64)
+        .into_iter()
+        .filter(|d| {
+            let n = d.name().unwrap_or("");
+            n.contains("RYOY") || n.contains("OYOX") || n.contains("(KC-P | OY,OX-T)")
+                || n.contains("KCOX") || n.contains("C,KOX")
+        })
+        .collect();
+    study(&conv, &conv_dfs);
+    study(&kernels::gemm(32, 32, 32).unwrap(), &dataflows::gemm_dataflows(8, 64));
+    study(
+        &kernels::mttkrp(16, 16, 16, 16).unwrap(),
+        &dataflows::mttkrp_dataflows(8),
+    );
+    study(&kernels::jacobi2d(34).unwrap(), &dataflows::jacobi_dataflows(8, 64));
+}

@@ -1,0 +1,63 @@
+//! Hardware design-space exploration (the right branch of Figure 2):
+//! co-explores PE array shapes, interconnects, and scratchpad bandwidths
+//! for GEMM and 2D-CONV under a fixed PE budget, printing the best
+//! (architecture, dataflow) pairs.
+//!
+//! Run with: `cargo run --release -p tenet-bench --bin hardware_dse`
+
+use tenet_core::Interconnect;
+use tenet_dse::hardware::{co_explore, HardwareSpace};
+use tenet_workloads::kernels;
+
+fn main() {
+    // Scaled workloads keep the sweep in the minutes range; the paper's
+    // own DSE budget is "under an hour" for 25,920 dataflows.
+    let space = HardwareSpace {
+        pe_budget: 16,
+        interconnects: vec![
+            Interconnect::Systolic1D,
+            Interconnect::Systolic2D,
+            Interconnect::Mesh,
+        ],
+        bandwidths: vec![16.0],
+        include_1d: true,
+        max_candidates: 24,
+        threads: 4,
+    };
+
+    for (label, op) in [
+        ("GEMM 16x16x16", kernels::gemm(16, 16, 16).unwrap()),
+        (
+            "2D-CONV K=8 C=8 8x8 r3x3",
+            kernels::conv2d(8, 8, 8, 8, 3, 3).unwrap(),
+        ),
+    ] {
+        println!("== {label}: hardware DSE under a 16-PE budget ==");
+        println!(
+            "{:<18} {:>6} {:>10} {:>8} {:>10} {:>10} {:>7}",
+            "architecture", "bw", "latency", "util", "SBW", "energy", "cands"
+        );
+        let points = co_explore(&op, &space).expect("exploration succeeds");
+        for p in points.iter().take(12) {
+            let r = &p.best.report;
+            println!(
+                "{:<18} {:>6.0} {:>10.0} {:>8.2} {:>10.2} {:>10.0} {:>7}",
+                p.arch.name,
+                p.arch.bandwidth,
+                r.latency.total(),
+                r.utilization.average,
+                r.bandwidth.scratchpad,
+                r.energy.total(),
+                p.valid_candidates,
+            );
+        }
+        let best = &points[0];
+        println!(
+            "best: {} @ {:.0} elem/cycle with dataflow PE[{}] | T[{}]\n",
+            best.arch.name,
+            best.arch.bandwidth,
+            best.best.dataflow.space_exprs().join(", "),
+            best.best.dataflow.time_exprs().join(", "),
+        );
+    }
+}

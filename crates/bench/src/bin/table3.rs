@@ -1,0 +1,59 @@
+//! Table III: the twenty named dataflows, their relation-centric notation,
+//! and their data-centric form when one exists.
+
+use tenet_core::{Dataflow, TensorOp};
+use tenet_maestro::{representable, to_data_centric};
+use tenet_workloads::{dataflows, kernels};
+
+fn print_group(title: &str, op: &TensorOp, dfs: &[Dataflow]) {
+    println!("== {title} ==");
+    for df in dfs {
+        println!("  {}", df.name().unwrap_or("<unnamed>"));
+        println!("    space: PE[{}]", df.space_exprs().join(", "));
+        println!("    time:  T[{}]", df.time_exprs().join(", "));
+        match to_data_centric(df, op) {
+            Some(m) => {
+                let dirs: Vec<String> = m
+                    .directives
+                    .iter()
+                    .map(|d| format!("{d:?}"))
+                    .collect();
+                println!("    data-centric: {}", dirs.join("; "));
+            }
+            None => println!("    data-centric: x (requires affine transformation)"),
+        }
+        assert_eq!(
+            representable(df, op),
+            to_data_centric(df, op).is_some()
+        );
+    }
+    println!();
+}
+
+fn main() {
+    print_group(
+        "GEMM",
+        &kernels::gemm(16, 16, 16).unwrap(),
+        &dataflows::gemm_dataflows(8, 64),
+    );
+    print_group(
+        "2D-CONV",
+        &kernels::conv2d(16, 16, 8, 8, 3, 3).unwrap(),
+        &dataflows::conv_dataflows(8, 64),
+    );
+    print_group(
+        "MTTKRP",
+        &kernels::mttkrp(8, 8, 8, 8).unwrap(),
+        &dataflows::mttkrp_dataflows(8),
+    );
+    print_group(
+        "Jacobi-2D",
+        &kernels::jacobi2d(18).unwrap(),
+        &dataflows::jacobi_dataflows(8, 64),
+    );
+    print_group(
+        "MMc",
+        &kernels::mmc(8, 8, 8, 8).unwrap(),
+        &dataflows::mmc_dataflows(8),
+    );
+}

@@ -1,0 +1,131 @@
+//! A tiny dependency-free argument parser: positional arguments plus
+//! `--flag` and `--key value` options.
+
+use std::collections::BTreeMap;
+
+/// Parsed command-line arguments.
+#[derive(Debug, Default)]
+pub struct Args {
+    positional: Vec<String>,
+    options: BTreeMap<String, String>,
+    flags: Vec<String>,
+}
+
+/// Option keys that take a value; everything else starting with `--` is a
+/// boolean flag.
+const VALUED: &[&str] = &[
+    "arch", "preset", "dataflow", "top", "pe", "pe-budget", "objective", "window", "format",
+];
+
+impl Args {
+    /// Parses raw arguments (without the program name).
+    pub fn parse<I: IntoIterator<Item = String>>(raw: I) -> Result<Args, String> {
+        let mut args = Args::default();
+        let mut it = raw.into_iter();
+        while let Some(a) = it.next() {
+            if let Some(key) = a.strip_prefix("--") {
+                if VALUED.contains(&key) {
+                    let v = it
+                        .next()
+                        .ok_or_else(|| format!("option --{key} needs a value"))?;
+                    if args.options.insert(key.to_string(), v).is_some() {
+                        return Err(format!("option --{key} given twice"));
+                    }
+                } else {
+                    args.flags.push(key.to_string());
+                }
+            } else {
+                args.positional.push(a);
+            }
+        }
+        Ok(args)
+    }
+
+    /// The `i`-th positional argument.
+    pub fn positional(&self, i: usize) -> Option<&str> {
+        self.positional.get(i).map(String::as_str)
+    }
+
+    /// The value of `--key`, if given.
+    pub fn option(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(String::as_str)
+    }
+
+    /// The value of `--key` parsed as `T`.
+    pub fn option_as<T: std::str::FromStr>(&self, key: &str) -> Result<Option<T>, String> {
+        match self.options.get(key) {
+            None => Ok(None),
+            Some(v) => v
+                .parse::<T>()
+                .map(Some)
+                .map_err(|_| format!("invalid value `{v}` for --{key}")),
+        }
+    }
+
+    /// True if `--flag` was given.
+    pub fn flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+
+    /// Returns an error naming any flag not in `known`.
+    pub fn reject_unknown_flags(&self, known: &[&str]) -> Result<(), String> {
+        for f in &self.flags {
+            if !known.contains(&f.as_str()) {
+                return Err(format!("unknown flag --{f}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &[&str]) -> Args {
+        Args::parse(s.iter().map(|s| s.to_string())).unwrap()
+    }
+
+    #[test]
+    fn splits_positional_options_flags() {
+        let a = parse(&["file.tenet", "--top", "5", "--csv"]);
+        assert_eq!(a.positional(0), Some("file.tenet"));
+        assert_eq!(a.option("top"), Some("5"));
+        assert!(a.flag("csv"));
+        assert!(!a.flag("quiet"));
+    }
+
+    #[test]
+    fn option_as_parses_numbers() {
+        let a = parse(&["--pe", "8"]);
+        assert_eq!(a.option_as::<i64>("pe").unwrap(), Some(8));
+        assert_eq!(a.option_as::<i64>("top").unwrap(), None);
+    }
+
+    #[test]
+    fn missing_value_is_an_error() {
+        let err = Args::parse(["--top".to_string()]).unwrap_err();
+        assert!(err.contains("needs a value"));
+    }
+
+    #[test]
+    fn duplicate_option_is_an_error() {
+        let err =
+            Args::parse(["--top".to_string(), "1".into(), "--top".into(), "2".into()])
+                .unwrap_err();
+        assert!(err.contains("twice"));
+    }
+
+    #[test]
+    fn unknown_flag_rejected() {
+        let a = parse(&["--bogus"]);
+        assert!(a.reject_unknown_flags(&["csv"]).is_err());
+        assert!(a.reject_unknown_flags(&["bogus"]).is_ok());
+    }
+
+    #[test]
+    fn bad_numeric_value_is_an_error() {
+        let a = parse(&["--pe", "eight"]);
+        assert!(a.option_as::<i64>("pe").is_err());
+    }
+}

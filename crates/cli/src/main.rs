@@ -1,0 +1,83 @@
+//! `tenet` — the command-line driver of the TENET reproduction.
+//!
+//! Run `tenet help` for usage. Subcommand logic lives in
+//! [`commands`] so it can be unit-tested; this file only handles process
+//! I/O and exit codes.
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    match commands::run(raw) {
+        Ok(stdout) => {
+            print!("{stdout}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{}", e.message.trim_end());
+            ExitCode::from(e.code.clamp(0, 255) as u8)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::commands::run;
+
+    fn argv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let out = run(argv(&["help"])).unwrap();
+        assert!(out.contains("tenet analyze"));
+        assert!(out.contains("PRESETS"));
+    }
+
+    #[test]
+    fn unknown_command_is_usage_error() {
+        let err = run(argv(&["frobnicate"])).unwrap_err();
+        assert_eq!(err.code, 1);
+        assert!(err.message.contains("unknown command"));
+    }
+
+    #[test]
+    fn missing_file_is_input_error() {
+        let err = run(argv(&["analyze", "/nonexistent/x.tenet"])).unwrap_err();
+        assert_eq!(err.code, 2);
+        assert!(err.message.contains("cannot read"));
+    }
+
+    #[test]
+    fn demo_gemm_is_itself_parseable() {
+        let out = run(argv(&["demo", "gemm"])).unwrap();
+        let p = tenet_frontend::parse_problem(&out).unwrap();
+        assert_eq!(p.kernel.name(), "gemm");
+        assert_eq!(p.dataflows.len(), 1);
+        assert!(p.arch.is_some());
+    }
+
+    #[test]
+    fn demo_every_kernel_round_trips_through_analyze() {
+        for k in ["gemm", "conv2d", "mttkrp", "mmc", "jacobi2d"] {
+            let text = run(argv(&["demo", k])).unwrap();
+            let dir = std::env::temp_dir().join(format!("tenet-demo-{k}-{}", std::process::id()));
+            std::fs::create_dir_all(&dir).unwrap();
+            let path = dir.join(format!("{k}.tenet"));
+            std::fs::write(&path, &text).unwrap();
+            let out = run(argv(&["analyze", path.to_str().unwrap()])).unwrap();
+            assert!(out.contains("dataflow #0"), "demo {k} failed analyze:\n{out}");
+            std::fs::remove_dir_all(&dir).ok();
+        }
+    }
+
+    #[test]
+    fn demo_unknown_kernel_is_usage_error() {
+        let err = run(argv(&["demo", "fft"])).unwrap_err();
+        assert_eq!(err.code, 1);
+    }
+}

@@ -1,0 +1,175 @@
+//! End-to-end tests that spawn the real `tenet` binary.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn tenet(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_tenet"))
+        .args(args)
+        .output()
+        .expect("spawn tenet binary")
+}
+
+fn write_problem(name: &str, text: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("tenet-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    std::fs::write(&path, text).unwrap();
+    path
+}
+
+const FIGURE3: &str = r#"
+for (i = 0; i < 2; i++)
+  for (j = 0; j < 2; j++)
+    for (k = 0; k < 4; k++)
+      S: Y[i][j] += A[i][k] * B[k][j];
+
+{ S[i,j,k] -> (PE[i,j] | T[i + j + k]) }
+
+arch "2x2" { array = [2, 2] interconnect = systolic2d bandwidth = 4 }
+"#;
+
+#[test]
+fn analyze_figure3_prints_report() {
+    let path = write_problem("fig3.tenet", FIGURE3);
+    let out = tenet(&["analyze", path.to_str().unwrap()]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("dataflow #0"));
+    assert!(stdout.to_lowercase().contains("latency"));
+}
+
+#[test]
+fn analyze_csv_format() {
+    let path = write_problem("fig3csv.tenet", FIGURE3);
+    let out = tenet(&["analyze", path.to_str().unwrap(), "--format", "csv"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let mut lines = stdout.lines();
+    let header = lines.next().unwrap();
+    assert!(header.contains(','), "csv header: {header}");
+    assert!(lines.next().is_some(), "csv has at least one data row");
+}
+
+#[test]
+fn validate_reports_ok() {
+    let path = write_problem("fig3v.tenet", FIGURE3);
+    let out = tenet(&["validate", path.to_str().unwrap()]);
+    assert!(out.status.success());
+    assert!(String::from_utf8(out.stdout).unwrap().contains("ok"));
+}
+
+#[test]
+fn validate_flags_non_injective_dataflow() {
+    let bad = r#"
+for (i = 0; i < 2; i++)
+  for (j = 0; j < 2; j++)
+    for (k = 0; k < 4; k++)
+      S: Y[i][j] += A[i][k] * B[k][j];
+
+{ S[i,j,k] -> (PE[i,j] | T[i + j]) }
+
+arch "2x2" { array = [2, 2] interconnect = systolic2d bandwidth = 4 }
+"#;
+    let path = write_problem("bad.tenet", bad);
+    let out = tenet(&["validate", path.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(4));
+    assert!(String::from_utf8(out.stderr)
+        .unwrap()
+        .contains("not injective"));
+}
+
+#[test]
+fn parse_error_renders_caret() {
+    let path = write_problem("syntax.tenet", "for (i = 0 i < 4; i++) S: Y[i] += A[i];");
+    let out = tenet(&["analyze", path.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains('^'), "caret rendering:\n{stderr}");
+    assert!(stderr.contains("expected"));
+}
+
+#[test]
+fn simulate_agrees_with_model_on_figure3() {
+    let path = write_problem("fig3sim.tenet", FIGURE3);
+    let out = tenet(&["simulate", path.to_str().unwrap()]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("model"));
+    assert!(stdout.contains("simulator"));
+}
+
+#[test]
+fn explore_lists_candidates() {
+    let path = write_problem("fig3x.tenet", FIGURE3);
+    let out = tenet(&["explore", path.to_str().unwrap(), "--pe", "2", "--top", "3"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("explored"));
+}
+
+#[test]
+fn fmt_is_idempotent() {
+    let path = write_problem("fig3fmt.tenet", FIGURE3);
+    let once = tenet(&["fmt", path.to_str().unwrap()]);
+    assert!(once.status.success());
+    let text1 = String::from_utf8(once.stdout).unwrap();
+    let path2 = write_problem("fig3fmt2.tenet", &text1);
+    let twice = tenet(&["fmt", path2.to_str().unwrap()]);
+    let text2 = String::from_utf8(twice.stdout).unwrap();
+    assert_eq!(text1, text2);
+}
+
+#[test]
+fn preset_overrides_missing_arch() {
+    let no_arch = r#"
+for (i = 0; i < 16; i++)
+  for (j = 0; j < 16; j++)
+    for (k = 0; k < 16; k++)
+      S: Y[i][j] += A[i][k] * B[k][j];
+
+{S[i,j,k] -> PE[i%8, j%8]}
+{S[i,j,k] -> T[fl(i/8), fl(j/8), i%8 + j%8 + k]}
+"#;
+    let path = write_problem("noarch.tenet", no_arch);
+    // Without a preset: usage error.
+    let out = tenet(&["analyze", path.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1));
+    // With a preset: success.
+    let out = tenet(&["analyze", path.to_str().unwrap(), "--preset", "tpu8x8"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+}
+
+#[test]
+fn hardware_dse_lists_architectures() {
+    let small = r#"
+for (i = 0; i < 8; i++)
+  for (j = 0; j < 8; j++)
+    for (k = 0; k < 8; k++)
+      S: Y[i][j] += A[i][k] * B[k][j];
+"#;
+    let path = write_problem("hw.tenet", small);
+    let out = tenet(&["hardware", path.to_str().unwrap(), "--pe-budget", "16", "--top", "5"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("hardware DSE"));
+    assert!(stdout.contains("architecture"));
+}
+
+#[test]
+fn hardware_rejects_nonpositive_budget() {
+    let path = write_problem("hwbad.tenet", "for (i = 0; i < 2; i++) S: Y[i] += A[i];");
+    let out = tenet(&["hardware", path.to_str().unwrap(), "--pe-budget", "0"]);
+    assert_eq!(out.status.code(), Some(1));
+}
+
+#[test]
+fn trace_prints_figure3_table() {
+    let path = write_problem("fig3tr.tenet", FIGURE3);
+    let out = tenet(&["trace", path.to_str().unwrap()]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("T[1]"));
+    // The text parser lists the written tensor first.
+    assert!(stdout.contains("PE[0,0]  Y[0][0] A[0][1] B[1][0]"), "{stdout}");
+}

@@ -1,0 +1,46 @@
+//! # tenet-compute
+//!
+//! The compute-centric baseline of Table I: Timeloop/Interstellar-style
+//! schedules (loop order, tiling, parallel directives), the
+//! coarse product-of-unroll-factors analytical model those tools use,
+//! and an exact lowering into the relation-centric notation.
+//!
+//! Three claims of the paper become checkable code here:
+//!
+//! 1. **Subsumption** — every compute-centric schedule lowers to a
+//!    relation-centric [`tenet_core::Dataflow`] ([`Schedule::lower`]);
+//! 2. **Expressiveness gap** — skewed dataflows such as Figure 3's
+//!    `T[i+j+k]` are *not* expressible as any schedule
+//!    ([`expressible`]);
+//! 3. **Accuracy gap** — the coarse reuse polynomial misestimates
+//!    halo-overlapping accesses where the exact integer-set model does
+//!    not ([`exactness_gap`]).
+//!
+//! ```
+//! use tenet_compute::Schedule;
+//! use tenet_core::{ArchSpec, Interconnect, TensorOp};
+//!
+//! let gemm = TensorOp::builder("gemm")
+//!     .dim("i", 16).dim("j", 16).dim("k", 16)
+//!     .read("A", ["i", "k"]).read("B", ["k", "j"]).write("Y", ["i", "j"])
+//!     .build()?;
+//! let schedule = Schedule::new()
+//!     .tile("i", 8).tile("j", 8)
+//!     .parallel("i_i").parallel("j_i")
+//!     .order(["i_o", "j_o", "k"]);
+//! let arch = ArchSpec::new("8x8", [8, 8], Interconnect::Systolic2D, 16.0);
+//! let coarse = tenet_compute::evaluate(&gemm, &schedule, &arch)?;
+//! assert_eq!(coarse.utilization, 1.0);
+//! // The same schedule, exactly, in relation-centric notation:
+//! let df = schedule.lower(&gemm).unwrap();
+//! assert_eq!(df.space_exprs(), ["i % 8", "j % 8"]);
+//! # Ok::<(), tenet_core::Error>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod model;
+mod notation;
+
+pub use model::{evaluate, exactness_gap, CcModel, CcTensor};
+pub use notation::{expressible, Schedule, ScheduleError};

@@ -1,0 +1,423 @@
+//! The compute-centric notation (Table I, first column): imperative loop
+//! transformation directives in the style of Timeloop's mapping language
+//! and Interstellar's Halide-based scheduling primitives.
+//!
+//! A [`Schedule`] transforms the original loop nest with three directive
+//! kinds:
+//!
+//! * `tile(dim, factor)` — loop blocking, splitting `dim` into an outer
+//!   quotient loop `dim_o` and an inner remainder loop `dim_i`;
+//! * `parallel(part)` — assigns a (possibly tiled) loop to one PE-array
+//!   dimension, in call order (Timeloop's `parallel`/Interstellar's
+//!   `unroll`);
+//! * `order([parts...])` — the temporal loop order, outermost first.
+//!
+//! The notation deliberately has *no* way to express an affine
+//! combination of loops (`i + j + k`) as a schedule dimension — that is
+//! the expressiveness gap Section II-C describes, checked by
+//! [`expressible`].
+
+use std::collections::BTreeMap;
+use tenet_core::{Dataflow, TensorOp};
+
+/// One loop part after tiling: the whole dim, its quotient, or its
+/// remainder.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum Part {
+    /// An untiled original dimension.
+    Whole(String),
+    /// `dim_o = floor(dim / factor)`.
+    Outer(String, i64),
+    /// `dim_i = dim mod factor`.
+    Inner(String, i64),
+}
+
+impl Part {
+    pub(crate) fn expr(&self) -> String {
+        match self {
+            Part::Whole(d) => d.clone(),
+            Part::Outer(d, f) => format!("floor({d} / {f})"),
+            Part::Inner(d, f) => format!("{d} % {f}"),
+        }
+    }
+
+    pub(crate) fn dim(&self) -> &str {
+        match self {
+            Part::Whole(d) | Part::Outer(d, _) | Part::Inner(d, _) => d,
+        }
+    }
+
+    /// Trip count of this part given the original extent.
+    pub(crate) fn extent(&self, dim_extent: i64) -> i64 {
+        match self {
+            Part::Whole(_) => dim_extent,
+            Part::Outer(_, f) => (dim_extent + f - 1) / f,
+            Part::Inner(_, f) => (*f).min(dim_extent),
+        }
+    }
+}
+
+/// A compute-centric schedule: tiling + parallel assignment + loop order.
+///
+/// ```
+/// use tenet_compute::Schedule;
+/// // Timeloop-style mapping of GEMM onto an 8x8 array:
+/// //   tile i and j by 8, unroll the inner tiles spatially,
+/// //   iterate (i_o, j_o, k) in time.
+/// let s = Schedule::new()
+///     .tile("i", 8)
+///     .tile("j", 8)
+///     .parallel("i_i")
+///     .parallel("j_i")
+///     .order(["i_o", "j_o", "k"]);
+/// assert_eq!(s.n_parallel(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Schedule {
+    tiles: BTreeMap<String, i64>,
+    parallel: Vec<String>,
+    order: Vec<String>,
+    name: Option<String>,
+}
+
+/// An error raised while checking a schedule against an operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduleError(pub String);
+
+impl std::fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid schedule: {}", self.0)
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+impl Schedule {
+    /// Starts an empty schedule.
+    pub fn new() -> Schedule {
+        Schedule::default()
+    }
+
+    /// Splits `dim` into `dim_o` (quotient) and `dim_i` (remainder of
+    /// size `factor`). The paper calls this `blocking`.
+    pub fn tile(mut self, dim: &str, factor: i64) -> Schedule {
+        self.tiles.insert(dim.to_string(), factor);
+        self
+    }
+
+    /// Assigns a loop part to the next PE-array dimension.
+    pub fn parallel(mut self, part: &str) -> Schedule {
+        self.parallel.push(part.to_string());
+        self
+    }
+
+    /// Sets the temporal loop order, outermost first.
+    pub fn order<S: Into<String>, I: IntoIterator<Item = S>>(mut self, parts: I) -> Schedule {
+        self.order = parts.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Attaches a display name.
+    pub fn named(mut self, name: &str) -> Schedule {
+        self.name = Some(name.to_string());
+        self
+    }
+
+    /// The display name, if any.
+    pub fn name(&self) -> Option<&str> {
+        self.name.as_deref()
+    }
+
+    /// Number of parallel (spatial) directives.
+    pub fn n_parallel(&self) -> usize {
+        self.parallel.len()
+    }
+
+    /// The tile factor of `dim`, if tiled.
+    pub fn tile_factor(&self, dim: &str) -> Option<i64> {
+        self.tiles.get(dim).copied()
+    }
+
+    pub(crate) fn parallel_parts(&self, op: &TensorOp) -> Result<Vec<Part>, ScheduleError> {
+        self.parallel
+            .iter()
+            .map(|p| self.resolve(p, op))
+            .collect()
+    }
+
+    pub(crate) fn temporal_parts(&self, op: &TensorOp) -> Result<Vec<Part>, ScheduleError> {
+        self.order.iter().map(|p| self.resolve(p, op)).collect()
+    }
+
+    // Resolves a part name like `i`, `i_o`, `i_i` against the op's dims
+    // and the tiling table.
+    fn resolve(&self, part: &str, op: &TensorOp) -> Result<Part, ScheduleError> {
+        let dims: Vec<&str> = op.dims().iter().map(|d| d.name.as_str()).collect();
+        if dims.contains(&part) {
+            if self.tiles.contains_key(part) {
+                return Err(ScheduleError(format!(
+                    "`{part}` is tiled; schedule its parts `{part}_o` and `{part}_i`"
+                )));
+            }
+            return Ok(Part::Whole(part.to_string()));
+        }
+        for (suffix, outer) in [("_o", true), ("_i", false)] {
+            if let Some(base) = part.strip_suffix(suffix) {
+                if dims.contains(&base) {
+                    let f = self.tiles.get(base).copied().ok_or_else(|| {
+                        ScheduleError(format!(
+                            "`{part}` refers to a tile of `{base}`, but `{base}` is not tiled"
+                        ))
+                    })?;
+                    return Ok(if outer {
+                        Part::Outer(base.to_string(), f)
+                    } else {
+                        Part::Inner(base.to_string(), f)
+                    });
+                }
+            }
+        }
+        Err(ScheduleError(format!(
+            "`{part}` is neither a loop of `{}` nor a tile part",
+            op.name()
+        )))
+    }
+
+    /// Checks structural legality against `op`: every loop (or both parts
+    /// of a tiled loop) appears exactly once across `parallel` and
+    /// `order`, and tile factors are positive.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ScheduleError`] naming the offending part.
+    pub fn check(&self, op: &TensorOp) -> Result<(), ScheduleError> {
+        for (dim, f) in &self.tiles {
+            if *f <= 0 {
+                return Err(ScheduleError(format!("tile factor of `{dim}` must be positive")));
+            }
+            if !op.dims().iter().any(|d| &d.name == dim) {
+                return Err(ScheduleError(format!("tiled `{dim}` is not a loop of the op")));
+            }
+        }
+        let mut seen: Vec<String> = Vec::new();
+        for p in self.parallel.iter().chain(self.order.iter()) {
+            self.resolve(p, op)?;
+            if seen.contains(p) {
+                return Err(ScheduleError(format!("`{p}` scheduled twice")));
+            }
+            seen.push(p.clone());
+        }
+        // Coverage: every dim contributes all its parts.
+        for d in op.dims() {
+            let needed: Vec<String> = match self.tiles.get(&d.name) {
+                Some(_) => vec![format!("{}_o", d.name), format!("{}_i", d.name)],
+                None => vec![d.name.clone()],
+            };
+            for n in needed {
+                if !seen.contains(&n) {
+                    return Err(ScheduleError(format!(
+                        "part `{n}` of loop `{}` is not scheduled",
+                        d.name
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Lowers the schedule to an exactly equivalent relation-centric
+    /// [`Dataflow`] — the subsumption direction of Table I: every
+    /// compute-centric mapping corresponds to a (mod/floor-only, skew-free)
+    /// relation.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ScheduleError`] when [`Schedule::check`] fails.
+    pub fn lower(&self, op: &TensorOp) -> Result<Dataflow, ScheduleError> {
+        self.check(op)?;
+        let space: Vec<String> = self
+            .parallel_parts(op)?
+            .iter()
+            .map(Part::expr)
+            .collect();
+        let time: Vec<String> = self
+            .temporal_parts(op)?
+            .iter()
+            .map(Part::expr)
+            .collect();
+        let df = Dataflow::new(space, time);
+        Ok(match &self.name {
+            Some(n) => df.named(n),
+            None => df,
+        })
+    }
+}
+
+/// Whether a relation-centric dataflow is expressible as a
+/// compute-centric schedule: every stamp dimension must be a *single*
+/// loop (possibly tiled: `d`, `d mod f`, or `floor(d / f)`), with no
+/// affine combination of distinct loops (Section II-C / Figure 1).
+pub fn expressible(df: &Dataflow, op: &TensorOp) -> bool {
+    let dims: Vec<String> = op.dims().iter().map(|d| d.name.clone()).collect();
+    df.space_exprs()
+        .iter()
+        .chain(df.time_exprs().iter())
+        .all(|e| single_loop_expr(e, &dims))
+}
+
+// `d`, `d % f`, `floor(d / f)` for exactly one known loop `d`.
+fn single_loop_expr(text: &str, dims: &[String]) -> bool {
+    let Ok(e) = tenet_frontend::Expr::parse(text) else {
+        return false;
+    };
+    let vars = e.free_vars();
+    if vars.len() != 1 || !dims.contains(&vars[0]) {
+        return false;
+    }
+    use tenet_frontend::Expr;
+    match e {
+        Expr::Var(_) => true,
+        Expr::Mod(inner, _) | Expr::FloorDiv(inner, _) => matches!(*inner, Expr::Var(_)),
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gemm() -> TensorOp {
+        TensorOp::builder("gemm")
+            .dim("i", 16)
+            .dim("j", 16)
+            .dim("k", 16)
+            .read("A", ["i", "k"])
+            .read("B", ["k", "j"])
+            .write("Y", ["i", "j"])
+            .build()
+            .unwrap()
+    }
+
+    fn tpu_schedule() -> Schedule {
+        Schedule::new()
+            .tile("i", 8)
+            .tile("j", 8)
+            .parallel("i_i")
+            .parallel("j_i")
+            .order(["i_o", "j_o", "k"])
+    }
+
+    #[test]
+    fn legal_schedule_checks() {
+        tpu_schedule().check(&gemm()).unwrap();
+    }
+
+    #[test]
+    fn lowering_produces_tiled_dataflow() {
+        let df = tpu_schedule().lower(&gemm()).unwrap();
+        assert_eq!(df.space_exprs(), ["i % 8", "j % 8"]);
+        assert_eq!(df.time_exprs(), ["floor(i / 8)", "floor(j / 8)", "k"]);
+    }
+
+    #[test]
+    fn lowered_dataflow_is_injective() {
+        let op = gemm();
+        let df = tpu_schedule().lower(&op).unwrap();
+        assert!(df.is_injective(&op).unwrap());
+        assert_eq!(df.used_pes(&op).unwrap().card().unwrap(), 64);
+    }
+
+    #[test]
+    fn missing_part_is_rejected() {
+        let s = Schedule::new()
+            .tile("i", 8)
+            .parallel("i_i")
+            .order(["j", "k"]); // i_o missing
+        let err = s.check(&gemm()).unwrap_err();
+        assert!(err.0.contains("i_o"));
+    }
+
+    #[test]
+    fn double_scheduling_is_rejected() {
+        let s = Schedule::new().parallel("i").order(["i", "j", "k"]);
+        let err = s.check(&gemm()).unwrap_err();
+        assert!(err.0.contains("twice"));
+    }
+
+    #[test]
+    fn tiled_whole_dim_cannot_be_scheduled() {
+        let s = Schedule::new()
+            .tile("i", 4)
+            .parallel("i")
+            .order(["j", "k"]);
+        let err = s.check(&gemm()).unwrap_err();
+        assert!(err.0.contains("its parts"));
+    }
+
+    #[test]
+    fn unknown_part_is_rejected() {
+        let s = Schedule::new().parallel("z").order(["i", "j", "k"]);
+        assert!(s.check(&gemm()).is_err());
+    }
+
+    #[test]
+    fn tile_part_of_untiled_dim_is_rejected() {
+        let s = Schedule::new().parallel("i_i").order(["i_o", "j", "k"]);
+        let err = s.check(&gemm()).unwrap_err();
+        assert!(err.0.contains("not tiled"));
+    }
+
+    #[test]
+    fn zero_tile_factor_is_rejected() {
+        let s = Schedule::new()
+            .tile("i", 0)
+            .parallel("i_i")
+            .order(["i_o", "j", "k"]);
+        assert!(s.check(&gemm()).is_err());
+    }
+
+    #[test]
+    fn non_dividing_tile_factor_is_exact() {
+        // 16 tiled by 5: quotient extent ceil(16/5) = 4, remainder 5.
+        let op = gemm();
+        let s = Schedule::new()
+            .tile("i", 5)
+            .parallel("i_i")
+            .order(["i_o", "j", "k"]);
+        let df = s.lower(&op).unwrap();
+        assert!(df.is_injective(&op).unwrap());
+        // PEs 0..4 used (5 wide).
+        assert_eq!(df.used_pes(&op).unwrap().card().unwrap(), 5);
+    }
+
+    #[test]
+    fn expressible_accepts_tiled_skew_free() {
+        let op = gemm();
+        let df = tpu_schedule().lower(&op).unwrap();
+        assert!(expressible(&df, &op));
+    }
+
+    #[test]
+    fn expressible_rejects_skewed_time_stamp() {
+        let op = gemm();
+        // Figure 3: the systolic wavefront i + j + k is not a schedule.
+        let df = Dataflow::new(["i", "j"], ["i + j + k"]);
+        assert!(!expressible(&df, &op));
+    }
+
+    #[test]
+    fn expressible_rejects_multi_dim_space_stamp() {
+        let op = gemm();
+        // Eyeriss-style packing of two loops onto one PE dim.
+        let df = Dataflow::new(["j + 3*(i % 4)"], ["i", "k"]);
+        assert!(!expressible(&df, &op));
+    }
+
+    #[test]
+    fn part_extents() {
+        assert_eq!(Part::Outer("i".into(), 5).extent(16), 4);
+        assert_eq!(Part::Inner("i".into(), 5).extent(16), 5);
+        assert_eq!(Part::Whole("i".into()).extent(16), 16);
+        assert_eq!(Part::Inner("i".into(), 32).extent(16), 16);
+    }
+}

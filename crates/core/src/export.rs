@@ -1,0 +1,159 @@
+//! Rendering of performance reports as human-readable tables and CSV —
+//! the output formats the benchmark harness prints for every figure.
+
+use crate::metrics::PerformanceReport;
+use crate::op::Role;
+use std::fmt::Write as _;
+
+/// Renders a report as an aligned text table.
+pub fn to_table(report: &PerformanceReport) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "op: {}  dataflow: {}  MACs: {}",
+        report.op,
+        report.dataflow.as_deref().unwrap_or("<unnamed>"),
+        report.macs
+    );
+    let _ = writeln!(
+        s,
+        "{:<8} {:<7} {:>12} {:>12} {:>12} {:>12} {:>12} {:>9} {:>11}",
+        "tensor", "role", "total", "reuse", "unique", "spatial", "temporal", "factor", "class"
+    );
+    for (name, t) in &report.tensors {
+        let v = &t.volumes;
+        let _ = writeln!(
+            s,
+            "{:<8} {:<7} {:>12} {:>12} {:>12} {:>12} {:>12} {:>9.2} {:>11}",
+            name,
+            match t.role {
+                Role::Input => "input",
+                Role::Output => "output",
+            },
+            v.total,
+            v.reuse,
+            v.unique,
+            v.spatial_reuse,
+            v.temporal_reuse,
+            v.reuse_factor(),
+            v.reuse_class()
+        );
+    }
+    let u = &report.utilization;
+    let _ = writeln!(
+        s,
+        "utilization: avg {:.3} max {:.3}{} over {} stamps ({} PEs used)",
+        u.average,
+        u.max,
+        if u.max_is_exact { "" } else { " (probed)" },
+        u.time_stamps,
+        u.pes_used
+    );
+    let l = &report.latency;
+    let _ = writeln!(
+        s,
+        "latency: read {:.1} write {:.1} compute {:.1} -> total {:.1}",
+        l.read,
+        l.write,
+        l.compute,
+        l.total()
+    );
+    let b = &report.bandwidth;
+    let _ = writeln!(
+        s,
+        "bandwidth: interconnect {:.3} scratchpad {:.3} (elements/cycle)",
+        b.interconnect, b.scratchpad
+    );
+    let e = &report.energy;
+    let _ = writeln!(
+        s,
+        "energy: compute {:.0} register {:.0} noc {:.0} scratchpad {:.0} dram {:.0} -> {:.0}",
+        e.compute,
+        e.register,
+        e.noc,
+        e.scratchpad,
+        e.dram,
+        e.total()
+    );
+    s
+}
+
+/// The CSV header matching [`to_csv_row`].
+pub fn csv_header() -> &'static str {
+    "op,dataflow,tensor,role,total,reuse,unique,spatial_reuse,temporal_reuse,\
+     reuse_factor,avg_util,max_util,latency,ibw,sbw,energy"
+}
+
+/// Renders one CSV row per tensor of the report.
+pub fn to_csv_rows(report: &PerformanceReport) -> Vec<String> {
+    let mut out = Vec::new();
+    for (name, t) in &report.tensors {
+        let v = &t.volumes;
+        out.push(format!(
+            "{},{},{},{},{},{},{},{},{},{:.4},{:.4},{:.4},{:.1},{:.4},{:.4},{:.1}",
+            report.op,
+            report.dataflow.as_deref().unwrap_or(""),
+            name,
+            match t.role {
+                Role::Input => "input",
+                Role::Output => "output",
+            },
+            v.total,
+            v.reuse,
+            v.unique,
+            v.spatial_reuse,
+            v.temporal_reuse,
+            v.reuse_factor(),
+            report.utilization.average,
+            report.utilization.max,
+            report.latency.total(),
+            report.bandwidth.interconnect,
+            report.bandwidth.scratchpad,
+            report.energy.total(),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::Analysis;
+    use crate::arch::{ArchSpec, Interconnect};
+    use crate::dataflow::Dataflow;
+    use crate::op::TensorOp;
+
+    fn report() -> PerformanceReport {
+        let gemm = TensorOp::builder("gemm")
+            .dim("i", 2)
+            .dim("j", 2)
+            .dim("k", 4)
+            .read("A", ["i", "k"])
+            .read("B", ["k", "j"])
+            .write("Y", ["i", "j"])
+            .build()
+            .unwrap();
+        let df = Dataflow::new(["i", "j"], ["i + j + k"]).named("fig3");
+        let arch = ArchSpec::new("2x2", [2, 2], Interconnect::Systolic2D, 4.0);
+        Analysis::new(&gemm, &df, &arch).unwrap().report().unwrap()
+    }
+
+    #[test]
+    fn table_contains_key_numbers() {
+        let t = to_table(&report());
+        assert!(t.contains("MACs: 16"));
+        assert!(t.contains("tensor"));
+        assert!(t.contains("Y"));
+        assert!(t.contains("total 6.0"));
+    }
+
+    #[test]
+    fn csv_row_count_and_fields() {
+        let r = report();
+        let rows = to_csv_rows(&r);
+        assert_eq!(rows.len(), 3);
+        for row in &rows {
+            assert_eq!(row.split(',').count(), csv_header().split(',').count());
+        }
+    }
+}

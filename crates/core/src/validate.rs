@@ -1,0 +1,147 @@
+//! Dataflow validation: the legality conditions a (workload, dataflow,
+//! architecture) triple must satisfy before the performance model is
+//! meaningful.
+
+use crate::arch::ArchSpec;
+use crate::dataflow::Dataflow;
+use crate::op::{Role, TensorOp};
+use crate::Result;
+
+/// The outcome of validating one dataflow.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ValidationReport {
+    /// No two loop instances share a spacetime-stamp (one MAC per PE per
+    /// cycle, Section II-A).
+    pub injective: bool,
+    /// Every space-stamp lies inside the PE array.
+    pub in_bounds: bool,
+    /// Fraction of the PE array the dataflow ever uses.
+    pub pe_coverage: f64,
+    /// Input + output working footprint in elements (everything the
+    /// scratchpad must hold over the whole run if nothing is re-fetched
+    /// from DRAM).
+    pub footprint: u128,
+    /// Whether the footprint fits the architecture's scratchpad.
+    pub fits_scratchpad: bool,
+}
+
+impl ValidationReport {
+    /// Whether the dataflow can legally execute on the architecture.
+    pub fn is_valid(&self) -> bool {
+        self.injective && self.in_bounds
+    }
+}
+
+/// Validates a dataflow against a workload and an architecture.
+///
+/// ```
+/// use tenet_core::{validate, ArchSpec, Dataflow, Interconnect, TensorOp};
+/// let gemm = TensorOp::builder("gemm")
+///     .dim("i", 2).dim("j", 2).dim("k", 4)
+///     .read("A", ["i", "k"]).read("B", ["k", "j"]).write("Y", ["i", "j"])
+///     .build()?;
+/// let arch = ArchSpec::new("2x2", [2, 2], Interconnect::Systolic2D, 4.0);
+/// let good = Dataflow::new(["i", "j"], ["i + j + k"]);
+/// assert!(validate(&gemm, &good, &arch)?.is_valid());
+/// // Dropping k makes two instances collide on the same stamp.
+/// let bad = Dataflow::new(["i", "j"], ["i + j"]);
+/// assert!(!validate(&gemm, &bad, &arch)?.is_valid());
+/// # Ok::<(), tenet_core::Error>(())
+/// ```
+pub fn validate(op: &TensorOp, df: &Dataflow, arch: &ArchSpec) -> Result<ValidationReport> {
+    let injective = df.is_injective(op)?;
+    let used = df.used_pes(op)?;
+    let pe_box = arch.pe_set()?;
+    let in_bounds =
+        df.n_space() == arch.pe_dims.len() && used.is_subset(&pe_box)?;
+    let used_count = used.card()? as f64;
+    let pe_coverage = if arch.pe_count() == 0 {
+        0.0
+    } else {
+        used_count / arch.pe_count() as f64
+    };
+    let mut footprint: u128 = 0;
+    for t in op
+        .tensors(Role::Input)
+        .into_iter()
+        .chain(op.tensors(Role::Output))
+    {
+        footprint += op.footprint(t)?.card()?;
+    }
+    Ok(ValidationReport {
+        injective,
+        in_bounds,
+        pe_coverage,
+        footprint,
+        fits_scratchpad: footprint <= arch.scratchpad_capacity as u128,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::Interconnect;
+
+    fn gemm() -> TensorOp {
+        TensorOp::builder("gemm")
+            .dim("i", 4)
+            .dim("j", 4)
+            .dim("k", 4)
+            .read("A", ["i", "k"])
+            .read("B", ["k", "j"])
+            .write("Y", ["i", "j"])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn valid_dataflow_passes() {
+        let op = gemm();
+        let arch = ArchSpec::new("4x4", [4, 4], Interconnect::Systolic2D, 4.0);
+        let df = Dataflow::new(["i", "j"], ["i + j + k"]);
+        let r = validate(&op, &df, &arch).unwrap();
+        assert!(r.is_valid());
+        assert_eq!(r.pe_coverage, 1.0);
+        assert_eq!(r.footprint, 3 * 16);
+        assert!(r.fits_scratchpad);
+    }
+
+    #[test]
+    fn collision_detected() {
+        let op = gemm();
+        let arch = ArchSpec::new("4x4", [4, 4], Interconnect::Systolic2D, 4.0);
+        let df = Dataflow::new(["i", "j"], ["k mod 2"]);
+        let r = validate(&op, &df, &arch).unwrap();
+        assert!(!r.injective);
+    }
+
+    #[test]
+    fn out_of_bounds_detected() {
+        let op = gemm();
+        let arch = ArchSpec::new("2x2", [2, 2], Interconnect::Systolic2D, 4.0);
+        let df = Dataflow::new(["i", "j"], ["i + j + k"]);
+        let r = validate(&op, &df, &arch).unwrap();
+        assert!(!r.in_bounds);
+        assert!(!r.is_valid());
+    }
+
+    #[test]
+    fn partial_coverage_measured() {
+        let op = gemm();
+        let arch = ArchSpec::new("8x8", [8, 8], Interconnect::Systolic2D, 4.0);
+        let df = Dataflow::new(["i", "j"], ["i + j + k"]);
+        let r = validate(&op, &df, &arch).unwrap();
+        assert!(r.is_valid());
+        assert_eq!(r.pe_coverage, 16.0 / 64.0);
+    }
+
+    #[test]
+    fn scratchpad_capacity_checked() {
+        let op = gemm();
+        let mut arch = ArchSpec::new("4x4", [4, 4], Interconnect::Systolic2D, 4.0);
+        arch.scratchpad_capacity = 10;
+        let df = Dataflow::new(["i", "j"], ["i + j + k"]);
+        let r = validate(&op, &df, &arch).unwrap();
+        assert!(!r.fits_scratchpad);
+    }
+}

@@ -1,0 +1,183 @@
+//! Dataflow enumeration with the pruning strategy of Section VI-B:
+//! enumerate the loop dimensions assigned to the PE array (data movement
+//! is then rectilinear along the array axes), the ordering of the
+//! remaining temporal dimensions, and an optional skew of the innermost
+//! time dimension (the affine transformations only relation-centric
+//! notation can express).
+
+use tenet_core::{Dataflow, Result, TensorOp};
+
+/// Generates every permutation of `items` (Heap's algorithm), capped at
+/// `limit` permutations to keep wide loop nests tractable.
+fn permutations(items: &[String], limit: usize) -> Vec<Vec<String>> {
+    let mut out = Vec::new();
+    let mut items: Vec<String> = items.to_vec();
+    fn rec(k: usize, items: &mut Vec<String>, out: &mut Vec<Vec<String>>, limit: usize) {
+        if out.len() >= limit {
+            return;
+        }
+        if k <= 1 {
+            out.push(items.clone());
+            return;
+        }
+        for i in 0..k {
+            rec(k - 1, items, out, limit);
+            if k.is_multiple_of(2) {
+                items.swap(i, k - 1);
+            } else {
+                items.swap(0, k - 1);
+            }
+        }
+    }
+    let k = items.len();
+    rec(k, &mut items, &mut out, limit);
+    out
+}
+
+/// Enumerates dataflows for a 2-D `pe × pe` array: every ordered pair of
+/// loop dims becomes the space-stamp (tiled by `pe`), every permutation of
+/// the remaining dims the outer time-stamps, with and without a systolic
+/// skew of the innermost time dimension.
+pub fn enumerate_2d(op: &TensorOp, pe: i64) -> Result<Vec<Dataflow>> {
+    let names: Vec<String> = op.dims().iter().map(|d| d.name.clone()).collect();
+    let mut out = Vec::new();
+    for a in 0..names.len() {
+        for b in 0..names.len() {
+            if a == b {
+                continue;
+            }
+            let (da, db) = (&names[a], &names[b]);
+            let rest: Vec<String> = names
+                .iter()
+                .filter(|n| *n != da && *n != db)
+                .cloned()
+                .collect();
+            for perm in permutations(&rest, 24) {
+                // Base time: quotients of the tiled dims, then the
+                // remaining dims in permutation order.
+                let mut base: Vec<String> = vec![
+                    format!("floor({da}/{pe})"),
+                    format!("floor({db}/{pe})"),
+                ];
+                base.extend(perm.iter().cloned());
+                if base.is_empty() {
+                    continue;
+                }
+                // Unskewed variant.
+                let name = format!(
+                    "({}{}-P | {}-T)",
+                    da.to_uppercase(),
+                    db.to_uppercase(),
+                    perm.last().cloned().unwrap_or_default().to_uppercase()
+                );
+                out.push(
+                    Dataflow::new(
+                        [format!("{da} mod {pe}"), format!("{db} mod {pe}")],
+                        base.clone(),
+                    )
+                    .named(&name),
+                );
+                // Skewed variant: fold the innermost remaining dim into a
+                // wavefront with the space-stamps (only expressible in
+                // relation-centric notation).
+                if let Some(inner) = perm.last() {
+                    let mut skew = base.clone();
+                    skew.pop();
+                    skew.push(format!("{da} mod {pe} + {db} mod {pe} + {inner}"));
+                    let name = format!(
+                        "({}{}-P | {},{}{}{}-T)",
+                        da.to_uppercase(),
+                        db.to_uppercase(),
+                        inner.to_uppercase(),
+                        da.to_uppercase(),
+                        db.to_uppercase(),
+                        inner.to_uppercase()
+                    );
+                    out.push(
+                        Dataflow::new(
+                            [format!("{da} mod {pe}"), format!("{db} mod {pe}")],
+                            skew,
+                        )
+                        .named(&name),
+                    );
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Enumerates dataflows for a 1-D array of `pe1d` PEs: each loop dim in
+/// turn is spatial; the rest become time in every permutation.
+pub fn enumerate_1d(op: &TensorOp, pe1d: i64) -> Result<Vec<Dataflow>> {
+    let names: Vec<String> = op.dims().iter().map(|d| d.name.clone()).collect();
+    let mut out = Vec::new();
+    for a in 0..names.len() {
+        let da = &names[a];
+        let rest: Vec<String> = names.iter().filter(|n| *n != da).cloned().collect();
+        for perm in permutations(&rest, 24) {
+            let mut time: Vec<String> = vec![format!("floor({da}/{pe1d})")];
+            time.extend(perm.iter().cloned());
+            let name = format!(
+                "({}-P | {}-T)",
+                da.to_uppercase(),
+                perm.last().cloned().unwrap_or_default().to_uppercase()
+            );
+            out.push(Dataflow::new([format!("{da} mod {pe1d}")], time).named(&name));
+        }
+    }
+    Ok(out)
+}
+
+/// Both enumerations combined.
+pub fn enumerate_all(op: &TensorOp, pe: i64, pe1d: i64) -> Result<Vec<Dataflow>> {
+    let mut out = enumerate_2d(op, pe)?;
+    out.extend(enumerate_1d(op, pe1d)?);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tenet_workloads::kernels;
+
+    #[test]
+    fn gemm_enumeration_counts() {
+        let op = kernels::gemm(16, 16, 16).unwrap();
+        // 2D: 6 ordered pairs x 1 permutation x 2 (skew) = 12.
+        assert_eq!(enumerate_2d(&op, 8).unwrap().len(), 12);
+        // 1D: 3 choices x 2 permutations = 6.
+        assert_eq!(enumerate_1d(&op, 64).unwrap().len(), 6);
+    }
+
+    #[test]
+    fn enumerated_dataflows_are_injective() {
+        let op = kernels::gemm(16, 16, 16).unwrap();
+        for df in enumerate_all(&op, 8, 64).unwrap() {
+            assert!(
+                df.is_injective(&op).unwrap(),
+                "{:?} not injective",
+                df.name()
+            );
+        }
+    }
+
+    #[test]
+    fn conv_enumeration_is_larger() {
+        let op = kernels::conv2d(8, 8, 8, 8, 3, 3).unwrap();
+        let n2 = enumerate_2d(&op, 8).unwrap().len();
+        // 30 ordered pairs x 24 permutations x 2 = 1440.
+        assert_eq!(n2, 1440);
+    }
+
+    #[test]
+    fn skewed_variants_present() {
+        let op = kernels::gemm(16, 16, 16).unwrap();
+        let dfs = enumerate_2d(&op, 8).unwrap();
+        let skewed = dfs
+            .iter()
+            .filter(|d| d.time_exprs().last().unwrap().contains('+'))
+            .count();
+        assert_eq!(skewed, 6);
+    }
+}

@@ -1,0 +1,71 @@
+//! Design-space size formulas (Section IV-A).
+//!
+//! Under the paper's normalization (one MAC per PE, 2-D array, unit sizes
+//! and coefficients), a MAESTRO mapping is an arrangement of `n`
+//! primitives of which exactly two are `SpatialMap`, giving
+//! `n! · C(n,2)` mappings; a relation-centric dataflow is an `n × n`
+//! 0/1 transformation matrix, giving `2^(n²)` dataflows.
+
+/// `n!`.
+fn factorial(n: u32) -> u128 {
+    (1..=n as u128).product::<u128>().max(1)
+}
+
+/// `C(n, 2)`.
+fn choose2(n: u32) -> u128 {
+    (n as u128) * (n as u128 - 1) / 2
+}
+
+/// MAESTRO design-space size: `n! · C(n, 2)`.
+///
+/// ```
+/// // GEMM has n = 3 loops: 3! * 3 = 18 (Section IV-A).
+/// assert_eq!(tenet_dse::space_size::data_centric(3), 18);
+/// ```
+pub fn data_centric(n_loops: u32) -> u128 {
+    factorial(n_loops) * choose2(n_loops)
+}
+
+/// Relation-centric design-space size: `2^(n²)`.
+///
+/// ```
+/// // GEMM: 2^9 = 512, i.e. 28x the data-centric space.
+/// assert_eq!(tenet_dse::space_size::relation_centric(3), 512);
+/// ```
+pub fn relation_centric(n_loops: u32) -> u128 {
+    1u128 << (n_loops * n_loops)
+}
+
+/// The pruned 2D-CONV space of Section VI-B: 12 legal data movements per
+/// input tensor and 180 boundary data assignments.
+pub fn pruned_conv_space() -> u128 {
+    12 * 12 * 180
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gemm_sizes_match_paper() {
+        assert_eq!(data_centric(3), 18);
+        assert_eq!(relation_centric(3), 512);
+        // "which is 28x larger"
+        assert_eq!(relation_centric(3) / data_centric(3), 28);
+    }
+
+    #[test]
+    fn conv_pruned_space_matches_paper() {
+        assert_eq!(pruned_conv_space(), 25_920);
+    }
+
+    #[test]
+    fn relation_space_grows_much_faster() {
+        for n in 3..7 {
+            assert!(relation_centric(n) > data_centric(n));
+        }
+        // 2D-CONV with 6 loops: 2^36 vs 6!*15.
+        assert_eq!(relation_centric(6), 1 << 36);
+        assert_eq!(data_centric(6), 720 * 15);
+    }
+}

@@ -1,0 +1,434 @@
+//! Parser for hardware specifications.
+//!
+//! TENET's automatic flow (Figure 2) takes a hardware specification next
+//! to the tensor operation. The accepted format is a small block
+//! language:
+//!
+//! ```text
+//! # A TPU-like 8x8 systolic array.
+//! arch "tpu8x8" {
+//!   array = [8, 8]
+//!   interconnect = systolic2d
+//!   bandwidth = 64
+//!   scratchpad_capacity = 1048576      # optional, tensor elements
+//!   energy {                           # optional, relative to one MAC
+//!     mac = 1.0
+//!     register = 1.0
+//!     noc_hop = 2.0
+//!     scratchpad = 6.0
+//!     dram = 200.0
+//!   }
+//! }
+//! ```
+//!
+//! Interconnect values mirror [`Interconnect`]: `systolic1d`,
+//! `systolic2d`, `mesh`, `multicast(radius = R)`, and
+//! `custom { offsets = [[0,1],[1,0]] same_cycle = false }`.
+
+use crate::error::{ParseError, Result};
+use crate::lex::{Cursor, Tok};
+use tenet_core::{ArchSpec, EnergyModel, Interconnect};
+
+/// Parses a hardware specification into an [`ArchSpec`].
+///
+/// ```
+/// let arch = tenet_frontend::parse_arch(
+///     "arch \"tpu\" { array = [8, 8] interconnect = systolic2d bandwidth = 64 }",
+/// )?;
+/// assert_eq!(arch.pe_count(), 64);
+/// # Ok::<(), tenet_frontend::ParseError>(())
+/// ```
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] on unknown keys, missing mandatory fields
+/// (`array`, `interconnect`, `bandwidth`), or ill-typed values.
+pub fn parse_arch(source: &str) -> Result<ArchSpec> {
+    let mut cur = Cursor::new(source)?;
+    let spec = parse_arch_from(&mut cur)?;
+    if !cur.at_eof() {
+        return Err(cur.error_here(format!(
+            "unexpected {} after arch block",
+            cur.peek().tok
+        )));
+    }
+    Ok(spec)
+}
+
+// Parses one arch block from an open cursor, leaving trailing tokens for
+// the caller.
+pub(crate) fn parse_arch_from(cur: &mut Cursor) -> Result<ArchSpec> {
+    let kw = cur.expect_ident("`arch`")?;
+    if kw.0 != "arch" {
+        return Err(ParseError::new(
+            format!("expected `arch`, found `{}`", kw.0),
+            kw.1.line,
+            kw.1.col,
+        ));
+    }
+    let name = match cur.peek().tok.clone() {
+        Tok::Str(s) => {
+            cur.bump();
+            s
+        }
+        Tok::Ident(s) => {
+            cur.bump();
+            s
+        }
+        _ => "arch".to_string(),
+    };
+    cur.expect(&Tok::LBrace, "`{` opening arch block")?;
+
+    let mut array: Option<Vec<i64>> = None;
+    let mut interconnect: Option<Interconnect> = None;
+    let mut bandwidth: Option<f64> = None;
+    let mut capacity: Option<u64> = None;
+    let mut energy: Option<EnergyModel> = None;
+
+    while cur.peek().tok != Tok::RBrace {
+        let (key, sp) = cur.expect_ident("field name")?;
+        match key.as_str() {
+            "array" => {
+                cur.expect(&Tok::Assign, "`=`")?;
+                set_once(&mut array, parse_int_list(cur)?, &key, &sp)?;
+            }
+            "interconnect" => {
+                cur.expect(&Tok::Assign, "`=`")?;
+                set_once(&mut interconnect, parse_interconnect(cur)?, &key, &sp)?;
+            }
+            "bandwidth" => {
+                cur.expect(&Tok::Assign, "`=`")?;
+                set_once(&mut bandwidth, parse_number(cur)?, &key, &sp)?;
+            }
+            "scratchpad_capacity" => {
+                cur.expect(&Tok::Assign, "`=`")?;
+                let v = cur.expect_int("capacity in elements")?;
+                if v < 0 {
+                    return Err(cur.error_here("capacity must be non-negative"));
+                }
+                set_once(&mut capacity, v as u64, &key, &sp)?;
+            }
+            "energy" => {
+                // `energy { ... }` or `energy = { ... }`.
+                cur.eat(&Tok::Assign);
+                set_once(&mut energy, parse_energy(cur)?, &key, &sp)?;
+            }
+            other => {
+                return Err(ParseError::new(
+                    format!(
+                        "unknown arch field `{other}` (expected array, interconnect, \
+                         bandwidth, scratchpad_capacity, energy)"
+                    ),
+                    sp.line,
+                    sp.col,
+                ))
+            }
+        }
+    }
+    cur.expect(&Tok::RBrace, "`}`")?;
+
+    let array = array.ok_or_else(|| cur.error_here("arch block is missing `array`"))?;
+    if array.is_empty() || array.iter().any(|&d| d <= 0) {
+        return Err(cur.error_here("`array` extents must all be positive"));
+    }
+    let interconnect =
+        interconnect.ok_or_else(|| cur.error_here("arch block is missing `interconnect`"))?;
+    let bandwidth =
+        bandwidth.ok_or_else(|| cur.error_here("arch block is missing `bandwidth`"))?;
+    if bandwidth <= 0.0 || bandwidth.is_nan() {
+        return Err(cur.error_here("`bandwidth` must be positive"));
+    }
+
+    let mut spec = ArchSpec::new(&name, array, interconnect, bandwidth);
+    if let Some(c) = capacity {
+        spec.scratchpad_capacity = c;
+    }
+    if let Some(e) = energy {
+        spec.energy = e;
+    }
+    Ok(spec)
+}
+
+fn set_once<T>(
+    slot: &mut Option<T>,
+    value: T,
+    key: &str,
+    sp: &crate::lex::Spanned,
+) -> Result<()> {
+    if slot.is_some() {
+        return Err(ParseError::new(
+            format!("duplicate `{key}` field"),
+            sp.line,
+            sp.col,
+        ));
+    }
+    *slot = Some(value);
+    Ok(())
+}
+
+fn parse_number(cur: &mut Cursor) -> Result<f64> {
+    match cur.peek().tok.clone() {
+        Tok::Int(v) => {
+            cur.bump();
+            Ok(v as f64)
+        }
+        Tok::Float(text) => {
+            cur.bump();
+            text.parse::<f64>()
+                .map_err(|_| cur.error_here(format!("invalid decimal literal `{text}`")))
+        }
+        other => Err(cur.error_here(format!("expected a number, found {other}"))),
+    }
+}
+
+fn parse_int_list(cur: &mut Cursor) -> Result<Vec<i64>> {
+    cur.expect(&Tok::LBracket, "`[`")?;
+    let mut out = vec![cur.expect_int("extent")?];
+    while cur.eat(&Tok::Comma) {
+        out.push(cur.expect_int("extent")?);
+    }
+    cur.expect(&Tok::RBracket, "`]`")?;
+    Ok(out)
+}
+
+fn parse_interconnect(cur: &mut Cursor) -> Result<Interconnect> {
+    let (kind, sp) = cur.expect_ident("interconnect kind")?;
+    match kind.as_str() {
+        "systolic1d" => Ok(Interconnect::Systolic1D),
+        "systolic2d" => Ok(Interconnect::Systolic2D),
+        "mesh" => Ok(Interconnect::Mesh),
+        "multicast" => {
+            cur.expect(&Tok::LParen, "`(` after multicast")?;
+            let (k, ksp) = cur.expect_ident("`radius`")?;
+            if k != "radius" {
+                return Err(ParseError::new(
+                    format!("expected `radius`, found `{k}`"),
+                    ksp.line,
+                    ksp.col,
+                ));
+            }
+            cur.expect(&Tok::Assign, "`=`")?;
+            let radius = cur.expect_int("radius")?;
+            cur.expect(&Tok::RParen, "`)`")?;
+            if radius <= 0 {
+                return Err(cur.error_here("multicast radius must be positive"));
+            }
+            Ok(Interconnect::Multicast { radius })
+        }
+        "custom" => {
+            cur.expect(&Tok::LBrace, "`{` opening custom block")?;
+            let mut offsets: Option<Vec<Vec<i64>>> = None;
+            let mut same_cycle = false;
+            while cur.peek().tok != Tok::RBrace {
+                let (k, ksp) = cur.expect_ident("`offsets` or `same_cycle`")?;
+                cur.expect(&Tok::Assign, "`=`")?;
+                match k.as_str() {
+                    "offsets" => {
+                        cur.expect(&Tok::LBracket, "`[`")?;
+                        let mut rows = vec![parse_int_list(cur)?];
+                        while cur.eat(&Tok::Comma) {
+                            rows.push(parse_int_list(cur)?);
+                        }
+                        cur.expect(&Tok::RBracket, "`]`")?;
+                        offsets = Some(rows);
+                    }
+                    "same_cycle" => {
+                        let (v, vsp) = cur.expect_ident("`true` or `false`")?;
+                        same_cycle = match v.as_str() {
+                            "true" => true,
+                            "false" => false,
+                            other => {
+                                return Err(ParseError::new(
+                                    format!("expected `true` or `false`, found `{other}`"),
+                                    vsp.line,
+                                    vsp.col,
+                                ))
+                            }
+                        };
+                    }
+                    other => {
+                        return Err(ParseError::new(
+                            format!("unknown custom-interconnect field `{other}`"),
+                            ksp.line,
+                            ksp.col,
+                        ))
+                    }
+                }
+            }
+            cur.expect(&Tok::RBrace, "`}`")?;
+            let offsets =
+                offsets.ok_or_else(|| cur.error_here("custom interconnect needs `offsets`"))?;
+            Ok(Interconnect::Custom {
+                offsets,
+                same_cycle,
+            })
+        }
+        other => Err(ParseError::new(
+            format!(
+                "unknown interconnect `{other}` (expected systolic1d, systolic2d, mesh, \
+                 multicast(radius = R), custom {{ ... }})"
+            ),
+            sp.line,
+            sp.col,
+        )),
+    }
+}
+
+fn parse_energy(cur: &mut Cursor) -> Result<EnergyModel> {
+    cur.expect(&Tok::LBrace, "`{` opening energy block")?;
+    let mut e = EnergyModel::default();
+    while cur.peek().tok != Tok::RBrace {
+        let (k, ksp) = cur.expect_ident("energy field")?;
+        cur.expect(&Tok::Assign, "`=`")?;
+        let v = parse_number(cur)?;
+        if v < 0.0 {
+            return Err(cur.error_here("energy costs must be non-negative"));
+        }
+        match k.as_str() {
+            "mac" => e.mac = v,
+            "register" | "reg" => e.register = v,
+            "noc_hop" | "hop" => e.noc_hop = v,
+            "scratchpad" | "spad" => e.scratchpad = v,
+            "dram" => e.dram = v,
+            other => {
+                return Err(ParseError::new(
+                    format!(
+                        "unknown energy field `{other}` (expected mac, register, noc_hop, \
+                         scratchpad, dram)"
+                    ),
+                    ksp.line,
+                    ksp.col,
+                ))
+            }
+        }
+    }
+    cur.expect(&Tok::RBrace, "`}`")?;
+    Ok(e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_minimal_spec() {
+        let a = parse_arch(
+            "arch \"tpu\" { array = [8, 8] interconnect = systolic2d bandwidth = 64 }",
+        )
+        .unwrap();
+        assert_eq!(a.name, "tpu");
+        assert_eq!(a.pe_dims, vec![8, 8]);
+        assert_eq!(a.interconnect, Interconnect::Systolic2D);
+        assert_eq!(a.bandwidth, 64.0);
+        // Defaults survive.
+        assert_eq!(a.energy, EnergyModel::default());
+    }
+
+    #[test]
+    fn parses_full_spec_with_energy_and_comments() {
+        let a = parse_arch(
+            "# Eyeriss-like array
+             arch eyeriss {
+               array = [12, 14]
+               interconnect = mesh
+               bandwidth = 2.5             // elements per cycle
+               scratchpad_capacity = 108000
+               energy {
+                 mac = 1.0
+                 reg = 0.9
+                 hop = 2.0
+                 spad = 6.0
+                 dram = 200.0
+               }
+             }",
+        )
+        .unwrap();
+        assert_eq!(a.pe_count(), 168);
+        assert_eq!(a.bandwidth, 2.5);
+        assert_eq!(a.scratchpad_capacity, 108_000);
+        assert_eq!(a.energy.register, 0.9);
+    }
+
+    #[test]
+    fn parses_multicast_radius() {
+        let a = parse_arch(
+            "arch m { array = [64] interconnect = multicast(radius = 3) bandwidth = 16 }",
+        )
+        .unwrap();
+        assert_eq!(a.interconnect, Interconnect::Multicast { radius: 3 });
+    }
+
+    #[test]
+    fn parses_custom_offsets() {
+        let a = parse_arch(
+            "arch c { array = [4, 4]
+                      interconnect = custom { offsets = [[0, 1], [1, 0], [1, 1]]
+                                              same_cycle = true }
+                      bandwidth = 8 }",
+        )
+        .unwrap();
+        assert_eq!(
+            a.interconnect,
+            Interconnect::Custom {
+                offsets: vec![vec![0, 1], vec![1, 0], vec![1, 1]],
+                same_cycle: true,
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_missing_mandatory_field() {
+        let err = parse_arch("arch a { array = [4] bandwidth = 8 }").unwrap_err();
+        assert!(err.message().contains("missing `interconnect`"));
+    }
+
+    #[test]
+    fn rejects_duplicate_field() {
+        let err = parse_arch(
+            "arch a { array = [4] array = [8] interconnect = mesh bandwidth = 8 }",
+        )
+        .unwrap_err();
+        assert!(err.message().contains("duplicate `array`"));
+    }
+
+    #[test]
+    fn rejects_unknown_field_with_suggestion_list() {
+        let err = parse_arch(
+            "arch a { array = [4] interconnect = mesh bandwidth = 8 banana = 1 }",
+        )
+        .unwrap_err();
+        assert!(err.message().contains("unknown arch field `banana`"));
+        assert!(err.message().contains("bandwidth"));
+    }
+
+    #[test]
+    fn rejects_zero_extent() {
+        let err =
+            parse_arch("arch a { array = [0] interconnect = mesh bandwidth = 8 }").unwrap_err();
+        assert!(err.message().contains("positive"));
+    }
+
+    #[test]
+    fn rejects_zero_bandwidth() {
+        let err =
+            parse_arch("arch a { array = [4] interconnect = mesh bandwidth = 0 }").unwrap_err();
+        assert!(err.message().contains("bandwidth"));
+    }
+
+    #[test]
+    fn rejects_unknown_interconnect() {
+        let err =
+            parse_arch("arch a { array = [4] interconnect = torus bandwidth = 8 }").unwrap_err();
+        assert!(err.message().contains("unknown interconnect `torus`"));
+    }
+
+    #[test]
+    fn rejects_negative_energy() {
+        let err = parse_arch(
+            "arch a { array = [4] interconnect = mesh bandwidth = 8 energy { mac = -1 } }",
+        )
+        .unwrap_err();
+        // -1 lexes as `-` `1`, so this surfaces as a number-expected error.
+        assert!(!err.message().is_empty());
+    }
+}

@@ -1,0 +1,459 @@
+//! Parser for the relation-centric dataflow notation.
+//!
+//! Three equivalent surface forms are accepted, all taken from the paper:
+//!
+//! 1. The combined Definition-1 form:
+//!    `{ S[i,j,k] -> (PE[i,j] | T[i+j+k]) }`
+//! 2. Two separate relations, in either order (Table III):
+//!    `{ S[i,j,k] -> PE[i%8, j%8] }  { S[i,j,k] -> T[fl(i/8), fl(j/8), i%8+j%8+k] }`
+//! 3. A named block form convenient for files:
+//!    ```text
+//!    dataflow "(IJ-P | J,IJK-T)" {
+//!      space = [i % 8, j % 8]
+//!      time  = [fl(i/8), fl(j/8), i % 8 + j % 8 + k]
+//!    }
+//!    ```
+//!
+//! The parser records the iterator tuple so the dataflow can be
+//! cross-checked against the kernel it is applied to.
+
+use crate::error::{ParseError, Result};
+use crate::expr::Expr;
+use crate::lex::{Cursor, Tok};
+use tenet_core::{Dataflow, TensorOp};
+
+/// A parsed dataflow: the iterator tuple it was written against plus the
+/// space-stamp and time-stamp expressions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsedDataflow {
+    /// Optional display name (from the block form's string literal).
+    pub name: Option<String>,
+    /// Iterator names as written in `S[...]` (empty for the block form,
+    /// where iterators are implied by the kernel).
+    pub iters: Vec<String>,
+    /// Space-stamp expressions.
+    pub space: Vec<Expr>,
+    /// Time-stamp expressions.
+    pub time: Vec<Expr>,
+}
+
+impl ParsedDataflow {
+    /// Lowers to a [`Dataflow`].
+    pub fn to_dataflow(&self) -> Dataflow {
+        let space: Vec<String> = self.space.iter().map(Expr::to_notation).collect();
+        let time: Vec<String> = self.time.iter().map(Expr::to_notation).collect();
+        let df = Dataflow::new(space, time);
+        match &self.name {
+            Some(n) => df.named(n),
+            None => df,
+        }
+    }
+
+    /// Checks that the dataflow is compatible with `op`: every iterator
+    /// named in `S[...]` (if written) must be a loop of `op`, and every
+    /// stamp expression may only use iterators of `op`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseError`] naming the first offending iterator.
+    pub fn check_against(&self, op: &TensorOp) -> Result<()> {
+        let dims: Vec<&str> = op.dims().iter().map(|d| d.name.as_str()).collect();
+        for it in &self.iters {
+            if !dims.contains(&it.as_str()) {
+                return Err(ParseError::new(
+                    format!(
+                        "dataflow iterator `{it}` is not a loop of kernel `{}` \
+                         (loops: {})",
+                        op.name(),
+                        dims.join(", ")
+                    ),
+                    1,
+                    1,
+                ));
+            }
+        }
+        for e in self.space.iter().chain(self.time.iter()) {
+            for v in e.free_vars() {
+                if !dims.contains(&v.as_str()) {
+                    return Err(ParseError::new(
+                        format!(
+                            "stamp expression `{e}` uses `{v}`, which is not a loop of \
+                             kernel `{}`",
+                            op.name()
+                        ),
+                        1,
+                        1,
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Parses dataflow notation text into a [`Dataflow`].
+///
+/// ```
+/// let df = tenet_frontend::parse_dataflow(
+///     "{ S[i,j,k] -> (PE[i,j] | T[i + j + k]) }",
+/// )?;
+/// assert_eq!(df.space_exprs(), ["i", "j"]);
+/// assert_eq!(df.time_exprs(), ["i + j + k"]);
+/// # Ok::<(), tenet_frontend::ParseError>(())
+/// ```
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] on malformed relations, mismatched iterator
+/// tuples between the `PE` and `T` relations, or missing stamps.
+pub fn parse_dataflow(source: &str) -> Result<Dataflow> {
+    Ok(parse_dataflow_ast(source)?.to_dataflow())
+}
+
+/// Parses dataflow notation into its surface form.
+pub fn parse_dataflow_ast(source: &str) -> Result<ParsedDataflow> {
+    let mut cur = Cursor::new(source)?;
+    let df = parse_dataflow_from(&mut cur)?;
+    if !cur.at_eof() {
+        return Err(cur.error_here(format!(
+            "unexpected {} after dataflow",
+            cur.peek().tok
+        )));
+    }
+    Ok(df)
+}
+
+// Parses one dataflow (relation or block form) from an open cursor,
+// leaving trailing tokens for the caller.
+pub(crate) fn parse_dataflow_from(cur: &mut Cursor) -> Result<ParsedDataflow> {
+    let df = match cur.peek().tok.clone() {
+        Tok::LBrace => parse_relations(cur)?,
+        Tok::Ident(kw) if kw == "dataflow" => parse_block(cur)?,
+        other => {
+            return Err(cur.error_here(format!(
+                "expected `{{` or `dataflow`, found {other}"
+            )))
+        }
+    };
+    if df.space.is_empty() {
+        return Err(cur.error_here("dataflow has no space-stamp (PE) dimensions"));
+    }
+    if df.time.is_empty() {
+        return Err(cur.error_here("dataflow has no time-stamp (T) dimensions"));
+    }
+    Ok(df)
+}
+
+// `{ S[..] -> ... }` possibly followed by a second `{ ... }`.
+fn parse_relations(cur: &mut Cursor) -> Result<ParsedDataflow> {
+    let mut iters: Option<Vec<String>> = None;
+    let mut space: Option<Vec<Expr>> = None;
+    let mut time: Option<Vec<Expr>> = None;
+
+    // Stop as soon as both stamps are known so that a problem file may
+    // hold several relation-form dataflows back to back.
+    while cur.peek().tok == Tok::LBrace && (space.is_none() || time.is_none()) {
+        parse_one_relation(cur, &mut iters, &mut space, &mut time)?;
+    }
+    Ok(ParsedDataflow {
+        name: None,
+        iters: iters.unwrap_or_default(),
+        space: space.unwrap_or_default(),
+        time: time.unwrap_or_default(),
+    })
+}
+
+fn parse_one_relation(
+    cur: &mut Cursor,
+    iters: &mut Option<Vec<String>>,
+    space: &mut Option<Vec<Expr>>,
+    time: &mut Option<Vec<Expr>>,
+) -> Result<()> {
+    cur.expect(&Tok::LBrace, "`{`")?;
+    let (dom, sp) = cur.expect_ident("domain tuple name (e.g. `S`)")?;
+    if dom != "S" {
+        return Err(ParseError::new(
+            format!("dataflow domain must be the statement tuple `S`, found `{dom}`"),
+            sp.line,
+            sp.col,
+        ));
+    }
+    let these_iters = parse_ident_tuple(cur)?;
+    match iters {
+        None => *iters = Some(these_iters),
+        Some(prev) => {
+            if *prev != these_iters {
+                return Err(cur.error_here(format!(
+                    "iterator tuple [{}] disagrees with earlier [{}]",
+                    these_iters.join(", "),
+                    prev.join(", ")
+                )));
+            }
+        }
+    }
+    cur.expect(&Tok::Arrow, "`->`")?;
+
+    if cur.eat(&Tok::LParen) {
+        // Combined form: (PE[...] | T[...]).
+        parse_stamp(cur, "PE", space)?;
+        cur.expect(&Tok::Pipe, "`|` between PE and T stamps")?;
+        parse_stamp(cur, "T", time)?;
+        cur.expect(&Tok::RParen, "`)`")?;
+    } else {
+        let which = match &cur.peek().tok {
+            Tok::Ident(n) if n == "PE" => "PE",
+            Tok::Ident(n) if n == "T" => "T",
+            other => {
+                return Err(cur.error_here(format!(
+                    "expected `PE[...]`, `T[...]`, or `(PE[...] | T[...])`, found {other}"
+                )))
+            }
+        };
+        if which == "PE" {
+            parse_stamp(cur, "PE", space)?;
+        } else {
+            parse_stamp(cur, "T", time)?;
+        }
+    }
+    cur.expect(&Tok::RBrace, "`}`")?;
+    Ok(())
+}
+
+fn parse_stamp(cur: &mut Cursor, expected: &str, slot: &mut Option<Vec<Expr>>) -> Result<()> {
+    let (name, sp) = cur.expect_ident("stamp tuple name")?;
+    if name != expected {
+        return Err(ParseError::new(
+            format!("expected `{expected}[...]`, found `{name}`"),
+            sp.line,
+            sp.col,
+        ));
+    }
+    let exprs = parse_expr_tuple(cur)?;
+    if slot.is_some() {
+        return Err(ParseError::new(
+            format!("duplicate `{expected}` stamp"),
+            sp.line,
+            sp.col,
+        ));
+    }
+    *slot = Some(exprs);
+    Ok(())
+}
+
+// `dataflow "name" { space = [..] time = [..] }`
+fn parse_block(cur: &mut Cursor) -> Result<ParsedDataflow> {
+    cur.bump(); // `dataflow`
+    let name = match cur.peek().tok.clone() {
+        Tok::Str(s) => {
+            cur.bump();
+            Some(s)
+        }
+        _ => None,
+    };
+    cur.expect(&Tok::LBrace, "`{` opening dataflow block")?;
+    let mut space: Option<Vec<Expr>> = None;
+    let mut time: Option<Vec<Expr>> = None;
+    while cur.peek().tok != Tok::RBrace {
+        let (key, sp) = cur.expect_ident("`space` or `time`")?;
+        // `=` or `:` both accepted as the separator.
+        if !cur.eat(&Tok::Assign) {
+            cur.expect(&Tok::Colon, "`=` or `:`")?;
+        }
+        cur.expect(&Tok::LBracket, "`[` opening expression list")?;
+        let mut exprs = vec![Expr::parse_from(cur)?];
+        while cur.eat(&Tok::Comma) {
+            exprs.push(Expr::parse_from(cur)?);
+        }
+        cur.expect(&Tok::RBracket, "`]`")?;
+        let slot = match key.as_str() {
+            "space" => &mut space,
+            "time" => &mut time,
+            other => {
+                return Err(ParseError::new(
+                    format!("unknown dataflow key `{other}` (expected `space` or `time`)"),
+                    sp.line,
+                    sp.col,
+                ))
+            }
+        };
+        if slot.is_some() {
+            return Err(ParseError::new(
+                format!("duplicate `{key}` entry"),
+                sp.line,
+                sp.col,
+            ));
+        }
+        *slot = Some(exprs);
+    }
+    cur.expect(&Tok::RBrace, "`}`")?;
+    Ok(ParsedDataflow {
+        name,
+        iters: Vec::new(),
+        space: space.unwrap_or_default(),
+        time: time.unwrap_or_default(),
+    })
+}
+
+fn parse_ident_tuple(cur: &mut Cursor) -> Result<Vec<String>> {
+    cur.expect(&Tok::LBracket, "`[`")?;
+    let mut out = vec![cur.expect_ident("iterator")?.0];
+    while cur.eat(&Tok::Comma) {
+        out.push(cur.expect_ident("iterator")?.0);
+    }
+    cur.expect(&Tok::RBracket, "`]`")?;
+    Ok(out)
+}
+
+fn parse_expr_tuple(cur: &mut Cursor) -> Result<Vec<Expr>> {
+    cur.expect(&Tok::LBracket, "`[`")?;
+    let mut out = vec![Expr::parse_from(cur)?];
+    while cur.eat(&Tok::Comma) {
+        out.push(Expr::parse_from(cur)?);
+    }
+    cur.expect(&Tok::RBracket, "`]`")?;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_combined_definition1_form() {
+        let df = parse_dataflow("{ S[i,j,k] -> (PE[i,j] | T[i + j + k]) }").unwrap();
+        assert_eq!(df.space_exprs(), ["i", "j"]);
+        assert_eq!(df.time_exprs(), ["i + j + k"]);
+    }
+
+    #[test]
+    fn parses_two_relation_table3_form() {
+        let df = parse_dataflow(
+            "{S[i,j,k] -> PE[i%8, j%8]}
+             {S[i,j,k] -> T[fl(i/8), fl(j/8), i%8 + j%8 + k]}",
+        )
+        .unwrap();
+        assert_eq!(df.space_exprs(), ["i % 8", "j % 8"]);
+        assert_eq!(df.time_exprs().len(), 3);
+        assert_eq!(df.time_exprs()[0], "floor(i / 8)");
+    }
+
+    #[test]
+    fn relations_accepted_in_either_order() {
+        let a = parse_dataflow_ast(
+            "{S[i,j] -> PE[i]} {S[i,j] -> T[j]}",
+        )
+        .unwrap();
+        let b = parse_dataflow_ast(
+            "{S[i,j] -> T[j]} {S[i,j] -> PE[i]}",
+        )
+        .unwrap();
+        assert_eq!(a.space, b.space);
+        assert_eq!(a.time, b.time);
+    }
+
+    #[test]
+    fn parses_named_block_form() {
+        let ast = parse_dataflow_ast(
+            "dataflow \"(IJ-P | J,IJK-T)\" {
+               space = [i % 8, j % 8]
+               time  = [fl(i/8), fl(j/8), i % 8 + j % 8 + k]
+             }",
+        )
+        .unwrap();
+        assert_eq!(ast.name.as_deref(), Some("(IJ-P | J,IJK-T)"));
+        let df = ast.to_dataflow();
+        assert_eq!(df.name(), Some("(IJ-P | J,IJK-T)"));
+        assert_eq!(df.n_space(), 2);
+        assert_eq!(df.n_time(), 3);
+    }
+
+    #[test]
+    fn block_form_accepts_colon_separator() {
+        let df = parse_dataflow("dataflow { space: [i] time: [j] }").unwrap();
+        assert_eq!(df.space_exprs(), ["i"]);
+    }
+
+    #[test]
+    fn eyeriss_row_stationary_space_stamp() {
+        let df = parse_dataflow(
+            "{S[k,c,ox,oy,rx,ry] -> PE[ry + 3*(c % 4), oy]}
+             {S[k,c,ox,oy,rx,ry] -> T[fl(k/16), fl(c/16), ox]}",
+        )
+        .unwrap();
+        assert_eq!(df.space_exprs()[0], "ry + 3*(c % 4)");
+    }
+
+    #[test]
+    fn rejects_mismatched_iterator_tuples() {
+        let err = parse_dataflow(
+            "{S[i,j] -> PE[i]} {S[i,k] -> T[k]}",
+        )
+        .unwrap_err();
+        assert!(err.message().contains("disagrees"));
+    }
+
+    #[test]
+    fn rejects_duplicate_pe_stamp() {
+        let err = parse_dataflow(
+            "{S[i] -> PE[i]} {S[i] -> PE[i]}",
+        )
+        .unwrap_err();
+        assert!(err.message().contains("duplicate `PE`"));
+    }
+
+    #[test]
+    fn rejects_missing_time_stamp() {
+        let err = parse_dataflow("{S[i] -> PE[i]}").unwrap_err();
+        assert!(err.message().contains("no time-stamp"));
+    }
+
+    #[test]
+    fn rejects_missing_space_in_block() {
+        let err = parse_dataflow("dataflow { time = [i] }").unwrap_err();
+        assert!(err.message().contains("no space-stamp"));
+    }
+
+    #[test]
+    fn rejects_wrong_domain_tuple() {
+        let err = parse_dataflow("{Q[i] -> PE[i]}").unwrap_err();
+        assert!(err.message().contains("statement tuple `S`"));
+    }
+
+    #[test]
+    fn rejects_unknown_block_key() {
+        let err = parse_dataflow("dataflow { pace = [i] }").unwrap_err();
+        assert!(err.message().contains("unknown dataflow key"));
+    }
+
+    #[test]
+    fn check_against_catches_foreign_iterator() {
+        let op = tenet_core::TensorOp::builder("gemm")
+            .dim("i", 4)
+            .dim("j", 4)
+            .read("A", ["i"])
+            .write("Y", ["j"])
+            .build()
+            .unwrap();
+        let ast = parse_dataflow_ast("{S[i,j] -> (PE[i] | T[j + q])}").unwrap();
+        let err = ast.check_against(&op).unwrap_err();
+        assert!(err.message().contains('q'));
+        let ok = parse_dataflow_ast("{S[i,j] -> (PE[i] | T[j])}").unwrap();
+        assert!(ok.check_against(&op).is_ok());
+    }
+
+    #[test]
+    fn lowered_dataflow_builds_theta() {
+        let op = tenet_core::TensorOp::builder("gemm")
+            .dim("i", 2)
+            .dim("j", 2)
+            .dim("k", 4)
+            .read("A", ["i", "k"])
+            .read("B", ["k", "j"])
+            .write("Y", ["i", "j"])
+            .build()
+            .unwrap();
+        let df = parse_dataflow("{ S[i,j,k] -> (PE[i,j] | T[i + j + k]) }").unwrap();
+        let theta = df.theta(&op).unwrap();
+        assert_eq!(theta.card().unwrap(), 16);
+    }
+}

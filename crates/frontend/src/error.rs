@@ -1,0 +1,100 @@
+//! Parse errors with source positions and rendered snippets.
+
+use std::fmt;
+
+/// An error produced while parsing a kernel, dataflow, or architecture
+/// specification. Carries the 1-based line and column of the offending
+/// token so the CLI can point at it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    message: String,
+    line: u32,
+    col: u32,
+}
+
+impl ParseError {
+    pub(crate) fn new(message: impl Into<String>, line: u32, col: u32) -> ParseError {
+        ParseError {
+            message: message.into(),
+            line,
+            col,
+        }
+    }
+
+    /// The human-readable description of what went wrong.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+
+    /// 1-based source line of the error.
+    pub fn line(&self) -> u32 {
+        self.line
+    }
+
+    /// 1-based source column of the error.
+    pub fn col(&self) -> u32 {
+        self.col
+    }
+
+    /// Renders the error with a caret pointing into `source`, in the style
+    /// of compiler diagnostics:
+    ///
+    /// ```text
+    /// error: expected `;` after loop initializer
+    ///   3 | for (i = 0 i < 4; i++)
+    ///     |            ^
+    /// ```
+    pub fn render(&self, source: &str) -> String {
+        let mut out = format!("error: {}\n", self.message);
+        if let Some(line_text) = source.lines().nth(self.line.saturating_sub(1) as usize) {
+            let gutter = format!("{:>4} | ", self.line);
+            out.push_str(&gutter);
+            out.push_str(line_text);
+            out.push('\n');
+            let pad = " ".repeat(gutter.len() + self.col.saturating_sub(1) as usize);
+            out.push_str(&pad);
+            out.push_str("^\n");
+        }
+        out
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Convenience alias for frontend results.
+pub type Result<T> = std::result::Result<T, ParseError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_position() {
+        let e = ParseError::new("unexpected token", 3, 7);
+        assert_eq!(e.to_string(), "3:7: unexpected token");
+    }
+
+    #[test]
+    fn render_points_at_column() {
+        let src = "line one\nfor (i = 0 i < 4; i++)\n";
+        let e = ParseError::new("expected `;`", 2, 12);
+        let rendered = e.render(src);
+        assert!(rendered.contains("error: expected `;`"));
+        assert!(rendered.contains("   2 | for (i = 0 i < 4; i++)"));
+        // The caret line must put ^ under column 12.
+        let caret_line = rendered.lines().last().unwrap();
+        assert_eq!(caret_line.find('^').unwrap(), "   2 | ".len() + 11);
+    }
+
+    #[test]
+    fn render_survives_out_of_range_line() {
+        let e = ParseError::new("eof", 99, 1);
+        assert_eq!(e.render("short\n"), "error: eof\n");
+    }
+}

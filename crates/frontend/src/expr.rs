@@ -1,0 +1,414 @@
+//! Quasi-affine expression parsing, validation, and canonical printing.
+//!
+//! The paper's notation (Table III) allows each space- or time-stamp
+//! dimension, and each tensor index, to be a quasi-affine function of the
+//! loop iterators: sums and differences of terms, multiplication by
+//! integer constants, `x % c` / `x mod c`, and `fl(x/c)` / `floor(x/c)`.
+//! This module parses that grammar into an [`Expr`], checks the
+//! quasi-affinity restrictions (modulus and divisor must be positive
+//! constants; products need a constant factor), and prints the canonical
+//! form accepted by [`tenet_core::Dataflow`] and [`tenet_core::TensorOp`].
+
+use crate::error::Result;
+use crate::lex::{Cursor, Tok};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A quasi-affine expression over named loop iterators.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// Integer constant.
+    Const(i64),
+    /// Loop iterator.
+    Var(String),
+    /// Sum of two expressions.
+    Add(Box<Expr>, Box<Expr>),
+    /// Difference of two expressions.
+    Sub(Box<Expr>, Box<Expr>),
+    /// Product; quasi-affinity requires at least one constant side.
+    Mul(Box<Expr>, Box<Expr>),
+    /// `e mod c` with `c > 0` constant.
+    Mod(Box<Expr>, i64),
+    /// `floor(e / c)` with `c > 0` constant.
+    FloorDiv(Box<Expr>, i64),
+    /// Unary negation.
+    Neg(Box<Expr>),
+}
+
+impl Expr {
+    /// Parses a complete expression from `text`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on syntax errors, on non-constant moduli/divisors, and on
+    /// products where neither factor is constant.
+    ///
+    /// ```
+    /// use tenet_frontend::Expr;
+    /// let e = Expr::parse("fl(i/8) + 3*(j % 8) - k")?;
+    /// assert_eq!(e.free_vars(), vec!["i", "j", "k"]);
+    /// # Ok::<(), tenet_frontend::ParseError>(())
+    /// ```
+    pub fn parse(text: &str) -> Result<Expr> {
+        let mut cur = Cursor::new(text)?;
+        let e = parse_expr(&mut cur)?;
+        if cur.peek().tok == Tok::Slash {
+            return Err(cur.error_here(
+                "bare `/` is ambiguous; write `floor(e / c)` or `fl(e / c)`",
+            ));
+        }
+        if !cur.at_eof() {
+            return Err(cur.error_here(format!(
+                "unexpected {} after expression",
+                cur.peek().tok
+            )));
+        }
+        Ok(e)
+    }
+
+    /// Parses an expression from an already-open token cursor, stopping at
+    /// the first token that cannot continue the expression.
+    pub fn parse_from(cur: &mut Cursor) -> Result<Expr> {
+        parse_expr(cur)
+    }
+
+    /// The distinct iterator names appearing in the expression, sorted.
+    pub fn free_vars(&self) -> Vec<String> {
+        let mut set = BTreeSet::new();
+        self.collect_vars(&mut set);
+        set.into_iter().collect()
+    }
+
+    fn collect_vars(&self, out: &mut BTreeSet<String>) {
+        match self {
+            Expr::Const(_) => {}
+            Expr::Var(v) => {
+                out.insert(v.clone());
+            }
+            Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) => {
+                a.collect_vars(out);
+                b.collect_vars(out);
+            }
+            Expr::Mod(a, _) | Expr::FloorDiv(a, _) | Expr::Neg(a) => a.collect_vars(out),
+        }
+    }
+
+    /// True if the expression is purely affine (no `mod`, no `floor`).
+    pub fn is_affine(&self) -> bool {
+        match self {
+            Expr::Const(_) | Expr::Var(_) => true,
+            Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) => {
+                a.is_affine() && b.is_affine()
+            }
+            Expr::Mod(..) | Expr::FloorDiv(..) => false,
+            Expr::Neg(a) => a.is_affine(),
+        }
+    }
+
+    /// Evaluates the expression under an environment mapping iterator
+    /// names to values. `mod` follows the mathematical (non-negative
+    /// remainder) convention and `floor` rounds towards negative infinity,
+    /// matching the integer-set semantics of the analysis layer.
+    ///
+    /// Returns `None` for unknown variables or arithmetic overflow.
+    pub fn eval(&self, env: &dyn Fn(&str) -> Option<i64>) -> Option<i64> {
+        match self {
+            Expr::Const(v) => Some(*v),
+            Expr::Var(name) => env(name),
+            Expr::Add(a, b) => a.eval(env)?.checked_add(b.eval(env)?),
+            Expr::Sub(a, b) => a.eval(env)?.checked_sub(b.eval(env)?),
+            Expr::Mul(a, b) => a.eval(env)?.checked_mul(b.eval(env)?),
+            Expr::Mod(a, c) => Some(a.eval(env)?.rem_euclid(*c)),
+            Expr::FloorDiv(a, c) => Some(a.eval(env)?.div_euclid(*c)),
+            Expr::Neg(a) => a.eval(env)?.checked_neg(),
+        }
+    }
+
+    /// Prints the canonical notation accepted by the analysis layer
+    /// (`%` for modulus, `floor(e / c)` for flooring division).
+    pub fn to_notation(&self) -> String {
+        self.print(0)
+    }
+
+    // Precedence levels: 0 = additive, 1 = multiplicative, 2 = atom.
+    fn print(&self, prec: u8) -> String {
+        let (s, my_prec) = match self {
+            Expr::Const(v) => (v.to_string(), 2),
+            Expr::Var(v) => (v.clone(), 2),
+            Expr::Add(a, b) => (format!("{} + {}", a.print(0), b.print(1)), 0),
+            Expr::Sub(a, b) => (format!("{} - {}", a.print(0), b.print(1)), 0),
+            Expr::Mul(a, b) => (format!("{}*{}", a.print(1), b.print(2)), 1),
+            Expr::Mod(a, c) => (format!("{} % {c}", a.print(2)), 1),
+            Expr::FloorDiv(a, c) => (format!("floor({} / {c})", a.print(0)), 2),
+            Expr::Neg(a) => (format!("-{}", a.print(2)), 1),
+        };
+        if my_prec < prec {
+            format!("({s})")
+        } else {
+            s
+        }
+    }
+
+    /// Folds constant subexpressions; returns the (possibly) simplified
+    /// expression. Used to recognize constant factors in products.
+    pub fn fold(&self) -> Expr {
+        match self {
+            Expr::Const(_) | Expr::Var(_) => self.clone(),
+            Expr::Add(a, b) => match (a.fold(), b.fold()) {
+                (Expr::Const(x), Expr::Const(y)) => Expr::Const(x.saturating_add(y)),
+                (a, b) => Expr::Add(Box::new(a), Box::new(b)),
+            },
+            Expr::Sub(a, b) => match (a.fold(), b.fold()) {
+                (Expr::Const(x), Expr::Const(y)) => Expr::Const(x.saturating_sub(y)),
+                (a, b) => Expr::Sub(Box::new(a), Box::new(b)),
+            },
+            Expr::Mul(a, b) => match (a.fold(), b.fold()) {
+                (Expr::Const(x), Expr::Const(y)) => Expr::Const(x.saturating_mul(y)),
+                (a, b) => Expr::Mul(Box::new(a), Box::new(b)),
+            },
+            Expr::Mod(a, c) => match a.fold() {
+                Expr::Const(x) => Expr::Const(x.rem_euclid(*c)),
+                a => Expr::Mod(Box::new(a), *c),
+            },
+            Expr::FloorDiv(a, c) => match a.fold() {
+                Expr::Const(x) => Expr::Const(x.div_euclid(*c)),
+                a => Expr::FloorDiv(Box::new(a), *c),
+            },
+            Expr::Neg(a) => match a.fold() {
+                Expr::Const(x) => Expr::Const(x.saturating_neg()),
+                a => Expr::Neg(Box::new(a)),
+            },
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_notation())
+    }
+}
+
+fn parse_expr(cur: &mut Cursor) -> Result<Expr> {
+    let mut lhs = parse_term(cur)?;
+    loop {
+        match cur.peek().tok {
+            Tok::Plus => {
+                cur.bump();
+                let rhs = parse_term(cur)?;
+                lhs = Expr::Add(Box::new(lhs), Box::new(rhs));
+            }
+            Tok::Minus => {
+                cur.bump();
+                let rhs = parse_term(cur)?;
+                lhs = Expr::Sub(Box::new(lhs), Box::new(rhs));
+            }
+            _ => return Ok(lhs),
+        }
+    }
+}
+
+fn parse_term(cur: &mut Cursor) -> Result<Expr> {
+    let mut lhs = parse_atom(cur)?;
+    loop {
+        match cur.peek().tok {
+            Tok::Star => {
+                cur.bump();
+                let rhs = parse_atom(cur)?;
+                let ok = matches!(lhs.fold(), Expr::Const(_)) || matches!(rhs.fold(), Expr::Const(_));
+                if !ok {
+                    return Err(cur.error_here(
+                        "product of two non-constant expressions is not quasi-affine",
+                    ));
+                }
+                lhs = Expr::Mul(Box::new(lhs), Box::new(rhs));
+            }
+            Tok::Percent => {
+                cur.bump();
+                let c = parse_positive_const(cur, "modulus")?;
+                lhs = Expr::Mod(Box::new(lhs), c);
+            }
+            Tok::Ident(ref name) if name == "mod" => {
+                cur.bump();
+                let c = parse_positive_const(cur, "modulus")?;
+                lhs = Expr::Mod(Box::new(lhs), c);
+            }
+            // `/` ends the expression here; `floor(e / c)` consumes it in
+            // parse_atom, and a stray top-level `/` is diagnosed by
+            // `Expr::parse`.
+            _ => return Ok(lhs),
+        }
+    }
+}
+
+fn parse_positive_const(cur: &mut Cursor, what: &str) -> Result<i64> {
+    let atom = parse_atom(cur)?;
+    match atom.fold() {
+        Expr::Const(c) if c > 0 => Ok(c),
+        Expr::Const(c) => Err(cur.error_here(format!("{what} must be positive, got {c}"))),
+        _ => Err(cur.error_here(format!("{what} must be an integer constant"))),
+    }
+}
+
+fn parse_atom(cur: &mut Cursor) -> Result<Expr> {
+    match cur.peek().tok.clone() {
+        Tok::Int(v) => {
+            cur.bump();
+            Ok(Expr::Const(v))
+        }
+        Tok::Minus => {
+            cur.bump();
+            let inner = parse_atom(cur)?;
+            Ok(Expr::Neg(Box::new(inner)))
+        }
+        Tok::LParen => {
+            cur.bump();
+            let inner = parse_expr(cur)?;
+            cur.expect(&Tok::RParen, "`)`")?;
+            Ok(inner)
+        }
+        Tok::Ident(name) if name == "fl" || name == "floor" => {
+            cur.bump();
+            cur.expect(&Tok::LParen, "`(` after floor")?;
+            let inner = parse_expr(cur)?;
+            cur.expect(&Tok::Slash, "`/` in floor(e / c)")?;
+            let c = parse_positive_const(cur, "divisor")?;
+            cur.expect(&Tok::RParen, "`)` closing floor")?;
+            Ok(Expr::FloorDiv(Box::new(inner), c))
+        }
+        Tok::Ident(name) => {
+            cur.bump();
+            Ok(Expr::Var(name))
+        }
+        other => Err(cur.error_here(format!("expected expression, found {other}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env2(i: i64, j: i64) -> impl Fn(&str) -> Option<i64> {
+        move |name: &str| match name {
+            "i" => Some(i),
+            "j" => Some(j),
+            _ => None,
+        }
+    }
+
+    #[test]
+    fn parses_affine_sum() {
+        let e = Expr::parse("i + 2*j - 1").unwrap();
+        assert_eq!(e.eval(&env2(3, 5)), Some(12));
+        assert!(e.is_affine());
+    }
+
+    #[test]
+    fn parses_mod_both_spellings() {
+        let a = Expr::parse("i % 8").unwrap();
+        let b = Expr::parse("i mod 8").unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.eval(&env2(13, 0)), Some(5));
+        assert!(!a.is_affine());
+    }
+
+    #[test]
+    fn parses_floor_both_spellings() {
+        let a = Expr::parse("fl(i/8)").unwrap();
+        let b = Expr::parse("floor(i / 8)").unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.eval(&env2(17, 0)), Some(2));
+    }
+
+    #[test]
+    fn table3_time_stamp_expression() {
+        // Innermost time dimension of the (IJ-P | J,IJK-T) GEMM dataflow.
+        let e = Expr::parse("i % 8 + j % 8 + k").unwrap();
+        let env = |n: &str| match n {
+            "i" => Some(10),
+            "j" => Some(9),
+            "k" => Some(3),
+            _ => None,
+        };
+        assert_eq!(e.eval(&env), Some(2 + 1 + 3));
+    }
+
+    #[test]
+    fn negative_operand_mod_is_euclidean() {
+        let e = Expr::parse("(i - 4) % 3").unwrap();
+        assert_eq!(e.eval(&env2(0, 0)), Some(2));
+        let d = Expr::parse("fl((i - 4) / 3)").unwrap();
+        assert_eq!(d.eval(&env2(0, 0)), Some(-2));
+    }
+
+    #[test]
+    fn rejects_var_times_var() {
+        let err = Expr::parse("i * j").unwrap_err();
+        assert!(err.message().contains("not quasi-affine"));
+    }
+
+    #[test]
+    fn accepts_const_fold_times_var() {
+        // (2+3) is constant after folding, so (2+3)*i is quasi-affine.
+        let e = Expr::parse("(2 + 3) * i").unwrap();
+        assert_eq!(e.eval(&env2(4, 0)), Some(20));
+    }
+
+    #[test]
+    fn rejects_bare_division() {
+        let err = Expr::parse("i / 8").unwrap_err();
+        assert!(err.message().contains("floor"));
+    }
+
+    #[test]
+    fn rejects_non_constant_modulus() {
+        let err = Expr::parse("i % j").unwrap_err();
+        assert!(err.message().contains("constant"));
+    }
+
+    #[test]
+    fn rejects_zero_modulus() {
+        let err = Expr::parse("i % 0").unwrap_err();
+        assert!(err.message().contains("positive"));
+    }
+
+    #[test]
+    fn rejects_trailing_tokens() {
+        let err = Expr::parse("i + 1 )").unwrap_err();
+        assert!(err.message().contains("after expression"));
+    }
+
+    #[test]
+    fn notation_round_trips() {
+        for src in [
+            "i",
+            "i + j + k",
+            "i % 8 + j % 8 + k",
+            "fl(i/8) + fl(j/8)",
+            "ry + 3*(c % 4)",
+            "2*i - 3*j + 7",
+            "-i + 1",
+            "floor((i + j) / 4) % 2",
+        ] {
+            let e = Expr::parse(src).unwrap();
+            let printed = e.to_notation();
+            let back = Expr::parse(&printed).unwrap();
+            assert_eq!(
+                back.fold(),
+                e.fold(),
+                "round-trip mismatch: {src} -> {printed}"
+            );
+        }
+    }
+
+    #[test]
+    fn free_vars_sorted_unique() {
+        let e = Expr::parse("k + i % 4 + fl(k/2) + i").unwrap();
+        assert_eq!(e.free_vars(), vec!["i", "k"]);
+    }
+
+    #[test]
+    fn eval_detects_unknown_var() {
+        let e = Expr::parse("q + 1").unwrap();
+        assert_eq!(e.eval(&env2(0, 0)), None);
+    }
+}

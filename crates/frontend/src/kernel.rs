@@ -1,0 +1,532 @@
+//! Parser for tensor operations written as C-like loop nests.
+//!
+//! TENET "takes a tensor operation written in C ... as input" (Figure 2).
+//! The accepted subset is exactly the paper's program class (Section
+//! II-B): a perfectly nested `for` loop with affine bounds and a single
+//! unconditional statement, e.g.
+//!
+//! ```c
+//! for (i = 0; i < 64; i++)
+//!   for (j = 0; j < 64; j++)
+//!     for (k = 0; k < 64; k++)
+//!       S: Y[i][j] += A[i][k] * B[k][j];
+//! ```
+//!
+//! The statement label (`S:`) names the resulting [`TensorOp`]; it is
+//! optional and defaults to `kernel`. The left-hand side becomes the
+//! output tensor access; every tensor reference on the right-hand side
+//! becomes an input access. Index expressions may be any quasi-affine
+//! function of the loop iterators.
+
+use crate::error::{ParseError, Result};
+use crate::expr::Expr;
+use crate::lex::{Cursor, Tok};
+use tenet_core::{Role, TensorOp};
+
+/// One parsed `for` loop level.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoopSpec {
+    /// Iterator name.
+    pub iter: String,
+    /// Inclusive lower bound.
+    pub lo: i64,
+    /// Exclusive upper bound.
+    pub hi: i64,
+}
+
+/// One tensor reference `A[e0][e1]...` or `A[e0, e1, ...]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AccessSpec {
+    /// Tensor name.
+    pub tensor: String,
+    /// Whether the statement reads or writes this reference.
+    pub role: Role,
+    /// One index expression per tensor dimension.
+    pub indices: Vec<Expr>,
+}
+
+/// The parsed form of a kernel, before lowering to [`TensorOp`].
+///
+/// Exposed so tools can inspect the surface syntax (e.g. to re-print the
+/// kernel or to report which accesses alias).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsedKernel {
+    /// Statement label, used as the operation name.
+    pub name: String,
+    /// Loop levels, outermost first.
+    pub loops: Vec<LoopSpec>,
+    /// All tensor references; the write comes first.
+    pub accesses: Vec<AccessSpec>,
+    /// True if the statement accumulates (`+=`) rather than assigns (`=`).
+    pub accumulates: bool,
+}
+
+impl ParsedKernel {
+    /// Lowers the parsed kernel to a [`TensorOp`].
+    ///
+    /// # Errors
+    ///
+    /// Fails if the loop nest is invalid (duplicate iterators, empty
+    /// ranges rejected by the core builder) or an index expression uses a
+    /// name that is not a loop iterator.
+    pub fn to_op(&self) -> Result<TensorOp> {
+        let mut b = TensorOp::builder(&self.name);
+        for l in &self.loops {
+            b = b.dim_range(&l.iter, l.lo, l.hi);
+        }
+        for a in &self.accesses {
+            let exprs: Vec<String> = a.indices.iter().map(Expr::to_notation).collect();
+            b = match a.role {
+                Role::Input => b.read(&a.tensor, exprs),
+                Role::Output => b.write(&a.tensor, exprs),
+            };
+        }
+        b.build()
+            .map_err(|e| ParseError::new(format!("invalid kernel: {e}"), 1, 1))
+    }
+}
+
+/// Parses a C-like loop nest and lowers it to a [`TensorOp`].
+///
+/// ```
+/// let op = tenet_frontend::parse_kernel(
+///     "for (i = 0; i < 4; i++)
+///        for (j = 0; j < 3; j++)
+///          S: Y[i] += A[i + j] * B[j];",
+/// )?;
+/// assert_eq!(op.name(), "S");
+/// assert_eq!(op.instances().unwrap(), 12);
+/// # Ok::<(), tenet_frontend::ParseError>(())
+/// ```
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] with source position on any syntax error, on
+/// imperfect nesting, and on index expressions that reference undeclared
+/// iterators.
+pub fn parse_kernel(source: &str) -> Result<TensorOp> {
+    parse_kernel_ast(source)?.to_op()
+}
+
+/// Parses a C-like loop nest into its surface form without lowering.
+pub fn parse_kernel_ast(source: &str) -> Result<ParsedKernel> {
+    let mut cur = Cursor::new(source)?;
+    let kernel = parse_kernel_from(&mut cur)?;
+    if !cur.at_eof() {
+        return Err(cur.error_here(format!(
+            "unexpected {} after kernel (perfectly nested loops allow a single statement)",
+            cur.peek().tok
+        )));
+    }
+    Ok(kernel)
+}
+
+// Parses one loop nest from an open cursor, leaving trailing tokens for
+// the caller (used by the combined problem-file parser).
+pub(crate) fn parse_kernel_from(cur: &mut Cursor) -> Result<ParsedKernel> {
+    let kernel = parse_nest(cur)?;
+    validate(&kernel, cur)?;
+    Ok(kernel)
+}
+
+fn parse_nest(cur: &mut Cursor) -> Result<ParsedKernel> {
+    parse_nest_body(cur, Vec::new())
+}
+
+// Parses loop levels (braced or not) down to the single statement,
+// carrying the loops parsed so far.
+fn parse_nest_body(cur: &mut Cursor, mut loops: Vec<LoopSpec>) -> Result<ParsedKernel> {
+    loop {
+        match cur.peek().tok.clone() {
+            Tok::Ident(kw) if kw == "for" => {
+                loops.push(parse_for_header(cur)?);
+                if cur.eat(&Tok::LBrace) {
+                    let inner = parse_nest_body(cur, loops)?;
+                    cur.expect(&Tok::RBrace, "`}` closing loop body")?;
+                    return Ok(inner);
+                }
+            }
+            _ => {
+                let (name, accesses, accumulates) = parse_statement(cur)?;
+                return Ok(ParsedKernel {
+                    name,
+                    loops,
+                    accesses,
+                    accumulates,
+                });
+            }
+        }
+    }
+}
+
+fn parse_for_header(cur: &mut Cursor) -> Result<LoopSpec> {
+    cur.bump(); // `for`
+    cur.expect(&Tok::LParen, "`(` after `for`")?;
+    // Optional C type keyword.
+    if matches!(&cur.peek().tok, Tok::Ident(k) if k == "int" || k == "long" || k == "size_t") {
+        cur.bump();
+    }
+    let (iter, _) = cur.expect_ident("loop iterator")?;
+    cur.expect(&Tok::Assign, "`=` in loop initializer")?;
+    let lo = parse_signed_int(cur, "loop lower bound")?;
+    cur.expect(&Tok::Semi, "`;` after loop initializer")?;
+
+    let (cond_var, sp) = cur.expect_ident("loop condition variable")?;
+    if cond_var != iter {
+        return Err(ParseError::new(
+            format!("loop condition tests `{cond_var}` but the iterator is `{iter}`"),
+            sp.line,
+            sp.col,
+        ));
+    }
+    let strict = match cur.bump().tok {
+        Tok::Lt => true,
+        Tok::Le => false,
+        other => {
+            return Err(cur.error_here(format!(
+                "expected `<` or `<=` in loop condition, found {other}"
+            )))
+        }
+    };
+    let bound = parse_signed_int(cur, "loop upper bound")?;
+    let hi = if strict { bound } else { bound + 1 };
+    cur.expect(&Tok::Semi, "`;` after loop condition")?;
+
+    // Increment: `i++`, `++i`, or `i += 1`.
+    match cur.peek().tok.clone() {
+        Tok::PlusPlus => {
+            cur.bump();
+            let (v, sp) = cur.expect_ident("iterator after `++`")?;
+            if v != iter {
+                return Err(ParseError::new(
+                    format!("increment updates `{v}`, expected `{iter}`"),
+                    sp.line,
+                    sp.col,
+                ));
+            }
+        }
+        Tok::Ident(v) => {
+            let sp = cur.bump();
+            if v != iter {
+                return Err(ParseError::new(
+                    format!("increment updates `{v}`, expected `{iter}`"),
+                    sp.line,
+                    sp.col,
+                ));
+            }
+            match cur.bump().tok {
+                Tok::PlusPlus => {}
+                Tok::PlusAssign => {
+                    let step = cur.expect_int("step")?;
+                    if step != 1 {
+                        return Err(cur.error_here(
+                            "only unit-stride loops are supported; normalize the \
+                             iteration space first",
+                        ));
+                    }
+                }
+                other => {
+                    return Err(cur.error_here(format!(
+                        "expected `++` or `+= 1` in loop increment, found {other}"
+                    )))
+                }
+            }
+        }
+        other => {
+            return Err(cur.error_here(format!(
+                "expected loop increment, found {other}"
+            )))
+        }
+    }
+    cur.expect(&Tok::RParen, "`)` closing loop header")?;
+    Ok(LoopSpec { iter, lo, hi })
+}
+
+fn parse_signed_int(cur: &mut Cursor, what: &str) -> Result<i64> {
+    let neg = cur.eat(&Tok::Minus);
+    let v = cur.expect_int(what)?;
+    Ok(if neg { -v } else { v })
+}
+
+type Statement = (String, Vec<AccessSpec>, bool);
+
+fn parse_statement(cur: &mut Cursor) -> Result<Statement> {
+    // Optional `Label:` before the assignment.
+    let mut name = "kernel".to_string();
+    if let (Tok::Ident(label), Tok::Colon) = (&cur.peek().tok, &cur.peek2().tok) {
+        // Distinguish a label from a tensor access `Y[...]`.
+        name = label.clone();
+        cur.bump();
+        cur.bump();
+    }
+
+    let write = parse_access(cur, Role::Output)?;
+    let accumulates = match cur.bump().tok {
+        Tok::PlusAssign => true,
+        Tok::Assign => false,
+        other => {
+            return Err(cur.error_here(format!(
+                "expected `+=` or `=` after output access, found {other}"
+            )))
+        }
+    };
+
+    let mut accesses = vec![write];
+    parse_rhs(cur, &mut accesses)?;
+    cur.expect(&Tok::Semi, "`;` terminating the statement")?;
+    Ok((name, accesses, accumulates))
+}
+
+// The right-hand side is an arbitrary arithmetic expression over tensor
+// references and constants. Only the tensor references matter for the
+// dataflow model, so the expression tree is scanned rather than built.
+fn parse_rhs(cur: &mut Cursor, accesses: &mut Vec<AccessSpec>) -> Result<()> {
+    parse_rhs_term(cur, accesses)?;
+    loop {
+        match cur.peek().tok {
+            Tok::Plus | Tok::Minus | Tok::Star | Tok::Slash => {
+                cur.bump();
+                parse_rhs_term(cur, accesses)?;
+            }
+            _ => return Ok(()),
+        }
+    }
+}
+
+fn parse_rhs_term(cur: &mut Cursor, accesses: &mut Vec<AccessSpec>) -> Result<()> {
+    match cur.peek().tok.clone() {
+        Tok::LParen => {
+            cur.bump();
+            parse_rhs(cur, accesses)?;
+            cur.expect(&Tok::RParen, "`)`")?;
+            Ok(())
+        }
+        Tok::Int(_) => {
+            cur.bump();
+            Ok(())
+        }
+        Tok::Minus => {
+            cur.bump();
+            parse_rhs_term(cur, accesses)
+        }
+        Tok::Ident(_) => {
+            let acc = parse_access(cur, Role::Input)?;
+            accesses.push(acc);
+            Ok(())
+        }
+        other => Err(cur.error_here(format!("expected operand, found {other}"))),
+    }
+}
+
+fn parse_access(cur: &mut Cursor, role: Role) -> Result<AccessSpec> {
+    let (tensor, sp) = cur.expect_ident("tensor name")?;
+    if cur.peek().tok != Tok::LBracket {
+        return Err(ParseError::new(
+            format!("`{tensor}` must be subscripted (scalars are 0-d tensors: `{tensor}[0]`)"),
+            sp.line,
+            sp.col,
+        ));
+    }
+    let mut indices = Vec::new();
+    while cur.eat(&Tok::LBracket) {
+        indices.push(Expr::parse_from(cur)?);
+        while cur.eat(&Tok::Comma) {
+            indices.push(Expr::parse_from(cur)?);
+        }
+        cur.expect(&Tok::RBracket, "`]` closing subscript")?;
+    }
+    Ok(AccessSpec {
+        tensor,
+        role,
+        indices,
+    })
+}
+
+fn validate(k: &ParsedKernel, cur: &Cursor) -> Result<()> {
+    if k.loops.is_empty() {
+        return Err(cur.error_here("kernel has no loops"));
+    }
+    for (idx, l) in k.loops.iter().enumerate() {
+        if k.loops[..idx].iter().any(|p| p.iter == l.iter) {
+            return Err(cur.error_here(format!("duplicate loop iterator `{}`", l.iter)));
+        }
+        if l.hi <= l.lo {
+            return Err(cur.error_here(format!(
+                "loop `{}` has empty range [{}, {})",
+                l.iter, l.lo, l.hi
+            )));
+        }
+    }
+    let iters: Vec<&str> = k.loops.iter().map(|l| l.iter.as_str()).collect();
+    for a in &k.accesses {
+        for e in &a.indices {
+            for v in e.free_vars() {
+                if !iters.contains(&v.as_str()) {
+                    return Err(cur.error_here(format!(
+                        "index of `{}` uses `{v}`, which is not a loop iterator",
+                        a.tensor
+                    )));
+                }
+            }
+        }
+        if iters.contains(&a.tensor.as_str()) {
+            return Err(cur.error_here(format!(
+                "tensor `{}` shadows a loop iterator",
+                a.tensor
+            )));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GEMM: &str = "
+        for (i = 0; i < 2; i++)
+          for (j = 0; j < 2; j++)
+            for (k = 0; k < 4; k++)
+              S: Y[i][j] += A[i][k] * B[k][j];
+    ";
+
+    #[test]
+    fn parses_figure3_gemm() {
+        let op = parse_kernel(GEMM).unwrap();
+        assert_eq!(op.name(), "S");
+        assert_eq!(op.instances().unwrap(), 16);
+        let names: Vec<&str> = op.accesses().iter().map(|a| a.tensor.as_str()).collect();
+        assert_eq!(names, ["Y", "A", "B"]);
+        assert_eq!(op.accesses()[0].role, Role::Output);
+        assert_eq!(op.accesses()[1].role, Role::Input);
+    }
+
+    #[test]
+    fn parses_comma_subscripts_and_braces() {
+        let op = parse_kernel(
+            "for (int i = 0; i < 3; i++) {
+               for (int j = 0; j <= 4; j += 1) {
+                 Y[i, j] = A[i, j] + 1;
+               }
+             }",
+        )
+        .unwrap();
+        assert_eq!(op.name(), "kernel");
+        assert_eq!(op.instances().unwrap(), 15);
+    }
+
+    #[test]
+    fn parses_1d_conv_from_figure1() {
+        let op = parse_kernel(
+            "for (j = 0; j < 3; j++)
+               for (i = 0; i < 4; i++)
+                 S: Y[i] += A[i + j] * B[j];",
+        )
+        .unwrap();
+        assert_eq!(op.instances().unwrap(), 12);
+        // Input footprint of A is i+j in [0, 6).
+        let fp = op.footprint("A").unwrap();
+        assert_eq!(fp.card().unwrap(), 6);
+    }
+
+    #[test]
+    fn parses_jacobi_style_multi_access() {
+        let op = parse_kernel(
+            "for (i = 1; i < 9; i++)
+               for (j = 1; j < 9; j++)
+                 S: Y[i][j] = (A[i][j] + A[i - 1][j] + A[i][j - 1]
+                               + A[i + 1][j] + A[i][j + 1]) / 5;",
+        )
+        .unwrap();
+        let a_accesses = op
+            .accesses()
+            .iter()
+            .filter(|a| a.tensor == "A")
+            .count();
+        assert_eq!(a_accesses, 5);
+    }
+
+    #[test]
+    fn parses_prefix_increment_and_le_bound() {
+        let k = parse_kernel_ast("for (i = 0; i <= 3; ++i) S: Y[i] = A[i];").unwrap();
+        assert_eq!(k.loops[0].hi, 4);
+        assert!(!k.accumulates);
+    }
+
+    #[test]
+    fn parses_negative_lower_bound() {
+        let k = parse_kernel_ast("for (i = -2; i < 2; i++) S: Y[i] = A[i];").unwrap();
+        assert_eq!((k.loops[0].lo, k.loops[0].hi), (-2, 2));
+        assert_eq!(k.to_op().unwrap().instances().unwrap(), 4);
+    }
+
+    #[test]
+    fn quasi_affine_subscripts_allowed() {
+        let op = parse_kernel(
+            "for (i = 0; i < 16; i++) S: Y[i % 4][fl(i/4)] += A[i];",
+        )
+        .unwrap();
+        assert_eq!(op.footprint("Y").unwrap().card().unwrap(), 16);
+    }
+
+    #[test]
+    fn rejects_mismatched_condition_variable() {
+        let err = parse_kernel("for (i = 0; j < 4; i++) S: Y[i] = A[i];").unwrap_err();
+        assert!(err.message().contains("tests `j`"));
+    }
+
+    #[test]
+    fn rejects_wrong_increment_variable() {
+        let err = parse_kernel("for (i = 0; i < 4; j++) S: Y[i] = A[i];").unwrap_err();
+        assert!(err.message().contains("updates `j`"));
+    }
+
+    #[test]
+    fn rejects_non_unit_stride() {
+        let err = parse_kernel("for (i = 0; i < 4; i += 2) S: Y[i] = A[i];").unwrap_err();
+        assert!(err.message().contains("unit-stride"));
+    }
+
+    #[test]
+    fn rejects_duplicate_iterator() {
+        let err = parse_kernel(
+            "for (i = 0; i < 4; i++) for (i = 0; i < 2; i++) S: Y[i] = A[i];",
+        )
+        .unwrap_err();
+        assert!(err.message().contains("duplicate"));
+    }
+
+    #[test]
+    fn rejects_unknown_index_variable() {
+        let err = parse_kernel("for (i = 0; i < 4; i++) S: Y[i] = A[q];").unwrap_err();
+        assert!(err.message().contains("not a loop iterator"));
+    }
+
+    #[test]
+    fn rejects_empty_loop_range() {
+        let err = parse_kernel("for (i = 5; i < 5; i++) S: Y[i] = A[i];").unwrap_err();
+        assert!(err.message().contains("empty range"));
+    }
+
+    #[test]
+    fn rejects_unsubscripted_scalar() {
+        let err = parse_kernel("for (i = 0; i < 4; i++) S: Y[i] = alpha;").unwrap_err();
+        assert!(err.message().contains("subscripted"));
+    }
+
+    #[test]
+    fn rejects_statement_after_nest() {
+        let err = parse_kernel(
+            "for (i = 0; i < 4; i++) S: Y[i] = A[i]; T: Z[0] = A[0];",
+        )
+        .unwrap_err();
+        assert!(err.message().contains("after kernel"));
+    }
+
+    #[test]
+    fn error_position_is_useful() {
+        let err = parse_kernel("for (i = 0 i < 4; i++) S: Y[i] = A[i];").unwrap_err();
+        assert_eq!(err.line(), 1);
+        assert!(err.col() >= 11);
+    }
+}

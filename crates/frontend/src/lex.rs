@@ -1,0 +1,564 @@
+//! A small hand-written lexer shared by the kernel, dataflow, and
+//! architecture-specification parsers.
+//!
+//! Comments (`// ...`, `# ...`, and `/* ... */`) and whitespace are
+//! skipped. Every token carries its 1-based source position for error
+//! reporting.
+
+use crate::error::{ParseError, Result};
+use std::fmt;
+
+/// One lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword (`for`, `int`, loop iterators, tensor names).
+    Ident(String),
+    /// Unsigned integer literal (sign is handled by the expression
+    /// parsers so that `a-1` lexes as `a`, `-`, `1`).
+    Int(i64),
+    /// Unsigned decimal literal such as `2.5`, kept as text so the token
+    /// type stays `Eq`.
+    Float(String),
+    /// Double-quoted string literal, unescaped.
+    Str(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `;`
+    Semi,
+    /// `:`
+    Colon,
+    /// `,`
+    Comma,
+    /// `=`
+    Assign,
+    /// `==`
+    Eq,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `++`
+    PlusPlus,
+    /// `+=`
+    PlusAssign,
+    /// `->`
+    Arrow,
+    /// `|`
+    Pipe,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "`{s}`"),
+            Tok::Int(v) => write!(f, "`{v}`"),
+            Tok::Float(v) => write!(f, "`{v}`"),
+            Tok::Str(s) => write!(f, "\"{s}\""),
+            Tok::LParen => write!(f, "`(`"),
+            Tok::RParen => write!(f, "`)`"),
+            Tok::LBracket => write!(f, "`[`"),
+            Tok::RBracket => write!(f, "`]`"),
+            Tok::LBrace => write!(f, "`{{`"),
+            Tok::RBrace => write!(f, "`}}`"),
+            Tok::Semi => write!(f, "`;`"),
+            Tok::Colon => write!(f, "`:`"),
+            Tok::Comma => write!(f, "`,`"),
+            Tok::Assign => write!(f, "`=`"),
+            Tok::Eq => write!(f, "`==`"),
+            Tok::Plus => write!(f, "`+`"),
+            Tok::Minus => write!(f, "`-`"),
+            Tok::Star => write!(f, "`*`"),
+            Tok::Slash => write!(f, "`/`"),
+            Tok::Percent => write!(f, "`%`"),
+            Tok::Lt => write!(f, "`<`"),
+            Tok::Le => write!(f, "`<=`"),
+            Tok::Gt => write!(f, "`>`"),
+            Tok::Ge => write!(f, "`>=`"),
+            Tok::PlusPlus => write!(f, "`++`"),
+            Tok::PlusAssign => write!(f, "`+=`"),
+            Tok::Arrow => write!(f, "`->`"),
+            Tok::Pipe => write!(f, "`|`"),
+            Tok::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A token plus its 1-based source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Spanned {
+    /// The token.
+    pub tok: Tok,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+/// Tokenizes `source` completely. The resulting stream always ends with a
+/// single [`Tok::Eof`].
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] on unknown characters, unterminated strings or
+/// block comments, and integer literals that overflow `i64`.
+pub fn lex(source: &str) -> Result<Vec<Spanned>> {
+    let mut out = Vec::new();
+    let bytes: Vec<char> = source.chars().collect();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut col = 1u32;
+
+    macro_rules! push {
+        ($tok:expr, $l:expr, $c:expr) => {
+            out.push(Spanned {
+                tok: $tok,
+                line: $l,
+                col: $c,
+            })
+        };
+    }
+
+    while i < bytes.len() {
+        let c = bytes[i];
+        let (tl, tc) = (line, col);
+        let advance = |n: usize, i: &mut usize, line: &mut u32, col: &mut u32| {
+            for k in 0..n {
+                if bytes[*i + k] == '\n' {
+                    *line += 1;
+                    *col = 1;
+                } else {
+                    *col += 1;
+                }
+            }
+            *i += n;
+        };
+        match c {
+            ' ' | '\t' | '\r' | '\n' => advance(1, &mut i, &mut line, &mut col),
+            '#' => {
+                while i < bytes.len() && bytes[i] != '\n' {
+                    advance(1, &mut i, &mut line, &mut col);
+                }
+            }
+            '/' if i + 1 < bytes.len() && bytes[i + 1] == '/' => {
+                while i < bytes.len() && bytes[i] != '\n' {
+                    advance(1, &mut i, &mut line, &mut col);
+                }
+            }
+            '/' if i + 1 < bytes.len() && bytes[i + 1] == '*' => {
+                advance(2, &mut i, &mut line, &mut col);
+                let mut closed = false;
+                while i + 1 < bytes.len() {
+                    if bytes[i] == '*' && bytes[i + 1] == '/' {
+                        advance(2, &mut i, &mut line, &mut col);
+                        closed = true;
+                        break;
+                    }
+                    advance(1, &mut i, &mut line, &mut col);
+                }
+                if !closed {
+                    return Err(ParseError::new("unterminated block comment", tl, tc));
+                }
+            }
+            '"' => {
+                advance(1, &mut i, &mut line, &mut col);
+                let mut s = String::new();
+                let mut closed = false;
+                while i < bytes.len() {
+                    if bytes[i] == '"' {
+                        advance(1, &mut i, &mut line, &mut col);
+                        closed = true;
+                        break;
+                    }
+                    if bytes[i] == '\n' {
+                        break;
+                    }
+                    s.push(bytes[i]);
+                    advance(1, &mut i, &mut line, &mut col);
+                }
+                if !closed {
+                    return Err(ParseError::new("unterminated string literal", tl, tc));
+                }
+                push!(Tok::Str(s), tl, tc);
+            }
+            '0'..='9' => {
+                let mut v: i64 = 0;
+                let mut digits = String::new();
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    let d = (bytes[i] as u8 - b'0') as i64;
+                    digits.push(bytes[i]);
+                    v = v
+                        .checked_mul(10)
+                        .and_then(|x| x.checked_add(d))
+                        .ok_or_else(|| {
+                            ParseError::new("integer literal overflows i64", tl, tc)
+                        })?;
+                    advance(1, &mut i, &mut line, &mut col);
+                }
+                if i + 1 < bytes.len() && bytes[i] == '.' && bytes[i + 1].is_ascii_digit() {
+                    digits.push('.');
+                    advance(1, &mut i, &mut line, &mut col);
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        digits.push(bytes[i]);
+                        advance(1, &mut i, &mut line, &mut col);
+                    }
+                    push!(Tok::Float(digits), tl, tc);
+                } else {
+                    push!(Tok::Int(v), tl, tc);
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut s = String::new();
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == '_') {
+                    s.push(bytes[i]);
+                    advance(1, &mut i, &mut line, &mut col);
+                }
+                push!(Tok::Ident(s), tl, tc);
+            }
+            '(' => {
+                push!(Tok::LParen, tl, tc);
+                advance(1, &mut i, &mut line, &mut col);
+            }
+            ')' => {
+                push!(Tok::RParen, tl, tc);
+                advance(1, &mut i, &mut line, &mut col);
+            }
+            '[' => {
+                push!(Tok::LBracket, tl, tc);
+                advance(1, &mut i, &mut line, &mut col);
+            }
+            ']' => {
+                push!(Tok::RBracket, tl, tc);
+                advance(1, &mut i, &mut line, &mut col);
+            }
+            '{' => {
+                push!(Tok::LBrace, tl, tc);
+                advance(1, &mut i, &mut line, &mut col);
+            }
+            '}' => {
+                push!(Tok::RBrace, tl, tc);
+                advance(1, &mut i, &mut line, &mut col);
+            }
+            ';' => {
+                push!(Tok::Semi, tl, tc);
+                advance(1, &mut i, &mut line, &mut col);
+            }
+            ':' => {
+                push!(Tok::Colon, tl, tc);
+                advance(1, &mut i, &mut line, &mut col);
+            }
+            ',' => {
+                push!(Tok::Comma, tl, tc);
+                advance(1, &mut i, &mut line, &mut col);
+            }
+            '|' => {
+                push!(Tok::Pipe, tl, tc);
+                advance(1, &mut i, &mut line, &mut col);
+            }
+            '*' => {
+                push!(Tok::Star, tl, tc);
+                advance(1, &mut i, &mut line, &mut col);
+            }
+            '/' => {
+                push!(Tok::Slash, tl, tc);
+                advance(1, &mut i, &mut line, &mut col);
+            }
+            '%' => {
+                push!(Tok::Percent, tl, tc);
+                advance(1, &mut i, &mut line, &mut col);
+            }
+            '+' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == '+' {
+                    push!(Tok::PlusPlus, tl, tc);
+                    advance(2, &mut i, &mut line, &mut col);
+                } else if i + 1 < bytes.len() && bytes[i + 1] == '=' {
+                    push!(Tok::PlusAssign, tl, tc);
+                    advance(2, &mut i, &mut line, &mut col);
+                } else {
+                    push!(Tok::Plus, tl, tc);
+                    advance(1, &mut i, &mut line, &mut col);
+                }
+            }
+            '-' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == '>' {
+                    push!(Tok::Arrow, tl, tc);
+                    advance(2, &mut i, &mut line, &mut col);
+                } else {
+                    push!(Tok::Minus, tl, tc);
+                    advance(1, &mut i, &mut line, &mut col);
+                }
+            }
+            '=' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == '=' {
+                    push!(Tok::Eq, tl, tc);
+                    advance(2, &mut i, &mut line, &mut col);
+                } else {
+                    push!(Tok::Assign, tl, tc);
+                    advance(1, &mut i, &mut line, &mut col);
+                }
+            }
+            '<' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == '=' {
+                    push!(Tok::Le, tl, tc);
+                    advance(2, &mut i, &mut line, &mut col);
+                } else {
+                    push!(Tok::Lt, tl, tc);
+                    advance(1, &mut i, &mut line, &mut col);
+                }
+            }
+            '>' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == '=' {
+                    push!(Tok::Ge, tl, tc);
+                    advance(2, &mut i, &mut line, &mut col);
+                } else {
+                    push!(Tok::Gt, tl, tc);
+                    advance(1, &mut i, &mut line, &mut col);
+                }
+            }
+            other => {
+                return Err(ParseError::new(
+                    format!("unexpected character `{other}`"),
+                    tl,
+                    tc,
+                ));
+            }
+        }
+    }
+    push!(Tok::Eof, line, col);
+    Ok(out)
+}
+
+/// A cursor over the token stream with one-token lookahead, shared by all
+/// three parsers.
+#[derive(Debug)]
+pub struct Cursor {
+    toks: Vec<Spanned>,
+    pos: usize,
+}
+
+impl Cursor {
+    /// Lexes `source` and positions the cursor at the first token.
+    pub fn new(source: &str) -> Result<Cursor> {
+        Ok(Cursor {
+            toks: lex(source)?,
+            pos: 0,
+        })
+    }
+
+    /// The current token.
+    pub fn peek(&self) -> &Spanned {
+        &self.toks[self.pos.min(self.toks.len() - 1)]
+    }
+
+    /// The token after the current one.
+    pub fn peek2(&self) -> &Spanned {
+        &self.toks[(self.pos + 1).min(self.toks.len() - 1)]
+    }
+
+    /// Consumes and returns the current token.
+    pub fn bump(&mut self) -> Spanned {
+        let t = self.peek().clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    /// Consumes the current token if it equals `tok`.
+    pub fn eat(&mut self, tok: &Tok) -> bool {
+        if &self.peek().tok == tok {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Consumes the current token, failing with `what` if it differs from
+    /// `tok`.
+    pub fn expect(&mut self, tok: &Tok, what: &str) -> Result<Spanned> {
+        if &self.peek().tok == tok {
+            Ok(self.bump())
+        } else {
+            Err(self.error_here(format!("expected {what}, found {}", self.peek().tok)))
+        }
+    }
+
+    /// Consumes an identifier token and returns its text.
+    pub fn expect_ident(&mut self, what: &str) -> Result<(String, Spanned)> {
+        match self.peek().tok.clone() {
+            Tok::Ident(s) => {
+                let sp = self.bump();
+                Ok((s, sp))
+            }
+            other => Err(self.error_here(format!("expected {what}, found {other}"))),
+        }
+    }
+
+    /// Consumes an integer token and returns its value.
+    pub fn expect_int(&mut self, what: &str) -> Result<i64> {
+        match self.peek().tok {
+            Tok::Int(v) => {
+                self.bump();
+                Ok(v)
+            }
+            ref other => Err(self.error_here(format!("expected {what}, found {other}"))),
+        }
+    }
+
+    /// True once the cursor has consumed every real token.
+    pub fn at_eof(&self) -> bool {
+        self.peek().tok == Tok::Eof
+    }
+
+    /// Builds a [`ParseError`] at the current token.
+    pub fn error_here(&self, message: impl Into<String>) -> ParseError {
+        let sp = self.peek();
+        ParseError::new(message, sp.line, sp.col)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn lexes_for_loop_header() {
+        assert_eq!(
+            toks("for (i = 0; i < 4; i++)"),
+            vec![
+                Tok::Ident("for".into()),
+                Tok::LParen,
+                Tok::Ident("i".into()),
+                Tok::Assign,
+                Tok::Int(0),
+                Tok::Semi,
+                Tok::Ident("i".into()),
+                Tok::Lt,
+                Tok::Int(4),
+                Tok::Semi,
+                Tok::Ident("i".into()),
+                Tok::PlusPlus,
+                Tok::RParen,
+                Tok::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_relation_arrow_and_pipe() {
+        assert_eq!(
+            toks("{S[i] -> (PE[i] | T[i])}"),
+            vec![
+                Tok::LBrace,
+                Tok::Ident("S".into()),
+                Tok::LBracket,
+                Tok::Ident("i".into()),
+                Tok::RBracket,
+                Tok::Arrow,
+                Tok::LParen,
+                Tok::Ident("PE".into()),
+                Tok::LBracket,
+                Tok::Ident("i".into()),
+                Tok::RBracket,
+                Tok::Pipe,
+                Tok::Ident("T".into()),
+                Tok::LBracket,
+                Tok::Ident("i".into()),
+                Tok::RBracket,
+                Tok::RParen,
+                Tok::RBrace,
+                Tok::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn skips_all_comment_styles() {
+        assert_eq!(
+            toks("a // line\nb # hash\nc /* block\nspanning */ d"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Ident("b".into()),
+                Tok::Ident("c".into()),
+                Tok::Ident("d".into()),
+                Tok::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn positions_are_one_based() {
+        let ts = lex("ab\n  cd").unwrap();
+        assert_eq!((ts[0].line, ts[0].col), (1, 1));
+        assert_eq!((ts[1].line, ts[1].col), (2, 3));
+    }
+
+    #[test]
+    fn rejects_unknown_character() {
+        let err = lex("a @ b").unwrap_err();
+        assert!(err.message().contains("unexpected character"));
+        assert_eq!((err.line(), err.col()), (1, 3));
+    }
+
+    #[test]
+    fn rejects_unterminated_string() {
+        assert!(lex("\"abc").unwrap_err().message().contains("unterminated"));
+    }
+
+    #[test]
+    fn rejects_unterminated_block_comment() {
+        assert!(lex("/* abc").unwrap_err().message().contains("unterminated"));
+    }
+
+    #[test]
+    fn rejects_overflowing_literal() {
+        assert!(lex("99999999999999999999")
+            .unwrap_err()
+            .message()
+            .contains("overflows"));
+    }
+
+    #[test]
+    fn string_literal_contents() {
+        assert_eq!(toks("\"(IJ-P | J,IJK-T)\"")[0], Tok::Str("(IJ-P | J,IJK-T)".into()));
+    }
+
+    #[test]
+    fn cursor_expect_reports_position() {
+        let mut c = Cursor::new("for x").unwrap();
+        c.bump();
+        let err = c.expect(&Tok::LParen, "`(`").unwrap_err();
+        assert!(err.message().contains("expected `(`"));
+        assert_eq!(err.col(), 5);
+    }
+}

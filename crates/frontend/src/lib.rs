@@ -1,0 +1,55 @@
+//! # tenet-frontend
+//!
+//! The textual front end of the TENET reproduction — the input half of
+//! the paper's Figure 2 flow, which "takes a tensor operation written in
+//! C and hardware specification as inputs".
+//!
+//! Three parsers are provided:
+//!
+//! * [`parse_kernel`] — a C-like perfectly nested loop with a single
+//!   statement (Section II-B) into a [`tenet_core::TensorOp`];
+//! * [`parse_dataflow`] — the relation-centric notation of Definition 1 /
+//!   Table III into a [`tenet_core::Dataflow`];
+//! * [`parse_arch`] — a hardware-specification block into a
+//!   [`tenet_core::ArchSpec`].
+//!
+//! plus the matching printers ([`kernel_to_c`], [`dataflow_to_notation`],
+//! [`arch_to_spec`]) so every object round-trips through text, and
+//! [`parse_problem`] which reads all three sections from one file.
+//!
+//! ```
+//! use tenet_core::Analysis;
+//!
+//! let op = tenet_frontend::parse_kernel(
+//!     "for (i = 0; i < 2; i++)
+//!        for (j = 0; j < 2; j++)
+//!          for (k = 0; k < 4; k++)
+//!            S: Y[i][j] += A[i][k] * B[k][j];",
+//! )?;
+//! let df = tenet_frontend::parse_dataflow("{ S[i,j,k] -> (PE[i,j] | T[i+j+k]) }")?;
+//! let arch = tenet_frontend::parse_arch(
+//!     "arch \"2x2\" { array = [2, 2] interconnect = systolic2d bandwidth = 4 }",
+//! )?;
+//! let report = Analysis::new(&op, &df, &arch)?.report()?;
+//! assert_eq!(report.macs, 16);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod archspec;
+mod dataflow;
+mod error;
+mod expr;
+mod kernel;
+mod lex;
+mod print;
+mod problem;
+
+pub use archspec::parse_arch;
+pub use dataflow::{parse_dataflow, parse_dataflow_ast, ParsedDataflow};
+pub use error::{ParseError, Result};
+pub use expr::Expr;
+pub use kernel::{parse_kernel, parse_kernel_ast, AccessSpec, LoopSpec, ParsedKernel};
+pub use print::{arch_to_spec, dataflow_to_notation, kernel_to_c};
+pub use problem::{parse_problem, problem_to_text, Problem};

@@ -1,0 +1,198 @@
+//! Pretty-printers that emit the textual forms accepted by the parsers,
+//! closing the round trip `parse(print(x)) == x`.
+
+use tenet_core::{ArchSpec, Dataflow, Interconnect, Role, TensorOp};
+
+/// Prints a [`TensorOp`] as the C-like loop nest accepted by
+/// [`crate::parse_kernel`].
+///
+/// ```
+/// # use tenet_core::TensorOp;
+/// let op = TensorOp::builder("S")
+///     .dim("i", 4).dim("j", 3)
+///     .read("A", ["i + j"])
+///     .write("Y", ["i"])
+///     .build()?;
+/// let text = tenet_frontend::kernel_to_c(&op);
+/// assert_eq!(tenet_frontend::parse_kernel(&text)?.instances()?, 12);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn kernel_to_c(op: &TensorOp) -> String {
+    let mut out = String::new();
+    for (depth, d) in op.dims().iter().enumerate() {
+        out.push_str(&"  ".repeat(depth));
+        out.push_str(&format!(
+            "for ({name} = {lo}; {name} < {hi}; {name}++)\n",
+            name = d.name,
+            lo = d.lo,
+            hi = d.hi
+        ));
+    }
+    out.push_str(&"  ".repeat(op.dims().len()));
+    out.push_str(&format!("{}: ", op.name()));
+
+    let write = op
+        .accesses()
+        .iter()
+        .find(|a| a.role == Role::Output)
+        .expect("TensorOp always has an output access");
+    out.push_str(&access_text(&write.tensor, &write.exprs));
+    out.push_str(" += ");
+    let inputs: Vec<String> = op
+        .accesses()
+        .iter()
+        .filter(|a| a.role == Role::Input)
+        .map(|a| access_text(&a.tensor, &a.exprs))
+        .collect();
+    if inputs.is_empty() {
+        out.push('1');
+    } else {
+        out.push_str(&inputs.join(" * "));
+    }
+    out.push_str(";\n");
+    out
+}
+
+fn access_text(tensor: &str, exprs: &[String]) -> String {
+    let subs: Vec<String> = exprs.iter().map(|e| format!("[{e}]")).collect();
+    format!("{tensor}{}", subs.join(""))
+}
+
+/// Prints a [`Dataflow`] in the combined Definition-1 notation,
+/// `{ S[iters] -> (PE[space] | T[time]) }`, using the iterator tuple of
+/// the kernel it targets.
+pub fn dataflow_to_notation(df: &Dataflow, iters: &[String]) -> String {
+    format!(
+        "{{ S[{}] -> (PE[{}] | T[{}]) }}",
+        iters.join(", "),
+        df.space_exprs().join(", "),
+        df.time_exprs().join(", ")
+    )
+}
+
+/// Prints an [`ArchSpec`] in the block format accepted by
+/// [`crate::parse_arch`].
+pub fn arch_to_spec(arch: &ArchSpec) -> String {
+    let mut out = format!("arch \"{}\" {{\n", arch.name);
+    let dims: Vec<String> = arch.pe_dims.iter().map(i64::to_string).collect();
+    out.push_str(&format!("  array = [{}]\n", dims.join(", ")));
+    let ic = match &arch.interconnect {
+        Interconnect::Systolic1D => "systolic1d".to_string(),
+        Interconnect::Systolic2D => "systolic2d".to_string(),
+        Interconnect::Mesh => "mesh".to_string(),
+        Interconnect::Multicast { radius } => format!("multicast(radius = {radius})"),
+        Interconnect::Custom {
+            offsets,
+            same_cycle,
+        } => {
+            let rows: Vec<String> = offsets
+                .iter()
+                .map(|o| {
+                    let xs: Vec<String> = o.iter().map(i64::to_string).collect();
+                    format!("[{}]", xs.join(", "))
+                })
+                .collect();
+            format!(
+                "custom {{ offsets = [{}] same_cycle = {} }}",
+                rows.join(", "),
+                same_cycle
+            )
+        }
+    };
+    out.push_str(&format!("  interconnect = {ic}\n"));
+    out.push_str(&format!("  bandwidth = {}\n", fmt_f64(arch.bandwidth)));
+    out.push_str(&format!(
+        "  scratchpad_capacity = {}\n",
+        arch.scratchpad_capacity
+    ));
+    let e = &arch.energy;
+    out.push_str("  energy {\n");
+    out.push_str(&format!("    mac = {}\n", fmt_f64(e.mac)));
+    out.push_str(&format!("    register = {}\n", fmt_f64(e.register)));
+    out.push_str(&format!("    noc_hop = {}\n", fmt_f64(e.noc_hop)));
+    out.push_str(&format!("    scratchpad = {}\n", fmt_f64(e.scratchpad)));
+    out.push_str(&format!("    dram = {}\n", fmt_f64(e.dram)));
+    out.push_str("  }\n}\n");
+    out
+}
+
+// Prints a float so the lexer can read it back (always with a decimal
+// point or as an integer, never in exponent form).
+fn fmt_f64(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{parse_arch, parse_dataflow, parse_kernel};
+
+    #[test]
+    fn kernel_round_trips_gemm() {
+        let op = TensorOp::builder("S")
+            .dim("i", 2)
+            .dim("j", 2)
+            .dim("k", 4)
+            .read("A", ["i", "k"])
+            .read("B", ["k", "j"])
+            .write("Y", ["i", "j"])
+            .build()
+            .unwrap();
+        let text = kernel_to_c(&op);
+        let back = parse_kernel(&text).unwrap();
+        assert_eq!(back.name(), op.name());
+        assert_eq!(back.dims(), op.dims());
+        // Access order is not semantic: the printer emits the write first.
+        let mut got = back.accesses().to_vec();
+        let mut want = op.accesses().to_vec();
+        let key = |a: &tenet_core::TensorAccess| (a.tensor.clone(), a.exprs.clone());
+        got.sort_by_key(key);
+        want.sort_by_key(key);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn kernel_print_places_output_first() {
+        let op = TensorOp::builder("S")
+            .dim("i", 4)
+            .read("A", ["i"])
+            .write("Y", ["i"])
+            .build()
+            .unwrap();
+        let text = kernel_to_c(&op);
+        assert!(text.contains("Y[i] += A[i];"));
+    }
+
+    #[test]
+    fn dataflow_round_trips() {
+        let df = Dataflow::new(["i % 8", "j % 8"], ["floor(i / 8)", "i % 8 + j % 8 + k"]);
+        let text = dataflow_to_notation(&df, &["i".into(), "j".into(), "k".into()]);
+        let back = parse_dataflow(&text).unwrap();
+        assert_eq!(back.space_exprs(), df.space_exprs());
+        assert_eq!(back.time_exprs(), df.time_exprs());
+    }
+
+    #[test]
+    fn arch_round_trips_all_interconnects() {
+        for ic in [
+            Interconnect::Systolic1D,
+            Interconnect::Systolic2D,
+            Interconnect::Mesh,
+            Interconnect::Multicast { radius: 3 },
+            Interconnect::Custom {
+                offsets: vec![vec![1, 0], vec![0, 1]],
+                same_cycle: false,
+            },
+        ] {
+            let mut arch = ArchSpec::new("roundtrip", [4, 4], ic, 2.5);
+            arch.energy.noc_hop = 1.75;
+            let text = arch_to_spec(&arch);
+            let back = parse_arch(&text).unwrap();
+            assert_eq!(back, arch, "spec text was:\n{text}");
+        }
+    }
+}

@@ -1,0 +1,213 @@
+//! A *problem file* bundles everything TENET needs in one text file: the
+//! kernel, one or more candidate dataflows, and optionally the hardware
+//! specification. Sections may appear in any order and are recognized by
+//! their leading keyword (`for`, `dataflow`/`{`, `arch`).
+//!
+//! ```text
+//! # gemm.tenet — Figure 3 of the paper
+//! for (i = 0; i < 2; i++)
+//!   for (j = 0; j < 2; j++)
+//!     for (k = 0; k < 4; k++)
+//!       S: Y[i][j] += A[i][k] * B[k][j];
+//!
+//! { S[i,j,k] -> (PE[i,j] | T[i + j + k]) }
+//!
+//! arch "2x2" { array = [2, 2] interconnect = systolic2d bandwidth = 4 }
+//! ```
+
+use crate::archspec::parse_arch_from;
+use crate::dataflow::{parse_dataflow_from, ParsedDataflow};
+use crate::error::Result;
+use crate::kernel::parse_kernel_from;
+use crate::lex::{Cursor, Tok};
+use crate::print::{arch_to_spec, dataflow_to_notation, kernel_to_c};
+use tenet_core::{ArchSpec, Dataflow, TensorOp};
+
+/// A fully parsed problem: kernel + candidate dataflows + optional
+/// architecture.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Problem {
+    /// The tensor operation.
+    pub kernel: TensorOp,
+    /// Candidate dataflows, in file order.
+    pub dataflows: Vec<Dataflow>,
+    /// The hardware specification, if the file provides one.
+    pub arch: Option<ArchSpec>,
+}
+
+/// Parses a problem file. The kernel section is mandatory; dataflows and
+/// the arch block are optional (tools may supply defaults). Every
+/// dataflow is cross-checked against the kernel's loop iterators.
+///
+/// # Errors
+///
+/// Returns a [`crate::ParseError`] on syntax errors, duplicate kernel or
+/// arch sections, or dataflows that reference unknown iterators.
+pub fn parse_problem(source: &str) -> Result<Problem> {
+    let mut cur = Cursor::new(source)?;
+    let mut kernel: Option<TensorOp> = None;
+    let mut parsed_dfs: Vec<ParsedDataflow> = Vec::new();
+    let mut arch: Option<ArchSpec> = None;
+
+    while !cur.at_eof() {
+        match cur.peek().tok.clone() {
+            Tok::Ident(kw) if kw == "for" => {
+                if kernel.is_some() {
+                    return Err(cur.error_here(
+                        "a problem file may contain only one kernel (one perfectly \
+                         nested loop with a single statement)",
+                    ));
+                }
+                kernel = Some(parse_kernel_from(&mut cur)?.to_op()?);
+            }
+            Tok::Ident(kw) if kw == "dataflow" => {
+                parsed_dfs.push(parse_dataflow_from(&mut cur)?);
+            }
+            Tok::LBrace => {
+                parsed_dfs.push(parse_dataflow_from(&mut cur)?);
+            }
+            Tok::Ident(kw) if kw == "arch" => {
+                if arch.is_some() {
+                    return Err(cur.error_here("duplicate `arch` block"));
+                }
+                arch = Some(parse_arch_from(&mut cur)?);
+            }
+            other => {
+                return Err(cur.error_here(format!(
+                    "expected a kernel (`for ...`), a dataflow (`{{ S[...] -> ... }}` \
+                     or `dataflow ...`), or an `arch` block, found {other}"
+                )))
+            }
+        }
+    }
+
+    let kernel = kernel.ok_or_else(|| cur.error_here("problem file has no kernel"))?;
+    let mut dataflows = Vec::with_capacity(parsed_dfs.len());
+    for pdf in &parsed_dfs {
+        pdf.check_against(&kernel)?;
+        dataflows.push(pdf.to_dataflow());
+    }
+    Ok(Problem {
+        kernel,
+        dataflows,
+        arch,
+    })
+}
+
+/// Prints a [`Problem`] back into the problem-file format, closing the
+/// round trip with [`parse_problem`].
+pub fn problem_to_text(p: &Problem) -> String {
+    let mut out = kernel_to_c(&p.kernel);
+    let iters: Vec<String> = p.kernel.dims().iter().map(|d| d.name.clone()).collect();
+    for df in &p.dataflows {
+        out.push('\n');
+        if let Some(name) = df.name() {
+            out.push_str(&format!("# {name}\n"));
+        }
+        out.push_str(&dataflow_to_notation(df, &iters));
+        out.push('\n');
+    }
+    if let Some(arch) = &p.arch {
+        out.push('\n');
+        out.push_str(&arch_to_spec(arch));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FIGURE3: &str = "
+        # gemm.tenet — Figure 3 of the paper
+        for (i = 0; i < 2; i++)
+          for (j = 0; j < 2; j++)
+            for (k = 0; k < 4; k++)
+              S: Y[i][j] += A[i][k] * B[k][j];
+
+        { S[i,j,k] -> (PE[i,j] | T[i + j + k]) }
+
+        arch \"2x2\" { array = [2, 2] interconnect = systolic2d bandwidth = 4 }
+    ";
+
+    #[test]
+    fn parses_figure3_problem() {
+        let p = parse_problem(FIGURE3).unwrap();
+        assert_eq!(p.kernel.name(), "S");
+        assert_eq!(p.dataflows.len(), 1);
+        assert_eq!(p.arch.as_ref().unwrap().pe_count(), 4);
+    }
+
+    #[test]
+    fn sections_in_any_order() {
+        let p = parse_problem(
+            "arch a { array = [4] interconnect = systolic1d bandwidth = 4 }
+             dataflow { space = [i] time = [j] }
+             for (i = 0; i < 4; i++)
+               for (j = 0; j < 4; j++)
+                 S: Y[i] += A[i][j];",
+        )
+        .unwrap();
+        assert_eq!(p.dataflows.len(), 1);
+        assert!(p.arch.is_some());
+    }
+
+    #[test]
+    fn multiple_dataflows_in_relation_form() {
+        let p = parse_problem(
+            "for (i = 0; i < 4; i++)
+               for (j = 0; j < 4; j++)
+                 S: Y[i] += A[i][j];
+             { S[i,j] -> (PE[i] | T[j]) }
+             { S[i,j] -> (PE[j] | T[i]) }",
+        )
+        .unwrap();
+        assert_eq!(p.dataflows.len(), 2);
+        assert_eq!(p.dataflows[0].space_exprs(), ["i"]);
+        assert_eq!(p.dataflows[1].space_exprs(), ["j"]);
+    }
+
+    #[test]
+    fn arch_is_optional() {
+        let p = parse_problem("for (i = 0; i < 2; i++) S: Y[i] += A[i];").unwrap();
+        assert!(p.arch.is_none());
+        assert!(p.dataflows.is_empty());
+    }
+
+    #[test]
+    fn rejects_two_kernels() {
+        let err = parse_problem(
+            "for (i = 0; i < 2; i++) S: Y[i] += A[i];
+             for (j = 0; j < 2; j++) S: Z[j] += A[j];",
+        )
+        .unwrap_err();
+        assert!(err.message().contains("only one kernel"));
+    }
+
+    #[test]
+    fn rejects_missing_kernel() {
+        let err = parse_problem(
+            "arch a { array = [4] interconnect = mesh bandwidth = 1 }",
+        )
+        .unwrap_err();
+        assert!(err.message().contains("no kernel"));
+    }
+
+    #[test]
+    fn rejects_dataflow_over_unknown_iterator() {
+        let err = parse_problem(
+            "for (i = 0; i < 2; i++) S: Y[i] += A[i];
+             { S[i] -> (PE[i] | T[z]) }",
+        )
+        .unwrap_err();
+        assert!(err.message().contains('z'));
+    }
+
+    #[test]
+    fn round_trips_through_text() {
+        let p = parse_problem(FIGURE3).unwrap();
+        let text = problem_to_text(&p);
+        let q = parse_problem(&text).unwrap();
+        assert_eq!(p, q);
+    }
+}

@@ -1,0 +1,205 @@
+//! Property tests: every object survives the text round trip
+//! `parse(print(x))`.
+
+use proptest::prelude::*;
+use tenet_core::{ArchSpec, Dataflow, EnergyModel, Interconnect, Role, TensorOp};
+use tenet_frontend::{
+    arch_to_spec, dataflow_to_notation, kernel_to_c, parse_arch, parse_dataflow, parse_kernel,
+    Expr,
+};
+
+const ITER_POOL: [&str; 6] = ["i", "j", "k", "ox", "oy", "c"];
+
+fn canon(e: &str) -> String {
+    Expr::parse(e).unwrap().to_notation()
+}
+
+// A random quasi-affine expression over the first `n_iters` pool names.
+fn arb_expr(n_iters: usize) -> impl Strategy<Value = String> {
+    let leaf = prop_oneof![
+        (0..n_iters).prop_map(|i| ITER_POOL[i].to_string()),
+        (-4i64..=4).prop_map(|c| {
+            if c < 0 {
+                format!("({c})")
+            } else {
+                c.to_string()
+            }
+        }),
+    ];
+    leaf.prop_recursive(3, 12, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("{a} + {b}")),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("{a} - {b}")),
+            (1i64..=4, inner.clone()).prop_map(|(c, e)| format!("{c}*({e})")),
+            (inner.clone(), 1i64..=8).prop_map(|(e, c)| format!("({e}) % {c}")),
+            (inner, 1i64..=8).prop_map(|(e, c)| format!("floor(({e}) / {c})")),
+        ]
+    })
+}
+
+fn arb_kernel() -> impl Strategy<Value = TensorOp> {
+    (1usize..=4)
+        .prop_flat_map(|n_dims| {
+            let dims = proptest::collection::vec((1i64..=6, -2i64..=2), n_dims..=n_dims);
+            let n_reads = 1usize..=3;
+            (Just(n_dims), dims, n_reads)
+        })
+        .prop_flat_map(|(n_dims, dims, n_reads)| {
+            let write = proptest::collection::vec(arb_expr(n_dims), 1..=3);
+            let one_read = proptest::collection::vec(arb_expr(n_dims), 1..=3);
+            let reads = proptest::collection::vec(one_read, n_reads..=n_reads);
+            (Just(dims), write, reads)
+        })
+        .prop_map(|(dims, write, reads)| {
+            let mut b = TensorOp::builder("S");
+            for (d, (extent, lo)) in dims.iter().enumerate() {
+                b = b.dim_range(ITER_POOL[d], *lo, lo + extent);
+            }
+            b = b.write("Y", write.iter().map(|e| canon(e)));
+            for (t, r) in reads.iter().enumerate() {
+                let name = format!("A{t}");
+                b = b.read(&name, r.iter().map(|e| canon(e)));
+            }
+            b.build().expect("generated kernel is valid")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn kernel_text_round_trip(op in arb_kernel()) {
+        let text = kernel_to_c(&op);
+        let back = parse_kernel(&text)
+            .unwrap_or_else(|e| panic!("reparse failed: {e}\n{text}"));
+        prop_assert_eq!(back.name(), op.name());
+        prop_assert_eq!(back.dims(), op.dims());
+        let mut got: Vec<_> = back
+            .accesses()
+            .iter()
+            .map(|a| (a.tensor.clone(), a.role == Role::Output, a.exprs.iter().map(|e| canon(e)).collect::<Vec<_>>()))
+            .collect();
+        let mut want: Vec<_> = op
+            .accesses()
+            .iter()
+            .map(|a| (a.tensor.clone(), a.role == Role::Output, a.exprs.iter().map(|e| canon(e)).collect::<Vec<_>>()))
+            .collect();
+        got.sort();
+        want.sort();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn dataflow_text_round_trip(
+        n_iters in 1usize..=4,
+        space in proptest::collection::vec(arb_expr(4), 1..=2),
+        time in proptest::collection::vec(arb_expr(4), 1..=3),
+    ) {
+        let iters: Vec<String> = ITER_POOL[..n_iters.max(4)].iter().map(|s| s.to_string()).collect();
+        let df = Dataflow::new(
+            space.iter().map(|e| canon(e)),
+            time.iter().map(|e| canon(e)),
+        );
+        let text = dataflow_to_notation(&df, &iters);
+        let back = parse_dataflow(&text)
+            .unwrap_or_else(|e| panic!("reparse failed: {e}\n{text}"));
+        prop_assert_eq!(back.space_exprs(), df.space_exprs());
+        prop_assert_eq!(back.time_exprs(), df.time_exprs());
+    }
+
+    #[test]
+    fn arch_text_round_trip(
+        dims in proptest::collection::vec(1i64..=16, 1..=3),
+        ic_pick in 0usize..5,
+        radius in 1i64..=4,
+        bw_quarters in 1i64..=256,
+        capacity in 1u64..=1_000_000,
+        energy_quarters in proptest::collection::vec(0i64..=64, 5),
+    ) {
+        let interconnect = match ic_pick {
+            0 => Interconnect::Systolic1D,
+            1 => Interconnect::Systolic2D,
+            2 => Interconnect::Mesh,
+            3 => Interconnect::Multicast { radius },
+            _ => Interconnect::Custom {
+                offsets: vec![vec![1; dims.len()], vec![0; dims.len()]],
+                same_cycle: true,
+            },
+        };
+        let mut arch = ArchSpec::new("prop", dims, interconnect, bw_quarters as f64 / 4.0);
+        arch.scratchpad_capacity = capacity;
+        arch.energy = EnergyModel {
+            mac: energy_quarters[0] as f64 / 4.0,
+            register: energy_quarters[1] as f64 / 4.0,
+            noc_hop: energy_quarters[2] as f64 / 4.0,
+            scratchpad: energy_quarters[3] as f64 / 4.0,
+            dram: energy_quarters[4] as f64 / 4.0,
+        };
+        let text = arch_to_spec(&arch);
+        let back = parse_arch(&text)
+            .unwrap_or_else(|e| panic!("reparse failed: {e}\n{text}"));
+        prop_assert_eq!(back, arch);
+    }
+
+    // The canonical printing of a parsed expression is a fixed point:
+    // parsing it again and printing again changes nothing.
+    #[test]
+    fn expr_canonical_form_is_fixed_point(e in arb_expr(4)) {
+        let once = canon(&e);
+        let twice = canon(&once);
+        prop_assert_eq!(once, twice);
+    }
+
+    // Printed expressions evaluate identically to their source under a
+    // random environment (checks that printing preserves semantics, not
+    // just parseability).
+    #[test]
+    fn printing_preserves_evaluation(
+        e in arb_expr(4),
+        vals in proptest::collection::vec(-10i64..=10, 4),
+    ) {
+        let parsed = Expr::parse(&e).unwrap();
+        let reparsed = Expr::parse(&parsed.to_notation()).unwrap();
+        let env = move |name: &str| {
+            ITER_POOL.iter().position(|&p| p == name).and_then(|i| vals.get(i).copied())
+        };
+        prop_assert_eq!(parsed.eval(&env), reparsed.eval(&env));
+    }
+}
+
+#[test]
+fn role_of_written_tensor_is_output() {
+    let op = parse_kernel("for (i = 0; i < 3; i++) S: Y[i] += A[i];").unwrap();
+    assert_eq!(op.role_of("Y"), Some(Role::Output));
+    assert_eq!(op.role_of("A"), Some(Role::Input));
+}
+
+// Robustness: the parsers must return Err (never panic) on arbitrary
+// input, including near-miss mutations of valid programs.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn parsers_never_panic_on_arbitrary_input(s in "\\PC*") {
+        let _ = tenet_frontend::parse_kernel(&s);
+        let _ = tenet_frontend::parse_dataflow(&s);
+        let _ = tenet_frontend::parse_arch(&s);
+        let _ = tenet_frontend::parse_problem(&s);
+        let _ = Expr::parse(&s);
+    }
+
+    #[test]
+    fn parsers_never_panic_on_mutated_valid_input(
+        idx in 0usize..1000,
+        ch in proptest::char::any(),
+    ) {
+        let valid = "for (i = 0; i < 2; i++)\n  S: Y[i] += A[i];\n\
+                     { S[i] -> (PE[i] | T[i]) }\n\
+                     arch \"a\" { array = [2] interconnect = mesh bandwidth = 4 }";
+        let mut mutated: Vec<char> = valid.chars().collect();
+        let pos = idx % mutated.len();
+        mutated[pos] = ch;
+        let s: String = mutated.into_iter().collect();
+        let _ = tenet_frontend::parse_problem(&s);
+    }
+}

@@ -1,0 +1,966 @@
+//! Exact integer point counting.
+//!
+//! The paper computes every metric with `isl_union_map_card` /
+//! Barvinok counting. This module provides the equivalent for bounded,
+//! non-parametric sets (the only kind TENET's evaluation produces):
+//!
+//! 1. div columns are expanded into ordinary variables with their bracket
+//!    constraints (`0 <= num - den*q < den`) — a bijection, so the count is
+//!    unchanged;
+//! 2. equalities are removed with the Omega-test equality reduction
+//!    (unit-coefficient substitution plus Pugh's `sigma` reduction for
+//!    non-unit coefficients) — every step is a bijection;
+//! 3. the remaining pure-inequality system is counted by independent-
+//!    component factoring, closed-form interval and arithmetic-series sums,
+//!    and recursive enumeration with bound propagation.
+//!
+//! Every path is exact; property tests compare against brute force.
+
+use crate::basic::{BasicMap, Row};
+use crate::value::{ceil_div, floor_div, gcd, mod_hat};
+use crate::{Error, Result};
+
+/// Hard cap on the number of values a single variable may be enumerated
+/// over before we give up with [`Error::TooComplex`].
+const ENUM_LIMIT: i64 = 4_000_000;
+/// Hard cap on total recursion work.
+const WORK_LIMIT: u64 = 400_000_000;
+
+/// A free-form constraint system: `n` variables, rows of width `n + 1`
+/// (constant last). Inequalities mean `row >= 0`, equalities `row == 0`.
+#[derive(Debug, Clone)]
+pub(crate) struct Tableau {
+    pub n: usize,
+    pub eqs: Vec<Row>,
+    pub ineqs: Vec<Row>,
+}
+
+impl Tableau {
+    /// Builds a tableau from a basic map: visible dims keep their column
+    /// indices; div columns become trailing variables with bracket
+    /// constraints.
+    pub(crate) fn from_basic(bm: &BasicMap) -> Result<Tableau> {
+        let n_vis = bm.div0();
+        let n_div = bm.n_div();
+        let n = n_vis + n_div;
+        let conv = |r: &Row| -> Row {
+            // Same layout minus nothing: [vis | divs | const] already.
+            r.clone()
+        };
+        let mut t = Tableau {
+            n,
+            eqs: bm.eqs.iter().map(conv).collect(),
+            ineqs: bm.ineqs.iter().map(conv).collect(),
+        };
+        // Bracket constraints for each div: 0 <= num - den*q <= den - 1.
+        for (d, def) in bm.divs.iter().enumerate() {
+            let col = n_vis + d;
+            let mut lo = def.num.clone();
+            lo[col] -= def.den;
+            let mut hi: Row = def.num.iter().map(|c| -c).collect();
+            hi[col] += def.den;
+            let k = hi.len() - 1;
+            hi[k] += def.den - 1;
+            t.ineqs.push(lo);
+            t.ineqs.push(hi);
+        }
+        Ok(t)
+    }
+
+    fn remove_col(&mut self, col: usize) {
+        for r in self.eqs.iter_mut().chain(self.ineqs.iter_mut()) {
+            debug_assert_eq!(r[col], 0);
+            r.remove(col);
+        }
+        self.n -= 1;
+    }
+
+    fn add_col(&mut self) -> usize {
+        let at = self.n;
+        for r in self.eqs.iter_mut().chain(self.ineqs.iter_mut()) {
+            r.insert(at, 0);
+        }
+        self.n += 1;
+        at
+    }
+
+    /// Uses `eq` (with `eq[col] == ±1`) to substitute `col` out of every
+    /// row, then removes the column. Exact for inequalities because the
+    /// scale factor is one.
+    fn substitute_unit(&mut self, eq: &Row, col: usize) {
+        let mut eq = eq.clone();
+        if eq[col] < 0 {
+            for c in eq.iter_mut() {
+                *c = -*c;
+            }
+        }
+        debug_assert_eq!(eq[col], 1);
+        for r in self.eqs.iter_mut().chain(self.ineqs.iter_mut()) {
+            let c = r[col];
+            if c != 0 {
+                for (ri, ei) in r.iter_mut().zip(eq.iter()) {
+                    *ri -= c * ei;
+                }
+            }
+        }
+        self.remove_col(col);
+    }
+
+    /// Removes all equalities via the Omega-test reduction.
+    /// Returns `false` when the system is infeasible.
+    fn eliminate_equalities(&mut self) -> Result<bool> {
+        let mut guard = 0usize;
+        while !self.eqs.is_empty() {
+            guard += 1;
+            if guard > 10_000 {
+                return Err(Error::TooComplex(
+                    "equality elimination did not converge".into(),
+                ));
+            }
+            let mut eq = self.eqs.swap_remove(0);
+            let k = self.n; // constant index within this row
+            let g = eq[..k].iter().fold(0, |a, &c| gcd(a, c));
+            if g == 0 {
+                if eq[k] != 0 {
+                    return Ok(false);
+                }
+                continue;
+            }
+            if eq[k] % g != 0 {
+                return Ok(false);
+            }
+            if g > 1 {
+                for c in eq.iter_mut() {
+                    *c /= g;
+                }
+            }
+            // Unit coefficient: direct substitution.
+            if let Some(col) = (0..k).find(|&i| eq[i].abs() == 1) {
+                self.substitute_unit(&eq, col);
+                continue;
+            }
+            // Pugh reduction: introduce sigma with m = |a_min| + 1.
+            let col = (0..k)
+                .filter(|&i| eq[i] != 0)
+                .min_by_key(|&i| eq[i].abs())
+                .expect("gcd nonzero implies a nonzero coefficient");
+            let m = eq[col]
+                .abs()
+                .checked_add(1)
+                .ok_or(Error::Overflow)?;
+            let sigma = self.add_col();
+            eq.insert(sigma, 0);
+            let kc = self.n; // new constant index
+            let mut eq2 = vec![0i64; kc + 1];
+            for i in 0..kc {
+                if i == sigma {
+                    eq2[i] = -m;
+                } else {
+                    eq2[i] = mod_hat(eq[i], m);
+                }
+            }
+            eq2[kc] = mod_hat(eq[kc], m);
+            debug_assert_eq!(eq2[col].abs(), 1, "mod-hat of the pivot must be ±1");
+            // Substitute the pivot out of every row (including `eq`).
+            let c = eq[col];
+            let s = if eq2[col] > 0 { 1 } else { -1 };
+            let mut eq2n = eq2.clone();
+            if s < 0 {
+                for v in eq2n.iter_mut() {
+                    *v = -*v;
+                }
+            }
+            let fold = |r: &mut Row| {
+                let cc = r[col];
+                if cc != 0 {
+                    for (ri, ei) in r.iter_mut().zip(eq2n.iter()) {
+                        *ri -= cc * ei;
+                    }
+                }
+            };
+            let _ = c;
+            for r in self.eqs.iter_mut().chain(self.ineqs.iter_mut()) {
+                fold(r);
+            }
+            fold(&mut eq);
+            self.eqs.push(eq);
+            self.remove_col(col);
+        }
+        Ok(true)
+    }
+
+    /// Drops trivial rows; returns `false` on a syntactic contradiction.
+    fn normalize_ineqs(&mut self) -> bool {
+        let k = self.n;
+        let mut ok = true;
+        self.ineqs.retain_mut(|r| {
+            let g = r[..k].iter().fold(0, |a, &c| gcd(a, c));
+            if g == 0 {
+                if r[k] < 0 {
+                    ok = false;
+                }
+                return false;
+            }
+            if g > 1 {
+                for c in r[..k].iter_mut() {
+                    *c /= g;
+                }
+                r[k] = floor_div(r[k], g);
+            }
+            true
+        });
+        self.ineqs.sort();
+        self.ineqs.dedup();
+        ok
+    }
+
+    /// Interval propagation: best-known integer ranges for all variables.
+    ///
+    /// When plain per-row propagation stalls (every row bounding a
+    /// variable also contains another unbounded variable), single-variable
+    /// bounds are derived by pairwise Fourier–Motzkin combination and
+    /// propagation resumes — this closes systems like
+    /// `0 <= o - d <= 5 and 0 <= o + 5d <= 35` that have no direct
+    /// one-variable rows.
+    fn propagate_bounds(&self) -> Result<Vec<(Option<i64>, Option<i64>)>> {
+        let mut rows = self.ineqs.clone();
+        let n = self.n;
+        // Derivation: for every variable, combine each (lower, upper) row
+        // pair; keep combinations that mention exactly one variable.
+        let mut derived: Vec<Row> = Vec::new();
+        for v in 0..n {
+            let lowers: Vec<&Row> = rows.iter().filter(|r| r[v] > 0).collect();
+            let uppers: Vec<&Row> = rows.iter().filter(|r| r[v] < 0).collect();
+            if lowers.len() * uppers.len() > 64 {
+                continue;
+            }
+            for l in &lowers {
+                for u in &uppers {
+                    let a = l[v] as i128;
+                    let b = -(u[v]) as i128;
+                    let mut row = Vec::with_capacity(n + 1);
+                    let mut ok = true;
+                    for (x, y) in l.iter().zip(u.iter()) {
+                        let val = b * (*x as i128) + a * (*y as i128);
+                        match i64::try_from(val) {
+                            Ok(v) => row.push(v),
+                            Err(_) => {
+                                ok = false;
+                                break;
+                            }
+                        }
+                    }
+                    if !ok {
+                        continue;
+                    }
+                    let nonzero = (0..n).filter(|&j| row[j] != 0).count();
+                    if nonzero == 1 && !rows.contains(&row) && !derived.contains(&row) {
+                        derived.push(row);
+                    }
+                }
+            }
+        }
+        rows.extend(derived);
+        let mut lo: Vec<Option<i128>> = vec![None; n];
+        let mut hi: Vec<Option<i128>> = vec![None; n];
+        for _round in 0..64 {
+            let mut changed = false;
+            for r in &rows {
+                for j in 0..n {
+                    let aj = r[j];
+                    if aj == 0 {
+                        continue;
+                    }
+                    // a_j x_j >= -c - sum_{i != j} a_i x_i; a universally
+                    // valid implied bound uses the *maximum* of the sum.
+                    let mut rest_max: i128 = r[n] as i128;
+                    let mut bounded = true;
+                    for i in 0..n {
+                        if i == j || r[i] == 0 {
+                            continue;
+                        }
+                        let term = if r[i] > 0 {
+                            hi[i].map(|v| r[i] as i128 * v)
+                        } else {
+                            lo[i].map(|v| r[i] as i128 * v)
+                        };
+                        match term {
+                            Some(t) => rest_max += t,
+                            None => {
+                                bounded = false;
+                                break;
+                            }
+                        }
+                    }
+                    if !bounded {
+                        continue;
+                    }
+                    // a_j x_j >= -(c + rest_max)
+                    let rhs = -rest_max;
+                    if aj > 0 {
+                        let b = cd128(rhs, aj as i128);
+                        if lo[j].is_none_or(|cur| b > cur) {
+                            lo[j] = Some(b);
+                            changed = true;
+                        }
+                    } else {
+                        let b = fd128(rhs, aj as i128);
+                        if hi[j].is_none_or(|cur| b < cur) {
+                            hi[j] = Some(b);
+                            changed = true;
+                        }
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+            // Detect emptiness early.
+            for j in 0..n {
+                if let (Some(l), Some(h)) = (lo[j], hi[j]) {
+                    if l > h {
+                        return Ok(vec![(Some(1), Some(0)); n]);
+                    }
+                }
+            }
+        }
+        let clamp = |v: Option<i128>| -> Result<Option<i64>> {
+            match v {
+                None => Ok(None),
+                Some(x) => {
+                    if x > i64::MAX as i128 || x < i64::MIN as i128 {
+                        Ok(None)
+                    } else {
+                        Ok(Some(x as i64))
+                    }
+                }
+            }
+        };
+        let mut out = Vec::with_capacity(n);
+        for j in 0..n {
+            out.push((clamp(lo[j])?, clamp(hi[j])?));
+        }
+        Ok(out)
+    }
+
+    /// Substitutes `var = val`, folding the column into the constant.
+    fn fix(&self, var: usize, val: i64) -> Tableau {
+        let n = self.n;
+        let mut t = Tableau {
+            n: n - 1,
+            eqs: Vec::with_capacity(self.eqs.len()),
+            ineqs: Vec::with_capacity(self.ineqs.len()),
+        };
+        let conv = |r: &Row| -> Row {
+            let mut out = Vec::with_capacity(n);
+            for (i, &c) in r.iter().enumerate() {
+                if i == var {
+                    continue;
+                }
+                out.push(c);
+            }
+            let k = out.len() - 1;
+            out[k] += r[var] * val;
+            out
+        };
+        t.eqs.extend(self.eqs.iter().map(conv));
+        t.ineqs.extend(self.ineqs.iter().map(conv));
+        t
+    }
+}
+
+/// Floor division over `i128`.
+fn fd128(a: i128, b: i128) -> i128 {
+    let q = a / b;
+    if (a % b != 0) && ((a < 0) != (b < 0)) {
+        q - 1
+    } else {
+        q
+    }
+}
+
+/// Ceiling division over `i128`.
+fn cd128(a: i128, b: i128) -> i128 {
+    let q = a / b;
+    if (a % b != 0) && ((a < 0) == (b < 0)) {
+        q + 1
+    } else {
+        q
+    }
+}
+
+/// Union-find over variables connected by shared constraints.
+fn components(t: &Tableau) -> Vec<Vec<usize>> {
+    let n = t.n;
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut [usize], x: usize) -> usize {
+        let mut r = x;
+        while parent[r] != r {
+            r = parent[r];
+        }
+        let mut c = x;
+        while parent[c] != c {
+            let next = parent[c];
+            parent[c] = r;
+            c = next;
+        }
+        r
+    }
+    for r in t.ineqs.iter().chain(t.eqs.iter()) {
+        let mut first: Option<usize> = None;
+        for (j, &coef) in r.iter().enumerate().take(n) {
+            if coef != 0 {
+                match first {
+                    None => first = Some(j),
+                    Some(f) => {
+                        let (a, b) = (find(&mut parent, f), find(&mut parent, j));
+                        if a != b {
+                            parent[a] = b;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let mut groups: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for j in 0..n {
+        let r = find(&mut parent, j);
+        groups[r].push(j);
+    }
+    groups.retain(|g| !g.is_empty());
+    groups
+}
+
+/// Extracts the subsystem touching exactly the variables in `vars`.
+fn subsystem(t: &Tableau, vars: &[usize]) -> Tableau {
+    let mut sub = Tableau {
+        n: vars.len(),
+        eqs: Vec::new(),
+        ineqs: Vec::new(),
+    };
+    let conv = |r: &Row| -> Option<Row> {
+        // Row belongs to this component iff all its nonzero vars are inside.
+        let mut out = vec![0i64; vars.len() + 1];
+        for (new_i, &old_i) in vars.iter().enumerate() {
+            out[new_i] = r[old_i];
+        }
+        out[vars.len()] = r[t.n];
+        let touches = (0..t.n).any(|j| r[j] != 0 && vars.contains(&j));
+        let outside = (0..t.n).any(|j| r[j] != 0 && !vars.contains(&j));
+        if touches && !outside {
+            Some(out)
+        } else {
+            None
+        }
+    };
+    sub.ineqs.extend(t.ineqs.iter().filter_map(conv));
+    let conv2 = |r: &Row| -> Option<Row> {
+        let mut out = vec![0i64; vars.len() + 1];
+        for (new_i, &old_i) in vars.iter().enumerate() {
+            out[new_i] = r[old_i];
+        }
+        out[vars.len()] = r[t.n];
+        let touches = (0..t.n).any(|j| r[j] != 0 && vars.contains(&j));
+        let outside = (0..t.n).any(|j| r[j] != 0 && !vars.contains(&j));
+        if touches && !outside {
+            Some(out)
+        } else {
+            None
+        }
+    };
+    sub.eqs.extend(t.eqs.iter().filter_map(conv2));
+    sub
+}
+
+/// Counts a single variable's feasible interval directly from the rows.
+/// `limit` being set means the caller only needs a lower bound (emptiness
+/// checks), so unbounded-but-satisfiable intervals saturate to the limit.
+fn count_single(t: &Tableau, limit: Option<u128>) -> Result<u128> {
+    debug_assert_eq!(t.n, 1);
+    let mut lo = i64::MIN;
+    let mut hi = i64::MAX;
+    for r in &t.ineqs {
+        let a = r[0];
+        let c = r[1];
+        if a > 0 {
+            lo = lo.max(ceil_div(-c, a));
+        } else if a < 0 {
+            hi = hi.min(floor_div(-c, a));
+        } else if c < 0 {
+            return Ok(0);
+        }
+    }
+    if hi < lo {
+        return Ok(0);
+    }
+    if lo == i64::MIN || hi == i64::MAX {
+        return match limit {
+            Some(l) => Ok(l.max(1)),
+            None => Err(Error::Unbounded(
+                "cannot count a one-sided interval".into(),
+            )),
+        };
+    }
+    Ok((hi - lo + 1) as u128)
+}
+
+/// Arithmetic-series closed form for a two-variable component where the
+/// second variable has exactly one unit-coefficient lower and upper bound.
+/// Returns `None` when the structure does not match.
+fn count_pair_series(t: &Tableau, ranges: &[(Option<i64>, Option<i64>)]) -> Option<u128> {
+    debug_assert_eq!(t.n, 2);
+    if !t.eqs.is_empty() {
+        return None;
+    }
+    // Choose y = variable 1 (arbitrary; try both orders).
+    for (x, y) in [(0usize, 1usize), (1usize, 0usize)] {
+        let mut lowers = Vec::new();
+        let mut uppers = Vec::new();
+        let mut x_rows = Vec::new();
+        let mut ok = true;
+        for r in &t.ineqs {
+            if r[y] == 0 {
+                x_rows.push(r);
+            } else if r[y] == 1 {
+                lowers.push(r);
+            } else if r[y] == -1 {
+                uppers.push(r);
+            } else {
+                ok = false;
+                break;
+            }
+        }
+        if !ok || lowers.len() != 1 || uppers.len() != 1 {
+            continue;
+        }
+        let (xlo, xhi) = match ranges[x] {
+            (Some(l), Some(h)) => (l, h),
+            _ => continue,
+        };
+        // y >= -(b x + c_l); y <= u x + c_u.
+        let l = lowers[0];
+        let u = uppers[0];
+        // Tighten the x range with x-only rows.
+        let (mut xlo, mut xhi) = (xlo, xhi);
+        for r in &x_rows {
+            let a = r[x];
+            let c = r[2];
+            if a > 0 {
+                xlo = xlo.max(ceil_div(-c, a));
+            } else if a < 0 {
+                xhi = xhi.min(floor_div(-c, a));
+            } else if c < 0 {
+                return Some(0);
+            }
+        }
+        if xhi < xlo {
+            return Some(0);
+        }
+        // len(x) = (u[x] + l[x]) x + (u[2] + l[2] + 1)
+        let a = (u[x] as i128) + (l[x] as i128);
+        let b = (u[2] as i128) + (l[2] as i128) + 1;
+        let (mut s, mut e) = (xlo as i128, xhi as i128);
+        if a == 0 {
+            if b <= 0 {
+                return Some(0);
+            }
+            return Some((b as u128) * ((e - s + 1) as u128));
+        }
+        // Solve a*x + b >= 1 over [s, e].
+        if a > 0 {
+            s = s.max(cd128(1 - b, a));
+        } else {
+            e = e.min(fd128(1 - b, a));
+        }
+        if e < s {
+            return Some(0);
+        }
+        // Sum of (a*x + b) for x in [s, e]: arithmetic series.
+        let cnt = e - s + 1;
+        let total = a * (s + e) * cnt / 2 + b * cnt;
+        debug_assert!(total >= 0);
+        return Some(total as u128);
+    }
+    None
+}
+
+/// Recursively counts a pure-inequality tableau. `limit` allows early exit
+/// (used for emptiness checks). `work` guards total effort.
+fn count_rec(t: &Tableau, limit: Option<u128>, work: &mut u64) -> Result<u128> {
+    *work += 1;
+    if *work > WORK_LIMIT {
+        return Err(Error::TooComplex("counting work limit exceeded".into()));
+    }
+    let mut t = t.clone();
+    if !t.normalize_ineqs() {
+        return Ok(0);
+    }
+    if t.n == 0 {
+        return Ok(1);
+    }
+    // Free variables (no nonzero coefficient anywhere) make the count
+    // infinite. For limited queries (emptiness checks) they can be dropped
+    // soundly — any value extends a solution of the rest; for exact counts
+    // they are an error.
+    for col in (0..t.n).rev() {
+        let free = t
+            .eqs
+            .iter()
+            .chain(t.ineqs.iter())
+            .all(|r| r[col] == 0);
+        if free {
+            if limit.is_none() {
+                return Err(Error::Unbounded(format!(
+                    "variable {col} is unconstrained"
+                )));
+            }
+            t.remove_col(col);
+        }
+    }
+    if t.n == 0 {
+        return Ok(1);
+    }
+    if t.n == 1 {
+        return count_single(&t, limit);
+    }
+    let groups = components(&t);
+    if groups.len() > 1 {
+        let mut prod: u128 = 1;
+        for g in &groups {
+            let sub = subsystem(&t, g);
+            let c = count_rec(&sub, limit, work)?;
+            if c == 0 {
+                return Ok(0);
+            }
+            prod = match limit {
+                // Limited counts may saturate (they only bound emptiness).
+                Some(_) => prod.saturating_mul(c),
+                None => prod.checked_mul(c).ok_or(Error::Overflow)?,
+            };
+        }
+        return Ok(prod);
+    }
+    let ranges = t.propagate_bounds()?;
+    for (l, h) in &ranges {
+        if let (Some(l), Some(h)) = (l, h) {
+            if l > h {
+                return Ok(0);
+            }
+        }
+    }
+    if t.n == 2 {
+        if let Some(c) = count_pair_series(&t, &ranges) {
+            return Ok(c);
+        }
+    }
+    // Enumerate the variable with the smallest finite range.
+    let mut best: Option<(usize, i64, i64)> = None;
+    for (j, (l, h)) in ranges.iter().enumerate() {
+        if let (Some(l), Some(h)) = (l, h) {
+            let width = h - l;
+            if best.is_none_or(|(_, bl, bh)| width < bh - bl) {
+                best = Some((j, *l, *h));
+            }
+        }
+    }
+    let (var, lo, hi) = best.ok_or_else(|| {
+        Error::Unbounded("cannot count: no variable has a finite range".into())
+    })?;
+    if hi - lo >= ENUM_LIMIT {
+        return Err(Error::TooComplex(format!(
+            "enumeration range too large ({} values)",
+            (hi - lo) as i128 + 1
+        )));
+    }
+    let mut total: u128 = 0;
+    for v in lo..=hi {
+        let sub = t.fix(var, v);
+        total = total
+            .checked_add(count_rec(&sub, limit.map(|l| l.saturating_sub(total)), work)?)
+            .ok_or(Error::Overflow)?;
+        if let Some(l) = limit {
+            if total >= l {
+                return Ok(total);
+            }
+        }
+    }
+    Ok(total)
+}
+
+/// Exactly counts the integer points of a basic map (pairs of the
+/// relation), over its visible in+out dimensions.
+pub(crate) fn count_basic(bm: &BasicMap) -> Result<u128> {
+    count_basic_limited(bm, None)
+}
+
+/// Like [`count_basic`] but stops early once `limit` points are found.
+pub(crate) fn count_basic_limited(bm: &BasicMap, limit: Option<u128>) -> Result<u128> {
+    let mut t = Tableau::from_basic(bm)?;
+    if !t.eliminate_equalities()? {
+        return Ok(0);
+    }
+    let mut work = 0u64;
+    count_rec(&t, limit, &mut work)
+}
+
+/// Whether a basic map contains no integer point.
+pub(crate) fn basic_is_empty(bm: &BasicMap) -> Result<bool> {
+    Ok(count_basic_limited(bm, Some(1))? == 0)
+}
+
+/// Best-known finite range of a visible variable column.
+pub(crate) fn var_range(bm: &BasicMap, col: usize) -> Result<(i64, i64)> {
+    let t = Tableau::from_basic(bm)?;
+    let ranges = t.propagate_bounds()?;
+    match ranges[col] {
+        (Some(l), Some(h)) => Ok((l, h)),
+        _ => Err(Error::Unbounded(format!(
+            "variable {col} has no finite range"
+        ))),
+    }
+}
+
+/// Returns one point (over the visible dims) of a basic map, or `None`.
+pub(crate) fn basic_sample(bm: &BasicMap) -> Result<Option<Vec<i64>>> {
+    if count_basic_limited(bm, Some(1))? == 0 {
+        return Ok(None);
+    }
+    // The set is non-empty and bounded; enumerate lazily until the first
+    // point is found.
+    let n_vis = bm.div0();
+    let t = Tableau::from_basic(bm)?;
+    let mut point = vec![0i64; t.n];
+    let mut out = Vec::new();
+    match sample_rec(&t, 0, &mut point, &mut out, n_vis) {
+        Ok(()) => Ok(out.into_iter().next()),
+        Err(e) => Err(e),
+    }
+}
+
+fn sample_rec(
+    t: &Tableau,
+    depth: usize,
+    point: &mut Vec<i64>,
+    out: &mut Vec<Vec<i64>>,
+    n_vis: usize,
+) -> Result<()> {
+    if !out.is_empty() {
+        return Ok(());
+    }
+    enum_rec(t, depth, point, out, n_vis, 1).or(Ok(()))
+}
+
+/// Enumerates all points (over the visible dims) of a basic map.
+/// Intended for small sets (simulation, testing); errors out beyond
+/// `limit` points.
+pub(crate) fn basic_points(bm: &BasicMap, limit: usize) -> Result<Vec<Vec<i64>>> {
+    let n_vis = bm.div0();
+    let t = Tableau::from_basic(bm)?;
+    let mut out = Vec::new();
+    let mut point = vec![0i64; t.n];
+    enum_rec(&t, 0, &mut point, &mut out, n_vis, limit)?;
+    Ok(out)
+}
+
+fn enum_rec(
+    t: &Tableau,
+    depth: usize,
+    point: &mut Vec<i64>,
+    out: &mut Vec<Vec<i64>>,
+    n_vis: usize,
+    limit: usize,
+) -> Result<()> {
+    if depth == t.n {
+        // Verify equalities and inequalities exactly.
+        let eval = |r: &Row| -> i128 {
+            let mut s = r[t.n] as i128;
+            for j in 0..t.n {
+                s += (r[j] as i128) * (point[j] as i128);
+            }
+            s
+        };
+        if t.eqs.iter().all(|r| eval(r) == 0) && t.ineqs.iter().all(|r| eval(r) >= 0) {
+            if out.len() >= limit {
+                return Err(Error::TooComplex(format!(
+                    "more than {limit} points during enumeration"
+                )));
+            }
+            out.push(point[..n_vis].to_vec());
+        }
+        return Ok(());
+    }
+    // Partially substituted system: derive bounds for `depth` given the
+    // fixed prefix, using rows whose later variables are all zero.
+    let mut lo = i64::MIN;
+    let mut hi = i64::MAX;
+    let bound = |r: &Row, is_eq: bool, lo: &mut i64, hi: &mut i64| -> Result<()> {
+        let a = r[depth];
+        if a == 0 || (depth + 1..t.n).any(|j| r[j] != 0) {
+            return Ok(());
+        }
+        let mut c = r[t.n] as i128;
+        for j in 0..depth {
+            c += (r[j] as i128) * (point[j] as i128);
+        }
+        let c = i64::try_from(c).map_err(|_| Error::Overflow)?;
+        if a > 0 {
+            *lo = (*lo).max(ceil_div(-c, a));
+            if is_eq {
+                *hi = (*hi).min(floor_div(-c, a));
+            }
+        } else {
+            *hi = (*hi).min(floor_div(-c, a));
+            if is_eq {
+                *lo = (*lo).max(ceil_div(-c, a));
+            }
+        }
+        Ok(())
+    };
+    for r in &t.ineqs {
+        bound(r, false, &mut lo, &mut hi)?;
+    }
+    for r in &t.eqs {
+        bound(r, true, &mut lo, &mut hi)?;
+    }
+    // Also use the global propagated ranges as a backstop.
+    if lo == i64::MIN || hi == i64::MAX {
+        let ranges = t.propagate_bounds()?;
+        if let (Some(l), Some(h)) = ranges[depth] {
+            lo = lo.max(l);
+            hi = hi.min(h);
+        }
+    }
+    if lo == i64::MIN || hi == i64::MAX {
+        return Err(Error::Unbounded(format!(
+            "variable {depth} unbounded during enumeration"
+        )));
+    }
+    for v in lo..=hi {
+        point[depth] = v;
+        enum_rec(t, depth + 1, point, out, n_vis, limit)?;
+    }
+    point[depth] = 0;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::{Space, Tuple};
+
+    fn boxed(bounds: &[(i64, i64)]) -> BasicMap {
+        let dims: Vec<String> = (0..bounds.len()).map(|i| format!("x{i}")).collect();
+        let mut bm = BasicMap::universe(Space::set(Tuple::new("B", dims)));
+        for (i, &(l, h)) in bounds.iter().enumerate() {
+            let mut lo = bm.zero_row();
+            lo[i] = 1;
+            let k = bm.konst();
+            lo[k] = -l;
+            bm.add_ineq(lo);
+            let mut hi = bm.zero_row();
+            hi[i] = -1;
+            hi[bm.konst()] = h;
+            bm.add_ineq(hi);
+        }
+        bm
+    }
+
+    #[test]
+    fn count_box() {
+        let bm = boxed(&[(0, 3), (0, 4)]);
+        assert_eq!(count_basic(&bm).unwrap(), 20);
+    }
+
+    #[test]
+    fn count_empty_box() {
+        let bm = boxed(&[(2, 1)]);
+        assert_eq!(count_basic(&bm).unwrap(), 0);
+    }
+
+    #[test]
+    fn count_triangle() {
+        // 0 <= x, y ; x + y <= 3 -> 10 points.
+        let mut bm = boxed(&[(0, 100), (0, 100)]);
+        let mut r = bm.zero_row();
+        r[0] = -1;
+        r[1] = -1;
+        let k = bm.konst();
+        r[k] = 3;
+        bm.add_ineq(r);
+        assert_eq!(count_basic(&bm).unwrap(), 10);
+    }
+
+    #[test]
+    fn count_with_equality() {
+        // 0 <= x,y <= 9 and x = y -> 10 points.
+        let mut bm = boxed(&[(0, 9), (0, 9)]);
+        let mut r = bm.zero_row();
+        r[0] = 1;
+        r[1] = -1;
+        bm.add_eq(r);
+        assert_eq!(count_basic(&bm).unwrap(), 10);
+    }
+
+    #[test]
+    fn count_with_nonunit_equality() {
+        // 0 <= x <= 20, 0 <= y <= 20, 2x = 3y -> y even, x = 3y/2:
+        // y in {0,2,4,...,12} gives x in {0,3,...,18}: but x <= 20 -> y <= 13
+        // and x = 3y/2 <= 20 -> y <= 13 -> y in {0,2,...,12}: 7 points.
+        let mut bm = boxed(&[(0, 20), (0, 20)]);
+        let mut r = bm.zero_row();
+        r[0] = 2;
+        r[1] = -3;
+        bm.add_eq(r);
+        assert_eq!(count_basic(&bm).unwrap(), 7);
+    }
+
+    #[test]
+    fn count_with_div() {
+        // { [i] : 0 <= i < 16 and i mod 8 < 4 } -> 8 points.
+        let mut bm = boxed(&[(0, 15)]);
+        let num = bm.zero_row();
+        let mut num = num;
+        num[0] = 1;
+        let d = bm.add_div(num, 8).unwrap();
+        // i - 8q <= 3  ->  -i + 8q + 3 >= 0
+        let mut r = bm.zero_row();
+        r[0] = -1;
+        r[d] = 8;
+        let k = bm.konst();
+        r[k] = 3;
+        bm.add_ineq(r);
+        assert_eq!(count_basic(&bm).unwrap(), 8);
+    }
+
+    #[test]
+    fn count_big_series() {
+        // 0 <= x < 100000, 0 <= y <= x: triangular number.
+        let mut bm = boxed(&[(0, 99_999), (0, 1_000_000)]);
+        let mut r = bm.zero_row();
+        r[0] = 1;
+        r[1] = -1;
+        bm.add_ineq(r); // y <= x
+        let n: u128 = 100_000;
+        assert_eq!(count_basic(&bm).unwrap(), n * (n + 1) / 2);
+    }
+
+    #[test]
+    fn points_enumeration() {
+        let bm = boxed(&[(0, 2), (1, 2)]);
+        let pts = basic_points(&bm, 100).unwrap();
+        assert_eq!(pts.len(), 6);
+        assert!(pts.contains(&vec![0, 1]));
+        assert!(pts.contains(&vec![2, 2]));
+    }
+
+    #[test]
+    fn emptiness() {
+        let mut bm = boxed(&[(0, 9)]);
+        let mut r = bm.zero_row();
+        r[0] = 1;
+        let k = bm.konst();
+        r[k] = -100; // x >= 100 contradicts x <= 9
+        bm.add_ineq(r);
+        assert!(basic_is_empty(&bm).unwrap());
+    }
+}

@@ -1,0 +1,35 @@
+//! Error type shared by every fallible operation in the crate.
+
+use std::fmt;
+
+/// Errors produced by integer-set operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// The textual notation could not be parsed.
+    Parse(String),
+    /// Two operands live in incompatible spaces (dimension mismatch).
+    SpaceMismatch(String),
+    /// An exact answer requires the set to be bounded but it is not.
+    Unbounded(String),
+    /// The computation exceeded the configured work limits.
+    TooComplex(String),
+    /// Coefficient arithmetic overflowed `i64`.
+    Overflow,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Parse(m) => write!(f, "parse error: {m}"),
+            Error::SpaceMismatch(m) => write!(f, "space mismatch: {m}"),
+            Error::Unbounded(m) => write!(f, "unbounded set: {m}"),
+            Error::TooComplex(m) => write!(f, "computation too complex: {m}"),
+            Error::Overflow => write!(f, "integer overflow in coefficient arithmetic"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, Error>;

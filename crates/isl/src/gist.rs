@@ -1,0 +1,197 @@
+//! `gist`: constraint simplification relative to a known context.
+//!
+//! `a.gist(ctx)` returns a relation `g` with (a subset of) `a`'s
+//! constraints such that `g ∩ ctx == a ∩ ctx`. It is the ISL idiom for
+//! "simplify `a` assuming `ctx` holds" — e.g. dropping iteration-domain
+//! bounds from a data-assignment relation that is only ever evaluated
+//! inside the domain.
+//!
+//! The implementation is the standard greedy one: a constraint `c` of a
+//! disjunct `b` can be dropped when `(b \ c) ∩ ctx ∩ ¬c` is empty, which
+//! keeps the invariant `b' ∩ ctx == b ∩ ctx` at every step. Disjuncts
+//! that do not intersect the context at all are removed entirely.
+
+use crate::basic::BasicMap;
+use crate::map::Map;
+use crate::set::Set;
+use crate::Result;
+
+impl Map {
+    /// Simplifies this relation under the assumption that `context`
+    /// holds: the result `g` satisfies `g ∩ context == self ∩ context`
+    /// and carries no constraint already implied by the context (w.r.t.
+    /// greedy elimination in reverse constraint order).
+    ///
+    /// ```
+    /// use tenet_isl::Map;
+    /// let access = Map::parse("{ S[i,j] -> A[i + j] : 0 <= i < 4 and 0 <= j < 3 }")?;
+    /// let domain = Map::parse("{ S[i,j] -> A[a] : 0 <= i < 4 and 0 <= j < 3 }")?;
+    /// let g = access.gist(&domain)?;
+    /// // The domain bounds disappear; the access equality stays.
+    /// assert_eq!(g.basics()[0].constraint_count(), 1);
+    /// assert!(g.intersect(&domain)?.is_equal(&access.intersect(&domain)?)?);
+    /// # Ok::<(), tenet_isl::Error>(())
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Propagates space mismatches and emptiness-test failures.
+    pub fn gist(&self, context: &Map) -> Result<Map> {
+        let mut out_basics: Vec<BasicMap> = Vec::new();
+        for b in self.basics() {
+            // Disjuncts disjoint from the context contribute nothing.
+            if Map::from_basic(b.clone()).intersect(context)?.is_empty()? {
+                continue;
+            }
+            out_basics.push(gist_basic(b, context)?);
+        }
+        if out_basics.is_empty() {
+            return Ok(Map::empty(self.space().clone()));
+        }
+        let mut it = out_basics.into_iter();
+        let mut acc = Map::from_basic(it.next().expect("non-empty"));
+        for b in it {
+            acc = acc.union(&Map::from_basic(b))?;
+        }
+        Ok(acc)
+    }
+}
+
+impl Set {
+    /// Set version of [`Map::gist`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates space mismatches and emptiness-test failures.
+    pub fn gist(&self, context: &Set) -> Result<Set> {
+        Set::try_from_map(self.as_map().gist(context.as_map())?)
+    }
+}
+
+fn gist_basic(b: &BasicMap, context: &Map) -> Result<BasicMap> {
+    let mut kept = b.clone();
+
+    // Inequalities: `row >= 0` is redundant when (rest ∧ ctx ∧ row <= -1)
+    // is empty.
+    for idx in (0..kept.ineqs.len()).rev() {
+        let mut without = kept.clone();
+        let row = without.ineqs.remove(idx);
+        let mut neg: Vec<i64> = row.iter().map(|&v| -v).collect();
+        let k = neg.len() - 1;
+        neg[k] -= 1;
+        let mut probe = without.clone();
+        probe.add_ineq(neg);
+        if Map::from_basic(probe).intersect(context)?.is_empty()? {
+            kept = without;
+        }
+    }
+
+    // Equalities: `row == 0` is redundant when both strict sides are
+    // empty under the context.
+    for idx in (0..kept.eqs.len()).rev() {
+        let mut without = kept.clone();
+        let row = without.eqs.remove(idx);
+        let k = row.len() - 1;
+
+        let mut ge1 = row.clone();
+        ge1[k] -= 1; // row >= 1
+        let mut le1: Vec<i64> = row.iter().map(|&v| -v).collect();
+        le1[k] -= 1; // row <= -1
+
+        let mut probe_hi = without.clone();
+        probe_hi.add_ineq(ge1);
+        let mut probe_lo = without.clone();
+        probe_lo.add_ineq(le1);
+
+        if Map::from_basic(probe_hi).intersect(context)?.is_empty()?
+            && Map::from_basic(probe_lo).intersect(context)?.is_empty()?
+        {
+            kept = without;
+        }
+    }
+
+    kept.drop_unused_divs();
+    Ok(kept)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn constraint_count(m: &Map) -> usize {
+        m.basics().iter().map(BasicMap::constraint_count).sum()
+    }
+
+    #[test]
+    fn gist_drops_context_implied_bounds() {
+        let a = Set::parse("{ A[i] : 0 <= i < 8 and i >= 2 }").unwrap();
+        let ctx = Set::parse("{ A[i] : 0 <= i < 8 }").unwrap();
+        let g = a.gist(&ctx).unwrap();
+        // Only `i >= 2` can remain.
+        assert_eq!(constraint_count(g.as_map()), 1);
+        assert!(g
+            .intersect(&ctx)
+            .unwrap()
+            .is_equal(&a.intersect(&ctx).unwrap())
+            .unwrap());
+    }
+
+    #[test]
+    fn gist_of_universe_context_keeps_needed_constraints() {
+        let a = Set::parse("{ A[i] : 3 <= i < 5 }").unwrap();
+        let ctx = Set::parse("{ A[i] : 0 = 0 }").unwrap();
+        let g = a.gist(&ctx).unwrap();
+        assert!(g.is_equal(&a).unwrap());
+    }
+
+    #[test]
+    fn gist_removes_disjoint_disjuncts() {
+        let a = Set::parse("{ A[i] : 0 <= i < 4 }")
+            .unwrap()
+            .union(&Set::parse("{ A[i] : 100 <= i < 104 }").unwrap())
+            .unwrap();
+        let ctx = Set::parse("{ A[i] : 0 <= i < 10 }").unwrap();
+        let g = a.gist(&ctx).unwrap();
+        assert_eq!(g.as_map().basics().len(), 1);
+        assert!(g
+            .intersect(&ctx)
+            .unwrap()
+            .is_equal(&a.intersect(&ctx).unwrap())
+            .unwrap());
+    }
+
+    #[test]
+    fn gist_preserves_equalities_not_implied() {
+        let m = Map::parse("{ S[i,j] -> A[i + j] : 0 <= i < 4 and 0 <= j < 3 }").unwrap();
+        let ctx = Map::parse("{ S[i,j] -> A[a] : 0 <= i < 4 and 0 <= j < 3 }").unwrap();
+        let g = m.gist(&ctx).unwrap();
+        assert_eq!(constraint_count(&g), 1);
+        assert!(g
+            .intersect(&ctx)
+            .unwrap()
+            .is_equal(&m.intersect(&ctx).unwrap())
+            .unwrap());
+    }
+
+    #[test]
+    fn gist_with_empty_intersection_yields_empty() {
+        let a = Set::parse("{ A[i] : 0 <= i < 4 }").unwrap();
+        let ctx = Set::parse("{ A[i] : 10 <= i < 14 }").unwrap();
+        let g = a.gist(&ctx).unwrap();
+        assert!(g.is_empty().unwrap());
+    }
+
+    #[test]
+    fn gist_invariant_on_div_constraints() {
+        // Context provides the range; gist keeps only the parity choice.
+        let a = Set::parse("{ A[i] : 0 <= i < 16 and i mod 2 = 0 }").unwrap();
+        let ctx = Set::parse("{ A[i] : 0 <= i < 16 }").unwrap();
+        let g = a.gist(&ctx).unwrap();
+        assert!(g
+            .intersect(&ctx)
+            .unwrap()
+            .is_equal(&a.intersect(&ctx).unwrap())
+            .unwrap());
+        assert!(constraint_count(g.as_map()) < constraint_count(a.as_map()));
+    }
+}

@@ -1,0 +1,224 @@
+//! Lexicographic optimization: `lexmin` / `lexmax` of bounded sets.
+//!
+//! ISL exposes `isl_set_lexmin`; TENET uses it implicitly whenever a
+//! schedule's first or last stamp matters (e.g. the make-span of a
+//! time-stamp relation). This module implements the operation for the
+//! bounded sets of this crate by dimension-wise binary search over
+//! feasibility, which needs only `O(Σ log(range_d))` emptiness tests.
+
+use crate::basic::BasicMap;
+use crate::count::{basic_is_empty, var_range};
+use crate::map::Map;
+use crate::set::Set;
+use crate::Result;
+
+/// Lexicographically smallest (`maximize = false`) or largest point of a
+/// single basic map over its visible dimensions.
+pub(crate) fn basic_lexopt(bm: &BasicMap, maximize: bool) -> Result<Option<Vec<i64>>> {
+    if basic_is_empty(bm)? {
+        return Ok(None);
+    }
+    let n_vis = bm.div0();
+    let mut cur = bm.clone();
+    let mut point = Vec::with_capacity(n_vis);
+    for d in 0..n_vis {
+        let (mut lo, mut hi) = var_range(&cur, d)?;
+        while lo < hi {
+            if maximize {
+                // Try the upper half: feasible with x_d >= mid?
+                let mid = lo + (hi - lo + 1) / 2;
+                let mut probe = cur.clone();
+                let mut row = probe.zero_row();
+                row[d] = 1;
+                let k = probe.konst();
+                row[k] = -mid;
+                probe.add_ineq(row);
+                if basic_is_empty(&probe)? {
+                    hi = mid - 1;
+                } else {
+                    lo = mid;
+                }
+            } else {
+                // Try the lower half: feasible with x_d <= mid?
+                let mid = lo + (hi - lo) / 2;
+                let mut probe = cur.clone();
+                let mut row = probe.zero_row();
+                row[d] = -1;
+                let k = probe.konst();
+                row[k] = mid;
+                probe.add_ineq(row);
+                if basic_is_empty(&probe)? {
+                    lo = mid + 1;
+                } else {
+                    hi = mid;
+                }
+            }
+        }
+        let mut row = cur.zero_row();
+        row[d] = 1;
+        let k = cur.konst();
+        row[k] = -lo;
+        cur.add_eq(row);
+        point.push(lo);
+    }
+    Ok(Some(point))
+}
+
+/// `a <_lex b`.
+fn lex_less(a: &[i64], b: &[i64]) -> bool {
+    for (x, y) in a.iter().zip(b.iter()) {
+        match x.cmp(y) {
+            std::cmp::Ordering::Less => return true,
+            std::cmp::Ordering::Greater => return false,
+            std::cmp::Ordering::Equal => {}
+        }
+    }
+    false
+}
+
+pub(crate) fn map_lexopt(map: &Map, maximize: bool) -> Result<Option<Vec<i64>>> {
+    let mut best: Option<Vec<i64>> = None;
+    for b in map.basics() {
+        if let Some(p) = basic_lexopt(b, maximize)? {
+            best = Some(match best {
+                None => p,
+                Some(q) => {
+                    let p_better = if maximize {
+                        lex_less(&q, &p)
+                    } else {
+                        lex_less(&p, &q)
+                    };
+                    if p_better {
+                        p
+                    } else {
+                        q
+                    }
+                }
+            });
+        }
+    }
+    Ok(best)
+}
+
+impl Set {
+    /// The lexicographically smallest point of the set, or `None` if it
+    /// is empty.
+    ///
+    /// ```
+    /// use tenet_isl::Set;
+    /// let s = Set::parse("{ T[i, j] : 0 <= i < 4 and 0 <= j < 3 and i + j >= 2 }")?;
+    /// assert_eq!(s.lexmin()?, Some(vec![0, 2]));
+    /// # Ok::<(), tenet_isl::Error>(())
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`crate::Error::Unbounded`] if some dimension has no
+    /// finite bound.
+    pub fn lexmin(&self) -> Result<Option<Vec<i64>>> {
+        map_lexopt(self.as_map(), false)
+    }
+
+    /// The lexicographically largest point of the set, or `None` if it is
+    /// empty.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`crate::Error::Unbounded`] if some dimension has no
+    /// finite bound.
+    pub fn lexmax(&self) -> Result<Option<Vec<i64>>> {
+        map_lexopt(self.as_map(), true)
+    }
+}
+
+impl Map {
+    /// The lexicographically smallest pair `(in ++ out)` of the relation,
+    /// or `None` if it is empty.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`crate::Error::Unbounded`] if some dimension has no
+    /// finite bound.
+    pub fn lexmin(&self) -> Result<Option<Vec<i64>>> {
+        map_lexopt(self, false)
+    }
+
+    /// The lexicographically largest pair `(in ++ out)` of the relation,
+    /// or `None` if it is empty.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`crate::Error::Unbounded`] if some dimension has no
+    /// finite bound.
+    pub fn lexmax(&self) -> Result<Option<Vec<i64>>> {
+        map_lexopt(self, true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexmin_of_box() {
+        let s = Set::parse("{ A[i, j] : 2 <= i < 9 and -3 <= j < 5 }").unwrap();
+        assert_eq!(s.lexmin().unwrap(), Some(vec![2, -3]));
+        assert_eq!(s.lexmax().unwrap(), Some(vec![8, 4]));
+    }
+
+    #[test]
+    fn lexmin_respects_coupling() {
+        // Smallest i is 0, but then j must be >= 2.
+        let s = Set::parse("{ A[i, j] : 0 <= i < 4 and 0 <= j < 3 and i + j >= 2 }").unwrap();
+        assert_eq!(s.lexmin().unwrap(), Some(vec![0, 2]));
+        assert_eq!(s.lexmax().unwrap(), Some(vec![3, 2]));
+    }
+
+    #[test]
+    fn lexopt_of_empty_set_is_none() {
+        let s = Set::parse("{ A[i] : 0 <= i < 4 and i >= 7 }").unwrap();
+        assert_eq!(s.lexmin().unwrap(), None);
+        assert_eq!(s.lexmax().unwrap(), None);
+    }
+
+    #[test]
+    fn lexopt_across_disjuncts() {
+        let a = Set::parse("{ A[i] : 5 <= i < 9 }").unwrap();
+        let b = Set::parse("{ A[i] : 0 <= i < 2 }").unwrap();
+        let u = a.union(&b).unwrap();
+        assert_eq!(u.lexmin().unwrap(), Some(vec![0]));
+        assert_eq!(u.lexmax().unwrap(), Some(vec![8]));
+    }
+
+    #[test]
+    fn lexopt_with_divs() {
+        // Even numbers in [1, 10): lexmin 2, lexmax 8.
+        let s = Set::parse("{ A[i] : 1 <= i < 10 and i mod 2 = 0 }").unwrap();
+        assert_eq!(s.lexmin().unwrap(), Some(vec![2]));
+        assert_eq!(s.lexmax().unwrap(), Some(vec![8]));
+    }
+
+    #[test]
+    fn lexopt_matches_enumeration() {
+        let s =
+            Set::parse("{ A[i, j, k] : 0 <= i < 5 and 0 <= j < 5 and 0 <= k < 5 and i + 2 j - k >= 3 and k >= i }")
+                .unwrap();
+        let mut pts = s.points(1000).unwrap();
+        pts.sort();
+        assert_eq!(s.lexmin().unwrap().as_deref(), pts.first().map(|v| &v[..]));
+        assert_eq!(s.lexmax().unwrap().as_deref(), pts.last().map(|v| &v[..]));
+    }
+
+    #[test]
+    fn map_lexmin_orders_input_then_output() {
+        let m = crate::Map::parse("{ A[i] -> B[j] : 0 <= i < 3 and i <= j < 4 }").unwrap();
+        assert_eq!(m.lexmin().unwrap(), Some(vec![0, 0]));
+        assert_eq!(m.lexmax().unwrap(), Some(vec![2, 3]));
+    }
+
+    #[test]
+    fn unbounded_dimension_errors() {
+        let s = Set::parse("{ A[i] : i >= 0 }").unwrap();
+        assert!(s.lexmin().is_err());
+    }
+}

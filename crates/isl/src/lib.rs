@@ -1,0 +1,68 @@
+//! # tenet-isl
+//!
+//! A from-scratch integer set library (Presburger sets and relations)
+//! providing the substrate that the original TENET implementation obtained
+//! from ISL and the Barvinok counting library.
+//!
+//! The crate models **bounded, non-parametric** integer sets and binary
+//! relations constrained by affine equalities/inequalities over integer
+//! variables, extended with *div* columns (`floor(expr/d)`) so that
+//! quasi-affine dataflows (`i mod 8`, `floor(i/8)`) are first-class.
+//!
+//! Supported operations mirror the ISL entry points cited in the paper
+//! (Section V-C):
+//!
+//! | paper / ISL                      | here                       |
+//! |----------------------------------|----------------------------|
+//! | `isl_union_map` structures       | [`Map`], [`Set`]           |
+//! | `isl_union_map_reverse`          | [`Map::reverse`]           |
+//! | `isl_union_map_apply_range`      | [`Map::apply_range`]       |
+//! | `isl_union_map_card` + Barvinok  | [`Map::card`], [`Set::card`] |
+//! | intersection / subtraction      | [`Map::intersect`], [`Map::subtract`] |
+//!
+//! # Example
+//!
+//! The Figure 3 dataflow of the paper, directly in its notation:
+//!
+//! ```
+//! use tenet_isl::Map;
+//!
+//! let theta = Map::parse(
+//!     "{ S[i,j,k] -> PE[i, j] : 0 <= i < 2 and 0 <= j < 2 and 0 <= k < 4 }",
+//! )?;
+//! assert_eq!(theta.card()?, 16);
+//! let pes = theta.range()?;
+//! assert_eq!(pes.card()?, 4);
+//! # Ok::<(), tenet_isl::Error>(())
+//! ```
+//!
+//! # Exactness
+//!
+//! Every operation is exact: projection uses equality substitution,
+//! modular reduction, unit-coefficient Fourier–Motzkin and (for bounded
+//! variables) finite splitting; counting uses bijective equality
+//! elimination, independent-component factoring, closed forms, and
+//! enumeration with bound propagation. Unbounded sets are rejected with
+//! [`Error::Unbounded`] rather than silently approximated.
+
+#![warn(missing_docs)]
+
+mod basic;
+mod coalesce;
+mod count;
+mod error;
+mod fmt;
+mod gist;
+mod lexopt;
+mod map;
+mod parse;
+mod project;
+mod set;
+mod space;
+pub mod value;
+
+pub use basic::{BasicMap, DivDef};
+pub use error::{Error, Result};
+pub use map::Map;
+pub use set::Set;
+pub use space::{Space, Tuple};

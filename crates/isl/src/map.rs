@@ -1,0 +1,680 @@
+//! [`Map`]: a finite union of [`BasicMap`]s over a common space, with the
+//! full suite of relational operations used by TENET's performance model.
+
+use crate::basic::{BasicMap, Row};
+use crate::count;
+use crate::project::eliminate_vars;
+use crate::set::Set;
+use crate::space::{Space, Tuple};
+use crate::{Error, Result};
+
+/// A binary integer relation: a union of basic maps.
+///
+/// ```
+/// use tenet_isl::Map;
+/// let m = Map::parse("{ S[i, j] -> PE[i] : 0 <= i < 4 and 0 <= j < 3 }")?;
+/// assert_eq!(m.card()?, 12);
+/// # Ok::<(), tenet_isl::Error>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Map {
+    pub(crate) space: Space,
+    pub(crate) basics: Vec<BasicMap>,
+}
+
+impl Map {
+    /// Parses a map from the ISL-style textual notation used in the paper,
+    /// e.g. `{ S[i,j,k] -> PE[i mod 8, j mod 8] : 0 <= i < 64 }`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Parse`] for malformed or non-affine input.
+    pub fn parse(text: &str) -> Result<Map> {
+        crate::parse::parse_map(text)
+    }
+
+    /// A map holding a single basic map.
+    pub fn from_basic(bm: BasicMap) -> Map {
+        Map {
+            space: bm.space().clone(),
+            basics: vec![bm],
+        }
+    }
+
+    /// The unconstrained relation over `space`.
+    pub fn universe(space: Space) -> Map {
+        Map {
+            space: space.clone(),
+            basics: vec![BasicMap::universe(space)],
+        }
+    }
+
+    /// The empty relation over `space`.
+    pub fn empty(space: Space) -> Map {
+        Map {
+            space,
+            basics: Vec::new(),
+        }
+    }
+
+    /// The identity relation `{ in[x] -> out[x] }`.
+    pub fn identity(input: Tuple, output: Tuple) -> Result<Map> {
+        Ok(Map::from_basic(BasicMap::identity(input, output)?))
+    }
+
+    /// The space of the relation.
+    pub fn space(&self) -> &Space {
+        &self.space
+    }
+
+    /// Number of input dimensions.
+    pub fn n_in(&self) -> usize {
+        self.space.n_in()
+    }
+
+    /// Number of output dimensions.
+    pub fn n_out(&self) -> usize {
+        self.space.n_out()
+    }
+
+    /// The disjuncts of this relation.
+    pub fn basics(&self) -> &[BasicMap] {
+        &self.basics
+    }
+
+    fn check_compatible(&self, other: &Map, op: &str) -> Result<()> {
+        if !self.space.is_compatible(&other.space) {
+            return Err(Error::SpaceMismatch(format!(
+                "{op}: {} vs {}",
+                self.space, other.space
+            )));
+        }
+        Ok(())
+    }
+
+    /// Set-union of two relations over compatible spaces.
+    pub fn union(&self, other: &Map) -> Result<Map> {
+        self.check_compatible(other, "union")?;
+        let mut basics = self.basics.clone();
+        let var_map: Vec<usize> = (0..self.n_in() + self.n_out()).collect();
+        for b in &other.basics {
+            // Renormalize into self's space (names may differ).
+            let mut nb = BasicMap::universe(self.space.clone());
+            nb.import_constraints(b, &var_map)?;
+            if !basics.contains(&nb) {
+                basics.push(nb);
+            }
+        }
+        Ok(Map {
+            space: self.space.clone(),
+            basics,
+        })
+    }
+
+    /// Intersection of two relations over compatible spaces.
+    pub fn intersect(&self, other: &Map) -> Result<Map> {
+        self.check_compatible(other, "intersect")?;
+        let var_map: Vec<usize> = (0..self.n_in() + self.n_out()).collect();
+        let mut basics = Vec::new();
+        for a in &self.basics {
+            for b in &other.basics {
+                let mut nb = a.clone();
+                nb.import_constraints(b, &var_map)?;
+                if nb.simplify() && !count::basic_is_empty(&nb)? {
+                    nb.drop_unused_divs();
+                    basics.push(nb);
+                }
+            }
+        }
+        Ok(Map {
+            space: self.space.clone(),
+            basics,
+        }
+        .coalesce())
+    }
+
+    /// Exact set difference `self \ other`.
+    pub fn subtract(&self, other: &Map) -> Result<Map> {
+        self.check_compatible(other, "subtract")?;
+        let mut pieces = self.basics.clone();
+        for c in &other.basics {
+            let mut next = Vec::new();
+            for p in &pieces {
+                next.extend(basic_subtract(p, c)?);
+            }
+            pieces = next;
+            if pieces.is_empty() {
+                break;
+            }
+        }
+        Ok(Map {
+            space: self.space.clone(),
+            basics: pieces,
+        })
+    }
+
+    /// The reversed relation (`out -> in`).
+    pub fn reverse(&self) -> Map {
+        Map {
+            space: self.space.reversed(),
+            basics: self.basics.iter().map(BasicMap::reverse).collect(),
+        }
+    }
+
+    /// Relation composition `other ∘ self`: `{ x -> z : ∃y. self(x)=y ∧
+    /// other(y)=z }` — ISL's `isl_union_map_apply_range`.
+    pub fn apply_range(&self, other: &Map) -> Result<Map> {
+        if self.n_out() != other.n_in() {
+            return Err(Error::SpaceMismatch(format!(
+                "apply_range: range {} vs domain {}",
+                self.space.output, other.space.input
+            )));
+        }
+        let nx = self.n_in();
+        let ny = self.n_out();
+        let nz = other.n_out();
+        let mut out_dims: Vec<String> = other.space.output.dims.clone();
+        for i in 0..ny {
+            out_dims.push(format!("_m{i}"));
+        }
+        let space = Space::map(
+            self.space.input.clone(),
+            Tuple {
+                name: other.space.output.name.clone(),
+                dims: out_dims,
+            },
+        );
+        // var maps into the combined layout [X | Z | Ymid].
+        let var_map_a: Vec<usize> = (0..nx).chain(nx + nz..nx + nz + ny).collect();
+        let var_map_b: Vec<usize> = (nx + nz..nx + nz + ny).chain(nx..nx + nz).collect();
+        let mut basics = Vec::new();
+        for a in &self.basics {
+            for b in &other.basics {
+                let mut comb = BasicMap::universe(space.clone());
+                comb.import_constraints(a, &var_map_a)?;
+                comb.import_constraints(b, &var_map_b)?;
+                let targets: Vec<usize> = (nx + nz..nx + nz + ny).collect();
+                basics.extend(eliminate_vars(comb, targets)?);
+            }
+        }
+        let result_space = Space::map(self.space.input.clone(), other.space.output.clone());
+        let mut m = Map {
+            space: result_space.clone(),
+            basics,
+        };
+        for b in m.basics.iter_mut() {
+            b.space = result_space.clone();
+        }
+        m.basics.dedup();
+        // Compositions through case splits and offset unions produce many
+        // adjacent disjuncts; merge them so downstream set algebra stays
+        // close to linear.
+        Ok(m.coalesce())
+    }
+
+    /// Projects away output dimensions `[first, first + n)`.
+    pub fn project_out_out(&self, first: usize, n: usize) -> Result<Map> {
+        let n_in = self.n_in();
+        let mut space = self.space.clone();
+        space.output.dims.drain(first..first + n);
+        let mut basics = Vec::new();
+        for b in &self.basics {
+            let targets: Vec<usize> = (n_in + first..n_in + first + n).collect();
+            basics.extend(eliminate_vars(b.clone(), targets)?);
+        }
+        for b in basics.iter_mut() {
+            b.space = space.clone();
+        }
+        basics.dedup();
+        Ok(Map { space, basics })
+    }
+
+    /// Projects away input dimensions `[first, first + n)`.
+    pub fn project_out_in(&self, first: usize, n: usize) -> Result<Map> {
+        let mut space = self.space.clone();
+        space.input.dims.drain(first..first + n);
+        let mut basics = Vec::new();
+        for b in &self.basics {
+            let targets: Vec<usize> = (first..first + n).collect();
+            basics.extend(eliminate_vars(b.clone(), targets)?);
+        }
+        for b in basics.iter_mut() {
+            b.space = space.clone();
+        }
+        basics.dedup();
+        Ok(Map { space, basics })
+    }
+
+    /// The range of the relation, as a set.
+    pub fn range(&self) -> Result<Set> {
+        let m = self.project_out_in(0, self.n_in())?;
+        Ok(Set::from_map_unchecked(m))
+    }
+
+    /// The domain of the relation, as a set.
+    pub fn domain(&self) -> Result<Set> {
+        self.reverse().range()
+    }
+
+    /// Reinterprets the relation as a set over the concatenated
+    /// `in ++ out` dimensions (ISL's `wrap`).
+    pub fn wrap(&self) -> Set {
+        let mut dims = self.space.input.dims.clone();
+        dims.extend(self.space.output.dims.iter().cloned());
+        let space = Space::set(Tuple {
+            name: None,
+            dims,
+        });
+        let basics = self
+            .basics
+            .iter()
+            .map(|b| {
+                let mut nb = b.clone();
+                nb.space = space.clone();
+                nb
+            })
+            .collect();
+        Set::from_map_unchecked(Map {
+            space,
+            basics,
+        })
+    }
+
+    /// Restricts the domain to `set`.
+    pub fn intersect_domain(&self, set: &Set) -> Result<Map> {
+        if set.n_dim() != self.n_in() {
+            return Err(Error::SpaceMismatch(format!(
+                "intersect_domain: set has {} dims, domain has {}",
+                set.n_dim(),
+                self.n_in()
+            )));
+        }
+        let var_map: Vec<usize> = (0..self.n_in()).collect();
+        self.intersect_with_mapped(set, &var_map)
+    }
+
+    /// Restricts the range to `set`.
+    pub fn intersect_range(&self, set: &Set) -> Result<Map> {
+        if set.n_dim() != self.n_out() {
+            return Err(Error::SpaceMismatch(format!(
+                "intersect_range: set has {} dims, range has {}",
+                set.n_dim(),
+                self.n_out()
+            )));
+        }
+        let var_map: Vec<usize> = (self.n_in()..self.n_in() + self.n_out()).collect();
+        self.intersect_with_mapped(set, &var_map)
+    }
+
+    fn intersect_with_mapped(&self, set: &Set, var_map: &[usize]) -> Result<Map> {
+        let mut basics = Vec::new();
+        for a in &self.basics {
+            for b in set.as_map().basics() {
+                let mut nb = a.clone();
+                nb.import_constraints(b, var_map)?;
+                if nb.simplify() {
+                    nb.drop_unused_divs();
+                    basics.push(nb);
+                }
+            }
+        }
+        Ok(Map {
+            space: self.space.clone(),
+            basics,
+        })
+    }
+
+    /// Fixes input dimension `dim` to `val`.
+    pub fn fix_in(&self, dim: usize, val: i64) -> Map {
+        self.fix_col(dim, val)
+    }
+
+    /// Fixes output dimension `dim` to `val`.
+    pub fn fix_out(&self, dim: usize, val: i64) -> Map {
+        self.fix_col(self.n_in() + dim, val)
+    }
+
+    fn fix_col(&self, col: usize, val: i64) -> Map {
+        let basics = self
+            .basics
+            .iter()
+            .map(|b| {
+                let mut nb = b.clone();
+                let mut eq = nb.zero_row();
+                eq[col] = 1;
+                let k = nb.konst();
+                eq[k] = -val;
+                nb.add_eq(eq);
+                nb
+            })
+            .collect();
+        Map {
+            space: self.space.clone(),
+            basics,
+        }
+    }
+
+    /// Exact number of pairs in the relation.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`Error::Unbounded`] if the relation is not bounded.
+    pub fn card(&self) -> Result<u128> {
+        // Disjoint decomposition: b_i minus all earlier disjuncts.
+        let mut total: u128 = 0;
+        for (i, b) in self.basics.iter().enumerate() {
+            let mut pieces = vec![b.clone()];
+            for prev in &self.basics[..i] {
+                let mut next = Vec::new();
+                for p in &pieces {
+                    next.extend(basic_subtract(p, prev)?);
+                }
+                pieces = next;
+                if pieces.is_empty() {
+                    break;
+                }
+            }
+            for p in &pieces {
+                total = total
+                    .checked_add(count::count_basic(p)?)
+                    .ok_or(Error::Overflow)?;
+            }
+        }
+        Ok(total)
+    }
+
+    /// Whether the relation contains no pairs.
+    pub fn is_empty(&self) -> Result<bool> {
+        for b in &self.basics {
+            if !count::basic_is_empty(b)? {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    /// Whether `self ⊆ other`.
+    pub fn is_subset(&self, other: &Map) -> Result<bool> {
+        self.subtract(other)?.is_empty()
+    }
+
+    /// Whether the two relations contain exactly the same pairs.
+    pub fn is_equal(&self, other: &Map) -> Result<bool> {
+        Ok(self.is_subset(other)? && other.is_subset(self)?)
+    }
+
+    /// Whether the concatenated point `in ++ out` belongs to the relation.
+    pub fn contains_point(&self, point: &[i64]) -> Result<bool> {
+        for b in &self.basics {
+            if b.contains_point(point)? {
+                return Ok(true);
+            }
+        }
+        Ok(false)
+    }
+
+    /// Enumerates all pairs (as `in ++ out` coordinate vectors), sorted and
+    /// deduplicated. Intended for small relations.
+    ///
+    /// # Errors
+    ///
+    /// Fails when more than `limit` points would be produced.
+    pub fn points(&self, limit: usize) -> Result<Vec<Vec<i64>>> {
+        let mut all = std::collections::BTreeSet::new();
+        for b in &self.basics {
+            for p in count::basic_points(b, limit)? {
+                all.insert(p);
+                if all.len() > limit {
+                    return Err(Error::TooComplex(format!("more than {limit} points")));
+                }
+            }
+        }
+        Ok(all.into_iter().collect())
+    }
+
+    /// Merges disjuncts when their union is exactly representable as one
+    /// basic map (see [`crate::coalesce`] patterns). Never changes the
+    /// set of pairs.
+    pub fn coalesce(&self) -> Map {
+        crate::coalesce::coalesce_map(self)
+    }
+
+    /// The difference set `{ out - in : (in, out) ∈ self }` (ISL's
+    /// `deltas`); input and output arities must match. Useful for
+    /// dependence-distance and reuse-vector analysis.
+    pub fn deltas(&self) -> Result<Set> {
+        let n = self.n_in();
+        if n != self.n_out() {
+            return Err(Error::SpaceMismatch(
+                "deltas requires equal input/output arities".into(),
+            ));
+        }
+        let d_dims: Vec<String> = (0..n).map(|i| format!("d{i}")).collect();
+        let mut x_dims: Vec<String> = (0..n).map(|i| format!("_x{i}")).collect();
+        let mut y_dims: Vec<String> = (0..n).map(|i| format!("_y{i}")).collect();
+        let mut out_dims = d_dims;
+        out_dims.append(&mut x_dims);
+        out_dims.append(&mut y_dims);
+        let space = Space::set(Tuple {
+            name: None,
+            dims: out_dims,
+        });
+        let mut basics = Vec::new();
+        for b in &self.basics {
+            let mut comb = BasicMap::universe(space.clone());
+            // map's in dims -> x block (cols n..2n); out dims -> y block.
+            let var_map: Vec<usize> = (n..2 * n).chain(2 * n..3 * n).collect();
+            comb.import_constraints(b, &var_map)?;
+            for i in 0..n {
+                let mut eq = comb.zero_row();
+                eq[i] = 1; // d_i
+                eq[n + i] = 1; // + x_i
+                eq[2 * n + i] = -1; // - y_i
+                comb.add_eq(eq); // d = y - x
+            }
+            let targets: Vec<usize> = (n..3 * n).collect();
+            basics.extend(crate::project::eliminate_vars(comb, targets)?);
+        }
+        let final_space = Space::set(Tuple {
+            name: None,
+            dims: (0..n).map(|i| format!("d{i}")).collect(),
+        });
+        for b in basics.iter_mut() {
+            b.space = final_space.clone();
+        }
+        basics.dedup();
+        Ok(Set::from_map_unchecked(Map {
+            space: final_space,
+            basics,
+        }))
+    }
+
+    /// Returns some point of the relation (as `in ++ out` coordinates), or
+    /// `None` if it is empty.
+    pub fn sample(&self) -> Result<Option<Vec<i64>>> {
+        for b in &self.basics {
+            if let Some(p) = count::basic_sample(b)? {
+                return Ok(Some(p));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Whether the relation is single-valued (a partial function): no
+    /// input relates to two different outputs. TENET dataflows must be
+    /// single-valued — every loop instance executes on exactly one
+    /// spacetime-stamp.
+    ///
+    /// ```
+    /// use tenet_isl::Map;
+    /// let f = Map::parse("{ S[i] -> T[i + 1] : 0 <= i < 4 }")?;
+    /// assert!(f.is_single_valued()?);
+    /// let r = Map::parse("{ S[i] -> T[j] : 0 <= i < 4 and 0 <= j < 2 }")?;
+    /// assert!(!r.is_single_valued()?);
+    /// # Ok::<(), tenet_isl::Error>(())
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Propagates failures of the underlying composition and subset
+    /// tests.
+    pub fn is_single_valued(&self) -> Result<bool> {
+        // { o1 -> o2 : exists i, (i -> o1) in M and (i -> o2) in M } is
+        // contained in the identity.
+        let pairs = self.reverse().apply_range(self)?;
+        let id = Map::identity(pairs.space().input.clone(), pairs.space().output.clone())?;
+        pairs.is_subset(&id)
+    }
+
+    /// Whether the relation is injective: no two inputs share an output
+    /// (one MAC per PE per cycle, Section II-A of the paper).
+    ///
+    /// # Errors
+    ///
+    /// Propagates failures of the underlying composition and subset
+    /// tests.
+    pub fn is_injective(&self) -> Result<bool> {
+        // { i1 -> i2 : exists o, (i1 -> o) in M and (i2 -> o) in M } is
+        // contained in the identity.
+        let pairs = self.apply_range(&self.reverse())?;
+        let id = Map::identity(pairs.space().input.clone(), pairs.space().output.clone())?;
+        pairs.is_subset(&id)
+    }
+
+    /// Whether the relation is a bijection between its domain and range.
+    ///
+    /// # Errors
+    ///
+    /// Propagates failures of [`Map::is_single_valued`] and
+    /// [`Map::is_injective`].
+    pub fn is_bijective(&self) -> Result<bool> {
+        Ok(self.is_single_valued()? && self.is_injective()?)
+    }
+
+    /// Renames the space (arities must match).
+    pub fn with_space(&self, space: Space) -> Result<Map> {
+        if !self.space.is_compatible(&space) {
+            return Err(Error::SpaceMismatch(format!(
+                "cannot rename {} to {}",
+                self.space, space
+            )));
+        }
+        let basics = self
+            .basics
+            .iter()
+            .map(|b| {
+                let mut nb = b.clone();
+                nb.space = space.clone();
+                nb
+            })
+            .collect();
+        Ok(Map {
+            space,
+            basics,
+        })
+    }
+}
+
+/// Exact difference of two basic maps as a disjoint union of basic maps.
+pub(crate) fn basic_subtract(p: &BasicMap, c: &BasicMap) -> Result<Vec<BasicMap>> {
+    debug_assert_eq!(p.div0(), c.div0());
+    let var_map: Vec<usize> = (0..p.div0()).collect();
+    let mut base = p.clone();
+    let div_map = base.import_divs(c, &var_map)?;
+    // Collect c's constraints as inequality rows in base's layout.
+    let mut cons: Vec<Row> = Vec::new();
+    for r in &c.ineqs {
+        cons.push(base.translate_row(c, &var_map, &div_map, r));
+    }
+    for r in &c.eqs {
+        let row = base.translate_row(c, &var_map, &div_map, r);
+        let neg: Row = row.iter().map(|v| -v).collect();
+        cons.push(row);
+        cons.push(neg);
+    }
+    // Progressive cut: piece_i = base ∧ c_0 ∧ ... ∧ c_{i-1} ∧ ¬c_i.
+    let mut pieces = Vec::new();
+    let mut cur = base;
+    for t in cons {
+        let mut piece = cur.clone();
+        let mut neg: Row = t.iter().map(|v| -v).collect();
+        let k = piece.konst();
+        neg[k] -= 1;
+        piece.add_ineq(neg);
+        if piece.simplify() && !count::basic_is_empty(&piece)? {
+            piece.drop_unused_divs();
+            pieces.push(piece);
+        }
+        cur.add_ineq(t);
+    }
+    Ok(pieces)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn union_and_card() {
+        let a = Map::parse("{ A[i] -> B[i] : 0 <= i < 4 }").unwrap();
+        let b = Map::parse("{ A[i] -> B[i] : 2 <= i < 6 }").unwrap();
+        let u = a.union(&b).unwrap();
+        assert_eq!(u.card().unwrap(), 6);
+    }
+
+    #[test]
+    fn subtract_removes_overlap() {
+        let a = Map::parse("{ A[i] -> B[i] : 0 <= i < 10 }").unwrap();
+        let b = Map::parse("{ A[i] -> B[i] : 3 <= i < 5 }").unwrap();
+        let d = a.subtract(&b).unwrap();
+        assert_eq!(d.card().unwrap(), 8);
+        assert!(d.contains_point(&[2, 2]).unwrap());
+        assert!(!d.contains_point(&[3, 3]).unwrap());
+    }
+
+    #[test]
+    fn apply_range_composes() {
+        let a = Map::parse("{ A[i] -> B[i + 1] : 0 <= i < 5 }").unwrap();
+        let b = Map::parse("{ B[j] -> C[2 j] }").unwrap();
+        let c = a.apply_range(&b).unwrap();
+        // i -> 2(i+1) for i in [0,5)
+        assert_eq!(c.card().unwrap(), 5);
+        assert!(c.contains_point(&[0, 2]).unwrap());
+        assert!(c.contains_point(&[4, 10]).unwrap());
+        assert!(!c.contains_point(&[0, 3]).unwrap());
+    }
+
+    #[test]
+    fn reverse_and_domain_range() {
+        let a = Map::parse("{ A[i] -> B[i, i] : 0 <= i < 3 }").unwrap();
+        let r = a.reverse();
+        assert!(r.contains_point(&[1, 1, 1]).unwrap());
+        let dom = a.domain().unwrap();
+        assert_eq!(dom.card().unwrap(), 3);
+        let rng = a.range().unwrap();
+        assert_eq!(rng.card().unwrap(), 3);
+    }
+
+    #[test]
+    fn wrap_counts_pairs() {
+        let a = Map::parse("{ A[i] -> B[j] : 0 <= i < 2 and 0 <= j < 3 }").unwrap();
+        assert_eq!(a.wrap().card().unwrap(), 6);
+    }
+
+    #[test]
+    fn identity_subset() {
+        let id = Map::identity(Tuple::new("A", ["x"]), Tuple::new("B", ["y"])).unwrap();
+        let m = Map::parse("{ A[i] -> B[i] : 0 <= i < 7 }").unwrap();
+        assert!(m.is_subset(&id).unwrap());
+        let m2 = Map::parse("{ A[i] -> B[i + 1] : 0 <= i < 7 }").unwrap();
+        assert!(!m2.is_subset(&id).unwrap());
+    }
+
+    #[test]
+    fn card_with_mod_div() {
+        let m = Map::parse("{ S[i, j] -> PE[i mod 4] : 0 <= i < 16 and 0 <= j < 2 }").unwrap();
+        assert_eq!(m.card().unwrap(), 32);
+        let rng = m.range().unwrap();
+        assert_eq!(rng.card().unwrap(), 4);
+    }
+}

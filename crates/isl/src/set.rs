@@ -1,0 +1,239 @@
+//! [`Set`]: an integer set, represented as a relation with an empty domain.
+
+use crate::map::Map;
+use crate::space::{Space, Tuple};
+use crate::{Error, Result};
+
+/// A set of integer tuples (a [`Map`] with zero input dimensions).
+///
+/// ```
+/// use tenet_isl::Set;
+/// let s = Set::parse("{ S[i, j] : 0 <= i < 4 and 0 <= j <= i }")?;
+/// assert_eq!(s.card()?, 10);
+/// # Ok::<(), tenet_isl::Error>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Set {
+    map: Map,
+}
+
+impl Set {
+    /// Parses a set from textual notation, e.g. `{ PE[i, j] : 0 <= i, 0 <=
+    /// j and i < 8 and j < 8 }`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Parse`] for malformed or non-affine input.
+    pub fn parse(text: &str) -> Result<Set> {
+        crate::parse::parse_set(text)
+    }
+
+    /// Wraps a map that already has an empty domain.
+    pub(crate) fn from_map_unchecked(map: Map) -> Set {
+        debug_assert_eq!(map.n_in(), 0);
+        Set { map }
+    }
+
+    /// Converts a zero-input map into a set.
+    pub fn try_from_map(map: Map) -> Result<Set> {
+        if map.n_in() != 0 {
+            return Err(Error::SpaceMismatch(
+                "a set must have an empty input tuple".into(),
+            ));
+        }
+        Ok(Set { map })
+    }
+
+    /// The unconstrained set over `tuple`.
+    pub fn universe(tuple: Tuple) -> Set {
+        Set {
+            map: Map::universe(Space::set(tuple)),
+        }
+    }
+
+    /// The empty set over `tuple`.
+    pub fn empty(tuple: Tuple) -> Set {
+        Set {
+            map: Map::empty(Space::set(tuple)),
+        }
+    }
+
+    /// The underlying map view (empty domain).
+    pub fn as_map(&self) -> &Map {
+        &self.map
+    }
+
+    /// Consumes the set, returning the underlying map.
+    pub fn into_map(self) -> Map {
+        self.map
+    }
+
+    /// The tuple this set ranges over.
+    pub fn tuple(&self) -> &Tuple {
+        &self.map.space().output
+    }
+
+    /// Number of dimensions.
+    pub fn n_dim(&self) -> usize {
+        self.map.n_out()
+    }
+
+    /// Set union.
+    pub fn union(&self, other: &Set) -> Result<Set> {
+        Ok(Set {
+            map: self.map.union(&other.map)?,
+        })
+    }
+
+    /// Set intersection.
+    pub fn intersect(&self, other: &Set) -> Result<Set> {
+        Ok(Set {
+            map: self.map.intersect(&other.map)?,
+        })
+    }
+
+    /// Exact set difference.
+    pub fn subtract(&self, other: &Set) -> Result<Set> {
+        Ok(Set {
+            map: self.map.subtract(&other.map)?,
+        })
+    }
+
+    /// Projects away dimensions `[first, first + n)`.
+    pub fn project_out(&self, first: usize, n: usize) -> Result<Set> {
+        Ok(Set {
+            map: self.map.project_out_out(first, n)?,
+        })
+    }
+
+    /// Fixes dimension `dim` to `val`.
+    pub fn fix(&self, dim: usize, val: i64) -> Set {
+        Set {
+            map: self.map.fix_out(dim, val),
+        }
+    }
+
+    /// Exact number of points.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`Error::Unbounded`] if the set is not bounded.
+    pub fn card(&self) -> Result<u128> {
+        self.map.card()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> Result<bool> {
+        self.map.is_empty()
+    }
+
+    /// Whether `self ⊆ other`.
+    pub fn is_subset(&self, other: &Set) -> Result<bool> {
+        self.map.is_subset(&other.map)
+    }
+
+    /// Whether the two sets contain exactly the same points.
+    pub fn is_equal(&self, other: &Set) -> Result<bool> {
+        self.map.is_equal(&other.map)
+    }
+
+    /// Whether `point` belongs to the set.
+    pub fn contains_point(&self, point: &[i64]) -> Result<bool> {
+        self.map.contains_point(point)
+    }
+
+    /// Enumerates all points, sorted. Intended for small sets.
+    pub fn points(&self, limit: usize) -> Result<Vec<Vec<i64>>> {
+        self.map.points(limit)
+    }
+
+    /// Best-known finite bounds `[lo, hi]` of dimension `dim` across all
+    /// disjuncts.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`Error::Unbounded`] when no finite bound can be derived.
+    pub fn dim_bounds(&self, dim: usize) -> Result<(i64, i64)> {
+        let mut bounds: Option<(i64, i64)> = None;
+        for b in self.map.basics() {
+            let (lo, hi) = crate::count::var_range(b, dim)?;
+            bounds = Some(match bounds {
+                None => (lo, hi),
+                Some((l, h)) => (l.min(lo), h.max(hi)),
+            });
+        }
+        bounds.ok_or_else(|| Error::Unbounded("empty set has no bounds".into()))
+    }
+
+    /// Interprets this set over `in ++ out` dims back as a map
+    /// (inverse of [`Map::wrap`]); `n_in` leading dims become the domain.
+    pub fn unwrap_map(&self, n_in: usize, space: Space) -> Result<Map> {
+        if space.n_in() != n_in || space.n_in() + space.n_out() != self.n_dim() {
+            return Err(Error::SpaceMismatch(
+                "unwrap: space arities do not match set dimensionality".into(),
+            ));
+        }
+        let m = Map {
+            space: Space::map(Tuple::default(), self.tuple().clone()),
+            basics: self.map.basics.clone(),
+        };
+        let mut out = m;
+        out.space = space.clone();
+        for b in out.basics.iter_mut() {
+            b.space = space.clone();
+        }
+        Ok(out)
+    }
+}
+
+impl Set {
+    /// Merges disjuncts when the union is exactly representable as one
+    /// basic set (see [`Map::coalesce`]).
+    pub fn coalesce(&self) -> Set {
+        Set::from_map_unchecked(self.as_map().coalesce())
+    }
+
+    /// Returns some point of the set, or `None` if it is empty.
+    pub fn sample(&self) -> crate::Result<Option<Vec<i64>>> {
+        self.as_map().sample()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_card() {
+        let s = Set::parse("{ PE[i, j] : 0 <= i < 2 and 0 <= j < 2 }").unwrap();
+        assert_eq!(s.card().unwrap(), 4);
+    }
+
+    #[test]
+    fn union_intersect_subtract() {
+        let a = Set::parse("{ A[i] : 0 <= i < 8 }").unwrap();
+        let b = Set::parse("{ A[i] : 4 <= i < 12 }").unwrap();
+        assert_eq!(a.union(&b).unwrap().card().unwrap(), 12);
+        assert_eq!(a.intersect(&b).unwrap().card().unwrap(), 4);
+        assert_eq!(a.subtract(&b).unwrap().card().unwrap(), 4);
+        // Inclusion-exclusion sanity.
+        let lhs = a.union(&b).unwrap().card().unwrap() + a.intersect(&b).unwrap().card().unwrap();
+        assert_eq!(lhs, a.card().unwrap() + b.card().unwrap());
+    }
+
+    #[test]
+    fn projection() {
+        let s = Set::parse("{ A[i, j] : 0 <= i < 4 and 0 <= j <= i }").unwrap();
+        let p = s.project_out(1, 1).unwrap();
+        assert_eq!(p.card().unwrap(), 4);
+        let q = s.project_out(0, 1).unwrap();
+        assert_eq!(q.card().unwrap(), 4); // j in [0, 3]
+    }
+
+    #[test]
+    fn fix_slices() {
+        let s = Set::parse("{ A[i, j] : 0 <= i < 4 and 0 <= j <= i }").unwrap();
+        assert_eq!(s.fix(0, 2).card().unwrap(), 3);
+        assert_eq!(s.fix(0, 9).card().unwrap(), 0);
+    }
+}

@@ -1,0 +1,15 @@
+//! # tenet-maestro
+//!
+//! The data-centric baseline TENET is evaluated against: MAESTRO's
+//! `SpatialMap` / `TemporalMap` / `Cluster` notation and a simplified
+//! reimplementation of its polynomial cost model, preserving the
+//! behavioural properties the paper's comparisons depend on (limited
+//! expressiveness, polynomial reuse estimates, no output reuse).
+
+#![warn(missing_docs)]
+
+mod model;
+mod notation;
+
+pub use model::{evaluate, MaestroReport, MaestroTensor};
+pub use notation::{representable, to_data_centric, DcMapping, Directive};

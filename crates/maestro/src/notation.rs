@@ -1,0 +1,368 @@
+//! The data-centric notation (Kwon et al., MICRO'19): `SpatialMap`,
+//! `TemporalMap` and `Cluster` directives, plus the expressiveness check
+//! that separates it from the relation-centric notation (Table I,
+//! Section IV-A).
+
+use tenet_core::{Dataflow, TensorOp};
+
+/// One data-centric directive.
+///
+/// `size` and `offset` follow MAESTRO's sliding-window semantics: the
+/// mapped dimension is covered by windows of `size` elements advancing by
+/// `offset` per step, giving `floor((extent - size)/offset) + 1` positions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Directive {
+    /// Distributes windows of a dimension across PEs.
+    SpatialMap {
+        /// Window size.
+        size: i64,
+        /// Window stride.
+        offset: i64,
+        /// Loop dimension name.
+        dim: String,
+    },
+    /// Iterates windows of a dimension across time-steps within a PE.
+    TemporalMap {
+        /// Window size.
+        size: i64,
+        /// Window stride.
+        offset: i64,
+        /// Loop dimension name.
+        dim: String,
+    },
+    /// Groups PEs into sub-clusters of the given size.
+    Cluster(i64),
+}
+
+/// A data-centric mapping: an ordered list of directives.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct DcMapping {
+    /// The ordered directives.
+    pub directives: Vec<Directive>,
+    /// Optional display name.
+    pub name: Option<String>,
+}
+
+impl DcMapping {
+    /// Starts an empty mapping.
+    pub fn new() -> DcMapping {
+        DcMapping::default()
+    }
+
+    /// Adds a `SpatialMap(size, offset) dim` directive.
+    pub fn spatial(mut self, size: i64, offset: i64, dim: &str) -> Self {
+        self.directives.push(Directive::SpatialMap {
+            size,
+            offset,
+            dim: dim.to_string(),
+        });
+        self
+    }
+
+    /// Adds a `TemporalMap(size, offset) dim` directive.
+    pub fn temporal(mut self, size: i64, offset: i64, dim: &str) -> Self {
+        self.directives.push(Directive::TemporalMap {
+            size,
+            offset,
+            dim: dim.to_string(),
+        });
+        self
+    }
+
+    /// Adds a `Cluster(size)` directive.
+    pub fn cluster(mut self, size: i64) -> Self {
+        self.directives.push(Directive::Cluster(size));
+        self
+    }
+
+    /// Attaches a display name.
+    pub fn named(mut self, name: &str) -> Self {
+        self.name = Some(name.to_string());
+        self
+    }
+}
+
+impl std::fmt::Display for Directive {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Directive::SpatialMap { size, offset, dim } => {
+                write!(f, "SpMap({size},{offset}) {dim}")
+            }
+            Directive::TemporalMap { size, offset, dim } => {
+                write!(f, "TpMap({size},{offset}) {dim}")
+            }
+            Directive::Cluster(n) => write!(f, "Cluster({n}, P)"),
+        }
+    }
+}
+
+impl std::fmt::Display for DcMapping {
+    /// Prints the Table III textual form:
+    /// `1. SpMap(1,1) K; 2. TpMap(1,1) I; 3. TpMap(1,1) J`.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for (i, d) in self.directives.iter().enumerate() {
+            if i > 0 {
+                write!(f, "; ")?;
+            }
+            write!(f, "{}. {d}", i + 1)?;
+        }
+        Ok(())
+    }
+}
+
+impl DcMapping {
+    /// Parses the paper's textual directive form (Table III): numbered or
+    /// plain `SpMap(size,offset) DIM` / `TpMap(...) DIM` /
+    /// `SpatialMap(...) DIM` / `TemporalMap(...) DIM` / `Cluster(N)` /
+    /// `Cluster(N, P)` entries separated by `;` or newlines.
+    ///
+    /// ```
+    /// use tenet_maestro::DcMapping;
+    /// let m = DcMapping::parse("1. SpMap(1,1) K; 2. TpMap(1,1) I; 3. TpMap(1,1) J")?;
+    /// assert_eq!(m.directives.len(), 3);
+    /// assert_eq!(DcMapping::parse(&m.to_string())?, m);
+    /// # Ok::<(), String>(())
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first malformed entry.
+    pub fn parse(text: &str) -> Result<DcMapping, String> {
+        let mut mapping = DcMapping::new();
+        for raw in text.split([';', '\n']) {
+            let mut entry = raw.trim();
+            if entry.is_empty() {
+                continue;
+            }
+            // Strip a leading `N.` enumeration.
+            if let Some(dot) = entry.find('.') {
+                if entry[..dot].trim().chars().all(|c| c.is_ascii_digit())
+                    && !entry[..dot].trim().is_empty()
+                {
+                    entry = entry[dot + 1..].trim();
+                }
+            }
+            let open = entry
+                .find('(')
+                .ok_or_else(|| format!("`{entry}`: expected `(` after directive name"))?;
+            let close = entry
+                .find(')')
+                .ok_or_else(|| format!("`{entry}`: missing `)`"))?;
+            let head = entry[..open].trim();
+            let args: Vec<&str> = entry[open + 1..close].split(',').map(str::trim).collect();
+            let tail = entry[close + 1..].trim();
+            let parse_num = |t: &str| -> Result<i64, String> {
+                t.parse::<i64>()
+                    .map_err(|_| format!("`{entry}`: `{t}` is not an integer"))
+            };
+            match head {
+                "SpMap" | "SpatialMap" | "Sp" => {
+                    if args.len() != 2 || tail.is_empty() {
+                        return Err(format!("`{entry}`: expected SpMap(size,offset) DIM"));
+                    }
+                    mapping = mapping.spatial(parse_num(args[0])?, parse_num(args[1])?, tail);
+                }
+                "TpMap" | "TemporalMap" | "Tp" => {
+                    if args.len() != 2 || tail.is_empty() {
+                        return Err(format!("`{entry}`: expected TpMap(size,offset) DIM"));
+                    }
+                    mapping = mapping.temporal(parse_num(args[0])?, parse_num(args[1])?, tail);
+                }
+                "Cluster" => {
+                    if args.is_empty() || args.len() > 2 || !tail.is_empty() {
+                        return Err(format!("`{entry}`: expected Cluster(N) or Cluster(N, P)"));
+                    }
+                    mapping = mapping.cluster(parse_num(args[0])?);
+                }
+                other => {
+                    return Err(format!(
+                        "`{entry}`: unknown directive `{other}` (expected SpMap, TpMap, Cluster)"
+                    ))
+                }
+            }
+        }
+        if mapping.directives.is_empty() {
+            return Err("mapping text contains no directives".into());
+        }
+        Ok(mapping)
+    }
+}
+
+/// Returns the distinct loop-iterator names referenced by a quasi-affine
+/// expression in the paper's notation.
+pub(crate) fn referenced_dims(expr: &str, op: &TensorOp) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    let flush = |cur: &mut String, out: &mut Vec<String>| {
+        if !cur.is_empty() {
+            let ident = std::mem::take(cur);
+            let is_dim = op.dims().iter().any(|d| d.name == ident);
+            if is_dim && !out.contains(&ident) {
+                out.push(ident);
+            }
+        }
+    };
+    for ch in expr.chars() {
+        if ch.is_ascii_alphanumeric() || ch == '_' {
+            cur.push(ch);
+        } else {
+            flush(&mut cur, &mut out);
+        }
+    }
+    flush(&mut cur, &mut out);
+    out
+}
+
+/// Whether a relation-centric dataflow can be written in data-centric
+/// notation: every space- and time-stamp dimension must be a function of a
+/// *single* loop iterator (a plain dimension, `d mod c`, or `floor(d/c)`).
+/// Affine combinations of several iterators — the skewed dataflows of
+/// Figure 1(a) and the `i+j+k` time-stamps of Table III — are not
+/// representable (Section IV-A).
+pub fn representable(df: &Dataflow, op: &TensorOp) -> bool {
+    df.space_exprs()
+        .iter()
+        .chain(df.time_exprs().iter())
+        .all(|e| referenced_dims(e, op).len() <= 1)
+}
+
+/// Converts a representable dataflow into a data-centric mapping
+/// (space dims become `SpatialMap(1,1)`, time dims in order become
+/// `TemporalMap(1,1)`).
+///
+/// Returns `None` when the dataflow is not representable.
+pub fn to_data_centric(df: &Dataflow, op: &TensorOp) -> Option<DcMapping> {
+    if !representable(df, op) {
+        return None;
+    }
+    let mut mapping = DcMapping::new();
+    let mut seen: Vec<String> = Vec::new();
+    for e in df.space_exprs() {
+        let dims = referenced_dims(e, op);
+        if let Some(d) = dims.first() {
+            mapping = mapping.spatial(1, 1, d);
+            seen.push(d.clone());
+        }
+    }
+    for e in df.time_exprs() {
+        let dims = referenced_dims(e, op);
+        if let Some(d) = dims.first() {
+            if !seen.contains(d) {
+                mapping = mapping.temporal(1, 1, d);
+                seen.push(d.clone());
+            }
+        }
+    }
+    // Remaining dims iterate sequentially.
+    for d in op.dims() {
+        if !seen.contains(&d.name) {
+            mapping = mapping.temporal(1, 1, &d.name);
+        }
+    }
+    if let Some(n) = df.name() {
+        mapping = mapping.named(n);
+    }
+    Some(mapping)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tenet_core::TensorOp;
+
+    fn gemm() -> TensorOp {
+        TensorOp::builder("gemm")
+            .dim("i", 8)
+            .dim("j", 8)
+            .dim("k", 8)
+            .read("A", ["i", "k"])
+            .read("B", ["k", "j"])
+            .write("Y", ["i", "j"])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn parses_table3_gemm_mapping() {
+        let m = DcMapping::parse("1. SpMap(1,1) K\n2. TpMap(1,1) I\n3. TpMap(1,1) J").unwrap();
+        assert_eq!(m.directives.len(), 3);
+        assert!(matches!(
+            m.directives[0],
+            Directive::SpatialMap { size: 1, offset: 1, .. }
+        ));
+    }
+
+    #[test]
+    fn parses_eyeriss_mapping_with_cluster() {
+        let text = "1. TpMap(4,4) C; 2. TpMap(16,16) K; 3. SpMap(3,1) Y; 4. TpMap(3,1) X; \
+                    5. Cluster(3, P); 6. TpMap(1,1) C; 7. TpMap(1,1) K; 8. SpMap(1,1) Y; \
+                    9. SpMap(1,1) RY";
+        let m = DcMapping::parse(text).unwrap();
+        assert_eq!(m.directives.len(), 9);
+        assert_eq!(m.directives[4], Directive::Cluster(3));
+    }
+
+    #[test]
+    fn display_round_trips() {
+        let m = DcMapping::new()
+            .spatial(1, 1, "K")
+            .temporal(3, 1, "X")
+            .cluster(8)
+            .temporal(1, 1, "C");
+        let text = m.to_string();
+        let back = DcMapping::parse(&text).unwrap();
+        assert_eq!(back.directives, m.directives);
+    }
+
+    #[test]
+    fn rejects_malformed_directive() {
+        assert!(DcMapping::parse("SpMap(1) K").is_err());
+        assert!(DcMapping::parse("FooMap(1,1) K").is_err());
+        assert!(DcMapping::parse("SpMap(1,1)").is_err());
+        assert!(DcMapping::parse("").is_err());
+        assert!(DcMapping::parse("SpMap(a,1) K").is_err());
+    }
+
+    #[test]
+    fn skewed_dataflow_not_representable() {
+        let op = gemm();
+        // Figure 3 / Table III: the systolic time-stamp i+j+k is exactly
+        // what data-centric notation cannot express.
+        let skewed = Dataflow::new(["i", "j"], ["i + j + k"]);
+        assert!(!representable(&skewed, &op));
+        assert!(to_data_centric(&skewed, &op).is_none());
+    }
+
+    #[test]
+    fn rectangular_dataflow_representable() {
+        let op = gemm();
+        // (K-P | I,J-T) from Table III has a data-centric form.
+        let df = Dataflow::new(["k mod 8"], ["floor(k/8)", "i", "j"]);
+        assert!(representable(&df, &op));
+        let m = to_data_centric(&df, &op).unwrap();
+        assert_eq!(m.directives.len(), 3);
+        assert!(matches!(
+            &m.directives[0],
+            Directive::SpatialMap { dim, .. } if dim == "k"
+        ));
+    }
+
+    #[test]
+    fn referenced_dims_sees_through_mod_floor() {
+        let op = gemm();
+        assert_eq!(referenced_dims("i mod 8 + j mod 8 + k", &op).len(), 3);
+        assert_eq!(referenced_dims("floor(i/8)", &op), vec!["i"]);
+        assert_eq!(referenced_dims("3*(k mod 4)", &op), vec!["k"]);
+    }
+
+    #[test]
+    fn builder_produces_named_mapping() {
+        let m = DcMapping::new()
+            .spatial(1, 1, "k")
+            .temporal(1, 1, "i")
+            .cluster(8)
+            .named("(K-P | I,J-T)");
+        assert_eq!(m.directives.len(), 3);
+        assert_eq!(m.name.as_deref(), Some("(K-P | I,J-T)"));
+    }
+}

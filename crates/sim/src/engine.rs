@@ -1,0 +1,574 @@
+//! The cycle-level spatial-architecture simulator.
+//!
+//! Executes every loop instance at its scheduled (PE | T) spacetime-stamp,
+//! modeling per-PE register files, inter-PE transfers over the configured
+//! interconnect, and a bandwidth-limited scratchpad. It serves as the
+//! golden reference for the accuracy study (Figure 11) — replacing the
+//! Eyeriss/MAERI silicon numbers the paper used — and as an independent
+//! oracle for the analytical model's `UniqueVolume` (see property tests).
+
+use crate::expr::{compile, Expr};
+use std::collections::{BTreeMap, HashMap};
+use tenet_core::{ArchSpec, Dataflow, Error, Result, Role, TensorOp};
+
+/// How the simulator decides whether a datum can be reused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReusePolicy {
+    /// A datum is reusable only if it was *accessed* at the immediately
+    /// preceding time-stamp (same PE) or at an interconnected neighbor —
+    /// exactly the adjacency the analytical spacetime maps encode. With
+    /// this policy the simulator's cold-fetch count equals the model's
+    /// `UniqueVolume`.
+    Adjacent,
+    /// A datum remains reusable while it is resident in the register file
+    /// (more optimistic than the analytical model; with finite register
+    /// capacity, more realistic).
+    Resident,
+}
+
+/// Simulator configuration.
+#[derive(Debug, Clone)]
+pub struct SimOptions {
+    /// Register-file capacity per PE, in elements (`None` = unbounded).
+    pub rf_capacity: Option<usize>,
+    /// Reuse policy.
+    pub policy: ReusePolicy,
+    /// Hard cap on the number of loop instances simulated.
+    pub max_instances: usize,
+}
+
+impl Default for SimOptions {
+    fn default() -> Self {
+        SimOptions {
+            rf_capacity: None,
+            policy: ReusePolicy::Adjacent,
+            max_instances: 40_000_000,
+        }
+    }
+}
+
+/// Per-tensor traffic counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TensorTraffic {
+    /// Cold fetches from the scratchpad (the measured unique volume).
+    pub scratchpad: u64,
+    /// Same-PE reuse hits.
+    pub temporal_hits: u64,
+    /// Neighbor (interconnect) reuse hits.
+    pub spatial_hits: u64,
+    /// Distinct tensor elements ever touched (the measured footprint).
+    pub footprint: u64,
+}
+
+/// The measured execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimReport {
+    /// Distinct time-stamps executed.
+    pub compute_cycles: u64,
+    /// Extra cycles when each stamp must wait for its own fetches
+    /// (no prefetching). With double buffering (the paper's assumption,
+    /// Section V-B) fetches amortize instead; see [`SimReport::latency`].
+    pub stall_cycles: u64,
+    /// Scratchpad bandwidth the run was configured with.
+    pub bandwidth: f64,
+    /// MACs executed.
+    pub macs: u64,
+    /// Maximum PEs active in any stamp.
+    pub max_active: u64,
+    /// Average active PEs per stamp.
+    pub avg_active: f64,
+    /// Number of PEs in the array.
+    pub pe_count: u64,
+    /// Per-tensor traffic.
+    pub tensors: BTreeMap<String, TensorTraffic>,
+}
+
+impl SimReport {
+    /// Total latency in cycles under the paper's pipelining assumption
+    /// (double buffering): compute and transfers overlap, so the run
+    /// takes the maximum of compute time and total transfer time.
+    pub fn latency(&self) -> u64 {
+        let transfer = (self.scratchpad_total() as f64 / self.bandwidth.max(1.0)).ceil() as u64;
+        self.compute_cycles.max(transfer)
+    }
+
+    /// Latency when every stamp stalls for its own fetches (no
+    /// prefetching): an upper bound used for sensitivity studies.
+    pub fn latency_unbuffered(&self) -> u64 {
+        self.compute_cycles + self.stall_cycles
+    }
+
+    /// Measured average PE utilization.
+    pub fn avg_utilization(&self) -> f64 {
+        self.avg_active / self.pe_count as f64
+    }
+
+    /// Measured peak PE utilization.
+    pub fn max_utilization(&self) -> f64 {
+        self.max_active as f64 / self.pe_count as f64
+    }
+
+    /// Total scratchpad traffic (measured unique volume).
+    pub fn scratchpad_total(&self) -> u64 {
+        self.tensors.values().map(|t| t.scratchpad).sum()
+    }
+
+    /// Energy derived from the measured counters under `model`, with the
+    /// same accounting as the analytical model (Section V): every access
+    /// pays a register-file touch, spatial hits pay a NoC hop, cold
+    /// fetches pay a scratchpad access, and each distinct element pays a
+    /// DRAM access to reach the scratchpad once.
+    pub fn energy(&self, model: &tenet_core::EnergyModel) -> tenet_core::Energy {
+        let mut register = 0.0;
+        let mut noc = 0.0;
+        let mut scratchpad = 0.0;
+        let mut dram = 0.0;
+        for t in self.tensors.values() {
+            let total = t.scratchpad + t.temporal_hits + t.spatial_hits;
+            register += total as f64 * model.register;
+            noc += t.spatial_hits as f64 * model.noc_hop;
+            scratchpad += t.scratchpad as f64 * model.scratchpad;
+            dram += t.footprint as f64 * model.dram;
+        }
+        tenet_core::Energy {
+            compute: self.macs as f64 * model.mac,
+            register,
+            noc,
+            scratchpad,
+            dram,
+        }
+    }
+}
+
+type Key = (u16, Vec<i64>); // (tensor id, element index)
+
+/// Last two access stamps of one register-file entry. Two are needed: a
+/// neighbor checking "was this accessed at stamp s-1" must still see that
+/// evidence after the source re-accesses the datum at stamp s.
+#[derive(Clone, Copy)]
+struct Entry {
+    last: u64,
+    prev: u64,
+}
+
+impl Entry {
+    fn touch(&mut self, stamp: u64) {
+        if stamp != self.last {
+            self.prev = self.last;
+            self.last = stamp;
+        }
+    }
+
+    fn accessed_at(&self, stamp: u64) -> bool {
+        self.last == stamp || self.prev == stamp
+    }
+}
+
+#[derive(Default)]
+struct RegFile {
+    /// Element -> its last two access stamps.
+    entries: HashMap<Key, Entry>,
+}
+
+/// Records an access to `key` at `stamp` in the register file.
+fn touch(rf: &mut RegFile, key: Key, stamp: u64) {
+    rf.entries
+        .entry(key)
+        .and_modify(|e| e.touch(stamp))
+        .or_insert(Entry { last: stamp, prev: u64::MAX });
+}
+
+/// Runs the simulation.
+///
+/// # Errors
+///
+/// Fails when the workload exceeds `max_instances`, an expression cannot
+/// be compiled, or the dataflow maps an instance outside the PE array.
+pub fn simulate(
+    op: &TensorOp,
+    df: &Dataflow,
+    arch: &ArchSpec,
+    options: &SimOptions,
+) -> Result<SimReport> {
+    let n = op.instances()?;
+    if n > options.max_instances as u128 {
+        return Err(Error::Invalid(format!(
+            "workload has {n} instances, above the simulator cap {}",
+            options.max_instances
+        )));
+    }
+    let space: Vec<Expr> = df
+        .space_exprs()
+        .iter()
+        .map(|e| compile(e, op))
+        .collect::<Result<_>>()?;
+    let time: Vec<Expr> = df
+        .time_exprs()
+        .iter()
+        .map(|e| compile(e, op))
+        .collect::<Result<_>>()?;
+    if space.len() != arch.pe_dims.len() {
+        return Err(Error::Invalid(
+            "dataflow space dims do not match the PE array".into(),
+        ));
+    }
+    // Tensor accesses compiled once; tensors numbered.
+    let mut tensor_ids: Vec<(String, Role)> = Vec::new();
+    let mut accesses: Vec<(u16, Vec<Expr>)> = Vec::new();
+    for a in op.accesses() {
+        let id = match tensor_ids.iter().position(|(n, _)| *n == a.tensor) {
+            Some(i) => i as u16,
+            None => {
+                tensor_ids.push((a.tensor.clone(), a.role));
+                (tensor_ids.len() - 1) as u16
+            }
+        };
+        let exprs: Vec<Expr> = a
+            .exprs
+            .iter()
+            .map(|e| compile(e, op))
+            .collect::<Result<_>>()?;
+        accesses.push((id, exprs));
+    }
+
+    // Build the schedule: time-stamp -> [(pe linear id, instance point)].
+    let dims = op.dims();
+    let mut schedule: BTreeMap<Vec<i64>, Vec<(usize, Vec<i64>)>> = BTreeMap::new();
+    let mut point: Vec<i64> = dims.iter().map(|d| d.lo).collect();
+    let pe_strides: Vec<i64> = {
+        let mut s = vec![1i64; arch.pe_dims.len()];
+        for i in (0..arch.pe_dims.len().saturating_sub(1)).rev() {
+            s[i] = s[i + 1] * arch.pe_dims[i + 1];
+        }
+        s
+    };
+    let pe_count: i64 = arch.pe_dims.iter().product();
+    'outer: loop {
+        let t: Vec<i64> = time.iter().map(|e| e.eval(&point)).collect();
+        let mut pe_lin: i64 = 0;
+        for (i, e) in space.iter().enumerate() {
+            let c = e.eval(&point);
+            if c < 0 || c >= arch.pe_dims[i] {
+                return Err(Error::Invalid(format!(
+                    "instance {point:?} maps to out-of-bounds PE coordinate {c} in dim {i}"
+                )));
+            }
+            pe_lin += c * pe_strides[i];
+        }
+        schedule.entry(t).or_default().push((pe_lin as usize, point.clone()));
+        // Odometer over the iteration domain.
+        let mut d = dims.len();
+        loop {
+            if d == 0 {
+                break 'outer;
+            }
+            d -= 1;
+            point[d] += 1;
+            if point[d] < dims[d].hi {
+                break;
+            }
+            point[d] = dims[d].lo;
+        }
+    }
+
+    // Interconnect offsets as linear PE deltas (with coordinate checks).
+    let offsets = arch.interconnect.offsets(arch.pe_dims.len())?;
+    let dt = arch.interconnect.time_delta();
+    let coords_of = |lin: usize| -> Vec<i64> {
+        let mut c = Vec::with_capacity(arch.pe_dims.len());
+        let mut rest = lin as i64;
+        for s in &pe_strides {
+            c.push(rest / s);
+            rest %= s;
+        }
+        c
+    };
+    let neighbor = |lin: usize, off: &[i64]| -> Option<usize> {
+        let c = coords_of(lin);
+        let mut out = 0i64;
+        for i in 0..c.len() {
+            let v = c[i] - off[i]; // the *source* PE of a transfer to us
+            if v < 0 || v >= arch.pe_dims[i] {
+                return None;
+            }
+            out += v * pe_strides[i];
+        }
+        Some(out as usize)
+    };
+
+    // Execute.
+    let mut rfs: Vec<RegFile> = (0..pe_count).map(|_| RegFile::default()).collect();
+    let mut traffic: Vec<TensorTraffic> = vec![TensorTraffic::default(); tensor_ids.len()];
+    let mut touched: Vec<std::collections::HashSet<Vec<i64>>> =
+        vec![std::collections::HashSet::new(); tensor_ids.len()];
+    let mut compute_cycles = 0u64;
+    let mut stall_cycles = 0u64;
+    let mut macs = 0u64;
+    let mut max_active = 0u64;
+    let mut total_active = 0u128;
+    for (stamp_idx, (_t, work)) in schedule.iter().enumerate() {
+        let stamp_idx = stamp_idx as u64 + 1; // 0 reserved for "never"
+        compute_cycles += 1;
+        let mut fetched_this_stamp: HashMap<Key, usize> = HashMap::new();
+        let mut fetches = 0u64;
+        let mut active: Vec<usize> = work.iter().map(|(pe, _)| *pe).collect();
+        active.sort_unstable();
+        active.dedup();
+        max_active = max_active.max(active.len() as u64);
+        total_active += active.len() as u128;
+        // Process PEs in coordinate order so same-cycle multicast sources
+        // are seen before their sinks.
+        let mut work: Vec<(usize, Vec<i64>)> = work.clone();
+        work.sort_unstable();
+        for (pe, inst) in &work {
+            macs += 1;
+            for (tid, exprs) in &accesses {
+                let idx: Vec<i64> = exprs.iter().map(|e| e.eval(inst)).collect();
+                let key: Key = (*tid, idx);
+                // 1. Own register file.
+                let hit = match rfs[*pe].entries.get(&key) {
+                    Some(e) => match options.policy {
+                        ReusePolicy::Adjacent => {
+                            e.accessed_at(stamp_idx) || e.accessed_at(stamp_idx - 1)
+                        }
+                        ReusePolicy::Resident => true,
+                    },
+                    None => false,
+                };
+                if hit {
+                    traffic[*tid as usize].temporal_hits += 1;
+                    touch(&mut rfs[*pe], key, stamp_idx);
+                    continue;
+                }
+                // 2. Interconnected neighbor.
+                let mut spatial = false;
+                for off in &offsets {
+                    if let Some(src) = neighbor(*pe, off) {
+                        let available = if dt == 0 {
+                            fetched_this_stamp.get(&key) == Some(&src)
+                                || rfs[src]
+                                    .entries
+                                    .get(&key)
+                                    .is_some_and(|e| e.accessed_at(stamp_idx))
+                        } else {
+                            rfs[src].entries.get(&key).is_some_and(|e| {
+                                match options.policy {
+                                    ReusePolicy::Adjacent => e.accessed_at(stamp_idx - 1),
+                                    ReusePolicy::Resident => {
+                                        e.last < stamp_idx || e.prev < stamp_idx
+                                    }
+                                }
+                            })
+                        };
+                        if available {
+                            spatial = true;
+                            break;
+                        }
+                    }
+                }
+                if spatial {
+                    traffic[*tid as usize].spatial_hits += 1;
+                } else {
+                    traffic[*tid as usize].scratchpad += 1;
+                    fetches += 1;
+                    if touched[*tid as usize].insert(key.1.clone()) {
+                        traffic[*tid as usize].footprint += 1;
+                    }
+                    fetched_this_stamp.insert(key.clone(), *pe);
+                }
+                touch(&mut rfs[*pe], key, stamp_idx);
+            }
+            // Capacity management (approximate LRU by stamp).
+            if let Some(cap) = options.rf_capacity {
+                if rfs[*pe].entries.len() > cap {
+                    let mut entries: Vec<(Key, Entry)> =
+                        rfs[*pe].entries.drain().collect();
+                    entries.sort_by_key(|(_, e)| std::cmp::Reverse(e.last));
+                    entries.truncate(cap);
+                    rfs[*pe].entries = entries.into_iter().collect();
+                }
+            }
+        }
+        // Bandwidth-limited scratchpad: each stamp provides `bandwidth`
+        // element transfers for free (overlapped); the rest stall.
+        let free = arch.bandwidth.max(1.0) as u64;
+        if fetches > free {
+            stall_cycles += (fetches - free).div_ceil(free);
+        }
+    }
+    let n_stamps = schedule.len() as u64;
+    let mut tensors = BTreeMap::new();
+    for (i, (name, _)) in tensor_ids.iter().enumerate() {
+        tensors.insert(name.clone(), traffic[i]);
+    }
+    Ok(SimReport {
+        compute_cycles,
+        stall_cycles,
+        bandwidth: arch.bandwidth,
+        macs,
+        max_active,
+        avg_active: if n_stamps == 0 {
+            0.0
+        } else {
+            total_active as f64 / n_stamps as f64
+        },
+        pe_count: pe_count as u64,
+        tensors,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tenet_core::{Analysis, Interconnect};
+
+    fn figure3() -> (TensorOp, Dataflow, ArchSpec) {
+        let gemm = TensorOp::builder("gemm")
+            .dim("i", 2)
+            .dim("j", 2)
+            .dim("k", 4)
+            .read("A", ["i", "k"])
+            .read("B", ["k", "j"])
+            .write("Y", ["i", "j"])
+            .build()
+            .unwrap();
+        let df = Dataflow::new(["i", "j"], ["i + j + k"]);
+        let arch = ArchSpec::new("2x2", [2, 2], Interconnect::Systolic2D, 100.0);
+        (gemm, df, arch)
+    }
+
+    #[test]
+    fn footprint_counts_distinct_elements() {
+        let (op, df, arch) = figure3();
+        let sim = simulate(&op, &df, &arch, &SimOptions::default()).unwrap();
+        // GEMM 2x2x4: A is 2x4, B is 4x2, Y is 2x2.
+        assert_eq!(sim.tensors["A"].footprint, 8);
+        assert_eq!(sim.tensors["B"].footprint, 8);
+        assert_eq!(sim.tensors["Y"].footprint, 4);
+    }
+
+    #[test]
+    fn energy_accounting_is_internally_consistent() {
+        let (op, df, arch) = figure3();
+        let sim = simulate(&op, &df, &arch, &SimOptions::default()).unwrap();
+        let e = sim.energy(&arch.energy);
+        // 16 MACs at unit cost; three tensors, 16 accesses each.
+        assert_eq!(e.compute, 16.0);
+        assert_eq!(e.register, 48.0);
+        // Every component is non-negative and the total adds up.
+        let sum = e.compute + e.register + e.noc + e.scratchpad + e.dram;
+        assert!((e.total() - sum).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rf_capacity_one_kills_temporal_reuse_of_stationary_output() {
+        let (op, df, arch) = figure3();
+        let unlimited = simulate(&op, &df, &arch, &SimOptions::default()).unwrap();
+        assert!(unlimited.tensors["Y"].temporal_hits > 0);
+        // With room for a single element per PE, Y's stationarity fights
+        // A and B for the one slot, so reuse must drop (never rise).
+        let opts = SimOptions {
+            rf_capacity: Some(1),
+            ..Default::default()
+        };
+        let tiny = simulate(&op, &df, &arch, &opts).unwrap();
+        assert!(
+            tiny.tensors["Y"].temporal_hits <= unlimited.tensors["Y"].temporal_hits,
+            "capacity pressure cannot increase reuse"
+        );
+        // Lost reuse reappears as scratchpad traffic.
+        assert!(tiny.scratchpad_total() >= unlimited.scratchpad_total());
+    }
+
+    #[test]
+    fn resident_policy_dominates_adjacent_policy() {
+        // Resident entries survive arbitrarily long, so temporal reuse
+        // under Resident is a superset of reuse under Adjacent.
+        let op = TensorOp::builder("strided")
+            .dim("i", 4)
+            .dim("j", 4)
+            .read("A", ["i"]) // A[i] reused across all j at stride 1
+            .write("Y", ["i", "j"])
+            .build()
+            .unwrap();
+        let df = Dataflow::new(["i"], ["j"]);
+        let arch = ArchSpec::new("4", [4], Interconnect::Systolic1D, 100.0);
+        let adj = simulate(&op, &df, &arch, &SimOptions::default()).unwrap();
+        let res = simulate(
+            &op,
+            &df,
+            &arch,
+            &SimOptions {
+                policy: ReusePolicy::Resident,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(res.tensors["A"].temporal_hits >= adj.tensors["A"].temporal_hits);
+        assert!(res.scratchpad_total() <= adj.scratchpad_total());
+    }
+
+    #[test]
+    fn figure3_simulated_traffic_matches_analytical_unique() {
+        let (op, df, arch) = figure3();
+        let sim = simulate(&op, &df, &arch, &SimOptions::default()).unwrap();
+        let analysis = Analysis::new(&op, &df, &arch).unwrap();
+        for t in ["A", "B", "Y"] {
+            let v = analysis.volumes(t).unwrap();
+            assert_eq!(
+                sim.tensors[t].scratchpad as u128, v.unique,
+                "tensor {t}: sim {} vs model {}",
+                sim.tensors[t].scratchpad, v.unique
+            );
+            assert_eq!(
+                (sim.tensors[t].temporal_hits + sim.tensors[t].spatial_hits) as u128,
+                v.reuse,
+                "tensor {t} reuse"
+            );
+        }
+    }
+
+    #[test]
+    fn figure3_cycles_and_utilization() {
+        let (op, df, arch) = figure3();
+        let sim = simulate(&op, &df, &arch, &SimOptions::default()).unwrap();
+        assert_eq!(sim.compute_cycles, 6);
+        assert_eq!(sim.macs, 16);
+        assert_eq!(sim.max_active, 4);
+        assert!((sim.avg_utilization() - 16.0 / 24.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bandwidth_stalls_appear() {
+        let (op, df, mut arch) = figure3();
+        arch.bandwidth = 1.0;
+        let sim = simulate(&op, &df, &arch, &SimOptions::default()).unwrap();
+        assert!(sim.stall_cycles > 0);
+        assert!(sim.latency() > sim.compute_cycles);
+        assert!(sim.latency_unbuffered() >= sim.latency());
+    }
+
+    #[test]
+    fn out_of_bounds_rejected() {
+        let (op, df, _) = figure3();
+        let small = ArchSpec::new("1x1", [1, 1], Interconnect::Systolic2D, 4.0);
+        assert!(simulate(&op, &df, &small, &SimOptions::default()).is_err());
+    }
+
+    #[test]
+    fn resident_policy_fetches_no_more_than_adjacent() {
+        let (op, df, arch) = figure3();
+        let adj = simulate(&op, &df, &arch, &SimOptions::default()).unwrap();
+        let res = simulate(
+            &op,
+            &df,
+            &arch,
+            &SimOptions {
+                policy: ReusePolicy::Resident,
+                ..SimOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(res.scratchpad_total() <= adj.scratchpad_total());
+    }
+}

@@ -1,0 +1,265 @@
+//! A small compiled evaluator for the quasi-affine expressions used in
+//! dataflows and access functions, so the simulator can map millions of
+//! loop instances without going through the integer-set machinery.
+
+use tenet_core::{Error, Result, TensorOp};
+
+/// A compiled quasi-affine expression over the loop iterators.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// Integer literal.
+    Const(i64),
+    /// Loop iterator by index.
+    Dim(usize),
+    /// Sum of two expressions.
+    Add(Box<Expr>, Box<Expr>),
+    /// Difference of two expressions.
+    Sub(Box<Expr>, Box<Expr>),
+    /// Scaling by a constant.
+    Mul(i64, Box<Expr>),
+    /// Floor modulus by a positive constant.
+    Mod(Box<Expr>, i64),
+    /// Floor division by a positive constant.
+    Div(Box<Expr>, i64),
+}
+
+impl Expr {
+    /// Evaluates the expression for the given iterator values.
+    pub fn eval(&self, point: &[i64]) -> i64 {
+        match self {
+            Expr::Const(c) => *c,
+            Expr::Dim(d) => point[*d],
+            Expr::Add(a, b) => a.eval(point) + b.eval(point),
+            Expr::Sub(a, b) => a.eval(point) - b.eval(point),
+            Expr::Mul(c, e) => c * e.eval(point),
+            Expr::Mod(e, m) => e.eval(point).rem_euclid(*m),
+            Expr::Div(e, d) => e.eval(point).div_euclid(*d),
+        }
+    }
+}
+
+struct P<'a> {
+    s: &'a [u8],
+    pos: usize,
+    dims: &'a [String],
+}
+
+impl<'a> P<'a> {
+    fn skip_ws(&mut self) {
+        while self.pos < self.s.len() && self.s[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.s.get(self.pos).copied()
+    }
+
+    fn ident(&mut self) -> Option<String> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.pos < self.s.len()
+            && (self.s[self.pos].is_ascii_alphanumeric() || self.s[self.pos] == b'_')
+        {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            None
+        } else {
+            Some(String::from_utf8_lossy(&self.s[start..self.pos]).into_owned())
+        }
+    }
+
+    fn number(&mut self) -> Result<i64> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.pos < self.s.len() && self.s[self.pos].is_ascii_digit() {
+            self.pos += 1;
+        }
+        String::from_utf8_lossy(&self.s[start..self.pos])
+            .parse()
+            .map_err(|_| Error::Invalid("expected an integer".into()))
+    }
+
+    fn expect(&mut self, c: u8) -> Result<()> {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::Invalid(format!(
+                "expected `{}` in expression",
+                c as char
+            )))
+        }
+    }
+
+    fn expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.term()?;
+        loop {
+            match self.peek() {
+                Some(b'+') => {
+                    self.pos += 1;
+                    let rhs = self.term()?;
+                    lhs = Expr::Add(Box::new(lhs), Box::new(rhs));
+                }
+                Some(b'-') => {
+                    self.pos += 1;
+                    let rhs = self.term()?;
+                    lhs = Expr::Sub(Box::new(lhs), Box::new(rhs));
+                }
+                _ => return Ok(lhs),
+            }
+        }
+    }
+
+    fn term(&mut self) -> Result<Expr> {
+        let mut lhs = self.postfix()?;
+        loop {
+            let save = self.pos;
+            match self.peek() {
+                Some(b'*') => {
+                    self.pos += 1;
+                    let rhs = self.postfix()?;
+                    lhs = combine_mul(lhs, rhs)?;
+                }
+                Some(c) if c == b'(' || c.is_ascii_alphabetic() || c == b'_' => {
+                    // Implicit multiplication (e.g. `3(c mod 4)`).
+                    if let Ok(rhs) = self.postfix() {
+                        lhs = combine_mul(lhs, rhs)?;
+                    } else {
+                        self.pos = save;
+                        return Ok(lhs);
+                    }
+                }
+                _ => return Ok(lhs),
+            }
+        }
+    }
+
+    fn postfix(&mut self) -> Result<Expr> {
+        let mut e = self.factor()?;
+        loop {
+            self.skip_ws();
+            if self.s[self.pos..].starts_with(b"mod") {
+                self.pos += 3;
+                let m = self.number()?;
+                e = Expr::Mod(Box::new(e), m);
+            } else if self.peek() == Some(b'%') {
+                self.pos += 1;
+                let m = self.number()?;
+                e = Expr::Mod(Box::new(e), m);
+            } else {
+                return Ok(e);
+            }
+        }
+    }
+
+    fn factor(&mut self) -> Result<Expr> {
+        match self.peek() {
+            Some(b'(') => {
+                self.pos += 1;
+                let e = self.expr()?;
+                self.expect(b')')?;
+                Ok(e)
+            }
+            Some(b'-') => {
+                self.pos += 1;
+                let e = self.factor()?;
+                Ok(Expr::Mul(-1, Box::new(e)))
+            }
+            Some(c) if c.is_ascii_digit() => Ok(Expr::Const(self.number()?)),
+            _ => {
+                let id = self
+                    .ident()
+                    .ok_or_else(|| Error::Invalid("expected identifier".into()))?;
+                if id == "floor" || id == "fl" || id == "floord" {
+                    self.expect(b'(')?;
+                    let num = self.expr()?;
+                    self.expect(b'/')?;
+                    let den = self.number()?;
+                    self.expect(b')')?;
+                    return Ok(Expr::Div(Box::new(num), den));
+                }
+                let d = self
+                    .dims
+                    .iter()
+                    .position(|n| *n == id)
+                    .ok_or_else(|| Error::Invalid(format!("unknown iterator `{id}`")))?;
+                Ok(Expr::Dim(d))
+            }
+        }
+    }
+}
+
+fn combine_mul(a: Expr, b: Expr) -> Result<Expr> {
+    match (&a, &b) {
+        (Expr::Const(c), _) => Ok(Expr::Mul(*c, Box::new(b))),
+        (_, Expr::Const(c)) => Ok(Expr::Mul(*c, Box::new(a))),
+        _ => Err(Error::Invalid("non-affine product in expression".into())),
+    }
+}
+
+/// Compiles an expression string against the iterator names of `op`.
+pub fn compile(expr: &str, op: &TensorOp) -> Result<Expr> {
+    let dims: Vec<String> = op.dims().iter().map(|d| d.name.clone()).collect();
+    let mut p = P {
+        s: expr.as_bytes(),
+        pos: 0,
+        dims: &dims,
+    };
+    let e = p.expr()?;
+    p.skip_ws();
+    if p.pos != p.s.len() {
+        return Err(Error::Invalid(format!(
+            "trailing characters in expression `{expr}`"
+        )));
+    }
+    Ok(e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn op() -> TensorOp {
+        TensorOp::builder("t")
+            .dim("i", 100)
+            .dim("j", 100)
+            .dim("k", 100)
+            .read("A", ["i"])
+            .write("Y", ["i"])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn eval_basic() {
+        let op = op();
+        let e = compile("i + 2*j - k", &op).unwrap();
+        assert_eq!(e.eval(&[1, 2, 3]), 2);
+    }
+
+    #[test]
+    fn eval_mod_floor() {
+        let op = op();
+        let e = compile("i mod 8 + j mod 8 + k", &op).unwrap();
+        assert_eq!(e.eval(&[10, 9, 1]), 2 + 1 + 1);
+        let f = compile("floor(i/8)", &op).unwrap();
+        assert_eq!(f.eval(&[17, 0, 0]), 2);
+    }
+
+    #[test]
+    fn eval_implicit_mul_and_parens() {
+        let op = op();
+        let e = compile("3*(i mod 4)", &op).unwrap();
+        assert_eq!(e.eval(&[7, 0, 0]), 9);
+    }
+
+    #[test]
+    fn rejects_unknown_and_nonaffine() {
+        let op = op();
+        assert!(compile("z + 1", &op).is_err());
+        assert!(compile("i * j", &op).is_err());
+    }
+}

@@ -1,0 +1,17 @@
+//! # tenet-sim
+//!
+//! A cycle-level spatial-architecture simulator: the golden reference the
+//! reproduction uses in place of the Eyeriss / MAERI silicon measurements
+//! of Figure 11, and an independent oracle validating the analytical
+//! model's volume metrics (the simulator's cold-fetch count equals
+//! `UniqueVolume` under the `Adjacent` reuse policy).
+
+#![warn(missing_docs)]
+
+mod engine;
+mod expr;
+mod trace;
+
+pub use engine::{simulate, ReusePolicy, SimOptions, SimReport, TensorTraffic};
+pub use expr::{compile, Expr};
+pub use trace::{trace, PeActivity, StampSnapshot, Trace};

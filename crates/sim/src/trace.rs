@@ -1,0 +1,254 @@
+//! Execution tracing: the per-time-stamp tables of the paper's Figure 3.
+//!
+//! For each time-stamp, the trace records which loop instance every PE
+//! executes and which tensor elements it touches — exactly the
+//! `PE[0,0]: A[0][0] B[0][0] Y[0][0]` tables the paper draws for the
+//! 2x2 GEMM example. Intended for small workloads (documentation,
+//! debugging, teaching); the cap guards against tracing a full CONV
+//! layer by accident.
+
+use crate::expr::compile;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use tenet_core::{ArchSpec, Dataflow, Error, Result, TensorOp};
+
+/// One PE's activity at one time-stamp.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PeActivity {
+    /// The loop instance executed, in iteration order.
+    pub instance: Vec<i64>,
+    /// `(tensor, element index)` pairs accessed by the instance.
+    pub accesses: Vec<(String, Vec<i64>)>,
+}
+
+/// All activity at one time-stamp.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StampSnapshot {
+    /// The time-stamp vector.
+    pub time: Vec<i64>,
+    /// Active PEs (by coordinates) and what they do.
+    pub pes: BTreeMap<Vec<i64>, PeActivity>,
+}
+
+/// The complete trace, ordered by lexicographic time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Trace {
+    /// Snapshots in execution order.
+    pub stamps: Vec<StampSnapshot>,
+}
+
+impl Trace {
+    /// Renders the Figure 3-style table: one block per time-stamp, one
+    /// line per active PE listing the elements it touches.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for s in &self.stamps {
+            let t: Vec<String> = s.time.iter().map(i64::to_string).collect();
+            let _ = writeln!(out, "T[{}]", t.join(","));
+            for (pe, act) in &s.pes {
+                let p: Vec<String> = pe.iter().map(i64::to_string).collect();
+                let elems: Vec<String> = act
+                    .accesses
+                    .iter()
+                    .map(|(tensor, idx)| {
+                        let ix: Vec<String> = idx.iter().map(i64::to_string).collect();
+                        format!("{tensor}[{}]", ix.join("]["))
+                    })
+                    .collect();
+                let _ = writeln!(out, "  PE[{}]  {}", p.join(","), elems.join(" "));
+            }
+        }
+        out
+    }
+}
+
+/// Traces the execution of `op` under `df` on `arch`.
+///
+/// # Errors
+///
+/// Fails if the workload exceeds `max_instances`, a stamp expression does
+/// not compile, or an instance maps outside the PE array.
+pub fn trace(
+    op: &TensorOp,
+    df: &Dataflow,
+    arch: &ArchSpec,
+    max_instances: usize,
+) -> Result<Trace> {
+    let n = op.instances()?;
+    if n > max_instances as u128 {
+        return Err(Error::Invalid(format!(
+            "workload has {n} instances, above the trace cap {max_instances}"
+        )));
+    }
+    if df.n_space() != arch.pe_dims.len() {
+        return Err(Error::Invalid(format!(
+            "dataflow has {} space dims but the PE array has {}",
+            df.n_space(),
+            arch.pe_dims.len()
+        )));
+    }
+    let space: Vec<_> = df
+        .space_exprs()
+        .iter()
+        .map(|e| compile(e, op))
+        .collect::<Result<_>>()?;
+    let time: Vec<_> = df
+        .time_exprs()
+        .iter()
+        .map(|e| compile(e, op))
+        .collect::<Result<_>>()?;
+    let accesses: Vec<(String, Vec<_>)> = op
+        .accesses()
+        .iter()
+        .map(|a| {
+            let exprs: Result<Vec<_>> = a.exprs.iter().map(|e| compile(e, op)).collect();
+            Ok((a.tensor.clone(), exprs?))
+        })
+        .collect::<Result<_>>()?;
+
+    // Group instances by time-stamp.
+    let mut stamps: BTreeMap<Vec<i64>, StampSnapshot> = BTreeMap::new();
+    let dims = op.dims();
+    let mut inst: Vec<i64> = dims.iter().map(|d| d.lo).collect();
+    loop {
+        let t: Vec<i64> = time.iter().map(|e| e.eval(&inst)).collect();
+        let p: Vec<i64> = space.iter().map(|e| e.eval(&inst)).collect();
+        for (coord, extent) in p.iter().zip(arch.pe_dims.iter()) {
+            if *coord < 0 || *coord >= *extent {
+                return Err(Error::Invalid(format!(
+                    "instance {inst:?} maps to PE{p:?}, outside the {:?} array",
+                    arch.pe_dims
+                )));
+            }
+        }
+        let snapshot = stamps.entry(t.clone()).or_insert_with(|| StampSnapshot {
+            time: t,
+            pes: BTreeMap::new(),
+        });
+        let elems: Vec<(String, Vec<i64>)> = accesses
+            .iter()
+            .map(|(name, exprs)| {
+                (
+                    name.clone(),
+                    exprs.iter().map(|e| e.eval(&inst)).collect(),
+                )
+            })
+            .collect();
+        if let Some(prev) = snapshot.pes.insert(
+            p.clone(),
+            PeActivity {
+                instance: inst.clone(),
+                accesses: elems,
+            },
+        ) {
+            return Err(Error::Invalid(format!(
+                "dataflow is not injective: instances {:?} and {inst:?} both occupy \
+                 PE{p:?} at the same time-stamp",
+                prev.instance
+            )));
+        }
+
+        // Odometer over the iteration domain.
+        let mut d = dims.len();
+        loop {
+            if d == 0 {
+                let stamps: Vec<StampSnapshot> = stamps.into_values().collect();
+                return Ok(Trace { stamps });
+            }
+            d -= 1;
+            inst[d] += 1;
+            if inst[d] < dims[d].hi {
+                break;
+            }
+            inst[d] = dims[d].lo;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tenet_core::Interconnect;
+
+    fn figure3() -> (TensorOp, Dataflow, ArchSpec) {
+        let gemm = TensorOp::builder("gemm")
+            .dim("i", 2)
+            .dim("j", 2)
+            .dim("k", 4)
+            .read("A", ["i", "k"])
+            .read("B", ["k", "j"])
+            .write("Y", ["i", "j"])
+            .build()
+            .unwrap();
+        let df = Dataflow::new(["i", "j"], ["i + j + k"]);
+        let arch = ArchSpec::new("2x2", [2, 2], Interconnect::Systolic2D, 4.0);
+        (gemm, df, arch)
+    }
+
+    #[test]
+    fn figure3_stamp_zero_and_one() {
+        let (op, df, arch) = figure3();
+        let t = trace(&op, &df, &arch, 1000).unwrap();
+        // T[0]: only PE[0,0] runs S[0,0,0].
+        assert_eq!(t.stamps[0].time, vec![0]);
+        assert_eq!(t.stamps[0].pes.len(), 1);
+        let act = &t.stamps[0].pes[&vec![0, 0]];
+        assert_eq!(act.instance, vec![0, 0, 0]);
+        assert_eq!(
+            act.accesses,
+            vec![
+                ("A".to_string(), vec![0, 0]),
+                ("B".to_string(), vec![0, 0]),
+                ("Y".to_string(), vec![0, 0]),
+            ]
+        );
+        // T[1]: the paper lists S[0,0,1]->PE[0,0], S[1,0,0]->PE[1,0],
+        // S[0,1,0]->PE[0,1].
+        let s1 = &t.stamps[1];
+        assert_eq!(s1.time, vec![1]);
+        assert_eq!(s1.pes.len(), 3);
+        assert_eq!(s1.pes[&vec![0, 0]].instance, vec![0, 0, 1]);
+        assert_eq!(s1.pes[&vec![1, 0]].instance, vec![1, 0, 0]);
+        assert_eq!(s1.pes[&vec![0, 1]].instance, vec![0, 1, 0]);
+    }
+
+    #[test]
+    fn figure3_full_trace_covers_all_instances() {
+        let (op, df, arch) = figure3();
+        let t = trace(&op, &df, &arch, 1000).unwrap();
+        // Time-stamps 0..=5 (max i+j+k = 1+1+3 for 2x2x4).
+        assert_eq!(t.stamps.len(), 6);
+        let total: usize = t.stamps.iter().map(|s| s.pes.len()).sum();
+        assert_eq!(total, 16);
+    }
+
+    #[test]
+    fn render_matches_paper_table_shape() {
+        let (op, df, arch) = figure3();
+        let text = trace(&op, &df, &arch, 1000).unwrap().render();
+        assert!(text.contains("T[1]"));
+        assert!(text.contains("PE[0,0]  A[0][1] B[1][0] Y[0][0]"));
+        assert!(text.contains("PE[1,0]  A[1][0] B[0][0] Y[1][0]"));
+    }
+
+    #[test]
+    fn trace_cap_is_enforced() {
+        let (op, df, arch) = figure3();
+        assert!(trace(&op, &df, &arch, 4).is_err());
+    }
+
+    #[test]
+    fn non_injective_dataflow_is_reported() {
+        let (op, _, arch) = figure3();
+        let bad = Dataflow::new(["i", "j"], ["i + j"]);
+        let err = trace(&op, &bad, &arch, 1000).unwrap_err();
+        assert!(err.to_string().contains("not injective"));
+    }
+
+    #[test]
+    fn out_of_bounds_pe_is_reported() {
+        let (op, _, arch) = figure3();
+        let bad = Dataflow::new(["i + 2", "j"], ["k"]);
+        assert!(trace(&op, &bad, &arch, 1000).is_err());
+    }
+}

@@ -1,0 +1,364 @@
+//! The twenty named dataflows of Table III, in relation-centric notation.
+//!
+//! Table III prints only the innermost two time dimensions "for
+//! simplicity"; here each dataflow carries a complete time-stamp (loop
+//! dimensions absent from the printed stamp become outer temporal
+//! dimensions) so that every dataflow is injective — a PE performs one MAC
+//! per cycle.
+//!
+//! Names follow the paper's `(<space>-P | <inner time>-T)` convention.
+
+use tenet_core::Dataflow;
+
+/// The five GEMM dataflows (Table III), for a `pe × pe` array
+/// (2-D space-stamps) or a `pe1d`-wide array (1-D space-stamps).
+pub fn gemm_dataflows(pe: i64, pe1d: i64) -> Vec<Dataflow> {
+    vec![
+        // Applied in the TPU.
+        Dataflow::new(
+            [format!("i mod {pe}"), format!("j mod {pe}")],
+            [
+                format!("floor(i/{pe})"),
+                format!("floor(j/{pe})"),
+                format!("i mod {pe} + j mod {pe} + k"),
+            ],
+        )
+        .named("(IJ-P | J,IJK-T)"),
+        Dataflow::new(
+            [format!("k mod {pe}"), format!("j mod {pe}")],
+            [
+                format!("floor(j/{pe})"),
+                format!("floor(k/{pe})"),
+                format!("i + j mod {pe} + k mod {pe}"),
+            ],
+        )
+        .named("(KJ-P | K,IJK-T)"),
+        Dataflow::new(
+            [format!("i mod {pe}"), format!("k mod {pe}")],
+            [
+                format!("floor(i/{pe})"),
+                format!("floor(k/{pe})"),
+                format!("j + i mod {pe} + k mod {pe}"),
+            ],
+        )
+        .named("(IK-P | K,IJK-T)"),
+        Dataflow::new(
+            [format!("k mod {pe1d}")],
+            [format!("floor(k/{pe1d})"), "i".into(), "j".into()],
+        )
+        .named("(K-P | I,J-T)"),
+        Dataflow::new(
+            [format!("j mod {pe1d}")],
+            [format!("floor(j/{pe1d})"), "i".into(), "k".into()],
+        )
+        .named("(J-P | I,K-T)"),
+    ]
+}
+
+/// The eight 2D-CONV dataflows of Table III. The Eyeriss row-stationary
+/// dataflow assumes a 12-row array and `ry < 3`, `c` a multiple of 4
+/// mapped as `ry + 3*(c mod 4)` (Section VI-E).
+pub fn conv_dataflows(pe: i64, pe1d: i64) -> Vec<Dataflow> {
+    vec![
+        Dataflow::new(
+            [format!("k mod {pe}"), format!("c mod {pe}")],
+            [
+                "rx".into(),
+                "ry".into(),
+                format!("floor(k/{pe})"),
+                format!("floor(c/{pe})"),
+                "oy".into(),
+                format!("k mod {pe} + c mod {pe} + ox"),
+            ],
+        )
+        .named("(KC-P | OY,KCOX-T)"),
+        Dataflow::new(
+            [format!("k mod {pe}"), format!("ox mod {pe}")],
+            [
+                "rx".into(),
+                "ry".into(),
+                format!("floor(k/{pe})"),
+                format!("floor(ox/{pe})"),
+                "oy".into(),
+                format!("k mod {pe} + ox mod {pe} + c"),
+            ],
+        )
+        .named("(KOX-P | OY,KOXC-T)"),
+        Dataflow::new(
+            [format!("k mod {pe}"), format!("c mod {pe}")],
+            [
+                "rx".into(),
+                "ry".into(),
+                format!("floor(k/{pe})"),
+                "oy".into(),
+                format!("floor(c/{pe})"),
+                format!("k mod {pe} + ox"),
+            ],
+        )
+        .named("(KC-P | C,KOX-T)"),
+        Dataflow::new(
+            [format!("k mod {pe1d}")],
+            [
+                "rx".into(),
+                "ry".into(),
+                format!("floor(k/{pe1d})"),
+                "c".into(),
+                "ox".into(),
+                "oy".into(),
+            ],
+        )
+        .named("(K-P | OX,OY-T)"),
+        Dataflow::new(
+            [format!("c mod {pe1d}")],
+            [
+                "rx".into(),
+                "ry".into(),
+                format!("floor(c/{pe1d})"),
+                "k".into(),
+                "oy".into(),
+                "ox".into(),
+            ],
+        )
+        .named("(C-P | OY,OX-T)"),
+        // Motivated by Eyeriss: rows hold (filter row, channel group).
+        Dataflow::new(
+            ["ry + 3*(c mod 4)".to_string(), "oy".to_string()],
+            [
+                "rx".to_string(),
+                "k mod 16".to_string(),
+                "floor((c mod 16)/4)".to_string(),
+                "floor(k/16)".to_string(),
+                "floor(c/16)".to_string(),
+                "ox".to_string(),
+            ],
+        )
+        .named("(RYOY-P | OY,OX-T)"),
+        // Motivated by ShiDianNao: output-stationary tiles.
+        Dataflow::new(
+            [format!("oy mod {pe}"), format!("ox mod {pe}")],
+            [
+                "k".into(),
+                "c".into(),
+                "rx".into(),
+                "ry".into(),
+                format!("floor(oy/{pe})"),
+                format!("floor(ox/{pe})"),
+            ],
+        )
+        .named("(OYOX-P | OY,OX-T)"),
+        // Motivated by NVDLA: channel-parallel.
+        Dataflow::new(
+            [format!("k mod {pe}"), format!("c mod {pe}")],
+            [
+                "rx".into(),
+                "ry".into(),
+                format!("floor(k/{pe})"),
+                format!("floor(c/{pe})"),
+                "oy".into(),
+                "ox".into(),
+            ],
+        )
+        .named("(KC-P | OY,OX-T)"),
+    ]
+}
+
+/// The Eyeriss row-stationary dataflow used by the accuracy studies
+/// (Figures 11 and 12): PE rows hold a (filter-row, channel-quartet)
+/// pair, PE columns hold output rows, and each PE sweeps the filter width
+/// and a channel quartet "continuously" before advancing to the next
+/// output column (Section VI-E).
+///
+/// Use with [`tenet_core::presets::eyeriss_like`]-shaped arrays, an
+/// Eyeriss-style multicast NoC, and a reuse window of 12 (= RX × quartet).
+pub fn eyeriss_row_stationary() -> Dataflow {
+    Dataflow::new(
+        ["ry + 3*(c mod 4)".to_string(), "oy".to_string()],
+        [
+            "floor(k/16)".to_string(),
+            "k mod 16".to_string(),
+            "floor(c/16)".to_string(),
+            "ox".to_string(),
+            "floor((c mod 16)/4)".to_string(),
+            "rx".to_string(),
+        ],
+    )
+    .named("(RYOY-P | OY,OX-T) row-stationary")
+}
+
+/// Like [`eyeriss_row_stationary`] but with the output rows folded onto a
+/// `oy_tile`-column array, for layers whose output height exceeds the
+/// array width.
+pub fn eyeriss_row_stationary_tiled(oy_tile: i64) -> Dataflow {
+    Dataflow::new(
+        [
+            "ry + 3*(c mod 4)".to_string(),
+            format!("oy mod {oy_tile}"),
+        ],
+        [
+            format!("floor(oy/{oy_tile})"),
+            "floor(k/16)".to_string(),
+            "k mod 16".to_string(),
+            "floor(c/16)".to_string(),
+            "ox".to_string(),
+            "floor((c mod 16)/4)".to_string(),
+            "rx".to_string(),
+        ],
+    )
+    .named("(RYOY-P | OY,OX-T) row-stationary (tiled)")
+}
+
+/// The MAERI dataflow for the Figure 11(c)/(d) study: the 1-D multiplier
+/// array holds the output-channel dimension; the reconfigurable reduction
+/// tree is modeled as same-cycle multicast links.
+pub fn maeri_dataflow(n_mult: i64) -> Dataflow {
+    Dataflow::new(
+        [format!("k mod {n_mult}")],
+        [
+            format!("floor(k/{n_mult})"),
+            "c".to_string(),
+            "ry".to_string(),
+            "oy".to_string(),
+            "ox".to_string(),
+            "rx".to_string(),
+        ],
+    )
+    .named("(K-P | OX,RX-T) maeri")
+}
+
+/// The three MTTKRP dataflows of Table III.
+pub fn mttkrp_dataflows(pe: i64) -> Vec<Dataflow> {
+    vec![
+        Dataflow::new(
+            [format!("i mod {pe}"), format!("j mod {pe}")],
+            [
+                "k".into(),
+                format!("floor(i/{pe})"),
+                format!("floor(j/{pe})"),
+                format!("i mod {pe} + j mod {pe} + l"),
+            ],
+        )
+        .named("(IJ-P | J,IJL-T)"),
+        Dataflow::new(
+            [format!("k mod {pe}"), format!("j mod {pe}")],
+            [
+                "i".into(),
+                format!("floor(k/{pe})"),
+                format!("floor(j/{pe})"),
+                format!("k mod {pe} + j mod {pe} + l"),
+            ],
+        )
+        .named("(KJ-P | J,KJL-T)"),
+        Dataflow::new(
+            [format!("k mod {pe}"), format!("l mod {pe}")],
+            [
+                "i".into(),
+                format!("floor(k/{pe})"),
+                format!("floor(l/{pe})"),
+                format!("k mod {pe} + l mod {pe} + j"),
+            ],
+        )
+        .named("(KL-P | L,KLJ-T)"),
+    ]
+}
+
+/// The two Jacobi-2D dataflows of Table III.
+pub fn jacobi_dataflows(pe: i64, pe1d: i64) -> Vec<Dataflow> {
+    vec![
+        Dataflow::new(
+            [format!("i mod {pe1d}")],
+            [format!("floor(i/{pe1d})"), "j".into()],
+        )
+        .named("(I-P | I,J-T)"),
+        Dataflow::new(
+            [format!("i mod {pe}"), format!("j mod {pe}")],
+            [format!("floor(i/{pe})"), format!("floor(j/{pe})")],
+        )
+        .named("(IJ-P | I,J-T)"),
+    ]
+}
+
+/// The two MMc dataflows of Table III (same shapes as MTTKRP's first two).
+pub fn mmc_dataflows(pe: i64) -> Vec<Dataflow> {
+    vec![
+        Dataflow::new(
+            [format!("i mod {pe}"), format!("j mod {pe}")],
+            [
+                "k".into(),
+                format!("floor(i/{pe})"),
+                format!("floor(j/{pe})"),
+                format!("i mod {pe} + j mod {pe} + l"),
+            ],
+        )
+        .named("(IJ-P | J,IJL-T)"),
+        Dataflow::new(
+            [format!("k mod {pe}"), format!("j mod {pe}")],
+            [
+                "i".into(),
+                format!("floor(k/{pe})"),
+                format!("floor(j/{pe})"),
+                format!("k mod {pe} + j mod {pe} + l"),
+            ],
+        )
+        .named("(KJ-P | J,KJL-T)"),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels;
+
+    #[test]
+    fn table3_has_twenty_dataflows() {
+        let n = gemm_dataflows(8, 64).len()
+            + conv_dataflows(8, 64).len()
+            + mttkrp_dataflows(8).len()
+            + jacobi_dataflows(8, 64).len()
+            + mmc_dataflows(8).len();
+        assert_eq!(n, 20);
+    }
+
+    #[test]
+    fn gemm_dataflows_are_injective() {
+        let op = kernels::gemm(16, 16, 16).unwrap();
+        for df in gemm_dataflows(8, 64) {
+            assert!(
+                df.is_injective(&op).unwrap(),
+                "{} is not injective",
+                df.name().unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn conv_dataflows_are_injective() {
+        let op = kernels::conv2d(16, 16, 8, 8, 3, 3).unwrap();
+        for df in conv_dataflows(8, 64) {
+            assert!(
+                df.is_injective(&op).unwrap(),
+                "{} is not injective",
+                df.name().unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn mttkrp_and_mmc_dataflows_are_injective() {
+        let op = kernels::mttkrp(8, 8, 8, 8).unwrap();
+        for df in mttkrp_dataflows(8) {
+            assert!(df.is_injective(&op).unwrap(), "{:?}", df.name());
+        }
+        let op = kernels::mmc(8, 8, 8, 8).unwrap();
+        for df in mmc_dataflows(8) {
+            assert!(df.is_injective(&op).unwrap(), "{:?}", df.name());
+        }
+    }
+
+    #[test]
+    fn jacobi_dataflows_are_injective() {
+        let op = kernels::jacobi2d(18).unwrap();
+        for df in jacobi_dataflows(8, 64) {
+            assert!(df.is_injective(&op).unwrap(), "{:?}", df.name());
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! The five tensor kernels of the evaluation (Section VI-A).
+
+use tenet_core::{Result, TensorOp};
+
+/// `GEMM: Y(i,j) += A(i,k) * B(k,j)`.
+pub fn gemm(i: i64, j: i64, k: i64) -> Result<TensorOp> {
+    TensorOp::builder("gemm")
+        .dim("i", i)
+        .dim("j", j)
+        .dim("k", k)
+        .read("A", ["i", "k"])
+        .read("B", ["k", "j"])
+        .write("Y", ["i", "j"])
+        .build()
+}
+
+/// `2D-CONV: Y(k,ox,oy) += A(c, ox+rx, oy+ry) * B(k,c,rx,ry)`.
+///
+/// `ox`/`oy` are *output* extents; the input footprint is
+/// `(ox + rx - 1) × (oy + ry - 1)` (same-padding semantics).
+#[allow(clippy::too_many_arguments)]
+pub fn conv2d(k: i64, c: i64, ox: i64, oy: i64, rx: i64, ry: i64) -> Result<TensorOp> {
+    TensorOp::builder("conv2d")
+        .dim("k", k)
+        .dim("c", c)
+        .dim("ox", ox)
+        .dim("oy", oy)
+        .dim("rx", rx)
+        .dim("ry", ry)
+        .read("A", ["c", "ox + rx", "oy + ry"])
+        .read("B", ["k", "c", "rx", "ry"])
+        .write("Y", ["k", "ox", "oy"])
+        .build()
+}
+
+/// Depthwise 2D convolution (MobileNet dw-CONV):
+/// `Y(c,ox,oy) += A(c, ox+rx, oy+ry) * B(c,rx,ry)` — no accumulation over
+/// channels, hence lower input reuse (Section VI-E).
+pub fn depthwise_conv2d(c: i64, ox: i64, oy: i64, rx: i64, ry: i64) -> Result<TensorOp> {
+    TensorOp::builder("dwconv2d")
+        .dim("c", c)
+        .dim("ox", ox)
+        .dim("oy", oy)
+        .dim("rx", rx)
+        .dim("ry", ry)
+        .read("A", ["c", "ox + rx", "oy + ry"])
+        .read("B", ["c", "rx", "ry"])
+        .write("Y", ["c", "ox", "oy"])
+        .build()
+}
+
+/// `MTTKRP: Y(i,j) += A(i,k,l) * B(k,j) * C(l,j)` — the bottleneck of
+/// tensor factorization (ALS).
+pub fn mttkrp(i: i64, j: i64, k: i64, l: i64) -> Result<TensorOp> {
+    TensorOp::builder("mttkrp")
+        .dim("i", i)
+        .dim("j", j)
+        .dim("k", k)
+        .dim("l", l)
+        .read("A", ["i", "k", "l"])
+        .read("B", ["k", "j"])
+        .read("C", ["l", "j"])
+        .write("Y", ["i", "j"])
+        .build()
+}
+
+/// Matrix-multiplication chain `MMc: Y(i,j) += A(i,k) * B(k,l) * C(l,j)`
+/// modeled as a single 4-deep nest (as in Table III).
+pub fn mmc(i: i64, j: i64, k: i64, l: i64) -> Result<TensorOp> {
+    TensorOp::builder("mmc")
+        .dim("i", i)
+        .dim("j", j)
+        .dim("k", k)
+        .dim("l", l)
+        .read("A", ["i", "k"])
+        .read("B", ["k", "l"])
+        .read("C", ["l", "j"])
+        .write("Y", ["i", "j"])
+        .build()
+}
+
+/// `Jacobi-2D: Y(i,j) = (A(i,j) + A(i-1,j) + A(i,j-1) + A(i+1,j) +
+/// A(i,j+1)) / 5` over the interior of an `n × n` grid.
+pub fn jacobi2d(n: i64) -> Result<TensorOp> {
+    TensorOp::builder("jacobi2d")
+        .dim_range("i", 1, n - 1)
+        .dim_range("j", 1, n - 1)
+        .read("A", ["i", "j"])
+        .read("A", ["i - 1", "j"])
+        .read("A", ["i + 1", "j"])
+        .read("A", ["i", "j - 1"])
+        .read("A", ["i", "j + 1"])
+        .write("Y", ["i", "j"])
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_instance_counts() {
+        assert_eq!(gemm(4, 5, 6).unwrap().instances().unwrap(), 120);
+        assert_eq!(
+            conv2d(2, 3, 4, 4, 3, 3).unwrap().instances().unwrap(),
+            2 * 3 * 16 * 9
+        );
+        assert_eq!(mttkrp(2, 3, 4, 5).unwrap().instances().unwrap(), 120);
+        assert_eq!(mmc(2, 3, 4, 5).unwrap().instances().unwrap(), 120);
+        assert_eq!(jacobi2d(10).unwrap().instances().unwrap(), 64);
+    }
+
+    #[test]
+    fn conv_footprints() {
+        let op = conv2d(2, 3, 8, 8, 3, 3).unwrap();
+        // Input footprint: c * (ox+rx-1) * (oy+ry-1) = 3 * 10 * 10.
+        assert_eq!(op.footprint("A").unwrap().card().unwrap(), 300);
+        assert_eq!(op.footprint("B").unwrap().card().unwrap(), 2 * 3 * 9);
+        assert_eq!(op.footprint("Y").unwrap().card().unwrap(), 2 * 64);
+    }
+
+    #[test]
+    fn depthwise_has_no_cross_channel_dim() {
+        let op = depthwise_conv2d(4, 6, 6, 3, 3).unwrap();
+        assert_eq!(op.dims().len(), 5);
+        assert_eq!(op.instances().unwrap(), 4 * 36 * 9);
+    }
+}

@@ -1,0 +1,11 @@
+//! # tenet-workloads
+//!
+//! Evaluation inputs for the TENET reproduction: the five tensor kernels
+//! of Section VI-A, the twenty named dataflows of Table III, and the layer
+//! shape tables of Table IV / Figures 11–12.
+
+#![warn(missing_docs)]
+
+pub mod dataflows;
+pub mod kernels;
+pub mod networks;

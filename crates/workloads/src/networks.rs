@@ -1,0 +1,204 @@
+//! Layer shape tables for the real-world applications of Table IV and the
+//! accuracy studies of Figures 11–12.
+//!
+//! Only layer *shapes* are recorded — TENET's analysis is purely geometric
+//! and never reads tensor values, so no weights or datasets are required
+//! (see DESIGN.md, substitutions).
+
+use crate::kernels;
+use tenet_core::{Result, TensorOp};
+
+/// The kind of convolution a layer performs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConvKind {
+    /// Standard dense convolution.
+    Standard,
+    /// Depthwise convolution (MobileNet): no cross-channel accumulation.
+    Depthwise,
+    /// Pointwise 1×1 convolution (MobileNet).
+    Pointwise,
+}
+
+/// Shape of one convolutional layer (output spatial extents).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConvShape {
+    /// Layer name as used in the figures (e.g. `CONV3`, `Incpt-4a`).
+    pub name: &'static str,
+    /// Output channels (1 for depthwise).
+    pub k: i64,
+    /// Input channels.
+    pub c: i64,
+    /// Output width = height.
+    pub ox: i64,
+    /// Filter width = height.
+    pub rx: i64,
+    /// Convolution kind.
+    pub kind: ConvKind,
+    /// How many layers of this shape the network contains (used to weight
+    /// whole-network sums, Table IV "layer types").
+    pub count: u32,
+}
+
+impl ConvShape {
+    /// Builds the layer's tensor operation.
+    pub fn op(&self) -> Result<TensorOp> {
+        match self.kind {
+            ConvKind::Depthwise => {
+                kernels::depthwise_conv2d(self.c, self.ox, self.ox, self.rx, self.rx)
+            }
+            _ => kernels::conv2d(self.k, self.c, self.ox, self.ox, self.rx, self.rx),
+        }
+    }
+
+    /// Scales spatial and channel extents down by `f` (for simulation,
+    /// where full layers are too large to execute instance by instance).
+    pub fn scaled(&self, f: i64) -> ConvShape {
+        let mut s = self.clone();
+        s.k = (s.k / f).max(1);
+        s.c = (s.c / f).max(1);
+        s.ox = (s.ox / f).max(s.rx);
+        s
+    }
+
+    /// Scales only the channel extents down by `f`, keeping spatial sizes
+    /// (useful when a dataflow maps spatial dims onto the PE array).
+    /// Channel counts are kept at a multiple of 16 (or 1) so channel-tiled
+    /// dataflows remain applicable.
+    pub fn scaled_channels(&self, f: i64) -> ConvShape {
+        let round16 = |v: i64| -> i64 {
+            if v <= 16 {
+                v.max(1)
+            } else {
+                (v / 16) * 16
+            }
+        };
+        let mut s = self.clone();
+        s.k = round16(self.k / f);
+        s.c = round16(self.c / f);
+        s
+    }
+
+    /// Number of MACs of this layer.
+    pub fn macs(&self) -> u128 {
+        let k = if self.kind == ConvKind::Depthwise { 1 } else { self.k } as u128;
+        k * self.c as u128
+            * (self.ox as u128)
+            * (self.ox as u128)
+            * (self.rx as u128)
+            * (self.rx as u128)
+    }
+}
+
+/// AlexNet's five convolutional layers (Figure 11a/b, Figure 12).
+/// Shapes follow the original grouped topology (C2/C4/C5 see half the
+/// input channels).
+pub fn alexnet() -> Vec<ConvShape> {
+    use ConvKind::Standard;
+    vec![
+        ConvShape { name: "CONV1", k: 96, c: 3, ox: 55, rx: 11, kind: Standard, count: 1 },
+        ConvShape { name: "CONV2", k: 256, c: 48, ox: 27, rx: 5, kind: Standard, count: 1 },
+        ConvShape { name: "CONV3", k: 384, c: 256, ox: 13, rx: 3, kind: Standard, count: 1 },
+        ConvShape { name: "CONV4", k: 384, c: 192, ox: 13, rx: 3, kind: Standard, count: 1 },
+        ConvShape { name: "CONV5", k: 256, c: 192, ox: 13, rx: 3, kind: Standard, count: 1 },
+    ]
+}
+
+/// The first layer of each VGG-16 stage (Figure 11c/d, Figure 12).
+pub fn vgg16() -> Vec<ConvShape> {
+    use ConvKind::Standard;
+    vec![
+        ConvShape { name: "CONV1-1", k: 64, c: 3, ox: 224, rx: 3, kind: Standard, count: 2 },
+        ConvShape { name: "CONV2-1", k: 128, c: 64, ox: 112, rx: 3, kind: Standard, count: 2 },
+        ConvShape { name: "CONV3-1", k: 256, c: 128, ox: 56, rx: 3, kind: Standard, count: 3 },
+        ConvShape { name: "CONV4-1", k: 512, c: 256, ox: 28, rx: 3, kind: Standard, count: 3 },
+        ConvShape { name: "CONV5-1", k: 512, c: 512, ox: 14, rx: 3, kind: Standard, count: 3 },
+    ]
+}
+
+/// GoogLeNet inception 3×3 branches (Figure 12). Spatial extent 56 matches
+/// the paper's reuse-factor discussion (inception-4a filter reuse
+/// 56×56 = 3136); channel shapes follow the official topology.
+pub fn googlenet() -> Vec<ConvShape> {
+    use ConvKind::Standard;
+    vec![
+        ConvShape { name: "Incpt-3a", k: 128, c: 96, ox: 56, rx: 3, kind: Standard, count: 1 },
+        ConvShape { name: "Incpt-3b", k: 192, c: 128, ox: 56, rx: 3, kind: Standard, count: 1 },
+        ConvShape { name: "Incpt-4a", k: 208, c: 96, ox: 56, rx: 3, kind: Standard, count: 1 },
+        ConvShape { name: "Incpt-4b", k: 224, c: 112, ox: 56, rx: 3, kind: Standard, count: 1 },
+        ConvShape { name: "Incpt-4c", k: 256, c: 128, ox: 56, rx: 3, kind: Standard, count: 1 },
+    ]
+}
+
+/// MobileNet-v1's four leading layer types (Figure 12, Table IV): a
+/// standard stem plus alternating depthwise / pointwise layers.
+pub fn mobilenet() -> Vec<ConvShape> {
+    vec![
+        ConvShape { name: "CONV1", k: 32, c: 3, ox: 112, rx: 3, kind: ConvKind::Standard, count: 1 },
+        ConvShape { name: "dw-CONV2", k: 1, c: 32, ox: 112, rx: 3, kind: ConvKind::Depthwise, count: 1 },
+        ConvShape { name: "pw-CONV3", k: 64, c: 32, ox: 112, rx: 1, kind: ConvKind::Pointwise, count: 1 },
+        ConvShape { name: "dw-CONV4", k: 1, c: 64, ox: 56, rx: 3, kind: ConvKind::Depthwise, count: 1 },
+        ConvShape { name: "pw-CONV5", k: 128, c: 64, ox: 56, rx: 1, kind: ConvKind::Pointwise, count: 1 },
+    ]
+}
+
+/// The ALS MTTKRP shape of Table IV (480K × 18K × 2K, rank 32).
+///
+/// The paper does not state the factorization rank; 32 is a typical choice
+/// and only scales the `j` extent.
+pub fn als_mttkrp() -> Result<TensorOp> {
+    kernels::mttkrp(480_000, 32, 18_000, 2_000)
+}
+
+/// A reduced ALS shape for experiments that sweep many dataflows.
+pub fn als_mttkrp_small() -> Result<TensorOp> {
+    kernels::mttkrp(4_800, 32, 1_800, 200)
+}
+
+/// The Transformer MMc shape of Table IV (sizes 512 / 768 / 1024):
+/// `(512×768) · (768×1024) · (1024×512)` as a single chain.
+pub fn transformer_mmc() -> Result<TensorOp> {
+    kernels::mmc(512, 512, 768, 1024)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layer_tables_have_five_entries() {
+        assert_eq!(alexnet().len(), 5);
+        assert_eq!(vgg16().len(), 5);
+        assert_eq!(googlenet().len(), 5);
+        assert_eq!(mobilenet().len(), 5);
+    }
+
+    #[test]
+    fn alexnet_conv3_shape() {
+        let l = &alexnet()[2];
+        assert_eq!((l.k, l.c, l.ox, l.rx), (384, 256, 13, 3));
+        let op = l.op().unwrap();
+        assert_eq!(op.instances().unwrap(), l.macs());
+    }
+
+    #[test]
+    fn depthwise_layers_build() {
+        for l in mobilenet() {
+            let op = l.op().unwrap();
+            assert!(op.instances().unwrap() > 0, "{}", l.name);
+        }
+    }
+
+    #[test]
+    fn scaled_shapes_shrink() {
+        let l = alexnet()[2].scaled(4);
+        assert_eq!(l.k, 96);
+        assert_eq!(l.c, 64);
+        assert!(l.ox >= l.rx);
+    }
+
+    #[test]
+    fn table_iv_ops_build() {
+        assert!(als_mttkrp_small().is_ok());
+        assert!(transformer_mmc().is_ok());
+    }
+}

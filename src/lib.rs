@@ -1,0 +1,32 @@
+//! # TENET — relation-centric tensor dataflow modeling
+//!
+//! A Rust reproduction of *TENET: A Framework for Modeling Tensor Dataflow
+//! Based on Relation-centric Notation* (ISCA 2021), including a
+//! from-scratch integer set library, the relation-centric performance
+//! model, the MAESTRO-style data-centric baseline, a cycle-level golden
+//! simulator, the paper's workloads and dataflows, and design-space
+//! exploration.
+//!
+//! ```
+//! use tenet::core::{Analysis, ArchSpec, Dataflow, Interconnect, TensorOp};
+//!
+//! // Figure 3 of the paper: GEMM on a 2x2 systolic array.
+//! let gemm = TensorOp::builder("gemm")
+//!     .dim("i", 2).dim("j", 2).dim("k", 4)
+//!     .read("A", ["i", "k"]).read("B", ["k", "j"]).write("Y", ["i", "j"])
+//!     .build()?;
+//! let dataflow = Dataflow::new(["i", "j"], ["i + j + k"]);
+//! let arch = ArchSpec::new("2x2", [2, 2], Interconnect::Systolic2D, 4.0);
+//! let report = Analysis::new(&gemm, &dataflow, &arch)?.report()?;
+//! assert_eq!(report.macs, 16);
+//! # Ok::<(), tenet::core::Error>(())
+//! ```
+
+pub use tenet_compute as compute;
+pub use tenet_core as core;
+pub use tenet_dse as dse;
+pub use tenet_frontend as frontend;
+pub use tenet_isl as isl;
+pub use tenet_maestro as maestro;
+pub use tenet_sim as sim;
+pub use tenet_workloads as workloads;

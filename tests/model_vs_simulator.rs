@@ -1,0 +1,152 @@
+//! Cross-validation: the analytical model's volume metrics must agree
+//! with the cycle-level simulator on every (kernel, dataflow, topology)
+//! combination small enough to simulate. The simulator shares no code
+//! path with the integer-set machinery, making this an independent
+//! end-to-end oracle.
+
+use tenet::core::{Analysis, ArchSpec, Dataflow, Interconnect, TensorOp};
+use tenet::sim::{simulate, SimOptions};
+use tenet::workloads::{dataflows, kernels};
+
+fn check(op: &TensorOp, df: &Dataflow, arch: &ArchSpec) {
+    let label = format!("{} / {:?} / {}", op.name(), df.name(), arch.interconnect.label());
+    let analysis = Analysis::new(op, df, arch).unwrap_or_else(|e| panic!("{label}: {e}"));
+    let sim = simulate(op, df, arch, &SimOptions::default())
+        .unwrap_or_else(|e| panic!("{label}: {e}"));
+    for a in op.accesses() {
+        let t = &a.tensor;
+        let v = analysis.volumes(t).unwrap();
+        let s = &sim.tensors[t];
+        assert_eq!(
+            s.scratchpad as u128, v.unique,
+            "{label}: tensor {t} unique (sim {} vs model {})",
+            s.scratchpad, v.unique
+        );
+        assert_eq!(
+            (s.temporal_hits + s.spatial_hits) as u128,
+            v.reuse,
+            "{label}: tensor {t} reuse"
+        );
+    }
+    let u = analysis.utilization().unwrap();
+    assert_eq!(u.time_stamps as u64, sim.compute_cycles, "{label}: stamps");
+    assert!(
+        (u.average - sim.avg_utilization()).abs() < 1e-9,
+        "{label}: avg utilization {} vs {}",
+        u.average,
+        sim.avg_utilization()
+    );
+    assert!(
+        (u.max - sim.max_utilization()).abs() < 1e-9,
+        "{label}: max utilization"
+    );
+
+    // Energy: the simulator derives it from measured counters, the model
+    // from counted relations; the accounting must agree to the unit.
+    let model_energy = analysis.energy().unwrap();
+    let sim_energy = sim.energy(&arch.energy);
+    for (name, m, s) in [
+        ("compute", model_energy.compute, sim_energy.compute),
+        ("register", model_energy.register, sim_energy.register),
+        ("noc", model_energy.noc, sim_energy.noc),
+        ("scratchpad", model_energy.scratchpad, sim_energy.scratchpad),
+        ("dram", model_energy.dram, sim_energy.dram),
+    ] {
+        assert!(
+            (m - s).abs() < 1e-6,
+            "{label}: {name} energy (model {m} vs sim {s})"
+        );
+    }
+}
+
+#[test]
+fn gemm_all_dataflows_systolic() {
+    let op = kernels::gemm(8, 8, 8).unwrap();
+    for df in dataflows::gemm_dataflows(4, 16) {
+        let arch = if df.n_space() == 2 {
+            ArchSpec::new("4x4", [4, 4], Interconnect::Systolic2D, 1e9)
+        } else {
+            ArchSpec::new("16", [16], Interconnect::Systolic1D, 1e9)
+        };
+        check(&op, &df, &arch);
+    }
+}
+
+#[test]
+fn gemm_mesh_and_multicast() {
+    let op = kernels::gemm(8, 8, 8).unwrap();
+    let df = &dataflows::gemm_dataflows(4, 16)[0];
+    check(&op, df, &ArchSpec::new("4x4", [4, 4], Interconnect::Mesh, 1e9));
+    let df1d = &dataflows::gemm_dataflows(4, 16)[3]; // (K-P | I,J-T)
+    check(
+        &op,
+        df1d,
+        &ArchSpec::new("16", [16], Interconnect::Multicast { radius: 3 }, 1e9),
+    );
+}
+
+#[test]
+fn conv_dataflows_match() {
+    let op = kernels::conv2d(8, 8, 6, 6, 3, 3).unwrap();
+    for df in dataflows::conv_dataflows(4, 16) {
+        if df.name() == Some("(RYOY-P | OY,OX-T)") {
+            // Needs a 12-row array; covered separately below.
+            continue;
+        }
+        let arch = if df.n_space() == 2 {
+            ArchSpec::new("arr", [8, 8], Interconnect::Systolic2D, 1e9)
+        } else {
+            ArchSpec::new("arr", [16], Interconnect::Systolic1D, 1e9)
+        };
+        check(&op, &df, &arch);
+    }
+}
+
+#[test]
+fn eyeriss_row_stationary_matches() {
+    let op = kernels::conv2d(16, 16, 6, 6, 3, 3).unwrap();
+    let df = dataflows::eyeriss_row_stationary();
+    let arch = ArchSpec::new("12x6", [12, 6], Interconnect::Mesh, 1e9);
+    check(&op, &df, &arch);
+}
+
+#[test]
+fn mttkrp_and_mmc_match() {
+    let op = kernels::mttkrp(4, 4, 4, 4).unwrap();
+    for df in dataflows::mttkrp_dataflows(4) {
+        let arch = ArchSpec::new("4x4", [4, 4], Interconnect::Systolic2D, 1e9);
+        check(&op, &df, &arch);
+    }
+    let op = kernels::mmc(4, 4, 4, 4).unwrap();
+    for df in dataflows::mmc_dataflows(4) {
+        let arch = ArchSpec::new("4x4", [4, 4], Interconnect::Systolic2D, 1e9);
+        check(&op, &df, &arch);
+    }
+}
+
+#[test]
+fn jacobi_matches() {
+    let op = kernels::jacobi2d(10).unwrap();
+    for df in dataflows::jacobi_dataflows(4, 16) {
+        let arch = if df.n_space() == 2 {
+            ArchSpec::new("4x4", [4, 4], Interconnect::Mesh, 1e9)
+        } else {
+            ArchSpec::new("16", [16], Interconnect::Systolic1D, 1e9)
+        };
+        check(&op, &df, &arch);
+    }
+}
+
+/// The skewed TPU dataflow on the exact Figure 3 shape, all topologies.
+#[test]
+fn skewed_dataflow_all_topologies() {
+    let op = kernels::gemm(4, 4, 8).unwrap();
+    let df = Dataflow::new(["i", "j"], ["i + j + k"]);
+    for ic in [
+        Interconnect::Systolic1D,
+        Interconnect::Systolic2D,
+        Interconnect::Mesh,
+    ] {
+        check(&op, &df, &ArchSpec::new("4x4", [4, 4], ic, 1e9));
+    }
+}

@@ -1,0 +1,168 @@
+//! Three-way notation consistency (Table I, as an executable triangle):
+//!
+//! * a compute-centric `Schedule` lowers to a relation-centric `Dataflow`
+//!   whose exact metrics equal a hand-written equivalent dataflow;
+//! * a representable relation-centric dataflow converts to a data-centric
+//!   `DcMapping` and stays representable;
+//! * the C-text front end reproduces the builder-defined kernels
+//!   semantically (identical access relations), so every notation is
+//!   talking about the same operation.
+
+use tenet::compute::Schedule;
+use tenet::core::{Analysis, ArchSpec, Dataflow, Interconnect};
+use tenet::frontend::parse_kernel;
+use tenet::maestro::{representable, to_data_centric};
+use tenet::workloads::kernels;
+
+#[test]
+fn compute_schedule_equals_hand_written_relation() {
+    let op = kernels::gemm(16, 16, 16).unwrap();
+    let arch = ArchSpec::new("8x8", [8, 8], Interconnect::Systolic2D, 16.0);
+
+    let schedule = Schedule::new()
+        .tile("i", 8)
+        .tile("j", 8)
+        .parallel("i_i")
+        .parallel("j_i")
+        .order(["i_o", "j_o", "k"]);
+    let lowered = schedule.lower(&op).unwrap();
+    let by_hand = Dataflow::new(
+        ["i % 8", "j % 8"],
+        ["floor(i / 8)", "floor(j / 8)", "k"],
+    );
+
+    let a = Analysis::new(&op, &lowered, &arch).unwrap().report().unwrap();
+    let b = Analysis::new(&op, &by_hand, &arch).unwrap().report().unwrap();
+    assert_eq!(a.macs, b.macs);
+    assert_eq!(a.latency.total(), b.latency.total());
+    for t in ["A", "B", "Y"] {
+        assert_eq!(a.tensors[t].volumes, b.tensors[t].volumes, "tensor {t}");
+    }
+}
+
+#[test]
+fn lowered_schedules_are_data_centric_representable() {
+    // Skew-free compute-centric mappings sit inside the data-centric
+    // space too: all three notations rank them identically.
+    let op = kernels::gemm(16, 16, 16).unwrap();
+    let schedule = Schedule::new()
+        .tile("i", 8)
+        .tile("j", 8)
+        .parallel("i_i")
+        .parallel("j_i")
+        .order(["i_o", "j_o", "k"]);
+    let lowered = schedule.lower(&op).unwrap();
+    assert!(representable(&lowered, &op));
+    let dc = to_data_centric(&lowered, &op).expect("representable");
+    // Two spatial maps for the two PE dims.
+    let spatial = dc
+        .directives
+        .iter()
+        .filter(|d| matches!(d, tenet::maestro::Directive::SpatialMap { .. }))
+        .count();
+    assert_eq!(spatial, 2);
+}
+
+#[test]
+fn skewed_relation_escapes_both_baselines() {
+    let op = kernels::gemm(16, 16, 16).unwrap();
+    let skewed = Dataflow::new(
+        ["i % 8", "j % 8"],
+        ["floor(i / 8)", "floor(j / 8)", "i % 8 + j % 8 + k"],
+    );
+    assert!(!representable(&skewed, &op));
+    assert!(!tenet::compute::expressible(&skewed, &op));
+    // ... yet it is a perfectly legal relation-centric dataflow.
+    assert!(skewed.is_injective(&op).unwrap());
+}
+
+/// Each paper kernel written as C text must define exactly the same
+/// access relations as the builder version in `tenet-workloads`.
+#[test]
+fn c_text_kernels_match_builder_kernels() {
+    let cases: Vec<(&str, tenet::core::TensorOp)> = vec![
+        (
+            "for (i = 0; i < 4; i++)
+               for (j = 0; j < 5; j++)
+                 for (k = 0; k < 6; k++)
+                   gemm: Y[i][j] += A[i][k] * B[k][j];",
+            kernels::gemm(4, 5, 6).unwrap(),
+        ),
+        (
+            "for (k = 0; k < 2; k++)
+               for (c = 0; c < 3; c++)
+                 for (ox = 0; ox < 4; ox++)
+                   for (oy = 0; oy < 4; oy++)
+                     for (rx = 0; rx < 3; rx++)
+                       for (ry = 0; ry < 3; ry++)
+                         conv2d: Y[k][ox][oy] += A[c][ox + rx][oy + ry] * B[k][c][rx][ry];",
+            kernels::conv2d(2, 3, 4, 4, 3, 3).unwrap(),
+        ),
+        (
+            "for (i = 0; i < 2; i++)
+               for (j = 0; j < 3; j++)
+                 for (k = 0; k < 4; k++)
+                   for (l = 0; l < 5; l++)
+                     mttkrp: Y[i][j] += A[i][k][l] * B[k][j] * C[l][j];",
+            kernels::mttkrp(2, 3, 4, 5).unwrap(),
+        ),
+        (
+            "for (i = 0; i < 2; i++)
+               for (j = 0; j < 3; j++)
+                 for (k = 0; k < 4; k++)
+                   for (l = 0; l < 5; l++)
+                     mmc: Y[i][j] += A[i][k] * B[k][l] * C[l][j];",
+            kernels::mmc(2, 3, 4, 5).unwrap(),
+        ),
+        (
+            "for (i = 1; i < 9; i++)
+               for (j = 1; j < 9; j++)
+                 jacobi2d: Y[i][j] = (A[i][j] + A[i - 1][j] + A[i + 1][j]
+                                      + A[i][j - 1] + A[i][j + 1]) / 5;",
+            kernels::jacobi2d(10).unwrap(),
+        ),
+    ];
+    for (text, built) in cases {
+        let parsed = parse_kernel(text).unwrap();
+        assert_eq!(parsed.name(), built.name());
+        assert_eq!(parsed.instances().unwrap(), built.instances().unwrap());
+        // Access relations must be set-equal per tensor (order of the
+        // accesses and spelling of the expressions may differ).
+        for access in built.accesses() {
+            let t = &access.tensor;
+            let a = parsed.access_map(t).unwrap();
+            let b = built.access_map(t).unwrap();
+            assert!(
+                a.is_equal(&b).unwrap(),
+                "kernel {}: access relation of {t} differs:\n  parsed: {a}\n  built:  {b}",
+                built.name()
+            );
+            assert_eq!(parsed.role_of(t), built.role_of(t), "tensor {t}");
+        }
+        assert_eq!(parsed.accesses().len(), built.accesses().len());
+    }
+}
+
+/// The exactness triangle on one conv layer: model == simulator under
+/// the lowered compute-centric schedule, closing compute -> relation ->
+/// execution.
+#[test]
+fn lowered_schedule_matches_simulation() {
+    let op = kernels::conv2d(4, 4, 4, 4, 3, 3).unwrap();
+    let schedule = Schedule::new()
+        .parallel("k")
+        .parallel("c")
+        .order(["ox", "oy", "rx", "ry"]);
+    let lowered = schedule.lower(&op).unwrap();
+    let arch = ArchSpec::new("4x4", [4, 4], Interconnect::Systolic2D, 1e9);
+    let analysis = Analysis::new(&op, &lowered, &arch).unwrap();
+    let sim = tenet::sim::simulate(&op, &lowered, &arch, &tenet::sim::SimOptions::default())
+        .unwrap();
+    for t in ["A", "B", "Y"] {
+        assert_eq!(
+            analysis.volumes(t).unwrap().unique,
+            sim.tensors[t].scratchpad as u128,
+            "tensor {t}"
+        );
+    }
+}

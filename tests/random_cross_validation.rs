@@ -1,0 +1,135 @@
+//! Randomized cross-validation: for random (kernel shape, dataflow,
+//! interconnect) triples, the analytical model's volume metrics must match
+//! the cycle-level simulator exactly. The two implementations share no
+//! code (integer-set counting vs per-instance execution), so agreement is
+//! strong evidence both are right.
+
+use proptest::prelude::*;
+use tenet::core::{Analysis, ArchSpec, Dataflow, Interconnect, TensorOp};
+use tenet::sim::{simulate, SimOptions};
+
+fn gemm(i: i64, j: i64, k: i64) -> TensorOp {
+    TensorOp::builder("gemm")
+        .dim("i", i)
+        .dim("j", j)
+        .dim("k", k)
+        .read("A", ["i", "k"])
+        .read("B", ["k", "j"])
+        .write("Y", ["i", "j"])
+        .build()
+        .unwrap()
+}
+
+fn interconnect(sel: u8) -> Interconnect {
+    match sel % 3 {
+        0 => Interconnect::Systolic2D,
+        1 => Interconnect::Mesh,
+        _ => Interconnect::Systolic1D,
+    }
+}
+
+fn check(op: &TensorOp, df: &Dataflow, arch: &ArchSpec) -> Result<(), TestCaseError> {
+    let analysis = match Analysis::new(op, df, arch) {
+        Ok(a) => a,
+        Err(_) => return Ok(()), // out-of-bounds candidates are skipped
+    };
+    let sim = simulate(op, df, arch, &SimOptions::default()).unwrap();
+    for t in ["A", "B", "Y"] {
+        let v = analysis.volumes(t).unwrap();
+        let s = &sim.tensors[t];
+        prop_assert_eq!(
+            s.scratchpad as u128,
+            v.unique,
+            "tensor {} unique: sim {} model {} (df {:?})",
+            t,
+            s.scratchpad,
+            v.unique,
+            df
+        );
+        prop_assert_eq!(
+            (s.temporal_hits + s.spatial_hits) as u128,
+            v.reuse,
+            "tensor {} reuse (df {:?})",
+            t,
+            df
+        );
+    }
+    let u = analysis.utilization().unwrap();
+    prop_assert_eq!(u.time_stamps as u64, sim.compute_cycles);
+    prop_assert!((u.average - sim.avg_utilization()).abs() < 1e-9);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random tiled 2-D dataflows with and without a skewed innermost
+    /// time-stamp, on random small GEMMs and all three topologies.
+    #[test]
+    fn random_tiled_dataflows(
+        i in 2i64..=6,
+        j in 2i64..=6,
+        k in 2i64..=6,
+        pe in 2i64..=3,
+        skew in proptest::bool::ANY,
+        ic in 0u8..3,
+    ) {
+        let op = gemm(i, j, k);
+        let inner = if skew {
+            format!("i mod {pe} + j mod {pe} + k")
+        } else {
+            "k".to_string()
+        };
+        let df = Dataflow::new(
+            [format!("i mod {pe}"), format!("j mod {pe}")],
+            [format!("floor(i/{pe})"), format!("floor(j/{pe})"), inner],
+        );
+        let arch = ArchSpec::new("arr", [pe, pe], interconnect(ic), 1e9);
+        check(&op, &df, &arch)?;
+    }
+
+    /// Random permuted 1-D dataflows on multicast and systolic arrays.
+    #[test]
+    fn random_1d_dataflows(
+        i in 2i64..=5,
+        j in 2i64..=5,
+        k in 2i64..=5,
+        which in 0usize..3,
+        mc in proptest::bool::ANY,
+    ) {
+        let op = gemm(i, j, k);
+        let dims = ["i", "j", "k"];
+        let sp = dims[which];
+        let rest: Vec<&str> = dims.iter().filter(|d| **d != sp).copied().collect();
+        let df = Dataflow::new(
+            [format!("{sp} mod 8")],
+            [format!("floor({sp}/8)"), rest[0].to_string(), rest[1].to_string()],
+        );
+        let ic = if mc {
+            Interconnect::Multicast { radius: 3 }
+        } else {
+            Interconnect::Systolic1D
+        };
+        let arch = ArchSpec::new("arr", [8], ic, 1e9);
+        check(&op, &df, &arch)?;
+    }
+
+    /// Random affine space-stamps (the expressiveness frontier): the PE
+    /// coordinate mixes two iterators.
+    #[test]
+    fn random_affine_space_stamps(
+        i in 2i64..=4,
+        j in 2i64..=4,
+        k in 2i64..=4,
+        ic in 0u8..2,
+    ) {
+        let op = gemm(i, j, k);
+        // PE[i + j, ...] like the Eyeriss row mapping.
+        let df = Dataflow::new(
+            ["i + j".to_string(), "k".to_string()],
+            ["i".to_string(), "j".to_string()],
+        );
+        let arch = ArchSpec::new("arr", [i + j, k], interconnect(ic), 1e9);
+        check(&op, &df, &arch)?;
+    }
+}
