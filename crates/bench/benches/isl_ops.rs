@@ -11,10 +11,8 @@ fn bench_isl(c: &mut Criterion) {
          : 0 <= i < 64 and 0 <= j < 64 and 0 <= k < 64 }",
     )
     .unwrap();
-    let access = Map::parse(
-        "{ S[i,j,k] -> A[i,k] : 0 <= i < 64 and 0 <= j < 64 and 0 <= k < 64 }",
-    )
-    .unwrap();
+    let access =
+        Map::parse("{ S[i,j,k] -> A[i,k] : 0 <= i < 64 and 0 <= j < 64 and 0 <= k < 64 }").unwrap();
 
     c.bench_function("isl_reverse", |b| b.iter(|| theta.reverse()));
     c.bench_function("isl_apply_range", |b| {

@@ -15,7 +15,10 @@ fn sweep(title: &str, reports: &[(String, bool, PerformanceReport)]) {
     println!("== {title} ==");
     print!("{:>10}", "bw(bit/c)");
     for (name, rc_only, _) in reports {
-        print!("  {:>26}", format!("{}{}", name, if *rc_only { " [TENET-only]" } else { "" }));
+        print!(
+            "  {:>26}",
+            format!("{}{}", name, if *rc_only { " [TENET-only]" } else { "" })
+        );
     }
     println!();
     let mut avg_red = 0.0;
@@ -40,7 +43,10 @@ fn sweep(title: &str, reports: &[(String, bool, PerformanceReport)]) {
         avg_red += red;
         n += 1;
     }
-    println!("average latency reduction vs best data-centric dataflow: {:.1}%", avg_red / n as f64);
+    println!(
+        "average latency reduction vs best data-centric dataflow: {:.1}%",
+        avg_red / n as f64
+    );
     println!();
 }
 
@@ -69,7 +75,11 @@ fn main() {
         .filter(|(_, rc, _)| !*rc)
         .min_by(|a, b| a.2.latency.total().total_cmp(&b.2.latency.total()))
     {
-        keep.push((format!("MAESTRO-best {}", best_dc.0), false, best_dc.2.clone()));
+        keep.push((
+            format!("MAESTRO-best {}", best_dc.0),
+            false,
+            best_dc.2.clone(),
+        ));
     }
     sweep("2D-CONV (K=64 C=64 14x14, 3x3) on mesh", &keep);
 
@@ -94,7 +104,11 @@ fn main() {
         .filter(|(_, rc, _)| !*rc)
         .min_by(|a, b| a.2.latency.total().total_cmp(&b.2.latency.total()))
     {
-        keep.push((format!("MAESTRO-best {}", best_dc.0), false, best_dc.2.clone()));
+        keep.push((
+            format!("MAESTRO-best {}", best_dc.0),
+            false,
+            best_dc.2.clone(),
+        ));
     }
     sweep("GEMM (64x64x64) on mesh", &keep);
 }

@@ -9,7 +9,7 @@
 
 use tenet_bench::analyze_fitted;
 use tenet_core::{ArchSpec, Interconnect};
-use tenet_maestro::{evaluate, to_data_centric, representable};
+use tenet_maestro::{evaluate, representable, to_data_centric};
 use tenet_workloads::{dataflows, networks};
 
 struct Row {
@@ -169,7 +169,9 @@ fn main() {
         });
     }
 
-    println!("Figure 7: large-scale applications (latency normalized to ideal; bandwidth in elem/cycle)");
+    println!(
+        "Figure 7: large-scale applications (latency normalized to ideal; bandwidth in elem/cycle)"
+    );
     println!(
         "{:<12} {:>12} {:>12} {:>14} {:>14}",
         "app", "TENET lat", "TENET bw", "MAESTRO lat", "MAESTRO bw"

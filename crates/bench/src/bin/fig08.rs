@@ -25,7 +25,14 @@ fn main() {
         "{:<10} {:<8} {:>12} {:>12}",
         "kernel", "array", "interconnect", "time(s)"
     );
-    for (kname, pe) in [("2D-CONV", 4i64), ("2D-CONV", 8), ("2D-CONV", 16), ("GEMM", 4), ("GEMM", 8), ("GEMM", 16)] {
+    for (kname, pe) in [
+        ("2D-CONV", 4i64),
+        ("2D-CONV", 8),
+        ("2D-CONV", 16),
+        ("GEMM", 4),
+        ("GEMM", 8),
+        ("GEMM", 16),
+    ] {
         for ic in [
             Interconnect::Systolic1D,
             Interconnect::Systolic2D,
@@ -41,7 +48,10 @@ fn main() {
                 let df = &dataflows::conv_dataflows(pe, pe * pe)[0];
                 time_tenet(&op, df, ic)
             };
-            println!("{kname:<10} {:<8} {label:>12} {t:>12.4}", format!("{pe}x{pe}"));
+            println!(
+                "{kname:<10} {:<8} {label:>12} {t:>12.4}",
+                format!("{pe}x{pe}")
+            );
         }
     }
     // MAESTRO baseline modeling time (polynomials: near-instant).

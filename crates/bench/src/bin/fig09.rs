@@ -39,9 +39,21 @@ fn report(op: &TensorOp, dfs: &[tenet_core::Dataflow]) {
                 label,
                 m.volumes.temporal_reuse as f64 / n,
                 m.volumes.spatial_reuse as f64 / n,
-                if first { format!("{:.2}", r.utilization.max) } else { String::new() },
-                if first { format!("{:.2}", r.utilization.average) } else { String::new() },
-                if first { format!("{:.0}", r.latency.total()) } else { String::new() },
+                if first {
+                    format!("{:.2}", r.utilization.max)
+                } else {
+                    String::new()
+                },
+                if first {
+                    format!("{:.2}", r.utilization.average)
+                } else {
+                    String::new()
+                },
+                if first {
+                    format!("{:.0}", r.latency.total())
+                } else {
+                    String::new()
+                },
             );
             first = false;
         }
@@ -52,7 +64,10 @@ fn report(op: &TensorOp, dfs: &[tenet_core::Dataflow]) {
 fn main() {
     println!("Figure 9: critical metrics per dataflow (systolic interconnect)");
     println!("reuse volumes normalized by the instance count\n");
-    report(&kernels::gemm(64, 64, 64).unwrap(), &dataflows::gemm_dataflows(8, 64));
+    report(
+        &kernels::gemm(64, 64, 64).unwrap(),
+        &dataflows::gemm_dataflows(8, 64),
+    );
     report(
         &kernels::conv2d(64, 16, 16, 16, 3, 3).unwrap(),
         &dataflows::conv_dataflows(8, 64),

@@ -54,15 +54,24 @@ fn main() {
         .into_iter()
         .filter(|d| {
             let n = d.name().unwrap_or("");
-            n.contains("RYOY") || n.contains("OYOX") || n.contains("(KC-P | OY,OX-T)")
-                || n.contains("KCOX") || n.contains("C,KOX")
+            n.contains("RYOY")
+                || n.contains("OYOX")
+                || n.contains("(KC-P | OY,OX-T)")
+                || n.contains("KCOX")
+                || n.contains("C,KOX")
         })
         .collect();
     study(&conv, &conv_dfs);
-    study(&kernels::gemm(32, 32, 32).unwrap(), &dataflows::gemm_dataflows(8, 64));
+    study(
+        &kernels::gemm(32, 32, 32).unwrap(),
+        &dataflows::gemm_dataflows(8, 64),
+    );
     study(
         &kernels::mttkrp(16, 16, 16, 16).unwrap(),
         &dataflows::mttkrp_dataflows(8),
     );
-    study(&kernels::jacobi2d(34).unwrap(), &dataflows::jacobi_dataflows(8, 64));
+    study(
+        &kernels::jacobi2d(34).unwrap(),
+        &dataflows::jacobi_dataflows(8, 64),
+    );
 }

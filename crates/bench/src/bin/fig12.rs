@@ -78,8 +78,14 @@ fn main() {
         if l.name == "CONV3" {
             let filter = report.tensors["B"].volumes.reuse_factor();
             let output = report.tensors["Y"].volumes.reuse_factor();
-            assert!((filter - 169.0).abs() < 1.0, "CONV3 filter reuse = {filter}");
-            assert!((output - 144.0).abs() < 1.0, "CONV3 output reuse = {output}");
+            assert!(
+                (filter - 169.0).abs() < 1.0,
+                "CONV3 filter reuse = {filter}"
+            );
+            assert!(
+                (output - 144.0).abs() < 1.0,
+                "CONV3 output reuse = {output}"
+            );
             println!("    ^ paper oracle: filter 13x13 = 169, output 12x12 = 144  OK");
         }
     }
@@ -152,11 +158,8 @@ fn main() {
                 "c".into(),
             ]
         };
-        let df = Dataflow::new(
-            vec!["oy mod 8".to_string(), "ox mod 8".to_string()],
-            time,
-        )
-        .named("(OYOX-P | K,C-T)");
+        let df = Dataflow::new(vec!["oy mod 8".to_string(), "ox mod 8".to_string()], time)
+            .named("(OYOX-P | K,C-T)");
         match analyze_fitted(&op, &df, Interconnect::Mesh, 16.0, 1) {
             Ok(report) => {
                 let arch = presets::mesh(8, 8, 16.0);

@@ -10,8 +10,18 @@ fn main() {
     println!("Table I: Comparison between notations (checked claims marked *)");
     println!();
     let rows = [
-        ("Instance execution sequence", "loop order", "temporal maps", "multi-dim time-stamp"),
-        ("PE workload assignment", "parallel directive", "spatial maps", "multi-dim space-stamp"),
+        (
+            "Instance execution sequence",
+            "loop order",
+            "temporal maps",
+            "multi-dim time-stamp",
+        ),
+        (
+            "PE workload assignment",
+            "parallel directive",
+            "spatial maps",
+            "multi-dim space-stamp",
+        ),
         ("Affine loop transformation", "no", "no", "yes *"),
         ("Spatial architectures", "yes", "yes", "yes"),
         ("PE interconnection model", "no", "no", "yes"),
@@ -21,7 +31,10 @@ fn main() {
         ("Latency / energy modeling", "partial", "yes", "yes"),
         ("General tensor apps", "no", "no", "yes *"),
     ];
-    println!("{:<30} {:<18} {:<15} {:<22}", "Feature", "Compute-centric", "Data-centric", "Relation-centric");
+    println!(
+        "{:<30} {:<18} {:<15} {:<22}",
+        "Feature", "Compute-centric", "Data-centric", "Relation-centric"
+    );
     for (f, a, b, c) in rows {
         println!("{f:<30} {a:<18} {b:<15} {c:<22}");
     }

@@ -13,19 +13,12 @@ fn print_group(title: &str, op: &TensorOp, dfs: &[Dataflow]) {
         println!("    time:  T[{}]", df.time_exprs().join(", "));
         match to_data_centric(df, op) {
             Some(m) => {
-                let dirs: Vec<String> = m
-                    .directives
-                    .iter()
-                    .map(|d| format!("{d:?}"))
-                    .collect();
+                let dirs: Vec<String> = m.directives.iter().map(|d| format!("{d:?}")).collect();
                 println!("    data-centric: {}", dirs.join("; "));
             }
             None => println!("    data-centric: x (requires affine transformation)"),
         }
-        assert_eq!(
-            representable(df, op),
-            to_data_centric(df, op).is_some()
-        );
+        assert_eq!(representable(df, op), to_data_centric(df, op).is_some());
     }
     println!();
 }

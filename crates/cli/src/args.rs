@@ -14,7 +14,15 @@ pub struct Args {
 /// Option keys that take a value; everything else starting with `--` is a
 /// boolean flag.
 const VALUED: &[&str] = &[
-    "arch", "preset", "dataflow", "top", "pe", "pe-budget", "objective", "window", "format",
+    "arch",
+    "preset",
+    "dataflow",
+    "top",
+    "pe",
+    "pe-budget",
+    "objective",
+    "window",
+    "format",
 ];
 
 impl Args {
@@ -111,8 +119,7 @@ mod tests {
     #[test]
     fn duplicate_option_is_an_error() {
         let err =
-            Args::parse(["--top".to_string(), "1".into(), "--top".into(), "2".into()])
-                .unwrap_err();
+            Args::parse(["--top".to_string(), "1".into(), "--top".into(), "2".into()]).unwrap_err();
         assert!(err.contains("twice"));
     }
 

@@ -75,8 +75,7 @@ PRESETS: tpu8x8, tpu16x16, eyeriss, shidiannao, maeri64, mesh8x8
 ";
 
 fn read_file(path: &str) -> Result<String, CmdError> {
-    std::fs::read_to_string(path)
-        .map_err(|e| CmdError::input(format!("cannot read `{path}`: {e}")))
+    std::fs::read_to_string(path).map_err(|e| CmdError::input(format!("cannot read `{path}`: {e}")))
 }
 
 fn load_problem(args: &Args) -> Result<Problem, CmdError> {
@@ -90,10 +89,7 @@ fn load_problem(args: &Args) -> Result<Problem, CmdError> {
     if let Some(arch_path) = args.option("arch") {
         let arch_src = read_file(arch_path)?;
         let arch = parse_arch(&arch_src).map_err(|e| {
-            CmdError::input(format!(
-                "{arch_path}: parse error\n{}",
-                e.render(&arch_src)
-            ))
+            CmdError::input(format!("{arch_path}: parse error\n{}", e.render(&arch_src)))
         })?;
         problem.arch = Some(arch);
     } else if let Some(preset) = args.option("preset") {
@@ -136,7 +132,10 @@ fn select_dataflows<'p>(
              `{ S[...] -> (PE[...] | T[...]) }`",
         ));
     }
-    match args.option_as::<usize>("dataflow").map_err(CmdError::usage)? {
+    match args
+        .option_as::<usize>("dataflow")
+        .map_err(CmdError::usage)?
+    {
         Some(n) => {
             let df = problem.dataflows.get(n).ok_or_else(|| {
                 CmdError::usage(format!(
@@ -214,10 +213,16 @@ pub fn validate(args: &Args) -> CmdResult {
         let name = df.name().unwrap_or("<unnamed>");
         let _ = writeln!(out, "dataflow #{idx} {name}: {verdict}");
         if !report.injective {
-            let _ = writeln!(out, "  - not injective: two loop instances share a spacetime-stamp");
+            let _ = writeln!(
+                out,
+                "  - not injective: two loop instances share a spacetime-stamp"
+            );
         }
         if !report.in_bounds {
-            let _ = writeln!(out, "  - out of bounds: a space-stamp falls outside the PE array");
+            let _ = writeln!(
+                out,
+                "  - out of bounds: a space-stamp falls outside the PE array"
+            );
         }
         let _ = writeln!(
             out,
@@ -268,12 +273,9 @@ pub fn explore(args: &Args) -> CmdResult {
     match objective {
         "latency" => {}
         "sbw" => points.sort_by(|a, b| a.sbw().total_cmp(&b.sbw())),
-        "energy" => points.sort_by(|a, b| {
-            a.report
-                .energy
-                .total()
-                .total_cmp(&b.report.energy.total())
-        }),
+        "energy" => {
+            points.sort_by(|a, b| a.report.energy.total().total_cmp(&b.report.energy.total()))
+        }
         other => {
             return Err(CmdError::usage(format!(
                 "unknown --objective `{other}` (expected latency, sbw, energy)"
@@ -343,19 +345,10 @@ pub fn simulate(args: &Args) -> CmdResult {
         let report = Analysis::new(&problem.kernel, df, arch)
             .and_then(|a| a.report())
             .map_err(|e| CmdError::analysis(format!("dataflow #{idx}: {e}")))?;
-        let sim = tenet_sim::simulate(
-            &problem.kernel,
-            df,
-            arch,
-            &tenet_sim::SimOptions::default(),
-        )
-        .map_err(|e| CmdError::analysis(format!("dataflow #{idx}: {e}")))?;
+        let sim = tenet_sim::simulate(&problem.kernel, df, arch, &tenet_sim::SimOptions::default())
+            .map_err(|e| CmdError::analysis(format!("dataflow #{idx}: {e}")))?;
         let _ = writeln!(out, "== dataflow #{idx} ==");
-        let _ = writeln!(
-            out,
-            "{:<26} {:>14} {:>14}",
-            "metric", "model", "simulator"
-        );
+        let _ = writeln!(out, "{:<26} {:>14} {:>14}", "metric", "model", "simulator");
         let _ = writeln!(
             out,
             "{:<26} {:>14.0} {:>14}",
@@ -514,7 +507,10 @@ pub fn demo(args: &Args) -> CmdResult {
     };
     let iters: Vec<String> = op.dims().iter().map(|d| d.name.clone()).collect();
     let mut out = String::new();
-    let _ = writeln!(out, "# `tenet demo {which}` — save as {which}.tenet and run:");
+    let _ = writeln!(
+        out,
+        "# `tenet demo {which}` — save as {which}.tenet and run:"
+    );
     let _ = writeln!(out, "#   tenet analyze {which}.tenet");
     out.push('\n');
     out.push_str(&kernel_to_c(&op));

@@ -70,7 +70,10 @@ mod tests {
             let path = dir.join(format!("{k}.tenet"));
             std::fs::write(&path, &text).unwrap();
             let out = run(argv(&["analyze", path.to_str().unwrap()])).unwrap();
-            assert!(out.contains("dataflow #0"), "demo {k} failed analyze:\n{out}");
+            assert!(
+                out.contains("dataflow #0"),
+                "demo {k} failed analyze:\n{out}"
+            );
             std::fs::remove_dir_all(&dir).ok();
         }
     }

@@ -33,7 +33,11 @@ arch "2x2" { array = [2, 2] interconnect = systolic2d bandwidth = 4 }
 fn analyze_figure3_prints_report() {
     let path = write_problem("fig3.tenet", FIGURE3);
     let out = tenet(&["analyze", path.to_str().unwrap()]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8(out.stdout).unwrap();
     assert!(stdout.contains("dataflow #0"));
     assert!(stdout.to_lowercase().contains("latency"));
@@ -93,7 +97,11 @@ fn parse_error_renders_caret() {
 fn simulate_agrees_with_model_on_figure3() {
     let path = write_problem("fig3sim.tenet", FIGURE3);
     let out = tenet(&["simulate", path.to_str().unwrap()]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8(out.stdout).unwrap();
     assert!(stdout.contains("model"));
     assert!(stdout.contains("simulator"));
@@ -103,7 +111,11 @@ fn simulate_agrees_with_model_on_figure3() {
 fn explore_lists_candidates() {
     let path = write_problem("fig3x.tenet", FIGURE3);
     let out = tenet(&["explore", path.to_str().unwrap(), "--pe", "2", "--top", "3"]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8(out.stdout).unwrap();
     assert!(stdout.contains("explored"));
 }
@@ -137,7 +149,11 @@ for (i = 0; i < 16; i++)
     assert_eq!(out.status.code(), Some(1));
     // With a preset: success.
     let out = tenet(&["analyze", path.to_str().unwrap(), "--preset", "tpu8x8"]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 }
 
 #[test]
@@ -149,8 +165,19 @@ for (i = 0; i < 8; i++)
       S: Y[i][j] += A[i][k] * B[k][j];
 "#;
     let path = write_problem("hw.tenet", small);
-    let out = tenet(&["hardware", path.to_str().unwrap(), "--pe-budget", "16", "--top", "5"]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let out = tenet(&[
+        "hardware",
+        path.to_str().unwrap(),
+        "--pe-budget",
+        "16",
+        "--top",
+        "5",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8(out.stdout).unwrap();
     assert!(stdout.contains("hardware DSE"));
     assert!(stdout.contains("architecture"));
@@ -167,9 +194,16 @@ fn hardware_rejects_nonpositive_budget() {
 fn trace_prints_figure3_table() {
     let path = write_problem("fig3tr.tenet", FIGURE3);
     let out = tenet(&["trace", path.to_str().unwrap()]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8(out.stdout).unwrap();
     assert!(stdout.contains("T[1]"));
     // The text parser lists the written tensor first.
-    assert!(stdout.contains("PE[0,0]  Y[0][0] A[0][1] B[1][0]"), "{stdout}");
+    assert!(
+        stdout.contains("PE[0,0]  Y[0][0] A[0][1] B[1][0]"),
+        "{stdout}"
+    );
 }

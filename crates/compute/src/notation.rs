@@ -139,10 +139,7 @@ impl Schedule {
     }
 
     pub(crate) fn parallel_parts(&self, op: &TensorOp) -> Result<Vec<Part>, ScheduleError> {
-        self.parallel
-            .iter()
-            .map(|p| self.resolve(p, op))
-            .collect()
+        self.parallel.iter().map(|p| self.resolve(p, op)).collect()
     }
 
     pub(crate) fn temporal_parts(&self, op: &TensorOp) -> Result<Vec<Part>, ScheduleError> {
@@ -193,10 +190,14 @@ impl Schedule {
     pub fn check(&self, op: &TensorOp) -> Result<(), ScheduleError> {
         for (dim, f) in &self.tiles {
             if *f <= 0 {
-                return Err(ScheduleError(format!("tile factor of `{dim}` must be positive")));
+                return Err(ScheduleError(format!(
+                    "tile factor of `{dim}` must be positive"
+                )));
             }
             if !op.dims().iter().any(|d| &d.name == dim) {
-                return Err(ScheduleError(format!("tiled `{dim}` is not a loop of the op")));
+                return Err(ScheduleError(format!(
+                    "tiled `{dim}` is not a loop of the op"
+                )));
             }
         }
         let mut seen: Vec<String> = Vec::new();
@@ -235,16 +236,8 @@ impl Schedule {
     /// Returns a [`ScheduleError`] when [`Schedule::check`] fails.
     pub fn lower(&self, op: &TensorOp) -> Result<Dataflow, ScheduleError> {
         self.check(op)?;
-        let space: Vec<String> = self
-            .parallel_parts(op)?
-            .iter()
-            .map(Part::expr)
-            .collect();
-        let time: Vec<String> = self
-            .temporal_parts(op)?
-            .iter()
-            .map(Part::expr)
-            .collect();
+        let space: Vec<String> = self.parallel_parts(op)?.iter().map(Part::expr).collect();
+        let time: Vec<String> = self.temporal_parts(op)?.iter().map(Part::expr).collect();
         let df = Dataflow::new(space, time);
         Ok(match &self.name {
             Some(n) => df.named(n),
@@ -346,10 +339,7 @@ mod tests {
 
     #[test]
     fn tiled_whole_dim_cannot_be_scheduled() {
-        let s = Schedule::new()
-            .tile("i", 4)
-            .parallel("i")
-            .order(["j", "k"]);
+        let s = Schedule::new().tile("i", 4).parallel("i").order(["j", "k"]);
         let err = s.check(&gemm()).unwrap_err();
         assert!(err.0.contains("its parts"));
     }

@@ -6,8 +6,8 @@ use crate::dataflow::Dataflow;
 use crate::metrics::*;
 use crate::op::{Role, TensorOp};
 use crate::{Error, Result};
-use std::cell::RefCell;
 use std::collections::BTreeMap;
+use std::sync::OnceLock;
 use tenet_isl::Map;
 
 /// Options controlling the (rare) non-analytic corners of the model.
@@ -37,15 +37,6 @@ impl Default for AnalysisOptions {
     }
 }
 
-#[derive(Default)]
-struct Cache {
-    adf: BTreeMap<String, Map>,
-    avail_spatial: BTreeMap<String, Map>,
-    avail_temporal: BTreeMap<String, Map>,
-    volumes: BTreeMap<String, VolumeMetrics>,
-    utilization: Option<Utilization>,
-}
-
 /// Analyzes one (operation, dataflow, architecture) triple.
 ///
 /// ```
@@ -68,7 +59,14 @@ pub struct Analysis<'a> {
     arch: &'a ArchSpec,
     options: AnalysisOptions,
     theta: Map,
-    cache: RefCell<Cache>,
+    /// The max-utilization sweep is the one non-relational computation of
+    /// the model (a loop over time-stamps); its scalar summary is latched
+    /// here. Every *relational* intermediate (assignment, availability,
+    /// volume counts) is memoized in the process-wide
+    /// [`tenet_isl::cache`] context instead, so it is shared across all
+    /// `Analysis` instances — in a DSE sweep, candidates that agree on an
+    /// access map or an intermediate relation reuse each other's work.
+    util: OnceLock<Utilization>,
 }
 
 impl<'a> Analysis<'a> {
@@ -104,7 +102,7 @@ impl<'a> Analysis<'a> {
             arch,
             options,
             theta,
-            cache: RefCell::new(Cache::default()),
+            util: OnceLock::new(),
         };
         if analysis.options.check_bounds {
             let used = analysis.df.used_pes(analysis.op)?;
@@ -128,16 +126,9 @@ impl<'a> Analysis<'a> {
     /// The data assignment relation `A_{D,F} = Θ⁻¹ . A_{S,F}` for one
     /// tensor (Definition 2).
     pub fn assignment(&self, tensor: &str) -> Result<Map> {
-        if let Some(m) = self.cache.borrow().adf.get(tensor) {
-            return Ok(m.clone());
-        }
         let asf = self.op.access_map(tensor)?;
-        let adf = self.theta.reverse().apply_range(&asf)?;
-        self.cache
-            .borrow_mut()
-            .adf
-            .insert(tensor.to_string(), adf.clone());
-        Ok(adf)
+        // Both steps hit the shared isl memo on recomputation.
+        Ok(self.theta.reverse().apply_range(&asf)?)
     }
 
     /// Text of the spacetime-stamp map for the given offsets and time
@@ -251,7 +242,9 @@ impl<'a> Analysis<'a> {
             return Ok(Map::parse(&self.spacetime_map_text(&offsets, dt))?);
         }
         let extents = self.time_extents()?;
-        Ok(Map::parse(&self.windowed_map_text(&offsets, dt, dt, &extents)?)?)
+        Ok(Map::parse(
+            &self.windowed_map_text(&offsets, dt, dt, &extents)?,
+        )?)
     }
 
     /// The temporal spacetime map `M_temporal`: same PE, a previous
@@ -272,17 +265,6 @@ impl<'a> Analysis<'a> {
     }
 
     fn avail(&self, tensor: &str, spatial: bool) -> Result<Map> {
-        {
-            let cache = self.cache.borrow();
-            let slot = if spatial {
-                &cache.avail_spatial
-            } else {
-                &cache.avail_temporal
-            };
-            if let Some(m) = slot.get(tensor) {
-                return Ok(m.clone());
-            }
-        }
         let adf = self.assignment(tensor)?;
         let m = if spatial {
             self.spatial_map()?
@@ -290,15 +272,7 @@ impl<'a> Analysis<'a> {
             self.temporal_map()?
         };
         // M⁻¹ . A_{D,F}: the data visible at a stamp via its predecessors.
-        let avail = m.reverse().apply_range(&adf)?;
-        let mut cache = self.cache.borrow_mut();
-        let slot = if spatial {
-            &mut cache.avail_spatial
-        } else {
-            &mut cache.avail_temporal
-        };
-        slot.insert(tensor.to_string(), avail.clone());
-        Ok(avail)
+        Ok(m.reverse().apply_range(&adf)?)
     }
 
     /// Volume metrics for one tensor (Table II and Figure 5).
@@ -307,9 +281,6 @@ impl<'a> Analysis<'a> {
     /// counted first (same-PE), and spatial reuse counts the remaining
     /// accesses satisfiable only from an interconnected neighbor.
     pub fn volumes(&self, tensor: &str) -> Result<VolumeMetrics> {
-        if let Some(v) = self.cache.borrow().volumes.get(tensor) {
-            return Ok(*v);
-        }
         let adf = self.assignment(tensor)?;
         let total = adf.card()?;
         let avail_t = self.avail(tensor, false)?;
@@ -318,18 +289,13 @@ impl<'a> Analysis<'a> {
         let temporal = temporal_set.card()?;
         let reuse_set = adf.intersect(&avail_s.union(&avail_t)?)?;
         let reuse = reuse_set.card()?;
-        let v = VolumeMetrics {
+        Ok(VolumeMetrics {
             total,
             reuse,
             unique: total - reuse,
             temporal_reuse: temporal,
             spatial_reuse: reuse - temporal,
-        };
-        self.cache
-            .borrow_mut()
-            .volumes
-            .insert(tensor.to_string(), v);
-        Ok(v)
+        })
     }
 
     /// The reuse vectors of a tensor: the set of spacetime deltas
@@ -361,8 +327,8 @@ impl<'a> Analysis<'a> {
     /// PE utilization (average exactly; max exactly when the stamp count
     /// is within the sweep limit, otherwise probed).
     pub fn utilization(&self) -> Result<Utilization> {
-        if let Some(u) = self.cache.borrow().utilization {
-            return Ok(u);
+        if let Some(u) = self.util.get() {
+            return Ok(*u);
         }
         let ns = self.df.n_space();
         let nt = self.df.n_time();
@@ -424,8 +390,7 @@ impl<'a> Analysis<'a> {
             pes_used,
             time_stamps: n_stamps,
         };
-        self.cache.borrow_mut().utilization = Some(u);
-        Ok(u)
+        Ok(*self.util.get_or_init(|| u))
     }
 
     fn tensor_names(&self) -> Vec<String> {
@@ -516,12 +481,12 @@ impl<'a> Analysis<'a> {
     /// Propagates integer-set failures (e.g. unbounded stamps).
     pub fn makespan(&self) -> Result<(Vec<i64>, Vec<i64>)> {
         let stamps = self.df.time_stamps(self.op)?;
-        let first = stamps.lexmin()?.ok_or_else(|| {
-            Error::Invalid("empty schedule has no makespan".into())
-        })?;
-        let last = stamps.lexmax()?.ok_or_else(|| {
-            Error::Invalid("empty schedule has no makespan".into())
-        })?;
+        let first = stamps
+            .lexmin()?
+            .ok_or_else(|| Error::Invalid("empty schedule has no makespan".into()))?;
+        let last = stamps
+            .lexmax()?
+            .ok_or_else(|| Error::Invalid("empty schedule has no makespan".into()))?;
         Ok((first, last))
     }
 
@@ -602,7 +567,16 @@ fn window_deltas(extents: &[i64], lo: i64, hi: i64, cap: usize) -> Result<Vec<Ve
             let sub_lo = (lo - delta * w).max(-inner_max);
             let sub_hi = (hi - delta * w).min(inner_max);
             if sub_lo <= sub_hi || d + 1 == extents.len() {
-                rec(d + 1, lo - delta * w, hi - delta * w, extents, weights, cur, out, cap)?;
+                rec(
+                    d + 1,
+                    lo - delta * w,
+                    hi - delta * w,
+                    extents,
+                    weights,
+                    cur,
+                    out,
+                    cap,
+                )?;
             }
         }
         cur[d] = 0;
@@ -721,10 +695,7 @@ mod tests {
         let a = Analysis::new(&op, &df, &arch).unwrap();
         let adf = a.assignment("A").unwrap();
         // Keep stamps with t <= 3: dims of ST are [p0, p1, t].
-        let window = Map::parse(
-            "{ ST[p0, p1, t] -> ST[p0, p1, t] : 0 <= t <= 3 }",
-        )
-        .unwrap();
+        let window = Map::parse("{ ST[p0, p1, t] -> ST[p0, p1, t] : 0 <= t <= 3 }").unwrap();
         let adf_w = window.apply_range(&adf).unwrap();
         assert_eq!(adf_w.card().unwrap(), 12);
         let avail = a
@@ -744,7 +715,10 @@ mod tests {
         let a = Analysis::new(&op, &df, &arch).unwrap();
         use crate::metrics::ReuseClass;
         // "tensor Y is kept stationary ... A and B flow through the array."
-        assert_eq!(a.volumes("Y").unwrap().reuse_class(), ReuseClass::Stationary);
+        assert_eq!(
+            a.volumes("Y").unwrap().reuse_class(),
+            ReuseClass::Stationary
+        );
         assert_eq!(a.volumes("A").unwrap().reuse_class(), ReuseClass::Flowing);
         assert_eq!(a.volumes("B").unwrap().reuse_class(), ReuseClass::Flowing);
     }

@@ -38,7 +38,9 @@ impl Interconnect {
     /// The neighbor offsets for an `n`-dimensional PE array.
     pub fn offsets(&self, n: usize) -> Result<Vec<Vec<i64>>> {
         if n == 0 {
-            return Err(Error::Invalid("PE array needs at least one dimension".into()));
+            return Err(Error::Invalid(
+                "PE array needs at least one dimension".into(),
+            ));
         }
         let unit = |d: usize, v: i64| -> Vec<i64> {
             let mut o = vec![0i64; n];
@@ -214,7 +216,12 @@ pub mod presets {
 
     /// A TPU-like systolic array.
     pub fn tpu_like(rows: i64, cols: i64, bandwidth: f64) -> ArchSpec {
-        ArchSpec::new("tpu-like", [rows, cols], Interconnect::Systolic2D, bandwidth)
+        ArchSpec::new(
+            "tpu-like",
+            [rows, cols],
+            Interconnect::Systolic2D,
+            bandwidth,
+        )
     }
 
     /// An Eyeriss-like array (12×14 in the paper's Fig. 11/12 experiments)
@@ -270,7 +277,12 @@ pub mod presets {
 
     /// A generic 2D-systolic square array.
     pub fn systolic(rows: i64, cols: i64, bandwidth: f64) -> ArchSpec {
-        ArchSpec::new("systolic", [rows, cols], Interconnect::Systolic2D, bandwidth)
+        ArchSpec::new(
+            "systolic",
+            [rows, cols],
+            Interconnect::Systolic2D,
+            bandwidth,
+        )
     }
 }
 

@@ -41,9 +41,9 @@
 
 mod analysis;
 mod arch;
-pub mod export;
 mod dataflow;
 mod error;
+pub mod export;
 mod metrics;
 mod op;
 mod validate;
@@ -51,11 +51,18 @@ mod validate;
 pub use analysis::{Analysis, AnalysisOptions};
 pub use arch::{presets, ArchSpec, EnergyModel, Interconnect};
 pub use dataflow::Dataflow;
-pub use error::{Error, Result};
 pub(crate) use error::{div_ceil, div_floor};
+pub use error::{Error, Result};
 pub use metrics::{
     Bandwidth, Energy, Latency, PerformanceReport, ReuseClass, TensorMetrics, Utilization,
     VolumeMetrics,
 };
 pub use op::{LoopDim, Role, TensorAccess, TensorOp, TensorOpBuilder};
 pub use validate::{validate, ValidationReport};
+
+/// The process-wide integer-set operation cache (re-exported from
+/// [`tenet_isl::cache`]): statistics, reset, and enable/disable controls.
+/// Exploration drivers use it to amortize relational work across
+/// candidates and to report hit rates.
+pub use tenet_isl::cache as isl_cache;
+pub use tenet_isl::CacheStats;

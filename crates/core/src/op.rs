@@ -215,7 +215,11 @@ impl TensorOp {
 
     /// The iteration domain `D_S` as an integer set.
     pub fn domain(&self) -> Result<Set> {
-        let text = format!("{{ S[{}] : {} }}", self.iter_list(), self.domain_constraints());
+        let text = format!(
+            "{{ S[{}] : {} }}",
+            self.iter_list(),
+            self.domain_constraints()
+        );
         Ok(Set::parse(&text)?)
     }
 

@@ -52,8 +52,7 @@ pub fn validate(op: &TensorOp, df: &Dataflow, arch: &ArchSpec) -> Result<Validat
     let injective = df.is_injective(op)?;
     let used = df.used_pes(op)?;
     let pe_box = arch.pe_set()?;
-    let in_bounds =
-        df.n_space() == arch.pe_dims.len() && used.is_subset(&pe_box)?;
+    let in_bounds = df.n_space() == arch.pe_dims.len() && used.is_subset(&pe_box)?;
     let used_count = used.card()? as f64;
     let pe_coverage = if arch.pe_count() == 0 {
         0.0

@@ -55,10 +55,8 @@ pub fn enumerate_2d(op: &TensorOp, pe: i64) -> Result<Vec<Dataflow>> {
             for perm in permutations(&rest, 24) {
                 // Base time: quotients of the tiled dims, then the
                 // remaining dims in permutation order.
-                let mut base: Vec<String> = vec![
-                    format!("floor({da}/{pe})"),
-                    format!("floor({db}/{pe})"),
-                ];
+                let mut base: Vec<String> =
+                    vec![format!("floor({da}/{pe})"), format!("floor({db}/{pe})")];
                 base.extend(perm.iter().cloned());
                 if base.is_empty() {
                     continue;
@@ -94,11 +92,8 @@ pub fn enumerate_2d(op: &TensorOp, pe: i64) -> Result<Vec<Dataflow>> {
                         inner.to_uppercase()
                     );
                     out.push(
-                        Dataflow::new(
-                            [format!("{da} mod {pe}"), format!("{db} mod {pe}")],
-                            skew,
-                        )
-                        .named(&name),
+                        Dataflow::new([format!("{da} mod {pe}"), format!("{db} mod {pe}")], skew)
+                            .named(&name),
                     );
                 }
             }

@@ -12,11 +12,15 @@ pub mod hardware;
 pub mod space_size;
 
 pub use enumerate::{enumerate_1d, enumerate_2d, enumerate_all};
-pub use search::{explore, explore_parallel, pareto, DesignPoint};
+pub use search::{
+    explore, explore_parallel, explore_with_stats, pareto, DesignPoint, ExploreStats,
+};
 
 /// Latency/bandwidth-driven search over a list of candidate dataflows.
 pub mod search {
-    use tenet_core::{Analysis, ArchSpec, Dataflow, PerformanceReport, Result, TensorOp};
+    use tenet_core::{
+        isl_cache, Analysis, ArchSpec, CacheStats, Dataflow, PerformanceReport, Result, TensorOp,
+    };
 
     /// One evaluated design point.
     #[derive(Debug, Clone)]
@@ -43,28 +47,80 @@ pub mod search {
     /// returning the points sorted by latency. Invalid candidates
     /// (out-of-bounds space-stamps, dimension mismatches) are skipped —
     /// enumeration intentionally over-generates.
+    ///
+    /// All candidates for one operation share their access maps (and most
+    /// of their intermediate relations), so evaluation leans heavily on
+    /// the process-wide [`isl_cache`] memo: the first candidate pays for
+    /// the shared relational work, later ones mostly hit the cache.
     pub fn explore(
         op: &TensorOp,
         arch: &ArchSpec,
         candidates: &[Dataflow],
     ) -> Result<Vec<DesignPoint>> {
+        Ok(explore_with_stats(op, arch, candidates)?.0)
+    }
+
+    /// Amortization counters of one [`explore_with_stats`] run.
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct ExploreStats {
+        /// Candidates that produced a design point.
+        pub evaluated: usize,
+        /// Candidates rejected (invalid for the op/arch pair).
+        pub skipped: usize,
+        /// isl-cache hits accumulated during the run.
+        pub cache_hits: u64,
+        /// isl-cache misses accumulated during the run.
+        pub cache_misses: u64,
+    }
+
+    impl ExploreStats {
+        /// Fraction of integer-set operations answered from the memo.
+        pub fn hit_rate(&self) -> f64 {
+            let total = self.cache_hits + self.cache_misses;
+            if total == 0 {
+                0.0
+            } else {
+                self.cache_hits as f64 / total as f64
+            }
+        }
+    }
+
+    /// Like [`explore`], additionally reporting how much relational work
+    /// the shared cache amortized across the candidate sweep.
+    pub fn explore_with_stats(
+        op: &TensorOp,
+        arch: &ArchSpec,
+        candidates: &[Dataflow],
+    ) -> Result<(Vec<DesignPoint>, ExploreStats)> {
+        let before: CacheStats = isl_cache::stats();
         let mut out = Vec::new();
+        let mut stats = ExploreStats::default();
         for df in candidates {
             let analysis = match Analysis::new(op, df, arch) {
                 Ok(a) => a,
-                Err(_) => continue,
+                Err(_) => {
+                    stats.skipped += 1;
+                    continue;
+                }
             };
             let report = match analysis.report() {
                 Ok(r) => r,
-                Err(_) => continue,
+                Err(_) => {
+                    stats.skipped += 1;
+                    continue;
+                }
             };
+            stats.evaluated += 1;
             out.push(DesignPoint {
                 dataflow: df.clone(),
                 report,
             });
         }
+        let after: CacheStats = isl_cache::stats();
+        stats.cache_hits = after.hits.saturating_sub(before.hits);
+        stats.cache_misses = after.misses.saturating_sub(before.misses);
         out.sort_by(|a, b| a.latency().total_cmp(&b.latency()));
-        Ok(out)
+        Ok((out, stats))
     }
 
     /// Like [`explore`] but fans candidates out over `n_threads` OS

@@ -47,10 +47,7 @@ pub fn parse_arch(source: &str) -> Result<ArchSpec> {
     let mut cur = Cursor::new(source)?;
     let spec = parse_arch_from(&mut cur)?;
     if !cur.at_eof() {
-        return Err(cur.error_here(format!(
-            "unexpected {} after arch block",
-            cur.peek().tok
-        )));
+        return Err(cur.error_here(format!("unexpected {} after arch block", cur.peek().tok)));
     }
     Ok(spec)
 }
@@ -133,8 +130,7 @@ pub(crate) fn parse_arch_from(cur: &mut Cursor) -> Result<ArchSpec> {
     }
     let interconnect =
         interconnect.ok_or_else(|| cur.error_here("arch block is missing `interconnect`"))?;
-    let bandwidth =
-        bandwidth.ok_or_else(|| cur.error_here("arch block is missing `bandwidth`"))?;
+    let bandwidth = bandwidth.ok_or_else(|| cur.error_here("arch block is missing `bandwidth`"))?;
     if bandwidth <= 0.0 || bandwidth.is_nan() {
         return Err(cur.error_here("`bandwidth` must be positive"));
     }
@@ -149,12 +145,7 @@ pub(crate) fn parse_arch_from(cur: &mut Cursor) -> Result<ArchSpec> {
     Ok(spec)
 }
 
-fn set_once<T>(
-    slot: &mut Option<T>,
-    value: T,
-    key: &str,
-    sp: &crate::lex::Spanned,
-) -> Result<()> {
+fn set_once<T>(slot: &mut Option<T>, value: T, key: &str, sp: &crate::lex::Spanned) -> Result<()> {
     if slot.is_some() {
         return Err(ParseError::new(
             format!("duplicate `{key}` field"),
@@ -312,10 +303,9 @@ mod tests {
 
     #[test]
     fn parses_minimal_spec() {
-        let a = parse_arch(
-            "arch \"tpu\" { array = [8, 8] interconnect = systolic2d bandwidth = 64 }",
-        )
-        .unwrap();
+        let a =
+            parse_arch("arch \"tpu\" { array = [8, 8] interconnect = systolic2d bandwidth = 64 }")
+                .unwrap();
         assert_eq!(a.name, "tpu");
         assert_eq!(a.pe_dims, vec![8, 8]);
         assert_eq!(a.interconnect, Interconnect::Systolic2D);
@@ -384,19 +374,16 @@ mod tests {
 
     #[test]
     fn rejects_duplicate_field() {
-        let err = parse_arch(
-            "arch a { array = [4] array = [8] interconnect = mesh bandwidth = 8 }",
-        )
-        .unwrap_err();
+        let err =
+            parse_arch("arch a { array = [4] array = [8] interconnect = mesh bandwidth = 8 }")
+                .unwrap_err();
         assert!(err.message().contains("duplicate `array`"));
     }
 
     #[test]
     fn rejects_unknown_field_with_suggestion_list() {
-        let err = parse_arch(
-            "arch a { array = [4] interconnect = mesh bandwidth = 8 banana = 1 }",
-        )
-        .unwrap_err();
+        let err = parse_arch("arch a { array = [4] interconnect = mesh bandwidth = 8 banana = 1 }")
+            .unwrap_err();
         assert!(err.message().contains("unknown arch field `banana`"));
         assert!(err.message().contains("bandwidth"));
     }

@@ -115,10 +115,7 @@ pub fn parse_dataflow_ast(source: &str) -> Result<ParsedDataflow> {
     let mut cur = Cursor::new(source)?;
     let df = parse_dataflow_from(&mut cur)?;
     if !cur.at_eof() {
-        return Err(cur.error_here(format!(
-            "unexpected {} after dataflow",
-            cur.peek().tok
-        )));
+        return Err(cur.error_here(format!("unexpected {} after dataflow", cur.peek().tok)));
     }
     Ok(df)
 }
@@ -129,11 +126,7 @@ pub(crate) fn parse_dataflow_from(cur: &mut Cursor) -> Result<ParsedDataflow> {
     let df = match cur.peek().tok.clone() {
         Tok::LBrace => parse_relations(cur)?,
         Tok::Ident(kw) if kw == "dataflow" => parse_block(cur)?,
-        other => {
-            return Err(cur.error_here(format!(
-                "expected `{{` or `dataflow`, found {other}"
-            )))
-        }
+        other => return Err(cur.error_here(format!("expected `{{` or `dataflow`, found {other}"))),
     };
     if df.space.is_empty() {
         return Err(cur.error_here("dataflow has no space-stamp (PE) dimensions"));
@@ -339,14 +332,8 @@ mod tests {
 
     #[test]
     fn relations_accepted_in_either_order() {
-        let a = parse_dataflow_ast(
-            "{S[i,j] -> PE[i]} {S[i,j] -> T[j]}",
-        )
-        .unwrap();
-        let b = parse_dataflow_ast(
-            "{S[i,j] -> T[j]} {S[i,j] -> PE[i]}",
-        )
-        .unwrap();
+        let a = parse_dataflow_ast("{S[i,j] -> PE[i]} {S[i,j] -> T[j]}").unwrap();
+        let b = parse_dataflow_ast("{S[i,j] -> T[j]} {S[i,j] -> PE[i]}").unwrap();
         assert_eq!(a.space, b.space);
         assert_eq!(a.time, b.time);
     }
@@ -385,19 +372,13 @@ mod tests {
 
     #[test]
     fn rejects_mismatched_iterator_tuples() {
-        let err = parse_dataflow(
-            "{S[i,j] -> PE[i]} {S[i,k] -> T[k]}",
-        )
-        .unwrap_err();
+        let err = parse_dataflow("{S[i,j] -> PE[i]} {S[i,k] -> T[k]}").unwrap_err();
         assert!(err.message().contains("disagrees"));
     }
 
     #[test]
     fn rejects_duplicate_pe_stamp() {
-        let err = parse_dataflow(
-            "{S[i] -> PE[i]} {S[i] -> PE[i]}",
-        )
-        .unwrap_err();
+        let err = parse_dataflow("{S[i] -> PE[i]} {S[i] -> PE[i]}").unwrap_err();
         assert!(err.message().contains("duplicate `PE`"));
     }
 

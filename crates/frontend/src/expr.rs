@@ -53,15 +53,12 @@ impl Expr {
         let mut cur = Cursor::new(text)?;
         let e = parse_expr(&mut cur)?;
         if cur.peek().tok == Tok::Slash {
-            return Err(cur.error_here(
-                "bare `/` is ambiguous; write `floor(e / c)` or `fl(e / c)`",
-            ));
+            return Err(
+                cur.error_here("bare `/` is ambiguous; write `floor(e / c)` or `fl(e / c)`")
+            );
         }
         if !cur.at_eof() {
-            return Err(cur.error_here(format!(
-                "unexpected {} after expression",
-                cur.peek().tok
-            )));
+            return Err(cur.error_here(format!("unexpected {} after expression", cur.peek().tok)));
         }
         Ok(e)
     }
@@ -97,9 +94,7 @@ impl Expr {
     pub fn is_affine(&self) -> bool {
         match self {
             Expr::Const(_) | Expr::Var(_) => true,
-            Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) => {
-                a.is_affine() && b.is_affine()
-            }
+            Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) => a.is_affine() && b.is_affine(),
             Expr::Mod(..) | Expr::FloorDiv(..) => false,
             Expr::Neg(a) => a.is_affine(),
         }
@@ -214,7 +209,8 @@ fn parse_term(cur: &mut Cursor) -> Result<Expr> {
             Tok::Star => {
                 cur.bump();
                 let rhs = parse_atom(cur)?;
-                let ok = matches!(lhs.fold(), Expr::Const(_)) || matches!(rhs.fold(), Expr::Const(_));
+                let ok =
+                    matches!(lhs.fold(), Expr::Const(_)) || matches!(rhs.fold(), Expr::Const(_));
                 if !ok {
                     return Err(cur.error_here(
                         "product of two non-constant expressions is not quasi-affine",

@@ -232,11 +232,7 @@ fn parse_for_header(cur: &mut Cursor) -> Result<LoopSpec> {
                 }
             }
         }
-        other => {
-            return Err(cur.error_here(format!(
-                "expected loop increment, found {other}"
-            )))
-        }
+        other => return Err(cur.error_here(format!("expected loop increment, found {other}"))),
     }
     cur.expect(&Tok::RParen, "`)` closing loop header")?;
     Ok(LoopSpec { iter, lo, hi })
@@ -370,10 +366,7 @@ fn validate(k: &ParsedKernel, cur: &Cursor) -> Result<()> {
             }
         }
         if iters.contains(&a.tensor.as_str()) {
-            return Err(cur.error_here(format!(
-                "tensor `{}` shadows a loop iterator",
-                a.tensor
-            )));
+            return Err(cur.error_here(format!("tensor `{}` shadows a loop iterator", a.tensor)));
         }
     }
     Ok(())
@@ -438,11 +431,7 @@ mod tests {
                                + A[i + 1][j] + A[i][j + 1]) / 5;",
         )
         .unwrap();
-        let a_accesses = op
-            .accesses()
-            .iter()
-            .filter(|a| a.tensor == "A")
-            .count();
+        let a_accesses = op.accesses().iter().filter(|a| a.tensor == "A").count();
         assert_eq!(a_accesses, 5);
     }
 
@@ -462,10 +451,7 @@ mod tests {
 
     #[test]
     fn quasi_affine_subscripts_allowed() {
-        let op = parse_kernel(
-            "for (i = 0; i < 16; i++) S: Y[i % 4][fl(i/4)] += A[i];",
-        )
-        .unwrap();
+        let op = parse_kernel("for (i = 0; i < 16; i++) S: Y[i % 4][fl(i/4)] += A[i];").unwrap();
         assert_eq!(op.footprint("Y").unwrap().card().unwrap(), 16);
     }
 
@@ -489,10 +475,8 @@ mod tests {
 
     #[test]
     fn rejects_duplicate_iterator() {
-        let err = parse_kernel(
-            "for (i = 0; i < 4; i++) for (i = 0; i < 2; i++) S: Y[i] = A[i];",
-        )
-        .unwrap_err();
+        let err = parse_kernel("for (i = 0; i < 4; i++) for (i = 0; i < 2; i++) S: Y[i] = A[i];")
+            .unwrap_err();
         assert!(err.message().contains("duplicate"));
     }
 
@@ -516,10 +500,8 @@ mod tests {
 
     #[test]
     fn rejects_statement_after_nest() {
-        let err = parse_kernel(
-            "for (i = 0; i < 4; i++) S: Y[i] = A[i]; T: Z[0] = A[0];",
-        )
-        .unwrap_err();
+        let err =
+            parse_kernel("for (i = 0; i < 4; i++) S: Y[i] = A[i]; T: Z[0] = A[0];").unwrap_err();
         assert!(err.message().contains("after kernel"));
     }
 

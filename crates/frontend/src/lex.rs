@@ -215,9 +215,7 @@ pub fn lex(source: &str) -> Result<Vec<Spanned>> {
                     v = v
                         .checked_mul(10)
                         .and_then(|x| x.checked_add(d))
-                        .ok_or_else(|| {
-                            ParseError::new("integer literal overflows i64", tl, tc)
-                        })?;
+                        .ok_or_else(|| ParseError::new("integer literal overflows i64", tl, tc))?;
                     advance(1, &mut i, &mut line, &mut col);
                 }
                 if i + 1 < bytes.len() && bytes[i] == '.' && bytes[i + 1].is_ascii_digit() {
@@ -537,7 +535,10 @@ mod tests {
 
     #[test]
     fn rejects_unterminated_block_comment() {
-        assert!(lex("/* abc").unwrap_err().message().contains("unterminated"));
+        assert!(lex("/* abc")
+            .unwrap_err()
+            .message()
+            .contains("unterminated"));
     }
 
     #[test]
@@ -550,7 +551,10 @@ mod tests {
 
     #[test]
     fn string_literal_contents() {
-        assert_eq!(toks("\"(IJ-P | J,IJK-T)\"")[0], Tok::Str("(IJ-P | J,IJK-T)".into()));
+        assert_eq!(
+            toks("\"(IJ-P | J,IJK-T)\"")[0],
+            Tok::Str("(IJ-P | J,IJK-T)".into())
+        );
     }
 
     #[test]

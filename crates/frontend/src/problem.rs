@@ -186,10 +186,8 @@ mod tests {
 
     #[test]
     fn rejects_missing_kernel() {
-        let err = parse_problem(
-            "arch a { array = [4] interconnect = mesh bandwidth = 1 }",
-        )
-        .unwrap_err();
+        let err =
+            parse_problem("arch a { array = [4] interconnect = mesh bandwidth = 1 }").unwrap_err();
         assert!(err.message().contains("no kernel"));
     }
 

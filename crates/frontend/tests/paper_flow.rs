@@ -57,10 +57,9 @@ fn figure1_1dconv_skewed_dataflow_reuse() {
     // (PE i+1 at cycle j-1 feeds PE i at j) — this needs the bidirectional
     // neighbor links of a mesh.
     let df = parse_dataflow("{ S[j,i] -> (PE[i] | T[j]) }").unwrap();
-    let arch = tenet_frontend::parse_arch(
-        "arch \"1d\" { array = [4] interconnect = mesh bandwidth = 4 }",
-    )
-    .unwrap();
+    let arch =
+        tenet_frontend::parse_arch("arch \"1d\" { array = [4] interconnect = mesh bandwidth = 4 }")
+            .unwrap();
     let a = Analysis::new(&op, &df, &arch).unwrap();
     let va = a.volumes("A").unwrap();
     // 12 accesses, 6 unique columns of the skewed footprint.

@@ -4,8 +4,7 @@
 use proptest::prelude::*;
 use tenet_core::{ArchSpec, Dataflow, EnergyModel, Interconnect, Role, TensorOp};
 use tenet_frontend::{
-    arch_to_spec, dataflow_to_notation, kernel_to_c, parse_arch, parse_dataflow, parse_kernel,
-    Expr,
+    arch_to_spec, dataflow_to_notation, kernel_to_c, parse_arch, parse_dataflow, parse_kernel, Expr,
 };
 
 const ITER_POOL: [&str; 6] = ["i", "j", "k", "ox", "oy", "c"];

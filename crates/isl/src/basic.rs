@@ -15,8 +15,7 @@ use crate::space::{Space, Tuple};
 use crate::value::{floor_div, gcd};
 use crate::{Error, Result};
 
-/// A constraint row: coefficients over the column layout above.
-pub(crate) type Row = Vec<i64>;
+pub(crate) use crate::row::Row;
 
 /// Definition of a div column: `floor(num / den)` with `den > 0`.
 ///
@@ -33,7 +32,7 @@ pub struct DivDef {
 ///
 /// Inequalities are stored as `row · x + c >= 0`; equalities as
 /// `row · x + c == 0`.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct BasicMap {
     pub(crate) space: Space,
     pub(crate) divs: Vec<DivDef>,
@@ -94,7 +93,7 @@ impl BasicMap {
 
     /// A zero row of the current width.
     pub(crate) fn zero_row(&self) -> Row {
-        vec![0; self.n_cols()]
+        Row::zeros(self.n_cols())
     }
 
     /// Adds an equality constraint `row == 0`.
@@ -168,11 +167,7 @@ impl BasicMap {
     /// zero coefficient there. The caller updates `space`.
     pub(crate) fn remove_var_col(&mut self, at: usize) {
         debug_assert!(at < self.div0());
-        debug_assert!(self
-            .eqs
-            .iter()
-            .chain(self.ineqs.iter())
-            .all(|r| r[at] == 0));
+        debug_assert!(self.eqs.iter().chain(self.ineqs.iter()).all(|r| r[at] == 0));
         debug_assert!(self.divs.iter().all(|d| d.num[at] == 0));
         for r in self.eqs.iter_mut().chain(self.ineqs.iter_mut()) {
             r.remove(at);
@@ -287,7 +282,7 @@ impl BasicMap {
             if c == 0 {
                 return Ok(row.clone());
             }
-            let mut out = Vec::with_capacity(row.len());
+            let mut out = Row::with_capacity(row.len());
             for (r, e) in row.iter().zip(eq.iter()) {
                 let v = (a as i128) * (*r as i128) - (c as i128) * (*e as i128);
                 out.push(i64::try_from(v).map_err(|_| Error::Overflow)?);
@@ -304,10 +299,7 @@ impl BasicMap {
         for i in 0..self.divs.len() {
             if self.divs[i].num[col] != 0 {
                 let new_num = combine(&self.divs[i].num, &eq, a)?;
-                let new_den = self.divs[i]
-                    .den
-                    .checked_mul(a)
-                    .ok_or(Error::Overflow)?;
+                let new_den = self.divs[i].den.checked_mul(a).ok_or(Error::Overflow)?;
                 let mut g = new_den;
                 for &c in new_num.iter() {
                     g = gcd(g, c);
@@ -505,7 +497,11 @@ impl BasicMap {
     ///
     /// `var_map[i]` gives the column in `self` corresponding to `other`'s
     /// visible variable column `i`. Returns the div column mapping.
-    pub(crate) fn import_divs(&mut self, other: &BasicMap, var_map: &[usize]) -> Result<Vec<usize>> {
+    pub(crate) fn import_divs(
+        &mut self,
+        other: &BasicMap,
+        var_map: &[usize],
+    ) -> Result<Vec<usize>> {
         debug_assert_eq!(var_map.len(), other.div0());
         let order = other.div_topo_order()?;
         let n_vis = other.div0();
@@ -545,7 +541,7 @@ impl BasicMap {
     ) -> Row {
         let n_vis = other.div0();
         let other_k = other.konst();
-        let mut out = vec![0i64; self.n_cols()];
+        let mut out = Row::zeros(self.n_cols());
         for i in 0..n_vis {
             if row[i] != 0 {
                 out[var_map[i]] += row[i];
@@ -580,7 +576,7 @@ impl BasicMap {
         let n_in = self.n_in();
         let n_out = self.n_out();
         let swap_row = |r: &Row| -> Row {
-            let mut out = Vec::with_capacity(r.len());
+            let mut out = Row::with_capacity(r.len());
             out.extend_from_slice(&r[n_in..n_in + n_out]);
             out.extend_from_slice(&r[..n_in]);
             out.extend_from_slice(&r[n_in + n_out..]);
@@ -651,9 +647,9 @@ mod tests {
     #[test]
     fn add_div_dedup() {
         let mut bm = BasicMap::universe(space2());
-        let num = vec![1, 0, 0, 0];
+        let num = Row::from_slice(&[1, 0, 0, 0]);
         let c1 = bm.add_div(num.clone(), 8).unwrap();
-        let num2 = vec![1, 0, 0, 0, 0]; // widened by one div col
+        let num2 = Row::from_slice(&[1, 0, 0, 0, 0]); // widened by one div col
         let c2 = bm.add_div(num2, 8).unwrap();
         assert_eq!(c1, c2);
         assert_eq!(bm.n_div(), 1);
@@ -663,7 +659,7 @@ mod tests {
     fn contains_point_with_div() {
         // p == i mod 8  <=>  p = i - 8*floor(i/8)
         let mut bm = BasicMap::universe(space2());
-        let num = vec![1, 0, 0, 0];
+        let num = Row::from_slice(&[1, 0, 0, 0]);
         let d = bm.add_div(num, 8).unwrap();
         let mut row = bm.zero_row();
         row[2] = -1; // -p
@@ -687,7 +683,7 @@ mod tests {
         eq[0] = 1;
         eq[2] = -2;
         bm.eliminate_using_eq(&eq, 0).unwrap();
-        assert_eq!(bm.ineqs[0], vec![0, 1, 2, 0]); // j + 2p >= 0
+        assert_eq!(bm.ineqs[0], Row::from_slice(&[0, 1, 2, 0])); // j + 2p >= 0
     }
 
     #[test]
@@ -708,7 +704,7 @@ mod tests {
         r[bm.konst()] = -1;
         bm.add_ineq(r);
         assert!(bm.simplify());
-        assert_eq!(bm.ineqs[0], vec![1, 0, 0, -1]);
+        assert_eq!(bm.ineqs[0], Row::from_slice(&[1, 0, 0, -1]));
     }
 
     #[test]
@@ -726,8 +722,8 @@ mod tests {
 
     #[test]
     fn identity_contains_diagonal() {
-        let id = BasicMap::identity(Tuple::new("A", ["x", "y"]), Tuple::new("B", ["u", "v"]))
-            .unwrap();
+        let id =
+            BasicMap::identity(Tuple::new("A", ["x", "y"]), Tuple::new("B", ["u", "v"])).unwrap();
         assert!(id.contains_point(&[1, 2, 1, 2]).unwrap());
         assert!(!id.contains_point(&[1, 2, 1, 3]).unwrap());
     }

@@ -1,0 +1,409 @@
+//! The shared operation-memoization context.
+//!
+//! TENET metrics recompute the *same* relational operations constantly: a
+//! DSE sweep evaluates thousands of dataflow candidates that all share the
+//! same access maps, and a single report queries `card` on the same
+//! intermediate relations many times (volumes, latency, bandwidth, energy
+//! all start from the assignment relation). This module gives the crate a
+//! process-wide, thread-safe memo table so those repeats cost a hash
+//! lookup instead of a Presburger computation.
+//!
+//! # Design
+//!
+//! * **Interning.** Every [`Map`] that participates in a memoized
+//!   operation is interned: the map value is the key of a hash table
+//!   mapping to a small integer id. Interning makes the memo keys compact
+//!   (`(op, id, id, extra)`) and — because the table compares keys with
+//!   full structural equality, never by hash alone — collision-proof.
+//! * **Memoization.** Results are stored under `(op kind, interned
+//!   operand ids, extra operand)`. Cached values are returned as clones of
+//!   the stored result.
+//! * **Exactness.** The cache can only return a value that was computed
+//!   by the very operation being memoized on structurally identical
+//!   operands, so cached and uncached results are *bit-identical* — there
+//!   is no approximation, rounding, or hash-collision risk anywhere.
+//!   Property tests (`tests/fastpath.rs`) assert this end to end.
+//! * **Bounding.** The table is cleared wholesale when it exceeds
+//!   [`MAX_ENTRIES`]; correctness never depends on a hit, so eviction is
+//!   free to be coarse.
+//! * **Concurrency.** One global mutex guards the tables. The lock is
+//!   held only for lookups and insertions, never while computing a missed
+//!   operation, so parallel DSE threads serialize on microseconds, not on
+//!   the Presburger math. Concurrent misses of the same key may compute
+//!   the value twice; both compute the same value, and the second insert
+//!   is a no-op.
+//!
+//! Disable globally with [`set_enabled`] or the `TENET_ISL_CACHE=off`
+//! environment variable (checked once, at first use).
+
+use crate::map::Map;
+use crate::Result;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Entry cap: the whole table is cleared when exceeded.
+const MAX_ENTRIES: usize = 1 << 17;
+
+/// Which memoized operation produced a cache entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) enum OpKind {
+    /// [`Map::reverse`]
+    Reverse,
+    /// [`Map::apply_range`]
+    ApplyRange,
+    /// [`Map::intersect`]
+    Intersect,
+    /// [`Map::subtract`]
+    Subtract,
+    /// [`Map::project_out_in`] / [`Map::project_out_out`] (side in `extra`)
+    Project,
+    /// [`Map::card`]
+    Card,
+    /// [`Map::is_empty`]
+    Empty,
+    /// [`Map::coalesce`]
+    Coalesce,
+}
+
+#[derive(Clone)]
+enum CachedVal {
+    Map(Arc<Map>),
+    Count(u128),
+    Bool(bool),
+}
+
+#[derive(Default)]
+struct Tables {
+    /// Interned maps: structural value -> id.
+    ids: HashMap<Arc<Map>, u64>,
+    next_id: u64,
+    /// Memo: (op, lhs id, rhs id or MAX, extra) -> result.
+    memo: HashMap<(OpKind, u64, u64, i64), CachedVal>,
+    /// Parse memos: source text -> parsed map, one table per entry point
+    /// (`Map::parse` vs `Set::parse` — each accepts texts the other
+    /// rejects, so a hit must never cross them; separate tables also allow
+    /// allocation-free borrowed lookups). Parsing is deterministic, and
+    /// the generated relation texts of the analysis layer (spacetime
+    /// maps, windows) recur verbatim.
+    parsed_map: HashMap<String, Arc<Map>>,
+    parsed_set: HashMap<String, Arc<Map>>,
+    /// Bumped whenever the tables are cleared. Stores capture the
+    /// generation at lookup time and are dropped if eviction intervened,
+    /// so a result can never be filed under a reused intern id.
+    generation: u64,
+}
+
+struct Ctx {
+    tables: Mutex<Tables>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    enabled: AtomicBool,
+}
+
+fn ctx() -> &'static Ctx {
+    static CTX: OnceLock<Ctx> = OnceLock::new();
+    CTX.get_or_init(|| {
+        let off = std::env::var("TENET_ISL_CACHE")
+            .map(|v| v.eq_ignore_ascii_case("off") || v == "0")
+            .unwrap_or(false);
+        Ctx {
+            tables: Mutex::new(Tables::default()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            enabled: AtomicBool::new(!off),
+        }
+    })
+}
+
+/// Point-in-time cache counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the memo table.
+    pub hits: u64,
+    /// Lookups that had to compute.
+    pub misses: u64,
+    /// Entries currently stored.
+    pub entries: u64,
+    /// Distinct interned relations.
+    pub interned: u64,
+}
+
+impl CacheStats {
+    /// Hit fraction in `[0, 1]`; `0` when no lookups happened.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Current global cache counters.
+pub fn stats() -> CacheStats {
+    let c = ctx();
+    let t = c.tables.lock().expect("isl cache poisoned");
+    CacheStats {
+        hits: c.hits.load(Ordering::Relaxed),
+        misses: c.misses.load(Ordering::Relaxed),
+        entries: t.memo.len() as u64,
+        interned: t.ids.len() as u64,
+    }
+}
+
+/// Clears all cached results and interned relations (counters survive).
+pub fn clear() {
+    let c = ctx();
+    let mut t = c.tables.lock().expect("isl cache poisoned");
+    t.memo.clear();
+    t.ids.clear();
+    t.parsed_map.clear();
+    t.parsed_set.clear();
+    t.next_id = 0;
+    t.generation += 1;
+}
+
+/// Resets the hit/miss counters (entries survive).
+pub fn reset_stats() {
+    let c = ctx();
+    c.hits.store(0, Ordering::Relaxed);
+    c.misses.store(0, Ordering::Relaxed);
+}
+
+/// Globally enables or disables memoization (e.g. for A/B measurements).
+pub fn set_enabled(on: bool) {
+    ctx().enabled.store(on, Ordering::Relaxed);
+}
+
+/// Whether memoization is currently enabled.
+pub fn enabled() -> bool {
+    ctx().enabled.load(Ordering::Relaxed)
+}
+
+/// Interns `m`, returning its id. Caller holds the lock.
+fn intern_locked(t: &mut Tables, m: &Map) -> u64 {
+    if let Some(&id) = t.ids.get(m) {
+        return id;
+    }
+    let id = t.next_id;
+    t.next_id += 1;
+    t.ids.insert(Arc::new(m.clone()), id);
+    id
+}
+
+fn evict_if_full(t: &mut Tables) {
+    if t.memo.len() > MAX_ENTRIES
+        || t.ids.len() > MAX_ENTRIES
+        || t.parsed_map.len() > MAX_ENTRIES
+        || t.parsed_set.len() > MAX_ENTRIES
+    {
+        t.memo.clear();
+        t.ids.clear();
+        t.parsed_map.clear();
+        t.parsed_set.clear();
+        t.next_id = 0;
+        t.generation += 1;
+    }
+}
+
+const NO_RHS: u64 = u64::MAX;
+
+/// A pending store slot: the interned operand ids plus the table
+/// generation they belong to.
+struct Slot {
+    ia: u64,
+    ib: u64,
+    generation: u64,
+    hit: Option<CachedVal>,
+}
+
+fn lookup(op: OpKind, a: &Map, b: Option<&Map>, extra: i64) -> Option<Slot> {
+    let c = ctx();
+    if !c.enabled.load(Ordering::Relaxed) {
+        return None;
+    }
+    let mut t = c.tables.lock().expect("isl cache poisoned");
+    evict_if_full(&mut t);
+    let ia = intern_locked(&mut t, a);
+    let ib = match b {
+        Some(b) => intern_locked(&mut t, b),
+        None => NO_RHS,
+    };
+    let hit = t.memo.get(&(op, ia, ib, extra)).cloned();
+    match &hit {
+        Some(_) => c.hits.fetch_add(1, Ordering::Relaxed),
+        None => c.misses.fetch_add(1, Ordering::Relaxed),
+    };
+    Some(Slot {
+        ia,
+        ib,
+        generation: t.generation,
+        hit,
+    })
+}
+
+fn store(op: OpKind, slot: &Slot, extra: i64, val: CachedVal) {
+    let c = ctx();
+    let mut t = c.tables.lock().expect("isl cache poisoned");
+    // An eviction between lookup and store invalidates the captured ids
+    // (they may have been reassigned to different relations — note that
+    // `compute` itself can trigger eviction through nested memoized ops);
+    // dropping the write is always safe: the memo is an accelerator,
+    // never a source of truth.
+    if t.generation == slot.generation {
+        t.memo.insert((op, slot.ia, slot.ib, extra), val);
+    }
+}
+
+/// Memoizes parsing by source text. `compute` runs without the lock held.
+pub(crate) fn memo_parse(
+    as_set: bool,
+    text: &str,
+    compute: impl FnOnce() -> Result<Map>,
+) -> Result<Map> {
+    let c = ctx();
+    if !c.enabled.load(Ordering::Relaxed) {
+        return compute();
+    }
+    {
+        let mut t = c.tables.lock().expect("isl cache poisoned");
+        evict_if_full(&mut t);
+        let table = if as_set { &t.parsed_set } else { &t.parsed_map };
+        if let Some(m) = table.get(text) {
+            c.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok((**m).clone());
+        }
+        c.misses.fetch_add(1, Ordering::Relaxed);
+    }
+    let m = compute()?;
+    let mut t = c.tables.lock().expect("isl cache poisoned");
+    let table = if as_set {
+        &mut t.parsed_set
+    } else {
+        &mut t.parsed_map
+    };
+    table.insert(text.to_string(), Arc::new(m.clone()));
+    Ok(m)
+}
+
+/// Memoizes a map-valued operation. `compute` runs without the lock held.
+pub(crate) fn memo_map(
+    op: OpKind,
+    a: &Map,
+    b: Option<&Map>,
+    extra: i64,
+    compute: impl FnOnce() -> Result<Map>,
+) -> Result<Map> {
+    let slot = lookup(op, a, b, extra);
+    if let Some(Slot {
+        hit: Some(CachedVal::Map(m)),
+        ..
+    }) = &slot
+    {
+        return Ok((**m).clone());
+    }
+    let result = compute()?;
+    if let Some(slot) = slot {
+        store(op, &slot, extra, CachedVal::Map(Arc::new(result.clone())));
+    }
+    Ok(result)
+}
+
+/// Memoizes a count-valued operation.
+pub(crate) fn memo_count(
+    op: OpKind,
+    a: &Map,
+    compute: impl FnOnce() -> Result<u128>,
+) -> Result<u128> {
+    let slot = lookup(op, a, None, 0);
+    if let Some(Slot {
+        hit: Some(CachedVal::Count(n)),
+        ..
+    }) = &slot
+    {
+        return Ok(*n);
+    }
+    let result = compute()?;
+    if let Some(slot) = slot {
+        store(op, &slot, 0, CachedVal::Count(result));
+    }
+    Ok(result)
+}
+
+/// Memoizes a boolean-valued operation.
+pub(crate) fn memo_bool(
+    op: OpKind,
+    a: &Map,
+    compute: impl FnOnce() -> Result<bool>,
+) -> Result<bool> {
+    let slot = lookup(op, a, None, 0);
+    if let Some(Slot {
+        hit: Some(CachedVal::Bool(v)),
+        ..
+    }) = &slot
+    {
+        return Ok(*v);
+    }
+    let result = compute()?;
+    if let Some(slot) = slot {
+        store(op, &slot, 0, CachedVal::Bool(result));
+    }
+    Ok(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Serializes tests that toggle the global enabled flag.
+    fn test_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+        LOCK.get_or_init(|| Mutex::new(())).lock().unwrap()
+    }
+
+    #[test]
+    fn card_is_memoized_and_identical() {
+        let _guard = test_lock();
+        let m = Map::parse("{ S[i, j] -> PE[i] : 0 <= i < 9 and 0 <= j < 7 }").unwrap();
+        set_enabled(true);
+        clear();
+        reset_stats();
+        let a = m.card().unwrap();
+        let s1 = stats();
+        let b = m.card().unwrap();
+        let s2 = stats();
+        assert_eq!(a, b);
+        assert_eq!(a, 63);
+        assert!(
+            s2.hits > s1.hits,
+            "second card call must hit: {s1:?} {s2:?}"
+        );
+    }
+
+    #[test]
+    fn disabled_cache_bypasses() {
+        let _guard = test_lock();
+        let m = Map::parse("{ S[i] -> T[i] : 0 <= i < 5 }").unwrap();
+        set_enabled(false);
+        clear();
+        reset_stats();
+        let _ = m.card().unwrap();
+        let _ = m.card().unwrap();
+        let s = stats();
+        assert_eq!(s.hits + s.misses, 0, "disabled cache must not count");
+        set_enabled(true);
+    }
+
+    #[test]
+    fn distinct_maps_do_not_collide() {
+        let _guard = test_lock();
+        set_enabled(true);
+        let a = Map::parse("{ S[i] -> T[i] : 0 <= i < 5 }").unwrap();
+        let b = Map::parse("{ S[i] -> T[i] : 0 <= i < 6 }").unwrap();
+        assert_eq!(a.card().unwrap(), 5);
+        assert_eq!(b.card().unwrap(), 6);
+        assert_eq!(a.card().unwrap(), 5);
+    }
+}

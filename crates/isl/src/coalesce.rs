@@ -91,7 +91,7 @@ fn as_interval(rows: &[Row]) -> Option<(Vec<i64>, i64, i64)> {
 fn interval_rows(dir: &[i64], lo: i64, hi: i64) -> Vec<Row> {
     let mut out = Vec::new();
     if lo != i64::MIN {
-        let mut r: Row = dir.to_vec();
+        let mut r = Row::from_slice(dir);
         r.push(-lo);
         out.push(r);
     }
@@ -210,8 +210,7 @@ mod tests {
 
     #[test]
     fn complementary_halves_drop_constraint() {
-        let s = Set::parse("{ A[i, j] : 0 <= j < 4 and i >= 2 or 0 <= j < 4 and i <= 1 }")
-            .unwrap();
+        let s = Set::parse("{ A[i, j] : 0 <= j < 4 and i >= 2 or 0 <= j < 4 and i <= 1 }").unwrap();
         let c = s.coalesce();
         assert_eq!(c.as_map().basics().len(), 1);
         // i is now unconstrained; j still boxed.
@@ -237,10 +236,8 @@ mod tests {
 
     #[test]
     fn coalesce_preserves_semantics_with_divs() {
-        let s = Set::parse(
-            "{ A[i] : 0 <= i < 16 and i mod 4 = 0 or 0 <= i < 16 and i mod 4 = 1 }",
-        )
-        .unwrap();
+        let s = Set::parse("{ A[i] : 0 <= i < 16 and i mod 4 = 0 or 0 <= i < 16 and i mod 4 = 1 }")
+            .unwrap();
         let c = s.coalesce();
         assert!(c.is_equal(&s).unwrap());
         assert_eq!(c.card().unwrap(), 8);

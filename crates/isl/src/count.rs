@@ -36,22 +36,28 @@ pub(crate) struct Tableau {
 }
 
 impl Tableau {
-    /// Builds a tableau from a basic map: visible dims keep their column
-    /// indices; div columns become trailing variables with bracket
-    /// constraints.
+    /// Builds a tableau from a borrowed basic map: visible dims keep their
+    /// column indices; div columns become trailing variables with bracket
+    /// constraints. The rows are copied once, straight into the tableau
+    /// (the layout `[vis | divs | const]` is already shared).
     pub(crate) fn from_basic(bm: &BasicMap) -> Result<Tableau> {
+        Ok(Self::assemble(bm, bm.eqs.to_vec(), bm.ineqs.to_vec()))
+    }
+
+    /// Like [`Tableau::from_basic`] but consumes the basic map, moving its
+    /// rows into the tableau without any copy. Used by the counting entry
+    /// points whose callers own their (often freshly subtracted) pieces.
+    pub(crate) fn from_basic_owned(mut bm: BasicMap) -> Result<Tableau> {
+        let eqs = std::mem::take(&mut bm.eqs);
+        let ineqs = std::mem::take(&mut bm.ineqs);
+        Ok(Self::assemble(&bm, eqs, ineqs))
+    }
+
+    fn assemble(bm: &BasicMap, eqs: Vec<Row>, mut ineqs: Vec<Row>) -> Tableau {
         let n_vis = bm.div0();
         let n_div = bm.n_div();
         let n = n_vis + n_div;
-        let conv = |r: &Row| -> Row {
-            // Same layout minus nothing: [vis | divs | const] already.
-            r.clone()
-        };
-        let mut t = Tableau {
-            n,
-            eqs: bm.eqs.iter().map(conv).collect(),
-            ineqs: bm.ineqs.iter().map(conv).collect(),
-        };
+        ineqs.reserve(2 * n_div);
         // Bracket constraints for each div: 0 <= num - den*q <= den - 1.
         for (d, def) in bm.divs.iter().enumerate() {
             let col = n_vis + d;
@@ -61,10 +67,85 @@ impl Tableau {
             hi[col] += def.den;
             let k = hi.len() - 1;
             hi[k] += def.den - 1;
-            t.ineqs.push(lo);
-            t.ineqs.push(hi);
+            ineqs.push(lo);
+            ineqs.push(hi);
         }
-        Ok(t)
+        Tableau { n, eqs, ineqs }
+    }
+
+    /// Projects away *functional-window* variables, returning the exact
+    /// multiplicative factor the projection removes.
+    ///
+    /// A variable `q` whose only two constraint rows form the sandwich
+    /// `-c1 <= e + m·q <= c2` (the rows cancel each other except at `q`)
+    /// confines `m·q` to a window of `w = c1 + c2 + 1` consecutive
+    /// integers. When `m` divides `w`, that window contains exactly `w/m`
+    /// multiples of `m` regardless of `e`, so `q` has exactly `w/m`
+    /// solutions for *every* assignment of the remaining variables:
+    /// dropping the two rows and the column and multiplying the count by
+    /// `w/m` is exact. The `w = m` case (factor 1) is the bracket shape
+    /// every div acquires after equality elimination, so mod/floor-heavy
+    /// dataflow relations collapse to boxes and slabs here instead of
+    /// feeding the recursive enumerator. An empty window (`w <= 0`) makes
+    /// the whole system infeasible — factor 0.
+    fn drop_functional_vars(&mut self) -> Result<u128> {
+        debug_assert!(self.eqs.is_empty());
+        let mut factor: u128 = 1;
+        'outer: loop {
+            let n = self.n;
+            for col in (0..n).rev() {
+                let mut touching: [usize; 2] = [usize::MAX; 2];
+                let mut count = 0;
+                for (i, r) in self.ineqs.iter().enumerate() {
+                    if r[col] != 0 {
+                        if count == 2 {
+                            count = 3;
+                            break;
+                        }
+                        touching[count] = i;
+                        count += 1;
+                    }
+                }
+                if count != 2 {
+                    continue;
+                }
+                let (i, j) = (touching[0], touching[1]);
+                let (a, b) = (self.ineqs[i][col], self.ineqs[j][col]);
+                if a != -b {
+                    continue;
+                }
+                let m = a.abs();
+                // The pair must cancel every variable except `q`.
+                let (ri, rj) = (&self.ineqs[i], &self.ineqs[j]);
+                let mut cancels = true;
+                for v in 0..n {
+                    if v != col && ri[v].wrapping_add(rj[v]) != 0 {
+                        cancels = false;
+                        break;
+                    }
+                }
+                if !cancels {
+                    continue;
+                }
+                let w = (ri[n] as i128) + (rj[n] as i128) + 1;
+                if w <= 0 {
+                    return Ok(0); // empty window: no q exists anywhere
+                }
+                if w % (m as i128) != 0 {
+                    continue; // residue-dependent count: not projectable
+                }
+                factor = factor
+                    .checked_mul((w / m as i128) as u128)
+                    .ok_or(Error::Overflow)?;
+                let (hi_idx, lo_idx) = if i > j { (i, j) } else { (j, i) };
+                self.ineqs.swap_remove(hi_idx);
+                self.ineqs.swap_remove(lo_idx);
+                self.remove_col(col);
+                continue 'outer;
+            }
+            break;
+        }
+        Ok(factor)
     }
 
     fn remove_col(&mut self, col: usize) {
@@ -144,14 +225,11 @@ impl Tableau {
                 .filter(|&i| eq[i] != 0)
                 .min_by_key(|&i| eq[i].abs())
                 .expect("gcd nonzero implies a nonzero coefficient");
-            let m = eq[col]
-                .abs()
-                .checked_add(1)
-                .ok_or(Error::Overflow)?;
+            let m = eq[col].abs().checked_add(1).ok_or(Error::Overflow)?;
             let sigma = self.add_col();
             eq.insert(sigma, 0);
             let kc = self.n; // new constant index
-            let mut eq2 = vec![0i64; kc + 1];
+            let mut eq2 = Row::zeros(kc + 1);
             for i in 0..kc {
                 if i == sigma {
                     eq2[i] = -m;
@@ -238,7 +316,7 @@ impl Tableau {
                 for u in &uppers {
                     let a = l[v] as i128;
                     let b = -(u[v]) as i128;
-                    let mut row = Vec::with_capacity(n + 1);
+                    let mut row = Row::with_capacity(n + 1);
                     let mut ok = true;
                     for (x, y) in l.iter().zip(u.iter()) {
                         let val = b * (*x as i128) + a * (*y as i128);
@@ -352,7 +430,7 @@ impl Tableau {
             ineqs: Vec::with_capacity(self.ineqs.len()),
         };
         let conv = |r: &Row| -> Row {
-            let mut out = Vec::with_capacity(n);
+            let mut out = Row::with_capacity(n);
             for (i, &c) in r.iter().enumerate() {
                 if i == var {
                     continue;
@@ -366,6 +444,198 @@ impl Tableau {
         t.eqs.extend(self.eqs.iter().map(conv));
         t.ineqs.extend(self.ineqs.iter().map(conv));
         t
+    }
+}
+
+/// `Σ_{x=0}^{n-1} floor((a·x + b) / m)` in `O(log)` time (the classical
+/// Euclidean floor-sum recurrence), exact over `i128`. Requires `m > 0`;
+/// `a` and `b` may be negative.
+fn floor_sum(n: i128, m: i128, mut a: i128, mut b: i128) -> i128 {
+    debug_assert!(n >= 0 && m > 0);
+    let mut ans: i128 = 0;
+    if a < 0 {
+        let a2 = a.rem_euclid(m);
+        ans -= n * (n - 1) / 2 * ((a2 - a) / m);
+        a = a2;
+    }
+    if b < 0 {
+        let b2 = b.rem_euclid(m);
+        ans -= n * ((b2 - b) / m);
+        b = b2;
+    }
+    let (mut n, mut m, mut a, mut b) = (n, m, a, b);
+    loop {
+        if a >= m {
+            ans += n * (n - 1) / 2 * (a / m);
+            a %= m;
+        }
+        if b >= m {
+            ans += n * (b / m);
+            b %= m;
+        }
+        let y_max = a * n + b;
+        if y_max < m {
+            break;
+        }
+        // Count lattice points under the line by swapping the axes.
+        n = y_max / m;
+        b = y_max % m;
+        std::mem::swap(&mut m, &mut a);
+    }
+    ans
+}
+
+/// Per-variable `(lo, hi)` interval bounds, read off single-variable rows.
+type VarBounds = Vec<(Option<i64>, Option<i64>)>;
+
+/// Per-variable interval bounds read off single-variable rows only.
+/// Returns `(lo, hi)` options and the indices of rows touching 2+ vars.
+fn scan_rows(t: &Tableau) -> Option<(VarBounds, Vec<usize>)> {
+    let n = t.n;
+    let mut bounds: Vec<(Option<i64>, Option<i64>)> = vec![(None, None); n];
+    let mut wide: Vec<usize> = Vec::new();
+    for (idx, r) in t.ineqs.iter().enumerate() {
+        let rs = r.as_slice();
+        let mut var = usize::MAX;
+        let mut multi = false;
+        for (j, &c) in rs[..n].iter().enumerate() {
+            if c != 0 {
+                if var == usize::MAX {
+                    var = j;
+                } else {
+                    multi = true;
+                    break;
+                }
+            }
+        }
+        if multi {
+            wide.push(idx);
+            if wide.len() > 6 {
+                // Too many genuinely multi-variable rows: the fast paths
+                // below do not apply; bail out early.
+                return Some((bounds, wide));
+            }
+            continue;
+        }
+        if var == usize::MAX {
+            // Constant row: infeasible if negative.
+            if rs[n] < 0 {
+                return None;
+            }
+            continue;
+        }
+        let a = rs[var];
+        let c = rs[n];
+        if a > 0 {
+            let b = ceil_div(-c, a);
+            let cur = &mut bounds[var].0;
+            if cur.is_none_or(|v| b > v) {
+                *cur = Some(b);
+            }
+        } else {
+            let b = floor_div(-c, a);
+            let cur = &mut bounds[var].1;
+            if cur.is_none_or(|v| b < v) {
+                *cur = Some(b);
+            }
+        }
+    }
+    Some((bounds, wide))
+}
+
+/// Counts an axis-aligned box given per-variable bounds. `limit` (the
+/// emptiness-probe mode) makes one-sided/free variables saturate instead
+/// of erroring, mirroring [`count_single`].
+fn count_box(bounds: &[(Option<i64>, Option<i64>)], limit: Option<u128>) -> Result<u128> {
+    let mut prod: u128 = 1;
+    for &(lo, hi) in bounds {
+        let w = match (lo, hi) {
+            (Some(l), Some(h)) => {
+                if h < l {
+                    return Ok(0);
+                }
+                (h as i128 - l as i128 + 1) as u128
+            }
+            _ => match limit {
+                Some(l) => l.max(1),
+                None => return Err(Error::Unbounded("cannot count a one-sided interval".into())),
+            },
+        };
+        prod = match limit {
+            Some(_) => prod.saturating_mul(w),
+            None => prod.checked_mul(w).ok_or(Error::Overflow)?,
+        };
+    }
+    Ok(prod)
+}
+
+/// Enumeration budget for the outer dimensions of the box∩halfspace path.
+const HALFSPACE_ENUM_LIMIT: u128 = 2_000_000;
+
+/// Counts `{ x ∈ box : Σ aᵢ·xᵢ + c ≥ 0 }` exactly. `vars` holds the
+/// `(lo, hi, a)` triples of the variables the halfspace touches; the box
+/// factor of untouched variables is applied by the caller. Dimensions
+/// beyond the last two are enumerated (cheap offset arithmetic only); the
+/// final two collapse to a closed form built on [`floor_sum`].
+fn count_halfspace_rec(vars: &[(i64, i64, i64)], c: i128) -> Result<u128> {
+    match vars {
+        [] => Ok((c >= 0) as u128),
+        [(lo, hi, a)] => {
+            // a·x + c >= 0 over [lo, hi].
+            let (mut lo, mut hi) = (*lo as i128, *hi as i128);
+            let a = *a as i128;
+            if a > 0 {
+                lo = lo.max(cd128(-c, a));
+            } else {
+                hi = hi.min(fd128(-c, a));
+            }
+            Ok((hi - lo + 1).max(0) as u128)
+        }
+        [(x0, x1, xa), (y0, y1, ya)] => {
+            // Normalize both coefficients positive by mirroring axes.
+            let (mut x0, mut x1, mut a) = (*x0 as i128, *x1 as i128, *xa as i128);
+            let (mut y0, mut y1, mut b) = (*y0 as i128, *y1 as i128, *ya as i128);
+            if a < 0 {
+                (x0, x1, a) = (-x1, -x0, -a);
+            }
+            if b < 0 {
+                (y0, y1, b) = (-y1, -y0, -b);
+            }
+            let w = y1 - y0 + 1;
+            if w <= 0 || x1 < x0 {
+                return Ok(0);
+            }
+            // cnt(x) = clamp(y1 + 1 + floor((a x + c)/b), 0, w), increasing
+            // in x. s0: first x with cnt > 0; s1: first x with cnt = w.
+            let s0 = cd128(-y1 * b - c, a);
+            let s1 = cd128(-y0 * b - c, a);
+            let full_from = s1.max(x0);
+            let full = (x1 - full_from + 1).max(0) as u128;
+            let mid_lo = s0.max(x0);
+            let mid_hi = (s1 - 1).min(x1);
+            let mut total = full.checked_mul(w as u128).ok_or(Error::Overflow)?;
+            if mid_lo <= mid_hi {
+                let n = mid_hi - mid_lo + 1;
+                let sum_f = floor_sum(n, b, a, a * mid_lo + c);
+                let mid = (y1 + 1) * n + sum_f;
+                debug_assert!(mid >= 0);
+                total = total.checked_add(mid as u128).ok_or(Error::Overflow)?;
+            }
+            Ok(total)
+        }
+        [head @ .., last] => {
+            // Enumerate the trailing variable; the caller sorts widest
+            // ranges first so the two closed-form positions absorb the
+            // bulk of the volume and enumeration stays shallow.
+            let (lo, hi, a) = (last.0, last.1, last.2 as i128);
+            let mut total: u128 = 0;
+            for v in lo..=hi {
+                total = total
+                    .checked_add(count_halfspace_rec(head, c + a * v as i128)?)
+                    .ok_or(Error::Overflow)?;
+            }
+            Ok(total)
+        }
     }
 }
 
@@ -440,7 +710,7 @@ fn subsystem(t: &Tableau, vars: &[usize]) -> Tableau {
     };
     let conv = |r: &Row| -> Option<Row> {
         // Row belongs to this component iff all its nonzero vars are inside.
-        let mut out = vec![0i64; vars.len() + 1];
+        let mut out = Row::zeros(vars.len() + 1);
         for (new_i, &old_i) in vars.iter().enumerate() {
             out[new_i] = r[old_i];
         }
@@ -455,7 +725,7 @@ fn subsystem(t: &Tableau, vars: &[usize]) -> Tableau {
     };
     sub.ineqs.extend(t.ineqs.iter().filter_map(conv));
     let conv2 = |r: &Row| -> Option<Row> {
-        let mut out = vec![0i64; vars.len() + 1];
+        let mut out = Row::zeros(vars.len() + 1);
         for (new_i, &old_i) in vars.iter().enumerate() {
             out[new_i] = r[old_i];
         }
@@ -496,9 +766,7 @@ fn count_single(t: &Tableau, limit: Option<u128>) -> Result<u128> {
     if lo == i64::MIN || hi == i64::MAX {
         return match limit {
             Some(l) => Ok(l.max(1)),
-            None => Err(Error::Unbounded(
-                "cannot count a one-sided interval".into(),
-            )),
+            None => Err(Error::Unbounded("cannot count a one-sided interval".into())),
         };
     }
     Ok((hi - lo + 1) as u128)
@@ -584,35 +852,226 @@ fn count_pair_series(t: &Tableau, ranges: &[(Option<i64>, Option<i64>)]) -> Opti
     None
 }
 
+/// Closed-form dispatch: returns `Some(count)` when the (normalized,
+/// equality-free) tableau is an axis-aligned box or a box intersected with
+/// a single slab (one halfspace, or two-plus parallel ones), `None` when
+/// the shape needs the recursive counter. `work` shares [`count_rec`]'s
+/// effort budget: the halfspace enumeration charges its loop count.
+fn count_fast(t: &Tableau, limit: Option<u128>, work: &mut u64) -> Result<Option<u128>> {
+    if !t.eqs.is_empty() {
+        return Ok(None);
+    }
+    let Some((mut bounds, wide)) = scan_rows(t) else {
+        return Ok(Some(0));
+    };
+    if wide.is_empty() {
+        return count_box(&bounds, limit).map(Some);
+    }
+    // All multi-variable rows must bound the *same* linear expression `e`
+    // (up to sign): the system is then a box intersected with the slab
+    // `slab_lo <= e <= slab_hi`. One halfspace is the degenerate slab with
+    // a side missing; the skewed time-stamp relations of TENET dataflows
+    // (`t = p0 + p1 + k` with `k` boxed) produce exactly this shape.
+    let n = t.n;
+    let first = t.ineqs[wide[0]].as_slice();
+    let dir: Vec<i64> = first[..n].to_vec();
+    let mut slab_lo: Option<i128> = None; // e >= slab_lo
+    let mut slab_hi: Option<i128> = None; // e <= slab_hi
+    for &wi in &wide {
+        let r = t.ineqs[wi].as_slice();
+        if r[..n] == dir[..] {
+            // dir·x + c >= 0  =>  e >= -c.
+            let b = -(r[n] as i128);
+            if slab_lo.is_none_or(|cur| b > cur) {
+                slab_lo = Some(b);
+            }
+        } else if r[..n].iter().zip(dir.iter()).all(|(a, d)| *a == -*d) {
+            // -dir·x + c >= 0  =>  e <= c.
+            let b = r[n] as i128;
+            if slab_hi.is_none_or(|cur| b < cur) {
+                slab_hi = Some(b);
+            }
+        } else {
+            return Ok(None); // independent directions: not a slab
+        }
+    }
+    // Derive bounds implied by the slab rows for variables the box leaves
+    // open (e.g. the triangle `0 <= x, 0 <= y, x + y <= 3` bounds x and y
+    // only through the wide row). Two passes propagate chains; derived
+    // bounds are implied, so adding them never changes the set.
+    for _ in 0..2 {
+        for &wi in &wide {
+            let r = t.ineqs[wi].as_slice();
+            for v in 0..n {
+                let av = r[v];
+                if av == 0 {
+                    continue;
+                }
+                // max over the box of (c + Σ_{i≠v} aᵢ·xᵢ).
+                let mut rest_max: i128 = r[n] as i128;
+                let mut bounded = true;
+                for i in 0..n {
+                    if i == v || r[i] == 0 {
+                        continue;
+                    }
+                    let term = if r[i] > 0 {
+                        bounds[i].1.map(|h| r[i] as i128 * h as i128)
+                    } else {
+                        bounds[i].0.map(|l| r[i] as i128 * l as i128)
+                    };
+                    match term {
+                        Some(x) => rest_max += x,
+                        None => {
+                            bounded = false;
+                            break;
+                        }
+                    }
+                }
+                if !bounded {
+                    continue;
+                }
+                // The row implies av·x_v >= -rest_max for feasible points.
+                if av > 0 {
+                    let b = cd128(-rest_max, av as i128);
+                    if let Ok(b) = i64::try_from(b) {
+                        if bounds[v].0.is_none_or(|cur| b > cur) {
+                            bounds[v].0 = Some(b);
+                        }
+                    }
+                } else {
+                    let b = fd128(-rest_max, av as i128);
+                    if let Ok(b) = i64::try_from(b) {
+                        if bounds[v].1.is_none_or(|cur| b < cur) {
+                            bounds[v].1 = Some(b);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    // Split variables into slab participants and pure box factors.
+    let mut hs: Vec<(i64, i64, i64)> = Vec::new();
+    let mut box_bounds: Vec<(Option<i64>, Option<i64>)> = Vec::new();
+    let mut e_min: i128 = 0;
+    let mut e_max: i128 = 0;
+    for v in 0..n {
+        if dir[v] == 0 {
+            box_bounds.push(bounds[v]);
+            continue;
+        }
+        match bounds[v] {
+            (Some(l), Some(h)) => {
+                if h < l {
+                    return Ok(Some(0));
+                }
+                hs.push((l, h, dir[v]));
+                let (a, l, h) = (dir[v] as i128, l as i128, h as i128);
+                if a > 0 {
+                    e_min += a * l;
+                    e_max += a * h;
+                } else {
+                    e_min += a * h;
+                    e_max += a * l;
+                }
+            }
+            _ => return Ok(None), // slab variable not boxed: fall back
+        }
+    }
+    let lo = slab_lo.unwrap_or(e_min).max(e_min);
+    let hi = slab_hi.unwrap_or(e_max).min(e_max);
+    if hi < lo {
+        return Ok(Some(0));
+    }
+    if limit.is_some() {
+        // Emptiness probe. When every slab coefficient is ±1, e attains
+        // every integer of [e_min, e_max] over the box (a Minkowski sum of
+        // unit-step integer intervals is an integer interval), so the
+        // nonempty window [lo, hi] ⊆ [e_min, e_max] is attained and the
+        // system is feasible iff the box factor is nonempty. Larger
+        // coefficients can step over the window; defer those to the exact
+        // machinery.
+        if hs.iter().all(|&(_, _, a)| a.abs() == 1) {
+            let factor = count_box(&box_bounds, limit)?;
+            return Ok(Some(factor));
+        }
+        return Ok(None);
+    }
+    let factor = count_box(&box_bounds, None)?;
+    if factor == 0 {
+        return Ok(Some(0));
+    }
+    // Widest ranges first: positions 0 and 1 are handled in closed form,
+    // the rest are enumerated.
+    hs.sort_by_key(|&(l, h, _)| std::cmp::Reverse(h - l));
+    let mut enum_work: u128 = 1;
+    for &(l, h, _) in hs.iter().skip(2) {
+        enum_work = enum_work.saturating_mul((h - l + 1) as u128);
+    }
+    if enum_work > HALFSPACE_ENUM_LIMIT {
+        return Ok(None);
+    }
+    // The enumerated dimensions cost real work even on the closed-form
+    // path; charge them against the shared recursion budget.
+    *work = work.saturating_add(enum_work.min(u64::MAX as u128) as u64);
+    if *work > WORK_LIMIT {
+        return Err(Error::TooComplex("counting work limit exceeded".into()));
+    }
+    // F(T) = #{x in the sub-box : e(x) <= T}, via the negated halfspace
+    // -e + T >= 0; the slab count is the telescoping difference.
+    let neg: Vec<(i64, i64, i64)> = hs.iter().map(|&(l, h, a)| (l, h, -a)).collect();
+    let upper = count_halfspace_rec(&neg, hi)?;
+    let lower = if lo > e_min {
+        count_halfspace_rec(&neg, lo - 1)?
+    } else {
+        0
+    };
+    debug_assert!(upper >= lower);
+    let inner = upper - lower;
+    Ok(Some(factor.checked_mul(inner).ok_or(Error::Overflow)?))
+}
+
 /// Recursively counts a pure-inequality tableau. `limit` allows early exit
 /// (used for emptiness checks). `work` guards total effort.
-fn count_rec(t: &Tableau, limit: Option<u128>, work: &mut u64) -> Result<u128> {
+fn count_rec(mut t: Tableau, limit: Option<u128>, work: &mut u64) -> Result<u128> {
     *work += 1;
     if *work > WORK_LIMIT {
         return Err(Error::TooComplex("counting work limit exceeded".into()));
     }
-    let mut t = t.clone();
     if !t.normalize_ineqs() {
         return Ok(0);
     }
     if t.n == 0 {
         return Ok(1);
     }
+    let mut factor: u128 = 1;
+    if t.eqs.is_empty() {
+        // Functional-window variables contribute an exact multiplicative
+        // factor; dropping them early collapses mod/floor relations into
+        // boxes and slabs.
+        factor = t.drop_functional_vars()?;
+        if factor == 0 {
+            return Ok(0);
+        }
+        if t.n == 0 {
+            return Ok(factor);
+        }
+    }
+    if factor > 1 {
+        let inner = count_rec(t, limit, work)?;
+        return match limit {
+            Some(_) => Ok(inner.saturating_mul(factor)),
+            None => inner.checked_mul(factor).ok_or(Error::Overflow),
+        };
+    }
     // Free variables (no nonzero coefficient anywhere) make the count
     // infinite. For limited queries (emptiness checks) they can be dropped
     // soundly — any value extends a solution of the rest; for exact counts
     // they are an error.
     for col in (0..t.n).rev() {
-        let free = t
-            .eqs
-            .iter()
-            .chain(t.ineqs.iter())
-            .all(|r| r[col] == 0);
+        let free = t.eqs.iter().chain(t.ineqs.iter()).all(|r| r[col] == 0);
         if free {
             if limit.is_none() {
-                return Err(Error::Unbounded(format!(
-                    "variable {col} is unconstrained"
-                )));
+                return Err(Error::Unbounded(format!("variable {col} is unconstrained")));
             }
             t.remove_col(col);
         }
@@ -623,12 +1082,16 @@ fn count_rec(t: &Tableau, limit: Option<u128>, work: &mut u64) -> Result<u128> {
     if t.n == 1 {
         return count_single(&t, limit);
     }
+    // Closed-form shortcuts: boxes and box ∩ slab count without recursion.
+    if let Some(c) = count_fast(&t, limit, work)? {
+        return Ok(c);
+    }
     let groups = components(&t);
     if groups.len() > 1 {
         let mut prod: u128 = 1;
         for g in &groups {
             let sub = subsystem(&t, g);
-            let c = count_rec(&sub, limit, work)?;
+            let c = count_rec(sub, limit, work)?;
             if c == 0 {
                 return Ok(0);
             }
@@ -663,9 +1126,8 @@ fn count_rec(t: &Tableau, limit: Option<u128>, work: &mut u64) -> Result<u128> {
             }
         }
     }
-    let (var, lo, hi) = best.ok_or_else(|| {
-        Error::Unbounded("cannot count: no variable has a finite range".into())
-    })?;
+    let (var, lo, hi) = best
+        .ok_or_else(|| Error::Unbounded("cannot count: no variable has a finite range".into()))?;
     if hi - lo >= ENUM_LIMIT {
         return Err(Error::TooComplex(format!(
             "enumeration range too large ({} values)",
@@ -676,7 +1138,11 @@ fn count_rec(t: &Tableau, limit: Option<u128>, work: &mut u64) -> Result<u128> {
     for v in lo..=hi {
         let sub = t.fix(var, v);
         total = total
-            .checked_add(count_rec(&sub, limit.map(|l| l.saturating_sub(total)), work)?)
+            .checked_add(count_rec(
+                sub,
+                limit.map(|l| l.saturating_sub(total)),
+                work,
+            )?)
             .ok_or(Error::Overflow)?;
         if let Some(l) = limit {
             if total >= l {
@@ -687,20 +1153,24 @@ fn count_rec(t: &Tableau, limit: Option<u128>, work: &mut u64) -> Result<u128> {
     Ok(total)
 }
 
-/// Exactly counts the integer points of a basic map (pairs of the
-/// relation), over its visible in+out dimensions.
-pub(crate) fn count_basic(bm: &BasicMap) -> Result<u128> {
-    count_basic_limited(bm, None)
+/// Counts a borrowed basic map, stopping early once `limit` points are
+/// known to exist (`limit` is only used for emptiness-style probes).
+pub(crate) fn count_basic_limited(bm: &BasicMap, limit: Option<u128>) -> Result<u128> {
+    count_tableau(Tableau::from_basic(bm)?, limit)
 }
 
-/// Like [`count_basic`] but stops early once `limit` points are found.
-pub(crate) fn count_basic_limited(bm: &BasicMap, limit: Option<u128>) -> Result<u128> {
-    let mut t = Tableau::from_basic(bm)?;
+/// Exactly counts an owned basic map, moving its rows into the tableau
+/// (no per-row copies).
+pub(crate) fn count_basic_owned(bm: BasicMap) -> Result<u128> {
+    count_tableau(Tableau::from_basic_owned(bm)?, None)
+}
+
+fn count_tableau(mut t: Tableau, limit: Option<u128>) -> Result<u128> {
     if !t.eliminate_equalities()? {
         return Ok(0);
     }
     let mut work = 0u64;
-    count_rec(&t, limit, &mut work)
+    count_rec(t, limit, &mut work)
 }
 
 /// Whether a basic map contains no integer point.
@@ -868,13 +1338,13 @@ mod tests {
     #[test]
     fn count_box() {
         let bm = boxed(&[(0, 3), (0, 4)]);
-        assert_eq!(count_basic(&bm).unwrap(), 20);
+        assert_eq!(count_basic_limited(&bm, None).unwrap(), 20);
     }
 
     #[test]
     fn count_empty_box() {
         let bm = boxed(&[(2, 1)]);
-        assert_eq!(count_basic(&bm).unwrap(), 0);
+        assert_eq!(count_basic_limited(&bm, None).unwrap(), 0);
     }
 
     #[test]
@@ -887,7 +1357,7 @@ mod tests {
         let k = bm.konst();
         r[k] = 3;
         bm.add_ineq(r);
-        assert_eq!(count_basic(&bm).unwrap(), 10);
+        assert_eq!(count_basic_limited(&bm, None).unwrap(), 10);
     }
 
     #[test]
@@ -898,7 +1368,7 @@ mod tests {
         r[0] = 1;
         r[1] = -1;
         bm.add_eq(r);
-        assert_eq!(count_basic(&bm).unwrap(), 10);
+        assert_eq!(count_basic_limited(&bm, None).unwrap(), 10);
     }
 
     #[test]
@@ -911,7 +1381,7 @@ mod tests {
         r[0] = 2;
         r[1] = -3;
         bm.add_eq(r);
-        assert_eq!(count_basic(&bm).unwrap(), 7);
+        assert_eq!(count_basic_limited(&bm, None).unwrap(), 7);
     }
 
     #[test]
@@ -929,7 +1399,7 @@ mod tests {
         let k = bm.konst();
         r[k] = 3;
         bm.add_ineq(r);
-        assert_eq!(count_basic(&bm).unwrap(), 8);
+        assert_eq!(count_basic_limited(&bm, None).unwrap(), 8);
     }
 
     #[test]
@@ -941,7 +1411,7 @@ mod tests {
         r[1] = -1;
         bm.add_ineq(r); // y <= x
         let n: u128 = 100_000;
-        assert_eq!(count_basic(&bm).unwrap(), n * (n + 1) / 2);
+        assert_eq!(count_basic_limited(&bm, None).unwrap(), n * (n + 1) / 2);
     }
 
     #[test]

@@ -76,7 +76,7 @@ fn gist_basic(b: &BasicMap, context: &Map) -> Result<BasicMap> {
     for idx in (0..kept.ineqs.len()).rev() {
         let mut without = kept.clone();
         let row = without.ineqs.remove(idx);
-        let mut neg: Vec<i64> = row.iter().map(|&v| -v).collect();
+        let mut neg: crate::basic::Row = row.iter().map(|&v| -v).collect();
         let k = neg.len() - 1;
         neg[k] -= 1;
         let mut probe = without.clone();
@@ -95,7 +95,7 @@ fn gist_basic(b: &BasicMap, context: &Map) -> Result<BasicMap> {
 
         let mut ge1 = row.clone();
         ge1[k] -= 1; // row >= 1
-        let mut le1: Vec<i64> = row.iter().map(|&v| -v).collect();
+        let mut le1: crate::basic::Row = row.iter().map(|&v| -v).collect();
         le1[k] -= 1; // row <= -1
 
         let mut probe_hi = without.clone();

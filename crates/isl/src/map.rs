@@ -2,6 +2,7 @@
 //! full suite of relational operations used by TENET's performance model.
 
 use crate::basic::{BasicMap, Row};
+use crate::cache::{self, OpKind};
 use crate::count;
 use crate::project::eliminate_vars;
 use crate::set::Set;
@@ -16,7 +17,7 @@ use crate::{Error, Result};
 /// assert_eq!(m.card()?, 12);
 /// # Ok::<(), tenet_isl::Error>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Map {
     pub(crate) space: Space,
     pub(crate) basics: Vec<BasicMap>,
@@ -30,7 +31,7 @@ impl Map {
     ///
     /// Returns [`Error::Parse`] for malformed or non-affine input.
     pub fn parse(text: &str) -> Result<Map> {
-        crate::parse::parse_map(text)
+        cache::memo_parse(false, text, || crate::parse::parse_map(text))
     }
 
     /// A map holding a single basic map.
@@ -114,6 +115,12 @@ impl Map {
     /// Intersection of two relations over compatible spaces.
     pub fn intersect(&self, other: &Map) -> Result<Map> {
         self.check_compatible(other, "intersect")?;
+        cache::memo_map(OpKind::Intersect, self, Some(other), 0, || {
+            self.intersect_uncached(other)
+        })
+    }
+
+    fn intersect_uncached(&self, other: &Map) -> Result<Map> {
         let var_map: Vec<usize> = (0..self.n_in() + self.n_out()).collect();
         let mut basics = Vec::new();
         for a in &self.basics {
@@ -136,6 +143,12 @@ impl Map {
     /// Exact set difference `self \ other`.
     pub fn subtract(&self, other: &Map) -> Result<Map> {
         self.check_compatible(other, "subtract")?;
+        cache::memo_map(OpKind::Subtract, self, Some(other), 0, || {
+            self.subtract_uncached(other)
+        })
+    }
+
+    fn subtract_uncached(&self, other: &Map) -> Result<Map> {
         let mut pieces = self.basics.clone();
         for c in &other.basics {
             let mut next = Vec::new();
@@ -153,12 +166,26 @@ impl Map {
         })
     }
 
+    /// Total stored constraint rows — the cost proxy deciding whether an
+    /// operation on this relation is worth a memo-table round trip.
+    fn memo_weight(&self) -> usize {
+        self.basics.iter().map(BasicMap::constraint_count).sum()
+    }
+
     /// The reversed relation (`out -> in`).
     pub fn reverse(&self) -> Map {
-        Map {
-            space: self.space.reversed(),
-            basics: self.basics.iter().map(BasicMap::reverse).collect(),
+        let compute = || {
+            Ok(Map {
+                space: self.space.reversed(),
+                basics: self.basics.iter().map(BasicMap::reverse).collect(),
+            })
+        };
+        // Reversing is a straight column swap: for small relations doing it
+        // beats hashing it. Only unions with real bulk go through the memo.
+        if self.memo_weight() < 32 {
+            return compute().expect("reverse cannot fail");
         }
+        cache::memo_map(OpKind::Reverse, self, None, 0, compute).expect("reverse cannot fail")
     }
 
     /// Relation composition `other ∘ self`: `{ x -> z : ∃y. self(x)=y ∧
@@ -170,6 +197,12 @@ impl Map {
                 self.space.output, other.space.input
             )));
         }
+        cache::memo_map(OpKind::ApplyRange, self, Some(other), 0, || {
+            self.apply_range_uncached(other)
+        })
+    }
+
+    fn apply_range_uncached(&self, other: &Map) -> Result<Map> {
         let nx = self.n_in();
         let ny = self.n_out();
         let nz = other.n_out();
@@ -214,6 +247,13 @@ impl Map {
 
     /// Projects away output dimensions `[first, first + n)`.
     pub fn project_out_out(&self, first: usize, n: usize) -> Result<Map> {
+        let extra = 1 | ((first as i64) << 1) | ((n as i64) << 32);
+        cache::memo_map(OpKind::Project, self, None, extra, || {
+            self.project_out_out_uncached(first, n)
+        })
+    }
+
+    fn project_out_out_uncached(&self, first: usize, n: usize) -> Result<Map> {
         let n_in = self.n_in();
         let mut space = self.space.clone();
         space.output.dims.drain(first..first + n);
@@ -231,6 +271,13 @@ impl Map {
 
     /// Projects away input dimensions `[first, first + n)`.
     pub fn project_out_in(&self, first: usize, n: usize) -> Result<Map> {
+        let extra = ((first as i64) << 1) | ((n as i64) << 32);
+        cache::memo_map(OpKind::Project, self, None, extra, || {
+            self.project_out_in_uncached(first, n)
+        })
+    }
+
+    fn project_out_in_uncached(&self, first: usize, n: usize) -> Result<Map> {
         let mut space = self.space.clone();
         space.input.dims.drain(first..first + n);
         let mut basics = Vec::new();
@@ -261,10 +308,7 @@ impl Map {
     pub fn wrap(&self) -> Set {
         let mut dims = self.space.input.dims.clone();
         dims.extend(self.space.output.dims.iter().cloned());
-        let space = Space::set(Tuple {
-            name: None,
-            dims,
-        });
+        let space = Space::set(Tuple { name: None, dims });
         let basics = self
             .basics
             .iter()
@@ -274,10 +318,7 @@ impl Map {
                 nb
             })
             .collect();
-        Set::from_map_unchecked(Map {
-            space,
-            basics,
-        })
+        Set::from_map_unchecked(Map { space, basics })
     }
 
     /// Restricts the domain to `set`.
@@ -360,6 +401,10 @@ impl Map {
     ///
     /// Fails with [`Error::Unbounded`] if the relation is not bounded.
     pub fn card(&self) -> Result<u128> {
+        cache::memo_count(OpKind::Card, self, || self.card_uncached())
+    }
+
+    fn card_uncached(&self) -> Result<u128> {
         // Disjoint decomposition: b_i minus all earlier disjuncts.
         let mut total: u128 = 0;
         for (i, b) in self.basics.iter().enumerate() {
@@ -374,9 +419,9 @@ impl Map {
                     break;
                 }
             }
-            for p in &pieces {
+            for p in pieces {
                 total = total
-                    .checked_add(count::count_basic(p)?)
+                    .checked_add(count::count_basic_owned(p)?)
                     .ok_or(Error::Overflow)?;
             }
         }
@@ -385,6 +430,10 @@ impl Map {
 
     /// Whether the relation contains no pairs.
     pub fn is_empty(&self) -> Result<bool> {
+        cache::memo_bool(OpKind::Empty, self, || self.is_empty_uncached())
+    }
+
+    fn is_empty_uncached(&self) -> Result<bool> {
         for b in &self.basics {
             if !count::basic_is_empty(b)? {
                 return Ok(false);
@@ -436,7 +485,14 @@ impl Map {
     /// basic map (see [`crate::coalesce`] patterns). Never changes the
     /// set of pairs.
     pub fn coalesce(&self) -> Map {
-        crate::coalesce::coalesce_map(self)
+        if self.basics.len() <= 1 {
+            // Nothing to merge; skip the memo round trip.
+            return self.clone();
+        }
+        cache::memo_map(OpKind::Coalesce, self, None, 0, || {
+            Ok(crate::coalesce::coalesce_map(self))
+        })
+        .expect("coalesce cannot fail")
     }
 
     /// The difference set `{ out - in : (in, out) ∈ self }` (ISL's
@@ -568,10 +624,7 @@ impl Map {
                 nb
             })
             .collect();
-        Ok(Map {
-            space,
-            basics,
-        })
+        Ok(Map { space, basics })
     }
 }
 

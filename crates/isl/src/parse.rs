@@ -429,7 +429,9 @@ impl Parser {
                 self.expect(Tok::RParen)?;
                 Ok(EAst::Floor(Box::new(num), Box::new(den)))
             }
-            t => Err(Error::Parse(format!("unexpected token {t:?} in expression"))),
+            t => Err(Error::Parse(format!(
+                "unexpected token {t:?} in expression"
+            ))),
         }
     }
 }
@@ -510,7 +512,7 @@ impl Lin {
     }
 
     fn to_row(&self, bm: &BasicMap) -> crate::basic::Row {
-        let mut row = vec![0i64; bm.n_cols()];
+        let mut row = crate::basic::Row::zeros(bm.n_cols());
         row[..self.vis.len()].copy_from_slice(&self.vis);
         let div0 = bm.div0();
         for &(d, c) in &self.divs {

@@ -165,11 +165,9 @@ fn eliminate_one(bm: &mut BasicMap, targets: &mut Vec<usize>) -> Result<Step> {
     for ti in 0..targets.len() {
         let col = targets[ti];
         if let Some((q_num, a)) = find_sandwich(bm, col) {
-            let refs_target = targets
-                .iter()
-                .any(|&t| t != col && q_num[t] != 0);
-            let cyclic = (0..bm.n_div())
-                .any(|d| q_num[bm.div0() + d] != 0 && bm.div_depends_on(d, col));
+            let refs_target = targets.iter().any(|&t| t != col && q_num[t] != 0);
+            let cyclic =
+                (0..bm.n_div()).any(|d| q_num[bm.div0() + d] != 0 && bm.div_depends_on(d, col));
             if !refs_target && !cyclic {
                 let q = bm.add_div(q_num, a)?;
                 let mut eq = bm.zero_row();
@@ -234,9 +232,11 @@ fn eliminate_one(bm: &mut BasicMap, targets: &mut Vec<usize>) -> Result<Step> {
             }
             k >= l[col] - 1
         };
-        let exact = lowers
-            .iter()
-            .all(|&l| uppers.iter().all(|&u| pair_exact(&bm.ineqs[l], &bm.ineqs[u])));
+        let exact = lowers.iter().all(|&l| {
+            uppers
+                .iter()
+                .all(|&u| pair_exact(&bm.ineqs[l], &bm.ineqs[u]))
+        });
         if exact {
             let fill = lowers.len() * uppers.len();
             if fm_best.is_none_or(|(_, f)| fill < f) {
@@ -263,9 +263,7 @@ fn eliminate_one(bm: &mut BasicMap, targets: &mut Vec<usize>) -> Result<Step> {
     // bounds, so expansion unblocks exact FM. (Non-unit references are
     // left alone — expanding those can ping-pong forever.)
     for &col in targets.iter() {
-        if let Some(d) =
-            (0..bm.n_div()).find(|&d| bm.divs[d].num[col].abs() == 1)
-        {
+        if let Some(d) = (0..bm.n_div()).find(|&d| bm.divs[d].num[col].abs() == 1) {
             let new_col = div_to_var(bm, d);
             shift_targets(targets, new_col);
             targets.push(new_col);
@@ -377,7 +375,7 @@ fn fourier_motzkin(bm: &mut BasicMap, col: usize) -> Result<()> {
                 a == 1 || b == 1 || a == b,
                 "FM exactness precondition violated"
             );
-            let mut row = Vec::with_capacity(l.len());
+            let mut row = Row::with_capacity(l.len());
             for (x, y) in l.iter().zip(u.iter()) {
                 let v = (b as i128) * (*x as i128) + (a as i128) * (*y as i128);
                 row.push(i64::try_from(v).map_err(|_| Error::Overflow)?);
@@ -400,7 +398,7 @@ pub(crate) fn div_to_var(bm: &mut BasicMap, d_idx: usize) -> usize {
     let name = fresh_name(bm);
     bm.space.output.dims.push(name);
     let old_div_col = bm.div0() + d_idx; // div block shifted right by one
-    // Move every reference from the old div column to the new variable.
+                                         // Move every reference from the old div column to the new variable.
     for r in bm.eqs.iter_mut().chain(bm.ineqs.iter_mut()) {
         r[new_col] += r[old_div_col];
         r[old_div_col] = 0;

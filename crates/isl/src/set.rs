@@ -25,7 +25,13 @@ impl Set {
     ///
     /// Returns [`Error::Parse`] for malformed or non-affine input.
     pub fn parse(text: &str) -> Result<Set> {
-        crate::parse::parse_set(text)
+        // Sets memoize through their map representation, under a key
+        // distinct from `Map::parse` (each rejects the other's texts).
+        Ok(Set {
+            map: crate::cache::memo_parse(true, text, || {
+                crate::parse::parse_set(text).map(Set::into_map)
+            })?,
+        })
     }
 
     /// Wraps a map that already has an empty domain.

@@ -3,7 +3,7 @@
 use std::fmt;
 
 /// A named tuple of dimensions, e.g. `S[i, j, k]` or `PE[p0, p1]`.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Tuple {
     /// Optional tuple name (`S`, `PE`, ...). Anonymous tuples print as `[...]`.
     pub name: Option<String>,
@@ -56,6 +56,18 @@ impl Tuple {
     /// Structural compatibility: same arity (names may differ).
     pub fn is_compatible(&self, other: &Tuple) -> bool {
         self.dims.len() == other.dims.len()
+    }
+}
+
+// Hashing a tuple deliberately ignores the name strings: relations are
+// hashed on every memo-table lookup, and hashing dimension names would
+// dominate the lookup cost. Equal tuples still hash equal (the contract),
+// and the memo table always confirms candidates with full `Eq`, so
+// same-arity tuples colliding costs at most a bucket walk.
+impl std::hash::Hash for Tuple {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.name.is_some().hash(state);
+        self.dims.len().hash(state);
     }
 }
 

@@ -25,10 +25,7 @@ fn card_unbounded_errors() {
 fn apply_range_arity_mismatch() {
     let a = Map::parse("{ A[i] -> B[i, i] }").unwrap();
     let b = Map::parse("{ C[x] -> D[x] }").unwrap();
-    assert!(matches!(
-        a.apply_range(&b),
-        Err(Error::SpaceMismatch(_))
-    ));
+    assert!(matches!(a.apply_range(&b), Err(Error::SpaceMismatch(_))));
 }
 
 #[test]

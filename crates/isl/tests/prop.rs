@@ -210,8 +210,7 @@ fn compose_with_mod_div_through_mid() {
 #[test]
 fn large_sparse_counts_factor() {
     // Independent components must factor: a 1000 x 1000 x 7 box.
-    let s = Set::parse("{ A[x, y, z] : 0 <= x < 1000 and 0 <= y < 1000 and 0 <= z < 7 }")
-        .unwrap();
+    let s = Set::parse("{ A[x, y, z] : 0 <= x < 1000 and 0 <= y < 1000 and 0 <= z < 7 }").unwrap();
     assert_eq!(s.card().unwrap(), 7_000_000);
 }
 

@@ -110,11 +110,7 @@ pub fn evaluate(op: &TensorOp, mapping: &DcMapping, arch: &ArchSpec) -> MaestroR
         }
     }
     let pe_count = arch.pe_count() as f64;
-    let pes_used = spatial_pos
-        .values()
-        .product::<f64>()
-        .min(pe_count)
-        .max(1.0);
+    let pes_used = spatial_pos.values().product::<f64>().min(pe_count).max(1.0);
     let utilization = (pes_used / pe_count).min(1.0);
     let macs: f64 = op.instances().unwrap_or(0) as f64;
     let compute = (macs / pes_used).ceil();
@@ -217,7 +213,7 @@ mod tests {
 
     /// Output arrays never report reuse (Section VI-E).
     #[test]
-    fn output_reuse_factor_is_one()  {
+    fn output_reuse_factor_is_one() {
         let op = conv1d();
         let mapping = DcMapping::new().spatial(1, 1, "i").temporal(1, 1, "j");
         let arch = ArchSpec::new("1d", [4], Interconnect::Multicast { radius: 3 }, 4.0);

@@ -288,7 +288,11 @@ mod tests {
         assert_eq!(m.directives.len(), 3);
         assert!(matches!(
             m.directives[0],
-            Directive::SpatialMap { size: 1, offset: 1, .. }
+            Directive::SpatialMap {
+                size: 1,
+                offset: 1,
+                ..
+            }
         ));
     }
 

@@ -175,7 +175,10 @@ fn touch(rf: &mut RegFile, key: Key, stamp: u64) {
     rf.entries
         .entry(key)
         .and_modify(|e| e.touch(stamp))
-        .or_insert(Entry { last: stamp, prev: u64::MAX });
+        .or_insert(Entry {
+            last: stamp,
+            prev: u64::MAX,
+        });
 }
 
 /// Runs the simulation.
@@ -255,7 +258,10 @@ pub fn simulate(
             }
             pe_lin += c * pe_strides[i];
         }
-        schedule.entry(t).or_default().push((pe_lin as usize, point.clone()));
+        schedule
+            .entry(t)
+            .or_default()
+            .push((pe_lin as usize, point.clone()));
         // Odometer over the iteration domain.
         let mut d = dims.len();
         loop {
@@ -351,14 +357,15 @@ pub fn simulate(
                                     .get(&key)
                                     .is_some_and(|e| e.accessed_at(stamp_idx))
                         } else {
-                            rfs[src].entries.get(&key).is_some_and(|e| {
-                                match options.policy {
+                            rfs[src]
+                                .entries
+                                .get(&key)
+                                .is_some_and(|e| match options.policy {
                                     ReusePolicy::Adjacent => e.accessed_at(stamp_idx - 1),
                                     ReusePolicy::Resident => {
                                         e.last < stamp_idx || e.prev < stamp_idx
                                     }
-                                }
-                            })
+                                })
                         };
                         if available {
                             spatial = true;
@@ -381,8 +388,7 @@ pub fn simulate(
             // Capacity management (approximate LRU by stamp).
             if let Some(cap) = options.rf_capacity {
                 if rfs[*pe].entries.len() > cap {
-                    let mut entries: Vec<(Key, Entry)> =
-                        rfs[*pe].entries.drain().collect();
+                    let mut entries: Vec<(Key, Entry)> = rfs[*pe].entries.drain().collect();
                     entries.sort_by_key(|(_, e)| std::cmp::Reverse(e.last));
                     entries.truncate(cap);
                     rfs[*pe].entries = entries.into_iter().collect();

@@ -68,12 +68,7 @@ impl Trace {
 ///
 /// Fails if the workload exceeds `max_instances`, a stamp expression does
 /// not compile, or an instance maps outside the PE array.
-pub fn trace(
-    op: &TensorOp,
-    df: &Dataflow,
-    arch: &ArchSpec,
-    max_instances: usize,
-) -> Result<Trace> {
+pub fn trace(op: &TensorOp, df: &Dataflow, arch: &ArchSpec, max_instances: usize) -> Result<Trace> {
     let n = op.instances()?;
     if n > max_instances as u128 {
         return Err(Error::Invalid(format!(
@@ -127,12 +122,7 @@ pub fn trace(
         });
         let elems: Vec<(String, Vec<i64>)> = accesses
             .iter()
-            .map(|(name, exprs)| {
-                (
-                    name.clone(),
-                    exprs.iter().map(|e| e.eval(&inst)).collect(),
-                )
-            })
+            .map(|(name, exprs)| (name.clone(), exprs.iter().map(|e| e.eval(&inst)).collect()))
             .collect();
         if let Some(prev) = snapshot.pes.insert(
             p.clone(),

@@ -190,10 +190,7 @@ pub fn eyeriss_row_stationary() -> Dataflow {
 /// array width.
 pub fn eyeriss_row_stationary_tiled(oy_tile: i64) -> Dataflow {
     Dataflow::new(
-        [
-            "ry + 3*(c mod 4)".to_string(),
-            format!("oy mod {oy_tile}"),
-        ],
+        ["ry + 3*(c mod 4)".to_string(), format!("oy mod {oy_tile}")],
         [
             format!("floor(oy/{oy_tile})"),
             "floor(k/16)".to_string(),

@@ -80,7 +80,11 @@ impl ConvShape {
 
     /// Number of MACs of this layer.
     pub fn macs(&self) -> u128 {
-        let k = if self.kind == ConvKind::Depthwise { 1 } else { self.k } as u128;
+        let k = if self.kind == ConvKind::Depthwise {
+            1
+        } else {
+            self.k
+        } as u128;
         k * self.c as u128
             * (self.ox as u128)
             * (self.ox as u128)
@@ -95,11 +99,51 @@ impl ConvShape {
 pub fn alexnet() -> Vec<ConvShape> {
     use ConvKind::Standard;
     vec![
-        ConvShape { name: "CONV1", k: 96, c: 3, ox: 55, rx: 11, kind: Standard, count: 1 },
-        ConvShape { name: "CONV2", k: 256, c: 48, ox: 27, rx: 5, kind: Standard, count: 1 },
-        ConvShape { name: "CONV3", k: 384, c: 256, ox: 13, rx: 3, kind: Standard, count: 1 },
-        ConvShape { name: "CONV4", k: 384, c: 192, ox: 13, rx: 3, kind: Standard, count: 1 },
-        ConvShape { name: "CONV5", k: 256, c: 192, ox: 13, rx: 3, kind: Standard, count: 1 },
+        ConvShape {
+            name: "CONV1",
+            k: 96,
+            c: 3,
+            ox: 55,
+            rx: 11,
+            kind: Standard,
+            count: 1,
+        },
+        ConvShape {
+            name: "CONV2",
+            k: 256,
+            c: 48,
+            ox: 27,
+            rx: 5,
+            kind: Standard,
+            count: 1,
+        },
+        ConvShape {
+            name: "CONV3",
+            k: 384,
+            c: 256,
+            ox: 13,
+            rx: 3,
+            kind: Standard,
+            count: 1,
+        },
+        ConvShape {
+            name: "CONV4",
+            k: 384,
+            c: 192,
+            ox: 13,
+            rx: 3,
+            kind: Standard,
+            count: 1,
+        },
+        ConvShape {
+            name: "CONV5",
+            k: 256,
+            c: 192,
+            ox: 13,
+            rx: 3,
+            kind: Standard,
+            count: 1,
+        },
     ]
 }
 
@@ -107,11 +151,51 @@ pub fn alexnet() -> Vec<ConvShape> {
 pub fn vgg16() -> Vec<ConvShape> {
     use ConvKind::Standard;
     vec![
-        ConvShape { name: "CONV1-1", k: 64, c: 3, ox: 224, rx: 3, kind: Standard, count: 2 },
-        ConvShape { name: "CONV2-1", k: 128, c: 64, ox: 112, rx: 3, kind: Standard, count: 2 },
-        ConvShape { name: "CONV3-1", k: 256, c: 128, ox: 56, rx: 3, kind: Standard, count: 3 },
-        ConvShape { name: "CONV4-1", k: 512, c: 256, ox: 28, rx: 3, kind: Standard, count: 3 },
-        ConvShape { name: "CONV5-1", k: 512, c: 512, ox: 14, rx: 3, kind: Standard, count: 3 },
+        ConvShape {
+            name: "CONV1-1",
+            k: 64,
+            c: 3,
+            ox: 224,
+            rx: 3,
+            kind: Standard,
+            count: 2,
+        },
+        ConvShape {
+            name: "CONV2-1",
+            k: 128,
+            c: 64,
+            ox: 112,
+            rx: 3,
+            kind: Standard,
+            count: 2,
+        },
+        ConvShape {
+            name: "CONV3-1",
+            k: 256,
+            c: 128,
+            ox: 56,
+            rx: 3,
+            kind: Standard,
+            count: 3,
+        },
+        ConvShape {
+            name: "CONV4-1",
+            k: 512,
+            c: 256,
+            ox: 28,
+            rx: 3,
+            kind: Standard,
+            count: 3,
+        },
+        ConvShape {
+            name: "CONV5-1",
+            k: 512,
+            c: 512,
+            ox: 14,
+            rx: 3,
+            kind: Standard,
+            count: 3,
+        },
     ]
 }
 
@@ -121,11 +205,51 @@ pub fn vgg16() -> Vec<ConvShape> {
 pub fn googlenet() -> Vec<ConvShape> {
     use ConvKind::Standard;
     vec![
-        ConvShape { name: "Incpt-3a", k: 128, c: 96, ox: 56, rx: 3, kind: Standard, count: 1 },
-        ConvShape { name: "Incpt-3b", k: 192, c: 128, ox: 56, rx: 3, kind: Standard, count: 1 },
-        ConvShape { name: "Incpt-4a", k: 208, c: 96, ox: 56, rx: 3, kind: Standard, count: 1 },
-        ConvShape { name: "Incpt-4b", k: 224, c: 112, ox: 56, rx: 3, kind: Standard, count: 1 },
-        ConvShape { name: "Incpt-4c", k: 256, c: 128, ox: 56, rx: 3, kind: Standard, count: 1 },
+        ConvShape {
+            name: "Incpt-3a",
+            k: 128,
+            c: 96,
+            ox: 56,
+            rx: 3,
+            kind: Standard,
+            count: 1,
+        },
+        ConvShape {
+            name: "Incpt-3b",
+            k: 192,
+            c: 128,
+            ox: 56,
+            rx: 3,
+            kind: Standard,
+            count: 1,
+        },
+        ConvShape {
+            name: "Incpt-4a",
+            k: 208,
+            c: 96,
+            ox: 56,
+            rx: 3,
+            kind: Standard,
+            count: 1,
+        },
+        ConvShape {
+            name: "Incpt-4b",
+            k: 224,
+            c: 112,
+            ox: 56,
+            rx: 3,
+            kind: Standard,
+            count: 1,
+        },
+        ConvShape {
+            name: "Incpt-4c",
+            k: 256,
+            c: 128,
+            ox: 56,
+            rx: 3,
+            kind: Standard,
+            count: 1,
+        },
     ]
 }
 
@@ -133,11 +257,51 @@ pub fn googlenet() -> Vec<ConvShape> {
 /// standard stem plus alternating depthwise / pointwise layers.
 pub fn mobilenet() -> Vec<ConvShape> {
     vec![
-        ConvShape { name: "CONV1", k: 32, c: 3, ox: 112, rx: 3, kind: ConvKind::Standard, count: 1 },
-        ConvShape { name: "dw-CONV2", k: 1, c: 32, ox: 112, rx: 3, kind: ConvKind::Depthwise, count: 1 },
-        ConvShape { name: "pw-CONV3", k: 64, c: 32, ox: 112, rx: 1, kind: ConvKind::Pointwise, count: 1 },
-        ConvShape { name: "dw-CONV4", k: 1, c: 64, ox: 56, rx: 3, kind: ConvKind::Depthwise, count: 1 },
-        ConvShape { name: "pw-CONV5", k: 128, c: 64, ox: 56, rx: 1, kind: ConvKind::Pointwise, count: 1 },
+        ConvShape {
+            name: "CONV1",
+            k: 32,
+            c: 3,
+            ox: 112,
+            rx: 3,
+            kind: ConvKind::Standard,
+            count: 1,
+        },
+        ConvShape {
+            name: "dw-CONV2",
+            k: 1,
+            c: 32,
+            ox: 112,
+            rx: 3,
+            kind: ConvKind::Depthwise,
+            count: 1,
+        },
+        ConvShape {
+            name: "pw-CONV3",
+            k: 64,
+            c: 32,
+            ox: 112,
+            rx: 1,
+            kind: ConvKind::Pointwise,
+            count: 1,
+        },
+        ConvShape {
+            name: "dw-CONV4",
+            k: 1,
+            c: 64,
+            ox: 56,
+            rx: 3,
+            kind: ConvKind::Depthwise,
+            count: 1,
+        },
+        ConvShape {
+            name: "pw-CONV5",
+            k: 128,
+            c: 64,
+            ox: 56,
+            rx: 1,
+            kind: ConvKind::Pointwise,
+            count: 1,
+        },
     ]
 }
 

@@ -25,21 +25,38 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .named("timeloop-style");
     let coarse = evaluate(&gemm, &schedule, &arch)?;
     println!("compute-centric estimate:");
-    println!("  latency {:.0} cycles, utilization {:.2}", coarse.latency(), coarse.utilization);
+    println!(
+        "  latency {:.0} cycles, utilization {:.2}",
+        coarse.latency(),
+        coarse.utilization
+    );
     for (t, m) in &coarse.tensors {
-        println!("  {t}: reuse ~{:.0}x, unique ~{:.0}", m.reuse_factor, m.unique);
+        println!(
+            "  {t}: reuse ~{:.0}x, unique ~{:.0}",
+            m.reuse_factor, m.unique
+        );
     }
 
     // (b) The exact lowering of the same schedule.
     let lowered = schedule.lower(&gemm)?;
-    println!("\nlowered dataflow: PE[{}] | T[{}]",
-        lowered.space_exprs().join(", "), lowered.time_exprs().join(", "));
+    println!(
+        "\nlowered dataflow: PE[{}] | T[{}]",
+        lowered.space_exprs().join(", "),
+        lowered.time_exprs().join(", ")
+    );
     let exact = Analysis::new(&gemm, &lowered, &arch)?.report()?;
     println!("relation-centric exact:");
-    println!("  latency {:.0} cycles, utilization {:.2}",
-        exact.latency.total(), exact.utilization.average);
+    println!(
+        "  latency {:.0} cycles, utilization {:.2}",
+        exact.latency.total(),
+        exact.utilization.average
+    );
     for (t, m) in &exact.tensors {
-        println!("  {t}: reuse {:.0}x, unique {}", m.volumes.reuse_factor(), m.volumes.unique);
+        println!(
+            "  {t}: reuse {:.0}x, unique {}",
+            m.volumes.reuse_factor(),
+            m.volumes.unique
+        );
     }
 
     // (c) The skewed wavefront of Figure 3 scaled up: outside the
@@ -72,7 +89,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mesh = ArchSpec::new("4", [4], Interconnect::Mesh, 4.0);
     println!("\nFigure 1 1D-CONV, coarse vs exact unique traffic:");
     for (t, (est, exact)) in exactness_gap(&conv1d, &s, &mesh)? {
-        let marker = if est as u128 != exact { "  <-- coarse model wrong" } else { "" };
+        let marker = if est as u128 != exact {
+            "  <-- coarse model wrong"
+        } else {
+            ""
+        };
         println!("  {t}: estimate {est:.0}, exact {exact}{marker}");
     }
     Ok(())

@@ -24,7 +24,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     "#;
     let op = frontend::parse_kernel(source)?;
     println!("kernel `{}`: {} MACs", op.name(), op.instances()?);
-    println!("input footprint of A: {} elements", op.footprint("A")?.card()?);
+    println!(
+        "input footprint of A: {} elements",
+        op.footprint("A")?.card()?
+    );
 
     // The hardware: a 16-PE row with same-cycle multicast wires.
     let arch = frontend::parse_arch(
@@ -37,9 +40,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Three candidate dataflows written in the paper's notation.
     let candidates = [
-        ("output-parallel", "{ S[i,c,r] -> (PE[i % 16] | T[fl(i/16), c, r]) }"),
+        (
+            "output-parallel",
+            "{ S[i,c,r] -> (PE[i % 16] | T[fl(i/16), c, r]) }",
+        ),
         ("channel-parallel", "{ S[i,c,r] -> (PE[c] | T[i, r]) }"),
-        ("skewed systolic", "{ S[i,c,r] -> (PE[i % 16] | T[fl(i/16), c, i % 16 + r]) }"),
+        (
+            "skewed systolic",
+            "{ S[i,c,r] -> (PE[i % 16] | T[fl(i/16), c, i % 16 + r]) }",
+        ),
     ];
 
     println!(
@@ -69,6 +78,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         dataflows: vec![best],
         arch: Some(arch),
     };
-    println!("\ncanonical problem file:\n{}", frontend::problem_to_text(&problem));
+    println!(
+        "\ncanonical problem file:\n{}",
+        frontend::problem_to_text(&problem)
+    );
     Ok(())
 }

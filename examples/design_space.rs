@@ -12,7 +12,10 @@ use tenet::workloads::kernels;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("design-space sizes under the paper's normalization:");
-    println!("{:>8} {:>18} {:>18}", "loops", "data-centric", "relation-centric");
+    println!(
+        "{:>8} {:>18} {:>18}",
+        "loops", "data-centric", "relation-centric"
+    );
     for n in 2..=6 {
         println!(
             "{n:>8} {:>18} {:>18}",
@@ -31,16 +34,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let conv = kernels::gemm(4, 4, 4)?; // any 3-loop nest
     let skewed = Dataflow::new(["i"], ["i + j", "k"]);
     let rect = Dataflow::new(["i"], ["j", "k"]);
-    println!("\nskewed dataflow  T[i+j]: data-centric representable? {}",
-        representable(&skewed, &conv));
-    println!("rectangular      T[j]  : data-centric representable? {}",
-        representable(&rect, &conv));
+    println!(
+        "\nskewed dataflow  T[i+j]: data-centric representable? {}",
+        representable(&skewed, &conv)
+    );
+    println!(
+        "rectangular      T[j]  : data-centric representable? {}",
+        representable(&rect, &conv)
+    );
 
     // Skewing in action: the diagonal data access of Figure 1(a), written
     // directly in the notation and counted exactly.
-    let access = Map::parse(
-        "{ T[t] -> A[i, j] : t = i + j and 0 <= i < 4 and 0 <= j < 3 }",
-    )?;
+    let access = Map::parse("{ T[t] -> A[i, j] : t = i + j and 0 <= i < 4 and 0 <= j < 3 }")?;
     println!("\ndiagonal access pattern {access}");
     for t in 0..6 {
         let slice = access.fix_in(0, t);

@@ -46,7 +46,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "energy model", "total energy", "spad share"
     );
     let df = &dataflows::gemm_dataflows(8, 64)[0];
-    for (label, spad_cost) in [("Eyeriss hierarchy (spad = 6x)", 6.0), ("flat (spad = 1x)", 1.0)] {
+    for (label, spad_cost) in [
+        ("Eyeriss hierarchy (spad = 6x)", 6.0),
+        ("flat (spad = 1x)", 1.0),
+    ] {
         let mut arch = presets::tpu_like(8, 8, 64.0);
         arch.energy.scratchpad = spad_cost;
         let e = Analysis::new(&gemm, df, &arch)?.energy()?;

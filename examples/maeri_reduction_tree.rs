@@ -17,7 +17,10 @@ use tenet::workloads::kernels;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A VGG-style 3x3 layer, channel-scaled to keep the demo quick.
     let conv = kernels::conv2d(16, 16, 14, 14, 3, 3)?;
-    println!("2D-CONV K=16 C=16 OX=OY=14 R=3x3: {} MACs\n", conv.instances()?);
+    println!(
+        "2D-CONV K=16 C=16 OX=OY=14 R=3x3: {} MACs\n",
+        conv.instances()?
+    );
 
     // MAERI: 9 multipliers feed one adder-tree pass per output pixel;
     // the 3x3 filter window is flattened onto the PE row.
@@ -29,7 +32,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // loops rx, ry must still appear in the full stamp for injectivity.
     let tpu = Dataflow::new(
         ["k % 8", "c % 8"],
-        ["floor(k / 8)", "floor(c / 8)", "rx", "ry", "oy", "k % 8 + c % 8 + ox"],
+        [
+            "floor(k / 8)",
+            "floor(c / 8)",
+            "rx",
+            "ry",
+            "oy",
+            "k % 8 + c % 8 + ox",
+        ],
     )
     .named("(KC-P | OY,KCOX-T)");
     let tpu_arch = presets::tpu_like(8, 8, 16.0);
@@ -70,7 +80,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (label, space, time_c, width) in [
         ("3x3 window  (rx*3 + ry)", "rx*3 + ry", "c", 9),
         ("row pair    (rx + 3*ry)", "rx + 3*ry", "c", 9),
-        ("window + 2 channels", "(c % 2)*9 + rx*3 + ry", "floor(c / 2)", 18),
+        (
+            "window + 2 channels",
+            "(c % 2)*9 + rx*3 + ry",
+            "floor(c / 2)",
+            18,
+        ),
     ] {
         let df = Dataflow::new([space], ["k", time_c, "ox", "oy"]);
         let arch = presets::maeri_like(width, 16.0);

@@ -40,18 +40,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let v = analysis.volumes(t)?;
         println!(
             "{t:<8} {:>6} {:>6} {:>7} {:>8} {:>9} {:>7.1}",
-            v.total, v.reuse, v.unique, v.spatial_reuse, v.temporal_reuse,
+            v.total,
+            v.reuse,
+            v.unique,
+            v.spatial_reuse,
+            v.temporal_reuse,
             v.reuse_factor()
         );
     }
 
     // 6. Latency, bandwidth, utilization, energy (Section V-B).
     let report = analysis.report()?;
-    println!("\nutilization: avg {:.2}, max {:.2} across {} time-stamps",
-        report.utilization.average, report.utilization.max, report.utilization.time_stamps);
+    println!(
+        "\nutilization: avg {:.2}, max {:.2} across {} time-stamps",
+        report.utilization.average, report.utilization.max, report.utilization.time_stamps
+    );
     println!(
         "latency: read {:.1}, write {:.1}, compute {:.1} -> total {:.1} cycles",
-        report.latency.read, report.latency.write, report.latency.compute,
+        report.latency.read,
+        report.latency.write,
+        report.latency.compute,
         report.latency.total()
     );
     println!(

@@ -9,10 +9,15 @@ use tenet::sim::{simulate, SimOptions};
 use tenet::workloads::{dataflows, kernels};
 
 fn check(op: &TensorOp, df: &Dataflow, arch: &ArchSpec) {
-    let label = format!("{} / {:?} / {}", op.name(), df.name(), arch.interconnect.label());
+    let label = format!(
+        "{} / {:?} / {}",
+        op.name(),
+        df.name(),
+        arch.interconnect.label()
+    );
     let analysis = Analysis::new(op, df, arch).unwrap_or_else(|e| panic!("{label}: {e}"));
-    let sim = simulate(op, df, arch, &SimOptions::default())
-        .unwrap_or_else(|e| panic!("{label}: {e}"));
+    let sim =
+        simulate(op, df, arch, &SimOptions::default()).unwrap_or_else(|e| panic!("{label}: {e}"));
     for a in op.accesses() {
         let t = &a.tensor;
         let v = analysis.volumes(t).unwrap();
@@ -76,7 +81,11 @@ fn gemm_all_dataflows_systolic() {
 fn gemm_mesh_and_multicast() {
     let op = kernels::gemm(8, 8, 8).unwrap();
     let df = &dataflows::gemm_dataflows(4, 16)[0];
-    check(&op, df, &ArchSpec::new("4x4", [4, 4], Interconnect::Mesh, 1e9));
+    check(
+        &op,
+        df,
+        &ArchSpec::new("4x4", [4, 4], Interconnect::Mesh, 1e9),
+    );
     let df1d = &dataflows::gemm_dataflows(4, 16)[3]; // (K-P | I,J-T)
     check(
         &op,

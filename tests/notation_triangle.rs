@@ -26,13 +26,16 @@ fn compute_schedule_equals_hand_written_relation() {
         .parallel("j_i")
         .order(["i_o", "j_o", "k"]);
     let lowered = schedule.lower(&op).unwrap();
-    let by_hand = Dataflow::new(
-        ["i % 8", "j % 8"],
-        ["floor(i / 8)", "floor(j / 8)", "k"],
-    );
+    let by_hand = Dataflow::new(["i % 8", "j % 8"], ["floor(i / 8)", "floor(j / 8)", "k"]);
 
-    let a = Analysis::new(&op, &lowered, &arch).unwrap().report().unwrap();
-    let b = Analysis::new(&op, &by_hand, &arch).unwrap().report().unwrap();
+    let a = Analysis::new(&op, &lowered, &arch)
+        .unwrap()
+        .report()
+        .unwrap();
+    let b = Analysis::new(&op, &by_hand, &arch)
+        .unwrap()
+        .report()
+        .unwrap();
     assert_eq!(a.macs, b.macs);
     assert_eq!(a.latency.total(), b.latency.total());
     for t in ["A", "B", "Y"] {
@@ -156,8 +159,8 @@ fn lowered_schedule_matches_simulation() {
     let lowered = schedule.lower(&op).unwrap();
     let arch = ArchSpec::new("4x4", [4, 4], Interconnect::Systolic2D, 1e9);
     let analysis = Analysis::new(&op, &lowered, &arch).unwrap();
-    let sim = tenet::sim::simulate(&op, &lowered, &arch, &tenet::sim::SimOptions::default())
-        .unwrap();
+    let sim =
+        tenet::sim::simulate(&op, &lowered, &arch, &tenet::sim::SimOptions::default()).unwrap();
     for t in ["A", "B", "Y"] {
         assert_eq!(
             analysis.volumes(t).unwrap().unique,

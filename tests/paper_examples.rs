@@ -48,7 +48,11 @@ fn section5_truncated_volumes() {
         .unwrap();
     let reuse = adf_w.intersect(&avail).unwrap().card().unwrap();
     assert_eq!(reuse, 5, "ReuseVolume over stamps 1..3");
-    assert_eq!(adf_w.card().unwrap() - reuse, 7, "UniqueVolume over stamps 0..3");
+    assert_eq!(
+        adf_w.card().unwrap() - reuse,
+        7,
+        "UniqueVolume over stamps 0..3"
+    );
 }
 
 /// Over the full execution every tensor's TotalVolume equals |D_S| = 16

@@ -1,0 +1,214 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! The container this repo builds in has no network access, so the real
+//! criterion crate cannot be fetched. This crate implements the subset of
+//! the criterion 0.5 API that the `tenet-bench` benches use — enough to
+//! `cargo bench` with real wall-clock measurements and a stable textual
+//! report. Measurements use a warm-up pass followed by timed batches and
+//! report the median batch ns/iter, which is robust to scheduler noise.
+//!
+//! It is intentionally tiny: no statistical bootstrap, no HTML reports,
+//! no baselines. Results are also appended (JSON lines) to the file named
+//! by `CRITERION_JSON_OUT` when that environment variable is set, so
+//! external tooling can collect `{name, ns_per_iter, iters}` rows.
+
+use std::fmt::Display;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// Measurement configuration and result sink (criterion API subset).
+pub struct Criterion {
+    sample_size: usize,
+    warm_up: Duration,
+    measure: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            warm_up: Duration::from_millis(300),
+            measure: Duration::from_millis(1200),
+        }
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    warm_up: Duration,
+    measure: Duration,
+    sample_size: usize,
+    /// Filled in by [`Bencher::iter`]: median ns per iteration.
+    ns_per_iter: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `f`, storing the median per-iteration cost.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: discover a batch size that runs ~1ms, while warming
+        // caches. Also guards against pathologically slow bodies.
+        let warm_deadline = Instant::now() + self.warm_up;
+        let mut batch: u64 = 1;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            let dt = t0.elapsed();
+            if dt < Duration::from_millis(1) && batch < 1 << 24 {
+                batch *= 2;
+            }
+            if Instant::now() >= warm_deadline {
+                break;
+            }
+        }
+        let mut samples: Vec<f64> = Vec::with_capacity(self.sample_size);
+        let deadline = Instant::now() + self.measure;
+        let mut total_iters: u64 = 0;
+        while samples.len() < self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            let dt = t0.elapsed();
+            total_iters += batch;
+            samples.push(dt.as_nanos() as f64 / batch as f64);
+            if Instant::now() >= deadline && samples.len() >= 5 {
+                break;
+            }
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        self.ns_per_iter = samples[samples.len() / 2];
+        self.iters = total_iters;
+    }
+}
+
+fn report(name: &str, b: &Bencher) {
+    let ns = b.ns_per_iter;
+    let human = if ns >= 1e9 {
+        format!("{:.4} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.4} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.4} µs", ns / 1e3)
+    } else {
+        format!("{ns:.2} ns")
+    };
+    println!("{name:<50} time: {human:>14}   ({} iters)", b.iters);
+    if let Ok(path) = std::env::var("CRITERION_JSON_OUT") {
+        if let Ok(mut f) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+        {
+            let _ = writeln!(
+                f,
+                "{{\"name\":\"{}\",\"ns_per_iter\":{:.2},\"iters\":{}}}",
+                name.replace('"', "'"),
+                ns,
+                b.iters
+            );
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            warm_up: self.warm_up,
+            measure: self.measure,
+            sample_size: self.sample_size,
+            ns_per_iter: 0.0,
+            iters: 0,
+        };
+        f(&mut b);
+        report(name, &b);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the target sample count for benches in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.parent.sample_size = n.max(5);
+        self
+    }
+
+    /// Runs one parameterized benchmark within the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.0);
+        let mut b = Bencher {
+            warm_up: self.parent.warm_up,
+            measure: self.parent.measure,
+            sample_size: self.parent.sample_size,
+            ns_per_iter: 0.0,
+            iters: 0,
+        };
+        f(&mut b, input);
+        report(&full, &b);
+        self
+    }
+
+    /// Finishes the group (no-op; criterion API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Identifies one parameterized benchmark within a group.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Builds an id from the parameter's `Display` form.
+    pub fn from_parameter<D: Display>(p: D) -> Self {
+        BenchmarkId(p.to_string())
+    }
+
+    /// Builds an id from a function name and parameter.
+    pub fn new<D: Display>(name: &str, p: D) -> Self {
+        BenchmarkId(format!("{name}/{p}"))
+    }
+}
+
+/// Declares a group of benchmark functions (criterion API subset).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the bench entry point (criterion API subset).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+/// Re-export of `std::hint::black_box` (criterion API compatibility).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}

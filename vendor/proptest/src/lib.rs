@@ -1,0 +1,476 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build container has no network access, so the real proptest cannot
+//! be fetched. This crate implements the subset of the proptest 1.x API
+//! that this repository's property tests use: the [`Strategy`] trait with
+//! `prop_map` / `prop_flat_map` / `prop_recursive`, range and tuple
+//! strategies, [`collection::vec`], [`char::any`], a permissive string
+//! strategy for `&str` regex literals, [`Just`], `prop_oneof!`, and the
+//! `proptest!` / `prop_assert!` / `prop_assert_eq!` macros.
+//!
+//! Differences from real proptest: generation is a fixed-seed
+//! deterministic PRNG keyed on the test name (reproducible across runs and
+//! machines), there is **no shrinking**, and `&str` strategies ignore the
+//! regex and produce arbitrary printable strings. For the equivalence and
+//! oracle tests in this repo those differences do not matter; determinism
+//! is an advantage in CI.
+
+use std::rc::Rc;
+
+/// Deterministic splitmix64 PRNG driving all generation.
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds from a test name and case index (plus `PROPTEST_SEED` if set).
+    pub fn from_name_case(name: &str, case: u32) -> TestRng {
+        let mut seed: u64 = 0x9E37_79B9_7F4A_7C15;
+        for b in name.bytes() {
+            seed = seed.wrapping_mul(0x100_0000_01B3).wrapping_add(b as u64);
+        }
+        if let Ok(s) = std::env::var("PROPTEST_SEED") {
+            if let Ok(v) = s.parse::<u64>() {
+                seed ^= v;
+            }
+        }
+        TestRng {
+            state: seed ^ ((case as u64).wrapping_mul(0xA24B_AED4_963E_E407)),
+        }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, n)`; `n` must be nonzero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+
+    /// Uniform `i64` in `[lo, hi]` (inclusive).
+    pub fn i64_in(&mut self, lo: i64, hi: i64) -> i64 {
+        debug_assert!(lo <= hi);
+        let span = (hi as i128 - lo as i128 + 1) as u128;
+        let v = (self.next_u64() as u128) % span;
+        (lo as i128 + v as i128) as i64
+    }
+}
+
+/// A generation strategy for values of type `Self::Value`.
+pub trait Strategy: 'static {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> BoxedStrategy<U>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U + 'static,
+        U: 'static,
+    {
+        let inner = self;
+        BoxedStrategy::new(move |rng| f(inner.generate(rng)))
+    }
+
+    /// Chains generation: the generated value selects a follow-up strategy.
+    fn prop_flat_map<S2, F>(self, f: F) -> BoxedStrategy<S2::Value>
+    where
+        Self: Sized,
+        S2: Strategy,
+        F: Fn(Self::Value) -> S2 + 'static,
+    {
+        let inner = self;
+        BoxedStrategy::new(move |rng| f(inner.generate(rng)).generate(rng))
+    }
+
+    /// Builds a recursive strategy: `f` maps a strategy for depth `d` to a
+    /// strategy for depth `d + 1`; generation picks a random layer. The
+    /// `_size` and `_branch` hints of the real API are accepted and
+    /// ignored.
+    fn prop_recursive<F>(
+        self,
+        depth: u32,
+        _size: u32,
+        _branch: u32,
+        f: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized,
+        Self::Value: 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> BoxedStrategy<Self::Value> + 'static,
+    {
+        let mut layers: Vec<BoxedStrategy<Self::Value>> = vec![self.boxed()];
+        for _ in 0..depth {
+            let prev = layers.last().expect("nonempty").clone();
+            layers.push(f(prev));
+        }
+        BoxedStrategy::new(move |rng| {
+            let i = rng.below(layers.len() as u64) as usize;
+            layers[i].generate(rng)
+        })
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized,
+        Self::Value: 'static,
+    {
+        let inner = self;
+        BoxedStrategy::new(move |rng| inner.generate(rng))
+    }
+}
+
+/// A clonable type-erased strategy.
+pub struct BoxedStrategy<T>(Rc<dyn Fn(&mut TestRng) -> T>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T> BoxedStrategy<T> {
+    /// Wraps a generation closure.
+    pub fn new(f: impl Fn(&mut TestRng) -> T + 'static) -> Self {
+        BoxedStrategy(Rc::new(f))
+    }
+}
+
+impl<T: 'static> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone + 'static> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                rng.i64_in(self.start as i64, self.end as i64 - 1) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.i64_in(*self.start() as i64, *self.end() as i64) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(i8, i16, i32, i64, u8, u16, u32, usize);
+
+impl Strategy for std::ops::RangeInclusive<u64> {
+    type Value = u64;
+    fn generate(&self, rng: &mut TestRng) -> u64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        lo + rng.below(hi - lo + 1)
+    }
+}
+
+impl Strategy for std::ops::Range<u64> {
+    type Value = u64;
+    fn generate(&self, rng: &mut TestRng) -> u64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.below(self.end - self.start)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+/// A `&str` literal is treated as a (regex) string strategy. The pattern
+/// is ignored; arbitrary printable strings (with occasional non-ASCII
+/// characters) are produced.
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let len = rng.below(40) as usize;
+        let mut s = String::with_capacity(len);
+        for _ in 0..len {
+            let roll = rng.below(20);
+            let ch = if roll < 16 {
+                // Printable ASCII.
+                char::from_u32(0x20 + rng.below(0x5F) as u32).unwrap_or('a')
+            } else if roll < 19 {
+                // Latin-1 / general unicode letters.
+                char::from_u32(0xA1 + rng.below(0x500) as u32).unwrap_or('é')
+            } else {
+                // Structural characters likely to stress parsers.
+                [
+                    '{', '}', '[', ']', '(', ')', ';', ':', '-', '>', '<', '=', '%', '/', '*',
+                ][rng.below(15) as usize]
+            };
+            s.push(ch);
+        }
+        s
+    }
+}
+
+/// Uniform choice among same-valued strategies (backs `prop_oneof!`).
+pub fn one_of<T: 'static>(arms: Vec<BoxedStrategy<T>>) -> BoxedStrategy<T> {
+    assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+    BoxedStrategy::new(move |rng| {
+        let i = rng.below(arms.len() as u64) as usize;
+        arms[i].generate(rng)
+    })
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{BoxedStrategy, Strategy};
+
+    /// Inclusive length range for [`vec`].
+    #[derive(Clone, Copy)]
+    pub struct SizeRange(pub usize, pub usize);
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange(n, n)
+        }
+    }
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange(r.start, r.end - 1)
+        }
+    }
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange(*r.start(), *r.end())
+        }
+    }
+
+    /// Vector of values from `elem`, with a length drawn from `size`.
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> BoxedStrategy<Vec<S::Value>>
+    where
+        S::Value: 'static,
+    {
+        let SizeRange(lo, hi) = size.into();
+        BoxedStrategy::new(move |rng| {
+            let n = lo + rng.below((hi - lo + 1) as u64) as usize;
+            (0..n).map(|_| elem.generate(rng)).collect()
+        })
+    }
+}
+
+/// Character strategies.
+pub mod char {
+    use super::BoxedStrategy;
+
+    /// Any `char`, biased toward ASCII.
+    pub fn any() -> BoxedStrategy<::std::primitive::char> {
+        BoxedStrategy::new(|rng| {
+            if rng.below(4) < 3 {
+                ::std::primitive::char::from_u32(0x20 + rng.below(0x5F) as u32).unwrap_or('x')
+            } else {
+                loop {
+                    let v = rng.below(0x11_0000) as u32;
+                    if let Some(c) = ::std::primitive::char::from_u32(v) {
+                        break c;
+                    }
+                }
+            }
+        })
+    }
+}
+
+/// Boolean strategies.
+pub mod bool {
+    use super::{Strategy, TestRng};
+
+    /// Strategy yielding uniform booleans.
+    #[derive(Clone, Copy)]
+    pub struct Any;
+
+    impl Strategy for Any {
+        type Value = ::std::primitive::bool;
+        fn generate(&self, rng: &mut TestRng) -> ::std::primitive::bool {
+            rng.below(2) == 1
+        }
+    }
+
+    /// Any boolean (uniform).
+    pub const ANY: Any = Any;
+}
+
+/// A failed property-test case (the error side of test bodies; the real
+/// crate's shrinking machinery is absent, so this is just a message).
+#[derive(Debug, Clone)]
+pub struct TestCaseError(pub String);
+
+impl TestCaseError {
+    /// Builds a failure from a message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError(msg.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<String> for TestCaseError {
+    fn from(s: String) -> Self {
+        TestCaseError(s)
+    }
+}
+
+/// Per-`proptest!`-block configuration.
+#[derive(Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of random cases each test runs.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// Config with an explicit case count.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Asserts a condition inside a `proptest!` body (fails the case, with the
+/// generated inputs echoed by the harness).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} at {}:{}", stringify!($cond), file!(), line!()
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} ({}) at {}:{}",
+                stringify!($cond), format!($($fmt)+), file!(), line!()
+            )));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (l, r) = (&$a, &$b);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} == {} (left: {:?}, right: {:?}) at {}:{}",
+                stringify!($a), stringify!($b), l, r, file!(), line!()
+            )));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$a, &$b);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} == {} (left: {:?}, right: {:?}; {}) at {}:{}",
+                stringify!($a), stringify!($b), l, r, format!($($fmt)+), file!(), line!()
+            )));
+        }
+    }};
+}
+
+/// Uniform choice among strategy arms with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::one_of(vec![$($crate::Strategy::boxed($arm)),+])
+    };
+}
+
+/// Declares property tests: each `#[test] fn name(arg in strategy, ...)`
+/// runs `cases` deterministic random cases.
+#[macro_export]
+macro_rules! proptest {
+    (@cfg ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let cfg: $crate::ProptestConfig = $cfg;
+            for case in 0..cfg.cases {
+                let mut rng = $crate::TestRng::from_name_case(stringify!($name), case);
+                $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)*
+                let outcome: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                if let ::std::result::Result::Err(msg) = outcome {
+                    panic!("proptest '{}' case {}/{} failed: {}", stringify!($name), case, cfg.cases, msg);
+                }
+            }
+        }
+    )*};
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@cfg ($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@cfg ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// The usual glob-import surface.
+pub mod prelude {
+    pub use crate::{
+        bool, collection, one_of, prop_assert, prop_assert_eq, prop_oneof, proptest, BoxedStrategy,
+        Just, ProptestConfig, Strategy, TestCaseError, TestRng,
+    };
+    /// Namespace alias matching real proptest's `prop::` re-export.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
