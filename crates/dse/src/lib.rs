@@ -61,27 +61,33 @@ pub mod search {
     }
 
     /// Amortization counters of one [`explore_with_stats`] run.
+    ///
+    /// The cache counters are deltas of the *process-wide* [`isl_cache`]
+    /// stats taken around the run: when other threads use the isl layer
+    /// concurrently (including another `explore_with_stats`), their hits
+    /// and misses are attributed to this run too. Treat the numbers as
+    /// exact only for single-threaded or otherwise-idle processes.
     #[derive(Debug, Clone, Copy, Default)]
     pub struct ExploreStats {
         /// Candidates that produced a design point.
         pub evaluated: usize,
         /// Candidates rejected (invalid for the op/arch pair).
         pub skipped: usize,
-        /// isl-cache hits accumulated during the run.
+        /// isl-cache hits accumulated during the run (process-wide delta).
         pub cache_hits: u64,
-        /// isl-cache misses accumulated during the run.
+        /// isl-cache misses accumulated during the run (process-wide delta).
         pub cache_misses: u64,
     }
 
     impl ExploreStats {
         /// Fraction of integer-set operations answered from the memo.
         pub fn hit_rate(&self) -> f64 {
-            let total = self.cache_hits + self.cache_misses;
-            if total == 0 {
-                0.0
-            } else {
-                self.cache_hits as f64 / total as f64
+            CacheStats {
+                hits: self.cache_hits,
+                misses: self.cache_misses,
+                ..Default::default()
             }
+            .hit_rate()
         }
     }
 

@@ -395,12 +395,14 @@ impl BasicMap {
         // contradictory: r >= 0 and -r + c >= 0 with c < 0 is empty.
         'outer: for i in 0..keep.len() {
             for j in (i + 1)..keep.len() {
+                // Compare and sum in i128: i64-width coefficients/constants
+                // must not wrap into a spurious (in)feasibility verdict.
                 let opposite = keep[i][..kpos]
                     .iter()
                     .zip(keep[j][..kpos].iter())
-                    .all(|(a, b)| *a == -*b);
+                    .all(|(a, b)| *a as i128 == -(*b as i128));
                 if opposite && keep[i][..kpos].iter().any(|&c| c != 0) {
-                    let c = keep[i][kpos] + keep[j][kpos];
+                    let c = keep[i][kpos] as i128 + keep[j][kpos] as i128;
                     if c < 0 {
                         feasible = false;
                         break 'outer;

@@ -110,7 +110,9 @@ impl Tableau {
                     continue;
                 }
                 let (i, j) = (touching[0], touching[1]);
-                let (a, b) = (self.ineqs[i][col], self.ineqs[j][col]);
+                // All pair arithmetic in i128: i64::MIN coefficients must
+                // not wrap into spurious cancellations or a negative `m`.
+                let (a, b) = (self.ineqs[i][col] as i128, self.ineqs[j][col] as i128);
                 if a != -b {
                     continue;
                 }
@@ -119,7 +121,7 @@ impl Tableau {
                 let (ri, rj) = (&self.ineqs[i], &self.ineqs[j]);
                 let mut cancels = true;
                 for v in 0..n {
-                    if v != col && ri[v].wrapping_add(rj[v]) != 0 {
+                    if v != col && (ri[v] as i128) + (rj[v] as i128) != 0 {
                         cancels = false;
                         break;
                     }
@@ -131,12 +133,10 @@ impl Tableau {
                 if w <= 0 {
                     return Ok(0); // empty window: no q exists anywhere
                 }
-                if w % (m as i128) != 0 {
+                if w % m != 0 {
                     continue; // residue-dependent count: not projectable
                 }
-                factor = factor
-                    .checked_mul((w / m as i128) as u128)
-                    .ok_or(Error::Overflow)?;
+                factor = factor.checked_mul((w / m) as u128).ok_or(Error::Overflow)?;
                 let (hi_idx, lo_idx) = if i > j { (i, j) } else { (j, i) };
                 self.ineqs.swap_remove(hi_idx);
                 self.ineqs.swap_remove(lo_idx);
@@ -315,7 +315,7 @@ impl Tableau {
             for l in &lowers {
                 for u in &uppers {
                     let a = l[v] as i128;
-                    let b = -(u[v]) as i128;
+                    let b = -(u[v] as i128);
                     let mut row = Row::with_capacity(n + 1);
                     let mut ok = true;
                     for (x, y) in l.iter().zip(u.iter()) {
@@ -422,14 +422,15 @@ impl Tableau {
     }
 
     /// Substitutes `var = val`, folding the column into the constant.
-    fn fix(&self, var: usize, val: i64) -> Tableau {
+    /// Fails with [`Error::Overflow`] when the folded constant leaves i64.
+    fn fix(&self, var: usize, val: i64) -> Result<Tableau> {
         let n = self.n;
         let mut t = Tableau {
             n: n - 1,
             eqs: Vec::with_capacity(self.eqs.len()),
             ineqs: Vec::with_capacity(self.ineqs.len()),
         };
-        let conv = |r: &Row| -> Row {
+        let conv = |r: &Row| -> Result<Row> {
             let mut out = Row::with_capacity(n);
             for (i, &c) in r.iter().enumerate() {
                 if i == var {
@@ -438,42 +439,56 @@ impl Tableau {
                 out.push(c);
             }
             let k = out.len() - 1;
-            out[k] += r[var] * val;
-            out
+            let folded = (out[k] as i128) + (r[var] as i128) * (val as i128);
+            out[k] = i64::try_from(folded).map_err(|_| Error::Overflow)?;
+            Ok(out)
         };
-        t.eqs.extend(self.eqs.iter().map(conv));
-        t.ineqs.extend(self.ineqs.iter().map(conv));
-        t
+        for r in &self.eqs {
+            t.eqs.push(conv(r)?);
+        }
+        for r in &self.ineqs {
+            t.ineqs.push(conv(r)?);
+        }
+        Ok(t)
     }
 }
 
 /// `Σ_{x=0}^{n-1} floor((a·x + b) / m)` in `O(log)` time (the classical
 /// Euclidean floor-sum recurrence), exact over `i128`. Requires `m > 0`;
-/// `a` and `b` may be negative.
-fn floor_sum(n: i128, m: i128, mut a: i128, mut b: i128) -> i128 {
+/// `a` and `b` may be negative. Returns `None` when an intermediate
+/// product exceeds `i128` (the caller maps this to [`Error::Overflow`]).
+fn floor_sum(n: i128, m: i128, mut a: i128, mut b: i128) -> Option<i128> {
     debug_assert!(n >= 0 && m > 0);
+    let tri = |n: i128| -> Option<i128> {
+        // n*(n-1)/2 without overflowing the intermediate product.
+        if n % 2 == 0 {
+            (n / 2).checked_mul(n - 1)
+        } else {
+            n.checked_mul((n - 1) / 2)
+        }
+    };
     let mut ans: i128 = 0;
     if a < 0 {
         let a2 = a.rem_euclid(m);
-        ans -= n * (n - 1) / 2 * ((a2 - a) / m);
+        ans = ans.checked_sub(tri(n)?.checked_mul((a2 - a) / m)?)?;
         a = a2;
     }
     if b < 0 {
         let b2 = b.rem_euclid(m);
-        ans -= n * ((b2 - b) / m);
+        ans = ans.checked_sub(n.checked_mul((b2 - b) / m)?)?;
         b = b2;
     }
     let (mut n, mut m, mut a, mut b) = (n, m, a, b);
     loop {
         if a >= m {
-            ans += n * (n - 1) / 2 * (a / m);
+            ans = ans.checked_add(tri(n)?.checked_mul(a / m)?)?;
             a %= m;
         }
         if b >= m {
-            ans += n * (b / m);
+            ans = ans.checked_add(n.checked_mul(b / m)?)?;
             b %= m;
         }
-        let y_max = a * n + b;
+        let y_max = a.checked_mul(n)?.checked_add(b)?;
         if y_max < m {
             break;
         }
@@ -482,17 +497,20 @@ fn floor_sum(n: i128, m: i128, mut a: i128, mut b: i128) -> i128 {
         b = y_max % m;
         std::mem::swap(&mut m, &mut a);
     }
-    ans
+    Some(ans)
 }
 
 /// Per-variable `(lo, hi)` interval bounds, read off single-variable rows.
-type VarBounds = Vec<(Option<i64>, Option<i64>)>;
+/// Held as i128 so bounds derived from i64-extreme rows (e.g. `x >= 2^63`
+/// after negating an `i64::MIN` constant) stay exact; each stored bound has
+/// magnitude at most `2^63`, so interval widths fit comfortably.
+type VarBounds = Vec<(Option<i128>, Option<i128>)>;
 
 /// Per-variable interval bounds read off single-variable rows only.
 /// Returns `(lo, hi)` options and the indices of rows touching 2+ vars.
 fn scan_rows(t: &Tableau) -> Option<(VarBounds, Vec<usize>)> {
     let n = t.n;
-    let mut bounds: Vec<(Option<i64>, Option<i64>)> = vec![(None, None); n];
+    let mut bounds: VarBounds = vec![(None, None); n];
     let mut wide: Vec<usize> = Vec::new();
     for (idx, r) in t.ineqs.iter().enumerate() {
         let rs = r.as_slice();
@@ -509,12 +527,12 @@ fn scan_rows(t: &Tableau) -> Option<(VarBounds, Vec<usize>)> {
             }
         }
         if multi {
+            // Always finish the scan: truncating here would hand the caller
+            // an incomplete `bounds`/`wide` picture and silently drop
+            // constraints from the slab analysis. Parallel-direction
+            // checking in `count_fast` rejects unsuitable systems cheaply
+            // regardless of how many wide rows there are.
             wide.push(idx);
-            if wide.len() > 6 {
-                // Too many genuinely multi-variable rows: the fast paths
-                // below do not apply; bail out early.
-                return Some((bounds, wide));
-            }
             continue;
         }
         if var == usize::MAX {
@@ -524,16 +542,16 @@ fn scan_rows(t: &Tableau) -> Option<(VarBounds, Vec<usize>)> {
             }
             continue;
         }
-        let a = rs[var];
-        let c = rs[n];
+        let a = rs[var] as i128;
+        let c = rs[n] as i128;
         if a > 0 {
-            let b = ceil_div(-c, a);
+            let b = cd128(-c, a);
             let cur = &mut bounds[var].0;
             if cur.is_none_or(|v| b > v) {
                 *cur = Some(b);
             }
         } else {
-            let b = floor_div(-c, a);
+            let b = fd128(-c, a);
             let cur = &mut bounds[var].1;
             if cur.is_none_or(|v| b < v) {
                 *cur = Some(b);
@@ -546,7 +564,7 @@ fn scan_rows(t: &Tableau) -> Option<(VarBounds, Vec<usize>)> {
 /// Counts an axis-aligned box given per-variable bounds. `limit` (the
 /// emptiness-probe mode) makes one-sided/free variables saturate instead
 /// of erroring, mirroring [`count_single`].
-fn count_box(bounds: &[(Option<i64>, Option<i64>)], limit: Option<u128>) -> Result<u128> {
+fn count_box(bounds: &[(Option<i128>, Option<i128>)], limit: Option<u128>) -> Result<u128> {
     let mut prod: u128 = 1;
     for &(lo, hi) in bounds {
         let w = match (lo, hi) {
@@ -554,7 +572,7 @@ fn count_box(bounds: &[(Option<i64>, Option<i64>)], limit: Option<u128>) -> Resu
                 if h < l {
                     return Ok(0);
                 }
-                (h as i128 - l as i128 + 1) as u128
+                (h - l + 1) as u128
             }
             _ => match limit {
                 Some(l) => l.max(1),
@@ -577,12 +595,12 @@ const HALFSPACE_ENUM_LIMIT: u128 = 2_000_000;
 /// factor of untouched variables is applied by the caller. Dimensions
 /// beyond the last two are enumerated (cheap offset arithmetic only); the
 /// final two collapse to a closed form built on [`floor_sum`].
-fn count_halfspace_rec(vars: &[(i64, i64, i64)], c: i128) -> Result<u128> {
+fn count_halfspace_rec(vars: &[(i128, i128, i64)], c: i128) -> Result<u128> {
     match vars {
         [] => Ok((c >= 0) as u128),
         [(lo, hi, a)] => {
             // a·x + c >= 0 over [lo, hi].
-            let (mut lo, mut hi) = (*lo as i128, *hi as i128);
+            let (mut lo, mut hi) = (*lo, *hi);
             let a = *a as i128;
             if a > 0 {
                 lo = lo.max(cd128(-c, a));
@@ -593,8 +611,8 @@ fn count_halfspace_rec(vars: &[(i64, i64, i64)], c: i128) -> Result<u128> {
         }
         [(x0, x1, xa), (y0, y1, ya)] => {
             // Normalize both coefficients positive by mirroring axes.
-            let (mut x0, mut x1, mut a) = (*x0 as i128, *x1 as i128, *xa as i128);
-            let (mut y0, mut y1, mut b) = (*y0 as i128, *y1 as i128, *ya as i128);
+            let (mut x0, mut x1, mut a) = (*x0, *x1, *xa as i128);
+            let (mut y0, mut y1, mut b) = (*y0, *y1, *ya as i128);
             if a < 0 {
                 (x0, x1, a) = (-x1, -x0, -a);
             }
@@ -607,8 +625,14 @@ fn count_halfspace_rec(vars: &[(i64, i64, i64)], c: i128) -> Result<u128> {
             }
             // cnt(x) = clamp(y1 + 1 + floor((a x + c)/b), 0, w), increasing
             // in x. s0: first x with cnt > 0; s1: first x with cnt = w.
-            let s0 = cd128(-y1 * b - c, a);
-            let s1 = cd128(-y0 * b - c, a);
+            let thresh = |y: i128| -> Result<i128> {
+                y.checked_mul(b)
+                    .and_then(|v| v.checked_neg())
+                    .and_then(|v| v.checked_sub(c))
+                    .ok_or(Error::Overflow)
+            };
+            let s0 = cd128(thresh(y1)?, a);
+            let s1 = cd128(thresh(y0)?, a);
             let full_from = s1.max(x0);
             let full = (x1 - full_from + 1).max(0) as u128;
             let mid_lo = s0.max(x0);
@@ -616,8 +640,15 @@ fn count_halfspace_rec(vars: &[(i64, i64, i64)], c: i128) -> Result<u128> {
             let mut total = full.checked_mul(w as u128).ok_or(Error::Overflow)?;
             if mid_lo <= mid_hi {
                 let n = mid_hi - mid_lo + 1;
-                let sum_f = floor_sum(n, b, a, a * mid_lo + c);
-                let mid = (y1 + 1) * n + sum_f;
+                let off = a
+                    .checked_mul(mid_lo)
+                    .and_then(|v| v.checked_add(c))
+                    .ok_or(Error::Overflow)?;
+                let sum_f = floor_sum(n, b, a, off).ok_or(Error::Overflow)?;
+                let mid = (y1 + 1)
+                    .checked_mul(n)
+                    .and_then(|v| v.checked_add(sum_f))
+                    .ok_or(Error::Overflow)?;
                 debug_assert!(mid >= 0);
                 total = total.checked_add(mid as u128).ok_or(Error::Overflow)?;
             }
@@ -630,8 +661,12 @@ fn count_halfspace_rec(vars: &[(i64, i64, i64)], c: i128) -> Result<u128> {
             let (lo, hi, a) = (last.0, last.1, last.2 as i128);
             let mut total: u128 = 0;
             for v in lo..=hi {
+                let off = a
+                    .checked_mul(v)
+                    .and_then(|x| x.checked_add(c))
+                    .ok_or(Error::Overflow)?;
                 total = total
-                    .checked_add(count_halfspace_rec(head, c + a * v as i128)?)
+                    .checked_add(count_halfspace_rec(head, off)?)
                     .ok_or(Error::Overflow)?;
             }
             Ok(total)
@@ -724,21 +759,7 @@ fn subsystem(t: &Tableau, vars: &[usize]) -> Tableau {
         }
     };
     sub.ineqs.extend(t.ineqs.iter().filter_map(conv));
-    let conv2 = |r: &Row| -> Option<Row> {
-        let mut out = Row::zeros(vars.len() + 1);
-        for (new_i, &old_i) in vars.iter().enumerate() {
-            out[new_i] = r[old_i];
-        }
-        out[vars.len()] = r[t.n];
-        let touches = (0..t.n).any(|j| r[j] != 0 && vars.contains(&j));
-        let outside = (0..t.n).any(|j| r[j] != 0 && !vars.contains(&j));
-        if touches && !outside {
-            Some(out)
-        } else {
-            None
-        }
-    };
-    sub.eqs.extend(t.eqs.iter().filter_map(conv2));
+    sub.eqs.extend(t.eqs.iter().filter_map(conv));
     sub
 }
 
@@ -747,38 +768,45 @@ fn subsystem(t: &Tableau, vars: &[usize]) -> Tableau {
 /// checks), so unbounded-but-satisfiable intervals saturate to the limit.
 fn count_single(t: &Tableau, limit: Option<u128>) -> Result<u128> {
     debug_assert_eq!(t.n, 1);
-    let mut lo = i64::MIN;
-    let mut hi = i64::MAX;
+    // Bounds in i128 (no sentinels): negating an i64::MIN constant is
+    // representable, and an absent side stays distinguishable from a row
+    // that genuinely pins the extreme value.
+    let mut lo: Option<i128> = None;
+    let mut hi: Option<i128> = None;
     for r in &t.ineqs {
-        let a = r[0];
-        let c = r[1];
+        let a = r[0] as i128;
+        let c = r[1] as i128;
         if a > 0 {
-            lo = lo.max(ceil_div(-c, a));
+            let b = cd128(-c, a);
+            if lo.is_none_or(|v| b > v) {
+                lo = Some(b);
+            }
         } else if a < 0 {
-            hi = hi.min(floor_div(-c, a));
+            let b = fd128(-c, a);
+            if hi.is_none_or(|v| b < v) {
+                hi = Some(b);
+            }
         } else if c < 0 {
             return Ok(0);
         }
     }
-    if hi < lo {
-        return Ok(0);
-    }
-    if lo == i64::MIN || hi == i64::MAX {
-        return match limit {
+    match (lo, hi) {
+        (Some(l), Some(h)) => Ok(if h < l { 0 } else { (h - l + 1) as u128 }),
+        _ => match limit {
             Some(l) => Ok(l.max(1)),
             None => Err(Error::Unbounded("cannot count a one-sided interval".into())),
-        };
+        },
     }
-    Ok((hi - lo + 1) as u128)
 }
 
 /// Arithmetic-series closed form for a two-variable component where the
 /// second variable has exactly one unit-coefficient lower and upper bound.
-/// Returns `None` when the structure does not match.
-fn count_pair_series(t: &Tableau, ranges: &[(Option<i64>, Option<i64>)]) -> Option<u128> {
+/// Returns `Ok(None)` when the structure does not match and
+/// [`Error::Overflow`] when the series total exceeds the exact range.
+fn count_pair_series(t: &Tableau, ranges: &[(Option<i64>, Option<i64>)]) -> Result<Option<u128>> {
     debug_assert_eq!(t.n, 2);
     if !t.eqs.is_empty() {
-        return None;
+        return Ok(None);
     }
     // Choose y = variable 1 (arbitrary; try both orders).
     for (x, y) in [(0usize, 1usize), (1usize, 0usize)] {
@@ -808,31 +836,34 @@ fn count_pair_series(t: &Tableau, ranges: &[(Option<i64>, Option<i64>)]) -> Opti
         // y >= -(b x + c_l); y <= u x + c_u.
         let l = lowers[0];
         let u = uppers[0];
-        // Tighten the x range with x-only rows.
-        let (mut xlo, mut xhi) = (xlo, xhi);
+        // Tighten the x range with x-only rows (i128: `-c` must not wrap).
+        let (mut xlo, mut xhi) = (xlo as i128, xhi as i128);
         for r in &x_rows {
-            let a = r[x];
-            let c = r[2];
+            let a = r[x] as i128;
+            let c = r[2] as i128;
             if a > 0 {
-                xlo = xlo.max(ceil_div(-c, a));
+                xlo = xlo.max(cd128(-c, a));
             } else if a < 0 {
-                xhi = xhi.min(floor_div(-c, a));
+                xhi = xhi.min(fd128(-c, a));
             } else if c < 0 {
-                return Some(0);
+                return Ok(Some(0));
             }
         }
         if xhi < xlo {
-            return Some(0);
+            return Ok(Some(0));
         }
         // len(x) = (u[x] + l[x]) x + (u[2] + l[2] + 1)
         let a = (u[x] as i128) + (l[x] as i128);
         let b = (u[2] as i128) + (l[2] as i128) + 1;
-        let (mut s, mut e) = (xlo as i128, xhi as i128);
+        let (mut s, mut e) = (xlo, xhi);
         if a == 0 {
             if b <= 0 {
-                return Some(0);
+                return Ok(Some(0));
             }
-            return Some((b as u128) * ((e - s + 1) as u128));
+            let total = (b as u128)
+                .checked_mul((e - s + 1) as u128)
+                .ok_or(Error::Overflow)?;
+            return Ok(Some(total));
         }
         // Solve a*x + b >= 1 over [s, e].
         if a > 0 {
@@ -841,15 +872,25 @@ fn count_pair_series(t: &Tableau, ranges: &[(Option<i64>, Option<i64>)]) -> Opti
             e = e.min(fd128(1 - b, a));
         }
         if e < s {
-            return Some(0);
+            return Ok(Some(0));
         }
-        // Sum of (a*x + b) for x in [s, e]: arithmetic series.
+        // Sum of (a*x + b) for x in [s, e]: arithmetic series, with every
+        // product checked — ranges near i64 width overflow i128 here and
+        // must surface as Error::Overflow, not wrap.
         let cnt = e - s + 1;
-        let total = a * (s + e) * cnt / 2 + b * cnt;
+        let series = a
+            .checked_mul(s.checked_add(e).ok_or(Error::Overflow)?)
+            .and_then(|v| v.checked_mul(cnt))
+            .ok_or(Error::Overflow)?
+            / 2;
+        let total = b
+            .checked_mul(cnt)
+            .and_then(|v| v.checked_add(series))
+            .ok_or(Error::Overflow)?;
         debug_assert!(total >= 0);
-        return Some(total as u128);
+        return Ok(Some(total as u128));
     }
-    None
+    Ok(None)
 }
 
 /// Closed-form dispatch: returns `Some(count)` when the (normalized,
@@ -885,7 +926,11 @@ fn count_fast(t: &Tableau, limit: Option<u128>, work: &mut u64) -> Result<Option
             if slab_lo.is_none_or(|cur| b > cur) {
                 slab_lo = Some(b);
             }
-        } else if r[..n].iter().zip(dir.iter()).all(|(a, d)| *a == -*d) {
+        } else if r[..n]
+            .iter()
+            .zip(dir.iter())
+            .all(|(a, d)| *a as i128 == -(*d as i128))
+        {
             // -dir·x + c >= 0  =>  e <= c.
             let b = r[n] as i128;
             if slab_hi.is_none_or(|cur| b < cur) {
@@ -915,9 +960,9 @@ fn count_fast(t: &Tableau, limit: Option<u128>, work: &mut u64) -> Result<Option
                         continue;
                     }
                     let term = if r[i] > 0 {
-                        bounds[i].1.map(|h| r[i] as i128 * h as i128)
+                        bounds[i].1.map(|h| r[i] as i128 * h)
                     } else {
-                        bounds[i].0.map(|l| r[i] as i128 * l as i128)
+                        bounds[i].0.map(|l| r[i] as i128 * l)
                     };
                     match term {
                         Some(x) => rest_max += x,
@@ -931,27 +976,26 @@ fn count_fast(t: &Tableau, limit: Option<u128>, work: &mut u64) -> Result<Option
                     continue;
                 }
                 // The row implies av·x_v >= -rest_max for feasible points.
+                // Derived bounds are optional tightenings, so only adopt
+                // ones inside the i64 envelope — keeping the invariant that
+                // every stored bound has magnitude <= 2^63.
                 if av > 0 {
                     let b = cd128(-rest_max, av as i128);
-                    if let Ok(b) = i64::try_from(b) {
-                        if bounds[v].0.is_none_or(|cur| b > cur) {
-                            bounds[v].0 = Some(b);
-                        }
+                    if i64::try_from(b).is_ok() && bounds[v].0.is_none_or(|cur| b > cur) {
+                        bounds[v].0 = Some(b);
                     }
                 } else {
                     let b = fd128(-rest_max, av as i128);
-                    if let Ok(b) = i64::try_from(b) {
-                        if bounds[v].1.is_none_or(|cur| b < cur) {
-                            bounds[v].1 = Some(b);
-                        }
+                    if i64::try_from(b).is_ok() && bounds[v].1.is_none_or(|cur| b < cur) {
+                        bounds[v].1 = Some(b);
                     }
                 }
             }
         }
     }
     // Split variables into slab participants and pure box factors.
-    let mut hs: Vec<(i64, i64, i64)> = Vec::new();
-    let mut box_bounds: Vec<(Option<i64>, Option<i64>)> = Vec::new();
+    let mut hs: Vec<(i128, i128, i64)> = Vec::new();
+    let mut box_bounds: Vec<(Option<i128>, Option<i128>)> = Vec::new();
     let mut e_min: i128 = 0;
     let mut e_max: i128 = 0;
     for v in 0..n {
@@ -964,15 +1008,20 @@ fn count_fast(t: &Tableau, limit: Option<u128>, work: &mut u64) -> Result<Option
                 if h < l {
                     return Ok(Some(0));
                 }
-                hs.push((l, h, dir[v]));
-                let (a, l, h) = (dir[v] as i128, l as i128, h as i128);
-                if a > 0 {
-                    e_min += a * l;
-                    e_max += a * h;
-                } else {
-                    e_min += a * h;
-                    e_max += a * l;
+                if dir[v] == i64::MIN {
+                    return Ok(None); // coefficient not negatable below
                 }
+                hs.push((l, h, dir[v]));
+                let a = dir[v] as i128;
+                let (tmin, tmax) = if a > 0 { (l, h) } else { (h, l) };
+                e_min = a
+                    .checked_mul(tmin)
+                    .and_then(|t| e_min.checked_add(t))
+                    .ok_or(Error::Overflow)?;
+                e_max = a
+                    .checked_mul(tmax)
+                    .and_then(|t| e_max.checked_add(t))
+                    .ok_or(Error::Overflow)?;
             }
             _ => return Ok(None), // slab variable not boxed: fall back
         }
@@ -1018,7 +1067,7 @@ fn count_fast(t: &Tableau, limit: Option<u128>, work: &mut u64) -> Result<Option
     }
     // F(T) = #{x in the sub-box : e(x) <= T}, via the negated halfspace
     // -e + T >= 0; the slab count is the telescoping difference.
-    let neg: Vec<(i64, i64, i64)> = hs.iter().map(|&(l, h, a)| (l, h, -a)).collect();
+    let neg: Vec<(i128, i128, i64)> = hs.iter().map(|&(l, h, a)| (l, h, -a)).collect();
     let upper = count_halfspace_rec(&neg, hi)?;
     let lower = if lo > e_min {
         count_halfspace_rec(&neg, lo - 1)?
@@ -1112,31 +1161,33 @@ fn count_rec(mut t: Tableau, limit: Option<u128>, work: &mut u64) -> Result<u128
         }
     }
     if t.n == 2 {
-        if let Some(c) = count_pair_series(&t, &ranges) {
+        if let Some(c) = count_pair_series(&t, &ranges)? {
             return Ok(c);
         }
     }
-    // Enumerate the variable with the smallest finite range.
+    // Enumerate the variable with the smallest finite range. Widths are
+    // compared in i128: bounds near the i64 limits would overflow an i64
+    // subtraction and wrap past the ENUM_LIMIT guard.
     let mut best: Option<(usize, i64, i64)> = None;
     for (j, (l, h)) in ranges.iter().enumerate() {
         if let (Some(l), Some(h)) = (l, h) {
-            let width = h - l;
-            if best.is_none_or(|(_, bl, bh)| width < bh - bl) {
+            let width = *h as i128 - *l as i128;
+            if best.is_none_or(|(_, bl, bh)| width < bh as i128 - bl as i128) {
                 best = Some((j, *l, *h));
             }
         }
     }
     let (var, lo, hi) = best
         .ok_or_else(|| Error::Unbounded("cannot count: no variable has a finite range".into()))?;
-    if hi - lo >= ENUM_LIMIT {
+    if hi as i128 - lo as i128 >= ENUM_LIMIT as i128 {
         return Err(Error::TooComplex(format!(
             "enumeration range too large ({} values)",
-            (hi - lo) as i128 + 1
+            hi as i128 - lo as i128 + 1
         )));
     }
     let mut total: u128 = 0;
     for v in lo..=hi {
-        let sub = t.fix(var, v);
+        let sub = t.fix(var, v)?;
         total = total
             .checked_add(count_rec(
                 sub,
@@ -1421,6 +1472,195 @@ mod tests {
         assert_eq!(pts.len(), 6);
         assert!(pts.contains(&vec![0, 1]));
         assert!(pts.contains(&vec![2, 2]));
+    }
+
+    #[test]
+    fn count_many_parallel_rows_then_steeper() {
+        // Regression: scan_rows used to stop scanning after collecting 7
+        // multi-variable rows, so a steeper row sorted after redundant
+        // parallel ones was silently dropped and the slab fast path
+        // returned the full box count. 0 <= x,y <= 9 with x+y >= -k for
+        // k = 1..7 (all redundant) plus x + 2y >= 3 has 96 points, not 100.
+        let mut bm = boxed(&[(0, 9), (0, 9)]);
+        let k = bm.konst();
+        for c in 1..=7 {
+            let mut r = bm.zero_row();
+            r[0] = 1;
+            r[1] = 1;
+            r[k] = c;
+            bm.add_ineq(r);
+        }
+        let mut r = bm.zero_row();
+        r[0] = 1;
+        r[1] = 2;
+        r[k] = -3;
+        bm.add_ineq(r);
+        assert_eq!(count_basic_limited(&bm, None).unwrap(), 96);
+    }
+
+    #[test]
+    fn count_many_parallel_rows_slab() {
+        // 8+ parallel wide rows where the slab form genuinely applies:
+        // the tightest pair wins and the fast path stays exact.
+        // 0 <= x,y <= 9 with 1 <= x + y <= 5 (stated redundantly).
+        let mut bm = boxed(&[(0, 9), (0, 9)]);
+        let k = bm.konst();
+        for c in [-1i64, -1, -1, -1, -1] {
+            let mut r = bm.zero_row();
+            r[0] = 1;
+            r[1] = 1;
+            r[k] = c;
+            bm.add_ineq(r);
+        }
+        for c in [5i64, 6, 7, 8] {
+            let mut r = bm.zero_row();
+            r[0] = -1;
+            r[1] = -1;
+            r[k] = c;
+            bm.add_ineq(r);
+        }
+        // #{0<=x,y<=9 : 1 <= x+y <= 5} = Σ_{s=1}^{5} (s+1) = 20.
+        assert_eq!(count_basic_limited(&bm, None).unwrap(), 20);
+    }
+
+    #[test]
+    fn pair_series_overflow_is_reported() {
+        // y in [0, M*x] for x in [0, H] with huge M: the arithmetic-series
+        // total exceeds i128 and must surface as Error::Overflow rather
+        // than wrapping to a bogus count.
+        let m = 1i64 << 62;
+        let h = i64::MAX / 2;
+        let row = |a: i64, b: i64, c: i64| {
+            let mut r = Row::zeros(3);
+            r[0] = a;
+            r[1] = b;
+            r[2] = c;
+            r
+        };
+        let t = Tableau {
+            n: 2,
+            eqs: Vec::new(),
+            ineqs: vec![row(1, 0, 0), row(-1, 0, h), row(0, 1, 0), row(m, -1, 0)],
+        };
+        let ranges = vec![(Some(0), Some(h)), (Some(0), None)];
+        assert!(matches!(
+            count_pair_series(&t, &ranges),
+            Err(Error::Overflow)
+        ));
+    }
+
+    #[test]
+    fn floor_sum_checked() {
+        // Σ_{x=0}^{4} floor((2x+1)/3) = 0+1+1+2+3 = 7.
+        assert_eq!(floor_sum(5, 3, 2, 1), Some(7));
+        // Negative a/b normalization stays exact.
+        assert_eq!(
+            floor_sum(4, 3, -2, -1),
+            Some((0..4).map(|x: i128| (-2 * x - 1).div_euclid(3)).sum())
+        );
+        // Quadratic blow-up past i128 reports overflow instead of wrapping.
+        assert_eq!(
+            floor_sum(i128::from(i64::MAX), 1, i64::MAX as i128, 0),
+            None
+        );
+    }
+
+    #[test]
+    fn functional_window_min_coeff_does_not_cancel() {
+        // ri[v] = rj[v] = i64::MIN wrap-adds to 0; the window test must
+        // compare in i128 or the pair is dropped as a functional window
+        // and the count comes back 80 instead of 8.
+        let row = |a: i64, b: i64, c: i64| {
+            let mut r = Row::zeros(3);
+            r[0] = a;
+            r[1] = b;
+            r[2] = c;
+            r
+        };
+        let t = Tableau {
+            n: 2,
+            eqs: Vec::new(),
+            ineqs: vec![
+                row(1, 0, 0),         // x >= 0
+                row(-1, 0, 9),        // x <= 9
+                row(i64::MIN, 1, 0),  // MIN·x + q >= 0
+                row(i64::MIN, -1, 7), // MIN·x - q + 7 >= 0
+            ],
+        };
+        // Only x = 0 admits any q (0 <= q <= 7): 8 points.
+        assert_eq!(count_tableau(t, None).unwrap(), 8);
+    }
+
+    #[test]
+    fn enumeration_width_guard_survives_extreme_bounds() {
+        // Bounds spanning more than i64::MAX must trip the enumeration
+        // guard (TooComplex), not wrap the i64 width computation.
+        let row = |a: i64, b: i64, c: i64| {
+            let mut r = Row::zeros(3);
+            r[0] = a;
+            r[1] = b;
+            r[2] = c;
+            r
+        };
+        let h = i64::MAX - 1;
+        let t = Tableau {
+            n: 2,
+            eqs: Vec::new(),
+            ineqs: vec![
+                row(1, 0, h),   // x >= -(MAX-1)
+                row(-1, 0, h),  // x <= MAX-1
+                row(0, 1, h),   // y >= -(MAX-1)
+                row(0, -1, h),  // y <= MAX-1
+                row(1, 1, 0),   // x + y >= 0
+                row(-1, -2, 9), // x + 2y <= 9
+            ],
+        };
+        assert!(matches!(
+            count_tableau(t, None),
+            Err(Error::TooComplex(_) | Error::Overflow)
+        ));
+    }
+
+    #[test]
+    fn min_constant_rows_count_exactly() {
+        // A row constant of i64::MIN means `x >= 2^63`; negating it must
+        // widen to i128, not wrap back to i64::MIN and admit the full box.
+        let row1 = |a: i64, c: i64| {
+            let mut r = Row::zeros(2);
+            r[0] = a;
+            r[1] = c;
+            r
+        };
+        // Single variable (count_single): x >= 2^63 and x <= 9 is empty.
+        // The third row keeps the pair out of the functional-window drop.
+        let t = Tableau {
+            n: 1,
+            eqs: Vec::new(),
+            ineqs: vec![row1(1, i64::MIN), row1(2, i64::MIN), row1(-1, 9)],
+        };
+        assert_eq!(count_tableau(t, None).unwrap(), 0);
+        // Box path (scan_rows): same contradiction on x, y boxed; three
+        // rows per variable again defeat the window shortcut.
+        let row2 = |a: i64, b: i64, c: i64| {
+            let mut r = Row::zeros(3);
+            r[0] = a;
+            r[1] = b;
+            r[2] = c;
+            r
+        };
+        let t = Tableau {
+            n: 2,
+            eqs: Vec::new(),
+            ineqs: vec![
+                row2(1, 0, i64::MIN), // x >= 2^63
+                row2(2, 0, i64::MIN), // x >= 2^62 (redundant)
+                row2(-1, 0, 9),       // x <= 9
+                row2(0, 1, 0),        // y >= 0
+                row2(0, 1, 1),        // y >= -1 (redundant)
+                row2(0, -1, 4),       // y <= 4
+            ],
+        };
+        assert_eq!(count_tableau(t, None).unwrap(), 0);
     }
 
     #[test]

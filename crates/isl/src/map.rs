@@ -245,12 +245,25 @@ impl Map {
         Ok(m.coalesce())
     }
 
+    /// Packs the project-op memo key: bit 0 distinguishes the in/out
+    /// variants, `first` occupies bits 1..32 and `n` bits 32..63. Returns
+    /// `None` when the arguments would not fit the layout — callers skip
+    /// the cache then, instead of risking a key collision.
+    fn pack_project_extra(out_dims: bool, first: usize, n: usize) -> Option<i64> {
+        if first >= (1 << 31) || n >= (1 << 31) {
+            return None;
+        }
+        Some((out_dims as i64) | ((first as i64) << 1) | ((n as i64) << 32))
+    }
+
     /// Projects away output dimensions `[first, first + n)`.
     pub fn project_out_out(&self, first: usize, n: usize) -> Result<Map> {
-        let extra = 1 | ((first as i64) << 1) | ((n as i64) << 32);
-        cache::memo_map(OpKind::Project, self, None, extra, || {
-            self.project_out_out_uncached(first, n)
-        })
+        match Self::pack_project_extra(true, first, n) {
+            Some(extra) => cache::memo_map(OpKind::Project, self, None, extra, || {
+                self.project_out_out_uncached(first, n)
+            }),
+            None => self.project_out_out_uncached(first, n),
+        }
     }
 
     fn project_out_out_uncached(&self, first: usize, n: usize) -> Result<Map> {
@@ -271,10 +284,12 @@ impl Map {
 
     /// Projects away input dimensions `[first, first + n)`.
     pub fn project_out_in(&self, first: usize, n: usize) -> Result<Map> {
-        let extra = ((first as i64) << 1) | ((n as i64) << 32);
-        cache::memo_map(OpKind::Project, self, None, extra, || {
-            self.project_out_in_uncached(first, n)
-        })
+        match Self::pack_project_extra(false, first, n) {
+            Some(extra) => cache::memo_map(OpKind::Project, self, None, extra, || {
+                self.project_out_in_uncached(first, n)
+            }),
+            None => self.project_out_in_uncached(first, n),
+        }
     }
 
     fn project_out_in_uncached(&self, first: usize, n: usize) -> Result<Map> {

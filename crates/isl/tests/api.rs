@@ -161,3 +161,13 @@ fn display_is_parseable_for_maps() {
     let re = Map::parse(&m.to_string()).unwrap();
     assert!(m.is_equal(&re).unwrap());
 }
+
+#[test]
+fn wide_symmetric_bounds_not_empty() {
+    // Regression: simplify()'s opposite-pair contradiction check summed the
+    // two constants in i64, wrapping 2^62 + 2^62 negative and reporting
+    // this obviously inhabited set as empty in release builds.
+    let s = Set::parse("{ A[x] : -4611686018427387904 <= x <= 4611686018427387904 }").unwrap();
+    assert!(!s.is_empty().unwrap());
+    assert_eq!(s.card().unwrap(), (1u128 << 63) + 1);
+}
