@@ -1,0 +1,433 @@
+//! `servload` — closed-loop load generator for the analysis service.
+//!
+//! N client threads each hold one keep-alive connection and drive a
+//! fixed request mix (several `analyze` variants, a `dse` sweep, and
+//! periodic `stats` probes) as fast as the server answers. Latency is
+//! recorded per request; dedup effectiveness comes from the server's own
+//! `/v1/stats` deltas. Results are written as `BENCH_server.json` at the
+//! repo root — a committed artifact tracked across PRs, like the other
+//! `BENCH_*.json` files.
+//!
+//! Modes:
+//!
+//! * **Self-hosted** (no target argument): spins up an in-process
+//!   `tenet_server::Server` on an ephemeral port, loads it, then drains
+//!   it — the reproducible configuration the committed artifact uses.
+//! * **External** (`servload http://127.0.0.1:8091 ...`): targets an
+//!   already-running `tenet serve`, e.g. the CI smoke step.
+//!
+//! `--smoke` asserts zero 5xx responses and a nonzero success count,
+//! exiting nonzero otherwise (and skips the artifact unless `--out` is
+//! given).
+
+use std::io::Write as _;
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+use tenet_core::json::Json;
+use tenet_server::http::ResponseReader;
+use tenet_server::{Server, ServerConfig};
+
+/// The gemm problem text the analyze variants are built from.
+fn gemm_problem(n: usize, bandwidth: usize) -> String {
+    format!(
+        "for (i = 0; i < {n}; i++)\n\
+         \x20 for (j = 0; j < {n}; j++)\n\
+         \x20   for (k = 0; k < {n}; k++)\n\
+         \x20     S: Y[i][j] += A[i][k] * B[k][j];\n\n\
+         {{ S[i,j,k] -> (PE[i,j] | T[i + j + k]) }}\n\n\
+         arch \"{n}x{n}\" {{ array = [{n}, {n}] interconnect = systolic2d bandwidth = {bandwidth} }}\n"
+    )
+}
+
+/// One request of the mix: method, path, body.
+#[derive(Clone)]
+struct Shot {
+    method: &'static str,
+    path: &'static str,
+    body: String,
+}
+
+/// The committed mixed workload: six analyze variants over three problem
+/// shapes × two reuse windows, plus one dse sweep. Stats probes are
+/// injected separately by the client loop.
+fn workload() -> Vec<Shot> {
+    let mut shots = Vec::new();
+    for (n, bw) in [(4usize, 8usize), (6, 12), (8, 16)] {
+        for window in [1u64, 2] {
+            shots.push(Shot {
+                method: "POST",
+                path: "/v1/analyze",
+                body: Json::obj([
+                    ("problem", Json::from(gemm_problem(n, bw))),
+                    ("window", Json::from(window)),
+                ])
+                .to_string(),
+            });
+        }
+    }
+    shots.push(Shot {
+        method: "POST",
+        path: "/v1/dse",
+        body: Json::obj([
+            ("problem", Json::from(gemm_problem(4, 8))),
+            ("pe", Json::from(4u64)),
+            ("top", Json::from(3u64)),
+            ("threads", Json::from(2u64)),
+        ])
+        .to_string(),
+    });
+    shots
+}
+
+struct Cli {
+    target: Option<String>,
+    threads: usize,
+    requests: usize,
+    out: Option<String>,
+    smoke: bool,
+}
+
+fn parse_cli() -> Result<Cli, String> {
+    let mut cli = Cli {
+        target: None,
+        threads: 4,
+        requests: 250,
+        out: None,
+        smoke: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--threads" => {
+                cli.threads = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .ok_or("--threads needs a positive integer")?
+            }
+            "--requests" => {
+                cli.requests = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .ok_or("--requests needs a positive integer")?
+            }
+            "--out" => cli.out = Some(args.next().ok_or("--out needs a path")?),
+            "--smoke" => cli.smoke = true,
+            other if !other.starts_with("--") && cli.target.is_none() => {
+                cli.target = Some(other.to_string())
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(cli)
+}
+
+/// Normalizes `http://host:port/` or `host:port` to `host:port`.
+fn normalize_addr(target: &str) -> String {
+    target
+        .trim_start_matches("http://")
+        .trim_end_matches('/')
+        .to_string()
+}
+
+/// Sends one request on an open connection and reads the response.
+fn send(
+    stream: &mut TcpStream,
+    reader: &mut ResponseReader<TcpStream>,
+    shot: &Shot,
+) -> std::io::Result<(u16, Vec<u8>)> {
+    let head = format!(
+        "{} {} HTTP/1.1\r\nHost: servload\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n",
+        shot.method,
+        shot.path,
+        shot.body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(shot.body.as_bytes())?;
+    reader.next_response()
+}
+
+/// Opens a keep-alive connection pair (write half + buffered read half).
+fn connect(addr: &str) -> std::io::Result<(TcpStream, ResponseReader<TcpStream>)> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(60)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(60)))?;
+    stream.set_nodelay(true)?;
+    let reader = ResponseReader::new(stream.try_clone()?);
+    Ok((stream, reader))
+}
+
+fn fetch_stats(addr: &str) -> Option<Json> {
+    let (mut s, mut r) = connect(addr).ok()?;
+    let shot = Shot {
+        method: "GET",
+        path: "/v1/stats",
+        body: String::new(),
+    };
+    let (status, body) = send(&mut s, &mut r, &shot).ok()?;
+    if status != 200 {
+        return None;
+    }
+    Json::parse(std::str::from_utf8(&body).ok()?).ok()
+}
+
+struct ThreadResult {
+    latencies_us: Vec<u64>,
+    by_class: [u64; 3], // 2xx, 4xx, 5xx/other
+}
+
+fn client_loop(addr: &str, shots: &[Shot], requests: usize, seed: usize) -> ThreadResult {
+    let mut result = ThreadResult {
+        latencies_us: Vec::with_capacity(requests),
+        by_class: [0; 3],
+    };
+    let stats_probe = Shot {
+        method: "GET",
+        path: "/v1/stats",
+        body: String::new(),
+    };
+    let (mut stream, mut reader) = match connect(addr) {
+        Ok(pair) => pair,
+        Err(e) => {
+            eprintln!("servload: connect failed: {e}");
+            result.by_class[2] += requests as u64;
+            return result;
+        }
+    };
+    for i in 0..requests {
+        // Every 32nd request probes live stats; the rest walk the mix,
+        // phase-shifted per thread so leaders interleave with waiters.
+        let shot = if i % 32 == 31 {
+            &stats_probe
+        } else {
+            &shots[(seed + i) % shots.len()]
+        };
+        let t0 = Instant::now();
+        match send(&mut stream, &mut reader, shot) {
+            Ok((status, _body)) => {
+                result
+                    .latencies_us
+                    .push(t0.elapsed().as_micros().min(u64::MAX as u128) as u64);
+                let class = match status {
+                    200..=299 => 0,
+                    400..=499 => 1,
+                    _ => 2,
+                };
+                result.by_class[class] += 1;
+            }
+            Err(e) => {
+                eprintln!("servload: request failed: {e}");
+                result.by_class[2] += 1;
+                // Reconnect and continue; a dropped keep-alive connection
+                // must not sink the whole thread's sample.
+                match connect(addr) {
+                    Ok(pair) => (stream, reader) = pair,
+                    Err(_) => break,
+                }
+            }
+        }
+    }
+    result
+}
+
+fn quantile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() as f64 * q).ceil() as usize).clamp(1, sorted.len()) - 1;
+    sorted[idx]
+}
+
+fn dedup_counts(stats: &Json) -> (u64, u64, u64) {
+    let d = stats.get("dedup");
+    let f = |k: &str| d.and_then(|d| d.get(k)).and_then(Json::as_u64).unwrap_or(0);
+    (f("hits"), f("inflight_waits"), f("misses"))
+}
+
+fn main() {
+    let cli = match parse_cli() {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("servload: {e}");
+            eprintln!(
+                "usage: servload [http://HOST:PORT] [--threads N] [--requests N-per-thread] \
+                 [--out FILE] [--smoke]"
+            );
+            std::process::exit(1);
+        }
+    };
+
+    // Self-host when no target was given.
+    let (addr, self_hosted) = match &cli.target {
+        Some(t) => (normalize_addr(t), None),
+        None => {
+            let config = ServerConfig {
+                addr: "127.0.0.1:0".into(),
+                threads: 4,
+                ..Default::default()
+            };
+            let server = Server::bind(config).expect("bind ephemeral server");
+            let addr = server.local_addr().to_string();
+            let handle = server.handle();
+            let join = std::thread::spawn(move || server.run());
+            (addr, Some((handle, join)))
+        }
+    };
+
+    let shots = workload();
+    // Warm-up: every distinct request once, so the measured phase sees
+    // the steady state (dedup LRU and ISL memo populated) — the regime a
+    // long-running service lives in.
+    {
+        let (mut s, mut r) = connect(&addr).expect("warm-up connect");
+        for shot in &shots {
+            let (status, body) = send(&mut s, &mut r, shot).expect("warm-up request");
+            assert!(
+                status < 500,
+                "warm-up {} failed ({status}): {}",
+                shot.path,
+                String::from_utf8_lossy(&body)
+            );
+        }
+    }
+
+    let before = fetch_stats(&addr);
+    let t0 = Instant::now();
+    let results: Vec<ThreadResult> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..cli.threads)
+            .map(|t| {
+                let addr = addr.clone();
+                let shots = &shots;
+                scope.spawn(move || client_loop(&addr, shots, cli.requests, t * 3))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let wall = t0.elapsed();
+    let after = fetch_stats(&addr);
+
+    let mut latencies: Vec<u64> = results
+        .iter()
+        .flat_map(|r| r.latencies_us.iter().copied())
+        .collect();
+    latencies.sort_unstable();
+    let (n_2xx, n_4xx, n_5xx) = results.iter().fold((0, 0, 0), |acc, r| {
+        (
+            acc.0 + r.by_class[0],
+            acc.1 + r.by_class[1],
+            acc.2 + r.by_class[2],
+        )
+    });
+    let total = n_2xx + n_4xx + n_5xx;
+    let throughput = total as f64 / wall.as_secs_f64();
+    if before.is_none() || after.is_none() {
+        eprintln!("servload: warning: a /v1/stats probe failed; dedup deltas are unreliable");
+    }
+    let (h1, w1, m1) = before.as_ref().map(dedup_counts).unwrap_or((0, 0, 0));
+    let (h2, w2, m2) = after.as_ref().map(dedup_counts).unwrap_or((0, 0, 0));
+    let (dh, dw, dm) = (
+        h2.saturating_sub(h1),
+        w2.saturating_sub(w1),
+        m2.saturating_sub(m1),
+    );
+    let dedup_total = dh + dw + dm;
+    let dedup_rate = if dedup_total == 0 {
+        0.0
+    } else {
+        (dh + dw) as f64 / dedup_total as f64
+    };
+
+    let report = Json::obj([
+        ("bench", Json::from("servload")),
+        (
+            "mode",
+            Json::from(if self_hosted.is_some() {
+                "self-hosted"
+            } else {
+                "external"
+            }),
+        ),
+        ("threads", Json::from(cli.threads)),
+        ("requests", Json::from(total)),
+        (
+            "wall_ms",
+            Json::from((wall.as_secs_f64() * 1e4).round() / 10.0),
+        ),
+        ("throughput_rps", Json::from(throughput.round())),
+        ("p50_us", Json::from(quantile(&latencies, 0.50))),
+        ("p99_us", Json::from(quantile(&latencies, 0.99))),
+        (
+            "status",
+            Json::obj([
+                ("s2xx", Json::from(n_2xx)),
+                ("s4xx", Json::from(n_4xx)),
+                ("s5xx", Json::from(n_5xx)),
+            ]),
+        ),
+        (
+            "dedup",
+            Json::obj([
+                ("hits", Json::from(dh)),
+                ("inflight_waits", Json::from(dw)),
+                ("misses", Json::from(dm)),
+                ("hit_rate", Json::from((dedup_rate * 1e4).round() / 1e4)),
+            ]),
+        ),
+        (
+            "mix",
+            Json::obj([
+                ("analyze_variants", Json::from(6u64)),
+                ("dse_variants", Json::from(1u64)),
+                ("stats_every", Json::from(32u64)),
+            ]),
+        ),
+    ]);
+
+    println!(
+        "servload: {total} requests in {:.1} ms -> {throughput:.0} req/s \
+         (p50 {} us, p99 {} us, 5xx {n_5xx}, dedup hit rate {dedup_rate:.4})",
+        wall.as_secs_f64() * 1e3,
+        quantile(&latencies, 0.50),
+        quantile(&latencies, 0.99),
+    );
+
+    // Tear the self-hosted server down cleanly.
+    if let Some((handle, join)) = self_hosted {
+        handle.shutdown();
+        let _ = join.join();
+    }
+
+    let out_path = cli.out.clone().or_else(|| {
+        if cli.smoke {
+            None // a smoke run against a foreign server is not an artifact
+        } else {
+            let dir = std::env::var("PERFBENCH_OUT_DIR").unwrap_or_else(|_| ".".into());
+            Some(format!("{dir}/BENCH_server.json"))
+        }
+    });
+    if let Some(path) = out_path {
+        // Pretty-print the top level for diff-friendly commits.
+        let mut text = String::from("{\n");
+        if let Json::Obj(pairs) = &report {
+            for (i, (k, v)) in pairs.iter().enumerate() {
+                text.push_str(&format!(
+                    "  {}: {v}{}\n",
+                    Json::from(k.as_str()),
+                    if i + 1 < pairs.len() { "," } else { "" }
+                ));
+            }
+        }
+        text.push_str("}\n");
+        std::fs::write(&path, text).expect("write artifact");
+        println!("servload: wrote {path}");
+    }
+
+    if cli.smoke {
+        if n_5xx > 0 || n_2xx == 0 {
+            eprintln!("servload: SMOKE FAILED (2xx {n_2xx}, 5xx {n_5xx})");
+            std::process::exit(2);
+        }
+        println!("servload: smoke ok ({n_2xx} successful requests, zero 5xx)");
+    }
+}

@@ -23,6 +23,8 @@ const VALUED: &[&str] = &[
     "objective",
     "window",
     "format",
+    "addr",
+    "threads",
 ];
 
 impl Args {

@@ -58,6 +58,7 @@ USAGE:
   tenet trace    <problem.tenet> [--dataflow N]
   tenet fmt      <problem.tenet>
   tenet demo     <gemm|conv2d|mttkrp|mmc|jacobi2d>
+  tenet serve    [--addr HOST:PORT] [--threads N]
 
 A problem file holds a C-like kernel, zero or more dataflows in
 relation-centric notation, and optionally an `arch { ... }` block:
@@ -99,18 +100,12 @@ fn load_problem(args: &Args) -> Result<Problem, CmdError> {
 }
 
 fn preset_arch(name: &str) -> Result<ArchSpec, CmdError> {
-    match name {
-        "tpu8x8" => Ok(presets::tpu_like(8, 8, 64.0)),
-        "tpu16x16" => Ok(presets::tpu_like(16, 16, 128.0)),
-        "eyeriss" => Ok(presets::eyeriss_like(16.0)),
-        "shidiannao" => Ok(presets::shidiannao_like(16.0)),
-        "maeri64" => Ok(presets::maeri_like(64, 16.0)),
-        "mesh8x8" => Ok(presets::mesh(8, 8, 16.0)),
-        other => Err(CmdError::usage(format!(
-            "unknown preset `{other}` (try tpu8x8, tpu16x16, eyeriss, shidiannao, \
-             maeri64, mesh8x8)"
-        ))),
-    }
+    presets::by_name(name).ok_or_else(|| {
+        CmdError::usage(format!(
+            "unknown preset `{name}` (try {})",
+            presets::names().join(", ")
+        ))
+    })
 }
 
 fn require_arch(problem: &Problem) -> Result<&ArchSpec, CmdError> {
@@ -524,6 +519,35 @@ pub fn demo(args: &Args) -> CmdResult {
     Ok(out)
 }
 
+/// `tenet serve`: runs the HTTP/JSON analysis service until a graceful
+/// shutdown (`POST /v1/shutdown`) drains it.
+pub fn serve(args: &Args) -> CmdResult {
+    args.reject_unknown_flags(&[]).map_err(CmdError::usage)?;
+    let mut config = tenet_server::ServerConfig::default();
+    if let Some(addr) = args.option("addr") {
+        config.addr = addr.to_string();
+    }
+    match args
+        .option_as::<usize>("threads")
+        .map_err(CmdError::usage)?
+    {
+        Some(t) if t >= 1 => config.threads = t.min(256),
+        Some(_) => return Err(CmdError::usage("--threads must be at least 1")),
+        None => {}
+    }
+    let server = tenet_server::Server::bind(config)
+        .map_err(|e| CmdError::input(format!("cannot bind: {e}")))?;
+    // Announce the address before blocking so scripts (and the CI smoke
+    // test) can discover an ephemeral port.
+    println!("tenet-server listening on http://{}", server.local_addr());
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    server
+        .run()
+        .map_err(|e| CmdError::analysis(format!("server error: {e}")))?;
+    Ok("server drained and stopped\n".to_string())
+}
+
 /// Dispatches a subcommand; returns the stdout text.
 pub fn run(raw: Vec<String>) -> CmdResult {
     let Some(cmd) = raw.first().cloned() else {
@@ -539,6 +563,7 @@ pub fn run(raw: Vec<String>) -> CmdResult {
         "trace" => trace(&args),
         "fmt" => fmt(&args),
         "demo" => demo(&args),
+        "serve" => serve(&args),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => Err(CmdError::usage(format!(
             "unknown command `{other}`\n\n{USAGE}"

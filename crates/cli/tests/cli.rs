@@ -207,3 +207,62 @@ fn trace_prints_figure3_table() {
         "{stdout}"
     );
 }
+
+#[test]
+fn serve_rejects_bad_options() {
+    let out = tenet(&["serve", "--threads", "0"]);
+    assert_eq!(out.status.code(), Some(1));
+    let out = tenet(&["serve", "--addr", "definitely:not:an:addr"]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn serve_round_trips_and_drains() {
+    use std::io::{BufRead, BufReader, Read, Write};
+    use std::net::TcpStream;
+
+    let mut child = std::process::Command::new(env!("CARGO_BIN_EXE_tenet"))
+        .args(["serve", "--addr", "127.0.0.1:0", "--threads", "2"])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn tenet serve");
+    // First stdout line announces the bound (ephemeral) address.
+    let mut stdout = BufReader::new(child.stdout.take().unwrap());
+    let mut line = String::new();
+    stdout.read_line(&mut line).unwrap();
+    let addr = line
+        .trim()
+        .rsplit("http://")
+        .next()
+        .expect("address in announcement")
+        .to_string();
+
+    let request = |verb: &str, path: &str| -> (u16, String) {
+        let mut s = TcpStream::connect(&addr).expect("connect");
+        s.set_read_timeout(Some(std::time::Duration::from_secs(10)))
+            .unwrap();
+        s.write_all(
+            format!("{verb} {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n").as_bytes(),
+        )
+        .unwrap();
+        let mut raw = Vec::new();
+        s.read_to_end(&mut raw).unwrap();
+        let text = String::from_utf8_lossy(&raw).into_owned();
+        let status = text
+            .split_ascii_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0);
+        (status, text)
+    };
+
+    let (status, body) = request("GET", "/v1/healthz");
+    assert_eq!(status, 200, "healthz: {body}");
+    assert!(body.contains("\"ok\""));
+
+    let (status, _) = request("POST", "/v1/shutdown");
+    assert_eq!(status, 200);
+
+    let exit = child.wait().expect("server exit");
+    assert!(exit.success(), "serve must exit cleanly after drain");
+}

@@ -284,11 +284,50 @@ pub mod presets {
             bandwidth,
         )
     }
+
+    /// A named preset constructor.
+    type PresetEntry = (&'static str, fn() -> ArchSpec);
+
+    /// Name → constructor table, the single source for [`names`] and
+    /// [`by_name`] (so the advertised list can never drift from what
+    /// resolves).
+    const TABLE: &[PresetEntry] = &[
+        ("tpu8x8", || tpu_like(8, 8, 64.0)),
+        ("tpu16x16", || tpu_like(16, 16, 128.0)),
+        ("eyeriss", || eyeriss_like(16.0)),
+        ("shidiannao", || shidiannao_like(16.0)),
+        ("maeri64", || maeri_like(64, 16.0)),
+        ("mesh8x8", || mesh(8, 8, 16.0)),
+    ];
+
+    /// The preset names accepted by [`by_name`], in display order.
+    pub fn names() -> Vec<&'static str> {
+        TABLE.iter().map(|(n, _)| *n).collect()
+    }
+
+    /// Resolves a named preset — the shared vocabulary of the CLI's
+    /// `--preset` option and the analysis service's `"preset"` request
+    /// field. Returns `None` for unknown names (callers render their own
+    /// error with [`names`]).
+    pub fn by_name(name: &str) -> Option<ArchSpec> {
+        TABLE.iter().find(|(n, _)| *n == name).map(|(_, f)| f())
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn every_advertised_preset_resolves() {
+        let names = presets::names();
+        assert!(!names.is_empty());
+        for name in names {
+            let arch = presets::by_name(name).unwrap_or_else(|| panic!("{name} must resolve"));
+            assert!(arch.bandwidth > 0.0, "{name}");
+        }
+        assert!(presets::by_name("not-a-preset").is_none());
+    }
 
     #[test]
     fn systolic2d_offsets() {

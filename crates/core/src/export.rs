@@ -1,6 +1,8 @@
-//! Rendering of performance reports as human-readable tables and CSV —
-//! the output formats the benchmark harness prints for every figure.
+//! Rendering of performance reports as human-readable tables, CSV, and
+//! JSON — the output formats the benchmark harness prints for every
+//! figure and the analysis service returns for every query.
 
+use crate::json::Json;
 use crate::metrics::PerformanceReport;
 use crate::op::Role;
 use std::fmt::Write as _;
@@ -115,6 +117,104 @@ pub fn to_csv_rows(report: &PerformanceReport) -> Vec<String> {
     out
 }
 
+/// Serializes a full report as a [`Json`] object — the response body of
+/// the analysis service's `/v1/analyze` and the `report` field of every
+/// `/v1/dse` design point.
+///
+/// Volumes and footprints stay exact integers; derived ratios
+/// (`reuse_factor`, utilization, latency, bandwidth, energy) are floats.
+/// A `reuse_factor` of `+inf` (zero unique volume) serializes as `null`.
+pub fn to_json(report: &PerformanceReport) -> Json {
+    let tensors = report
+        .tensors
+        .iter()
+        .map(|(name, t)| {
+            let v = &t.volumes;
+            (
+                name.clone(),
+                Json::obj([
+                    (
+                        "role",
+                        Json::from(match t.role {
+                            Role::Input => "input",
+                            Role::Output => "output",
+                        }),
+                    ),
+                    ("total", Json::from(v.total)),
+                    ("reuse", Json::from(v.reuse)),
+                    ("unique", Json::from(v.unique)),
+                    ("spatial_reuse", Json::from(v.spatial_reuse)),
+                    ("temporal_reuse", Json::from(v.temporal_reuse)),
+                    ("reuse_factor", Json::from(v.reuse_factor())),
+                    ("reuse_class", Json::from(v.reuse_class().to_string())),
+                    ("footprint", Json::from(t.footprint)),
+                ]),
+            )
+        })
+        .collect();
+    let u = &report.utilization;
+    let l = &report.latency;
+    let b = &report.bandwidth;
+    let e = &report.energy;
+    let per_tensor = |m: &std::collections::BTreeMap<String, f64>| {
+        Json::Obj(m.iter().map(|(k, v)| (k.clone(), Json::from(*v))).collect())
+    };
+    Json::obj([
+        ("op", Json::from(report.op.as_str())),
+        (
+            "dataflow",
+            Json::from(report.dataflow.as_deref().map(str::to_string)),
+        ),
+        ("macs", Json::from(report.macs)),
+        ("tensors", Json::Obj(tensors)),
+        (
+            "utilization",
+            Json::obj([
+                ("average", Json::from(u.average)),
+                ("max", Json::from(u.max)),
+                ("max_is_exact", Json::from(u.max_is_exact)),
+                ("pes_used", Json::from(u.pes_used)),
+                ("time_stamps", Json::from(u.time_stamps)),
+            ]),
+        ),
+        (
+            "latency",
+            Json::obj([
+                ("read", Json::from(l.read)),
+                ("write", Json::from(l.write)),
+                ("compute", Json::from(l.compute)),
+                ("total", Json::from(l.total())),
+            ]),
+        ),
+        (
+            "bandwidth",
+            Json::obj([
+                ("interconnect", Json::from(b.interconnect)),
+                ("scratchpad", Json::from(b.scratchpad)),
+                (
+                    "scratchpad_per_tensor",
+                    per_tensor(&b.scratchpad_per_tensor),
+                ),
+                (
+                    "interconnect_per_tensor",
+                    per_tensor(&b.interconnect_per_tensor),
+                ),
+            ]),
+        ),
+        (
+            "energy",
+            Json::obj([
+                ("compute", Json::from(e.compute)),
+                ("register", Json::from(e.register)),
+                ("noc", Json::from(e.noc)),
+                ("scratchpad", Json::from(e.scratchpad)),
+                ("dram", Json::from(e.dram)),
+                ("total", Json::from(e.total())),
+            ]),
+        ),
+    ])
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -145,6 +245,24 @@ mod tests {
         assert!(t.contains("tensor"));
         assert!(t.contains("Y"));
         assert!(t.contains("total 6.0"));
+    }
+
+    #[test]
+    fn json_report_is_deterministic_and_reparses() {
+        let r = report();
+        let text = to_json(&r).to_string();
+        assert_eq!(text, to_json(&r).to_string(), "encoding must be stable");
+        let v = Json::parse(&text).unwrap();
+        assert_eq!(v.get("op").and_then(Json::as_str), Some("gemm"));
+        assert_eq!(v.get("macs").and_then(Json::as_u64), Some(16));
+        let y = v.get("tensors").and_then(|t| t.get("Y")).unwrap();
+        assert_eq!(y.get("role").and_then(Json::as_str), Some("output"));
+        assert_eq!(
+            v.get("latency")
+                .and_then(|l| l.get("total"))
+                .and_then(Json::as_f64),
+            Some(r.latency.total())
+        );
     }
 
     #[test]

@@ -44,6 +44,7 @@ mod arch;
 mod dataflow;
 mod error;
 pub mod export;
+pub mod json;
 mod metrics;
 mod op;
 mod validate;
@@ -65,4 +66,4 @@ pub use validate::{validate, ValidationReport};
 /// Exploration drivers use it to amortize relational work across
 /// candidates and to report hit rates.
 pub use tenet_isl::cache as isl_cache;
-pub use tenet_isl::CacheStats;
+pub use tenet_isl::{CacheStats, CounterHandle};

@@ -18,8 +18,10 @@ pub use search::{
 
 /// Latency/bandwidth-driven search over a list of candidate dataflows.
 pub mod search {
+    use tenet_core::json::Json;
     use tenet_core::{
-        isl_cache, Analysis, ArchSpec, CacheStats, Dataflow, PerformanceReport, Result, TensorOp,
+        export, isl_cache, Analysis, ArchSpec, CacheStats, CounterHandle, Dataflow,
+        PerformanceReport, Result, TensorOp,
     };
 
     /// One evaluated design point.
@@ -40,6 +42,25 @@ pub mod search {
         /// Scratchpad bandwidth requirement.
         pub fn sbw(&self) -> f64 {
             self.report.bandwidth.scratchpad
+        }
+
+        /// Serializes the point for the analysis service's `/v1/dse`
+        /// responses: the dataflow (name plus its space/time expressions),
+        /// the two objective scalars, and the full report.
+        pub fn to_json(&self) -> Json {
+            Json::obj([
+                (
+                    "dataflow",
+                    Json::obj([
+                        ("name", Json::from(self.dataflow.name().map(str::to_string))),
+                        ("space", Json::from(self.dataflow.space_exprs().to_vec())),
+                        ("time", Json::from(self.dataflow.time_exprs().to_vec())),
+                    ]),
+                ),
+                ("latency", Json::from(self.latency())),
+                ("sbw", Json::from(self.sbw())),
+                ("report", export::to_json(&self.report)),
+            ])
         }
     }
 
@@ -62,20 +83,19 @@ pub mod search {
 
     /// Amortization counters of one [`explore_with_stats`] run.
     ///
-    /// The cache counters are deltas of the *process-wide* [`isl_cache`]
-    /// stats taken around the run: when other threads use the isl layer
-    /// concurrently (including another `explore_with_stats`), their hits
-    /// and misses are attributed to this run too. Treat the numbers as
-    /// exact only for single-threaded or otherwise-idle processes.
+    /// The cache counters come from a per-run [`CounterHandle`] attached
+    /// for the duration of the run, so they are *exact* even when other
+    /// threads (concurrent explorations, server requests) use the isl
+    /// layer at the same time — only this run's own lookups count.
     #[derive(Debug, Clone, Copy, Default)]
     pub struct ExploreStats {
         /// Candidates that produced a design point.
         pub evaluated: usize,
         /// Candidates rejected (invalid for the op/arch pair).
         pub skipped: usize,
-        /// isl-cache hits accumulated during the run (process-wide delta).
+        /// isl-cache hits this run's own lookups produced.
         pub cache_hits: u64,
-        /// isl-cache misses accumulated during the run (process-wide delta).
+        /// isl-cache misses this run's own lookups produced.
         pub cache_misses: u64,
     }
 
@@ -98,7 +118,8 @@ pub mod search {
         arch: &ArchSpec,
         candidates: &[Dataflow],
     ) -> Result<(Vec<DesignPoint>, ExploreStats)> {
-        let before: CacheStats = isl_cache::stats();
+        let handle = CounterHandle::new();
+        let attached = handle.attach();
         let mut out = Vec::new();
         let mut stats = ExploreStats::default();
         for df in candidates {
@@ -122,9 +143,9 @@ pub mod search {
                 report,
             });
         }
-        let after: CacheStats = isl_cache::stats();
-        stats.cache_hits = after.hits.saturating_sub(before.hits);
-        stats.cache_misses = after.misses.saturating_sub(before.misses);
+        drop(attached);
+        stats.cache_hits = handle.hits();
+        stats.cache_misses = handle.misses();
         out.sort_by(|a, b| a.latency().total_cmp(&b.latency()));
         Ok((out, stats))
     }
@@ -147,10 +168,19 @@ pub mod search {
         let n_threads = n_threads.max(1).min(candidates.len().max(1));
         let chunk = candidates.len().div_ceil(n_threads);
         let mut out: Vec<DesignPoint> = Vec::with_capacity(candidates.len());
+        // Counter handles attached on the caller's thread (a surrounding
+        // explore_with_stats, a server request's stats scope) must keep
+        // observing the work after it fans out, so re-attach them on
+        // every worker.
+        let inherited = isl_cache::attached_handles();
         std::thread::scope(|scope| -> Result<()> {
             let mut handles = Vec::new();
             for slice in candidates.chunks(chunk.max(1)) {
-                handles.push(scope.spawn(move || explore(op, arch, slice)));
+                let inherited = inherited.clone();
+                handles.push(scope.spawn(move || {
+                    let _attached: Vec<_> = inherited.iter().map(|h| h.attach()).collect();
+                    explore(op, arch, slice)
+                }));
             }
             for h in handles {
                 let points = h

@@ -38,7 +38,10 @@
 
 use crate::map::Map;
 use crate::Result;
+use std::cell::RefCell;
+use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
@@ -58,6 +61,12 @@ pub(crate) enum OpKind {
     Subtract,
     /// [`Map::project_out_in`] / [`Map::project_out_out`] (side in `extra`)
     Project,
+    /// [`Map::union`]
+    Union,
+    /// [`Map::intersect_domain`]
+    IntersectDomain,
+    /// [`Map::intersect_range`]
+    IntersectRange,
     /// [`Map::card`]
     Card,
     /// [`Map::is_empty`]
@@ -75,8 +84,14 @@ enum CachedVal {
 
 #[derive(Default)]
 struct Tables {
-    /// Interned maps: structural value -> id.
-    ids: HashMap<Arc<Map>, u64>,
+    /// Interned maps, bucketed by a *precomputed* structural hash (see
+    /// [`map_hash`]): callers hash — and, for first-seen operands, clone —
+    /// outside the global mutex, so the locked section only does bucket
+    /// lookups and (rare) equality scans. Buckets hold every interned map
+    /// with that hash; equality disambiguates, so collisions stay safe.
+    ids: HashMap<u64, Vec<(Arc<Map>, u64)>>,
+    /// Count of interned maps across all buckets.
+    n_interned: usize,
     next_id: u64,
     /// Memo: (op, lhs id, rhs id or MAX, extra) -> result.
     memo: HashMap<(OpKind, u64, u64, i64), CachedVal>,
@@ -99,6 +114,120 @@ struct Ctx {
     hits: AtomicU64,
     misses: AtomicU64,
     enabled: AtomicBool,
+}
+
+thread_local! {
+    /// Counter handles attached to the current thread (a stack: nested
+    /// scopes may each attach their own handle).
+    static ATTACHED: RefCell<Vec<CounterHandle>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Exact per-run hit/miss counters, independent of the process-wide
+/// totals.
+///
+/// A handle only observes lookups made on threads it is [attached] to, so
+/// concurrent cache users (other exploration runs, server requests on
+/// other workers) never pollute its numbers — unlike deltas of
+/// [`stats`], which are process-wide. Handles are cheap `Arc` clones;
+/// attach the same handle on several threads (see
+/// [`attached_handles`] for propagating into worker pools) to aggregate
+/// one logical run that spans threads.
+///
+/// [attached]: CounterHandle::attach
+#[derive(Clone, Default)]
+pub struct CounterHandle {
+    inner: Arc<HandleCounters>,
+}
+
+#[derive(Default)]
+struct HandleCounters {
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl CounterHandle {
+    /// A fresh handle with zeroed counters.
+    pub fn new() -> CounterHandle {
+        CounterHandle::default()
+    }
+
+    /// Attaches the handle to the current thread until the guard drops.
+    ///
+    /// Every memo lookup performed on this thread inside the guard's
+    /// lifetime bumps the handle's counters (in addition to the global
+    /// ones and any other attached handles).
+    pub fn attach(&self) -> AttachGuard {
+        ATTACHED.with(|a| a.borrow_mut().push(self.clone()));
+        AttachGuard {
+            handle: self.clone(),
+            _not_send: std::marker::PhantomData,
+        }
+    }
+
+    /// Lookups answered from the memo on attached threads.
+    pub fn hits(&self) -> u64 {
+        self.inner.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that had to compute on attached threads.
+    pub fn misses(&self) -> u64 {
+        self.inner.misses.load(Ordering::Relaxed)
+    }
+
+    /// Hit fraction in `[0, 1]`; `0` when no lookups happened.
+    pub fn hit_rate(&self) -> f64 {
+        let (h, m) = (self.hits(), self.misses());
+        if h + m == 0 {
+            0.0
+        } else {
+            h as f64 / (h + m) as f64
+        }
+    }
+}
+
+/// Detaches a [`CounterHandle`] from the current thread on drop.
+///
+/// Deliberately `!Send`: the guard must drop on the thread that attached.
+pub struct AttachGuard {
+    handle: CounterHandle,
+    _not_send: std::marker::PhantomData<*const ()>,
+}
+
+impl Drop for AttachGuard {
+    fn drop(&mut self) {
+        ATTACHED.with(|a| {
+            let mut v = a.borrow_mut();
+            // Pop the most recent attachment of *this* handle (stack
+            // discipline holds for scoped guards; search defensively).
+            if let Some(pos) = v
+                .iter()
+                .rposition(|h| Arc::ptr_eq(&h.inner, &self.handle.inner))
+            {
+                v.remove(pos);
+            }
+        });
+    }
+}
+
+/// The handles currently attached to this thread.
+///
+/// Worker-pool fan-out (e.g. `explore_parallel`) captures this on the
+/// spawning thread and re-attaches each handle on its workers, so a
+/// logical run keeps exact attribution across its own threads.
+pub fn attached_handles() -> Vec<CounterHandle> {
+    ATTACHED.with(|a| a.borrow().clone())
+}
+
+/// Bumps the global counters plus every handle attached to this thread.
+fn record(c: &Ctx, hit: bool) {
+    let global = if hit { &c.hits } else { &c.misses };
+    global.fetch_add(1, Ordering::Relaxed);
+    ATTACHED.with(|a| {
+        for h in a.borrow().iter() {
+            let ctr = if hit { &h.inner.hits } else { &h.inner.misses };
+            ctr.fetch_add(1, Ordering::Relaxed);
+        }
+    });
 }
 
 fn ctx() -> &'static Ctx {
@@ -149,7 +278,7 @@ pub fn stats() -> CacheStats {
         hits: c.hits.load(Ordering::Relaxed),
         misses: c.misses.load(Ordering::Relaxed),
         entries: t.memo.len() as u64,
-        interned: t.ids.len() as u64,
+        interned: t.n_interned as u64,
     }
 }
 
@@ -159,6 +288,7 @@ pub fn clear() {
     let mut t = c.tables.lock().expect("isl cache poisoned");
     t.memo.clear();
     t.ids.clear();
+    t.n_interned = 0;
     t.parsed_map.clear();
     t.parsed_set.clear();
     t.next_id = 0;
@@ -182,25 +312,45 @@ pub fn enabled() -> bool {
     ctx().enabled.load(Ordering::Relaxed)
 }
 
-/// Interns `m`, returning its id. Caller holds the lock.
-fn intern_locked(t: &mut Tables, m: &Map) -> u64 {
-    if let Some(&id) = t.ids.get(m) {
-        return id;
-    }
+/// Structural hash of a map with a *deterministic* hasher, computed by
+/// callers outside the global mutex. `DefaultHasher::new()` is seeded
+/// with fixed keys, so every thread derives the same bucket for the same
+/// relation.
+fn map_hash(m: &Map) -> u64 {
+    let mut h = DefaultHasher::new();
+    m.hash(&mut h);
+    h.finish()
+}
+
+/// Looks up the intern id of `m` in the bucket for its precomputed hash.
+/// Caller holds the lock; only (rare) same-hash equality scans run here.
+fn find_interned(t: &Tables, h: u64, m: &Map) -> Option<u64> {
+    t.ids
+        .get(&h)?
+        .iter()
+        .find(|(k, _)| **k == *m)
+        .map(|(_, id)| *id)
+}
+
+/// Files an already-cloned map under its precomputed hash. Caller holds
+/// the lock and has verified the map is not yet interned.
+fn insert_interned(t: &mut Tables, h: u64, m: Arc<Map>) -> u64 {
     let id = t.next_id;
     t.next_id += 1;
-    t.ids.insert(Arc::new(m.clone()), id);
+    t.ids.entry(h).or_default().push((m, id));
+    t.n_interned += 1;
     id
 }
 
 fn evict_if_full(t: &mut Tables) {
     if t.memo.len() > MAX_ENTRIES
-        || t.ids.len() > MAX_ENTRIES
+        || t.n_interned > MAX_ENTRIES
         || t.parsed_map.len() > MAX_ENTRIES
         || t.parsed_set.len() > MAX_ENTRIES
     {
         t.memo.clear();
         t.ids.clear();
+        t.n_interned = 0;
         t.parsed_map.clear();
         t.parsed_set.clear();
         t.next_id = 0;
@@ -219,29 +369,64 @@ struct Slot {
     hit: Option<CachedVal>,
 }
 
+/// Finishes a lookup once both operand ids are known. Caller holds the
+/// lock.
+fn finish_lookup(c: &Ctx, t: &Tables, op: OpKind, ia: u64, ib: u64, extra: i64) -> Slot {
+    let hit = t.memo.get(&(op, ia, ib, extra)).cloned();
+    record(c, hit.is_some());
+    Slot {
+        ia,
+        ib,
+        generation: t.generation,
+        hit,
+    }
+}
+
 fn lookup(op: OpKind, a: &Map, b: Option<&Map>, extra: i64) -> Option<Slot> {
     let c = ctx();
     if !c.enabled.load(Ordering::Relaxed) {
         return None;
     }
+    // Structural hashes are computed before taking the lock.
+    let ha = map_hash(a);
+    let hb = b.map(map_hash);
+    // Fast phase: after warm-up both operands are almost always interned
+    // already, so one short locked section resolves the whole lookup.
+    let (a_known, b_known) = {
+        let mut t = c.tables.lock().expect("isl cache poisoned");
+        evict_if_full(&mut t);
+        let ia = find_interned(&t, ha, a);
+        let ib = match (b, hb) {
+            (Some(bm), Some(hb)) => find_interned(&t, hb, bm),
+            _ => Some(NO_RHS),
+        };
+        if let (Some(ia), Some(ib)) = (ia, ib) {
+            return Some(finish_lookup(c, &t, op, ia, ib, extra));
+        }
+        (ia.is_some(), ib.is_some())
+    };
+    // Slow phase: at least one operand is first-seen. Clone it into its
+    // `Arc` *outside* the lock — for large unions the deep copy dwarfs the
+    // bucket bookkeeping — then re-resolve under the lock (another thread
+    // may have interned it meanwhile; its clone simply wins).
+    let arc_a = (!a_known).then(|| Arc::new(a.clone()));
+    let arc_b = match (b, b_known) {
+        (Some(bm), false) => Some(Arc::new(bm.clone())),
+        _ => None,
+    };
     let mut t = c.tables.lock().expect("isl cache poisoned");
-    evict_if_full(&mut t);
-    let ia = intern_locked(&mut t, a);
-    let ib = match b {
-        Some(b) => intern_locked(&mut t, b),
-        None => NO_RHS,
+    let ia = match find_interned(&t, ha, a) {
+        Some(id) => id,
+        None => insert_interned(&mut t, ha, arc_a?),
     };
-    let hit = t.memo.get(&(op, ia, ib, extra)).cloned();
-    match &hit {
-        Some(_) => c.hits.fetch_add(1, Ordering::Relaxed),
-        None => c.misses.fetch_add(1, Ordering::Relaxed),
+    let ib = match (b, hb) {
+        (Some(bm), Some(hb)) => match find_interned(&t, hb, bm) {
+            Some(id) => id,
+            None => insert_interned(&mut t, hb, arc_b?),
+        },
+        _ => NO_RHS,
     };
-    Some(Slot {
-        ia,
-        ib,
-        generation: t.generation,
-        hit,
-    })
+    Some(finish_lookup(c, &t, op, ia, ib, extra))
 }
 
 fn store(op: OpKind, slot: &Slot, extra: i64, val: CachedVal) {
@@ -272,10 +457,12 @@ pub(crate) fn memo_parse(
         evict_if_full(&mut t);
         let table = if as_set { &t.parsed_set } else { &t.parsed_map };
         if let Some(m) = table.get(text) {
-            c.hits.fetch_add(1, Ordering::Relaxed);
-            return Ok((**m).clone());
+            let m = Arc::clone(m);
+            drop(t);
+            record(c, true);
+            return Ok((*m).clone());
         }
-        c.misses.fetch_add(1, Ordering::Relaxed);
+        record(c, false);
     }
     let m = compute()?;
     let mut t = c.tables.lock().expect("isl cache poisoned");
@@ -394,6 +581,62 @@ mod tests {
         let s = stats();
         assert_eq!(s.hits + s.misses, 0, "disabled cache must not count");
         set_enabled(true);
+    }
+
+    #[test]
+    fn counter_handle_ignores_other_threads() {
+        let _guard = test_lock();
+        set_enabled(true);
+        clear();
+        let handle = CounterHandle::new();
+        // A polluter thread hammers the cache with its own relations the
+        // whole time; none of its lookups may land on our handle.
+        let stop = Arc::new(AtomicBool::new(false));
+        let polluter = {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let m = Map::parse("{ P[x] -> Q[x] : 0 <= x < 11 }").unwrap();
+                while !stop.load(Ordering::Relaxed) {
+                    let _ = m.card();
+                }
+            })
+        };
+        let m = Map::parse("{ S[i, j] -> PE[j] : 0 <= i < 4 and 0 <= j < 5 }").unwrap();
+        {
+            let _attached = handle.attach();
+            for _ in 0..10 {
+                assert_eq!(m.card().unwrap(), 20);
+            }
+        }
+        stop.store(true, Ordering::Relaxed);
+        polluter.join().unwrap();
+        // Exactly 10 attributed card lookups: 1 miss then 9 hits.
+        assert_eq!(handle.hits() + handle.misses(), 10, "exact attribution");
+        assert_eq!(handle.misses(), 1);
+        assert_eq!(handle.hits(), 9);
+        // Detached now: further lookups must not move the handle.
+        let _ = m.card().unwrap();
+        assert_eq!(handle.hits() + handle.misses(), 10);
+    }
+
+    #[test]
+    fn attached_handles_snapshot_propagates() {
+        let _guard = test_lock();
+        set_enabled(true);
+        let h = CounterHandle::new();
+        let _a = h.attach();
+        let snapshot = attached_handles();
+        assert_eq!(snapshot.len(), 1);
+        // Re-attaching the snapshot on another thread funnels that
+        // thread's lookups into the same handle.
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                let _guards: Vec<_> = snapshot.iter().map(|h| h.attach()).collect();
+                let m = Map::parse("{ W[x] -> V[x] : 0 <= x < 7 }").unwrap();
+                let _ = m.card().unwrap();
+            });
+        });
+        assert!(h.hits() + h.misses() >= 1, "worker lookups must count");
     }
 
     #[test]

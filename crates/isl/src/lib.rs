@@ -95,7 +95,7 @@ mod space;
 pub mod value;
 
 pub use basic::{BasicMap, DivDef};
-pub use cache::CacheStats;
+pub use cache::{AttachGuard, CacheStats, CounterHandle};
 pub use error::{Error, Result};
 pub use map::Map;
 pub use set::Set;

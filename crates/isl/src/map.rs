@@ -96,6 +96,18 @@ impl Map {
     /// Set-union of two relations over compatible spaces.
     pub fn union(&self, other: &Map) -> Result<Map> {
         self.check_compatible(other, "union")?;
+        // Unioning small relations is a couple of vector pushes; only
+        // unions with real bulk (quadratic duplicate scan) go through the
+        // memo — same policy as `reverse`.
+        if self.memo_weight() + other.memo_weight() < 32 {
+            return self.union_uncached(other);
+        }
+        cache::memo_map(OpKind::Union, self, Some(other), 0, || {
+            self.union_uncached(other)
+        })
+    }
+
+    fn union_uncached(&self, other: &Map) -> Result<Map> {
         let mut basics = self.basics.clone();
         let var_map: Vec<usize> = (0..self.n_in() + self.n_out()).collect();
         for b in &other.basics {
@@ -345,8 +357,10 @@ impl Map {
                 self.n_in()
             )));
         }
-        let var_map: Vec<usize> = (0..self.n_in()).collect();
-        self.intersect_with_mapped(set, &var_map)
+        cache::memo_map(OpKind::IntersectDomain, self, Some(set.as_map()), 0, || {
+            let var_map: Vec<usize> = (0..self.n_in()).collect();
+            self.intersect_with_mapped(set, &var_map)
+        })
     }
 
     /// Restricts the range to `set`.
@@ -358,8 +372,10 @@ impl Map {
                 self.n_out()
             )));
         }
-        let var_map: Vec<usize> = (self.n_in()..self.n_in() + self.n_out()).collect();
-        self.intersect_with_mapped(set, &var_map)
+        cache::memo_map(OpKind::IntersectRange, self, Some(set.as_map()), 0, || {
+            let var_map: Vec<usize> = (self.n_in()..self.n_in() + self.n_out()).collect();
+            self.intersect_with_mapped(set, &var_map)
+        })
     }
 
     fn intersect_with_mapped(&self, set: &Set, var_map: &[usize]) -> Result<Map> {

@@ -207,6 +207,111 @@ fn cached_and_uncached_results_are_identical() {
     assert_eq!(cold.7, warm.7, "is_empty must be cache-transparent");
 }
 
+/// The PR 3 additions — `union`, `intersect_domain`, `intersect_range` —
+/// must also be cache-transparent, including the bulky shapes that clear
+/// `union`'s memo-weight gate.
+#[test]
+fn union_and_domain_range_intersections_are_cache_transparent() {
+    // Multi-disjunct operands: each parse below yields several basic
+    // maps once the mod/floor windows split, so the union carries enough
+    // constraint rows to go through the memo (not the small-map bypass).
+    let bulky_a = "{ S[i,j] -> PE[i mod 3, j mod 3] : 0 <= i < 9 and 0 <= j < 9 \
+                   and (i + j) mod 2 <= 0 }";
+    let bulky_b = "{ S[i,j] -> PE[i mod 3, j mod 3] : 0 <= i < 9 and 0 <= j < 9 \
+                   and (i + 2j) mod 3 <= 1 }";
+    let small_a = "{ S[i] -> T[i] : 0 <= i < 4 }";
+    let small_b = "{ S[i] -> T[i] : 2 <= i < 7 }";
+    let dom = "{ S[i, j] : 1 <= i < 6 and 0 <= j < 5 }";
+    let rng = "{ PE[p, q] : 0 <= p < 2 and 0 <= q < 2 }";
+    let (cold, warm) = with_and_without_cache(|| {
+        let ba = Map::parse(bulky_a).unwrap();
+        let bb = Map::parse(bulky_b).unwrap();
+        let sa = Map::parse(small_a).unwrap();
+        let sb = Map::parse(small_b).unwrap();
+        let d = Set::parse(dom).unwrap();
+        let r = Set::parse(rng).unwrap();
+        let bulky_union = ba.union(&bb).unwrap();
+        let small_union = sa.union(&sb).unwrap();
+        let restricted_d = ba.intersect_domain(&d).unwrap();
+        let restricted_r = ba.intersect_range(&r).unwrap();
+        (
+            bulky_union.clone(),
+            bulky_union.card().unwrap(),
+            small_union.clone(),
+            small_union.card().unwrap(),
+            restricted_d.clone(),
+            restricted_d.card().unwrap(),
+            restricted_r.clone(),
+            restricted_r.card().unwrap(),
+        )
+    });
+    assert_eq!(cold.0, warm.0, "bulky union must be cache-transparent");
+    assert_eq!(cold.1, warm.1, "bulky union card");
+    assert_eq!(cold.2, warm.2, "small union must be cache-transparent");
+    assert_eq!(cold.3, warm.3, "small union card");
+    assert_eq!(cold.4, warm.4, "intersect_domain must be cache-transparent");
+    assert_eq!(cold.5, warm.5, "intersect_domain card");
+    assert_eq!(cold.6, warm.6, "intersect_range must be cache-transparent");
+    assert_eq!(cold.7, warm.7, "intersect_range card");
+}
+
+/// `intersect_domain` and `intersect_range` on the *same* (map, set) pair
+/// are different operations; their memo entries must never cross.
+#[test]
+fn domain_and_range_intersections_do_not_share_memo_entries() {
+    let m = Map::parse("{ S[i, j] -> PE[i + j, j] : 0 <= i < 6 and 0 <= j < 6 }").unwrap();
+    let s = Set::parse("{ X[a, b] : 0 <= a < 2 and 0 <= b < 3 }").unwrap();
+    cache::set_enabled(true);
+    for _round in 0..2 {
+        // Round 2 replays both from the memo; results must still differ.
+        let by_domain = m.intersect_domain(&s).unwrap();
+        let by_range = m.intersect_range(&s).unwrap();
+        // Domain restriction: i < 2, j < 3 — six instances. Range
+        // restriction: i + j < 2, j < 3 — only the three corner points.
+        assert_eq!(by_domain.card().unwrap(), 6);
+        assert_eq!(by_range.card().unwrap(), 3);
+        assert_ne!(by_domain, by_range);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Randomized union / intersect_domain / intersect_range equivalence:
+    /// warm results (and cards) must be bit-identical to cold ones.
+    #[test]
+    fn union_and_restriction_cache_transparency_randomized(
+        a_text in box_strategy(2),
+        b_text in box_strategy(2),
+        c_text in box_strategy(2),
+    ) {
+        let (cold, warm) = with_and_without_cache(|| {
+            let a = Set::parse(&a_text).unwrap();
+            let b = Set::parse(&b_text).unwrap();
+            let c = Set::parse(&c_text).unwrap();
+            let u = a.union(&b).unwrap();
+            let m = Map::parse(
+                "{ A[x0, x1] -> B[x0 + x1, x0 - x1] : -20 <= x0 <= 20 and -20 <= x1 <= 20 }",
+            )
+            .unwrap();
+            let dom = m.intersect_domain(&u).unwrap();
+            let rng = m.intersect_range(&c).unwrap();
+            (
+                u.card().unwrap(),
+                dom.clone(),
+                dom.card().unwrap(),
+                rng.clone(),
+                rng.card().unwrap(),
+            )
+        });
+        prop_assert_eq!(cold.0, warm.0);
+        prop_assert_eq!(cold.1, warm.1);
+        prop_assert_eq!(cold.2, warm.2);
+        prop_assert_eq!(cold.3, warm.3);
+        prop_assert_eq!(cold.4, warm.4);
+    }
+}
+
 /// Randomized cached-vs-uncached sweep over set algebra.
 #[test]
 fn cached_and_uncached_set_algebra_agree_randomized() {

@@ -1,0 +1,278 @@
+//! Request deduplication: an in-flight leader/follower map layered over
+//! a response LRU.
+//!
+//! The service's hottest traffic is *identical* queries from many
+//! clients (the same model/architecture pair swept by dashboards and CI
+//! fleets). Two mechanisms make those cost one analysis:
+//!
+//! * **Response LRU** — completed responses are cached under the
+//!   canonicalized request key; repeats are answered with the stored
+//!   bytes, bit-identical to the first answer.
+//! * **In-flight dedup** — when a request arrives *while the same key is
+//!   already being computed*, the arrival waits for the leader instead of
+//!   recomputing; on publish, every waiter returns the leader's bytes.
+//!
+//! This sits above the ISL memo cache (PR 2): the memo amortizes
+//! *relational sub-work* across distinct queries, the dedup layer
+//! collapses *whole queries*.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// One cached response: status plus entity bytes (shared, immutable).
+#[derive(Debug, Clone)]
+pub struct CachedResponse {
+    /// HTTP status code of the stored answer.
+    pub status: u16,
+    /// Entity body; `Arc` so hits are a pointer copy, not a memcpy.
+    pub body: Arc<Vec<u8>>,
+}
+
+struct Inner {
+    /// Keys currently being computed by a leader.
+    inflight: HashSet<String>,
+    /// Completed responses keyed by canonical request text.
+    cache: HashMap<String, (CachedResponse, u64)>,
+    /// Monotonic recency clock for LRU eviction.
+    tick: u64,
+}
+
+/// The dedup map. One instance per server.
+pub struct Dedup {
+    inner: Mutex<Inner>,
+    published: Condvar,
+    capacity: usize,
+    hits: AtomicU64,
+    waits: AtomicU64,
+    misses: AtomicU64,
+}
+
+/// Outcome of [`Dedup::claim`].
+pub enum Claim {
+    /// A stored (or just-published) response; serve these bytes.
+    Cached(CachedResponse),
+    /// The caller is the leader for this key: compute, then
+    /// [`Dedup::publish`] through the token.
+    Leader(LeaderToken),
+}
+
+/// Leadership over one in-flight key.
+///
+/// Dropping the token without publishing (handler panic, uncacheable
+/// outcome) releases the key and wakes waiters so one of them can take
+/// over — leadership can never be leaked.
+pub struct LeaderToken {
+    dedup: Arc<Dedup>,
+    key: Option<String>,
+}
+
+/// Point-in-time dedup counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DedupStats {
+    /// Requests answered from the response LRU.
+    pub hits: u64,
+    /// Requests that waited for an in-flight leader.
+    pub waits: u64,
+    /// Requests that computed (became leader).
+    pub misses: u64,
+    /// Responses currently stored.
+    pub entries: u64,
+}
+
+impl Dedup {
+    /// A dedup map storing at most `capacity` responses.
+    pub fn new(capacity: usize) -> Arc<Dedup> {
+        Arc::new(Dedup {
+            inner: Mutex::new(Inner {
+                inflight: HashSet::new(),
+                cache: HashMap::new(),
+                tick: 0,
+            }),
+            published: Condvar::new(),
+            capacity: capacity.max(1),
+            hits: AtomicU64::new(0),
+            waits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        })
+    }
+
+    /// Resolves `key` to a cached response, or elects the caller leader.
+    ///
+    /// Blocks while another thread leads the same key; wakes when that
+    /// leader publishes (returning its bytes) or abandons (taking over
+    /// leadership).
+    pub fn claim(self: &Arc<Dedup>, key: &str) -> Claim {
+        let mut inner = self.inner.lock().expect("dedup poisoned");
+        let mut waited = false;
+        loop {
+            if inner.cache.contains_key(key) {
+                let now = inner.tick;
+                inner.tick += 1;
+                let entry = inner.cache.get_mut(key).expect("checked above");
+                entry.1 = now;
+                let resp = entry.0.clone();
+                drop(inner);
+                if waited {
+                    self.waits.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                }
+                return Claim::Cached(resp);
+            }
+            if !inner.inflight.contains(key) {
+                inner.inflight.insert(key.to_string());
+                drop(inner);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                return Claim::Leader(LeaderToken {
+                    dedup: Arc::clone(self),
+                    key: Some(key.to_string()),
+                });
+            }
+            waited = true;
+            inner = self.published.wait(inner).expect("dedup poisoned");
+        }
+    }
+
+    /// Publishes the leader's response and wakes every waiter.
+    pub fn publish(&self, mut token: LeaderToken, resp: CachedResponse) {
+        let key = token.key.take().expect("token already consumed");
+        let mut inner = self.inner.lock().expect("dedup poisoned");
+        inner.inflight.remove(&key);
+        if inner.cache.len() >= self.capacity && !inner.cache.contains_key(&key) {
+            // Evict the least recently touched entry. O(n) scan, but only
+            // on insert-at-capacity, and capacity is modest.
+            if let Some(victim) = inner
+                .cache
+                .iter()
+                .min_by_key(|(_, (_, tick))| *tick)
+                .map(|(k, _)| k.clone())
+            {
+                inner.cache.remove(&victim);
+            }
+        }
+        let tick = inner.tick;
+        inner.tick += 1;
+        inner.cache.insert(key, (resp, tick));
+        drop(inner);
+        self.published.notify_all();
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> DedupStats {
+        let inner = self.inner.lock().expect("dedup poisoned");
+        DedupStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            waits: self.waits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: inner.cache.len() as u64,
+        }
+    }
+}
+
+impl Drop for LeaderToken {
+    fn drop(&mut self) {
+        if let Some(key) = self.key.take() {
+            // Abandoned without publishing: release the key so a waiter
+            // can be elected leader on its next wakeup.
+            let mut inner = self.dedup.inner.lock().expect("dedup poisoned");
+            inner.inflight.remove(&key);
+            drop(inner);
+            self.dedup.published.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn resp(bytes: &[u8]) -> CachedResponse {
+        CachedResponse {
+            status: 200,
+            body: Arc::new(bytes.to_vec()),
+        }
+    }
+
+    #[test]
+    fn leader_then_hits() {
+        let d = Dedup::new(8);
+        let Claim::Leader(tok) = d.claim("k") else {
+            panic!("first claim must lead")
+        };
+        d.publish(tok, resp(b"answer"));
+        for _ in 0..3 {
+            let Claim::Cached(r) = d.claim("k") else {
+                panic!("published key must hit")
+            };
+            assert_eq!(&*r.body, b"answer");
+        }
+        let s = d.stats();
+        assert_eq!((s.misses, s.hits, s.waits), (1, 3, 0));
+    }
+
+    #[test]
+    fn waiters_get_the_leaders_bytes() {
+        let d = Dedup::new(8);
+        let Claim::Leader(tok) = d.claim("k") else {
+            panic!()
+        };
+        let waiters: Vec<_> = (0..4)
+            .map(|_| {
+                let d = Arc::clone(&d);
+                std::thread::spawn(move || match d.claim("k") {
+                    Claim::Cached(r) => r.body.as_ref().clone(),
+                    Claim::Leader(_) => panic!("in-flight key must not re-lead"),
+                })
+            })
+            .collect();
+        // Give the waiters a moment to block on the in-flight key.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        d.publish(tok, resp(b"shared"));
+        for w in waiters {
+            assert_eq!(w.join().unwrap(), b"shared");
+        }
+        let s = d.stats();
+        assert_eq!(s.misses, 1, "only the leader computes");
+        assert_eq!(s.hits + s.waits, 4);
+    }
+
+    #[test]
+    fn abandoned_leadership_is_recoverable() {
+        let d = Dedup::new(8);
+        {
+            let Claim::Leader(_tok) = d.claim("k") else {
+                panic!()
+            };
+            // _tok drops unpublished (simulating a handler panic).
+        }
+        let Claim::Leader(tok) = d.claim("k") else {
+            panic!("key must be claimable again")
+        };
+        d.publish(tok, resp(b"second try"));
+    }
+
+    #[test]
+    fn lru_evicts_the_coldest_key() {
+        let d = Dedup::new(2);
+        for key in ["a", "b"] {
+            let Claim::Leader(tok) = d.claim(key) else {
+                panic!()
+            };
+            d.publish(tok, resp(key.as_bytes()));
+        }
+        // Touch "a" so "b" is the coldest, then insert "c".
+        assert!(matches!(d.claim("a"), Claim::Cached(_)));
+        let Claim::Leader(tok) = d.claim("c") else {
+            panic!()
+        };
+        d.publish(tok, resp(b"c"));
+        assert!(matches!(d.claim("a"), Claim::Cached(_)), "a survives");
+        assert!(matches!(d.claim("c"), Claim::Cached(_)), "c stored");
+        assert!(
+            matches!(d.claim("b"), Claim::Leader(_)),
+            "b was evicted and must recompute"
+        );
+        assert_eq!(d.stats().entries, 2);
+    }
+}

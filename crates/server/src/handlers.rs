@@ -1,0 +1,299 @@
+//! Request routing and the analysis/DSE endpoint implementations.
+//!
+//! Error taxonomy mirrors the CLI's exit codes: what the CLI reports as a
+//! usage or input error (exit 1/2) is a 400 here, what it reports as an
+//! analysis failure (exit 3) is a 500. Every error body has the same
+//! shape: `{"error": {"kind": "...", "message": "..."}}`.
+
+use crate::server::AppState;
+use std::sync::atomic::Ordering;
+use tenet_core::json::Json;
+use tenet_core::{export, presets, Analysis, AnalysisOptions, ArchSpec, Dataflow};
+use tenet_dse::{enumerate_all, explore_parallel, pareto};
+use tenet_frontend::{parse_arch, parse_problem, Problem};
+
+/// A handler outcome: status code plus JSON entity.
+pub struct Reply {
+    /// HTTP status.
+    pub status: u16,
+    /// Entity body.
+    pub body: Json,
+}
+
+impl Reply {
+    fn ok(body: Json) -> Reply {
+        Reply { status: 200, body }
+    }
+
+    fn error(status: u16, kind: &str, message: impl Into<String>) -> Reply {
+        Reply {
+            status,
+            body: Json::obj([(
+                "error",
+                Json::obj([
+                    ("kind", Json::from(kind)),
+                    ("message", Json::from(message.into())),
+                ]),
+            )]),
+        }
+    }
+
+    /// 400 — the request itself is malformed (CLI exit codes 1/2).
+    fn bad_request(kind: &str, message: impl Into<String>) -> Reply {
+        Reply::error(400, kind, message)
+    }
+
+    /// 500 — the request is well-formed but the analysis failed
+    /// (CLI exit code 3).
+    fn analysis(message: impl Into<String>) -> Reply {
+        Reply::error(500, "analysis", message)
+    }
+}
+
+/// Routes one request. `body` is the raw request body; dedup happens in
+/// the connection layer, not here.
+pub fn route(method: &str, path: &str, body: &[u8], state: &AppState) -> Reply {
+    match (method, path) {
+        ("GET", "/v1/healthz") => Reply::ok(Json::obj([("status", Json::from("ok"))])),
+        ("GET", "/v1/stats") => Reply::ok(state.stats.to_json(
+            state.dedup.stats(),
+            state.started.elapsed(),
+            state.backlog(),
+        )),
+        ("POST", "/v1/analyze") => match decode_body(body) {
+            Ok(req) => analyze(&req, state),
+            Err(r) => *r,
+        },
+        ("POST", "/v1/dse") => match decode_body(body) {
+            Ok(req) => dse(&req, state),
+            Err(r) => *r,
+        },
+        ("POST", "/v1/shutdown") => {
+            state.shutdown.store(true, Ordering::Release);
+            Reply::ok(Json::obj([("status", Json::from("draining"))]))
+        }
+        ("GET" | "POST", _) => Reply::error(404, "not_found", format!("no route for {path}")),
+        _ => Reply::error(405, "method_not_allowed", format!("method {method}")),
+    }
+}
+
+/// Whether responses for this route may enter the dedup layer.
+/// Health/stats/shutdown are live views and must never be replayed.
+pub fn is_cacheable(method: &str, path: &str) -> bool {
+    method == "POST" && matches!(path, "/v1/analyze" | "/v1/dse")
+}
+
+fn decode_body(body: &[u8]) -> Result<Json, Box<Reply>> {
+    let text = std::str::from_utf8(body)
+        .map_err(|_| Box::new(Reply::bad_request("parse", "request body is not UTF-8")))?;
+    if text.trim().is_empty() {
+        return Err(Box::new(Reply::bad_request(
+            "parse",
+            "empty request body; expected a JSON object",
+        )));
+    }
+    let v = Json::parse(text).map_err(|e| Box::new(Reply::bad_request("parse", e.to_string())))?;
+    if v.as_obj().is_none() {
+        return Err(Box::new(Reply::bad_request(
+            "parse",
+            "request body must be a JSON object",
+        )));
+    }
+    Ok(v)
+}
+
+/// Decodes the fields shared by `analyze` and `dse`: the problem text and
+/// the architecture override.
+fn load_problem(req: &Json) -> Result<Problem, Box<Reply>> {
+    let source = req.get("problem").and_then(Json::as_str).ok_or_else(|| {
+        Box::new(Reply::bad_request(
+            "usage",
+            "missing string field `problem`",
+        ))
+    })?;
+    let mut problem = parse_problem(source).map_err(|e| {
+        Box::new(Reply::bad_request(
+            "parse",
+            format!("problem parse error\n{}", e.render(source)),
+        ))
+    })?;
+    match (req.get("arch"), req.get("preset")) {
+        (Some(_), Some(_)) => {
+            return Err(Box::new(Reply::bad_request(
+                "usage",
+                "give either `arch` or `preset`, not both",
+            )))
+        }
+        (Some(arch), None) => {
+            let text = arch
+                .as_str()
+                .ok_or_else(|| Box::new(Reply::bad_request("usage", "`arch` must be a string")))?;
+            let arch = parse_arch(text).map_err(|e| {
+                Box::new(Reply::bad_request(
+                    "parse",
+                    format!("arch parse error\n{}", e.render(text)),
+                ))
+            })?;
+            problem.arch = Some(arch);
+        }
+        (None, Some(preset)) => {
+            let name = preset.as_str().ok_or_else(|| {
+                Box::new(Reply::bad_request("usage", "`preset` must be a string"))
+            })?;
+            let arch = presets::by_name(name).ok_or_else(|| {
+                Box::new(Reply::bad_request(
+                    "usage",
+                    format!(
+                        "unknown preset `{name}` (known: {})",
+                        presets::names().join(", ")
+                    ),
+                ))
+            })?;
+            problem.arch = Some(arch);
+        }
+        (None, None) => {}
+    }
+    Ok(problem)
+}
+
+fn require_arch(problem: &Problem) -> Result<&ArchSpec, Box<Reply>> {
+    problem.arch.as_ref().ok_or_else(|| {
+        Box::new(Reply::bad_request(
+            "usage",
+            "no architecture: add an `arch { ... }` block to the problem text, or pass \
+             `arch` or `preset`",
+        ))
+    })
+}
+
+/// Optional non-negative integer field.
+fn opt_u64(req: &Json, key: &str) -> Result<Option<u64>, Box<Reply>> {
+    match req.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(v) => v.as_u64().map(Some).ok_or_else(|| {
+            Box::new(Reply::bad_request(
+                "usage",
+                format!("`{key}` must be a non-negative integer"),
+            ))
+        }),
+    }
+}
+
+/// `POST /v1/analyze` — one full performance report per selected
+/// dataflow.
+fn analyze(req: &Json, _state: &AppState) -> Reply {
+    let problem = match load_problem(req) {
+        Ok(p) => p,
+        Err(r) => return *r,
+    };
+    let arch = match require_arch(&problem) {
+        Ok(a) => a,
+        Err(r) => return *r,
+    };
+    if problem.dataflows.is_empty() {
+        return Reply::bad_request("usage", "the problem text declares no dataflow");
+    }
+    let mut opts = AnalysisOptions::default();
+    match opt_u64(req, "window") {
+        Ok(Some(w)) if w <= u32::MAX as u64 => opts.reuse_window = w as u32,
+        Ok(Some(_)) => return Reply::bad_request("usage", "`window` out of range"),
+        Ok(None) => {}
+        Err(r) => return *r,
+    }
+    let selected: Vec<(usize, &Dataflow)> = match opt_u64(req, "dataflow") {
+        Ok(Some(n)) => {
+            let n = n as usize;
+            match problem.dataflows.get(n) {
+                Some(df) => vec![(n, df)],
+                None => {
+                    return Reply::bad_request(
+                        "usage",
+                        format!(
+                            "`dataflow` {n} out of range (problem has {})",
+                            problem.dataflows.len()
+                        ),
+                    )
+                }
+            }
+        }
+        Ok(None) => problem.dataflows.iter().enumerate().collect(),
+        Err(r) => return *r,
+    };
+    let mut reports = Vec::with_capacity(selected.len());
+    for (idx, df) in selected {
+        let report = Analysis::with_options(&problem.kernel, df, arch, opts.clone())
+            .and_then(|a| a.report());
+        match report {
+            Ok(r) => {
+                let mut obj = vec![("dataflow_index".to_string(), Json::from(idx))];
+                if let Json::Obj(pairs) = export::to_json(&r) {
+                    obj.extend(pairs);
+                }
+                reports.push(Json::Obj(obj));
+            }
+            Err(e) => return Reply::analysis(format!("dataflow #{idx}: {e}")),
+        }
+    }
+    Reply::ok(Json::obj([
+        ("op", Json::from(problem.kernel.name())),
+        ("arch", Json::from(arch.name.as_str())),
+        ("reports", Json::Arr(reports)),
+    ]))
+}
+
+/// `POST /v1/dse` — enumerate candidate dataflows under hardware
+/// constraints, evaluate them in parallel, return the ranked points and
+/// the latency/SBW Pareto frontier.
+fn dse(req: &Json, state: &AppState) -> Reply {
+    let problem = match load_problem(req) {
+        Ok(p) => p,
+        Err(r) => return *r,
+    };
+    let arch = match require_arch(&problem) {
+        Ok(a) => a,
+        Err(r) => return *r,
+    };
+    let pe = match opt_u64(req, "pe") {
+        Ok(Some(p)) if (1..=1 << 20).contains(&p) => p as i64,
+        Ok(Some(p)) => {
+            return Reply::bad_request("usage", format!("`pe` {p} out of range [1, 2^20]"))
+        }
+        Ok(None) => *arch.pe_dims.first().unwrap_or(&8),
+        Err(r) => return *r,
+    };
+    let top = match opt_u64(req, "top") {
+        Ok(Some(t)) => (t as usize).min(1000),
+        Ok(None) => 10,
+        Err(r) => return *r,
+    };
+    let threads = match opt_u64(req, "threads") {
+        Ok(Some(t)) if t >= 1 => (t as usize).min(state.config.dse_thread_cap),
+        Ok(Some(_)) => return Reply::bad_request("usage", "`threads` must be >= 1"),
+        Ok(None) => state.config.dse_thread_cap.min(4),
+        Err(r) => return *r,
+    };
+    let pe1d = arch.pe_count().min(i64::MAX as u128) as i64;
+    let candidates = match enumerate_all(&problem.kernel, pe, pe1d) {
+        Ok(c) => c,
+        Err(e) => return Reply::analysis(format!("enumeration failed: {e}")),
+    };
+    let points = match explore_parallel(&problem.kernel, arch, &candidates, threads) {
+        Ok(p) => p,
+        Err(e) => return Reply::analysis(format!("exploration failed: {e}")),
+    };
+    let frontier = pareto(&points);
+    Reply::ok(Json::obj([
+        ("op", Json::from(problem.kernel.name())),
+        ("arch", Json::from(arch.name.as_str())),
+        ("explored", Json::from(candidates.len())),
+        ("valid", Json::from(points.len())),
+        (
+            "points",
+            Json::Arr(points.iter().take(top).map(|p| p.to_json()).collect()),
+        ),
+        (
+            "pareto",
+            Json::Arr(frontier.iter().map(|p| p.to_json()).collect()),
+        ),
+    ]))
+}

@@ -1,0 +1,103 @@
+//! # tenet-server
+//!
+//! A dependency-free concurrent HTTP/JSON analysis service over the
+//! TENET performance model: the ROADMAP's "serve dataflow-cost queries
+//! as a production system" step. Everything is built on `std` —
+//! `TcpListener`, a hand-rolled HTTP/1.1 codec, a bounded worker pool,
+//! and the shared JSON module in `tenet_core::json`.
+//!
+//! ## API
+//!
+//! | Route | Meaning |
+//! |---|---|
+//! | `POST /v1/analyze` | problem text (+ arch/preset) → full performance report(s) |
+//! | `POST /v1/dse` | problem text + constraints → ranked points + Pareto frontier |
+//! | `GET /v1/healthz` | liveness |
+//! | `GET /v1/stats` | counters, latency histogram, dedup and ISL-cache hit rates |
+//! | `POST /v1/shutdown` | graceful drain (stop accepting, finish in-flight) |
+//!
+//! ## Layers
+//!
+//! * [`http`] — incremental request parsing (split reads, pipelining,
+//!   size limits) and response encoding.
+//! * [`pool`] — the bounded worker pool; full backlog sheds load with
+//!   `503` instead of queueing unboundedly.
+//! * [`dedup`] — in-flight request deduplication plus a response LRU
+//!   keyed on the canonicalized request, layered over the process-wide
+//!   ISL memo context: identical hot queries from many clients cost one
+//!   analysis and get bit-identical bytes.
+//! * [`stats`] — counters and a lock-free latency histogram.
+//! * [`handlers`] — routing and the endpoint implementations; errors
+//!   mirror the CLI's exit-code taxonomy (4xx usage/parse, 5xx analysis).
+//!
+//! ```no_run
+//! let config = tenet_server::ServerConfig {
+//!     addr: "127.0.0.1:0".into(),
+//!     ..Default::default()
+//! };
+//! let server = tenet_server::Server::bind(config)?;
+//! println!("listening on {}", server.local_addr());
+//! let handle = server.handle(); // shutdown from another thread
+//! server.run()?;
+//! # drop(handle);
+//! # Ok::<(), std::io::Error>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod dedup;
+pub mod handlers;
+pub mod http;
+pub mod pool;
+mod server;
+pub mod stats;
+
+pub use server::{AppState, Server, ServerHandle};
+
+use std::time::Duration;
+
+/// Service configuration. `Default` is tuned for a small host; every
+/// knob exists so tests (tiny timeouts, ephemeral ports) and production
+/// (bigger pools) can share the code path.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address, e.g. `127.0.0.1:8080` (port `0` for ephemeral).
+    pub addr: String,
+    /// Worker threads serving connections.
+    pub threads: usize,
+    /// Accepted connections allowed to wait for a worker before the
+    /// server sheds load with `503`.
+    pub queue_capacity: usize,
+    /// Per-connection read timeout (also bounds drain time at shutdown).
+    pub read_timeout: Duration,
+    /// Per-connection write timeout.
+    pub write_timeout: Duration,
+    /// Maximum request-body size in bytes (`413` beyond).
+    pub max_body: usize,
+    /// Maximum header-block size in bytes (`431` beyond).
+    pub max_header: usize,
+    /// Response-LRU capacity (entries).
+    pub cache_capacity: usize,
+    /// Upper bound on the `threads` a single `/v1/dse` request may ask
+    /// `explore_parallel` for.
+    pub dse_thread_cap: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        let parallelism = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(2);
+        ServerConfig {
+            addr: "127.0.0.1:8080".into(),
+            threads: parallelism.clamp(2, 16),
+            queue_capacity: 128,
+            read_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(5),
+            max_body: 1 << 20,     // 1 MiB
+            max_header: 16 * 1024, // 16 KiB
+            cache_capacity: 1024,
+            dse_thread_cap: 8,
+        }
+    }
+}

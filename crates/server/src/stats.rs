@@ -1,0 +1,262 @@
+//! Service-level counters and a lock-free latency histogram, surfaced by
+//! `GET /v1/stats`.
+
+use crate::dedup::DedupStats;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+use tenet_core::json::Json;
+use tenet_core::CounterHandle;
+
+/// Upper bucket bounds of the latency histogram, in microseconds. The
+/// final bucket is open-ended.
+pub const LATENCY_BUCKETS_US: [u64; 14] = [
+    50,
+    100,
+    250,
+    500,
+    1_000,
+    2_500,
+    5_000,
+    10_000,
+    25_000,
+    50_000,
+    100_000,
+    250_000,
+    1_000_000,
+    u64::MAX,
+];
+
+/// Atomic counters shared by the accept loop, the workers, and the stats
+/// endpoint. All counters are monotonic except `in_flight`.
+pub struct ServerStats {
+    /// Connections accepted.
+    pub connections: AtomicU64,
+    /// Requests fully parsed and routed.
+    pub requests: AtomicU64,
+    /// Requests currently being processed.
+    pub in_flight: AtomicU64,
+    /// Requests completed (any status).
+    pub completed: AtomicU64,
+    /// Responses with a 2xx status.
+    pub status_2xx: AtomicU64,
+    /// Responses with a 4xx status.
+    pub status_4xx: AtomicU64,
+    /// Responses with a 5xx status.
+    pub status_5xx: AtomicU64,
+    /// Connections shed with 503 because the worker backlog was full.
+    pub rejected_busy: AtomicU64,
+    /// Per-bucket request-latency counts (bounds in
+    /// [`LATENCY_BUCKETS_US`]).
+    pub latency_buckets: [AtomicU64; LATENCY_BUCKETS_US.len()],
+    /// ISL-cache lookups attributable to this server's workers — a
+    /// [`CounterHandle`] attached on every worker thread, so the numbers
+    /// stay exact even when other code in the process uses the cache.
+    pub isl_handle: CounterHandle,
+}
+
+impl Default for ServerStats {
+    fn default() -> ServerStats {
+        ServerStats {
+            connections: AtomicU64::new(0),
+            requests: AtomicU64::new(0),
+            in_flight: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            status_2xx: AtomicU64::new(0),
+            status_4xx: AtomicU64::new(0),
+            status_5xx: AtomicU64::new(0),
+            rejected_busy: AtomicU64::new(0),
+            latency_buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            isl_handle: CounterHandle::new(),
+        }
+    }
+}
+
+impl ServerStats {
+    /// Records one completed request with the given status and latency.
+    pub fn record(&self, status: u16, latency: Duration) {
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        match status {
+            200..=299 => &self.status_2xx,
+            400..=499 => &self.status_4xx,
+            _ => &self.status_5xx,
+        }
+        .fetch_add(1, Ordering::Relaxed);
+        let us = latency.as_micros().min(u64::MAX as u128) as u64;
+        let idx = LATENCY_BUCKETS_US
+            .iter()
+            .position(|&b| us <= b)
+            .unwrap_or(LATENCY_BUCKETS_US.len() - 1);
+        self.latency_buckets[idx].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Estimates the `q`-quantile (`0 < q <= 1`) from the histogram,
+    /// reported as the upper bound of the containing bucket (µs).
+    pub fn latency_quantile_us(&self, q: f64) -> u64 {
+        let counts: Vec<u64> = self
+            .latency_buckets
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let target = ((total as f64) * q).ceil() as u64;
+        let mut seen = 0;
+        for (i, c) in counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return LATENCY_BUCKETS_US[i];
+            }
+        }
+        *LATENCY_BUCKETS_US.last().expect("non-empty buckets")
+    }
+
+    /// The full stats document served by `GET /v1/stats`.
+    pub fn to_json(&self, dedup: DedupStats, uptime: Duration, backlog: usize) -> Json {
+        let global = tenet_core::isl_cache::stats();
+        let histogram = Json::Arr(
+            LATENCY_BUCKETS_US
+                .iter()
+                .zip(self.latency_buckets.iter())
+                .map(|(&bound, count)| {
+                    Json::obj([
+                        (
+                            "le_us",
+                            if bound == u64::MAX {
+                                Json::Null
+                            } else {
+                                Json::from(bound)
+                            },
+                        ),
+                        ("count", Json::from(count.load(Ordering::Relaxed))),
+                    ])
+                })
+                .collect(),
+        );
+        let dedup_total = dedup.hits + dedup.waits + dedup.misses;
+        Json::obj([
+            (
+                "uptime_ms",
+                Json::from(uptime.as_millis().min(u64::MAX as u128) as u64),
+            ),
+            (
+                "requests",
+                Json::obj([
+                    (
+                        "accepted_connections",
+                        Json::from(self.connections.load(Ordering::Relaxed)),
+                    ),
+                    ("total", Json::from(self.requests.load(Ordering::Relaxed))),
+                    (
+                        "in_flight",
+                        Json::from(self.in_flight.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "completed",
+                        Json::from(self.completed.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "status_2xx",
+                        Json::from(self.status_2xx.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "status_4xx",
+                        Json::from(self.status_4xx.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "status_5xx",
+                        Json::from(self.status_5xx.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "rejected_busy",
+                        Json::from(self.rejected_busy.load(Ordering::Relaxed)),
+                    ),
+                    ("backlog", Json::from(backlog)),
+                ]),
+            ),
+            (
+                "latency",
+                Json::obj([
+                    ("p50_us", Json::from(self.latency_quantile_us(0.50))),
+                    ("p99_us", Json::from(self.latency_quantile_us(0.99))),
+                    ("histogram", histogram),
+                ]),
+            ),
+            (
+                "dedup",
+                Json::obj([
+                    ("hits", Json::from(dedup.hits)),
+                    ("inflight_waits", Json::from(dedup.waits)),
+                    ("misses", Json::from(dedup.misses)),
+                    ("entries", Json::from(dedup.entries)),
+                    (
+                        "hit_rate",
+                        Json::from(if dedup_total == 0 {
+                            0.0
+                        } else {
+                            (dedup.hits + dedup.waits) as f64 / dedup_total as f64
+                        }),
+                    ),
+                ]),
+            ),
+            (
+                "isl_cache",
+                Json::obj([
+                    (
+                        "server",
+                        Json::obj([
+                            ("hits", Json::from(self.isl_handle.hits())),
+                            ("misses", Json::from(self.isl_handle.misses())),
+                            ("hit_rate", Json::from(self.isl_handle.hit_rate())),
+                        ]),
+                    ),
+                    (
+                        "process",
+                        Json::obj([
+                            ("hits", Json::from(global.hits)),
+                            ("misses", Json::from(global.misses)),
+                            ("hit_rate", Json::from(global.hit_rate())),
+                            ("entries", Json::from(global.entries)),
+                            ("interned", Json::from(global.interned)),
+                        ]),
+                    ),
+                ]),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_come_from_the_right_bucket() {
+        let s = ServerStats::default();
+        // 99 fast requests (≤50µs) and one slow (≈30ms).
+        for _ in 0..99 {
+            s.record(200, Duration::from_micros(10));
+        }
+        s.record(200, Duration::from_millis(30));
+        assert_eq!(s.latency_quantile_us(0.50), 50);
+        assert_eq!(s.latency_quantile_us(0.99), 50);
+        assert_eq!(s.latency_quantile_us(1.0), 50_000);
+        assert_eq!(s.status_2xx.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn stats_json_has_the_documented_shape() {
+        let s = ServerStats::default();
+        s.record(200, Duration::from_micros(120));
+        s.record(400, Duration::from_micros(80));
+        let doc = s.to_json(DedupStats::default(), Duration::from_secs(1), 0);
+        let text = doc.to_string();
+        let v = Json::parse(&text).unwrap();
+        let reqs = v.get("requests").unwrap();
+        assert_eq!(reqs.get("completed").and_then(Json::as_u64), Some(2));
+        assert_eq!(reqs.get("status_4xx").and_then(Json::as_u64), Some(1));
+        assert!(v.get("latency").and_then(|l| l.get("histogram")).is_some());
+        assert!(v.get("isl_cache").and_then(|c| c.get("server")).is_some());
+    }
+}

@@ -1,0 +1,283 @@
+//! End-to-end tests: a real server on an ephemeral port, raw TCP
+//! clients, concurrent traffic, and graceful shutdown.
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::time::Duration;
+use tenet_core::json::Json;
+use tenet_server::http::{read_response, ResponseReader};
+use tenet_server::{Server, ServerConfig};
+
+const GEMM_PROBLEM: &str = "\
+for (i = 0; i < 4; i++)
+  for (j = 0; j < 4; j++)
+    for (k = 0; k < 4; k++)
+      S: Y[i][j] += A[i][k] * B[k][j];
+
+{ S[i,j,k] -> (PE[i,j] | T[i + j + k]) }
+
+arch \"4x4\" { array = [4, 4] interconnect = systolic2d bandwidth = 8 }
+";
+
+/// Starts a server on an ephemeral port; returns its address and handle.
+fn start() -> (std::net::SocketAddr, tenet_server::ServerHandle) {
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        threads: 4,
+        read_timeout: Duration::from_millis(2000),
+        write_timeout: Duration::from_millis(2000),
+        ..Default::default()
+    };
+    let server = Server::bind(config).expect("bind ephemeral port");
+    let addr = server.local_addr();
+    let handle = server.handle();
+    std::thread::spawn(move || server.run().expect("server run"));
+    (addr, handle)
+}
+
+fn post(addr: std::net::SocketAddr, path: &str, body: &str) -> (u16, Vec<u8>) {
+    let mut s = TcpStream::connect(addr).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    let req = format!(
+        "POST {path} HTTP/1.1\r\nHost: t\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    s.write_all(req.as_bytes()).unwrap();
+    read_response(&mut s).expect("read response")
+}
+
+fn get(addr: std::net::SocketAddr, path: &str) -> (u16, Vec<u8>) {
+    let mut s = TcpStream::connect(addr).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    let req = format!("GET {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n");
+    s.write_all(req.as_bytes()).unwrap();
+    read_response(&mut s).expect("read response")
+}
+
+fn analyze_body() -> String {
+    Json::obj([("problem", Json::from(GEMM_PROBLEM))]).to_string()
+}
+
+fn dse_body() -> String {
+    Json::obj([
+        ("problem", Json::from(GEMM_PROBLEM)),
+        ("pe", Json::from(4u64)),
+        ("top", Json::from(3u64)),
+        ("threads", Json::from(2u64)),
+    ])
+    .to_string()
+}
+
+#[test]
+fn healthz_stats_and_analyze_roundtrip() {
+    let (addr, handle) = start();
+
+    let (status, body) = get(addr, "/v1/healthz");
+    assert_eq!(status, 200);
+    let v = Json::parse(std::str::from_utf8(&body).unwrap()).unwrap();
+    assert_eq!(v.get("status").and_then(Json::as_str), Some("ok"));
+
+    let (status, body) = post(addr, "/v1/analyze", &analyze_body());
+    assert_eq!(
+        status,
+        200,
+        "analyze failed: {}",
+        String::from_utf8_lossy(&body)
+    );
+    let v = Json::parse(std::str::from_utf8(&body).unwrap()).unwrap();
+    // The kernel is named after its statement label (`S:`).
+    assert_eq!(v.get("op").and_then(Json::as_str), Some("S"));
+    let reports = v.get("reports").and_then(Json::as_arr).unwrap();
+    assert_eq!(reports.len(), 1);
+    assert_eq!(reports[0].get("macs").and_then(Json::as_u64), Some(64));
+    assert!(reports[0].get("latency").is_some());
+
+    let (status, body) = get(addr, "/v1/stats");
+    assert_eq!(status, 200);
+    let v = Json::parse(std::str::from_utf8(&body).unwrap()).unwrap();
+    let requests = v.get("requests").unwrap();
+    assert!(requests.get("completed").and_then(Json::as_u64).unwrap() >= 2);
+    assert!(v.get("dedup").is_some());
+    assert!(v.get("isl_cache").is_some());
+
+    handle.shutdown();
+}
+
+#[test]
+fn error_taxonomy_maps_to_statuses() {
+    let (addr, handle) = start();
+
+    // Parse error (broken JSON) → 400 kind=parse.
+    let (status, body) = post(addr, "/v1/analyze", "{not json");
+    assert_eq!(status, 400);
+    let v = Json::parse(std::str::from_utf8(&body).unwrap()).unwrap();
+    assert_eq!(
+        v.get("error")
+            .and_then(|e| e.get("kind"))
+            .and_then(Json::as_str),
+        Some("parse")
+    );
+
+    // Usage error (missing field) → 400 kind=usage.
+    let (status, body) = post(addr, "/v1/analyze", "{\"nope\": 1}");
+    assert_eq!(status, 400);
+    let v = Json::parse(std::str::from_utf8(&body).unwrap()).unwrap();
+    assert_eq!(
+        v.get("error")
+            .and_then(|e| e.get("kind"))
+            .and_then(Json::as_str),
+        Some("usage")
+    );
+
+    // Unknown route → 404; wrong method → 405.
+    assert_eq!(get(addr, "/v1/nope").0, 404);
+    let (status, _) = {
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        s.write_all(b"DELETE /v1/analyze HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n")
+            .unwrap();
+        read_response(&mut s).unwrap()
+    };
+    assert_eq!(status, 405);
+
+    // Oversized body → 413 before any handler runs.
+    let huge = (ServerConfig::default().max_body + 1).to_string();
+    let mut s = TcpStream::connect(addr).unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    s.write_all(
+        format!("POST /v1/analyze HTTP/1.1\r\nHost: t\r\nContent-Length: {huge}\r\n\r\n")
+            .as_bytes(),
+    )
+    .unwrap();
+    let (status, _) = read_response(&mut s).unwrap();
+    assert_eq!(status, 413);
+
+    handle.shutdown();
+}
+
+#[test]
+fn concurrent_duplicates_are_bit_identical_and_deduped() {
+    let (addr, handle) = start();
+
+    // Mixed concurrent traffic: many duplicate analyze requests (two
+    // textual spellings of the same logical request — key order must not
+    // matter) plus dse requests, from many client threads.
+    let analyze_a = Json::obj([
+        ("problem", Json::from(GEMM_PROBLEM)),
+        ("window", Json::from(1u64)),
+    ])
+    .to_string();
+    let analyze_b = Json::obj([
+        ("window", Json::from(1u64)),
+        ("problem", Json::from(GEMM_PROBLEM)),
+    ])
+    .to_string();
+    let clients: Vec<_> = (0..8)
+        .map(|i| {
+            let analyze_a = analyze_a.clone();
+            let analyze_b = analyze_b.clone();
+            std::thread::spawn(move || {
+                let mut bodies = Vec::new();
+                for round in 0..3 {
+                    let (status, body) = if (i + round) % 4 == 3 {
+                        post(addr, "/v1/dse", &dse_body())
+                    } else if i % 2 == 0 {
+                        post(addr, "/v1/analyze", &analyze_a)
+                    } else {
+                        post(addr, "/v1/analyze", &analyze_b)
+                    };
+                    assert_eq!(
+                        status,
+                        200,
+                        "request failed: {}",
+                        String::from_utf8_lossy(&body)
+                    );
+                    if (i + round) % 4 != 3 {
+                        bodies.push(body);
+                    }
+                }
+                bodies
+            })
+        })
+        .collect();
+    let mut analyze_bodies = Vec::new();
+    for c in clients {
+        analyze_bodies.extend(c.join().unwrap());
+    }
+    assert!(analyze_bodies.len() >= 16);
+    for b in &analyze_bodies {
+        assert_eq!(
+            b, &analyze_bodies[0],
+            "duplicate analyze responses must be bit-identical"
+        );
+    }
+
+    // The dedup layer must have collapsed the duplicates: exactly one
+    // analyze miss and one dse miss.
+    let (_, body) = get(addr, "/v1/stats");
+    let v = Json::parse(std::str::from_utf8(&body).unwrap()).unwrap();
+    let dedup = v.get("dedup").unwrap();
+    assert_eq!(
+        dedup.get("misses").and_then(Json::as_u64),
+        Some(2),
+        "stats: {v}"
+    );
+    let served = dedup.get("hits").and_then(Json::as_u64).unwrap()
+        + dedup.get("inflight_waits").and_then(Json::as_u64).unwrap();
+    assert_eq!(served, 24 - 2, "every duplicate must come from the layer");
+
+    handle.shutdown();
+}
+
+#[test]
+fn pipelined_requests_on_one_connection() {
+    let (addr, handle) = start();
+    let mut s = TcpStream::connect(addr).unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    // Two healthz and a stats, written back-to-back before reading.
+    let burst = "GET /v1/healthz HTTP/1.1\r\nHost: t\r\n\r\n\
+                 GET /v1/healthz HTTP/1.1\r\nHost: t\r\n\r\n\
+                 GET /v1/stats HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n";
+    s.write_all(burst.as_bytes()).unwrap();
+    let mut reader = ResponseReader::new(&mut s);
+    let (s1, b1) = reader.next_response().unwrap();
+    let (s2, b2) = reader.next_response().unwrap();
+    let (s3, _b3) = reader.next_response().unwrap();
+    assert_eq!((s1, s2, s3), (200, 200, 200));
+    assert_eq!(b1, b2);
+    handle.shutdown();
+}
+
+#[test]
+fn graceful_shutdown_drains_and_stops_accepting() {
+    let (addr, _handle) = start();
+    // Shut down via the admin endpoint (the path CI uses).
+    let (status, body) = post(addr, "/v1/shutdown", "");
+    assert_eq!(status, 200);
+    let v = Json::parse(std::str::from_utf8(&body).unwrap()).unwrap();
+    assert_eq!(v.get("status").and_then(Json::as_str), Some("draining"));
+    // The accept loop polls the flag every few ms; soon after, new
+    // connections must stop being served.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    loop {
+        std::thread::sleep(Duration::from_millis(20));
+        match TcpStream::connect(addr) {
+            Err(_) => break, // listener closed
+            Ok(mut s) => {
+                // Connection may be accepted by the OS backlog; a request
+                // must no longer be answered once drain completes.
+                s.set_read_timeout(Some(Duration::from_millis(200)))
+                    .unwrap();
+                let _ = s.write_all(b"GET /v1/healthz HTTP/1.1\r\nHost: t\r\n\r\n");
+                if read_response(&mut s).is_err() {
+                    break;
+                }
+            }
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "server kept serving after shutdown"
+        );
+    }
+}

@@ -4,8 +4,8 @@
 //! Based on Relation-centric Notation* (ISCA 2021), including a
 //! from-scratch integer set library, the relation-centric performance
 //! model, the MAESTRO-style data-centric baseline, a cycle-level golden
-//! simulator, the paper's workloads and dataflows, and design-space
-//! exploration.
+//! simulator, the paper's workloads and dataflows, design-space
+//! exploration, and a concurrent HTTP/JSON analysis service.
 //!
 //! ```
 //! use tenet::core::{Analysis, ArchSpec, Dataflow, Interconnect, TensorOp};
@@ -28,5 +28,6 @@ pub use tenet_dse as dse;
 pub use tenet_frontend as frontend;
 pub use tenet_isl as isl;
 pub use tenet_maestro as maestro;
+pub use tenet_server as server;
 pub use tenet_sim as sim;
 pub use tenet_workloads as workloads;
