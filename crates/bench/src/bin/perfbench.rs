@@ -116,6 +116,21 @@ fn bench_isl(dir: &std::path::Path) {
     .unwrap();
     let sub_a = Set::parse("{ A[x,y] : 0 <= x < 50 and 0 <= y < 50 }").unwrap();
     let sub_b = Set::parse("{ A[x,y] : 10 <= x < 40 and 5 <= y < 45 }").unwrap();
+    // Box ∩ k≥2 independent slab directions: the zonotope-like shapes the
+    // multi-slab closed form covers (previously the recursive fallback).
+    let two_slab = Set::parse(
+        "{ A[x,y,z] : 0 <= x < 60 and 0 <= y < 60 and 0 <= z < 60 \
+         and 20 <= x + y and x + y <= 70 and 15 <= y + z and y + z <= 80 }",
+    )
+    .unwrap();
+    let three_slab = Set::parse(
+        "{ A[x,y,z] : 0 <= x < 40 and 0 <= y < 40 and 0 <= z < 40 \
+         and 10 <= x + y and x + y <= 60 and 5 <= y + z and y + z <= 70 \
+         and 0 <= x + z and x + z <= 50 }",
+    )
+    .unwrap();
+    assert_eq!(two_slab.card().unwrap(), 109_459);
+    assert_eq!(three_slab.card().unwrap(), 41_553);
 
     let entries = vec![
         measure("isl_reverse", || theta.reverse()),
@@ -127,6 +142,8 @@ fn bench_isl(dir: &std::path::Path) {
         measure("isl_subtract", || {
             sub_a.subtract(&sub_b).unwrap().card().unwrap()
         }),
+        measure("isl_card_two_slab", || two_slab.card().unwrap()),
+        measure("isl_card_three_slab", || three_slab.card().unwrap()),
         measure("isl_parse", || Map::parse(theta_text).unwrap()),
     ];
     for e in &entries {
@@ -193,7 +210,66 @@ fn bench_modeling(dir: &std::path::Path) {
     write_json(&dir.join("BENCH_modeling.json"), &entries, &extra);
 }
 
+/// Fast CI guard (`--smoke`): asserts the closed-form counting fast paths
+/// are actually taken — each dispatch counter must advance while counting
+/// a box, a single-slab prism, and a k≥2 multi-slab shape — and that the
+/// counts are the known-exact values. Panics (nonzero exit) on failure.
+fn smoke() {
+    isl_cache::set_enabled(false); // force real computation, no memo replay
+    let before = tenet_isl::fast_path_stats();
+    let boxy = Set::parse("{ A[x, y] : 0 <= x < 7 and 0 <= y < 9 }").unwrap();
+    assert_eq!(boxy.card().unwrap(), 63, "box count");
+    let slab = Set::parse(
+        "{ A[x, y, t] : 0 <= x < 8 and 0 <= y < 8 and 0 <= t < 20 and 3 <= x + y + t and x + y + t <= 18 }",
+    )
+    .unwrap();
+    assert_eq!(slab.card().unwrap(), 758, "slab count");
+    let multi = Set::parse(
+        "{ A[x, y, z] : 0 <= x < 10 and 0 <= y < 10 and 0 <= z < 10 \
+         and 3 <= x + y and x + y <= 14 and 2 <= y + z and y + z <= 15 }",
+    )
+    .unwrap();
+    assert_eq!(multi.card().unwrap(), 778, "multi-slab count");
+    // One-sided box: feasibility probes saturate through the residual-box
+    // branch (bounded boxes collapse through the window drop instead).
+    let open_box = Set::parse("{ A[x, y] : x >= 0 and y >= 0 }").unwrap();
+    assert!(!open_box.is_empty().unwrap(), "open box must be non-empty");
+    let after = tenet_isl::fast_path_stats();
+    assert!(
+        after.box_counts > before.box_counts,
+        "residual-box fast path not taken: {before:?} -> {after:?}"
+    );
+    assert!(
+        after.window_counts > before.window_counts,
+        "functional-window fast path not taken: {before:?} -> {after:?}"
+    );
+    assert!(
+        after.slab_counts > before.slab_counts,
+        "slab fast path not taken: {before:?} -> {after:?}"
+    );
+    assert!(
+        after.multi_slab_counts > before.multi_slab_counts,
+        "multi-slab fast path not taken: {before:?} -> {after:?}"
+    );
+    // The memo layer must replay bit-identically on a warm hit.
+    isl_cache::clear();
+    isl_cache::set_enabled(true);
+    let m = Map::parse("{ S[i, j] -> PE[i] : 0 <= i < 9 and 0 <= j < 7 }").unwrap();
+    let cold = m.card().unwrap();
+    let warm = m.card().unwrap();
+    assert_eq!(cold, warm, "memo replay");
+    assert!(
+        isl_cache::stats().hits > 0,
+        "warm card lookup must hit the memo"
+    );
+    println!("perfbench smoke ok: fast paths {before:?} -> {after:?}");
+}
+
 fn main() {
+    if std::env::args().any(|a| a == "--smoke") {
+        smoke();
+        return;
+    }
     let dir = std::env::var("PERFBENCH_OUT_DIR").unwrap_or_else(|_| ".".to_string());
     let dir = std::path::PathBuf::from(dir);
     bench_isl(&dir);

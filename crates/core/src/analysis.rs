@@ -16,6 +16,12 @@ pub struct AnalysisOptions {
     /// Sweep every time-stamp exactly for the max-utilization metric when
     /// the stamp count does not exceed this limit; probe otherwise.
     pub max_util_sweep_limit: u128,
+    /// Width guard for the bucketed max-utilization path: when the
+    /// activity relation holds at most this many spacetime points, the
+    /// exact sweep is a *single* `points()` enumeration bucketed by
+    /// time-stamp instead of a per-stamp `fix` + `card` loop. Above the
+    /// guard the per-stamp loop runs (it never materializes the points).
+    pub max_util_bucket_points: u128,
     /// Verify that the dataflow keeps every space-stamp inside the PE
     /// array (cheap, recommended).
     pub check_bounds: bool,
@@ -31,6 +37,7 @@ impl Default for AnalysisOptions {
     fn default() -> Self {
         AnalysisOptions {
             max_util_sweep_limit: 1024,
+            max_util_bucket_points: 1 << 18,
             check_bounds: true,
             reuse_window: 1,
         }
@@ -344,14 +351,10 @@ impl<'a> Analysis<'a> {
             instances as f64 / (pe_count as f64 * n_stamps as f64)
         };
         let (max, exact) = if n_stamps <= self.options.max_util_sweep_limit {
-            let mut max_active = 0u128;
-            for stamp in stamps.points(self.options.max_util_sweep_limit as usize + 1)? {
-                let mut slice = act.clone();
-                for (i, &v) in stamp.iter().enumerate() {
-                    slice = slice.fix(ns + i, v);
-                }
-                max_active = max_active.max(slice.card()?);
-            }
+            let max_active = match self.max_active_bucketed(&act, ns)? {
+                Some(m) => m,
+                None => self.max_active_swept(&act, &stamps, ns)?,
+            };
             (max_active as f64 / pe_count as f64, true)
         } else {
             // Probe a handful of stamps: per-dimension low/mid/high.
@@ -391,6 +394,52 @@ impl<'a> Analysis<'a> {
             time_stamps: n_stamps,
         };
         Ok(*self.util.get_or_init(|| u))
+    }
+
+    /// Bucketed exact max-active count: one `points()` enumeration of the
+    /// activity relation, bucketed by time-stamp suffix (memoized inside
+    /// the isl layer). Returns `None` when the relation is wider than the
+    /// enumeration guard — the caller then runs the per-stamp loop.
+    fn max_active_bucketed(&self, act: &tenet_isl::Set, ns: usize) -> Result<Option<u128>> {
+        let total = act.card()?;
+        if total > self.options.max_util_bucket_points {
+            return Ok(None);
+        }
+        Ok(Some(act.max_suffix_slice_card(ns, total as usize + 1)?))
+    }
+
+    /// The pre-bucketing reference sweep: fix each time-stamp and count
+    /// the active PEs separately. Exact; kept as the fallback above the
+    /// bucket guard and as the differential reference for the bucketed
+    /// path (`tests/util_equiv.rs` asserts they agree on every preset).
+    fn max_active_swept(
+        &self,
+        act: &tenet_isl::Set,
+        stamps: &tenet_isl::Set,
+        ns: usize,
+    ) -> Result<u128> {
+        let mut max_active = 0u128;
+        for stamp in stamps.points(self.options.max_util_sweep_limit as usize + 1)? {
+            let mut slice = act.clone();
+            for (i, &v) in stamp.iter().enumerate() {
+                slice = slice.fix(ns + i, v);
+            }
+            max_active = max_active.max(slice.card()?);
+        }
+        Ok(max_active)
+    }
+
+    /// Test-only access to the two exact max-active computations, so the
+    /// bucketed path can be differentially checked against the reference
+    /// sweep from outside the crate. Returns `(bucketed, swept)`.
+    #[doc(hidden)]
+    pub fn max_active_both_paths(&self) -> Result<(Option<u128>, u128)> {
+        let ns = self.df.n_space();
+        let act = self.theta.range()?;
+        let stamps = act.project_out(0, ns)?;
+        let bucketed = self.max_active_bucketed(&act, ns)?;
+        let swept = self.max_active_swept(&act, &stamps, ns)?;
+        Ok((bucketed, swept))
     }
 
     fn tensor_names(&self) -> Vec<String> {

@@ -14,6 +14,7 @@
 use crate::space::{Space, Tuple};
 use crate::value::{floor_div, gcd};
 use crate::{Error, Result};
+use std::sync::Arc;
 
 pub(crate) use crate::row::Row;
 
@@ -34,7 +35,12 @@ pub struct DivDef {
 /// `row · x + c == 0`.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct BasicMap {
-    pub(crate) space: Space,
+    /// The space is shared behind an `Arc`: relations are cloned on every
+    /// memo round trip and disjunct copy, and deep-copying the dim-name
+    /// strings dominated those clones. All structural traits see through
+    /// the `Arc` (hash/eq delegate to [`Space`]), so sharing is
+    /// observationally identical to owning.
+    pub(crate) space: Arc<Space>,
     pub(crate) divs: Vec<DivDef>,
     pub(crate) eqs: Vec<Row>,
     pub(crate) ineqs: Vec<Row>,
@@ -42,9 +48,9 @@ pub struct BasicMap {
 
 impl BasicMap {
     /// The unconstrained relation over `space`.
-    pub fn universe(space: Space) -> Self {
+    pub fn universe(space: impl Into<Arc<Space>>) -> Self {
         BasicMap {
-            space,
+            space: space.into(),
             divs: Vec::new(),
             eqs: Vec::new(),
             ineqs: Vec::new(),
@@ -585,7 +591,7 @@ impl BasicMap {
             out
         };
         BasicMap {
-            space: self.space.reversed(),
+            space: Arc::new(self.space.reversed()),
             divs: self
                 .divs
                 .iter()
@@ -600,7 +606,8 @@ impl BasicMap {
     }
 
     /// Renames the space without touching constraints.
-    pub fn with_space(mut self, space: Space) -> Result<BasicMap> {
+    pub fn with_space(mut self, space: impl Into<Arc<Space>>) -> Result<BasicMap> {
+        let space = space.into();
         if !self.space.is_compatible(&space) {
             return Err(Error::SpaceMismatch(format!(
                 "cannot rename {} to {}",

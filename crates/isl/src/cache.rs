@@ -73,6 +73,10 @@ pub(crate) enum OpKind {
     Empty,
     /// [`Map::coalesce`]
     Coalesce,
+    /// [`Map::fix_in`] / [`Map::fix_out`] (column and value in `extra`)
+    Fix,
+    /// [`crate::Set::max_suffix_slice_card`] (split position in `extra`)
+    SliceMax,
 }
 
 #[derive(Clone)]
@@ -94,7 +98,7 @@ struct Tables {
     n_interned: usize,
     next_id: u64,
     /// Memo: (op, lhs id, rhs id or MAX, extra) -> result.
-    memo: HashMap<(OpKind, u64, u64, i64), CachedVal>,
+    memo: HashMap<(OpKind, u64, u64, i128), CachedVal>,
     /// Parse memos: source text -> parsed map, one table per entry point
     /// (`Map::parse` vs `Set::parse` — each accepts texts the other
     /// rejects, so a hit must never cross them; separate tables also allow
@@ -371,7 +375,7 @@ struct Slot {
 
 /// Finishes a lookup once both operand ids are known. Caller holds the
 /// lock.
-fn finish_lookup(c: &Ctx, t: &Tables, op: OpKind, ia: u64, ib: u64, extra: i64) -> Slot {
+fn finish_lookup(c: &Ctx, t: &Tables, op: OpKind, ia: u64, ib: u64, extra: i128) -> Slot {
     let hit = t.memo.get(&(op, ia, ib, extra)).cloned();
     record(c, hit.is_some());
     Slot {
@@ -382,7 +386,7 @@ fn finish_lookup(c: &Ctx, t: &Tables, op: OpKind, ia: u64, ib: u64, extra: i64) 
     }
 }
 
-fn lookup(op: OpKind, a: &Map, b: Option<&Map>, extra: i64) -> Option<Slot> {
+fn lookup(op: OpKind, a: &Map, b: Option<&Map>, extra: i128) -> Option<Slot> {
     let c = ctx();
     if !c.enabled.load(Ordering::Relaxed) {
         return None;
@@ -429,7 +433,7 @@ fn lookup(op: OpKind, a: &Map, b: Option<&Map>, extra: i64) -> Option<Slot> {
     Some(finish_lookup(c, &t, op, ia, ib, extra))
 }
 
-fn store(op: OpKind, slot: &Slot, extra: i64, val: CachedVal) {
+fn store(op: OpKind, slot: &Slot, extra: i128, val: CachedVal) {
     let c = ctx();
     let mut t = c.tables.lock().expect("isl cache poisoned");
     // An eviction between lookup and store invalidates the captured ids
@@ -480,7 +484,7 @@ pub(crate) fn memo_map(
     op: OpKind,
     a: &Map,
     b: Option<&Map>,
-    extra: i64,
+    extra: i128,
     compute: impl FnOnce() -> Result<Map>,
 ) -> Result<Map> {
     let slot = lookup(op, a, b, extra);
@@ -502,9 +506,10 @@ pub(crate) fn memo_map(
 pub(crate) fn memo_count(
     op: OpKind,
     a: &Map,
+    extra: i128,
     compute: impl FnOnce() -> Result<u128>,
 ) -> Result<u128> {
-    let slot = lookup(op, a, None, 0);
+    let slot = lookup(op, a, None, extra);
     if let Some(Slot {
         hit: Some(CachedVal::Count(n)),
         ..
@@ -514,7 +519,7 @@ pub(crate) fn memo_count(
     }
     let result = compute()?;
     if let Some(slot) = slot {
-        store(op, &slot, 0, CachedVal::Count(result));
+        store(op, &slot, extra, CachedVal::Count(result));
     }
     Ok(result)
 }

@@ -19,12 +19,47 @@
 use crate::basic::{BasicMap, Row};
 use crate::value::{ceil_div, floor_div, gcd, mod_hat};
 use crate::{Error, Result};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Hard cap on the number of values a single variable may be enumerated
 /// over before we give up with [`Error::TooComplex`].
 const ENUM_LIMIT: i64 = 4_000_000;
 /// Hard cap on total recursion work.
 const WORK_LIMIT: u64 = 400_000_000;
+
+/// Process-wide counters for the closed-form counting shortcuts, bumped
+/// each time a shape dispatches to a fast path instead of the recursive
+/// enumerator. Monotonic since process start; used by the `perfbench`
+/// smoke mode (and tests) to assert the fast paths are actually taken.
+static WINDOW_FAST: AtomicU64 = AtomicU64::new(0);
+static BOX_FAST: AtomicU64 = AtomicU64::new(0);
+static SLAB_FAST: AtomicU64 = AtomicU64::new(0);
+static MULTI_SLAB_FAST: AtomicU64 = AtomicU64::new(0);
+
+/// Point-in-time snapshot of the closed-form dispatch counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CountStats {
+    /// Functional-window eliminations (exact multiplicative factors; the
+    /// path pure boxes and mod/floor brackets collapse through).
+    pub window_counts: u64,
+    /// Axis-aligned residual boxes counted by interval-width products.
+    pub box_counts: u64,
+    /// Box ∩ single slab (or halfspace) shapes counted by floor-sums.
+    pub slab_counts: u64,
+    /// Box ∩ k≥2 independent slab directions counted by the split-and-
+    /// floor-sum path.
+    pub multi_slab_counts: u64,
+}
+
+/// Current fast-path dispatch counters (process-wide, monotonic).
+pub fn fast_path_stats() -> CountStats {
+    CountStats {
+        window_counts: WINDOW_FAST.load(Ordering::Relaxed),
+        box_counts: BOX_FAST.load(Ordering::Relaxed),
+        slab_counts: SLAB_FAST.load(Ordering::Relaxed),
+        multi_slab_counts: MULTI_SLAB_FAST.load(Ordering::Relaxed),
+    }
+}
 
 /// A free-form constraint system: `n` variables, rows of width `n + 1`
 /// (constant last). Inequalities mean `row >= 0`, equalities `row == 0`.
@@ -906,38 +941,54 @@ fn count_fast(t: &Tableau, limit: Option<u128>, work: &mut u64) -> Result<Option
         return Ok(Some(0));
     };
     if wide.is_empty() {
-        return count_box(&bounds, limit).map(Some);
+        let c = count_box(&bounds, limit)?;
+        BOX_FAST.fetch_add(1, Ordering::Relaxed);
+        return Ok(Some(c));
     }
-    // All multi-variable rows must bound the *same* linear expression `e`
-    // (up to sign): the system is then a box intersected with the slab
-    // `slab_lo <= e <= slab_hi`. One halfspace is the degenerate slab with
-    // a side missing; the skewed time-stamp relations of TENET dataflows
-    // (`t = p0 + p1 + k` with `k` boxed) produce exactly this shape.
+    // Group the multi-variable rows by the linear expression they bound
+    // (up to sign): each group is one slab `lo <= e <= hi` (one halfspace
+    // is the degenerate slab with a side missing). A single group is the
+    // classic skewed time-stamp shape of TENET dataflows (`t = p0 + p1 +
+    // k` with `k` boxed); two-plus *independent* directions form the
+    // zonotope-like shapes that used to fall back to the recursive
+    // counter.
     let n = t.n;
-    let first = t.ineqs[wide[0]].as_slice();
-    let dir: Vec<i64> = first[..n].to_vec();
-    let mut slab_lo: Option<i128> = None; // e >= slab_lo
-    let mut slab_hi: Option<i128> = None; // e <= slab_hi
+    let mut groups: Vec<SlabGroup> = Vec::new();
     for &wi in &wide {
         let r = t.ineqs[wi].as_slice();
-        if r[..n] == dir[..] {
-            // dir·x + c >= 0  =>  e >= -c.
-            let b = -(r[n] as i128);
-            if slab_lo.is_none_or(|cur| b > cur) {
-                slab_lo = Some(b);
+        let mut matched = false;
+        for g in groups.iter_mut() {
+            if r[..n] == g.dir[..] {
+                // dir·x + c >= 0  =>  e >= -c.
+                let b = -(r[n] as i128);
+                if g.lo.is_none_or(|cur| b > cur) {
+                    g.lo = Some(b);
+                }
+                matched = true;
+                break;
+            } else if r[..n]
+                .iter()
+                .zip(g.dir.iter())
+                .all(|(a, d)| *a as i128 == -(*d as i128))
+            {
+                // -dir·x + c >= 0  =>  e <= c.
+                let b = r[n] as i128;
+                if g.hi.is_none_or(|cur| b < cur) {
+                    g.hi = Some(b);
+                }
+                matched = true;
+                break;
             }
-        } else if r[..n]
-            .iter()
-            .zip(dir.iter())
-            .all(|(a, d)| *a as i128 == -(*d as i128))
-        {
-            // -dir·x + c >= 0  =>  e <= c.
-            let b = r[n] as i128;
-            if slab_hi.is_none_or(|cur| b < cur) {
-                slab_hi = Some(b);
+        }
+        if !matched {
+            if groups.len() >= MAX_SLAB_GROUPS {
+                return Ok(None); // too many directions: fall back
             }
-        } else {
-            return Ok(None); // independent directions: not a slab
+            groups.push(SlabGroup {
+                dir: r[..n].to_vec(),
+                lo: Some(-(r[n] as i128)),
+                hi: None,
+            });
         }
     }
     // Derive bounds implied by the slab rows for variables the box leaves
@@ -993,6 +1044,14 @@ fn count_fast(t: &Tableau, limit: Option<u128>, work: &mut u64) -> Result<Option
             }
         }
     }
+    if groups.len() >= 2 {
+        return count_multi_slab(&bounds, &groups, limit, work);
+    }
+    let SlabGroup {
+        dir,
+        lo: slab_lo,
+        hi: slab_hi,
+    } = groups.swap_remove(0);
     // Split variables into slab participants and pure box factors.
     let mut hs: Vec<(i128, i128, i64)> = Vec::new();
     let mut box_bounds: Vec<(Option<i128>, Option<i128>)> = Vec::new();
@@ -1041,6 +1100,7 @@ fn count_fast(t: &Tableau, limit: Option<u128>, work: &mut u64) -> Result<Option
         // machinery.
         if hs.iter().all(|&(_, _, a)| a.abs() == 1) {
             let factor = count_box(&box_bounds, limit)?;
+            SLAB_FAST.fetch_add(1, Ordering::Relaxed);
             return Ok(Some(factor));
         }
         return Ok(None);
@@ -1076,7 +1136,317 @@ fn count_fast(t: &Tableau, limit: Option<u128>, work: &mut u64) -> Result<Option
     };
     debug_assert!(upper >= lower);
     let inner = upper - lower;
+    SLAB_FAST.fetch_add(1, Ordering::Relaxed);
     Ok(Some(factor.checked_mul(inner).ok_or(Error::Overflow)?))
+}
+
+/// One direction's worth of wide rows: the slab `lo <= dir·x <= hi`
+/// (either side may be absent — a halfspace).
+struct SlabGroup {
+    dir: Vec<i64>,
+    lo: Option<i128>,
+    hi: Option<i128>,
+}
+
+/// Cap on distinct slab directions the fast path will analyze; beyond it
+/// the recursive counter takes over.
+const MAX_SLAB_GROUPS: usize = 6;
+
+/// Exactly counts a box intersected with `k >= 2` slabs of independent
+/// directions.
+///
+/// A small enumeration set `E` of variables is chosen greedily so that
+/// after pinning `E`, at most one slab still touches two or more free
+/// variables. Every other slab then collapses to a *single-variable
+/// interval* (or a constant feasibility check), which merely tightens that
+/// variable's box bounds — and the one remaining true slab closes with
+/// the same Euclidean floor-sum telescoping the single-slab path uses.
+/// Pinning proceeds by odometer over `E`'s box ranges with cheap integer
+/// arithmetic only; no tableau is rebuilt anywhere.
+///
+/// Returns `Ok(None)` when the shape is unsuitable (unboxed slab
+/// variables, enumeration too wide, extreme coefficients) — the caller
+/// then falls back to the recursive counter.
+fn count_multi_slab(
+    bounds: &[(Option<i128>, Option<i128>)],
+    groups: &[SlabGroup],
+    limit: Option<u128>,
+    work: &mut u64,
+) -> Result<Option<u128>> {
+    if limit.is_some() {
+        // Emptiness probes keep their pre-existing recursive treatment:
+        // the exact count below could be arbitrarily more work than the
+        // first-point probe needs.
+        return Ok(None);
+    }
+    let n = bounds.len();
+    // Every slab variable must be boxed, and every coefficient negatable.
+    for g in groups {
+        for (v, &b) in bounds.iter().enumerate() {
+            if g.dir[v] == 0 {
+                continue;
+            }
+            if g.dir[v] == i64::MIN {
+                return Ok(None);
+            }
+            match b {
+                (Some(l), Some(h)) => {
+                    if h < l {
+                        return Ok(Some(0));
+                    }
+                }
+                _ => return Ok(None),
+            }
+        }
+    }
+    // Attainable range of each slab expression over the box; clip the
+    // stated windows to it (and detect emptiness).
+    let mut windows: Vec<(i128, i128)> = Vec::with_capacity(groups.len());
+    for g in groups {
+        let (mut e_min, mut e_max) = (0i128, 0i128);
+        for (v, &b) in bounds.iter().enumerate() {
+            let a = g.dir[v] as i128;
+            if a == 0 {
+                continue;
+            }
+            let (l, h) = (b.0.unwrap(), b.1.unwrap());
+            let (tmin, tmax) = if a > 0 { (l, h) } else { (h, l) };
+            e_min = a
+                .checked_mul(tmin)
+                .and_then(|t| e_min.checked_add(t))
+                .ok_or(Error::Overflow)?;
+            e_max = a
+                .checked_mul(tmax)
+                .and_then(|t| e_max.checked_add(t))
+                .ok_or(Error::Overflow)?;
+        }
+        let lo = g.lo.unwrap_or(e_min).max(e_min);
+        let hi = g.hi.unwrap_or(e_max).min(e_max);
+        if hi < lo {
+            return Ok(Some(0));
+        }
+        windows.push((lo, hi));
+    }
+    let width = |v: usize| bounds[v].1.unwrap() - bounds[v].0.unwrap() + 1;
+    let free_of = |g: &SlabGroup, in_e: &[bool]| -> usize {
+        (0..n).filter(|&v| g.dir[v] != 0 && !in_e[v]).count()
+    };
+    // Greedy enumeration set: while two or more slabs keep >= 2 free
+    // variables, pin the variable covering the most such slabs (ties:
+    // narrowest range first — it costs the least to enumerate).
+    let mut in_e = vec![false; n];
+    loop {
+        let multi: Vec<usize> = (0..groups.len())
+            .filter(|&i| free_of(&groups[i], &in_e) >= 2)
+            .collect();
+        if multi.len() <= 1 {
+            break;
+        }
+        let mut best: Option<(usize, usize, i128)> = None;
+        for (v, &pinned) in in_e.iter().enumerate() {
+            if pinned {
+                continue;
+            }
+            let cov = multi.iter().filter(|&&i| groups[i].dir[v] != 0).count();
+            if cov == 0 {
+                continue;
+            }
+            let w = width(v);
+            if best.is_none_or(|(_, bc, bw)| cov > bc || (cov == bc && w < bw)) {
+                best = Some((v, cov, w));
+            }
+        }
+        in_e[best.expect(">=2 multi slabs imply a free slab var").0] = true;
+    }
+    let enum_vars: Vec<usize> = (0..n).filter(|&v| in_e[v]).collect();
+    let kept: Option<usize> = (0..groups.len()).find(|&i| free_of(&groups[i], &in_e) >= 2);
+    let kept_r: Vec<usize> = kept
+        .map(|kj| {
+            (0..n)
+                .filter(|&v| groups[kj].dir[v] != 0 && !in_e[v])
+                .collect()
+        })
+        .unwrap_or_default();
+    // Work guard: odometer volume × the kept slab's inner enumeration
+    // (its dimensions beyond the two widest, like the single-slab path).
+    let mut volume: u128 = 1;
+    for &v in &enum_vars {
+        volume = volume.saturating_mul(width(v) as u128);
+    }
+    let mut inner_work: u128 = 1;
+    {
+        let mut widths: Vec<i128> = kept_r.iter().map(|&v| width(v)).collect();
+        widths.sort_unstable_by_key(|&w| std::cmp::Reverse(w));
+        for &w in widths.iter().skip(2) {
+            inner_work = inner_work.saturating_mul(w as u128);
+        }
+    }
+    let total_work = volume.saturating_mul(inner_work);
+    if total_work > HALFSPACE_ENUM_LIMIT {
+        return Ok(None);
+    }
+    *work = work.saturating_add(total_work.min(u64::MAX as u128) as u64);
+    if *work > WORK_LIMIT {
+        return Err(Error::TooComplex("counting work limit exceeded".into()));
+    }
+    // Variables free of E and touched by some slab get per-assignment
+    // tightened bounds; vars touched by nothing contribute a constant box
+    // factor.
+    let touched: Vec<usize> = (0..n)
+        .filter(|&v| !in_e[v] && groups.iter().any(|g| g.dir[v] != 0))
+        .collect();
+    let untouched: Vec<(Option<i128>, Option<i128>)> = (0..n)
+        .filter(|&v| !in_e[v] && groups.iter().all(|g| g.dir[v] == 0))
+        .map(|v| bounds[v])
+        .collect();
+    let factor = count_box(&untouched, None)?;
+    if factor == 0 {
+        return Ok(Some(0));
+    }
+    // Per-slab E-support (coefficient per enum var) and the collapsed
+    // single free variable of each non-kept slab.
+    struct SlabPlan {
+        e_coeffs: Vec<(usize, i128)>,    // (enum index, coefficient)
+        free_var: Option<(usize, i128)>, // (var, coefficient); None = constant
+    }
+    let mut plans: Vec<SlabPlan> = Vec::with_capacity(groups.len());
+    for (i, g) in groups.iter().enumerate() {
+        let e_coeffs = enum_vars
+            .iter()
+            .enumerate()
+            .filter(|(_, &v)| g.dir[v] != 0)
+            .map(|(ei, &v)| (ei, g.dir[v] as i128))
+            .collect();
+        let mut free_var = None;
+        if Some(i) != kept {
+            for (v, &pinned) in in_e.iter().enumerate() {
+                if g.dir[v] != 0 && !pinned {
+                    debug_assert!(free_var.is_none(), "non-kept slab must have <= 1 free var");
+                    free_var = Some((v, g.dir[v] as i128));
+                }
+            }
+        }
+        plans.push(SlabPlan { e_coeffs, free_var });
+    }
+    // Odometer over E.
+    let mut point: Vec<i128> = enum_vars.iter().map(|&v| bounds[v].0.unwrap()).collect();
+    let mut tb: Vec<(i128, i128)> = vec![(0, 0); n]; // tightened bounds, by var
+    let mut triples: Vec<(i128, i128, i64)> = Vec::with_capacity(kept_r.len());
+    let mut total: u128 = 0;
+    'outer: loop {
+        for &v in &touched {
+            tb[v] = (bounds[v].0.unwrap(), bounds[v].1.unwrap());
+        }
+        let mut feasible = true;
+        let mut kept_shift: i128 = 0;
+        for (i, plan) in plans.iter().enumerate() {
+            let mut c: i128 = 0;
+            for &(ei, a) in &plan.e_coeffs {
+                c = a
+                    .checked_mul(point[ei])
+                    .and_then(|t| c.checked_add(t))
+                    .ok_or(Error::Overflow)?;
+            }
+            if Some(i) == kept {
+                kept_shift = c;
+                continue;
+            }
+            let lo = windows[i].0.checked_sub(c).ok_or(Error::Overflow)?;
+            let hi = windows[i].1.checked_sub(c).ok_or(Error::Overflow)?;
+            match plan.free_var {
+                None => {
+                    // Fully pinned slab: the window must contain zero.
+                    if lo > 0 || hi < 0 {
+                        feasible = false;
+                        break;
+                    }
+                }
+                Some((v, a)) => {
+                    // lo <= a·x_v <= hi tightens x_v's interval.
+                    let (vlo, vhi) = if a > 0 {
+                        (cd128(lo, a), fd128(hi, a))
+                    } else {
+                        (cd128(hi, a), fd128(lo, a))
+                    };
+                    tb[v].0 = tb[v].0.max(vlo);
+                    tb[v].1 = tb[v].1.min(vhi);
+                    if tb[v].0 > tb[v].1 {
+                        feasible = false;
+                        break;
+                    }
+                }
+            }
+        }
+        if feasible {
+            // Interval-collapsed variables outside the kept slab multiply
+            // directly; the kept slab's residual closes with floor-sums.
+            let mut cnt: u128 = 1;
+            for &v in &touched {
+                if kept_r.contains(&v) {
+                    continue;
+                }
+                cnt = cnt
+                    .checked_mul((tb[v].1 - tb[v].0 + 1) as u128)
+                    .ok_or(Error::Overflow)?;
+            }
+            if cnt > 0 {
+                if let Some(kj) = kept {
+                    let (mut r_min, mut r_max) = (0i128, 0i128);
+                    triples.clear();
+                    for &v in &kept_r {
+                        let a = groups[kj].dir[v] as i128;
+                        let (l, h) = tb[v];
+                        let (tmin, tmax) = if a > 0 { (l, h) } else { (h, l) };
+                        r_min = a
+                            .checked_mul(tmin)
+                            .and_then(|t| r_min.checked_add(t))
+                            .ok_or(Error::Overflow)?;
+                        r_max = a
+                            .checked_mul(tmax)
+                            .and_then(|t| r_max.checked_add(t))
+                            .ok_or(Error::Overflow)?;
+                        triples.push((l, h, -groups[kj].dir[v]));
+                    }
+                    let lo = windows[kj]
+                        .0
+                        .checked_sub(kept_shift)
+                        .ok_or(Error::Overflow)?
+                        .max(r_min);
+                    let hi = windows[kj]
+                        .1
+                        .checked_sub(kept_shift)
+                        .ok_or(Error::Overflow)?
+                        .min(r_max);
+                    let inner = if hi < lo {
+                        0
+                    } else {
+                        triples.sort_unstable_by_key(|&(l, h, _)| std::cmp::Reverse(h - l));
+                        let upper = count_halfspace_rec(&triples, hi)?;
+                        let lower = if lo > r_min {
+                            count_halfspace_rec(&triples, lo - 1)?
+                        } else {
+                            0
+                        };
+                        debug_assert!(upper >= lower);
+                        upper - lower
+                    };
+                    cnt = cnt.checked_mul(inner).ok_or(Error::Overflow)?;
+                }
+                total = total.checked_add(cnt).ok_or(Error::Overflow)?;
+            }
+        }
+        // Advance the odometer.
+        for ei in 0..enum_vars.len() {
+            point[ei] += 1;
+            if point[ei] <= bounds[enum_vars[ei]].1.unwrap() {
+                continue 'outer;
+            }
+            point[ei] = bounds[enum_vars[ei]].0.unwrap();
+        }
+        break;
+    }
+    MULTI_SLAB_FAST.fetch_add(1, Ordering::Relaxed);
+    Ok(Some(factor.checked_mul(total).ok_or(Error::Overflow)?))
 }
 
 /// Recursively counts a pure-inequality tableau. `limit` allows early exit
@@ -1097,9 +1467,13 @@ fn count_rec(mut t: Tableau, limit: Option<u128>, work: &mut u64) -> Result<u128
         // Functional-window variables contribute an exact multiplicative
         // factor; dropping them early collapses mod/floor relations into
         // boxes and slabs.
+        let n_before = t.n;
         factor = t.drop_functional_vars()?;
         if factor == 0 {
             return Ok(0);
+        }
+        if t.n < n_before {
+            WINDOW_FAST.fetch_add(1, Ordering::Relaxed);
         }
         if t.n == 0 {
             return Ok(factor);
@@ -1248,48 +1622,61 @@ pub(crate) fn basic_sample(bm: &BasicMap) -> Result<Option<Vec<i64>>> {
     }
     // The set is non-empty and bounded; enumerate lazily until the first
     // point is found.
-    let n_vis = bm.div0();
-    let t = Tableau::from_basic(bm)?;
-    let mut point = vec![0i64; t.n];
-    let mut out = Vec::new();
-    match sample_rec(&t, 0, &mut point, &mut out, n_vis) {
-        Ok(()) => Ok(out.into_iter().next()),
-        Err(e) => Err(e),
-    }
-}
-
-fn sample_rec(
-    t: &Tableau,
-    depth: usize,
-    point: &mut Vec<i64>,
-    out: &mut Vec<Vec<i64>>,
-    n_vis: usize,
-) -> Result<()> {
-    if !out.is_empty() {
-        return Ok(());
-    }
-    enum_rec(t, depth, point, out, n_vis, 1).or(Ok(()))
+    let mut found: Option<Vec<i64>> = None;
+    // The sentinel error aborts the walk at the first point; any other
+    // failure mode is also absorbed (the emptiness pre-check above makes
+    // a point's existence certain, matching the previous behavior).
+    let _ = basic_points_visit(bm, &mut |p| {
+        found = Some(p.to_vec());
+        Err(Error::TooComplex("sample found".into()))
+    });
+    Ok(found)
 }
 
 /// Enumerates all points (over the visible dims) of a basic map.
 /// Intended for small sets (simulation, testing); errors out beyond
 /// `limit` points.
 pub(crate) fn basic_points(bm: &BasicMap, limit: usize) -> Result<Vec<Vec<i64>>> {
+    let mut out: Vec<Vec<i64>> = Vec::new();
+    basic_points_visit(bm, &mut |p| {
+        if out.len() >= limit {
+            return Err(Error::TooComplex(format!(
+                "more than {limit} points during enumeration"
+            )));
+        }
+        out.push(p.to_vec());
+        Ok(())
+    })?;
+    Ok(out)
+}
+
+/// Depth-first visit of every point (over the visible dims) of a basic
+/// map, without materializing the point list: `sink` observes each point
+/// as a borrowed slice and may abort the walk by returning an error.
+/// Each visible point is visited exactly once (div columns are functions
+/// of the visible variables, pinned by their bracket constraints).
+pub(crate) fn basic_points_visit(
+    bm: &BasicMap,
+    sink: &mut dyn FnMut(&[i64]) -> Result<()>,
+) -> Result<()> {
     let n_vis = bm.div0();
     let t = Tableau::from_basic(bm)?;
-    let mut out = Vec::new();
     let mut point = vec![0i64; t.n];
-    enum_rec(&t, 0, &mut point, &mut out, n_vis, limit)?;
-    Ok(out)
+    let mut ranges = None;
+    enum_rec(&t, 0, &mut point, sink, n_vis, &mut ranges)
 }
 
 fn enum_rec(
     t: &Tableau,
     depth: usize,
     point: &mut Vec<i64>,
-    out: &mut Vec<Vec<i64>>,
+    sink: &mut dyn FnMut(&[i64]) -> Result<()>,
     n_vis: usize,
-    limit: usize,
+    // The propagated global ranges are a function of `t` alone, but cost
+    // real work; they are computed lazily at most once per enumeration
+    // and shared down the whole tree (they used to be recomputed at every
+    // node that needed the fallback, which dominated `points()` time).
+    ranges: &mut Option<Vec<(Option<i64>, Option<i64>)>>,
 ) -> Result<()> {
     if depth == t.n {
         // Verify equalities and inequalities exactly.
@@ -1301,12 +1688,7 @@ fn enum_rec(
             s
         };
         if t.eqs.iter().all(|r| eval(r) == 0) && t.ineqs.iter().all(|r| eval(r) >= 0) {
-            if out.len() >= limit {
-                return Err(Error::TooComplex(format!(
-                    "more than {limit} points during enumeration"
-                )));
-            }
-            out.push(point[..n_vis].to_vec());
+            sink(&point[..n_vis])?;
         }
         return Ok(());
     }
@@ -1345,8 +1727,10 @@ fn enum_rec(
     }
     // Also use the global propagated ranges as a backstop.
     if lo == i64::MIN || hi == i64::MAX {
-        let ranges = t.propagate_bounds()?;
-        if let (Some(l), Some(h)) = ranges[depth] {
+        if ranges.is_none() {
+            *ranges = Some(t.propagate_bounds()?);
+        }
+        if let (Some(l), Some(h)) = ranges.as_ref().expect("just filled")[depth] {
             lo = lo.max(l);
             hi = hi.min(h);
         }
@@ -1358,7 +1742,7 @@ fn enum_rec(
     }
     for v in lo..=hi {
         point[depth] = v;
-        enum_rec(t, depth + 1, point, out, n_vis, limit)?;
+        enum_rec(t, depth + 1, point, sink, n_vis, ranges)?;
     }
     point[depth] = 0;
     Ok(())

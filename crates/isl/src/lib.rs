@@ -49,12 +49,14 @@
 //!
 //! Three mechanisms make the substrate fast without giving up exactness:
 //!
-//! * **Inline constraint rows.** Rows are a small-vector type
-//!   (`row::Row`) storing up to 16 coefficients inline: TENET relations
-//!   rarely exceed that many columns, so row copies are `memcpy`s and the
-//!   hot paths allocate almost nothing. Rows hash and compare
-//!   element-wise, giving [`BasicMap`] and [`Map`] cheap structural
-//!   equality and hashing.
+//! * **Inline constraint rows, shared spaces.** Rows are a small-vector
+//!   type (`row::Row`) storing up to 16 coefficients inline: TENET
+//!   relations rarely exceed that many columns, so row copies are
+//!   `memcpy`s and the hot paths allocate almost nothing. Rows hash and
+//!   compare element-wise, giving [`BasicMap`] and [`Map`] cheap
+//!   structural equality and hashing. Spaces (the dim-name tuples) are
+//!   shared behind `Arc`, so cloning a relation — which every memo round
+//!   trip does — never re-allocates a string.
 //!
 //! * **A shared operation memo ([`cache`]).** `reverse`, `apply_range`,
 //!   `intersect`, `subtract`, projection, `card`, `is_empty`, `coalesce`,
@@ -71,10 +73,14 @@
 //!   normalizes the system and dispatches the dominant shapes directly:
 //!   functional mod/floor windows are projected away with an exact
 //!   multiplicative factor, axis-aligned boxes multiply interval widths,
-//!   and box ∩ halfspace/slab prisms (skewed time-stamps) reduce to
-//!   Euclidean floor-sums in `O(log)` per closed-form dimension. Shapes
-//!   outside these families fall back to the original exact recursive
-//!   enumerator; nothing is approximated.
+//!   box ∩ halfspace/slab prisms (skewed time-stamps) reduce to
+//!   Euclidean floor-sums in `O(log)` per closed-form dimension, and
+//!   box ∩ k≥2 independent slab directions (zonotope-like shapes) split
+//!   on a small variable set so every slab but one collapses to interval
+//!   constraints and the last closes with floor-sums. Shapes outside
+//!   these families fall back to the original exact recursive enumerator;
+//!   nothing is approximated. [`fast_path_stats`] exposes dispatch
+//!   counters so CI can assert the shortcuts are actually taken.
 
 #![warn(missing_docs)]
 
@@ -96,6 +102,7 @@ pub mod value;
 
 pub use basic::{BasicMap, DivDef};
 pub use cache::{AttachGuard, CacheStats, CounterHandle};
+pub use count::{fast_path_stats, CountStats};
 pub use error::{Error, Result};
 pub use map::Map;
 pub use set::Set;

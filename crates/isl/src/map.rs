@@ -8,6 +8,7 @@ use crate::project::eliminate_vars;
 use crate::set::Set;
 use crate::space::{Space, Tuple};
 use crate::{Error, Result};
+use std::sync::Arc;
 
 /// A binary integer relation: a union of basic maps.
 ///
@@ -19,7 +20,10 @@ use crate::{Error, Result};
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Map {
-    pub(crate) space: Space,
+    /// Shared with every disjunct's `space` where possible (see
+    /// [`BasicMap`]): cloning a map then costs one `Arc` bump per
+    /// disjunct instead of re-allocating every dim-name string.
+    pub(crate) space: Arc<Space>,
     pub(crate) basics: Vec<BasicMap>,
 }
 
@@ -37,13 +41,14 @@ impl Map {
     /// A map holding a single basic map.
     pub fn from_basic(bm: BasicMap) -> Map {
         Map {
-            space: bm.space().clone(),
+            space: bm.space.clone(),
             basics: vec![bm],
         }
     }
 
     /// The unconstrained relation over `space`.
-    pub fn universe(space: Space) -> Map {
+    pub fn universe(space: impl Into<Arc<Space>>) -> Map {
+        let space = space.into();
         Map {
             space: space.clone(),
             basics: vec![BasicMap::universe(space)],
@@ -51,9 +56,9 @@ impl Map {
     }
 
     /// The empty relation over `space`.
-    pub fn empty(space: Space) -> Map {
+    pub fn empty(space: impl Into<Arc<Space>>) -> Map {
         Map {
-            space,
+            space: space.into(),
             basics: Vec::new(),
         }
     }
@@ -188,7 +193,7 @@ impl Map {
     pub fn reverse(&self) -> Map {
         let compute = || {
             Ok(Map {
-                space: self.space.reversed(),
+                space: Arc::new(self.space.reversed()),
                 basics: self.basics.iter().map(BasicMap::reverse).collect(),
             })
         };
@@ -222,13 +227,13 @@ impl Map {
         for i in 0..ny {
             out_dims.push(format!("_m{i}"));
         }
-        let space = Space::map(
+        let space = Arc::new(Space::map(
             self.space.input.clone(),
             Tuple {
                 name: other.space.output.name.clone(),
                 dims: out_dims,
             },
-        );
+        ));
         // var maps into the combined layout [X | Z | Ymid].
         let var_map_a: Vec<usize> = (0..nx).chain(nx + nz..nx + nz + ny).collect();
         let var_map_b: Vec<usize> = (nx + nz..nx + nz + ny).chain(nx..nx + nz).collect();
@@ -242,7 +247,10 @@ impl Map {
                 basics.extend(eliminate_vars(comb, targets)?);
             }
         }
-        let result_space = Space::map(self.space.input.clone(), other.space.output.clone());
+        let result_space = Arc::new(Space::map(
+            self.space.input.clone(),
+            other.space.output.clone(),
+        ));
         let mut m = Map {
             space: result_space.clone(),
             basics,
@@ -258,14 +266,14 @@ impl Map {
     }
 
     /// Packs the project-op memo key: bit 0 distinguishes the in/out
-    /// variants, `first` occupies bits 1..32 and `n` bits 32..63. Returns
+    /// variants, `first` occupies bits 1..63 and `n` bits 63..125. Returns
     /// `None` when the arguments would not fit the layout — callers skip
     /// the cache then, instead of risking a key collision.
-    fn pack_project_extra(out_dims: bool, first: usize, n: usize) -> Option<i64> {
-        if first >= (1 << 31) || n >= (1 << 31) {
+    fn pack_project_extra(out_dims: bool, first: usize, n: usize) -> Option<i128> {
+        if first >= (1 << 62) || n >= (1 << 62) {
             return None;
         }
-        Some((out_dims as i64) | ((first as i64) << 1) | ((n as i64) << 32))
+        Some((out_dims as i128) | ((first as i128) << 1) | ((n as i128) << 63))
     }
 
     /// Projects away output dimensions `[first, first + n)`.
@@ -280,8 +288,9 @@ impl Map {
 
     fn project_out_out_uncached(&self, first: usize, n: usize) -> Result<Map> {
         let n_in = self.n_in();
-        let mut space = self.space.clone();
+        let mut space = (*self.space).clone();
         space.output.dims.drain(first..first + n);
+        let space = Arc::new(space);
         let mut basics = Vec::new();
         for b in &self.basics {
             let targets: Vec<usize> = (n_in + first..n_in + first + n).collect();
@@ -305,8 +314,9 @@ impl Map {
     }
 
     fn project_out_in_uncached(&self, first: usize, n: usize) -> Result<Map> {
-        let mut space = self.space.clone();
+        let mut space = (*self.space).clone();
         space.input.dims.drain(first..first + n);
+        let space = Arc::new(space);
         let mut basics = Vec::new();
         for b in &self.basics {
             let targets: Vec<usize> = (first..first + n).collect();
@@ -335,7 +345,7 @@ impl Map {
     pub fn wrap(&self) -> Set {
         let mut dims = self.space.input.dims.clone();
         dims.extend(self.space.output.dims.iter().cloned());
-        let space = Space::set(Tuple { name: None, dims });
+        let space = Arc::new(Space::set(Tuple { name: None, dims }));
         let basics = self
             .basics
             .iter()
@@ -406,7 +416,35 @@ impl Map {
         self.fix_col(self.n_in() + dim, val)
     }
 
+    /// Packs the fix-op memo key: the column in bits 64..126 and the full
+    /// i64 value (as its bit pattern) in bits 0..64. `None` when the
+    /// column would not fit — callers skip the cache then.
+    fn pack_fix_extra(col: usize, val: i64) -> Option<i128> {
+        if col >= (1 << 62) {
+            return None;
+        }
+        Some(((col as i128) << 64) | (val as u64 as i128))
+    }
+
     fn fix_col(&self, col: usize, val: i64) -> Map {
+        let compute = || Ok(self.fix_col_uncached(col, val));
+        // Like `reverse`: pinning a dimension of a small relation is a
+        // couple of row pushes — only bulky unions (whose disjunct clones
+        // carry real weight) go through the memo. Sweeps that re-pin the
+        // same stamps (max-utilization probing, DSE re-evaluation) then
+        // replay the clone from the table.
+        if self.memo_weight() < 32 {
+            return self.fix_col_uncached(col, val);
+        }
+        match Self::pack_fix_extra(col, val) {
+            Some(extra) => {
+                cache::memo_map(OpKind::Fix, self, None, extra, compute).expect("fix cannot fail")
+            }
+            None => self.fix_col_uncached(col, val),
+        }
+    }
+
+    fn fix_col_uncached(&self, col: usize, val: i64) -> Map {
         let basics = self
             .basics
             .iter()
@@ -432,7 +470,7 @@ impl Map {
     ///
     /// Fails with [`Error::Unbounded`] if the relation is not bounded.
     pub fn card(&self) -> Result<u128> {
-        cache::memo_count(OpKind::Card, self, || self.card_uncached())
+        cache::memo_count(OpKind::Card, self, 0, || self.card_uncached())
     }
 
     fn card_uncached(&self) -> Result<u128> {
@@ -542,10 +580,10 @@ impl Map {
         let mut out_dims = d_dims;
         out_dims.append(&mut x_dims);
         out_dims.append(&mut y_dims);
-        let space = Space::set(Tuple {
+        let space = Arc::new(Space::set(Tuple {
             name: None,
             dims: out_dims,
-        });
+        }));
         let mut basics = Vec::new();
         for b in &self.basics {
             let mut comb = BasicMap::universe(space.clone());
@@ -562,10 +600,10 @@ impl Map {
             let targets: Vec<usize> = (n..3 * n).collect();
             basics.extend(crate::project::eliminate_vars(comb, targets)?);
         }
-        let final_space = Space::set(Tuple {
+        let final_space = Arc::new(Space::set(Tuple {
             name: None,
             dims: (0..n).map(|i| format!("d{i}")).collect(),
-        });
+        }));
         for b in basics.iter_mut() {
             b.space = final_space.clone();
         }
@@ -639,7 +677,8 @@ impl Map {
     }
 
     /// Renames the space (arities must match).
-    pub fn with_space(&self, space: Space) -> Result<Map> {
+    pub fn with_space(&self, space: impl Into<Arc<Space>>) -> Result<Map> {
+        let space = space.into();
         if !self.space.is_compatible(&space) {
             return Err(Error::SpaceMismatch(format!(
                 "cannot rename {} to {}",

@@ -592,8 +592,9 @@ fn eval(ast: &EAst, bm: &mut BasicMap, dims: &HashMap<String, usize>) -> Result<
     }
 }
 
-/// Builds the basic maps for one disjunct.
-fn build_disjunct(d: &DisjunctAst, is_map: bool) -> Result<(Space, Vec<BasicMap>)> {
+/// Builds the basic maps for one disjunct. The returned space `Arc` is
+/// shared by every produced basic map.
+fn build_disjunct(d: &DisjunctAst, is_map: bool) -> Result<(std::sync::Arc<Space>, Vec<BasicMap>)> {
     if is_map && d.in_tuple.is_none() {
         return Err(Error::Parse("expected a map (`->` missing)".into()));
     }
@@ -637,7 +638,7 @@ fn build_disjunct(d: &DisjunctAst, is_map: bool) -> Result<(Space, Vec<BasicMap>
             }
         }
     }
-    let space = Space {
+    let space = std::sync::Arc::new(Space {
         input: Tuple {
             name: d.in_tuple.as_ref().and_then(|(n, _)| n.clone()),
             dims: in_names,
@@ -646,7 +647,7 @@ fn build_disjunct(d: &DisjunctAst, is_map: bool) -> Result<(Space, Vec<BasicMap>
             name: d.out_tuple.0.clone(),
             dims: out_names,
         },
-    };
+    });
     let mut base = BasicMap::universe(space.clone());
     for (i, e) in &pinned {
         let lin = eval(e, &mut base, &dims)?;

@@ -396,7 +396,10 @@ pub(crate) fn div_to_var(bm: &mut BasicMap, d_idx: usize) -> usize {
     // Insert the variable column at the end of the output block.
     bm.insert_var_cols(new_col, 1);
     let name = fresh_name(bm);
-    bm.space.output.dims.push(name);
+    std::sync::Arc::make_mut(&mut bm.space)
+        .output
+        .dims
+        .push(name);
     let old_div_col = bm.div0() + d_idx; // div block shifted right by one
                                          // Move every reference from the old div column to the new variable.
     for r in bm.eqs.iter_mut().chain(bm.ineqs.iter_mut()) {
@@ -452,10 +455,11 @@ fn remove_var(bm: &mut BasicMap, col: usize) {
     // remove_var_col asserts cleanliness in debug builds.
     bm.remove_var_col(col);
     let n_in = bm.space.n_in();
+    let space = std::sync::Arc::make_mut(&mut bm.space);
     if col < n_in {
-        bm.space.input.dims.remove(col);
+        space.input.dims.remove(col);
     } else {
-        bm.space.output.dims.remove(col - n_in);
+        space.output.dims.remove(col - n_in);
     }
 }
 

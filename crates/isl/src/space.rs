@@ -1,4 +1,11 @@
 //! Spaces: named tuples describing the domain and range of a relation.
+//!
+//! [`BasicMap`](crate::BasicMap) and [`Map`](crate::Map) hold their space
+//! behind an `Arc`, so cloning a relation (which the memo layer and every
+//! disjunct-producing operation do constantly) bumps a reference count
+//! instead of re-allocating the dim-name strings. `Space` itself stays a
+//! plain value type: constructors take it by value and wrap it; mutation
+//! inside the isl crate goes through `Arc::make_mut` (clone-on-write).
 
 use std::fmt;
 

@@ -1,0 +1,293 @@
+//! Differential enumeration oracle for the counting engine.
+//!
+//! `count_by_points` re-counts a set by scanning its bounding box with
+//! `contains_point` only — a code path independent of the closed-form
+//! counters, the recursive enumerator, *and* the memo layer — so any fast
+//! path that silently diverges from enumeration fails here. Every property
+//! runs once with the cache disabled and once against a warm cache (the
+//! same switch `TENET_ISL_CACHE=off` flips), so the memo layer is
+//! differentially tested too.
+
+use proptest::prelude::*;
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use tenet_isl::{cache, fast_path_stats, Map, Set};
+
+/// Brute-force point count over the bounding box `[lo, hi]^d`, using only
+/// `contains_point`.
+fn count_by_points(s: &Set, lo: i64, hi: i64) -> u128 {
+    let d = s.n_dim();
+    let mut count = 0u128;
+    let mut point = vec![lo; d];
+    loop {
+        if s.contains_point(&point).unwrap() {
+            count += 1;
+        }
+        let mut i = 0;
+        loop {
+            if i == d {
+                return count;
+            }
+            point[i] += 1;
+            if point[i] <= hi {
+                break;
+            }
+            point[i] = lo;
+            i += 1;
+        }
+    }
+}
+
+/// Serializes tests that toggle the global cache-enabled flag.
+fn test_lock() -> std::sync::MutexGuard<'static, ()> {
+    use std::sync::{Mutex, OnceLock};
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(())).lock().unwrap()
+}
+
+/// Runs `f` with the cache disabled, then twice against an enabled cache
+/// (second run replays from the tables); returns (cold, warm-hit).
+fn with_and_without_cache<T>(f: impl Fn() -> T) -> (T, T) {
+    let _guard = test_lock();
+    cache::set_enabled(false);
+    let cold = f();
+    cache::clear();
+    cache::set_enabled(true);
+    let _warm_miss = f();
+    let warm_hit = f();
+    cache::set_enabled(true);
+    (cold, warm_hit)
+}
+
+/// Text of a random box over `x0..x{d-1}` with bounds in `[-5, 8]`.
+fn box_strategy(d: usize) -> BoxedStrategy<String> {
+    proptest::collection::vec((-5i64..=8, -5i64..=8), d).prop_map(move |bounds| {
+        let dims: Vec<String> = (0..bounds.len()).map(|i| format!("x{i}")).collect();
+        let cons: Vec<String> = bounds
+            .iter()
+            .enumerate()
+            .map(|(i, (a, b))| {
+                let (lo, hi) = (a.min(b), a.max(b));
+                format!("{lo} <= x{i} and x{i} <= {hi}")
+            })
+            .collect();
+        format!("{{ A[{}] : {} }}", dims.join(", "), cons.join(" and "))
+    })
+}
+
+/// Appends `k` random slabs (window constraints on random directions) to a
+/// box text: the multi-slab stack shapes of the new counter.
+fn slab_stack_strategy(d: usize, k: usize) -> BoxedStrategy<String> {
+    (
+        box_strategy(d),
+        proptest::collection::vec(
+            (
+                proptest::collection::vec(-3i64..=3, d),
+                -12i64..=6,
+                0i64..=16,
+            ),
+            k,
+        ),
+    )
+        .prop_map(|(text, slabs)| {
+            let mut t = text.trim_end_matches(" }").to_string();
+            for (coefs, lo, width) in &slabs {
+                let terms: Vec<String> = coefs
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, c)| **c != 0)
+                    .map(|(i, c)| format!("{c}*x{i}"))
+                    .collect();
+                if terms.is_empty() {
+                    continue;
+                }
+                let e = terms.join(" + ");
+                t.push_str(&format!(" and {lo} <= {e} and {e} <= {}", lo + width));
+            }
+            t.push_str(" }");
+            t
+        })
+        .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random box ∩ slab-stack shapes: `card` equals the enumeration
+    /// oracle, cached and uncached.
+    #[test]
+    fn slab_stack_card_matches_oracle(text in slab_stack_strategy(3, 3)) {
+        let (cold, warm) = with_and_without_cache(|| {
+            Set::parse(&text).unwrap().card().unwrap()
+        });
+        let s = Set::parse(&text).unwrap();
+        let oracle = count_by_points(&s, -6, 9);
+        prop_assert_eq!(cold, oracle, "cold card vs oracle for {}", text);
+        prop_assert_eq!(warm, oracle, "warm card vs oracle for {}", text);
+    }
+
+    /// Two-dimensional stacks hit the interval-collapse corners of the
+    /// multi-slab split (every non-kept slab shares all variables).
+    #[test]
+    fn planar_slab_stack_card_matches_oracle(text in slab_stack_strategy(2, 2)) {
+        let (cold, warm) = with_and_without_cache(|| {
+            Set::parse(&text).unwrap().card().unwrap()
+        });
+        let s = Set::parse(&text).unwrap();
+        let oracle = count_by_points(&s, -6, 9);
+        prop_assert_eq!(cold, oracle, "cold card vs oracle for {}", text);
+        prop_assert_eq!(warm, oracle, "warm card vs oracle for {}", text);
+    }
+
+    /// Random `fix` pinnings: pinning a dimension then counting agrees
+    /// with the oracle of the pinned set (exercises the memoized fix).
+    #[test]
+    fn fixed_card_matches_oracle(
+        text in slab_stack_strategy(3, 1),
+        dim in 0usize..3,
+        val in -6i64..=9,
+    ) {
+        let (cold, warm) = with_and_without_cache(|| {
+            Set::parse(&text).unwrap().fix(dim, val).card().unwrap()
+        });
+        let fixed = Set::parse(&text).unwrap().fix(dim, val);
+        let oracle = count_by_points(&fixed, -6, 9);
+        prop_assert_eq!(cold, oracle, "cold fixed card for {} [x{}={}]", text, dim, val);
+        prop_assert_eq!(warm, oracle, "warm fixed card for {} [x{}={}]", text, dim, val);
+    }
+
+    /// Random unions: the disjoint-decomposition count agrees with the
+    /// oracle of the union.
+    #[test]
+    fn union_card_matches_oracle(
+        a_text in slab_stack_strategy(2, 1),
+        b_text in box_strategy(2),
+    ) {
+        let (cold, warm) = with_and_without_cache(|| {
+            let a = Set::parse(&a_text).unwrap();
+            let b = Set::parse(&b_text).unwrap();
+            a.union(&b).unwrap().card().unwrap()
+        });
+        let u = Set::parse(&a_text)
+            .unwrap()
+            .union(&Set::parse(&b_text).unwrap())
+            .unwrap();
+        let oracle = count_by_points(&u, -6, 9);
+        prop_assert_eq!(cold, oracle, "cold union card for {} ∪ {}", a_text, b_text);
+        prop_assert_eq!(warm, oracle, "warm union card for {} ∪ {}", a_text, b_text);
+    }
+
+    /// `max_suffix_slice_card` (the bucketed utilization primitive)
+    /// agrees with pinning every suffix value and counting separately.
+    #[test]
+    fn suffix_slice_max_matches_fix_loop(
+        text in slab_stack_strategy(3, 1),
+        split in 1usize..3,
+    ) {
+        let (cold, warm) = with_and_without_cache(|| {
+            Set::parse(&text).unwrap().max_suffix_slice_card(split, 1 << 20).unwrap()
+        });
+        let s = Set::parse(&text).unwrap();
+        let d = s.n_dim();
+        // Reference: enumerate suffix assignments over the oracle window.
+        let mut expect = 0u128;
+        let mut suffix = vec![-6i64; d - split];
+        'outer: loop {
+            let mut fixed = s.clone();
+            for (i, &v) in suffix.iter().enumerate() {
+                fixed = fixed.fix(split + i, v);
+            }
+            expect = expect.max(count_by_points(&fixed, -6, 9));
+            for s in suffix.iter_mut() {
+                *s += 1;
+                if *s <= 9 {
+                    continue 'outer;
+                }
+                *s = -6;
+            }
+            break;
+        }
+        prop_assert_eq!(cold, expect, "cold slice max for {} split {}", text, split);
+        prop_assert_eq!(warm, expect, "warm slice max for {} split {}", text, split);
+    }
+}
+
+/// The k≥2 multi-slab closed form must actually be taken (not silently
+/// fall back) and stay exact, for both the interval-collapse and the
+/// kept-slab floor-sum shapes.
+#[test]
+fn multi_slab_fast_path_taken_and_exact() {
+    let _guard = test_lock();
+    cache::set_enabled(false); // force recomputation
+    let shapes = [
+        // Shared-support pair: every slab collapses to intervals.
+        "{ A[x, y] : 0 <= x < 25 and 0 <= y < 25 \
+         and 4 <= x + y and x + y <= 30 and -10 <= x - 2y and x - 2y <= 10 }",
+        // Chain x+y, y+z: one kept slab closes with floor-sums.
+        "{ A[x, y, z] : 0 <= x < 18 and 0 <= y < 18 and 0 <= z < 18 \
+         and 5 <= x + y and x + y <= 24 and 3 <= y + z and y + z <= 27 }",
+        // Three directions over three dims.
+        "{ A[x, y, z] : 0 <= x < 12 and 0 <= y < 12 and 0 <= z < 12 \
+         and 2 <= x + y and x + y <= 18 and 1 <= y + z and y + z <= 19 \
+         and 0 <= x + z and x + z <= 16 }",
+    ];
+    for text in shapes {
+        let before = fast_path_stats().multi_slab_counts;
+        let s = Set::parse(text).unwrap();
+        let card = s.card().unwrap();
+        assert_eq!(card, count_by_points(&s, -1, 27), "{text}");
+        assert!(
+            fast_path_stats().multi_slab_counts > before,
+            "multi-slab path not taken for {text}"
+        );
+    }
+    cache::set_enabled(true);
+}
+
+fn hash_of<T: Hash>(v: &T) -> u64 {
+    let mut h = DefaultHasher::new();
+    v.hash(&mut h);
+    h.finish()
+}
+
+/// Locks the `Arc<Space>` refactor: structural hash and canonical `fmt`
+/// output of parsed maps are unchanged across clone and memo round trips,
+/// cached or not. These two values key the server's request dedup and its
+/// bit-identical `/v1/analyze` responses.
+#[test]
+fn space_sharing_keeps_hash_and_fmt_stable() {
+    let _guard = test_lock();
+    let texts = [
+        "{ S[i,j,k] -> ST[i mod 4, j mod 4, floor(i/4), floor(j/4), i mod 4 + j mod 4 + k] \
+         : 0 <= i < 8 and 0 <= j < 8 and 0 <= k < 8 }",
+        "{ S[i,j] -> PE[i + j] : 0 <= i < 5 and 0 <= j < 4 }",
+        "{ S[i] -> T[i] : 0 <= i < 2 or 5 <= i < 9 }",
+    ];
+    for text in texts {
+        cache::set_enabled(true);
+        cache::clear();
+        let m = Map::parse(text).unwrap();
+        let h0 = hash_of(&m);
+        let s0 = m.to_string();
+        // Clones share the space; structure must be indistinguishable.
+        let c = m.clone();
+        assert_eq!(hash_of(&c), h0, "{text}");
+        assert_eq!(c.to_string(), s0, "{text}");
+        // Memo round trips (parse hit, reverse twice, card) must hand
+        // back structurally identical relations.
+        let again = Map::parse(text).unwrap();
+        assert_eq!(hash_of(&again), h0, "parse memo round trip: {text}");
+        assert_eq!(again.to_string(), s0, "parse memo round trip: {text}");
+        let rr = m.reverse().reverse();
+        assert_eq!(rr, m, "reverse round trip: {text}");
+        assert_eq!(hash_of(&rr), h0, "reverse round trip: {text}");
+        let _ = m.card().unwrap();
+        assert_eq!(hash_of(&m), h0, "card must not disturb the map: {text}");
+        // Uncached parse of the same text: same hash, same rendering.
+        cache::set_enabled(false);
+        let cold = Map::parse(text).unwrap();
+        assert_eq!(hash_of(&cold), h0, "uncached parse: {text}");
+        assert_eq!(cold.to_string(), s0, "uncached parse: {text}");
+        cache::set_enabled(true);
+    }
+}

@@ -1,0 +1,118 @@
+//! Equivalence of the two exact max-utilization computations: the
+//! bucketed single-enumeration path must match the per-stamp fix+card
+//! reference sweep on every workload preset and on the paper's named
+//! architecture examples — and the reported utilization must be identical
+//! with the memo layer on and off.
+
+use tenet::core::{presets, Analysis, AnalysisOptions, ArchSpec, Dataflow, Interconnect, TensorOp};
+use tenet::isl::cache;
+use tenet::workloads::{dataflows, kernels};
+
+/// Builds an arch that fits the dataflow's space-stamp dimensionality.
+fn arch_for(df: &Dataflow, pe: i64, pe1d: i64, bw: f64) -> ArchSpec {
+    match df.n_space() {
+        1 => ArchSpec::new("1d", [pe1d], Interconnect::Systolic1D, bw),
+        2 => ArchSpec::new("2d", [pe, pe], Interconnect::Systolic2D, bw),
+        n => {
+            let dims: Vec<i64> = vec![pe; n];
+            ArchSpec::new("nd", dims, Interconnect::Mesh, bw)
+        }
+    }
+}
+
+/// Asserts bucketed == swept for one triple; returns false when the
+/// dataflow does not apply to the kernel (dimension mismatch).
+fn check(op: &TensorOp, df: &Dataflow, arch: &ArchSpec) -> bool {
+    // Both paths must run to completion on every preset, so lift the
+    // production guards well above any preset's stamp count.
+    let opts = AnalysisOptions {
+        max_util_sweep_limit: 1 << 20,
+        max_util_bucket_points: 1 << 20,
+        ..Default::default()
+    };
+    let a = match Analysis::with_options(op, df, arch, opts) {
+        Ok(a) => a,
+        Err(_) => return false,
+    };
+    let (bucketed, swept) = a.max_active_both_paths().unwrap();
+    let name = df.name().unwrap_or("<unnamed>");
+    assert_eq!(
+        bucketed,
+        Some(swept),
+        "bucketed vs swept max-active diverge for {name}"
+    );
+    true
+}
+
+/// Every `workloads::` dataflow preset, on its matching kernel.
+#[test]
+fn bucketed_sweep_matches_reference_on_all_presets() {
+    let (pe, pe1d) = (4, 16);
+    let mut checked = 0;
+    let gemm = kernels::gemm(8, 8, 8).unwrap();
+    for df in dataflows::gemm_dataflows(pe, pe1d) {
+        checked += check(&gemm, &df, &arch_for(&df, pe, pe1d, 16.0)) as usize;
+    }
+    let conv = kernels::conv2d(8, 8, 4, 4, 3, 3).unwrap();
+    for df in dataflows::conv_dataflows(pe, pe1d) {
+        checked += check(&conv, &df, &arch_for(&df, pe, pe1d, 16.0)) as usize;
+    }
+    let mttkrp = kernels::mttkrp(4, 4, 8, 8).unwrap();
+    for df in dataflows::mttkrp_dataflows(pe) {
+        checked += check(&mttkrp, &df, &arch_for(&df, pe, pe1d, 16.0)) as usize;
+    }
+    let jacobi = kernels::jacobi2d(16).unwrap();
+    for df in dataflows::jacobi_dataflows(pe, pe1d) {
+        checked += check(&jacobi, &df, &arch_for(&df, pe, pe1d, 16.0)) as usize;
+    }
+    let mmc = kernels::mmc(4, 4, 8, 8).unwrap();
+    for df in dataflows::mmc_dataflows(pe) {
+        checked += check(&mmc, &df, &arch_for(&df, pe, pe1d, 16.0)) as usize;
+    }
+    // The MAERI 1-D dataflow rides on a small conv layer.
+    let conv_small = kernels::conv2d(8, 4, 4, 4, 3, 3).unwrap();
+    checked += check(
+        &conv_small,
+        &dataflows::maeri_dataflow(16),
+        &presets::maeri_like(16, 16.0),
+    ) as usize;
+    assert!(
+        checked >= 15,
+        "only {checked} preset dataflows were checked"
+    );
+}
+
+/// The paper's two worked architecture examples: the Figure 3 GEMM on the
+/// 2×2 systolic array and the Eyeriss row-stationary conv on the 12×14
+/// mesh array.
+#[test]
+fn bucketed_sweep_matches_reference_on_paper_archs() {
+    let gemm = kernels::gemm(2, 2, 4).unwrap();
+    let figure3 = Dataflow::new(["i", "j"], ["i + j + k"]);
+    let arch = ArchSpec::new("2x2", [2, 2], Interconnect::Systolic2D, 4.0);
+    assert!(check(&gemm, &figure3, &arch));
+
+    let conv = kernels::conv2d(16, 16, 4, 12, 3, 3).unwrap();
+    let rs = dataflows::eyeriss_row_stationary();
+    assert!(check(&conv, &rs, &presets::eyeriss_like(16.0)));
+}
+
+/// The reported utilization itself is bit-identical with the memo layer
+/// enabled and disabled (the differential oracle for the analysis layer).
+#[test]
+fn utilization_identical_with_cache_on_and_off() {
+    let op = kernels::gemm(8, 8, 8).unwrap();
+    let df = dataflows::gemm_dataflows(4, 16)[0].clone();
+    let arch = ArchSpec::new("2d", [4, 4], Interconnect::Systolic2D, 16.0);
+    let run = || {
+        let a = Analysis::new(&op, &df, &arch).unwrap();
+        a.utilization().unwrap()
+    };
+    cache::set_enabled(false);
+    let cold = run();
+    cache::clear();
+    cache::set_enabled(true);
+    let _ = run();
+    let warm = run();
+    assert_eq!(cold, warm);
+}
