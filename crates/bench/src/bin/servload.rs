@@ -1,29 +1,37 @@
-//! `servload` — closed-loop load generator for the analysis service.
+//! `servload` — closed-loop load generator for the analysis service,
+//! single-process or sharded.
 //!
 //! N client threads each hold one keep-alive connection and drive a
 //! fixed request mix (several `analyze` variants, a `dse` sweep, and
-//! periodic `stats` probes) as fast as the server answers. Latency is
-//! recorded per request; dedup effectiveness comes from the server's own
-//! `/v1/stats` deltas. Results are written as `BENCH_server.json` at the
-//! repo root — a committed artifact tracked across PRs, like the other
-//! `BENCH_*.json` files.
+//! periodic `stats` probes) as fast as the target answers. Latency is
+//! recorded per request; dedup effectiveness comes from the target's own
+//! `/v1/stats` deltas — for a router target, the merged cluster document
+//! plus the per-shard hit distribution. Results are written as
+//! `BENCH_server.json` at the repo root — a committed artifact tracked
+//! across PRs, like the other `BENCH_*.json` files.
 //!
 //! Modes:
 //!
 //! * **Self-hosted** (no target argument): spins up an in-process
 //!   `tenet_server::Server` on an ephemeral port, loads it, then drains
 //!   it — the reproducible configuration the committed artifact uses.
+//!   With `--router`, a second phase boots a `tenet_router::Router` over
+//!   two workers and loads it identically, so the artifact records the
+//!   single-process baseline and the sharded tier side by side.
 //! * **External** (`servload http://127.0.0.1:8091 ...`): targets an
-//!   already-running `tenet serve`, e.g. the CI smoke step.
+//!   already-running `tenet serve` — or, with `--router`, a running
+//!   `tenet route` (the CI cluster-smoke step).
 //!
-//! `--smoke` asserts zero 5xx responses and a nonzero success count,
-//! exiting nonzero otherwise (and skips the artifact unless `--out` is
-//! given).
+//! `--smoke` asserts zero 5xx responses and a nonzero success count —
+//! plus, in router mode, that more than one shard carried traffic and
+//! that every loaded shard served warm dedup hits — exiting nonzero
+//! otherwise (and skips the artifact unless `--out` is given).
 
 use std::io::Write as _;
 use std::net::TcpStream;
 use std::time::{Duration, Instant};
 use tenet_core::json::Json;
+use tenet_router::{Router, RouterConfig};
 use tenet_server::http::ResponseReader;
 use tenet_server::{Server, ServerConfig};
 
@@ -85,6 +93,7 @@ struct Cli {
     requests: usize,
     out: Option<String>,
     smoke: bool,
+    router: bool,
 }
 
 fn parse_cli() -> Result<Cli, String> {
@@ -94,6 +103,7 @@ fn parse_cli() -> Result<Cli, String> {
         requests: 250,
         out: None,
         smoke: false,
+        router: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -114,6 +124,7 @@ fn parse_cli() -> Result<Cli, String> {
             }
             "--out" => cli.out = Some(args.next().ok_or("--out needs a path")?),
             "--smoke" => cli.smoke = true,
+            "--router" => cli.router = true,
             other if !other.starts_with("--") && cli.target.is_none() => {
                 cli.target = Some(other.to_string())
             }
@@ -239,48 +250,68 @@ fn quantile(sorted: &[u64], q: f64) -> u64 {
     sorted[idx]
 }
 
+/// The dedup counters of a stats document — a worker's own, or the
+/// merged cluster view when the target is a router.
 fn dedup_counts(stats: &Json) -> (u64, u64, u64) {
-    let d = stats.get("dedup");
+    let d = stats
+        .get("merged")
+        .and_then(|m| m.get("dedup"))
+        .or_else(|| stats.get("dedup"));
     let f = |k: &str| d.and_then(|d| d.get(k)).and_then(Json::as_u64).unwrap_or(0);
     (f("hits"), f("inflight_waits"), f("misses"))
 }
 
-fn main() {
-    let cli = match parse_cli() {
-        Ok(c) => c,
-        Err(e) => {
-            eprintln!("servload: {e}");
-            eprintln!(
-                "usage: servload [http://HOST:PORT] [--threads N] [--requests N-per-thread] \
-                 [--out FILE] [--smoke]"
-            );
-            std::process::exit(1);
-        }
-    };
+/// Per-shard `(worker, routed, dedup_hits, dedup_waits, dedup_misses)`
+/// row of a router stats document.
+type ShardRow = (u64, u64, u64, u64, u64);
 
-    // Self-host when no target was given.
-    let (addr, self_hosted) = match &cli.target {
-        Some(t) => (normalize_addr(t), None),
-        None => {
-            let config = ServerConfig {
-                addr: "127.0.0.1:0".into(),
-                threads: 4,
-                ..Default::default()
-            };
-            let server = Server::bind(config).expect("bind ephemeral server");
-            let addr = server.local_addr().to_string();
-            let handle = server.handle();
-            let join = std::thread::spawn(move || server.run());
-            (addr, Some((handle, join)))
-        }
-    };
+/// The shard rows of a router stats document; `None` for a plain worker
+/// target.
+fn shard_counts(stats: &Json) -> Option<Vec<ShardRow>> {
+    Some(
+        stats
+            .get("shards")?
+            .as_arr()?
+            .iter()
+            .map(|s| {
+                let dedup = |k: &str| {
+                    s.get("stats")
+                        .and_then(|d| d.get("dedup"))
+                        .and_then(|d| d.get(k))
+                        .and_then(Json::as_u64)
+                        .unwrap_or(0)
+                };
+                (
+                    s.get("worker").and_then(Json::as_u64).unwrap_or(0),
+                    s.get("routed").and_then(Json::as_u64).unwrap_or(0),
+                    dedup("hits"),
+                    dedup("inflight_waits"),
+                    dedup("misses"),
+                )
+            })
+            .collect(),
+    )
+}
 
+/// Everything one measured phase produced: the artifact fragment plus
+/// the numbers the smoke gate checks.
+struct Phase {
+    report: Json,
+    n_2xx: u64,
+    n_5xx: u64,
+    shards_loaded: usize,
+    shards_without_warm_hits: usize,
+}
+
+/// Warm-up, measure, and summarize one target. `label` names the phase
+/// in the artifact and the log line.
+fn run_phase(label: &str, addr: &str, cli: &Cli, router_mode: bool) -> Phase {
     let shots = workload();
     // Warm-up: every distinct request once, so the measured phase sees
     // the steady state (dedup LRU and ISL memo populated) — the regime a
     // long-running service lives in.
     {
-        let (mut s, mut r) = connect(&addr).expect("warm-up connect");
+        let (mut s, mut r) = connect(addr).expect("warm-up connect");
         for shot in &shots {
             let (status, body) = send(&mut s, &mut r, shot).expect("warm-up request");
             assert!(
@@ -292,12 +323,12 @@ fn main() {
         }
     }
 
-    let before = fetch_stats(&addr);
+    let before = fetch_stats(addr);
     let t0 = Instant::now();
     let results: Vec<ThreadResult> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..cli.threads)
             .map(|t| {
-                let addr = addr.clone();
+                let addr = addr.to_string();
                 let shots = &shots;
                 scope.spawn(move || client_loop(&addr, shots, cli.requests, t * 3))
             })
@@ -305,7 +336,7 @@ fn main() {
         handles.into_iter().map(|h| h.join().unwrap()).collect()
     });
     let wall = t0.elapsed();
-    let after = fetch_stats(&addr);
+    let after = fetch_stats(addr);
 
     let mut latencies: Vec<u64> = results
         .iter()
@@ -338,27 +369,27 @@ fn main() {
         (dh + dw) as f64 / dedup_total as f64
     };
 
-    let report = Json::obj([
-        ("bench", Json::from("servload")),
+    let mut fields = vec![
         (
-            "mode",
-            Json::from(if self_hosted.is_some() {
-                "self-hosted"
-            } else {
-                "external"
+            "mode".to_string(),
+            Json::from(match (cli.target.is_some(), router_mode) {
+                (false, false) => "self-hosted",
+                (false, true) => "self-hosted-router",
+                (true, false) => "external",
+                (true, true) => "external-router",
             }),
         ),
-        ("threads", Json::from(cli.threads)),
-        ("requests", Json::from(total)),
+        ("threads".to_string(), Json::from(cli.threads)),
+        ("requests".to_string(), Json::from(total)),
         (
-            "wall_ms",
+            "wall_ms".to_string(),
             Json::from((wall.as_secs_f64() * 1e4).round() / 10.0),
         ),
-        ("throughput_rps", Json::from(throughput.round())),
-        ("p50_us", Json::from(quantile(&latencies, 0.50))),
-        ("p99_us", Json::from(quantile(&latencies, 0.99))),
+        ("throughput_rps".to_string(), Json::from(throughput.round())),
+        ("p50_us".to_string(), Json::from(quantile(&latencies, 0.50))),
+        ("p99_us".to_string(), Json::from(quantile(&latencies, 0.99))),
         (
-            "status",
+            "status".to_string(),
             Json::obj([
                 ("s2xx", Json::from(n_2xx)),
                 ("s4xx", Json::from(n_4xx)),
@@ -366,7 +397,7 @@ fn main() {
             ]),
         ),
         (
-            "dedup",
+            "dedup".to_string(),
             Json::obj([
                 ("hits", Json::from(dh)),
                 ("inflight_waits", Json::from(dw)),
@@ -374,29 +405,156 @@ fn main() {
                 ("hit_rate", Json::from((dedup_rate * 1e4).round() / 1e4)),
             ]),
         ),
-        (
-            "mix",
-            Json::obj([
-                ("analyze_variants", Json::from(6u64)),
-                ("dse_variants", Json::from(1u64)),
-                ("stats_every", Json::from(32u64)),
-            ]),
-        ),
-    ]);
+    ];
+
+    // Router targets additionally record the per-shard hit distribution:
+    // how the consistent hash spread the measured traffic, and that each
+    // loaded shard served its repeats from its own dedup layer.
+    let mut shards_loaded = 0;
+    let mut shards_without_warm_hits = 0;
+    if router_mode {
+        let b = before.as_ref().and_then(shard_counts).unwrap_or_default();
+        let a = after.as_ref().and_then(shard_counts).unwrap_or_default();
+        let mut rows = Vec::new();
+        for (i, &(worker, routed2, h2, w2, m2)) in a.iter().enumerate() {
+            let (routed1, h1, w1, m1) = b
+                .get(i)
+                .map(|&(_, r, h, w, m)| (r, h, w, m))
+                .unwrap_or((0, 0, 0, 0));
+            let routed = routed2.saturating_sub(routed1);
+            let served = (h2 + w2).saturating_sub(h1 + w1);
+            let misses = m2.saturating_sub(m1);
+            if routed > 0 {
+                shards_loaded += 1;
+                if served == 0 {
+                    shards_without_warm_hits += 1;
+                }
+            }
+            rows.push(Json::obj([
+                ("worker", Json::from(worker)),
+                ("routed", Json::from(routed)),
+                ("dedup_hits", Json::from(served)),
+                ("dedup_misses", Json::from(misses)),
+            ]));
+        }
+        fields.push(("per_shard".to_string(), Json::Arr(rows)));
+    }
+    fields.push((
+        "mix".to_string(),
+        Json::obj([
+            ("analyze_variants", Json::from(6u64)),
+            ("dse_variants", Json::from(1u64)),
+            ("stats_every", Json::from(32u64)),
+        ]),
+    ));
 
     println!(
-        "servload: {total} requests in {:.1} ms -> {throughput:.0} req/s \
+        "servload[{label}]: {total} requests in {:.1} ms -> {throughput:.0} req/s \
          (p50 {} us, p99 {} us, 5xx {n_5xx}, dedup hit rate {dedup_rate:.4})",
         wall.as_secs_f64() * 1e3,
         quantile(&latencies, 0.50),
         quantile(&latencies, 0.99),
     );
 
-    // Tear the self-hosted server down cleanly.
-    if let Some((handle, join)) = self_hosted {
-        handle.shutdown();
-        let _ = join.join();
+    Phase {
+        report: Json::Obj(fields),
+        n_2xx,
+        n_5xx,
+        shards_loaded,
+        shards_without_warm_hits,
     }
+}
+
+fn main() {
+    let cli = match parse_cli() {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("servload: {e}");
+            eprintln!(
+                "usage: servload [http://HOST:PORT] [--router] [--threads N] \
+                 [--requests N-per-thread] [--out FILE] [--smoke]"
+            );
+            std::process::exit(1);
+        }
+    };
+
+    let mut phases: Vec<(&str, Phase)> = Vec::new();
+    match &cli.target {
+        // External: one phase against the given server or router.
+        Some(t) => {
+            let label = if cli.router { "router" } else { "single" };
+            phases.push((
+                label,
+                run_phase(label, &normalize_addr(t), &cli, cli.router),
+            ));
+        }
+        // Self-hosted: the single-process baseline, then (with --router)
+        // the sharded tier over two workers — same workload, same box.
+        None => {
+            let server = Server::bind(ServerConfig {
+                addr: "127.0.0.1:0".into(),
+                threads: 4,
+                ..Default::default()
+            })
+            .expect("bind ephemeral server");
+            let addr = server.local_addr().to_string();
+            let handle = server.handle();
+            let join = std::thread::spawn(move || server.run());
+            phases.push(("single", run_phase("single", &addr, &cli, false)));
+            handle.shutdown();
+            let _ = join.join();
+
+            if cli.router {
+                let router_config = RouterConfig {
+                    addr: "127.0.0.1:0".into(),
+                    threads: 4,
+                    ..Default::default()
+                };
+                // The worker parks a thread per keep-alive connection, so
+                // it needs headroom over the router's connection-pool
+                // bound (probes and stats fan-outs must never queue
+                // behind parked proxy sockets).
+                let worker_threads = router_config.upstream_connections + 2;
+                let workers: Vec<_> = (0..2)
+                    .map(|_| {
+                        Server::spawn(ServerConfig {
+                            addr: "127.0.0.1:0".into(),
+                            threads: worker_threads,
+                            ..Default::default()
+                        })
+                        .expect("spawn worker")
+                    })
+                    .collect();
+                let router = Router::spawn(RouterConfig {
+                    workers: workers.iter().map(|w| w.addr().to_string()).collect(),
+                    ..router_config
+                })
+                .expect("spawn router");
+                let addr = router.addr().to_string();
+                phases.push(("router", run_phase("router", &addr, &cli, true)));
+                let _ = router.shutdown_and_join();
+                for w in workers {
+                    let _ = w.shutdown_and_join();
+                }
+            }
+        }
+    }
+
+    // One phase → the phase's flat document (the committed single-process
+    // schema); two phases → one section per phase, side by side.
+    let report = if phases.len() == 1 {
+        let mut fields = vec![("bench".to_string(), Json::from("servload"))];
+        if let Json::Obj(pairs) = &phases[0].1.report {
+            fields.extend(pairs.clone());
+        }
+        Json::Obj(fields)
+    } else {
+        let mut fields = vec![("bench".to_string(), Json::from("servload"))];
+        for (label, phase) in &phases {
+            fields.push((label.to_string(), phase.report.clone()));
+        }
+        Json::Obj(fields)
+    };
 
     let out_path = cli.out.clone().or_else(|| {
         if cli.smoke {
@@ -424,10 +582,42 @@ fn main() {
     }
 
     if cli.smoke {
-        if n_5xx > 0 || n_2xx == 0 {
-            eprintln!("servload: SMOKE FAILED (2xx {n_2xx}, 5xx {n_5xx})");
+        let mut failed = false;
+        for (label, phase) in &phases {
+            if phase.n_5xx > 0 || phase.n_2xx == 0 {
+                eprintln!(
+                    "servload: SMOKE FAILED [{label}] (2xx {}, 5xx {})",
+                    phase.n_2xx, phase.n_5xx
+                );
+                failed = true;
+            }
+        }
+        // Router smoke: the hash must actually shard (more than one
+        // worker loaded) and every loaded shard must have served warm
+        // dedup hits — the property the sharded tier exists for.
+        if cli.router {
+            let (_, phase) = phases.last().expect("router phase ran");
+            if phase.shards_loaded < 2 {
+                eprintln!(
+                    "servload: SMOKE FAILED [router] only {} shard(s) carried traffic",
+                    phase.shards_loaded
+                );
+                failed = true;
+            }
+            if phase.shards_without_warm_hits > 0 {
+                eprintln!(
+                    "servload: SMOKE FAILED [router] {} loaded shard(s) served no dedup hits",
+                    phase.shards_without_warm_hits
+                );
+                failed = true;
+            }
+        }
+        if failed {
             std::process::exit(2);
         }
-        println!("servload: smoke ok ({n_2xx} successful requests, zero 5xx)");
+        println!(
+            "servload: smoke ok (zero 5xx across {} phase(s))",
+            phases.len()
+        );
     }
 }

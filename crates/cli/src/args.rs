@@ -25,6 +25,7 @@ const VALUED: &[&str] = &[
     "format",
     "addr",
     "threads",
+    "workers",
 ];
 
 impl Args {

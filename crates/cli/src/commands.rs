@@ -59,6 +59,7 @@ USAGE:
   tenet fmt      <problem.tenet>
   tenet demo     <gemm|conv2d|mttkrp|mmc|jacobi2d>
   tenet serve    [--addr HOST:PORT] [--threads N]
+  tenet route    [--addr HOST:PORT] [--workers N] [--threads N]
 
 A problem file holds a C-like kernel, zero or more dataflows in
 relation-centric notation, and optionally an `arch { ... }` block:
@@ -548,6 +549,81 @@ pub fn serve(args: &Args) -> CmdResult {
     Ok("server drained and stopped\n".to_string())
 }
 
+/// `tenet route`: spawns N in-process analysis workers on ephemeral
+/// loopback ports and fronts them with the consistent-hash sharding
+/// router, which runs until a cascaded drain (`POST /v1/shutdown`).
+pub fn route(args: &Args) -> CmdResult {
+    args.reject_unknown_flags(&[]).map_err(CmdError::usage)?;
+    let workers = match args
+        .option_as::<usize>("workers")
+        .map_err(CmdError::usage)?
+    {
+        Some(n) if (1..=16).contains(&n) => n,
+        Some(n) => {
+            return Err(CmdError::usage(format!(
+                "--workers must be in [1, 16], got {n}"
+            )))
+        }
+        None => 2,
+    };
+    let mut config = tenet_router::RouterConfig::default();
+    if let Some(addr) = args.option("addr") {
+        config.addr = addr.to_string();
+    }
+    match args
+        .option_as::<usize>("threads")
+        .map_err(CmdError::usage)?
+    {
+        Some(t) if t >= 1 => config.threads = t.min(256),
+        Some(_) => return Err(CmdError::usage("--threads must be at least 1")),
+        None => {}
+    }
+    let mut spawned = Vec::with_capacity(workers);
+    for _ in 0..workers {
+        let worker = tenet_server::Server::spawn(tenet_server::ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            // The worker parks a thread per keep-alive connection, so it
+            // needs headroom over the router's connection-pool bound:
+            // probes and stats fan-outs must never queue behind parked
+            // proxy sockets.
+            threads: config.upstream_connections + 2,
+            ..Default::default()
+        })
+        .map_err(|e| CmdError::input(format!("cannot spawn worker: {e}")))?;
+        config.workers.push(worker.addr().to_string());
+        spawned.push(worker);
+    }
+    let router = tenet_router::Router::bind(config).map_err(|e| {
+        // A failed router bind must not strand the worker threads.
+        for w in spawned.drain(..) {
+            let _ = w.shutdown_and_join();
+        }
+        CmdError::input(format!("cannot bind router: {e}"))
+    })?;
+    // Announce the address before blocking so scripts (and the CI smoke
+    // test) can discover an ephemeral port.
+    println!(
+        "tenet-router listening on http://{} ({} workers: {})",
+        router.local_addr(),
+        spawned.len(),
+        spawned
+            .iter()
+            .map(|w| w.addr().to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    let outcome = router.run();
+    // The drain normally cascades through the shutdown endpoint; make
+    // teardown unconditional so workers never outlive the router.
+    for w in spawned {
+        let _ = w.shutdown_and_join();
+    }
+    outcome.map_err(|e| CmdError::analysis(format!("router error: {e}")))?;
+    Ok("router and workers drained and stopped\n".to_string())
+}
+
 /// Dispatches a subcommand; returns the stdout text.
 pub fn run(raw: Vec<String>) -> CmdResult {
     let Some(cmd) = raw.first().cloned() else {
@@ -564,6 +640,7 @@ pub fn run(raw: Vec<String>) -> CmdResult {
         "fmt" => fmt(&args),
         "demo" => demo(&args),
         "serve" => serve(&args),
+        "route" => route(&args),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => Err(CmdError::usage(format!(
             "unknown command `{other}`\n\n{USAGE}"

@@ -217,6 +217,80 @@ fn serve_rejects_bad_options() {
 }
 
 #[test]
+fn route_rejects_bad_options() {
+    let out = tenet(&["route", "--workers", "0"]);
+    assert_eq!(out.status.code(), Some(1));
+    let out = tenet(&["route", "--workers", "99"]);
+    assert_eq!(out.status.code(), Some(1));
+    let out = tenet(&["route", "--addr", "definitely:not:an:addr"]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn route_round_trips_and_cascades_drain() {
+    use std::io::{BufRead, BufReader, Read, Write};
+    use std::net::TcpStream;
+
+    let mut child = std::process::Command::new(env!("CARGO_BIN_EXE_tenet"))
+        .args(["route", "--addr", "127.0.0.1:0", "--workers", "2"])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn tenet route");
+    // First stdout line announces the router's bound (ephemeral) address.
+    let mut stdout = BufReader::new(child.stdout.take().unwrap());
+    let mut line = String::new();
+    stdout.read_line(&mut line).unwrap();
+    assert!(line.contains("2 workers"), "announcement: {line}");
+    let addr = line
+        .split_whitespace()
+        .find_map(|w| w.strip_prefix("http://"))
+        .expect("address in announcement")
+        .to_string();
+
+    let request = |verb: &str, path: &str, body: &str| -> (u16, String) {
+        let mut s = TcpStream::connect(&addr).expect("connect");
+        s.set_read_timeout(Some(std::time::Duration::from_secs(30)))
+            .unwrap();
+        s.write_all(
+            format!(
+                "{verb} {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\
+                 Connection: close\r\n\r\n{body}",
+                body.len()
+            )
+            .as_bytes(),
+        )
+        .unwrap();
+        let mut raw = Vec::new();
+        s.read_to_end(&mut raw).unwrap();
+        let text = String::from_utf8_lossy(&raw).into_owned();
+        let status = text
+            .split_ascii_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0);
+        (status, text)
+    };
+
+    let (status, body) = request("GET", "/v1/healthz", "");
+    assert_eq!(status, 200, "healthz: {body}");
+    assert!(body.contains("\"alive_workers\":2"), "{body}");
+
+    // A sharded request round-trips through a worker.
+    let problem = "for (i = 0; i < 2; i++)\n  for (j = 0; j < 2; j++)\n    for (k = 0; k < 4; k++)\n      S: Y[i][j] += A[i][k] * B[k][j];\n\n{ S[i,j,k] -> (PE[i,j] | T[i + j + k]) }\n\narch \"2x2\" { array = [2, 2] interconnect = systolic2d bandwidth = 4 }\n";
+    let analyze = format!("{{\"problem\": {}}}", tenet_core::json::Json::from(problem));
+    let (status, body) = request("POST", "/v1/analyze", &analyze);
+    assert_eq!(status, 200, "analyze via router: {body}");
+    assert!(body.contains("\"reports\""), "{body}");
+
+    // The cascaded drain stops workers and router; the process exits 0.
+    let (status, body) = request("POST", "/v1/shutdown", "");
+    assert_eq!(status, 200);
+    assert!(body.contains("draining"), "{body}");
+    let exit = child.wait().expect("router exit");
+    assert!(exit.success(), "route must exit cleanly after the cascade");
+}
+
+#[test]
 fn serve_round_trips_and_drains() {
     use std::io::{BufRead, BufReader, Read, Write};
     use std::net::TcpStream;

@@ -1,0 +1,62 @@
+//! # tenet-router
+//!
+//! A std-only consistent-hash sharding front tier for the TENET analysis
+//! service — the ROADMAP's "horizontal scale needs a sharded dedup layer
+//! in front of N processes" step.
+//!
+//! TENET's analyses are pure functions of the request text, so the
+//! cluster's hottest resource is each worker's dedup cache. The router
+//! exploits that: every `POST /v1/analyze` / `POST /v1/dse` request is
+//! canonicalized ([`tenet_server::canonical_request`]), hashed
+//! ([`tenet_server::canonical_key`]), and placed on a consistent-hash
+//! [ring](ring::HashRing) with virtual nodes — a repeated query always
+//! lands on the shard that already owns its cached answer, and a worker
+//! loss remaps only ≈ `1/N` of the key population.
+//!
+//! ## API (mirrors the worker, plus cluster semantics)
+//!
+//! | Route | Meaning |
+//! |---|---|
+//! | `POST /v1/analyze`, `POST /v1/dse` | proxied to the owning shard; transport failure evicts + retries on the rehashed owner |
+//! | `GET /v1/healthz` | router liveness + live-worker count |
+//! | `GET /v1/stats` | fan-out: per-shard documents, the additive merge, router counters |
+//! | `POST /v1/shutdown` | cascaded drain: workers first, then the router |
+//!
+//! ## Layers
+//!
+//! * [`ring`] — the consistent-hash ring (virtual nodes, deterministic
+//!   placement; invariants locked by `tests/ring_props.rs`).
+//! * [`upstream`] — one registered worker: pooled keep-alive
+//!   connections, forwarding, liveness probes, per-shard counters.
+//! * [`merge`] — additive merge of per-worker `/v1/stats` documents.
+//! * [`router`] — accept loop, proxy path, fan-outs, health prober,
+//!   cascaded drain.
+//!
+//! Like the worker, the router is loopback-oriented: no TLS, no
+//! authentication — anything beyond local deployment needs a
+//! terminating proxy in front.
+//!
+//! ```no_run
+//! let worker = tenet_server::Server::spawn(tenet_server::ServerConfig {
+//!     addr: "127.0.0.1:0".into(),
+//!     ..Default::default()
+//! })?;
+//! let config = tenet_router::RouterConfig {
+//!     addr: "127.0.0.1:0".into(),
+//!     workers: vec![worker.addr().to_string()],
+//!     ..Default::default()
+//! };
+//! let router = tenet_router::Router::bind(config)?;
+//! println!("routing on {}", router.local_addr());
+//! router.run()?;
+//! # Ok::<(), std::io::Error>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod merge;
+pub mod ring;
+mod router;
+pub mod upstream;
+
+pub use router::{Router, RouterConfig, RouterHandle, RouterState, RouterStats, SpawnedRouter};

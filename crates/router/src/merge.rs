@@ -1,0 +1,283 @@
+//! Merging per-worker `/v1/stats` documents into one cluster view.
+//!
+//! The merged document covers the *additive* core of a worker's stats —
+//! request counters, the latency histogram, the dedup layer, the
+//! server-attributed ISL-cache counters — with the derived values
+//! (hit rates, latency quantiles) recomputed from the sums rather than
+//! averaged: an average of per-shard p99s is not a p99, but the quantile
+//! of the summed histogram is exact at bucket resolution.
+//!
+//! `isl_cache.process` is deliberately *not* merged: workers spawned
+//! in-process (the `tenet route` default) share one process-wide memo
+//! context, and summing the same gauge N times would fabricate work. The
+//! per-shard section still carries each worker's full raw document.
+
+use tenet_core::json::Json;
+
+fn get<'a>(doc: &'a Json, path: &[&str]) -> Option<&'a Json> {
+    let mut v = doc;
+    for key in path {
+        v = v.get(key)?;
+    }
+    Some(v)
+}
+
+fn get_u64(doc: &Json, path: &[&str]) -> u64 {
+    get(doc, path).and_then(Json::as_u64).unwrap_or(0)
+}
+
+fn sum(docs: &[Json], path: &[&str]) -> u64 {
+    docs.iter().map(|d| get_u64(d, path)).sum()
+}
+
+fn max(docs: &[Json], path: &[&str]) -> u64 {
+    docs.iter().map(|d| get_u64(d, path)).max().unwrap_or(0)
+}
+
+fn rate(hits: u64, total: u64) -> f64 {
+    if total == 0 {
+        0.0
+    } else {
+        hits as f64 / total as f64
+    }
+}
+
+/// One merged histogram bucket: upper bound (`None` = open-ended) and the
+/// summed count.
+type Bucket = (Option<u64>, u64);
+
+/// Sums the workers' latency histograms bucket-by-bucket. Bucket bounds
+/// come from the first document carrying a histogram; every worker runs
+/// the same code, so bounds agree — counts are aligned by index.
+fn merge_histograms(docs: &[Json]) -> Vec<Bucket> {
+    let template = docs
+        .iter()
+        .filter_map(|d| get(d, &["latency", "histogram"]).and_then(Json::as_arr))
+        .max_by_key(|arr| arr.len());
+    let Some(template) = template else {
+        return Vec::new();
+    };
+    let mut merged: Vec<Bucket> = template
+        .iter()
+        .map(|b| (b.get("le_us").and_then(Json::as_u64), 0))
+        .collect();
+    for doc in docs {
+        let Some(arr) = get(doc, &["latency", "histogram"]).and_then(Json::as_arr) else {
+            continue;
+        };
+        for (i, bucket) in arr.iter().enumerate() {
+            if let Some(slot) = merged.get_mut(i) {
+                slot.1 += bucket.get("count").and_then(Json::as_u64).unwrap_or(0);
+            }
+        }
+    }
+    merged
+}
+
+/// The `q`-quantile of a merged histogram, reported as the upper bound
+/// of the containing bucket (µs), exactly like the workers' own
+/// `latency_quantile_us` — including the open-ended top bucket reporting
+/// `u64::MAX`, so merged and per-shard quantiles agree bucket-for-bucket
+/// on identical data. 0 on an empty histogram.
+fn quantile_us(hist: &[Bucket], q: f64) -> u64 {
+    let total: u64 = hist.iter().map(|&(_, c)| c).sum();
+    if total == 0 {
+        return 0;
+    }
+    let target = ((total as f64) * q).ceil() as u64;
+    let mut seen = 0;
+    for &(le, count) in hist {
+        seen += count;
+        if seen >= target {
+            return le.unwrap_or(u64::MAX);
+        }
+    }
+    u64::MAX
+}
+
+/// Merges worker stats documents into the cluster-wide additive view.
+pub fn merge_worker_stats(docs: &[Json]) -> Json {
+    let requests_keys = [
+        "accepted_connections",
+        "total",
+        "in_flight",
+        "completed",
+        "status_2xx",
+        "status_4xx",
+        "status_5xx",
+        "rejected_busy",
+        "backlog",
+    ];
+    let requests = Json::Obj(
+        requests_keys
+            .iter()
+            .map(|&k| (k.to_string(), Json::from(sum(docs, &["requests", k]))))
+            .collect(),
+    );
+
+    let hist = merge_histograms(docs);
+    let histogram = Json::Arr(
+        hist.iter()
+            .map(|&(le, count)| {
+                Json::obj([
+                    ("le_us", le.map(Json::from).unwrap_or(Json::Null)),
+                    ("count", Json::from(count)),
+                ])
+            })
+            .collect(),
+    );
+
+    let (dh, dw, dm) = (
+        sum(docs, &["dedup", "hits"]),
+        sum(docs, &["dedup", "inflight_waits"]),
+        sum(docs, &["dedup", "misses"]),
+    );
+    let (ih, im) = (
+        sum(docs, &["isl_cache", "server", "hits"]),
+        sum(docs, &["isl_cache", "server", "misses"]),
+    );
+
+    Json::obj([
+        ("uptime_ms", Json::from(max(docs, &["uptime_ms"]))),
+        ("requests", requests),
+        (
+            "latency",
+            Json::obj([
+                ("p50_us", Json::from(quantile_us(&hist, 0.50))),
+                ("p99_us", Json::from(quantile_us(&hist, 0.99))),
+                ("histogram", histogram),
+            ]),
+        ),
+        (
+            "dedup",
+            Json::obj([
+                ("hits", Json::from(dh)),
+                ("inflight_waits", Json::from(dw)),
+                ("misses", Json::from(dm)),
+                ("entries", Json::from(sum(docs, &["dedup", "entries"]))),
+                ("hit_rate", Json::from(rate(dh + dw, dh + dw + dm))),
+            ]),
+        ),
+        (
+            "isl_cache",
+            Json::obj([(
+                "server",
+                Json::obj([
+                    ("hits", Json::from(ih)),
+                    ("misses", Json::from(im)),
+                    ("hit_rate", Json::from(rate(ih, ih + im))),
+                ]),
+            )]),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn worker_doc(completed: u64, hits: u64, misses: u64, fast: u64, slow: u64) -> Json {
+        Json::obj([
+            ("uptime_ms", Json::from(completed * 10)),
+            (
+                "requests",
+                Json::obj([
+                    ("total", Json::from(completed)),
+                    ("completed", Json::from(completed)),
+                    ("status_2xx", Json::from(completed)),
+                ]),
+            ),
+            (
+                "latency",
+                Json::obj([
+                    ("p50_us", Json::from(50u64)),
+                    ("p99_us", Json::from(1000u64)),
+                    (
+                        "histogram",
+                        Json::Arr(vec![
+                            Json::obj([("le_us", Json::from(50u64)), ("count", Json::from(fast))]),
+                            Json::obj([
+                                ("le_us", Json::from(1000u64)),
+                                ("count", Json::from(slow)),
+                            ]),
+                            Json::obj([("le_us", Json::Null), ("count", Json::from(0u64))]),
+                        ]),
+                    ),
+                ]),
+            ),
+            (
+                "dedup",
+                Json::obj([
+                    ("hits", Json::from(hits)),
+                    ("inflight_waits", Json::from(0u64)),
+                    ("misses", Json::from(misses)),
+                    ("entries", Json::from(misses)),
+                    ("hit_rate", Json::from(0.5)),
+                ]),
+            ),
+            (
+                "isl_cache",
+                Json::obj([
+                    (
+                        "server",
+                        Json::obj([
+                            ("hits", Json::from(hits * 3)),
+                            ("misses", Json::from(misses * 2)),
+                        ]),
+                    ),
+                    ("process", Json::obj([("hits", Json::from(999_999u64))])),
+                ]),
+            ),
+        ])
+    }
+
+    #[test]
+    fn counters_sum_and_rates_recompute() {
+        let docs = vec![worker_doc(10, 8, 2, 9, 1), worker_doc(30, 24, 6, 28, 2)];
+        let merged = merge_worker_stats(&docs);
+        assert_eq!(get_u64(&merged, &["requests", "completed"]), 40);
+        assert_eq!(get_u64(&merged, &["dedup", "hits"]), 32);
+        assert_eq!(get_u64(&merged, &["dedup", "misses"]), 8);
+        let hit_rate = get(&merged, &["dedup", "hit_rate"])
+            .and_then(Json::as_f64)
+            .unwrap();
+        assert!((hit_rate - 0.8).abs() < 1e-9, "recomputed, not averaged");
+        assert_eq!(get_u64(&merged, &["uptime_ms"]), 300, "uptime is a max");
+        assert!(
+            get(&merged, &["isl_cache", "process"]).is_none(),
+            "shared process gauges must not be summed"
+        );
+    }
+
+    #[test]
+    fn histogram_sums_by_bucket_and_quantiles_follow() {
+        let docs = vec![worker_doc(10, 8, 2, 9, 1), worker_doc(30, 24, 6, 28, 2)];
+        let merged = merge_worker_stats(&docs);
+        let hist = get(&merged, &["latency", "histogram"])
+            .and_then(Json::as_arr)
+            .unwrap();
+        assert_eq!(hist[0].get("count").and_then(Json::as_u64), Some(37));
+        assert_eq!(hist[1].get("count").and_then(Json::as_u64), Some(3));
+        // 37 of 40 within 50µs → p50 in the first bucket, p99 in the second.
+        assert_eq!(get_u64(&merged, &["latency", "p50_us"]), 50);
+        assert_eq!(get_u64(&merged, &["latency", "p99_us"]), 1000);
+    }
+
+    #[test]
+    fn open_bucket_quantile_matches_the_worker_convention() {
+        // All traffic in the open-ended top bucket: the worker's own
+        // latency_quantile_us reports u64::MAX there, and the merged view
+        // must agree rather than invent a finite bound.
+        let hist: Vec<Bucket> = vec![(Some(50), 0), (Some(1000), 0), (None, 7)];
+        assert_eq!(quantile_us(&hist, 0.50), u64::MAX);
+        assert_eq!(quantile_us(&hist, 0.99), u64::MAX);
+        assert_eq!(quantile_us(&[], 0.99), 0);
+    }
+
+    #[test]
+    fn empty_input_merges_to_zeros() {
+        let merged = merge_worker_stats(&[]);
+        assert_eq!(get_u64(&merged, &["requests", "completed"]), 0);
+        assert_eq!(get_u64(&merged, &["latency", "p50_us"]), 0);
+    }
+}

@@ -1,0 +1,649 @@
+//! The front tier: accept loop, request proxying, fan-out endpoints,
+//! health probing, and cascaded drain.
+
+use crate::merge;
+use crate::ring::HashRing;
+use crate::upstream::{ForwardError, Upstream};
+use std::io::Write as _;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+use tenet_core::json::Json;
+use tenet_server::http::{self, RequestBuffer};
+use tenet_server::pool::{SubmitError, WorkerPool};
+use tenet_server::{canonical_key, canonical_request};
+
+/// Router configuration. Defaults match [`tenet_server::ServerConfig`]'s
+/// posture: loopback, small host, every knob overridable by tests.
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Bind address, e.g. `127.0.0.1:8090` (port `0` for ephemeral).
+    pub addr: String,
+    /// Worker addresses to attach (`host:port`). At least one required.
+    pub workers: Vec<String>,
+    /// Threads serving client connections.
+    pub threads: usize,
+    /// Accepted connections allowed to wait for a worker thread before
+    /// the router sheds load with `503`.
+    pub queue_capacity: usize,
+    /// Per-client-connection read timeout.
+    pub read_timeout: Duration,
+    /// Per-connection write timeout (client side and upstream side).
+    pub write_timeout: Duration,
+    /// How long a proxied call may wait for the owning shard's answer
+    /// (cold `/v1/dse` sweeps compute before writing anything).
+    pub upstream_read_timeout: Duration,
+    /// Maximum request-body size in bytes (`413` beyond).
+    pub max_body: usize,
+    /// Maximum header-block size in bytes (`431` beyond).
+    pub max_header: usize,
+    /// Maximum connections (idle + in flight) the router keeps open to
+    /// each worker. Load-bearing: the worker parks one thread per
+    /// keep-alive connection, so this must stay below the worker's
+    /// thread count or parked proxy sockets starve fresh connections —
+    /// including health probes, which would evict a healthy worker.
+    /// Spawners size worker pools at `upstream_connections + 2`.
+    pub upstream_connections: usize,
+    /// Virtual nodes per worker on the hash ring.
+    pub vnodes: usize,
+    /// Liveness-probe period; `Duration::ZERO` disables the prober
+    /// (failures are then detected only on proxied traffic).
+    pub health_interval: Duration,
+}
+
+impl Default for RouterConfig {
+    fn default() -> RouterConfig {
+        let parallelism = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(2);
+        RouterConfig {
+            addr: "127.0.0.1:8090".into(),
+            workers: Vec::new(),
+            threads: parallelism.clamp(2, 16),
+            queue_capacity: 128,
+            read_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(5),
+            upstream_read_timeout: Duration::from_secs(60),
+            max_body: 1 << 20,
+            max_header: 16 * 1024,
+            upstream_connections: 4,
+            vnodes: 64,
+            health_interval: Duration::from_millis(250),
+        }
+    }
+}
+
+/// Router-level counters (the proxied workers keep their own).
+#[derive(Default)]
+pub struct RouterStats {
+    /// Client connections accepted.
+    pub connections: AtomicU64,
+    /// Requests fully parsed and handled.
+    pub requests: AtomicU64,
+    /// Requests completed (any status).
+    pub completed: AtomicU64,
+    /// Responses with a 2xx status.
+    pub status_2xx: AtomicU64,
+    /// Responses with a 4xx status.
+    pub status_4xx: AtomicU64,
+    /// Responses with a 5xx status.
+    pub status_5xx: AtomicU64,
+    /// Connections shed with 503 because the backlog was full.
+    pub rejected_busy: AtomicU64,
+    /// Proxied calls re-routed after a shard failed mid-request.
+    pub retries: AtomicU64,
+    /// Workers evicted from the ring (probe or forward failure).
+    pub rehashes: AtomicU64,
+    /// Workers re-admitted after a successful probe.
+    pub revivals: AtomicU64,
+}
+
+impl RouterStats {
+    fn record(&self, status: u16) {
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        match status {
+            200..=299 => &self.status_2xx,
+            400..=499 => &self.status_4xx,
+            _ => &self.status_5xx,
+        }
+        .fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// State shared by the accept loop, connection workers, and the prober.
+pub struct RouterState {
+    /// Router configuration (immutable after bind).
+    pub config: RouterConfig,
+    /// The registered workers, indexed by ring identity.
+    pub upstreams: Vec<Arc<Upstream>>,
+    ring: Mutex<HashRing>,
+    /// Router-level counters.
+    pub stats: RouterStats,
+    shutdown: Arc<AtomicBool>,
+    started: Instant,
+}
+
+impl RouterState {
+    /// Evicts a worker from the ring (idempotent); keys it owned rehash
+    /// to the survivors on their next lookup.
+    fn mark_dead(&self, worker: usize) {
+        let mut ring = self.ring.lock().expect("ring poisoned");
+        if ring.remove(worker) {
+            self.upstreams[worker].set_alive(false);
+            self.stats.rehashes.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Re-admits a worker after a successful probe (idempotent).
+    fn revive(&self, worker: usize) {
+        let mut ring = self.ring.lock().expect("ring poisoned");
+        if ring.add(worker) {
+            self.upstreams[worker].set_alive(true);
+            self.stats.revivals.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Live workers on the ring right now.
+    pub fn alive_workers(&self) -> usize {
+        self.ring.lock().expect("ring poisoned").len()
+    }
+}
+
+/// A cheap, clonable remote control for a running [`Router`].
+#[derive(Clone)]
+pub struct RouterHandle {
+    shutdown: Arc<AtomicBool>,
+    addr: SocketAddr,
+}
+
+impl RouterHandle {
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Starts a graceful drain of the router itself. Does NOT cascade to
+    /// workers — that is `POST /v1/shutdown`'s job; a supervisor holding
+    /// worker handles can drain them directly.
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::Release);
+    }
+}
+
+/// A router spawned onto its own thread by [`Router::spawn`].
+pub struct SpawnedRouter {
+    handle: RouterHandle,
+    thread: std::thread::JoinHandle<std::io::Result<()>>,
+}
+
+impl SpawnedRouter {
+    /// The router's remote control.
+    pub fn handle(&self) -> RouterHandle {
+        self.handle.clone()
+    }
+
+    /// The router's bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.handle.addr()
+    }
+
+    /// Requests a drain and waits for the router thread to stop.
+    pub fn shutdown_and_join(self) -> std::io::Result<()> {
+        self.handle.shutdown();
+        self.thread
+            .join()
+            .map_err(|_| std::io::Error::other("router thread panicked"))?
+    }
+}
+
+/// A bound (but not yet running) sharding router.
+pub struct Router {
+    listener: TcpListener,
+    state: Arc<RouterState>,
+    addr: SocketAddr,
+}
+
+impl Router {
+    /// Binds `config.addr`, resolves the worker addresses, and builds the
+    /// ring with every worker initially admitted.
+    pub fn bind(config: RouterConfig) -> std::io::Result<Router> {
+        if config.workers.is_empty() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "router needs at least one worker address",
+            ));
+        }
+        let mut upstreams = Vec::with_capacity(config.workers.len());
+        let mut ring = HashRing::new(config.vnodes);
+        for (index, spec) in config.workers.iter().enumerate() {
+            let addr = spec.to_socket_addrs()?.next().ok_or_else(|| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidInput,
+                    format!("worker address `{spec}` resolves to nothing"),
+                )
+            })?;
+            upstreams.push(Arc::new(Upstream::new(
+                index,
+                addr,
+                config.upstream_connections,
+            )));
+            ring.add(index);
+        }
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let state = Arc::new(RouterState {
+            config,
+            upstreams,
+            ring: Mutex::new(ring),
+            stats: RouterStats::default(),
+            shutdown: Arc::new(AtomicBool::new(false)),
+            started: Instant::now(),
+        });
+        Ok(Router {
+            listener,
+            state,
+            addr,
+        })
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A remote control usable from other threads.
+    pub fn handle(&self) -> RouterHandle {
+        RouterHandle {
+            shutdown: Arc::clone(&self.state.shutdown),
+            addr: self.addr,
+        }
+    }
+
+    /// Binds and runs on a new thread; bind errors surface here, run
+    /// errors at join.
+    pub fn spawn(config: RouterConfig) -> std::io::Result<SpawnedRouter> {
+        let router = Router::bind(config)?;
+        let handle = router.handle();
+        let thread = std::thread::Builder::new()
+            .name(format!("tenet-router-{}", handle.addr().port()))
+            .spawn(move || router.run())?;
+        Ok(SpawnedRouter { handle, thread })
+    }
+
+    /// Runs until a graceful shutdown is requested, then drains: the
+    /// accept loop stops, admitted connections finish, the prober and the
+    /// connection workers join.
+    pub fn run(self) -> std::io::Result<()> {
+        let state = Arc::clone(&self.state);
+        let prober = if state.config.health_interval > Duration::ZERO {
+            let state = Arc::clone(&state);
+            Some(
+                std::thread::Builder::new()
+                    .name("tenet-router-health".into())
+                    .spawn(move || health_loop(&state))?,
+            )
+        } else {
+            None
+        };
+        let pool_state = Arc::clone(&self.state);
+        let pool = WorkerPool::new(
+            "tenet-route",
+            state.config.threads,
+            state.config.queue_capacity,
+            move |stream: TcpStream| serve_connection(stream, &pool_state),
+        );
+        let shutdown = Arc::clone(&state.shutdown);
+        let outcome = loop {
+            if shutdown.load(Ordering::Acquire) {
+                break Ok(());
+            }
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    state.stats.connections.fetch_add(1, Ordering::Relaxed);
+                    match pool.try_submit(stream) {
+                        Ok(()) => {}
+                        Err((stream, SubmitError::Busy | SubmitError::ShuttingDown)) => {
+                            state.stats.rejected_busy.fetch_add(1, Ordering::Relaxed);
+                            shed(stream, &state);
+                        }
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => break Err(e),
+            }
+        };
+        pool.shutdown();
+        if let Some(p) = prober {
+            let _ = p.join();
+        }
+        outcome
+    }
+}
+
+/// Periodic worker liveness: a failed probe evicts (rehash), a
+/// successful probe of an evicted worker re-admits (the keys that
+/// rehashed away migrate back, restoring the original affinity).
+fn health_loop(state: &Arc<RouterState>) {
+    let interval = state.config.health_interval;
+    let probe_timeout = interval.clamp(Duration::from_millis(100), Duration::from_secs(1));
+    while !state.shutdown.load(Ordering::Acquire) {
+        for up in &state.upstreams {
+            if state.shutdown.load(Ordering::Acquire) {
+                return;
+            }
+            let on_ring = {
+                let ring = state.ring.lock().expect("ring poisoned");
+                ring.contains(up.index)
+            };
+            match (up.probe_health(probe_timeout), on_ring) {
+                (true, false) => state.revive(up.index),
+                (false, true) => state.mark_dead(up.index),
+                _ => {}
+            }
+        }
+        // Sleep in small slices so a drain is observed promptly.
+        let mut slept = Duration::ZERO;
+        while slept < interval && !state.shutdown.load(Ordering::Acquire) {
+            let step = (interval - slept).min(Duration::from_millis(20));
+            std::thread::sleep(step);
+            slept += step;
+        }
+    }
+}
+
+fn error_body(kind: &str, message: impl Into<String>) -> Vec<u8> {
+    Json::obj([(
+        "error",
+        Json::obj([
+            ("kind", Json::from(kind)),
+            ("message", Json::from(message.into())),
+        ]),
+    )])
+    .to_string()
+    .into_bytes()
+}
+
+/// Answers `503` on the accept thread when the pool refused a connection.
+fn shed(mut stream: TcpStream, state: &Arc<RouterState>) {
+    let _ = stream.set_write_timeout(Some(state.config.write_timeout));
+    let body = error_body("busy", "router backlog full; retry later");
+    let _ = stream.write_all(&http::encode_response(
+        503,
+        "application/json",
+        &body,
+        false,
+    ));
+}
+
+/// Serves one client connection: parse → handle/proxy → respond,
+/// repeating for keep-alive/pipelined requests until close, error, or
+/// drain. Mirrors the worker's connection loop so clients cannot tell a
+/// router from a single server.
+fn serve_connection(mut stream: TcpStream, state: &Arc<RouterState>) {
+    let _ = stream.set_read_timeout(Some(state.config.read_timeout));
+    let _ = stream.set_write_timeout(Some(state.config.write_timeout));
+    let _ = stream.set_nodelay(true);
+    let mut rb = RequestBuffer::new(state.config.max_header, state.config.max_body);
+    loop {
+        loop {
+            match rb.next_request() {
+                Ok(Some(req)) => {
+                    let draining = state.shutdown.load(Ordering::Acquire);
+                    let keep_alive = req.keep_alive && !draining;
+                    state.stats.requests.fetch_add(1, Ordering::Relaxed);
+                    let (status, body) = handle(&req, state);
+                    state.stats.record(status);
+                    let bytes =
+                        http::encode_response(status, "application/json", &body, keep_alive);
+                    if stream.write_all(&bytes).is_err() {
+                        return;
+                    }
+                    if !keep_alive {
+                        return;
+                    }
+                }
+                Ok(None) => break,
+                Err(e) => {
+                    // Framing is broken (including chunked bodies → 501);
+                    // report and hang up, counting the request.
+                    let body = error_body("parse", e.message());
+                    let _ = stream.write_all(&http::encode_response(
+                        e.status(),
+                        "application/json",
+                        &body,
+                        false,
+                    ));
+                    state.stats.requests.fetch_add(1, Ordering::Relaxed);
+                    state.stats.record(e.status());
+                    return;
+                }
+            }
+        }
+        match rb.fill_from(&mut stream) {
+            Ok(0) => return,
+            Ok(_) => {}
+            Err(_) => return,
+        }
+    }
+}
+
+/// Routes one parsed request: local endpoints, fan-outs, or the sharded
+/// proxy path.
+fn handle(req: &http::Request, state: &Arc<RouterState>) -> (u16, Vec<u8>) {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/v1/healthz") => healthz(state),
+        ("GET", "/v1/stats") => stats_doc(state),
+        ("POST", "/v1/shutdown") => cascade_shutdown(state),
+        ("POST", "/v1/analyze" | "/v1/dse") => proxy(req, state),
+        ("GET" | "POST", _) => (
+            404,
+            error_body("not_found", format!("no route for {}", req.path)),
+        ),
+        _ => (
+            405,
+            error_body("method_not_allowed", format!("method {}", req.method)),
+        ),
+    }
+}
+
+fn healthz(state: &Arc<RouterState>) -> (u16, Vec<u8>) {
+    let alive = state.alive_workers();
+    let body = Json::obj([
+        (
+            "status",
+            Json::from(if alive > 0 { "ok" } else { "degraded" }),
+        ),
+        ("role", Json::from("router")),
+        ("workers", Json::from(state.upstreams.len())),
+        ("alive_workers", Json::from(alive)),
+    ])
+    .to_string()
+    .into_bytes();
+    (200, body)
+}
+
+/// The sharded proxy path: consistent-hash the canonical request key,
+/// forward to the owning worker, and on transport failure evict + retry
+/// on the rehashed owner. Re-sending is safe — analyses are pure
+/// functions of the request text, so a retry can only recompute the same
+/// bytes. 5xx statuses *returned by a worker* are relayed untouched (a
+/// deterministic analysis failure is the answer, not a routing problem);
+/// a router-originated 5xx means an empty ring or shed load. Pool-slot
+/// exhaustion on the owning shard ([`ForwardError::Busy`]) is
+/// backpressure, answered `503 busy` without eviction: the shard is
+/// healthy, just saturated, and rehashing its keys would throw away its
+/// warm cache for nothing.
+fn proxy(req: &http::Request, state: &Arc<RouterState>) -> (u16, Vec<u8>) {
+    let key = canonical_key(&canonical_request(&req.method, &req.path, &req.body));
+    let mut attempts = 0usize;
+    loop {
+        let owner = {
+            let ring = state.ring.lock().expect("ring poisoned");
+            ring.owner(key)
+        };
+        let Some(worker) = owner else {
+            return (
+                503,
+                error_body("no_workers", "no live workers on the ring; retry later"),
+            );
+        };
+        let up = &state.upstreams[worker];
+        match up.forward(
+            &req.method,
+            &req.path,
+            &req.body,
+            state.config.upstream_read_timeout,
+            state.config.write_timeout,
+        ) {
+            Ok((status, bytes)) => {
+                up.routed.fetch_add(1, Ordering::Relaxed);
+                return (status, bytes);
+            }
+            Err(ForwardError::Busy) => {
+                state.stats.rejected_busy.fetch_add(1, Ordering::Relaxed);
+                return (
+                    503,
+                    error_body(
+                        "busy",
+                        "owning shard's connection slots are busy; retry later",
+                    ),
+                );
+            }
+            Err(ForwardError::Transport(_)) => {
+                up.errors.fetch_add(1, Ordering::Relaxed);
+                state.mark_dead(worker);
+                state.stats.retries.fetch_add(1, Ordering::Relaxed);
+                attempts += 1;
+                if attempts > state.upstreams.len() {
+                    return (
+                        503,
+                        error_body("no_workers", "every worker failed this request"),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// `GET /v1/stats` fan-out: each live worker's stats document, the
+/// additive merge across them, and the router's own counters. A worker
+/// whose stats fetch fails at the transport layer is evicted (the fetch
+/// *is* a probe); a worker whose pool slots are merely busy stays on the
+/// ring and just misses this snapshot. The fetch uses the short write
+/// timeout, not the long sweep timeout — stats answer instantly, and a
+/// hung shard must not stall the whole fan-out for a minute.
+fn stats_doc(state: &Arc<RouterState>) -> (u16, Vec<u8>) {
+    let mut shards = Vec::with_capacity(state.upstreams.len());
+    let mut docs = Vec::new();
+    for up in &state.upstreams {
+        let (doc, alive) = if up.is_alive() {
+            match up.forward(
+                "GET",
+                "/v1/stats",
+                b"",
+                state.config.write_timeout,
+                state.config.write_timeout,
+            ) {
+                Ok((200, bytes)) => {
+                    let parsed = std::str::from_utf8(&bytes)
+                        .ok()
+                        .and_then(|t| Json::parse(t).ok());
+                    if parsed.is_none() {
+                        state.mark_dead(up.index);
+                    }
+                    let alive = parsed.is_some();
+                    (parsed, alive)
+                }
+                Err(ForwardError::Busy) => (None, true),
+                Ok(_) | Err(ForwardError::Transport(_)) => {
+                    state.mark_dead(up.index);
+                    (None, false)
+                }
+            }
+        } else {
+            (None, false)
+        };
+        shards.push(Json::obj([
+            ("worker", Json::from(up.index)),
+            ("addr", Json::from(up.addr.to_string())),
+            ("alive", Json::from(alive)),
+            ("routed", Json::from(up.routed.load(Ordering::Relaxed))),
+            ("errors", Json::from(up.errors.load(Ordering::Relaxed))),
+            ("stats", doc.clone().unwrap_or(Json::Null)),
+        ]));
+        if let Some(d) = doc {
+            docs.push(d);
+        }
+    }
+    let merged = merge::merge_worker_stats(&docs);
+    let s = &state.stats;
+    let load = |c: &AtomicU64| Json::from(c.load(Ordering::Relaxed));
+    let body = Json::obj([
+        (
+            "router",
+            Json::obj([
+                (
+                    "uptime_ms",
+                    Json::from(state.started.elapsed().as_millis().min(u64::MAX as u128) as u64),
+                ),
+                ("workers", Json::from(state.upstreams.len())),
+                ("alive_workers", Json::from(state.alive_workers())),
+                (
+                    "requests",
+                    Json::obj([
+                        ("accepted_connections", load(&s.connections)),
+                        ("total", load(&s.requests)),
+                        ("completed", load(&s.completed)),
+                        ("status_2xx", load(&s.status_2xx)),
+                        ("status_4xx", load(&s.status_4xx)),
+                        ("status_5xx", load(&s.status_5xx)),
+                        ("rejected_busy", load(&s.rejected_busy)),
+                    ]),
+                ),
+                ("retries", load(&s.retries)),
+                ("rehashes", load(&s.rehashes)),
+                ("revivals", load(&s.revivals)),
+            ]),
+        ),
+        ("merged", merged),
+        ("shards", Json::Arr(shards)),
+    ])
+    .to_string()
+    .into_bytes();
+    (200, body)
+}
+
+/// `POST /v1/shutdown` cascade: drain every worker, then the router
+/// itself. The drain goes to *every* registered worker — including ones
+/// currently marked dead — on a fresh unpooled connection: a worker that
+/// was transiently evicted (one lost probe, one dropped socket) is still
+/// running and must not be leaked past the cascade, and a genuinely dead
+/// one just answers "unreachable" after a fast refused connect. Worker
+/// outcomes are reported so an operator sees which shards acknowledged.
+fn cascade_shutdown(state: &Arc<RouterState>) -> (u16, Vec<u8>) {
+    let mut workers = Vec::with_capacity(state.upstreams.len());
+    for up in &state.upstreams {
+        let outcome = match up.send_once("POST", "/v1/shutdown", state.config.write_timeout) {
+            Ok((200, _)) => "draining",
+            Ok(_) => "error",
+            Err(_) => "unreachable",
+        };
+        workers.push(Json::obj([
+            ("worker", Json::from(up.index)),
+            ("status", Json::from(outcome)),
+        ]));
+    }
+    state.shutdown.store(true, Ordering::Release);
+    let body = Json::obj([
+        ("status", Json::from("draining")),
+        ("workers", Json::Arr(workers)),
+    ])
+    .to_string()
+    .into_bytes();
+    (200, body)
+}

@@ -1,0 +1,270 @@
+//! One registered worker: its address, liveness, pooled keep-alive
+//! connections, and per-shard routing counters.
+//!
+//! The router proxies every sharded request over a pooled connection to
+//! the owning worker, so the steady-state per-request cost is one
+//! loopback round trip — no connect handshake. A pooled connection that
+//! fails (stale keep-alive after a worker restart, read timeout) is
+//! retried once on a fresh connect before the worker is reported dead;
+//! callers then evict it from the ring and re-route.
+
+use std::io::Write as _;
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+use tenet_server::http::ResponseReader;
+
+/// Why a [`forward`](Upstream::forward) failed — the distinction drives
+/// the router's reaction.
+#[derive(Debug)]
+pub enum ForwardError {
+    /// Every connection slot stayed in flight past the wait deadline.
+    /// The worker itself may be perfectly healthy (e.g. saturated by
+    /// long cold sweeps); the right reaction is backpressure (`503`),
+    /// **not** eviction — evicting a busy worker would rehash its whole
+    /// key population and throw away its warm cache.
+    Busy,
+    /// The transport failed: connect refused, reset, or timeout
+    /// mid-exchange. The worker is presumed dead; evict and re-route.
+    Transport(std::io::Error),
+}
+
+impl std::fmt::Display for ForwardError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ForwardError::Busy => write!(f, "connection slots busy"),
+            ForwardError::Transport(e) => write!(f, "transport: {e}"),
+        }
+    }
+}
+
+/// One pooled connection: the write half plus its buffered reader over a
+/// clone of the same socket.
+struct Conn {
+    stream: TcpStream,
+    reader: ResponseReader<TcpStream>,
+}
+
+/// The connection pool's guarded state: idle connections plus the count
+/// of every socket currently open to the worker (idle *and* in use).
+#[derive(Default)]
+struct PoolState {
+    idle: Vec<Conn>,
+    open: usize,
+}
+
+/// A worker registered with the router.
+///
+/// The pool bounds `open` — idle plus in-flight — at `limit`. The bound
+/// is load-bearing, not an optimization: the worker dedicates a thread
+/// to each connection for its keep-alive lifetime, so an unbounded pool
+/// of parked keep-alive sockets would occupy every worker thread and
+/// starve fresh connections (including health probes, which would then
+/// evict a perfectly healthy worker). A spawner must size the worker's
+/// thread pool at `limit + 2` or better (probe + slack).
+pub struct Upstream {
+    /// Stable index — the identity the hash ring places on its circle.
+    pub index: usize,
+    /// The worker's socket address.
+    pub addr: SocketAddr,
+    alive: AtomicBool,
+    pool: Mutex<PoolState>,
+    pool_freed: Condvar,
+    limit: usize,
+    /// Sharded requests proxied to this worker — incremented by the
+    /// router's proxy path only (fan-out stats fetches and probes don't
+    /// count), so it is the per-shard hit distribution `servload
+    /// --router` records.
+    pub routed: AtomicU64,
+    /// Forward attempts that failed at the transport layer.
+    pub errors: AtomicU64,
+}
+
+impl Upstream {
+    /// A new worker, presumed alive until a probe or forward says not,
+    /// keeping at most `limit` connections open to it.
+    pub fn new(index: usize, addr: SocketAddr, limit: usize) -> Upstream {
+        Upstream {
+            index,
+            addr,
+            alive: AtomicBool::new(true),
+            pool: Mutex::new(PoolState::default()),
+            pool_freed: Condvar::new(),
+            limit: limit.max(1),
+            routed: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+        }
+    }
+
+    /// Current liveness belief.
+    pub fn is_alive(&self) -> bool {
+        self.alive.load(Ordering::Acquire)
+    }
+
+    /// Updates liveness; on death the idle pool is dropped (those sockets
+    /// point at a corpse).
+    pub fn set_alive(&self, alive: bool) {
+        self.alive.store(alive, Ordering::Release);
+        if !alive {
+            let mut pool = self.pool.lock().expect("pool poisoned");
+            pool.open -= pool.idle.len();
+            pool.idle.clear();
+            drop(pool);
+            self.pool_freed.notify_all();
+        }
+    }
+
+    /// Takes a connection: a pooled idle one, a fresh one when under the
+    /// limit, or — with every slot in flight — waits up to `wait` for a
+    /// peer to finish. Returns the connection and whether it was pooled.
+    fn acquire(
+        &self,
+        read: Duration,
+        write: Duration,
+        wait: Duration,
+    ) -> Result<(Conn, bool), ForwardError> {
+        let deadline = std::time::Instant::now() + wait;
+        let mut pool = self.pool.lock().expect("pool poisoned");
+        loop {
+            if let Some(conn) = pool.idle.pop() {
+                return Ok((conn, true));
+            }
+            if pool.open < self.limit {
+                pool.open += 1;
+                drop(pool);
+                // Connect outside the lock; roll the count back on failure.
+                return match self.connect(read, write) {
+                    Ok(conn) => Ok((conn, false)),
+                    Err(e) => {
+                        self.release_slot();
+                        Err(ForwardError::Transport(e))
+                    }
+                };
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return Err(ForwardError::Busy);
+            }
+            let (guard, _) = self
+                .pool_freed
+                .wait_timeout(pool, deadline - now)
+                .expect("pool poisoned");
+            pool = guard;
+        }
+    }
+
+    /// Returns a finished connection to the idle pool for reuse.
+    fn park(&self, conn: Conn) {
+        let mut pool = self.pool.lock().expect("pool poisoned");
+        pool.idle.push(conn);
+        drop(pool);
+        self.pool_freed.notify_one();
+    }
+
+    /// Accounts for a connection that was dropped instead of parked.
+    fn release_slot(&self) {
+        let mut pool = self.pool.lock().expect("pool poisoned");
+        pool.open = pool.open.saturating_sub(1);
+        drop(pool);
+        self.pool_freed.notify_one();
+    }
+
+    fn connect(&self, read_timeout: Duration, write_timeout: Duration) -> std::io::Result<Conn> {
+        let stream = TcpStream::connect_timeout(&self.addr, read_timeout.max(write_timeout))?;
+        stream.set_read_timeout(Some(read_timeout))?;
+        stream.set_write_timeout(Some(write_timeout))?;
+        stream.set_nodelay(true)?;
+        let reader = ResponseReader::new(stream.try_clone()?);
+        Ok(Conn { stream, reader })
+    }
+
+    fn send_on(
+        conn: &mut Conn,
+        method: &str,
+        path: &str,
+        body: &[u8],
+    ) -> std::io::Result<(u16, Vec<u8>)> {
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nHost: tenet-router\r\nContent-Type: application/json\r\n\
+             Content-Length: {}\r\n\r\n",
+            body.len()
+        );
+        conn.stream.write_all(head.as_bytes())?;
+        if !body.is_empty() {
+            conn.stream.write_all(body)?;
+        }
+        conn.reader.next_response()
+    }
+
+    /// Proxies one request to this worker, reusing a pooled keep-alive
+    /// connection when one exists. A failure on a *pooled* connection is
+    /// retried once on a fresh connect (the worker may simply have closed
+    /// an idle socket); a failure on a fresh connection is the worker's
+    /// answer — the caller should evict and re-route on
+    /// [`ForwardError::Transport`], and shed load (never evict) on
+    /// [`ForwardError::Busy`].
+    pub fn forward(
+        &self,
+        method: &str,
+        path: &str,
+        body: &[u8],
+        read_timeout: Duration,
+        write_timeout: Duration,
+    ) -> Result<(u16, Vec<u8>), ForwardError> {
+        let (mut conn, was_pooled) = self.acquire(read_timeout, write_timeout, read_timeout)?;
+        // Pooled sockets keep the timeouts of the call that created
+        // them; re-arm for this call so a short-deadline fan-out is not
+        // silently governed by an earlier long-deadline proxy call.
+        let _ = conn.stream.set_read_timeout(Some(read_timeout));
+        let _ = conn.stream.set_write_timeout(Some(write_timeout));
+        let (conn, (status, bytes)) = match Self::send_on(&mut conn, method, path, body) {
+            Ok(reply) => (conn, reply),
+            Err(first_err) if was_pooled => {
+                // Stale keep-alive; one fresh attempt before giving up.
+                // The slot stays ours: the dead socket closes and the
+                // fresh one takes its place in the accounting.
+                drop(conn);
+                let _ = first_err;
+                let retried = self.connect(read_timeout, write_timeout).and_then(|mut c| {
+                    Self::send_on(&mut c, method, path, body).map(|reply| (c, reply))
+                });
+                match retried {
+                    Ok(pair) => pair,
+                    Err(e) => {
+                        self.release_slot();
+                        return Err(ForwardError::Transport(e));
+                    }
+                }
+            }
+            Err(e) => {
+                self.release_slot();
+                return Err(ForwardError::Transport(e));
+            }
+        };
+        self.park(conn);
+        Ok((status, bytes))
+    }
+
+    /// One request on a fresh, unpooled connection — the delivery path
+    /// for control messages (`/v1/shutdown` cascades) that must get
+    /// through even when every pool slot is busy or the worker was
+    /// evicted and its pool cleared. The worker's `limit + 2` thread
+    /// headroom exists exactly for these.
+    pub fn send_once(
+        &self,
+        method: &str,
+        path: &str,
+        timeout: Duration,
+    ) -> std::io::Result<(u16, Vec<u8>)> {
+        let mut conn = self.connect(timeout, timeout)?;
+        Self::send_on(&mut conn, method, path, b"")
+    }
+
+    /// One liveness probe: `GET /v1/healthz` on a short-deadline fresh
+    /// connection (pooled sockets would mask a dead worker behind a
+    /// buffered response).
+    pub fn probe_health(&self, timeout: Duration) -> bool {
+        matches!(self.send_once("GET", "/v1/healthz", timeout), Ok((200, _)))
+    }
+}

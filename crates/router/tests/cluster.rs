@@ -1,0 +1,541 @@
+//! The in-process cluster harness: a real router and 2–3 real workers on
+//! ephemeral loopback ports inside one test process, driven over raw
+//! TCP. This is the proof the sharded service rests on:
+//!
+//! * **shard affinity** — a repeated key is computed exactly once
+//!   cluster-wide and every repeat returns bit-identical bytes;
+//! * **warm hit rate** — after the warm-up round, every shard serves its
+//!   keys entirely from its dedup layer (per-shard hit rate 1.0);
+//! * **rebalancing** — killing a worker mid-run yields zero 5xx for
+//!   retried keys, and only the dead worker's keys recompute (~1/N);
+//! * **stats fan-out** — the merged `/v1/stats` document equals the sum
+//!   of the per-shard parts it was built from;
+//! * **framing parity** — chunked transfer encoding is 501 at the
+//!   router, exactly as at the worker.
+
+use std::io::Write;
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+use tenet_core::json::Json;
+use tenet_router::{Router, RouterConfig, SpawnedRouter};
+use tenet_server::http::read_response;
+use tenet_server::{Server, ServerConfig, SpawnedServer};
+
+const GEMM_PROBLEM: &str = "\
+for (i = 0; i < 4; i++)
+  for (j = 0; j < 4; j++)
+    for (k = 0; k < 4; k++)
+      S: Y[i][j] += A[i][k] * B[k][j];
+
+{ S[i,j,k] -> (PE[i,j] | T[i + j + k]) }
+
+arch \"4x4\" { array = [4, 4] interconnect = systolic2d bandwidth = 8 }
+";
+
+/// One booted cluster: N workers plus the router fronting them.
+struct Cluster {
+    workers: Vec<Option<SpawnedServer>>,
+    router: Option<SpawnedRouter>,
+}
+
+impl Cluster {
+    /// Boots `n` workers and a router on ephemeral ports.
+    /// `health_interval == ZERO` disables the prober, making failure
+    /// detection purely traffic-driven (deterministic for the tests that
+    /// count rehashes).
+    fn boot(n: usize, health_interval: Duration) -> Cluster {
+        // Worker threads must exceed the router's per-worker connection
+        // bound: parked keep-alive proxy sockets each hold a worker
+        // thread, and probes/stats must never queue behind them.
+        let worker_threads = RouterConfig::default().upstream_connections + 2;
+        let workers: Vec<Option<SpawnedServer>> = (0..n)
+            .map(|_| {
+                Some(
+                    Server::spawn(ServerConfig {
+                        addr: "127.0.0.1:0".into(),
+                        threads: worker_threads,
+                        read_timeout: Duration::from_secs(2),
+                        write_timeout: Duration::from_secs(2),
+                        ..Default::default()
+                    })
+                    .expect("spawn worker"),
+                )
+            })
+            .collect();
+        let config = RouterConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: workers
+                .iter()
+                .map(|w| w.as_ref().unwrap().addr().to_string())
+                .collect(),
+            threads: 2,
+            health_interval,
+            ..Default::default()
+        };
+        let router = Router::spawn(config).expect("spawn router");
+        Cluster {
+            workers,
+            router: Some(router),
+        }
+    }
+
+    fn addr(&self) -> SocketAddr {
+        self.router.as_ref().unwrap().addr()
+    }
+
+    /// Kills worker `i` (graceful drain + join); its port stops listening.
+    fn kill_worker(&mut self, i: usize) {
+        self.workers[i]
+            .take()
+            .expect("worker already killed")
+            .shutdown_and_join()
+            .expect("worker drain");
+    }
+}
+
+impl Drop for Cluster {
+    fn drop(&mut self) {
+        if let Some(router) = self.router.take() {
+            let _ = router.shutdown_and_join();
+        }
+        for w in self.workers.iter_mut().filter_map(Option::take) {
+            let _ = w.shutdown_and_join();
+        }
+    }
+}
+
+fn post(addr: SocketAddr, path: &str, body: &str) -> (u16, Vec<u8>) {
+    let mut s = TcpStream::connect(addr).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    let req = format!(
+        "POST {path} HTTP/1.1\r\nHost: t\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    s.write_all(req.as_bytes()).unwrap();
+    read_response(&mut s).expect("read response")
+}
+
+fn get(addr: SocketAddr, path: &str) -> (u16, Vec<u8>) {
+    let mut s = TcpStream::connect(addr).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    let req = format!("GET {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n");
+    s.write_all(req.as_bytes()).unwrap();
+    read_response(&mut s).expect("read response")
+}
+
+/// A distinct analyze request per `window` value: same kernel, different
+/// canonical key.
+fn analyze_body(window: u64) -> String {
+    Json::obj([
+        ("problem", Json::from(GEMM_PROBLEM)),
+        ("window", Json::from(window)),
+    ])
+    .to_string()
+}
+
+fn router_stats(addr: SocketAddr) -> Json {
+    let (status, body) = get(addr, "/v1/stats");
+    assert_eq!(status, 200);
+    Json::parse(std::str::from_utf8(&body).unwrap()).unwrap()
+}
+
+/// Per-shard `(worker, alive, routed, dedup_hits, dedup_waits,
+/// dedup_misses)` rows out of a router stats document.
+fn shard_rows(stats: &Json) -> Vec<(u64, bool, u64, u64, u64, u64)> {
+    stats
+        .get("shards")
+        .and_then(Json::as_arr)
+        .expect("shards array")
+        .iter()
+        .map(|s| {
+            let dedup = |k: &str| {
+                s.get("stats")
+                    .and_then(|d| d.get("dedup"))
+                    .and_then(|d| d.get(k))
+                    .and_then(Json::as_u64)
+                    .unwrap_or(0)
+            };
+            (
+                s.get("worker").and_then(Json::as_u64).unwrap(),
+                s.get("alive").and_then(Json::as_bool).unwrap(),
+                s.get("routed").and_then(Json::as_u64).unwrap(),
+                dedup("hits"),
+                dedup("inflight_waits"),
+                dedup("misses"),
+            )
+        })
+        .collect()
+}
+
+fn merged_u64(stats: &Json, path: &[&str]) -> u64 {
+    let mut v = stats.get("merged").expect("merged doc");
+    for k in path {
+        v = v.get(k).unwrap_or(&Json::Null);
+    }
+    v.as_u64().unwrap_or(0)
+}
+
+#[test]
+fn shard_affinity_bit_identical_bytes_and_warm_hit_rate() {
+    let cluster = Cluster::boot(3, Duration::ZERO);
+    let addr = cluster.addr();
+    let keys: Vec<String> = (1..=8).map(analyze_body).collect();
+
+    // Warm round: every key computed once, through the router.
+    let mut first: Vec<Vec<u8>> = Vec::new();
+    for body in &keys {
+        let (status, bytes) = post(addr, "/v1/analyze", body);
+        assert_eq!(status, 200, "{}", String::from_utf8_lossy(&bytes));
+        first.push(bytes);
+    }
+    let warm = router_stats(addr);
+    let warm_rows = shard_rows(&warm);
+
+    // Repeat rounds: responses must be bit-identical to the first answer.
+    for _round in 0..3 {
+        for (i, body) in keys.iter().enumerate() {
+            let (status, bytes) = post(addr, "/v1/analyze", body);
+            assert_eq!(status, 200);
+            assert_eq!(
+                bytes, first[i],
+                "repeat of key {i} must be the shard's cached bytes"
+            );
+        }
+    }
+
+    let end = router_stats(addr);
+    let end_rows = shard_rows(&end);
+
+    // Affinity: each key was computed exactly once cluster-wide. A key
+    // that ever moved shards would recompute there and inflate misses.
+    assert_eq!(
+        merged_u64(&end, &["dedup", "misses"]),
+        keys.len() as u64,
+        "every key must be owned by exactly one shard: {end}"
+    );
+
+    // The keys actually spread: more than one shard carried traffic.
+    let carrying = end_rows.iter().filter(|r| r.2 > 0).count();
+    assert!(
+        carrying >= 2,
+        "sharding degenerated to one worker: {end_rows:?}"
+    );
+    let total_routed: u64 = end_rows.iter().map(|r| r.2).sum();
+    assert_eq!(total_routed, (keys.len() * 4) as u64);
+
+    // Warm per-shard hit rate: in the repeat phase no shard missed —
+    // every request after warm-up was served from its shard's dedup
+    // layer (hit rate exactly 1.0 per shard).
+    for (warm_row, end_row) in warm_rows.iter().zip(&end_rows) {
+        assert_eq!(warm_row.0, end_row.0);
+        let miss_delta = end_row.5 - warm_row.5;
+        assert_eq!(
+            miss_delta, 0,
+            "shard {} recomputed a warm key: {end_rows:?}",
+            end_row.0
+        );
+        let served_delta = (end_row.3 + end_row.4) - (warm_row.3 + warm_row.4);
+        let routed_delta = end_row.2 - warm_row.2;
+        assert_eq!(
+            served_delta, routed_delta,
+            "shard {} warm traffic must be all dedup hits",
+            end_row.0
+        );
+    }
+}
+
+#[test]
+fn worker_loss_rehashes_with_zero_5xx_for_retried_keys() {
+    let mut cluster = Cluster::boot(3, Duration::ZERO);
+    let addr = cluster.addr();
+    let keys: Vec<String> = (1..=10).map(analyze_body).collect();
+
+    // Warm every key and remember its bytes.
+    let mut first: Vec<Vec<u8>> = Vec::new();
+    for body in &keys {
+        let (status, bytes) = post(addr, "/v1/analyze", body);
+        assert_eq!(status, 200, "{}", String::from_utf8_lossy(&bytes));
+        first.push(bytes);
+    }
+    let before = router_stats(addr);
+    let rows = shard_rows(&before);
+    // Kill the shard carrying the most keys — the worst case for the
+    // retry path.
+    let victim = rows.iter().max_by_key(|r| r.2).unwrap();
+    let (victim_idx, victim_keys) = (victim.0 as usize, victim.2);
+    assert!(victim_keys > 0, "victim must own at least one key");
+    cluster.kill_worker(victim_idx);
+
+    // Replay every key. Keys owned by survivors stay cached; the dead
+    // shard's keys must transparently rehash — zero 5xx, and the bytes
+    // are identical because the analysis is a pure function of the text.
+    for (i, body) in keys.iter().enumerate() {
+        let (status, bytes) = post(addr, "/v1/analyze", body);
+        assert_eq!(
+            status,
+            200,
+            "key {i} must survive the worker loss: {}",
+            String::from_utf8_lossy(&bytes)
+        );
+        assert_eq!(
+            bytes, first[i],
+            "rehashed key {i} must recompute identically"
+        );
+    }
+
+    let after = router_stats(addr);
+    // The router observed the death: the victim is off the ring and
+    // marked dead in the shard list.
+    let router_doc = after.get("router").unwrap();
+    assert_eq!(
+        router_doc.get("alive_workers").and_then(Json::as_u64),
+        Some(2)
+    );
+    assert!(router_doc.get("rehashes").and_then(Json::as_u64).unwrap() >= 1);
+    assert!(router_doc.get("retries").and_then(Json::as_u64).unwrap() >= 1);
+    let after_rows = shard_rows(&after);
+    assert!(
+        !after_rows[victim_idx].1,
+        "victim must be reported dead: {after_rows:?}"
+    );
+
+    // Consistent hashing in action end-to-end: only the victim's keys
+    // recomputed. Every key was computed exactly once *among the
+    // survivors* (their warm misses plus the victim's rehashed keys; the
+    // victim's own miss counters died with it), and the replay of a
+    // survivor-owned key was a dedup hit, not a recompute.
+    let miss_sum: u64 = after_rows.iter().map(|r| r.5).sum();
+    assert_eq!(
+        miss_sum,
+        keys.len() as u64,
+        "survivors must own each key exactly once: {after_rows:?}"
+    );
+    let hit_sum: u64 = after_rows.iter().map(|r| r.3 + r.4).sum();
+    assert_eq!(
+        hit_sum,
+        keys.len() as u64 - victim_keys,
+        "exactly the surviving shards' keys must replay from cache: {after_rows:?}"
+    );
+}
+
+#[test]
+fn merged_stats_equal_the_sum_of_parts() {
+    let cluster = Cluster::boot(2, Duration::ZERO);
+    let addr = cluster.addr();
+    for round in 0..3 {
+        for w in 1..=6 {
+            let (status, _) = post(addr, "/v1/analyze", &analyze_body(w));
+            assert_eq!(status, 200, "round {round}");
+        }
+    }
+    let stats = router_stats(addr);
+    let shards: Vec<&Json> = stats
+        .get("shards")
+        .and_then(Json::as_arr)
+        .unwrap()
+        .iter()
+        .filter(|s| s.get("alive").and_then(Json::as_bool) == Some(true))
+        .map(|s| s.get("stats").unwrap())
+        .collect();
+    assert_eq!(shards.len(), 2);
+
+    let shard_sum = |path: &[&str]| -> u64 {
+        shards
+            .iter()
+            .map(|doc| {
+                let mut v: &Json = doc;
+                for k in path {
+                    v = v.get(k).unwrap_or(&Json::Null);
+                }
+                v.as_u64().unwrap_or(0)
+            })
+            .sum()
+    };
+    for path in [
+        vec!["requests", "total"],
+        vec!["requests", "completed"],
+        vec!["requests", "status_2xx"],
+        vec!["requests", "status_4xx"],
+        vec!["requests", "status_5xx"],
+        vec!["dedup", "hits"],
+        vec!["dedup", "inflight_waits"],
+        vec!["dedup", "misses"],
+        vec!["dedup", "entries"],
+        vec!["isl_cache", "server", "hits"],
+        vec!["isl_cache", "server", "misses"],
+    ] {
+        assert_eq!(
+            merged_u64(&stats, &path),
+            shard_sum(&path),
+            "merged {path:?} must be the sum of the parts"
+        );
+    }
+
+    // Histogram: every bucket is the sum of the shards' buckets, so the
+    // totals agree too.
+    let merged_hist_total: u64 = stats
+        .get("merged")
+        .and_then(|m| m.get("latency"))
+        .and_then(|l| l.get("histogram"))
+        .and_then(Json::as_arr)
+        .unwrap()
+        .iter()
+        .map(|b| b.get("count").and_then(Json::as_u64).unwrap_or(0))
+        .sum();
+    let shard_hist_total: u64 = shards
+        .iter()
+        .map(|doc| {
+            doc.get("latency")
+                .and_then(|l| l.get("histogram"))
+                .and_then(Json::as_arr)
+                .unwrap()
+                .iter()
+                .map(|b| b.get("count").and_then(Json::as_u64).unwrap_or(0))
+                .sum::<u64>()
+        })
+        .sum();
+    assert_eq!(merged_hist_total, shard_hist_total);
+    assert_eq!(
+        merged_hist_total,
+        merged_u64(&stats, &["requests", "completed"]),
+        "every completed request lands in exactly one latency bucket"
+    );
+}
+
+#[test]
+fn chunked_transfer_encoding_is_501_at_the_router_too() {
+    // The worker layer pins this in `crates/server/tests/e2e.rs`; the
+    // router speaks the same codec and must refuse identically, so a
+    // streaming client fails the same way whichever tier it talks to.
+    let cluster = Cluster::boot(2, Duration::ZERO);
+    let mut s = TcpStream::connect(cluster.addr()).unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    s.write_all(
+        b"POST /v1/analyze HTTP/1.1\r\nHost: t\r\nTransfer-Encoding: chunked\r\n\r\n\
+          5\r\nhello\r\n0\r\n\r\n",
+    )
+    .unwrap();
+    let (status, body) = read_response(&mut s).unwrap();
+    assert_eq!(status, 501);
+    let v = Json::parse(std::str::from_utf8(&body).unwrap()).unwrap();
+    assert!(v
+        .get("error")
+        .and_then(|e| e.get("message"))
+        .and_then(Json::as_str)
+        .unwrap()
+        .contains("transfer-encoding"));
+}
+
+#[test]
+fn cascaded_shutdown_drains_workers_then_router() {
+    let mut cluster = Cluster::boot(2, Duration::ZERO);
+    let addr = cluster.addr();
+    let worker_addrs: Vec<SocketAddr> = cluster
+        .workers
+        .iter()
+        .map(|w| w.as_ref().unwrap().addr())
+        .collect();
+    // Traffic first, so the drain has in-flight state to finish.
+    let (status, _) = post(addr, "/v1/analyze", &analyze_body(1));
+    assert_eq!(status, 200);
+
+    let (status, body) = post(addr, "/v1/shutdown", "");
+    assert_eq!(status, 200);
+    let v = Json::parse(std::str::from_utf8(&body).unwrap()).unwrap();
+    assert_eq!(v.get("status").and_then(Json::as_str), Some("draining"));
+    let workers = v.get("workers").and_then(Json::as_arr).unwrap();
+    assert_eq!(workers.len(), 2);
+    for w in workers {
+        assert_eq!(
+            w.get("status").and_then(Json::as_str),
+            Some("draining"),
+            "cascade must reach every worker: {v}"
+        );
+    }
+
+    // Workers and router all wind down; joins must not hang.
+    for w in cluster.workers.iter_mut().filter_map(Option::take) {
+        w.shutdown_and_join().expect("worker drained");
+    }
+    cluster
+        .router
+        .take()
+        .unwrap()
+        .shutdown_and_join()
+        .expect("router drained");
+    // The listeners are gone: fresh connections are refused or go
+    // unanswered on every tier.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    for target in worker_addrs.iter().chain([addr].iter()) {
+        loop {
+            match TcpStream::connect(target) {
+                Err(_) => break,
+                Ok(mut s) => {
+                    s.set_read_timeout(Some(Duration::from_millis(100)))
+                        .unwrap();
+                    let _ = s.write_all(b"GET /v1/healthz HTTP/1.1\r\nHost: t\r\n\r\n");
+                    if read_response(&mut s).is_err() {
+                        break;
+                    }
+                }
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "{target} kept serving after the cascaded drain"
+            );
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    }
+}
+
+#[test]
+fn health_prober_evicts_and_revives() {
+    let mut cluster = Cluster::boot(2, Duration::from_millis(50));
+    let addr = cluster.addr();
+    let victim_addr = cluster.workers[0].as_ref().unwrap().addr();
+
+    let alive = |addr: SocketAddr| -> u64 {
+        let (status, body) = get(addr, "/v1/healthz");
+        assert_eq!(status, 200);
+        Json::parse(std::str::from_utf8(&body).unwrap())
+            .unwrap()
+            .get("alive_workers")
+            .and_then(Json::as_u64)
+            .unwrap()
+    };
+    assert_eq!(alive(addr), 2);
+
+    // Kill worker 0 without any traffic: only the prober can notice.
+    cluster.kill_worker(0);
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while alive(addr) != 1 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "prober never evicted the dead worker"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    // Resurrect a worker on the same address: the prober must re-admit
+    // it, restoring the original key affinity.
+    let reborn = Server::spawn(ServerConfig {
+        addr: victim_addr.to_string(),
+        threads: RouterConfig::default().upstream_connections + 2,
+        ..Default::default()
+    })
+    .expect("rebind the victim's port");
+    cluster.workers[0] = Some(reborn);
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while alive(addr) != 2 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "prober never revived the reborn worker"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let stats = router_stats(addr);
+    let router_doc = stats.get("router").unwrap();
+    assert!(router_doc.get("rehashes").and_then(Json::as_u64).unwrap() >= 1);
+    assert!(router_doc.get("revivals").and_then(Json::as_u64).unwrap() >= 1);
+}

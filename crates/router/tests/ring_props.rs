@@ -1,0 +1,132 @@
+//! Property tests for the consistent-hash ring: the invariants the
+//! sharded service's cache economics rest on.
+//!
+//! * adding or removing one worker remaps only the keys whose owning arc
+//!   changed — ≈ `1/N` of a sampled population, never a reshuffle;
+//! * a key that moves, moves *to the added worker* (add) or *from the
+//!   removed worker* (remove) — nobody else's keys churn;
+//! * the ring never maps a key to a worker that was removed.
+
+use proptest::prelude::*;
+use tenet_router::ring::HashRing;
+
+const VNODES: usize = 64;
+
+/// A deterministic spread-out key population (splitmix64 increments of
+/// the golden ratio, like the ring's own mixer but over a different
+/// stream).
+fn keys(n: usize, salt: u64) -> Vec<u64> {
+    (0..n as u64)
+        .map(|i| {
+            let mut z = salt
+                .wrapping_add(0x1234_5678_9abc_def0)
+                .wrapping_add(i.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        })
+        .collect()
+}
+
+fn build(workers: usize) -> HashRing {
+    let mut ring = HashRing::new(VNODES);
+    for w in 0..workers {
+        ring.add(w);
+    }
+    ring
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn adding_a_worker_remaps_about_one_nth(workers in 2usize..=8, salt in 0u64..=0xffff_ffff) {
+        let sample = keys(2000, salt);
+        let ring = build(workers);
+        let mut grown = ring.clone();
+        grown.add(workers); // the new worker
+
+        let mut moved = 0usize;
+        for &k in &sample {
+            let before = ring.owner(k).unwrap();
+            let after = grown.owner(k).unwrap();
+            if before != after {
+                // A key that moves may only move onto the new worker.
+                prop_assert_eq!(after, workers,
+                    "key {:016x} moved {} -> {} instead of the new worker", k, before, after);
+                moved += 1;
+            }
+        }
+        // Expected share is 1/(N+1); allow generous slack for vnode
+        // variance but reject anything resembling a reshuffle.
+        let share = moved as f64 / sample.len() as f64;
+        let expected = 1.0 / (workers as f64 + 1.0);
+        prop_assert!(share <= expected * 2.5,
+            "adding one of {} workers remapped {:.3} of keys (expected ~{:.3})",
+            workers + 1, share, expected);
+        prop_assert!(moved > 0, "a new worker must take over some keys");
+    }
+
+    #[test]
+    fn removing_a_worker_remaps_only_its_keys(workers in 2usize..=8, salt in 0u64..=0xffff_ffff) {
+        let sample = keys(2000, salt);
+        let ring = build(workers);
+        let victim = (salt % workers as u64) as usize;
+        let mut shrunk = ring.clone();
+        shrunk.remove(victim);
+
+        let mut moved = 0usize;
+        for &k in &sample {
+            let before = ring.owner(k).unwrap();
+            let after = shrunk.owner(k).unwrap();
+            // The ring never maps to a dead worker.
+            prop_assert!(after != victim, "key {:016x} mapped to the removed worker", k);
+            if before == victim {
+                moved += 1;
+            } else {
+                // Keys of the survivors must not churn.
+                prop_assert_eq!(before, after,
+                    "key {:016x} owned by surviving worker {} churned to {}", k, before, after);
+            }
+        }
+        let share = moved as f64 / sample.len() as f64;
+        let expected = 1.0 / workers as f64;
+        prop_assert!(share <= expected * 2.5,
+            "removing one of {} workers remapped {:.3} of keys (expected ~{:.3})",
+            workers, share, expected);
+    }
+
+    #[test]
+    fn add_then_remove_is_identity(workers in 1usize..=8, salt in 0u64..=0xffff_ffff) {
+        let sample = keys(500, salt);
+        let ring = build(workers);
+        let mut round_trip = ring.clone();
+        round_trip.add(workers);
+        round_trip.remove(workers);
+        for &k in &sample {
+            prop_assert_eq!(ring.owner(k), round_trip.owner(k),
+                "add+remove of a worker must restore every assignment");
+        }
+    }
+
+    #[test]
+    fn successive_removals_never_map_to_any_dead_worker(salt in 0u64..=0xffff_ffff) {
+        let sample = keys(500, salt);
+        let workers = 6usize;
+        let mut ring = build(workers);
+        let mut dead = Vec::new();
+        // Kill workers one at a time in a salt-dependent order.
+        for round in 0..workers - 1 {
+            let alive: Vec<usize> = ring.members().collect();
+            let victim = alive[(salt.rotate_left(round as u32) % alive.len() as u64) as usize];
+            ring.remove(victim);
+            dead.push(victim);
+            for &k in &sample {
+                let owner = ring.owner(k).unwrap();
+                prop_assert!(!dead.contains(&owner),
+                    "key {:016x} mapped to dead worker {} after round {}", k, owner, round);
+            }
+        }
+        prop_assert_eq!(ring.len(), 1);
+    }
+}

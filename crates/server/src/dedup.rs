@@ -19,6 +19,48 @@
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
+use tenet_core::json::Json;
+
+/// The canonical text of one request: method, path, and the
+/// *canonicalized* body, so formatting and key-order differences collapse
+/// onto one identity. Bodies that fail to parse as JSON key on their raw
+/// text (the error response is deterministic too).
+///
+/// This string is the cluster-wide request identity: the in-process dedup
+/// map keys on it directly, and the sharding router hashes it (via
+/// [`canonical_key`]) to pick the owning worker — so a repeated query
+/// always lands on the shard that already holds its cached answer.
+pub fn canonical_request(method: &str, path: &str, body: &[u8]) -> String {
+    let canonical_body = std::str::from_utf8(body)
+        .ok()
+        .and_then(|t| Json::parse(t).ok())
+        .map(|v| v.to_canonical_string())
+        .unwrap_or_else(|| String::from_utf8_lossy(body).into_owned());
+    format!("{method} {path}\n{canonical_body}")
+}
+
+/// 64-bit hash of a canonical request text — the key a consistent-hash
+/// ring places on its circle. Deterministic across processes and runs
+/// (no per-process seed), which is what makes shard affinity stable
+/// across router restarts.
+///
+/// FNV-1a accumulation followed by a murmur3-style finalizer: plain
+/// FNV-1a spreads a trailing-byte difference only into the low bits
+/// (one multiply), and requests that differ in one late field would
+/// cluster onto the same ring arc; the finalizer avalanches every input
+/// bit across the whole word.
+pub fn canonical_key(text: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in text.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+    h ^ (h >> 33)
+}
 
 /// One cached response: status plus entity bytes (shared, immutable).
 #[derive(Debug, Clone)]
@@ -192,6 +234,36 @@ mod tests {
             status: 200,
             body: Arc::new(bytes.to_vec()),
         }
+    }
+
+    #[test]
+    fn canonical_request_collapses_spelling_differences() {
+        let a = canonical_request("POST", "/v1/analyze", b"{\"a\": 1, \"b\": 2}");
+        let b = canonical_request("POST", "/v1/analyze", b"{ \"b\":2,\"a\" :1 }");
+        assert_eq!(a, b, "key order and whitespace must not matter");
+        let c = canonical_request("POST", "/v1/analyze", b"{\"a\":1,\"b\":3}");
+        assert_ne!(a, c, "different values are different requests");
+        let d = canonical_request("POST", "/v1/dse", b"{\"a\":1,\"b\":2}");
+        assert_ne!(a, d, "the path is part of the identity");
+        // Non-JSON bodies key on their raw text.
+        let e = canonical_request("POST", "/v1/analyze", b"{broken");
+        assert!(e.ends_with("{broken"));
+    }
+
+    #[test]
+    fn canonical_key_is_deterministic_and_separating() {
+        let k1 = canonical_key("POST /v1/analyze\n{\"a\":1}");
+        let k2 = canonical_key("POST /v1/analyze\n{\"a\":1}");
+        assert_eq!(k1, k2);
+        let k3 = canonical_key("POST /v1/analyze\n{\"a\":2}");
+        assert_ne!(k1, k3);
+        // A trailing-byte difference must avalanche into the high bits —
+        // the consistent-hash ring orders keys by their full value, and
+        // requests differing in one late field must not share an arc.
+        assert_ne!(k1 >> 48, k3 >> 48, "k1={k1:016x} k3={k3:016x}");
+        // The empty-string value locks the algorithm choice across PRs
+        // (FNV-1a offset basis through the murmur3 finalizer).
+        assert_eq!(canonical_key(""), 0xefd0_1f60_ba99_2926);
     }
 
     #[test]

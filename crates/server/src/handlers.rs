@@ -13,6 +13,7 @@ use tenet_dse::{enumerate_all, explore_parallel, pareto};
 use tenet_frontend::{parse_arch, parse_problem, Problem};
 
 /// A handler outcome: status code plus JSON entity.
+#[derive(Debug)]
 pub struct Reply {
     /// HTTP status.
     pub status: u16,
@@ -241,6 +242,70 @@ fn analyze(req: &Json, _state: &AppState) -> Reply {
     ]))
 }
 
+/// The keys a `/v1/dse` point object carries; the `fields` filter
+/// selects a subset of these.
+const POINT_FIELDS: [&str; 4] = ["dataflow", "latency", "sbw", "report"];
+
+/// The half-open index range `offset`/`limit` select out of `len` ranked
+/// points. An offset past the end and a zero limit are both valid and
+/// yield an empty page; the end saturates at `len`.
+fn page_bounds(len: usize, offset: usize, limit: usize) -> (usize, usize) {
+    let start = offset.min(len);
+    let end = start.saturating_add(limit).min(len);
+    (start, end)
+}
+
+/// Decodes the optional `fields` filter: an array of point-object keys.
+/// Unknown keys and non-string entries are usage errors (a typo silently
+/// dropping a field would be much harder to notice than a 400).
+fn parse_fields(req: &Json) -> Result<Option<Vec<String>>, Box<Reply>> {
+    match req.get("fields") {
+        None | Some(Json::Null) => Ok(None),
+        Some(Json::Arr(items)) => {
+            let mut fields = Vec::with_capacity(items.len());
+            for item in items {
+                let name = item.as_str().ok_or_else(|| {
+                    Box::new(Reply::bad_request(
+                        "usage",
+                        "`fields` entries must be strings",
+                    ))
+                })?;
+                if !POINT_FIELDS.contains(&name) {
+                    return Err(Box::new(Reply::bad_request(
+                        "usage",
+                        format!(
+                            "unknown field `{name}` (known: {})",
+                            POINT_FIELDS.join(", ")
+                        ),
+                    )));
+                }
+                if !fields.iter().any(|f| f == name) {
+                    fields.push(name.to_string());
+                }
+            }
+            Ok(Some(fields))
+        }
+        Some(_) => Err(Box::new(Reply::bad_request(
+            "usage",
+            "`fields` must be an array of strings",
+        ))),
+    }
+}
+
+/// Projects one serialized point onto the selected fields, preserving the
+/// point's own key order so responses stay canonical.
+fn select_fields(point: Json, fields: &[String]) -> Json {
+    match point {
+        Json::Obj(pairs) => Json::Obj(
+            pairs
+                .into_iter()
+                .filter(|(k, _)| fields.iter().any(|f| f == k))
+                .collect(),
+        ),
+        other => other,
+    }
+}
+
 /// `POST /v1/dse` — enumerate candidate dataflows under hardware
 /// constraints, evaluate them in parallel, return the ranked points and
 /// the latency/SBW Pareto frontier.
@@ -261,9 +326,23 @@ fn dse(req: &Json, state: &AppState) -> Reply {
         Ok(None) => *arch.pe_dims.first().unwrap_or(&8),
         Err(r) => return *r,
     };
-    let top = match opt_u64(req, "top") {
-        Ok(Some(t)) => (t as usize).min(1000),
-        Ok(None) => 10,
+    // `limit` + `offset` paginate the ranked points; `top` is the older
+    // spelling of `limit` (kept for existing clients, same cap).
+    let limit = match (opt_u64(req, "limit"), opt_u64(req, "top")) {
+        (Ok(Some(_)), Ok(Some(_))) => {
+            return Reply::bad_request("usage", "give either `limit` or `top`, not both")
+        }
+        (Ok(Some(l)), Ok(None)) | (Ok(None), Ok(Some(l))) => (l as usize).min(1000),
+        (Ok(None), Ok(None)) => 10,
+        (Err(r), _) | (_, Err(r)) => return *r,
+    };
+    let offset = match opt_u64(req, "offset") {
+        Ok(Some(o)) => o.min(usize::MAX as u64) as usize,
+        Ok(None) => 0,
+        Err(r) => return *r,
+    };
+    let fields = match parse_fields(req) {
+        Ok(f) => f,
         Err(r) => return *r,
     };
     let threads = match opt_u64(req, "threads") {
@@ -282,18 +361,87 @@ fn dse(req: &Json, state: &AppState) -> Reply {
         Err(e) => return Reply::analysis(format!("exploration failed: {e}")),
     };
     let frontier = pareto(&points);
+    let project = |p: &tenet_dse::DesignPoint| match &fields {
+        Some(f) => select_fields(p.to_json(), f),
+        None => p.to_json(),
+    };
+    let (start, end) = page_bounds(points.len(), offset, limit);
     Reply::ok(Json::obj([
         ("op", Json::from(problem.kernel.name())),
         ("arch", Json::from(arch.name.as_str())),
         ("explored", Json::from(candidates.len())),
         ("valid", Json::from(points.len())),
+        ("offset", Json::from(start)),
+        ("limit", Json::from(limit)),
         (
             "points",
-            Json::Arr(points.iter().take(top).map(|p| p.to_json()).collect()),
+            Json::Arr(points[start..end].iter().map(project).collect()),
         ),
         (
             "pareto",
-            Json::Arr(frontier.iter().map(|p| p.to_json()).collect()),
+            Json::Arr(frontier.iter().map(|p| project(p)).collect()),
         ),
     ]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_bounds_boundary_cases() {
+        // Plain page inside the range.
+        assert_eq!(page_bounds(10, 2, 3), (2, 5));
+        // Limit runs past the end: truncated, not an error.
+        assert_eq!(page_bounds(10, 8, 5), (8, 10));
+        // Offset exactly at / past the end: empty page anchored at len.
+        assert_eq!(page_bounds(10, 10, 3), (10, 10));
+        assert_eq!(page_bounds(10, 9999, 3), (10, 10));
+        // Limit 0: empty page at the requested offset.
+        assert_eq!(page_bounds(10, 4, 0), (4, 4));
+        // Empty result set.
+        assert_eq!(page_bounds(0, 0, 10), (0, 0));
+        // offset + limit overflowing usize must saturate, not wrap.
+        assert_eq!(page_bounds(10, usize::MAX, usize::MAX), (10, 10));
+        assert_eq!(page_bounds(10, 1, usize::MAX), (1, 10));
+    }
+
+    #[test]
+    fn parse_fields_accepts_known_and_rejects_unknown() {
+        let req = Json::parse(r#"{"fields": ["latency", "sbw"]}"#).unwrap();
+        let fields = parse_fields(&req).unwrap().unwrap();
+        assert_eq!(fields, vec!["latency".to_string(), "sbw".to_string()]);
+
+        // Duplicates collapse.
+        let req = Json::parse(r#"{"fields": ["latency", "latency"]}"#).unwrap();
+        assert_eq!(parse_fields(&req).unwrap().unwrap().len(), 1);
+
+        // Absent / null means "no filter".
+        assert!(parse_fields(&Json::parse("{}").unwrap()).unwrap().is_none());
+        let req = Json::parse(r#"{"fields": null}"#).unwrap();
+        assert!(parse_fields(&req).unwrap().is_none());
+
+        // Unknown field is a usage error naming the known set.
+        let req = Json::parse(r#"{"fields": ["latency", "bogus"]}"#).unwrap();
+        let reply = parse_fields(&req).unwrap_err();
+        assert_eq!(reply.status, 400);
+        let msg = reply.body.to_string();
+        assert!(msg.contains("bogus") && msg.contains("dataflow"), "{msg}");
+
+        // Non-string entries and non-array shapes are usage errors.
+        let req = Json::parse(r#"{"fields": [1]}"#).unwrap();
+        assert_eq!(parse_fields(&req).unwrap_err().status, 400);
+        let req = Json::parse(r#"{"fields": "latency"}"#).unwrap();
+        assert_eq!(parse_fields(&req).unwrap_err().status, 400);
+    }
+
+    #[test]
+    fn select_fields_projects_in_point_order() {
+        let point =
+            Json::parse(r#"{"dataflow": {"name": null}, "latency": 3.0, "sbw": 1.5}"#).unwrap();
+        // Filter order must not matter: the point's own order wins.
+        let fields = vec!["sbw".to_string(), "latency".to_string()];
+        let projected = select_fields(point, &fields);
+        assert_eq!(projected.to_string(), r#"{"latency":3,"sbw":1.5}"#);
+    }
 }

@@ -25,7 +25,10 @@
 //! * [`dedup`] — in-flight request deduplication plus a response LRU
 //!   keyed on the canonicalized request, layered over the process-wide
 //!   ISL memo context: identical hot queries from many clients cost one
-//!   analysis and get bit-identical bytes.
+//!   analysis and get bit-identical bytes. The canonicalization is
+//!   public ([`canonical_request`] / [`canonical_key`]) because the
+//!   sharding router (`tenet-router`) hashes the same identity to keep
+//!   every repeated query on the shard that already owns its answer.
 //! * [`stats`] — counters and a lock-free latency histogram.
 //! * [`handlers`] — routing and the endpoint implementations; errors
 //!   mirror the CLI's exit-code taxonomy (4xx usage/parse, 5xx analysis).
@@ -52,7 +55,8 @@ pub mod pool;
 mod server;
 pub mod stats;
 
-pub use server::{AppState, Server, ServerHandle};
+pub use dedup::{canonical_key, canonical_request};
+pub use server::{AppState, Server, ServerHandle, SpawnedServer};
 
 use std::time::Duration;
 

@@ -55,6 +55,37 @@ impl ServerHandle {
     }
 }
 
+/// A worker spawned onto its own thread by [`Server::spawn`]: the handle
+/// for remote control plus the join handle for clean teardown. This is
+/// how the sharding router's CLI entry point, the cluster test harness,
+/// and the load generator all boot in-process workers.
+pub struct SpawnedServer {
+    handle: ServerHandle,
+    thread: std::thread::JoinHandle<std::io::Result<()>>,
+}
+
+impl SpawnedServer {
+    /// The worker's remote control (clonable, thread-safe).
+    pub fn handle(&self) -> ServerHandle {
+        self.handle.clone()
+    }
+
+    /// The worker's bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.handle.addr()
+    }
+
+    /// Requests a graceful drain and waits for the worker to stop.
+    /// Idempotent with an earlier cascaded shutdown: the flag is already
+    /// set and the thread has (or is about to have) exited.
+    pub fn shutdown_and_join(self) -> std::io::Result<()> {
+        self.handle.shutdown();
+        self.thread
+            .join()
+            .map_err(|_| std::io::Error::other("server thread panicked"))?
+    }
+}
+
 /// A bound (but not yet running) analysis service.
 pub struct Server {
     listener: TcpListener,
@@ -84,6 +115,18 @@ impl Server {
             state,
             addr,
         })
+    }
+
+    /// Binds `config.addr` and runs the service on a new thread,
+    /// returning the handles a supervisor (router, test harness, load
+    /// generator) needs: bind errors surface here, run errors at join.
+    pub fn spawn(config: ServerConfig) -> std::io::Result<SpawnedServer> {
+        let server = Server::bind(config)?;
+        let handle = server.handle();
+        let thread = std::thread::Builder::new()
+            .name(format!("tenet-server-{}", handle.addr().port()))
+            .spawn(move || server.run())?;
+        Ok(SpawnedServer { handle, thread })
     }
 
     /// The bound address.
@@ -261,7 +304,7 @@ fn process_request(req: &http::Request, keep_alive: bool, state: &Arc<AppState>)
     state.stats.in_flight.fetch_add(1, Ordering::Relaxed);
     let t0 = Instant::now();
     let (status, body): (u16, Arc<Vec<u8>>) = if handlers::is_cacheable(&req.method, &req.path) {
-        let key = dedup_key(req);
+        let key = crate::dedup::canonical_request(&req.method, &req.path, &req.body);
         match state.dedup.claim(&key) {
             Claim::Cached(resp) => (resp.status, resp.body),
             Claim::Leader(token) => {
@@ -288,17 +331,4 @@ fn process_request(req: &http::Request, keep_alive: bool, state: &Arc<AppState>)
     state.stats.record(status, t0.elapsed());
     state.stats.in_flight.fetch_sub(1, Ordering::Relaxed);
     http::encode_response(status, "application/json", &body, keep_alive)
-}
-
-/// The dedup cache key: method, path, and the *canonicalized* body, so
-/// formatting and key-order differences collapse onto one entry. Bodies
-/// that fail to parse as JSON key on their raw text (the error response
-/// is deterministic too).
-fn dedup_key(req: &http::Request) -> String {
-    let canonical_body = std::str::from_utf8(&req.body)
-        .ok()
-        .and_then(|t| Json::parse(t).ok())
-        .map(|v| v.to_canonical_string())
-        .unwrap_or_else(|| String::from_utf8_lossy(&req.body).into_owned());
-    format!("{} {}\n{}", req.method, req.path, canonical_body)
 }

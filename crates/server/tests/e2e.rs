@@ -231,6 +231,146 @@ fn concurrent_duplicates_are_bit_identical_and_deduped() {
 }
 
 #[test]
+fn chunked_transfer_encoding_is_501_over_the_wire() {
+    // ROADMAP pins this behavior: the codec only speaks Content-Length
+    // framing, and a chunked body must be refused with 501 (not silently
+    // mis-framed) so streaming clients fail loudly. This locks the status
+    // at the worker layer; the router layer has its own twin of this test.
+    let (addr, handle) = start();
+    let mut s = TcpStream::connect(addr).unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    s.write_all(
+        b"POST /v1/analyze HTTP/1.1\r\nHost: t\r\nTransfer-Encoding: chunked\r\n\r\n\
+          5\r\nhello\r\n0\r\n\r\n",
+    )
+    .unwrap();
+    let (status, body) = read_response(&mut s).unwrap();
+    assert_eq!(status, 501, "chunked framing must be 501 Not Implemented");
+    let v = Json::parse(std::str::from_utf8(&body).unwrap()).unwrap();
+    assert_eq!(
+        v.get("error")
+            .and_then(|e| e.get("kind"))
+            .and_then(Json::as_str),
+        Some("parse")
+    );
+    assert!(v
+        .get("error")
+        .and_then(|e| e.get("message"))
+        .and_then(Json::as_str)
+        .unwrap()
+        .contains("transfer-encoding"));
+    handle.shutdown();
+}
+
+#[test]
+fn dse_pagination_and_field_filtering() {
+    let (addr, handle) = start();
+
+    // The unpaginated sweep: how many valid points exist?
+    let (status, body) = post(addr, "/v1/dse", &dse_body());
+    assert_eq!(status, 200, "{}", String::from_utf8_lossy(&body));
+    let v = Json::parse(std::str::from_utf8(&body).unwrap()).unwrap();
+    let valid = v.get("valid").and_then(Json::as_u64).unwrap() as usize;
+    assert!(valid >= 2, "sweep too small to exercise paging: {valid}");
+    let full: Vec<String> = {
+        let (_, body) = post(
+            addr,
+            "/v1/dse",
+            &Json::obj([
+                ("problem", Json::from(GEMM_PROBLEM)),
+                ("pe", Json::from(4u64)),
+                ("limit", Json::from(1000u64)),
+            ])
+            .to_string(),
+        );
+        let v = Json::parse(std::str::from_utf8(&body).unwrap()).unwrap();
+        v.get("points")
+            .and_then(Json::as_arr)
+            .unwrap()
+            .iter()
+            .map(|p| p.to_string())
+            .collect()
+    };
+    assert_eq!(full.len(), valid);
+
+    // A window from the middle equals the same slice of the full list.
+    let page_req = |offset: u64, limit: u64| -> (u16, Json) {
+        let body = Json::obj([
+            ("problem", Json::from(GEMM_PROBLEM)),
+            ("pe", Json::from(4u64)),
+            ("offset", Json::from(offset)),
+            ("limit", Json::from(limit)),
+        ])
+        .to_string();
+        let (status, body) = post(addr, "/v1/dse", &body);
+        (
+            status,
+            Json::parse(std::str::from_utf8(&body).unwrap()).unwrap(),
+        )
+    };
+    let (status, v) = page_req(1, 2);
+    assert_eq!(status, 200);
+    let points = v.get("points").and_then(Json::as_arr).unwrap();
+    let expect: Vec<&String> = full.iter().skip(1).take(2).collect();
+    assert_eq!(points.len(), expect.len());
+    for (got, want) in points.iter().zip(expect) {
+        assert_eq!(&got.to_string(), want, "page must be a slice of the rank");
+    }
+
+    // Offset past the end: empty page, still 200.
+    let (status, v) = page_req(9999, 5);
+    assert_eq!(status, 200);
+    assert_eq!(v.get("points").and_then(Json::as_arr).unwrap().len(), 0);
+
+    // Limit 0: empty page, still 200.
+    let (status, v) = page_req(0, 0);
+    assert_eq!(status, 200);
+    assert_eq!(v.get("points").and_then(Json::as_arr).unwrap().len(), 0);
+
+    // `fields` trims every point (and the pareto list) to the selection.
+    let body = Json::obj([
+        ("problem", Json::from(GEMM_PROBLEM)),
+        ("pe", Json::from(4u64)),
+        ("limit", Json::from(2u64)),
+        (
+            "fields",
+            Json::Arr(vec![Json::from("latency"), Json::from("sbw")]),
+        ),
+    ])
+    .to_string();
+    let (status, body) = post(addr, "/v1/dse", &body);
+    assert_eq!(status, 200);
+    let v = Json::parse(std::str::from_utf8(&body).unwrap()).unwrap();
+    for list in ["points", "pareto"] {
+        for p in v.get(list).and_then(Json::as_arr).unwrap() {
+            assert!(p.get("latency").is_some());
+            assert!(p.get("sbw").is_some());
+            assert!(p.get("report").is_none(), "{list} must drop `report`");
+            assert!(p.get("dataflow").is_none(), "{list} must drop `dataflow`");
+        }
+    }
+
+    // Unknown field and limit+top conflict: usage errors.
+    let body = Json::obj([
+        ("problem", Json::from(GEMM_PROBLEM)),
+        ("fields", Json::Arr(vec![Json::from("latencies")])),
+    ])
+    .to_string();
+    let (status, body) = post(addr, "/v1/dse", &body);
+    assert_eq!(status, 400, "{}", String::from_utf8_lossy(&body));
+    let body = Json::obj([
+        ("problem", Json::from(GEMM_PROBLEM)),
+        ("limit", Json::from(1u64)),
+        ("top", Json::from(1u64)),
+    ])
+    .to_string();
+    let (status, _) = post(addr, "/v1/dse", &body);
+    assert_eq!(status, 400);
+
+    handle.shutdown();
+}
+
+#[test]
 fn pipelined_requests_on_one_connection() {
     let (addr, handle) = start();
     let mut s = TcpStream::connect(addr).unwrap();
