@@ -15,9 +15,12 @@
 //! * **Self-hosted** (no target argument): spins up an in-process
 //!   `tenet_server::Server` on an ephemeral port, loads it, then drains
 //!   it — the reproducible configuration the committed artifact uses.
-//!   With `--router`, a second phase boots a `tenet_router::Router` over
-//!   two workers and loads it identically, so the artifact records the
-//!   single-process baseline and the sharded tier side by side.
+//!   With `--router`, two more phases boot a `tenet_router::Router` and
+//!   load it identically — once over two HTTP workers (`router_http`)
+//!   and once over two in-process cores behind the local transport
+//!   (`router_local`) — so the artifact records the single-process
+//!   baseline and both sharded transports side by side, including each
+//!   router phase's throughput as a fraction of the single baseline.
 //! * **External** (`servload http://127.0.0.1:8091 ...`): targets an
 //!   already-running `tenet serve` — or, with `--router`, a running
 //!   `tenet route` (the CI cluster-smoke step).
@@ -29,11 +32,12 @@
 
 use std::io::Write as _;
 use std::net::TcpStream;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 use tenet_core::json::Json;
-use tenet_router::{Router, RouterConfig};
+use tenet_router::{Router, RouterConfig, WorkerSpec};
 use tenet_server::http::ResponseReader;
-use tenet_server::{Server, ServerConfig};
+use tenet_server::{Server, ServerConfig, WorkerCore};
 
 /// The gemm problem text the analyze variants are built from.
 fn gemm_problem(n: usize, bandwidth: usize) -> String {
@@ -527,15 +531,64 @@ fn main() {
                     .collect();
                 let router = Router::spawn(RouterConfig {
                     workers: workers.iter().map(|w| w.addr().to_string()).collect(),
-                    ..router_config
+                    ..router_config.clone()
                 })
                 .expect("spawn router");
                 let addr = router.addr().to_string();
-                phases.push(("router", run_phase("router", &addr, &cli, true)));
+                phases.push(("router_http", run_phase("router_http", &addr, &cli, true)));
                 let _ = router.shutdown_and_join();
                 for w in workers {
                     let _ = w.shutdown_and_join();
                 }
+
+                // The same sharded tier with zero worker sockets: two
+                // in-process cores behind direct dispatch — the transport
+                // that collapses the loopback tax.
+                let cores: Vec<Arc<WorkerCore>> = (0..2)
+                    .map(|_| {
+                        WorkerCore::new(ServerConfig {
+                            addr: "in-process".into(),
+                            ..Default::default()
+                        })
+                    })
+                    .collect();
+                let specs = cores
+                    .iter()
+                    .map(|c| WorkerSpec::Local(Arc::clone(c)))
+                    .collect();
+                let router =
+                    Router::spawn_with_workers(router_config, specs).expect("spawn local router");
+                let addr = router.addr().to_string();
+                phases.push(("router_local", run_phase("router_local", &addr, &cli, true)));
+                let _ = router.shutdown_and_join();
+            }
+        }
+    }
+
+    // With a single-process baseline in the run, record each router
+    // phase's throughput as a fraction of it — the loopback-tax number
+    // the local transport exists to fix.
+    if let Some(single_rps) = phases
+        .iter()
+        .find(|(label, _)| *label == "single")
+        .and_then(|(_, p)| p.report.get("throughput_rps"))
+        .and_then(Json::as_f64)
+        .filter(|&r| r > 0.0)
+    {
+        for (label, phase) in phases.iter_mut() {
+            if !label.starts_with("router") {
+                continue;
+            }
+            let rps = phase
+                .report
+                .get("throughput_rps")
+                .and_then(Json::as_f64)
+                .unwrap_or(0.0);
+            if let Json::Obj(fields) = &mut phase.report {
+                fields.push((
+                    "vs_single_throughput".to_string(),
+                    Json::from(((rps / single_rps) * 1e4).round() / 1e4),
+                ));
             }
         }
     }
@@ -592,21 +645,21 @@ fn main() {
                 failed = true;
             }
         }
-        // Router smoke: the hash must actually shard (more than one
-        // worker loaded) and every loaded shard must have served warm
-        // dedup hits — the property the sharded tier exists for.
-        if cli.router {
-            let (_, phase) = phases.last().expect("router phase ran");
+        // Router smoke: in every router phase (HTTP and local alike),
+        // the hash must actually shard (more than one worker loaded) and
+        // every loaded shard must have served warm dedup hits — the
+        // property the sharded tier exists for.
+        for (label, phase) in phases.iter().filter(|(l, _)| l.starts_with("router")) {
             if phase.shards_loaded < 2 {
                 eprintln!(
-                    "servload: SMOKE FAILED [router] only {} shard(s) carried traffic",
+                    "servload: SMOKE FAILED [{label}] only {} shard(s) carried traffic",
                     phase.shards_loaded
                 );
                 failed = true;
             }
             if phase.shards_without_warm_hits > 0 {
                 eprintln!(
-                    "servload: SMOKE FAILED [router] {} loaded shard(s) served no dedup hits",
+                    "servload: SMOKE FAILED [{label}] {} loaded shard(s) served no dedup hits",
                     phase.shards_without_warm_hits
                 );
                 failed = true;

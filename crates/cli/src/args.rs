@@ -7,7 +7,7 @@ use std::collections::BTreeMap;
 #[derive(Debug, Default)]
 pub struct Args {
     positional: Vec<String>,
-    options: BTreeMap<String, String>,
+    options: BTreeMap<String, Vec<String>>,
     flags: Vec<String>,
 }
 
@@ -26,7 +26,14 @@ const VALUED: &[&str] = &[
     "addr",
     "threads",
     "workers",
+    "worker-addr",
+    "transport",
+    "replication",
+    "hedge-ms",
 ];
+
+/// Valued keys that may be given more than once, accumulating values.
+const REPEATABLE: &[&str] = &["worker-addr"];
 
 impl Args {
     /// Parses raw arguments (without the program name).
@@ -39,9 +46,11 @@ impl Args {
                     let v = it
                         .next()
                         .ok_or_else(|| format!("option --{key} needs a value"))?;
-                    if args.options.insert(key.to_string(), v).is_some() {
+                    let values = args.options.entry(key.to_string()).or_default();
+                    if !values.is_empty() && !REPEATABLE.contains(&key) {
                         return Err(format!("option --{key} given twice"));
                     }
+                    values.push(v);
                 } else {
                     args.flags.push(key.to_string());
                 }
@@ -57,14 +66,27 @@ impl Args {
         self.positional.get(i).map(String::as_str)
     }
 
-    /// The value of `--key`, if given.
+    /// The value of `--key`, if given (the first value for a repeatable
+    /// key).
     pub fn option(&self, key: &str) -> Option<&str> {
-        self.options.get(key).map(String::as_str)
+        self.options
+            .get(key)
+            .and_then(|v| v.first())
+            .map(String::as_str)
+    }
+
+    /// Every value given for a repeatable `--key`, in order.
+    pub fn option_all(&self, key: &str) -> impl Iterator<Item = &str> {
+        self.options
+            .get(key)
+            .into_iter()
+            .flatten()
+            .map(String::as_str)
     }
 
     /// The value of `--key` parsed as `T`.
     pub fn option_as<T: std::str::FromStr>(&self, key: &str) -> Result<Option<T>, String> {
-        match self.options.get(key) {
+        match self.option(key) {
             None => Ok(None),
             Some(v) => v
                 .parse::<T>()
@@ -124,6 +146,22 @@ mod tests {
         let err =
             Args::parse(["--top".to_string(), "1".into(), "--top".into(), "2".into()]).unwrap_err();
         assert!(err.contains("twice"));
+    }
+
+    #[test]
+    fn repeatable_option_accumulates_in_order() {
+        let a = parse(&[
+            "--worker-addr",
+            "127.0.0.1:9001",
+            "--worker-addr",
+            "127.0.0.1:9002",
+        ]);
+        assert_eq!(
+            a.option_all("worker-addr").collect::<Vec<_>>(),
+            vec!["127.0.0.1:9001", "127.0.0.1:9002"]
+        );
+        assert_eq!(a.option("worker-addr"), Some("127.0.0.1:9001"));
+        assert_eq!(a.option_all("addr").count(), 0);
     }
 
     #[test]

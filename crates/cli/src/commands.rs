@@ -59,7 +59,9 @@ USAGE:
   tenet fmt      <problem.tenet>
   tenet demo     <gemm|conv2d|mttkrp|mmc|jacobi2d>
   tenet serve    [--addr HOST:PORT] [--threads N]
-  tenet route    [--addr HOST:PORT] [--workers N] [--threads N]
+  tenet route    [--addr HOST:PORT] [--workers N] [--transport local|http]
+                 [--worker-addr HOST:PORT]... [--replication R]
+                 [--hedge-ms MS] [--threads N]
 
 A problem file holds a C-like kernel, zero or more dataflows in
 relation-centric notation, and optionally an `arch { ... }` block:
@@ -549,23 +551,34 @@ pub fn serve(args: &Args) -> CmdResult {
     Ok("server drained and stopped\n".to_string())
 }
 
-/// `tenet route`: spawns N in-process analysis workers on ephemeral
-/// loopback ports and fronts them with the consistent-hash sharding
-/// router, which runs until a cascaded drain (`POST /v1/shutdown`).
+/// `tenet route`: fronts N analysis workers with the consistent-hash
+/// sharding router, running until a cascaded drain (`POST
+/// /v1/shutdown`). The default topology is all in-process: each worker
+/// is a [`tenet_server::WorkerCore`] dispatched to directly, with no
+/// worker sockets at all; `--transport http` spawns the workers as
+/// loopback HTTP processes-in-threads instead, and `--worker-addr`
+/// attaches already-running external workers over HTTP either way.
 pub fn route(args: &Args) -> CmdResult {
     args.reject_unknown_flags(&[]).map_err(CmdError::usage)?;
+    let external: Vec<String> = args.option_all("worker-addr").map(str::to_string).collect();
     let workers = match args
         .option_as::<usize>("workers")
         .map_err(CmdError::usage)?
     {
-        Some(n) if (1..=16).contains(&n) => n,
+        Some(n) if (1..=16).contains(&n) || (n == 0 && !external.is_empty()) => n,
         Some(n) => {
             return Err(CmdError::usage(format!(
-                "--workers must be in [1, 16], got {n}"
+                "--workers must be in [1, 16] (0 only with --worker-addr), got {n}"
             )))
         }
         None => 2,
     };
+    let transport = args.option("transport").unwrap_or("local");
+    if !matches!(transport, "local" | "http") {
+        return Err(CmdError::usage(format!(
+            "--transport must be `local` or `http`, got `{transport}`"
+        )));
+    }
     let mut config = tenet_router::RouterConfig::default();
     if let Some(addr) = args.option("addr") {
         config.addr = addr.to_string();
@@ -578,22 +591,53 @@ pub fn route(args: &Args) -> CmdResult {
         Some(_) => return Err(CmdError::usage("--threads must be at least 1")),
         None => {}
     }
-    let mut spawned = Vec::with_capacity(workers);
-    for _ in 0..workers {
-        let worker = tenet_server::Server::spawn(tenet_server::ServerConfig {
-            addr: "127.0.0.1:0".into(),
-            // The worker parks a thread per keep-alive connection, so it
-            // needs headroom over the router's connection-pool bound:
-            // probes and stats fan-outs must never queue behind parked
-            // proxy sockets.
-            threads: config.upstream_connections + 2,
-            ..Default::default()
-        })
-        .map_err(|e| CmdError::input(format!("cannot spawn worker: {e}")))?;
-        config.workers.push(worker.addr().to_string());
-        spawned.push(worker);
+    match args
+        .option_as::<usize>("replication")
+        .map_err(CmdError::usage)?
+    {
+        Some(r) if (1..=8).contains(&r) => config.replication = r,
+        Some(r) => {
+            return Err(CmdError::usage(format!(
+                "--replication must be in [1, 8], got {r}"
+            )))
+        }
+        None => {}
     }
-    let router = tenet_router::Router::bind(config).map_err(|e| {
+    match args.option_as::<u64>("hedge-ms").map_err(CmdError::usage)? {
+        Some(0) => config.hedge_after = std::time::Duration::MAX, // 0 = off
+        Some(ms) => config.hedge_after = std::time::Duration::from_millis(ms),
+        None => {}
+    }
+    config.workers = external.clone();
+
+    let mut specs = Vec::new();
+    let mut spawned: Vec<tenet_server::SpawnedServer> = Vec::new();
+    if transport == "local" {
+        for _ in 0..workers {
+            specs.push(tenet_router::WorkerSpec::Local(
+                tenet_server::WorkerCore::new(tenet_server::ServerConfig {
+                    addr: "in-process".into(),
+                    ..Default::default()
+                }),
+            ));
+        }
+    } else {
+        for _ in 0..workers {
+            let worker = tenet_server::Server::spawn(tenet_server::ServerConfig {
+                addr: "127.0.0.1:0".into(),
+                // The worker parks a thread per keep-alive connection, so
+                // it needs headroom over the router's connection-pool
+                // bound: probes and stats fan-outs must never queue
+                // behind parked proxy sockets.
+                threads: config.upstream_connections + 2,
+                ..Default::default()
+            })
+            .map_err(|e| CmdError::input(format!("cannot spawn worker: {e}")))?;
+            config.workers.push(worker.addr().to_string());
+            spawned.push(worker);
+        }
+    }
+    let router = tenet_router::Router::bind_with_workers(config, specs).map_err(|e| {
         // A failed router bind must not strand the worker threads.
         for w in spawned.drain(..) {
             let _ = w.shutdown_and_join();
@@ -602,15 +646,17 @@ pub fn route(args: &Args) -> CmdResult {
     })?;
     // Announce the address before blocking so scripts (and the CI smoke
     // test) can discover an ephemeral port.
+    let mut names: Vec<String> = if transport == "local" {
+        (0..workers).map(|i| format!("local#{i}")).collect()
+    } else {
+        spawned.iter().map(|w| w.addr().to_string()).collect()
+    };
+    names.extend(external.iter().cloned());
     println!(
         "tenet-router listening on http://{} ({} workers: {})",
         router.local_addr(),
-        spawned.len(),
-        spawned
-            .iter()
-            .map(|w| w.addr().to_string())
-            .collect::<Vec<_>>()
-            .join(", ")
+        names.len(),
+        names.join(", ")
     );
     use std::io::Write as _;
     let _ = std::io::stdout().flush();

@@ -218,9 +218,18 @@ fn serve_rejects_bad_options() {
 
 #[test]
 fn route_rejects_bad_options() {
+    // --workers 0 is only meaningful with external --worker-addr workers.
     let out = tenet(&["route", "--workers", "0"]);
     assert_eq!(out.status.code(), Some(1));
     let out = tenet(&["route", "--workers", "99"]);
+    assert_eq!(out.status.code(), Some(1));
+    let out = tenet(&["route", "--transport", "carrier-pigeon"]);
+    assert_eq!(out.status.code(), Some(1));
+    let out = tenet(&["route", "--replication", "0"]);
+    assert_eq!(out.status.code(), Some(1));
+    let out = tenet(&["route", "--replication", "9"]);
+    assert_eq!(out.status.code(), Some(1));
+    let out = tenet(&["route", "--hedge-ms", "soon"]);
     assert_eq!(out.status.code(), Some(1));
     let out = tenet(&["route", "--addr", "definitely:not:an:addr"]);
     assert_eq!(out.status.code(), Some(2));
@@ -275,6 +284,13 @@ fn route_round_trips_and_cascades_drain() {
     assert_eq!(status, 200, "healthz: {body}");
     assert!(body.contains("\"alive_workers\":2"), "{body}");
 
+    // The default topology is fully in-process: every shard reports the
+    // local transport — there are no worker sockets at all.
+    let (status, body) = request("GET", "/v1/stats", "");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"transport\":\"local\""), "{body}");
+    assert!(!body.contains("\"transport\":\"http\""), "{body}");
+
     // A sharded request round-trips through a worker.
     let problem = "for (i = 0; i < 2; i++)\n  for (j = 0; j < 2; j++)\n    for (k = 0; k < 4; k++)\n      S: Y[i][j] += A[i][k] * B[k][j];\n\n{ S[i,j,k] -> (PE[i,j] | T[i + j + k]) }\n\narch \"2x2\" { array = [2, 2] interconnect = systolic2d bandwidth = 4 }\n";
     let analyze = format!("{{\"problem\": {}}}", tenet_core::json::Json::from(problem));
@@ -288,6 +304,103 @@ fn route_round_trips_and_cascades_drain() {
     assert!(body.contains("draining"), "{body}");
     let exit = child.wait().expect("router exit");
     assert!(exit.success(), "route must exit cleanly after the cascade");
+}
+
+#[test]
+fn route_attaches_external_workers() {
+    use std::io::{BufRead, BufReader, Read, Write};
+    use std::net::TcpStream;
+
+    // An already-running worker process...
+    let mut worker = std::process::Command::new(env!("CARGO_BIN_EXE_tenet"))
+        .args(["serve", "--addr", "127.0.0.1:0", "--threads", "8"])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn tenet serve");
+    let mut wout = BufReader::new(worker.stdout.take().unwrap());
+    let mut line = String::new();
+    wout.read_line(&mut line).unwrap();
+    let worker_addr = line
+        .split_whitespace()
+        .find_map(|w| w.strip_prefix("http://"))
+        .expect("worker address in announcement")
+        .to_string();
+
+    // ...attached over HTTP to a router that owns no workers itself.
+    let mut child = std::process::Command::new(env!("CARGO_BIN_EXE_tenet"))
+        .args([
+            "route",
+            "--addr",
+            "127.0.0.1:0",
+            "--workers",
+            "0",
+            "--worker-addr",
+            &worker_addr,
+        ])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn tenet route");
+    let mut stdout = BufReader::new(child.stdout.take().unwrap());
+    let mut line = String::new();
+    stdout.read_line(&mut line).unwrap();
+    assert!(line.contains("1 workers"), "announcement: {line}");
+    assert!(line.contains(&worker_addr), "announcement: {line}");
+    let addr = line
+        .split_whitespace()
+        .find_map(|w| w.strip_prefix("http://"))
+        .expect("address in announcement")
+        .to_string();
+
+    let request = |verb: &str, path: &str, body: &str| -> (u16, String) {
+        let mut s = TcpStream::connect(&addr).expect("connect");
+        s.set_read_timeout(Some(std::time::Duration::from_secs(30)))
+            .unwrap();
+        s.write_all(
+            format!(
+                "{verb} {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\
+                 Connection: close\r\n\r\n{body}",
+                body.len()
+            )
+            .as_bytes(),
+        )
+        .unwrap();
+        let mut raw = Vec::new();
+        s.read_to_end(&mut raw).unwrap();
+        let text = String::from_utf8_lossy(&raw).into_owned();
+        let status = text
+            .split_ascii_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0);
+        (status, text)
+    };
+
+    let (status, body) = request("GET", "/v1/healthz", "");
+    assert_eq!(status, 200, "healthz: {body}");
+    assert!(body.contains("\"alive_workers\":1"), "{body}");
+    let (status, body) = request("GET", "/v1/stats", "");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"transport\":\"http\""), "{body}");
+    assert!(body.contains(&worker_addr), "{body}");
+
+    // A sharded request round-trips through the external worker.
+    let problem = "for (i = 0; i < 2; i++)\n  for (j = 0; j < 2; j++)\n    for (k = 0; k < 4; k++)\n      S: Y[i][j] += A[i][k] * B[k][j];\n\n{ S[i,j,k] -> (PE[i,j] | T[i + j + k]) }\n\narch \"2x2\" { array = [2, 2] interconnect = systolic2d bandwidth = 4 }\n";
+    let analyze = format!("{{\"problem\": {}}}", tenet_core::json::Json::from(problem));
+    let (status, body) = request("POST", "/v1/analyze", &analyze);
+    assert_eq!(status, 200, "analyze via external worker: {body}");
+    assert!(body.contains("\"reports\""), "{body}");
+
+    // The cascade drains the external worker process too: both exit 0.
+    let (status, body) = request("POST", "/v1/shutdown", "");
+    assert_eq!(status, 200);
+    assert!(body.contains("draining"), "{body}");
+    let exit = child.wait().expect("router exit");
+    assert!(exit.success(), "route must exit cleanly after the cascade");
+    let exit = worker.wait().expect("worker exit");
+    assert!(
+        exit.success(),
+        "the cascade must drain the attached external worker"
+    );
 }
 
 #[test]

@@ -13,11 +13,23 @@
 //! lands on the shard that already owns its cached answer, and a worker
 //! loss remaps only ≈ `1/N` of the key population.
 //!
+//! The forward path is abstracted behind the [`Transport`] trait: a
+//! worker can be a separate process reached over pooled keep-alive HTTP
+//! ([`upstream::HttpTransport`]) or an in-process
+//! [`tenet_server::WorkerCore`] dispatched to directly
+//! ([`transport::LocalTransport`]) with no socket or HTTP reframe —
+//! which is how the single-box topology escapes the loopback tax.
+//! Each key additionally replicates onto its `R-1` ring successors
+//! (write-through after the first answer, default `R = 2`), and slow
+//! remote primaries are hedged against the first replica — so a worker
+//! death degrades to a warm hit on the promoted successor instead of a
+//! cold recompute storm.
+//!
 //! ## API (mirrors the worker, plus cluster semantics)
 //!
 //! | Route | Meaning |
 //! |---|---|
-//! | `POST /v1/analyze`, `POST /v1/dse` | proxied to the owning shard; transport failure evicts + retries on the rehashed owner |
+//! | `POST /v1/analyze`, `POST /v1/dse` | proxied to the owning shard (hedged when slow); transport failure evicts + retries on the rehashed owner |
 //! | `GET /v1/healthz` | router liveness + live-worker count |
 //! | `GET /v1/stats` | fan-out: per-shard documents, the additive merge, router counters |
 //! | `POST /v1/shutdown` | cascaded drain: workers first, then the router |
@@ -25,12 +37,15 @@
 //! ## Layers
 //!
 //! * [`ring`] — the consistent-hash ring (virtual nodes, deterministic
-//!   placement; invariants locked by `tests/ring_props.rs`).
-//! * [`upstream`] — one registered worker: pooled keep-alive
-//!   connections, forwarding, liveness probes, per-shard counters.
+//!   placement, replica owner sets; invariants locked by
+//!   `tests/ring_props.rs`).
+//! * [`transport`] — the [`Transport`] trait and the in-process
+//!   [`transport::LocalTransport`].
+//! * [`upstream`] — [`upstream::HttpTransport`], pooled keep-alive
+//!   connections to a worker process.
 //! * [`merge`] — additive merge of per-worker `/v1/stats` documents.
-//! * [`router`] — accept loop, proxy path, fan-outs, health prober,
-//!   cascaded drain.
+//! * [`router`] — accept loop, proxy path (hedging, replication
+//!   write-through), fan-outs, health prober, cascaded drain.
 //!
 //! Like the worker, the router is loopback-oriented: no TLS, no
 //! authentication — anything beyond local deployment needs a
@@ -57,6 +72,11 @@
 pub mod merge;
 pub mod ring;
 mod router;
+pub mod transport;
 pub mod upstream;
 
-pub use router::{Router, RouterConfig, RouterHandle, RouterState, RouterStats, SpawnedRouter};
+pub use router::{
+    Router, RouterConfig, RouterHandle, RouterState, RouterStats, Shard, SpawnedRouter, WorkerSpec,
+};
+pub use transport::{ForwardError, LocalTransport, Transport};
+pub use upstream::HttpTransport;

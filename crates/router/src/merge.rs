@@ -132,6 +132,7 @@ pub fn merge_worker_stats(docs: &[Json]) -> Json {
         sum(docs, &["dedup", "inflight_waits"]),
         sum(docs, &["dedup", "misses"]),
     );
+    let warmed = sum(docs, &["dedup", "warmed"]);
     let (ih, im) = (
         sum(docs, &["isl_cache", "server", "hits"]),
         sum(docs, &["isl_cache", "server", "misses"]),
@@ -154,6 +155,7 @@ pub fn merge_worker_stats(docs: &[Json]) -> Json {
                 ("hits", Json::from(dh)),
                 ("inflight_waits", Json::from(dw)),
                 ("misses", Json::from(dm)),
+                ("warmed", Json::from(warmed)),
                 ("entries", Json::from(sum(docs, &["dedup", "entries"]))),
                 ("hit_rate", Json::from(rate(dh + dw, dh + dw + dm))),
             ]),

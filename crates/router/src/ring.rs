@@ -89,6 +89,33 @@ impl HashRing {
         Some(worker)
     }
 
+    /// The first `r` *distinct* workers at or after `key`, wrapping: the
+    /// key's replica set. `owners(key, 1)` is `[owner(key)]`; the second
+    /// entry is the key's first successor — exactly the worker that
+    /// becomes the owner if the primary is removed, which is what makes
+    /// successor replication a warm failover: the rehashed lookup lands
+    /// precisely on the replica that already holds the key's answer.
+    /// Returns `min(r, members)` workers; empty only when the ring is
+    /// empty or `r` is 0.
+    pub fn owners(&self, key: u64, r: usize) -> Vec<usize> {
+        let want = r.min(self.members.len());
+        let mut out = Vec::with_capacity(want);
+        if want == 0 {
+            return out;
+        }
+        let start = self.points.partition_point(|&(p, _)| p < key);
+        for i in 0..self.points.len() {
+            let (_, worker) = self.points[(start + i) % self.points.len()];
+            if !out.contains(&worker) {
+                out.push(worker);
+                if out.len() == want {
+                    break;
+                }
+            }
+        }
+        out
+    }
+
     /// Current members, ascending.
     pub fn members(&self) -> impl Iterator<Item = usize> + '_ {
         self.members.iter().copied()
@@ -147,6 +174,29 @@ mod tests {
         assert!(!ring.remove(1));
         assert!(ring.is_empty());
         assert!(ring.points.is_empty());
+    }
+
+    #[test]
+    fn owners_are_distinct_and_promote_on_removal() {
+        let mut ring = HashRing::new(64);
+        for w in 0..4 {
+            ring.add(w);
+        }
+        for key in (0..2000u64).map(|i| i.wrapping_mul(0x9e37_79b9_7f4a_7c15)) {
+            let owners = ring.owners(key, 2);
+            assert_eq!(owners.len(), 2);
+            assert_ne!(owners[0], owners[1]);
+            assert_eq!(owners[0], ring.owner(key).unwrap());
+            // The replication invariant: removing the primary promotes
+            // exactly the successor replica.
+            let mut without = ring.clone();
+            without.remove(owners[0]);
+            assert_eq!(without.owner(key), Some(owners[1]));
+        }
+        // r clamps to the member count; an empty ring owns nothing.
+        assert_eq!(ring.owners(42, 9).len(), 4);
+        assert_eq!(ring.owners(42, 0), Vec::<usize>::new());
+        assert_eq!(HashRing::new(8).owners(42, 2), Vec::<usize>::new());
     }
 
     #[test]

@@ -1,18 +1,30 @@
-//! The front tier: accept loop, request proxying, fan-out endpoints,
-//! health probing, and cascaded drain.
+//! The front tier: accept loop, request proxying over [`Transport`]s,
+//! replication, hedging, fan-out endpoints, health probing, and
+//! cascaded drain.
 
 use crate::merge;
 use crate::ring::HashRing;
-use crate::upstream::{ForwardError, Upstream};
+use crate::transport::{ForwardError, LocalTransport, Transport};
+use crate::upstream::HttpTransport;
+use std::collections::HashSet;
 use std::io::Write as _;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{mpsc, Arc, Mutex, RwLock};
 use std::time::{Duration, Instant};
 use tenet_core::json::Json;
 use tenet_server::http::{self, RequestBuffer};
 use tenet_server::pool::{SubmitError, WorkerPool};
-use tenet_server::{canonical_key, canonical_request};
+use tenet_server::{canonical_key, canonical_request, WorkerCore};
+
+/// Deferred work (hedged primaries, replication write-throughs) run by
+/// the router's helper pool.
+type AuxJob = Box<dyn FnOnce() + Send + 'static>;
+
+/// Bound on the router's memory of already-replicated keys; reaching it
+/// clears the set (re-warming is idempotent, forgetting is only a little
+/// redundant work).
+const WARMED_KEYS_CAP: usize = 65_536;
 
 /// Router configuration. Defaults match [`tenet_server::ServerConfig`]'s
 /// posture: loopback, small host, every knob overridable by tests.
@@ -20,7 +32,8 @@ use tenet_server::{canonical_key, canonical_request};
 pub struct RouterConfig {
     /// Bind address, e.g. `127.0.0.1:8090` (port `0` for ephemeral).
     pub addr: String,
-    /// Worker addresses to attach (`host:port`). At least one required.
+    /// HTTP worker addresses to attach (`host:port`). May be empty when
+    /// workers are supplied directly via [`Router::bind_with_workers`].
     pub workers: Vec<String>,
     /// Threads serving client connections.
     pub threads: usize,
@@ -39,7 +52,7 @@ pub struct RouterConfig {
     /// Maximum header-block size in bytes (`431` beyond).
     pub max_header: usize,
     /// Maximum connections (idle + in flight) the router keeps open to
-    /// each worker. Load-bearing: the worker parks one thread per
+    /// each HTTP worker. Load-bearing: the worker parks one thread per
     /// keep-alive connection, so this must stay below the worker's
     /// thread count or parked proxy sockets starve fresh connections —
     /// including health probes, which would evict a healthy worker.
@@ -50,6 +63,18 @@ pub struct RouterConfig {
     /// Liveness-probe period; `Duration::ZERO` disables the prober
     /// (failures are then detected only on proxied traffic).
     pub health_interval: Duration,
+    /// How many ring owners (the primary plus `R-1` successor replicas)
+    /// each cacheable answer is written to. With `R >= 2` a worker death
+    /// degrades to a warm hit on the promoted successor instead of a
+    /// cold recompute storm; `1` disables replication.
+    pub replication: usize,
+    /// Latency threshold after which a call to a hedgeable (remote)
+    /// primary is raced against the key's first replica — first response
+    /// wins, the loser is discarded. `Duration::MAX` disables hedging.
+    /// In-process workers are never hedged (the dispatch runs
+    /// synchronously on the caller's thread; there is no waiting to
+    /// race).
+    pub hedge_after: Duration,
 }
 
 impl Default for RouterConfig {
@@ -70,6 +95,8 @@ impl Default for RouterConfig {
             upstream_connections: 4,
             vnodes: 64,
             health_interval: Duration::from_millis(250),
+            replication: 2,
+            hedge_after: Duration::from_millis(25),
         }
     }
 }
@@ -97,6 +124,12 @@ pub struct RouterStats {
     pub rehashes: AtomicU64,
     /// Workers re-admitted after a successful probe.
     pub revivals: AtomicU64,
+    /// Hedge requests fired (primary exceeded the latency threshold).
+    pub hedges_fired: AtomicU64,
+    /// Hedged calls won by the replica rather than the primary.
+    pub hedges_won: AtomicU64,
+    /// Replica cache entries written through (`POST /v1/warm` accepted).
+    pub warm_writes: AtomicU64,
 }
 
 impl RouterStats {
@@ -111,42 +144,127 @@ impl RouterStats {
     }
 }
 
+/// One registered worker as the router sees it: a stable ring identity,
+/// a liveness belief, routing counters, and the [`Transport`] that
+/// reaches it.
+pub struct Shard {
+    /// Stable index — the identity the hash ring places on its circle.
+    pub index: usize,
+    transport: Box<dyn Transport>,
+    alive: AtomicBool,
+    /// Sharded requests answered by this worker — incremented by the
+    /// router's proxy path for the *winning* response only (fan-out
+    /// stats fetches, probes, hedge losers, and warm writes don't
+    /// count), so it is the per-shard hit distribution `servload
+    /// --router` records.
+    pub routed: AtomicU64,
+    /// Forward attempts that failed at the transport layer.
+    pub errors: AtomicU64,
+}
+
+impl Shard {
+    fn new(index: usize, transport: Box<dyn Transport>) -> Shard {
+        Shard {
+            index,
+            transport,
+            alive: AtomicBool::new(true),
+            routed: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+        }
+    }
+
+    /// Current liveness belief.
+    pub fn is_alive(&self) -> bool {
+        self.alive.load(Ordering::Acquire)
+    }
+
+    fn set_alive(&self, alive: bool) {
+        self.alive.store(alive, Ordering::Release);
+        if !alive {
+            self.transport.on_dead();
+        }
+    }
+
+    /// The transport reaching this worker.
+    pub fn transport(&self) -> &dyn Transport {
+        &*self.transport
+    }
+}
+
+/// How one worker is attached to the router.
+pub enum WorkerSpec {
+    /// A worker process reachable at `host:port` over pooled keep-alive
+    /// HTTP.
+    Http(String),
+    /// An in-process worker core, dispatched to directly — no socket.
+    Local(Arc<WorkerCore>),
+    /// Any custom [`Transport`] (test doubles, future transports).
+    Custom(Box<dyn Transport>),
+}
+
 /// State shared by the accept loop, connection workers, and the prober.
 pub struct RouterState {
     /// Router configuration (immutable after bind).
     pub config: RouterConfig,
     /// The registered workers, indexed by ring identity.
-    pub upstreams: Vec<Arc<Upstream>>,
-    ring: Mutex<HashRing>,
+    pub shards: Vec<Arc<Shard>>,
+    ring: RwLock<HashRing>,
     /// Router-level counters.
     pub stats: RouterStats,
     shutdown: Arc<AtomicBool>,
     started: Instant,
+    /// Keys already written through to their replica set. Cleared on
+    /// every ring-membership change: the successor sets shift, so keys
+    /// must re-replicate onto the new arrangement.
+    warmed: RwLock<HashSet<u64>>,
+    /// Helper pool for hedged primaries and replication write-throughs;
+    /// present only while [`Router::run`] is live. Without it, hedging
+    /// degrades to synchronous dispatch and replication is skipped.
+    aux: Mutex<Option<WorkerPool<AuxJob>>>,
 }
 
 impl RouterState {
     /// Evicts a worker from the ring (idempotent); keys it owned rehash
-    /// to the survivors on their next lookup.
+    /// to the survivors — onto the successor replica that already holds
+    /// their warm answers when replication is on.
     fn mark_dead(&self, worker: usize) {
-        let mut ring = self.ring.lock().expect("ring poisoned");
-        if ring.remove(worker) {
-            self.upstreams[worker].set_alive(false);
+        let removed = {
+            let mut ring = self.ring.write().expect("ring poisoned");
+            ring.remove(worker)
+        };
+        if removed {
+            self.shards[worker].set_alive(false);
             self.stats.rehashes.fetch_add(1, Ordering::Relaxed);
+            self.warmed.write().expect("warmed poisoned").clear();
         }
     }
 
     /// Re-admits a worker after a successful probe (idempotent).
     fn revive(&self, worker: usize) {
-        let mut ring = self.ring.lock().expect("ring poisoned");
-        if ring.add(worker) {
-            self.upstreams[worker].set_alive(true);
+        let added = {
+            let mut ring = self.ring.write().expect("ring poisoned");
+            ring.add(worker)
+        };
+        if added {
+            self.shards[worker].set_alive(true);
             self.stats.revivals.fetch_add(1, Ordering::Relaxed);
+            self.warmed.write().expect("warmed poisoned").clear();
         }
     }
 
     /// Live workers on the ring right now.
     pub fn alive_workers(&self) -> usize {
-        self.ring.lock().expect("ring poisoned").len()
+        self.ring.read().expect("ring poisoned").len()
+    }
+
+    /// Hands a job to the helper pool; `false` when the pool is absent
+    /// (router not running) or saturated.
+    fn submit_aux(&self, job: AuxJob) -> bool {
+        let guard = self.aux.lock().expect("aux poisoned");
+        match guard.as_ref() {
+            Some(pool) => pool.try_submit(job).is_ok(),
+            None => false,
+        }
     }
 }
 
@@ -205,29 +323,40 @@ pub struct Router {
 }
 
 impl Router {
-    /// Binds `config.addr`, resolves the worker addresses, and builds the
-    /// ring with every worker initially admitted.
+    /// Binds `config.addr`, resolves `config.workers` as HTTP workers,
+    /// and builds the ring with every worker initially admitted.
     pub fn bind(config: RouterConfig) -> std::io::Result<Router> {
-        if config.workers.is_empty() {
+        Router::bind_with_workers(config, Vec::new())
+    }
+
+    /// Binds with an explicit worker topology: `specs` first (in order),
+    /// then every `config.workers` address as an HTTP worker. At least
+    /// one worker is required between the two.
+    pub fn bind_with_workers(
+        config: RouterConfig,
+        specs: Vec<WorkerSpec>,
+    ) -> std::io::Result<Router> {
+        let mut transports: Vec<Box<dyn Transport>> = Vec::new();
+        for spec in specs {
+            transports.push(match spec {
+                WorkerSpec::Http(addr) => Box::new(resolve_http(&addr, &config)?),
+                WorkerSpec::Local(core) => Box::new(LocalTransport::new(core)),
+                WorkerSpec::Custom(t) => t,
+            });
+        }
+        for addr in &config.workers {
+            transports.push(Box::new(resolve_http(addr, &config)?));
+        }
+        if transports.is_empty() {
             return Err(std::io::Error::new(
                 std::io::ErrorKind::InvalidInput,
-                "router needs at least one worker address",
+                "router needs at least one worker",
             ));
         }
-        let mut upstreams = Vec::with_capacity(config.workers.len());
+        let mut shards = Vec::with_capacity(transports.len());
         let mut ring = HashRing::new(config.vnodes);
-        for (index, spec) in config.workers.iter().enumerate() {
-            let addr = spec.to_socket_addrs()?.next().ok_or_else(|| {
-                std::io::Error::new(
-                    std::io::ErrorKind::InvalidInput,
-                    format!("worker address `{spec}` resolves to nothing"),
-                )
-            })?;
-            upstreams.push(Arc::new(Upstream::new(
-                index,
-                addr,
-                config.upstream_connections,
-            )));
+        for (index, transport) in transports.into_iter().enumerate() {
+            shards.push(Arc::new(Shard::new(index, transport)));
             ring.add(index);
         }
         let listener = TcpListener::bind(&config.addr)?;
@@ -235,11 +364,13 @@ impl Router {
         listener.set_nonblocking(true)?;
         let state = Arc::new(RouterState {
             config,
-            upstreams,
-            ring: Mutex::new(ring),
+            shards,
+            ring: RwLock::new(ring),
             stats: RouterStats::default(),
             shutdown: Arc::new(AtomicBool::new(false)),
             started: Instant::now(),
+            warmed: RwLock::new(HashSet::new()),
+            aux: Mutex::new(None),
         });
         Ok(Router {
             listener,
@@ -261,10 +392,24 @@ impl Router {
         }
     }
 
+    /// The shared router state (shard counters, ring view) — read-only
+    /// introspection for harnesses and benchmarks.
+    pub fn state(&self) -> Arc<RouterState> {
+        Arc::clone(&self.state)
+    }
+
     /// Binds and runs on a new thread; bind errors surface here, run
     /// errors at join.
     pub fn spawn(config: RouterConfig) -> std::io::Result<SpawnedRouter> {
-        let router = Router::bind(config)?;
+        Router::spawn_with_workers(config, Vec::new())
+    }
+
+    /// [`Router::bind_with_workers`] plus a thread to run on.
+    pub fn spawn_with_workers(
+        config: RouterConfig,
+        specs: Vec<WorkerSpec>,
+    ) -> std::io::Result<SpawnedRouter> {
+        let router = Router::bind_with_workers(config, specs)?;
         let handle = router.handle();
         let thread = std::thread::Builder::new()
             .name(format!("tenet-router-{}", handle.addr().port()))
@@ -273,10 +418,21 @@ impl Router {
     }
 
     /// Runs until a graceful shutdown is requested, then drains: the
-    /// accept loop stops, admitted connections finish, the prober and the
-    /// connection workers join.
+    /// accept loop stops, admitted connections finish, the prober, the
+    /// helper pool, and the connection workers join.
     pub fn run(self) -> std::io::Result<()> {
         let state = Arc::clone(&self.state);
+        {
+            // The helper pool exists for work the proxy path must not
+            // block on: hedged primaries and replica warm writes.
+            let mut aux = state.aux.lock().expect("aux poisoned");
+            *aux = Some(WorkerPool::new(
+                "tenet-router-aux",
+                state.config.threads,
+                state.config.queue_capacity,
+                |job: AuxJob| job(),
+            ));
+        }
         let prober = if state.config.health_interval > Duration::ZERO {
             let state = Arc::clone(&state);
             Some(
@@ -318,11 +474,29 @@ impl Router {
             }
         };
         pool.shutdown();
+        // The connection workers are gone; nothing submits aux jobs
+        // anymore. Drain what was admitted (late hedge results land in
+        // dropped receivers and are discarded).
+        let aux = state.aux.lock().expect("aux poisoned").take();
+        if let Some(aux) = aux {
+            aux.shutdown();
+        }
         if let Some(p) = prober {
             let _ = p.join();
         }
         outcome
     }
+}
+
+/// Resolves one `host:port` worker spec into its pooled HTTP transport.
+fn resolve_http(spec: &str, config: &RouterConfig) -> std::io::Result<HttpTransport> {
+    let addr = spec.to_socket_addrs()?.next().ok_or_else(|| {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            format!("worker address `{spec}` resolves to nothing"),
+        )
+    })?;
+    Ok(HttpTransport::new(addr, config.upstream_connections))
 }
 
 /// Periodic worker liveness: a failed probe evicts (rehash), a
@@ -332,17 +506,17 @@ fn health_loop(state: &Arc<RouterState>) {
     let interval = state.config.health_interval;
     let probe_timeout = interval.clamp(Duration::from_millis(100), Duration::from_secs(1));
     while !state.shutdown.load(Ordering::Acquire) {
-        for up in &state.upstreams {
+        for shard in &state.shards {
             if state.shutdown.load(Ordering::Acquire) {
                 return;
             }
             let on_ring = {
-                let ring = state.ring.lock().expect("ring poisoned");
-                ring.contains(up.index)
+                let ring = state.ring.read().expect("ring poisoned");
+                ring.contains(shard.index)
             };
-            match (up.probe_health(probe_timeout), on_ring) {
-                (true, false) => state.revive(up.index),
-                (false, true) => state.mark_dead(up.index),
+            match (shard.transport.probe(probe_timeout), on_ring) {
+                (true, false) => state.revive(shard.index),
+                (false, true) => state.mark_dead(shard.index),
                 _ => {}
             }
         }
@@ -356,16 +530,18 @@ fn health_loop(state: &Arc<RouterState>) {
     }
 }
 
-fn error_body(kind: &str, message: impl Into<String>) -> Vec<u8> {
-    Json::obj([(
-        "error",
-        Json::obj([
-            ("kind", Json::from(kind)),
-            ("message", Json::from(message.into())),
-        ]),
-    )])
-    .to_string()
-    .into_bytes()
+fn error_body(kind: &str, message: impl Into<String>) -> Arc<Vec<u8>> {
+    Arc::new(
+        Json::obj([(
+            "error",
+            Json::obj([
+                ("kind", Json::from(kind)),
+                ("message", Json::from(message.into())),
+            ]),
+        )])
+        .to_string()
+        .into_bytes(),
+    )
 }
 
 /// Answers `503` on the accept thread when the pool refused a connection.
@@ -434,7 +610,7 @@ fn serve_connection(mut stream: TcpStream, state: &Arc<RouterState>) {
 
 /// Routes one parsed request: local endpoints, fan-outs, or the sharded
 /// proxy path.
-fn handle(req: &http::Request, state: &Arc<RouterState>) -> (u16, Vec<u8>) {
+fn handle(req: &http::Request, state: &Arc<RouterState>) -> (u16, Arc<Vec<u8>>) {
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/v1/healthz") => healthz(state),
         ("GET", "/v1/stats") => stats_doc(state),
@@ -451,7 +627,7 @@ fn handle(req: &http::Request, state: &Arc<RouterState>) -> (u16, Vec<u8>) {
     }
 }
 
-fn healthz(state: &Arc<RouterState>) -> (u16, Vec<u8>) {
+fn healthz(state: &Arc<RouterState>) -> (u16, Arc<Vec<u8>>) {
     let alive = state.alive_workers();
     let body = Json::obj([
         (
@@ -459,52 +635,70 @@ fn healthz(state: &Arc<RouterState>) -> (u16, Vec<u8>) {
             Json::from(if alive > 0 { "ok" } else { "degraded" }),
         ),
         ("role", Json::from("router")),
-        ("workers", Json::from(state.upstreams.len())),
+        ("workers", Json::from(state.shards.len())),
         ("alive_workers", Json::from(alive)),
     ])
     .to_string()
     .into_bytes();
-    (200, body)
+    (200, Arc::new(body))
+}
+
+/// One dispatch attempt's outcome over the current owner set.
+enum Dispatch {
+    /// `(winning shard, status, body)` — the response to relay.
+    Reply(usize, u16, Arc<Vec<u8>>),
+    /// The owner refused with backpressure; shed load, never evict.
+    Busy,
+    /// These shards failed at the transport layer; evict and re-route.
+    Dead(Vec<usize>),
 }
 
 /// The sharded proxy path: consistent-hash the canonical request key,
-/// forward to the owning worker, and on transport failure evict + retry
-/// on the rehashed owner. Re-sending is safe — analyses are pure
-/// functions of the request text, so a retry can only recompute the same
-/// bytes. 5xx statuses *returned by a worker* are relayed untouched (a
-/// deterministic analysis failure is the answer, not a routing problem);
-/// a router-originated 5xx means an empty ring or shed load. Pool-slot
-/// exhaustion on the owning shard ([`ForwardError::Busy`]) is
-/// backpressure, answered `503 busy` without eviction: the shard is
-/// healthy, just saturated, and rehashing its keys would throw away its
-/// warm cache for nothing.
-fn proxy(req: &http::Request, state: &Arc<RouterState>) -> (u16, Vec<u8>) {
-    let key = canonical_key(&canonical_request(&req.method, &req.path, &req.body));
+/// forward to the owning worker (hedging against the first replica when
+/// the primary is slow), and on transport failure evict + retry on the
+/// rehashed owner — which, with replication on, is exactly the successor
+/// replica already holding the key's warm answer. Re-sending is safe —
+/// analyses are pure functions of the request text, so a retry or a
+/// hedge can only recompute the same bytes. 5xx statuses *returned by a
+/// worker* are relayed untouched (a deterministic analysis failure is
+/// the answer, not a routing problem); a router-originated 5xx means an
+/// empty ring or shed load. Pool-slot exhaustion on the owning shard
+/// ([`ForwardError::Busy`]) is backpressure, answered `503 busy` without
+/// eviction: the shard is healthy, just saturated, and rehashing its
+/// keys would throw away its warm cache for nothing.
+fn proxy(req: &http::Request, state: &Arc<RouterState>) -> (u16, Arc<Vec<u8>>) {
+    let canon = canonical_request(&req.method, &req.path, &req.body);
+    let key = canonical_key(&canon);
+    let replication = state.config.replication.max(1);
     let mut attempts = 0usize;
     loop {
-        let owner = {
-            let ring = state.ring.lock().expect("ring poisoned");
-            ring.owner(key)
+        let owners = {
+            let ring = state.ring.read().expect("ring poisoned");
+            ring.owners(key, replication)
         };
-        let Some(worker) = owner else {
+        let Some(&primary) = owners.first() else {
             return (
                 503,
                 error_body("no_workers", "no live workers on the ring; retry later"),
             );
         };
-        let up = &state.upstreams[worker];
-        match up.forward(
-            &req.method,
-            &req.path,
-            &req.body,
-            state.config.upstream_read_timeout,
-            state.config.write_timeout,
-        ) {
-            Ok((status, bytes)) => {
-                up.routed.fetch_add(1, Ordering::Relaxed);
+        let hedging = owners.len() >= 2
+            && state.config.hedge_after != Duration::MAX
+            && state.shards[primary].transport.hedgeable();
+        let outcome = if hedging {
+            hedged_call(state, &owners, req, &canon)
+        } else {
+            sync_call(state, primary, req, &canon)
+        };
+        match outcome {
+            Dispatch::Reply(winner, status, bytes) => {
+                state.shards[winner].routed.fetch_add(1, Ordering::Relaxed);
+                if status == 200 {
+                    maybe_replicate(state, &canon, key, &owners, winner, status, &bytes);
+                }
                 return (status, bytes);
             }
-            Err(ForwardError::Busy) => {
+            Dispatch::Busy => {
                 state.stats.rejected_busy.fetch_add(1, Ordering::Relaxed);
                 return (
                     503,
@@ -514,12 +708,14 @@ fn proxy(req: &http::Request, state: &Arc<RouterState>) -> (u16, Vec<u8>) {
                     ),
                 );
             }
-            Err(ForwardError::Transport(_)) => {
-                up.errors.fetch_add(1, Ordering::Relaxed);
-                state.mark_dead(worker);
+            Dispatch::Dead(failed) => {
+                for worker in failed {
+                    state.shards[worker].errors.fetch_add(1, Ordering::Relaxed);
+                    state.mark_dead(worker);
+                }
                 state.stats.retries.fetch_add(1, Ordering::Relaxed);
                 attempts += 1;
-                if attempts > state.upstreams.len() {
+                if attempts > state.shards.len() {
                     return (
                         503,
                         error_body("no_workers", "every worker failed this request"),
@@ -530,6 +726,189 @@ fn proxy(req: &http::Request, state: &Arc<RouterState>) -> (u16, Vec<u8>) {
     }
 }
 
+/// One synchronous forward to `worker` on the caller's thread — the
+/// in-process fast path, and the fallback when the helper pool is
+/// saturated. Hands the already-computed canonical form along so a
+/// local transport skips re-canonicalizing.
+fn sync_call(
+    state: &Arc<RouterState>,
+    worker: usize,
+    req: &http::Request,
+    canon: &str,
+) -> Dispatch {
+    match state.shards[worker].transport.call_keyed(
+        &req.method,
+        &req.path,
+        &req.body,
+        canon,
+        state.config.upstream_read_timeout,
+        state.config.write_timeout,
+    ) {
+        Ok((status, bytes)) => Dispatch::Reply(worker, status, bytes),
+        Err(ForwardError::Busy) => Dispatch::Busy,
+        Err(ForwardError::Transport(_)) => Dispatch::Dead(vec![worker]),
+    }
+}
+
+/// Submits one forward to the helper pool, reporting `(worker, result)`
+/// on `tx` when it completes.
+#[allow(clippy::type_complexity)]
+fn submit_call(
+    state: &Arc<RouterState>,
+    worker: usize,
+    req: &http::Request,
+    tx: &mpsc::Sender<(usize, Result<(u16, Arc<Vec<u8>>), ForwardError>)>,
+) -> bool {
+    let shard = Arc::clone(&state.shards[worker]);
+    let tx = tx.clone();
+    let method = req.method.clone();
+    let path = req.path.clone();
+    let body = req.body.clone();
+    let read_timeout = state.config.upstream_read_timeout;
+    let write_timeout = state.config.write_timeout;
+    state.submit_aux(Box::new(move || {
+        let res = shard
+            .transport
+            .call(&method, &path, &body, read_timeout, write_timeout);
+        // The receiver may be long gone (the hedge race was already
+        // decided); a loser's response is silently discarded here.
+        let _ = tx.send((worker, res));
+    }))
+}
+
+/// The hedged dispatch: fire the primary asynchronously; if it has not
+/// answered within `hedge_after`, fire the same request at the first
+/// replica and take whichever response lands first. The loser's response
+/// is discarded (its channel send hits a dropped receiver), and only the
+/// winner is counted as `routed`. Safe because analyses are pure: either
+/// replica's bytes are *the* answer.
+fn hedged_call(
+    state: &Arc<RouterState>,
+    owners: &[usize],
+    req: &http::Request,
+    canon: &str,
+) -> Dispatch {
+    let (tx, rx) = mpsc::channel();
+    if !submit_call(state, owners[0], req, &tx) {
+        // Helper pool saturated or absent: degrade to the plain
+        // synchronous path — hedging is an optimization, not a
+        // correctness requirement.
+        return sync_call(state, owners[0], req, canon);
+    }
+    let mut pending = 1usize;
+    let mut first = match rx.recv_timeout(state.config.hedge_after) {
+        Ok(msg) => Some(msg),
+        Err(_) => {
+            state.stats.hedges_fired.fetch_add(1, Ordering::Relaxed);
+            if submit_call(state, owners[1], req, &tx) {
+                pending += 1;
+            }
+            None
+        }
+    };
+    // Every submitted job sends exactly once; dropping our sender makes
+    // `recv` fail fast if a job is lost to a panic instead of hanging.
+    drop(tx);
+    let mut busy = false;
+    let mut dead = Vec::new();
+    while pending > 0 {
+        let (worker, res) = match first.take() {
+            Some(msg) => msg,
+            None => match rx.recv() {
+                Ok(msg) => msg,
+                Err(_) => break,
+            },
+        };
+        pending -= 1;
+        match res {
+            Ok((status, bytes)) => {
+                if worker != owners[0] {
+                    state.stats.hedges_won.fetch_add(1, Ordering::Relaxed);
+                }
+                return Dispatch::Reply(worker, status, bytes);
+            }
+            Err(ForwardError::Busy) => busy = true,
+            Err(ForwardError::Transport(_)) => dead.push(worker),
+        }
+    }
+    if !dead.is_empty() {
+        Dispatch::Dead(dead)
+    } else if busy {
+        Dispatch::Busy
+    } else {
+        // Unreachable in practice (a submitted job always reports); treat
+        // a lost job as a primary transport failure.
+        Dispatch::Dead(vec![owners[0]])
+    }
+}
+
+/// Replication write-through: after the first winning 2xx for a key,
+/// asynchronously store the answer in the `R-1` successor replicas'
+/// dedup caches (`POST /v1/warm`). The ring's successor property makes
+/// this exact: if the primary dies, the rehashed owner *is* the warmed
+/// replica, so the victim's keys stay warm instead of recomputing cold.
+fn maybe_replicate(
+    state: &Arc<RouterState>,
+    canon: &str,
+    key: u64,
+    owners: &[usize],
+    winner: usize,
+    status: u16,
+    bytes: &Arc<Vec<u8>>,
+) {
+    if state.config.replication < 2 || owners.len() < 2 {
+        return;
+    }
+    let Ok(body_text) = std::str::from_utf8(bytes) else {
+        return;
+    };
+    // Fast path: steady state is "already written through" — answer that
+    // from a shared read lock so concurrent request threads never
+    // serialize here.
+    if state.warmed.read().expect("warmed poisoned").contains(&key) {
+        return;
+    }
+    {
+        let mut warmed = state.warmed.write().expect("warmed poisoned");
+        if warmed.len() >= WARMED_KEYS_CAP {
+            warmed.clear();
+        }
+        if !warmed.insert(key) {
+            return; // already written through under this ring arrangement
+        }
+    }
+    let warm_body = Json::obj([
+        ("key", Json::from(canon)),
+        ("status", Json::from(u64::from(status))),
+        ("body", Json::from(body_text)),
+    ])
+    .to_string();
+    let targets: Vec<usize> = owners.iter().copied().filter(|&w| w != winner).collect();
+    let st = Arc::clone(state);
+    let submitted = state.submit_aux(Box::new(move || {
+        for worker in targets {
+            let shard = &st.shards[worker];
+            if !shard.is_alive() {
+                continue;
+            }
+            if let Ok((200, _)) = shard.transport.call(
+                "POST",
+                "/v1/warm",
+                warm_body.as_bytes(),
+                st.config.write_timeout,
+                st.config.write_timeout,
+            ) {
+                st.stats.warm_writes.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }));
+    if !submitted {
+        // Couldn't schedule the write-through; forget the key so a later
+        // request retries it.
+        state.warmed.write().expect("warmed poisoned").remove(&key);
+    }
+}
+
 /// `GET /v1/stats` fan-out: each live worker's stats document, the
 /// additive merge across them, and the router's own counters. A worker
 /// whose stats fetch fails at the transport layer is evicted (the fetch
@@ -537,12 +916,12 @@ fn proxy(req: &http::Request, state: &Arc<RouterState>) -> (u16, Vec<u8>) {
 /// ring and just misses this snapshot. The fetch uses the short write
 /// timeout, not the long sweep timeout — stats answer instantly, and a
 /// hung shard must not stall the whole fan-out for a minute.
-fn stats_doc(state: &Arc<RouterState>) -> (u16, Vec<u8>) {
-    let mut shards = Vec::with_capacity(state.upstreams.len());
+fn stats_doc(state: &Arc<RouterState>) -> (u16, Arc<Vec<u8>>) {
+    let mut shards = Vec::with_capacity(state.shards.len());
     let mut docs = Vec::new();
-    for up in &state.upstreams {
-        let (doc, alive) = if up.is_alive() {
-            match up.forward(
+    for shard in &state.shards {
+        let (doc, alive) = if shard.is_alive() {
+            match shard.transport.call(
                 "GET",
                 "/v1/stats",
                 b"",
@@ -554,14 +933,14 @@ fn stats_doc(state: &Arc<RouterState>) -> (u16, Vec<u8>) {
                         .ok()
                         .and_then(|t| Json::parse(t).ok());
                     if parsed.is_none() {
-                        state.mark_dead(up.index);
+                        state.mark_dead(shard.index);
                     }
                     let alive = parsed.is_some();
                     (parsed, alive)
                 }
                 Err(ForwardError::Busy) => (None, true),
                 Ok(_) | Err(ForwardError::Transport(_)) => {
-                    state.mark_dead(up.index);
+                    state.mark_dead(shard.index);
                     (None, false)
                 }
             }
@@ -569,11 +948,12 @@ fn stats_doc(state: &Arc<RouterState>) -> (u16, Vec<u8>) {
             (None, false)
         };
         shards.push(Json::obj([
-            ("worker", Json::from(up.index)),
-            ("addr", Json::from(up.addr.to_string())),
+            ("worker", Json::from(shard.index)),
+            ("addr", Json::from(shard.transport.endpoint())),
+            ("transport", Json::from(shard.transport.kind())),
             ("alive", Json::from(alive)),
-            ("routed", Json::from(up.routed.load(Ordering::Relaxed))),
-            ("errors", Json::from(up.errors.load(Ordering::Relaxed))),
+            ("routed", Json::from(shard.routed.load(Ordering::Relaxed))),
+            ("errors", Json::from(shard.errors.load(Ordering::Relaxed))),
             ("stats", doc.clone().unwrap_or(Json::Null)),
         ]));
         if let Some(d) = doc {
@@ -591,7 +971,7 @@ fn stats_doc(state: &Arc<RouterState>) -> (u16, Vec<u8>) {
                     "uptime_ms",
                     Json::from(state.started.elapsed().as_millis().min(u64::MAX as u128) as u64),
                 ),
-                ("workers", Json::from(state.upstreams.len())),
+                ("workers", Json::from(state.shards.len())),
                 ("alive_workers", Json::from(state.alive_workers())),
                 (
                     "requests",
@@ -608,6 +988,20 @@ fn stats_doc(state: &Arc<RouterState>) -> (u16, Vec<u8>) {
                 ("retries", load(&s.retries)),
                 ("rehashes", load(&s.rehashes)),
                 ("revivals", load(&s.revivals)),
+                (
+                    "replication",
+                    Json::obj([
+                        ("factor", Json::from(state.config.replication.max(1))),
+                        ("warm_writes", load(&s.warm_writes)),
+                    ]),
+                ),
+                (
+                    "hedges",
+                    Json::obj([
+                        ("fired", load(&s.hedges_fired)),
+                        ("won", load(&s.hedges_won)),
+                    ]),
+                ),
             ]),
         ),
         ("merged", merged),
@@ -615,26 +1009,32 @@ fn stats_doc(state: &Arc<RouterState>) -> (u16, Vec<u8>) {
     ])
     .to_string()
     .into_bytes();
-    (200, body)
+    (200, Arc::new(body))
 }
 
 /// `POST /v1/shutdown` cascade: drain every worker, then the router
 /// itself. The drain goes to *every* registered worker — including ones
-/// currently marked dead — on a fresh unpooled connection: a worker that
-/// was transiently evicted (one lost probe, one dropped socket) is still
-/// running and must not be leaked past the cascade, and a genuinely dead
-/// one just answers "unreachable" after a fast refused connect. Worker
-/// outcomes are reported so an operator sees which shards acknowledged.
-fn cascade_shutdown(state: &Arc<RouterState>) -> (u16, Vec<u8>) {
-    let mut workers = Vec::with_capacity(state.upstreams.len());
-    for up in &state.upstreams {
-        let outcome = match up.send_once("POST", "/v1/shutdown", state.config.write_timeout) {
-            Ok((200, _)) => "draining",
-            Ok(_) => "error",
-            Err(_) => "unreachable",
-        };
+/// currently marked dead — on the transport's control path (a fresh
+/// unpooled connection for HTTP, a drain-exempt dispatch for local): a
+/// worker that was transiently evicted (one lost probe, one dropped
+/// socket) is still running and must not be leaked past the cascade,
+/// and a genuinely dead one just answers "unreachable" after a fast
+/// refused connect. Worker outcomes are reported so an operator sees
+/// which shards acknowledged.
+fn cascade_shutdown(state: &Arc<RouterState>) -> (u16, Arc<Vec<u8>>) {
+    let mut workers = Vec::with_capacity(state.shards.len());
+    for shard in &state.shards {
+        let outcome =
+            match shard
+                .transport
+                .send_control("POST", "/v1/shutdown", state.config.write_timeout)
+            {
+                Ok((200, _)) => "draining",
+                Ok(_) => "error",
+                Err(_) => "unreachable",
+            };
         workers.push(Json::obj([
-            ("worker", Json::from(up.index)),
+            ("worker", Json::from(shard.index)),
             ("status", Json::from(outcome)),
         ]));
     }
@@ -645,5 +1045,5 @@ fn cascade_shutdown(state: &Arc<RouterState>) -> (u16, Vec<u8>) {
     ])
     .to_string()
     .into_bytes();
-    (200, body)
+    (200, Arc::new(body))
 }

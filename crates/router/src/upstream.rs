@@ -1,43 +1,22 @@
-//! One registered worker: its address, liveness, pooled keep-alive
-//! connections, and per-shard routing counters.
+//! The HTTP transport: pooled keep-alive connections to a worker
+//! process reachable over a socket (remote box or loopback).
 //!
 //! The router proxies every sharded request over a pooled connection to
 //! the owning worker, so the steady-state per-request cost is one
-//! loopback round trip — no connect handshake. A pooled connection that
-//! fails (stale keep-alive after a worker restart, read timeout) is
-//! retried once on a fresh connect before the worker is reported dead;
-//! callers then evict it from the ring and re-route.
+//! round trip — no connect handshake. A pooled connection that fails
+//! (stale keep-alive after a worker restart, read timeout) is retried
+//! once on a fresh connect before the worker is reported dead; callers
+//! then evict it from the ring and re-route. Shard identity, liveness
+//! belief, and routing counters live in the router's
+//! [`Shard`](crate::router::Shard), not here — this type only knows how
+//! to move bytes.
 
+use crate::transport::{ForwardError, Transport};
 use std::io::Write as _;
 use std::net::{SocketAddr, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 use tenet_server::http::ResponseReader;
-
-/// Why a [`forward`](Upstream::forward) failed — the distinction drives
-/// the router's reaction.
-#[derive(Debug)]
-pub enum ForwardError {
-    /// Every connection slot stayed in flight past the wait deadline.
-    /// The worker itself may be perfectly healthy (e.g. saturated by
-    /// long cold sweeps); the right reaction is backpressure (`503`),
-    /// **not** eviction — evicting a busy worker would rehash its whole
-    /// key population and throw away its warm cache.
-    Busy,
-    /// The transport failed: connect refused, reset, or timeout
-    /// mid-exchange. The worker is presumed dead; evict and re-route.
-    Transport(std::io::Error),
-}
-
-impl std::fmt::Display for ForwardError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            ForwardError::Busy => write!(f, "connection slots busy"),
-            ForwardError::Transport(e) => write!(f, "transport: {e}"),
-        }
-    }
-}
 
 /// One pooled connection: the write half plus its buffered reader over a
 /// clone of the same socket.
@@ -54,7 +33,7 @@ struct PoolState {
     open: usize,
 }
 
-/// A worker registered with the router.
+/// Pooled keep-alive HTTP/1.1 to one worker process.
 ///
 /// The pool bounds `open` — idle plus in-flight — at `limit`. The bound
 /// is load-bearing, not an optimization: the worker dedicates a thread
@@ -63,56 +42,35 @@ struct PoolState {
 /// starve fresh connections (including health probes, which would then
 /// evict a perfectly healthy worker). A spawner must size the worker's
 /// thread pool at `limit + 2` or better (probe + slack).
-pub struct Upstream {
-    /// Stable index — the identity the hash ring places on its circle.
-    pub index: usize,
+pub struct HttpTransport {
     /// The worker's socket address.
     pub addr: SocketAddr,
-    alive: AtomicBool,
     pool: Mutex<PoolState>,
     pool_freed: Condvar,
     limit: usize,
-    /// Sharded requests proxied to this worker — incremented by the
-    /// router's proxy path only (fan-out stats fetches and probes don't
-    /// count), so it is the per-shard hit distribution `servload
-    /// --router` records.
-    pub routed: AtomicU64,
-    /// Forward attempts that failed at the transport layer.
-    pub errors: AtomicU64,
 }
 
-impl Upstream {
-    /// A new worker, presumed alive until a probe or forward says not,
-    /// keeping at most `limit` connections open to it.
-    pub fn new(index: usize, addr: SocketAddr, limit: usize) -> Upstream {
-        Upstream {
-            index,
+impl HttpTransport {
+    /// A transport to the worker at `addr`, keeping at most `limit`
+    /// connections open to it.
+    pub fn new(addr: SocketAddr, limit: usize) -> HttpTransport {
+        HttpTransport {
             addr,
-            alive: AtomicBool::new(true),
             pool: Mutex::new(PoolState::default()),
             pool_freed: Condvar::new(),
             limit: limit.max(1),
-            routed: AtomicU64::new(0),
-            errors: AtomicU64::new(0),
         }
     }
 
-    /// Current liveness belief.
-    pub fn is_alive(&self) -> bool {
-        self.alive.load(Ordering::Acquire)
-    }
-
-    /// Updates liveness; on death the idle pool is dropped (those sockets
-    /// point at a corpse).
-    pub fn set_alive(&self, alive: bool) {
-        self.alive.store(alive, Ordering::Release);
-        if !alive {
-            let mut pool = self.pool.lock().expect("pool poisoned");
-            pool.open -= pool.idle.len();
-            pool.idle.clear();
-            drop(pool);
-            self.pool_freed.notify_all();
-        }
+    /// Drops every idle pooled connection (they point at a corpse after
+    /// a worker death, or at a restarted process that won't recognize
+    /// them).
+    fn clear_pool(&self) {
+        let mut pool = self.pool.lock().expect("pool poisoned");
+        pool.open -= pool.idle.len();
+        pool.idle.clear();
+        drop(pool);
+        self.pool_freed.notify_all();
     }
 
     /// Takes a connection: a pooled idle one, a fresh one when under the
@@ -197,21 +155,35 @@ impl Upstream {
         conn.reader.next_response()
     }
 
-    /// Proxies one request to this worker, reusing a pooled keep-alive
-    /// connection when one exists. A failure on a *pooled* connection is
-    /// retried once on a fresh connect (the worker may simply have closed
-    /// an idle socket); a failure on a fresh connection is the worker's
-    /// answer — the caller should evict and re-route on
+    /// One request on a fresh, unpooled connection. The worker's
+    /// `limit + 2` thread headroom exists exactly for these.
+    fn send_once(
+        &self,
+        method: &str,
+        path: &str,
+        timeout: Duration,
+    ) -> std::io::Result<(u16, Vec<u8>)> {
+        let mut conn = self.connect(timeout, timeout)?;
+        Self::send_on(&mut conn, method, path, b"")
+    }
+}
+
+impl Transport for HttpTransport {
+    /// Proxies one request, reusing a pooled keep-alive connection when
+    /// one exists. A failure on a *pooled* connection is retried once on
+    /// a fresh connect (the worker may simply have closed an idle
+    /// socket); a failure on a fresh connection is the worker's answer —
+    /// the caller should evict and re-route on
     /// [`ForwardError::Transport`], and shed load (never evict) on
     /// [`ForwardError::Busy`].
-    pub fn forward(
+    fn call(
         &self,
         method: &str,
         path: &str,
         body: &[u8],
         read_timeout: Duration,
         write_timeout: Duration,
-    ) -> Result<(u16, Vec<u8>), ForwardError> {
+    ) -> Result<(u16, Arc<Vec<u8>>), ForwardError> {
         let (mut conn, was_pooled) = self.acquire(read_timeout, write_timeout, read_timeout)?;
         // Pooled sockets keep the timeouts of the call that created
         // them; re-arm for this call so a short-deadline fan-out is not
@@ -243,28 +215,37 @@ impl Upstream {
             }
         };
         self.park(conn);
-        Ok((status, bytes))
+        Ok((status, Arc::new(bytes)))
     }
 
-    /// One request on a fresh, unpooled connection — the delivery path
-    /// for control messages (`/v1/shutdown` cascades) that must get
-    /// through even when every pool slot is busy or the worker was
-    /// evicted and its pool cleared. The worker's `limit + 2` thread
-    /// headroom exists exactly for these.
-    pub fn send_once(
+    /// Control messages (`/v1/shutdown` cascades) go on a fresh unpooled
+    /// connection so they get through even when every pool slot is busy
+    /// or the worker was evicted and its pool cleared.
+    fn send_control(
         &self,
         method: &str,
         path: &str,
         timeout: Duration,
     ) -> std::io::Result<(u16, Vec<u8>)> {
-        let mut conn = self.connect(timeout, timeout)?;
-        Self::send_on(&mut conn, method, path, b"")
+        self.send_once(method, path, timeout)
     }
 
     /// One liveness probe: `GET /v1/healthz` on a short-deadline fresh
     /// connection (pooled sockets would mask a dead worker behind a
     /// buffered response).
-    pub fn probe_health(&self, timeout: Duration) -> bool {
+    fn probe(&self, timeout: Duration) -> bool {
         matches!(self.send_once("GET", "/v1/healthz", timeout), Ok((200, _)))
+    }
+
+    fn endpoint(&self) -> String {
+        self.addr.to_string()
+    }
+
+    fn kind(&self) -> &'static str {
+        "http"
+    }
+
+    fn on_dead(&self) {
+        self.clear_pool();
     }
 }

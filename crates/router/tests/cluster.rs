@@ -7,7 +7,17 @@
 //! * **warm hit rate** — after the warm-up round, every shard serves its
 //!   keys entirely from its dedup layer (per-shard hit rate 1.0);
 //! * **rebalancing** — killing a worker mid-run yields zero 5xx for
-//!   retried keys, and only the dead worker's keys recompute (~1/N);
+//!   retried keys, and (with replication off) only the dead worker's
+//!   keys recompute (~1/N);
+//! * **replication** — with `R = 2`, a worker kill serves the victim's
+//!   keys *warm* from the promoted successor replica: zero 5xx and zero
+//!   new misses anywhere;
+//! * **hedging** — a slow primary is raced against its replica after the
+//!   latency threshold; the first answer wins, the loser is discarded,
+//!   and counters attribute the request exactly once;
+//! * **transports** — the same proofs hold when the workers are
+//!   in-process [`WorkerCore`]s behind [`LocalTransport`]-style dispatch
+//!   instead of HTTP processes;
 //! * **stats fan-out** — the merged `/v1/stats` document equals the sum
 //!   of the per-shard parts it was built from;
 //! * **framing parity** — chunked transfer encoding is 501 at the
@@ -15,11 +25,16 @@
 
 use std::io::Write;
 use std::net::{SocketAddr, TcpStream};
-use std::time::Duration;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 use tenet_core::json::Json;
-use tenet_router::{Router, RouterConfig, SpawnedRouter};
+use tenet_router::ring::HashRing;
+use tenet_router::{ForwardError, Router, RouterConfig, SpawnedRouter, Transport, WorkerSpec};
 use tenet_server::http::read_response;
-use tenet_server::{Server, ServerConfig, SpawnedServer};
+use tenet_server::{
+    canonical_key, canonical_request, Server, ServerConfig, SpawnedServer, WorkerCore,
+};
 
 const GEMM_PROBLEM: &str = "\
 for (i = 0; i < 4; i++)
@@ -44,6 +59,18 @@ impl Cluster {
     /// detection purely traffic-driven (deterministic for the tests that
     /// count rehashes).
     fn boot(n: usize, health_interval: Duration) -> Cluster {
+        Cluster::boot_with(n, health_interval, |_| {})
+    }
+
+    /// [`Cluster::boot`] with a router-config tweak (replication factor,
+    /// hedge threshold). Tests that assert exact dedup counters disable
+    /// hedging: a cold analyze slower than the threshold would race a
+    /// replica into a duplicate compute and perturb the counts.
+    fn boot_with(
+        n: usize,
+        health_interval: Duration,
+        tweak: impl FnOnce(&mut RouterConfig),
+    ) -> Cluster {
         // Worker threads must exceed the router's per-worker connection
         // bound: parked keep-alive proxy sockets each hold a worker
         // thread, and probes/stats must never queue behind them.
@@ -62,7 +89,7 @@ impl Cluster {
                 )
             })
             .collect();
-        let config = RouterConfig {
+        let mut config = RouterConfig {
             addr: "127.0.0.1:0".into(),
             workers: workers
                 .iter()
@@ -72,6 +99,7 @@ impl Cluster {
             health_interval,
             ..Default::default()
         };
+        tweak(&mut config);
         let router = Router::spawn(config).expect("spawn router");
         Cluster {
             workers,
@@ -176,9 +204,36 @@ fn merged_u64(stats: &Json, path: &[&str]) -> u64 {
     v.as_u64().unwrap_or(0)
 }
 
+fn router_u64(stats: &Json, path: &[&str]) -> u64 {
+    let mut v = stats.get("router").expect("router doc");
+    for k in path {
+        v = v.get(k).unwrap_or(&Json::Null);
+    }
+    v.as_u64().unwrap_or(0)
+}
+
+/// Polls router stats until `done` holds (replication write-throughs are
+/// asynchronous), failing the test after 10 s.
+fn wait_for_stats(addr: SocketAddr, what: &str, done: impl Fn(&Json) -> bool) -> Json {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let stats = router_stats(addr);
+        if done(&stats) {
+            return stats;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "timed out waiting for {what}: {stats}"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
 #[test]
 fn shard_affinity_bit_identical_bytes_and_warm_hit_rate() {
-    let cluster = Cluster::boot(3, Duration::ZERO);
+    // Hedging off: this test counts misses exactly, and a cold analyze
+    // slower than the hedge threshold would duplicate a compute.
+    let cluster = Cluster::boot_with(3, Duration::ZERO, |c| c.hedge_after = Duration::MAX);
     let addr = cluster.addr();
     let keys: Vec<String> = (1..=8).map(analyze_body).collect();
 
@@ -247,7 +302,14 @@ fn shard_affinity_bit_identical_bytes_and_warm_hit_rate() {
 
 #[test]
 fn worker_loss_rehashes_with_zero_5xx_for_retried_keys() {
-    let mut cluster = Cluster::boot(3, Duration::ZERO);
+    // Replication off: this test pins the *cold* failover path — the
+    // victim's keys must recompute on the rehashed owner. The warm
+    // failover path is pinned by
+    // `worker_kill_under_replication_serves_victim_keys_warm`.
+    let mut cluster = Cluster::boot_with(3, Duration::ZERO, |c| {
+        c.replication = 1;
+        c.hedge_after = Duration::MAX;
+    });
     let addr = cluster.addr();
     let keys: Vec<String> = (1..=10).map(analyze_body).collect();
 
@@ -321,7 +383,7 @@ fn worker_loss_rehashes_with_zero_5xx_for_retried_keys() {
 
 #[test]
 fn merged_stats_equal_the_sum_of_parts() {
-    let cluster = Cluster::boot(2, Duration::ZERO);
+    let cluster = Cluster::boot_with(2, Duration::ZERO, |c| c.hedge_after = Duration::MAX);
     let addr = cluster.addr();
     for round in 0..3 {
         for w in 1..=6 {
@@ -329,7 +391,12 @@ fn merged_stats_equal_the_sum_of_parts() {
             assert_eq!(status, 200, "round {round}");
         }
     }
-    let stats = router_stats(addr);
+    // Replication (R = 2 default) writes every answer through to the
+    // other shard; wait for the asynchronous warm writes so the
+    // "warmed" sum below is non-trivial.
+    let stats = wait_for_stats(addr, "replication write-through", |s| {
+        router_u64(s, &["replication", "warm_writes"]) >= 6
+    });
     let shards: Vec<&Json> = stats
         .get("shards")
         .and_then(Json::as_arr)
@@ -361,6 +428,7 @@ fn merged_stats_equal_the_sum_of_parts() {
         vec!["dedup", "hits"],
         vec!["dedup", "inflight_waits"],
         vec!["dedup", "misses"],
+        vec!["dedup", "warmed"],
         vec!["dedup", "entries"],
         vec!["isl_cache", "server", "hits"],
         vec!["isl_cache", "server", "misses"],
@@ -487,6 +555,337 @@ fn cascaded_shutdown_drains_workers_then_router() {
             std::thread::sleep(Duration::from_millis(20));
         }
     }
+}
+
+#[test]
+fn worker_kill_under_replication_serves_victim_keys_warm() {
+    // Hedging off so the counters below are exact; replication stays at
+    // its R = 2 default — the subject under test.
+    let mut cluster = Cluster::boot_with(3, Duration::ZERO, |c| c.hedge_after = Duration::MAX);
+    let addr = cluster.addr();
+    let keys: Vec<String> = (1..=10).map(analyze_body).collect();
+    let keys_n = keys.len() as u64;
+
+    let mut first: Vec<Vec<u8>> = Vec::new();
+    for body in &keys {
+        let (status, bytes) = post(addr, "/v1/analyze", body);
+        assert_eq!(status, 200, "{}", String::from_utf8_lossy(&bytes));
+        first.push(bytes);
+    }
+    // R = 2: every answer is asynchronously written through to the key's
+    // successor replica. Wait until every key lives on exactly two
+    // shards before pulling the plug.
+    let before = wait_for_stats(addr, "replication write-through", |s| {
+        router_u64(s, &["replication", "warm_writes"]) >= keys_n
+            && merged_u64(s, &["dedup", "entries"]) == 2 * keys_n
+    });
+    let rows = shard_rows(&before);
+    let victim = rows.iter().max_by_key(|r| r.2).unwrap();
+    let (victim_idx, victim_keys) = (victim.0 as usize, victim.2);
+    assert!(victim_keys > 0, "victim must own at least one key");
+    cluster.kill_worker(victim_idx);
+
+    // Replay every key. This is replication's promise: zero 5xx, the
+    // same bytes, and — unlike the R = 1 rehash test above — zero
+    // recomputes, because the rehashed owner of each victim key is
+    // exactly the successor replica already holding its warm answer.
+    for (i, body) in keys.iter().enumerate() {
+        let (status, bytes) = post(addr, "/v1/analyze", body);
+        assert_eq!(
+            status,
+            200,
+            "key {i} must survive the worker kill: {}",
+            String::from_utf8_lossy(&bytes)
+        );
+        assert_eq!(bytes, first[i], "key {i} must serve identical bytes");
+    }
+
+    let after = router_stats(addr);
+    let after_rows = shard_rows(&after);
+    assert_eq!(
+        router_u64(&after, &["requests", "status_5xx"]),
+        0,
+        "the kill must be invisible to clients: {after}"
+    );
+    assert!(
+        !after_rows[victim_idx].1,
+        "victim must be reported dead: {after_rows:?}"
+    );
+    // The warm-failover core: no survivor recomputed anything.
+    for (b, a) in rows.iter().zip(&after_rows) {
+        if b.0 as usize == victim_idx {
+            continue;
+        }
+        assert_eq!(
+            a.5, b.5,
+            "shard {} recomputed a key its replica already held warm: {after_rows:?}",
+            b.0
+        );
+    }
+    // Every replayed key was a dedup hit somewhere: the victim's keys on
+    // the promoted replica's warmed entry, the survivors' on their own
+    // cache.
+    let hit_delta: u64 = after_rows
+        .iter()
+        .zip(&rows)
+        .filter(|(a, _)| a.0 as usize != victim_idx)
+        .map(|(a, b)| (a.3 + a.4) - (b.3 + b.4))
+        .sum();
+    assert_eq!(
+        hit_delta, keys_n,
+        "every replayed key must be served from a warm cache: {after_rows:?}"
+    );
+    assert!(
+        merged_u64(&after, &["dedup", "warmed"]) >= 1,
+        "survivors must report warmed entries: {after}"
+    );
+}
+
+#[test]
+fn local_transport_cluster_failover_without_sockets() {
+    // The same cluster proofs with zero worker sockets: three in-process
+    // cores behind local dispatch, replication at its R = 2 default.
+    let cores: Vec<Arc<WorkerCore>> = (0..3)
+        .map(|_| {
+            WorkerCore::new(ServerConfig {
+                addr: "in-process".into(),
+                ..Default::default()
+            })
+        })
+        .collect();
+    let specs: Vec<WorkerSpec> = cores
+        .iter()
+        .map(|c| WorkerSpec::Local(Arc::clone(c)))
+        .collect();
+    let config = RouterConfig {
+        addr: "127.0.0.1:0".into(),
+        threads: 2,
+        health_interval: Duration::ZERO,
+        ..Default::default()
+    };
+    let router = Router::spawn_with_workers(config, specs).expect("spawn router");
+    let addr = router.addr();
+
+    let keys: Vec<String> = (1..=10).map(analyze_body).collect();
+    let keys_n = keys.len() as u64;
+    let mut first: Vec<Vec<u8>> = Vec::new();
+    for body in &keys {
+        let (status, bytes) = post(addr, "/v1/analyze", body);
+        assert_eq!(status, 200, "{}", String::from_utf8_lossy(&bytes));
+        first.push(bytes);
+    }
+    let before = wait_for_stats(addr, "replication write-through", |s| {
+        router_u64(s, &["replication", "warm_writes"]) >= keys_n
+            && merged_u64(s, &["dedup", "entries"]) == 2 * keys_n
+    });
+    for shard in before.get("shards").and_then(Json::as_arr).unwrap() {
+        assert_eq!(shard.get("transport").and_then(Json::as_str), Some("local"));
+        assert_eq!(shard.get("addr").and_then(Json::as_str), Some("local"));
+    }
+    let rows = shard_rows(&before);
+    let victim = rows.iter().max_by_key(|r| r.2).unwrap();
+    let (victim_idx, victim_keys) = (victim.0 as usize, victim.2);
+    assert!(victim_keys > 0, "victim must own at least one key");
+    // The in-process analogue of a kill: drain the core — its data path
+    // fails exactly like a dead socket, while the cores it replicated to
+    // keep its keys warm.
+    cores[victim_idx].drain();
+
+    for (i, body) in keys.iter().enumerate() {
+        let (status, bytes) = post(addr, "/v1/analyze", body);
+        assert_eq!(
+            status,
+            200,
+            "key {i} must survive the drained core: {}",
+            String::from_utf8_lossy(&bytes)
+        );
+        assert_eq!(bytes, first[i], "key {i} must serve identical bytes");
+    }
+    let after = router_stats(addr);
+    let after_rows = shard_rows(&after);
+    assert_eq!(router_u64(&after, &["requests", "status_5xx"]), 0);
+    assert!(!after_rows[victim_idx].1, "victim must be reported dead");
+    for (b, a) in rows.iter().zip(&after_rows) {
+        if b.0 as usize == victim_idx {
+            continue;
+        }
+        assert_eq!(
+            a.5, b.5,
+            "core {} recomputed a key its replica already held warm: {after_rows:?}",
+            b.0
+        );
+    }
+    // In-process dispatch is synchronous on the caller's thread: there
+    // is no waiting to race, so hedging must never fire locally.
+    assert_eq!(router_u64(&after, &["hedges", "fired"]), 0);
+    router.shutdown_and_join().expect("router drained");
+}
+
+/// A scriptable worker for hedge-semantics tests: canned bytes after a
+/// configurable delay, counting data-path and warm-path calls apart.
+struct MockTransport {
+    label: &'static str,
+    delay: Duration,
+    body: &'static [u8],
+    analyze_calls: AtomicU64,
+    warm_calls: AtomicU64,
+}
+
+impl MockTransport {
+    fn new(label: &'static str, delay: Duration, body: &'static [u8]) -> Arc<MockTransport> {
+        Arc::new(MockTransport {
+            label,
+            delay,
+            body,
+            analyze_calls: AtomicU64::new(0),
+            warm_calls: AtomicU64::new(0),
+        })
+    }
+}
+
+/// The `Box<dyn Transport>` the router owns, sharing the counters with
+/// the test.
+struct SharedMock(Arc<MockTransport>);
+
+impl Transport for SharedMock {
+    fn call(
+        &self,
+        _method: &str,
+        path: &str,
+        _body: &[u8],
+        _read_timeout: Duration,
+        _write_timeout: Duration,
+    ) -> Result<(u16, Arc<Vec<u8>>), ForwardError> {
+        match path {
+            "/v1/warm" => {
+                self.0.warm_calls.fetch_add(1, Ordering::SeqCst);
+                Ok((200, Arc::new(br#"{"status":"warmed"}"#.to_vec())))
+            }
+            "/v1/stats" => Ok((200, Arc::new(b"{}".to_vec()))),
+            _ => {
+                self.0.analyze_calls.fetch_add(1, Ordering::SeqCst);
+                std::thread::sleep(self.0.delay);
+                Ok((200, Arc::new(self.0.body.to_vec())))
+            }
+        }
+    }
+
+    fn send_control(
+        &self,
+        _method: &str,
+        _path: &str,
+        _timeout: Duration,
+    ) -> std::io::Result<(u16, Vec<u8>)> {
+        Ok((200, Vec::new()))
+    }
+
+    fn probe(&self, _timeout: Duration) -> bool {
+        true
+    }
+
+    fn endpoint(&self) -> String {
+        self.0.label.into()
+    }
+
+    fn kind(&self) -> &'static str {
+        "mock"
+    }
+}
+
+#[test]
+fn hedged_request_races_the_replica_and_discards_the_loser() {
+    const HEDGE_AFTER: Duration = Duration::from_millis(40);
+    const SLOW: Duration = Duration::from_millis(800);
+    let slow = MockTransport::new("slow", SLOW, br#"{"from":"slow"}"#);
+    let fast = MockTransport::new("fast", Duration::from_millis(1), br#"{"from":"fast"}"#);
+    let config = RouterConfig {
+        addr: "127.0.0.1:0".into(),
+        threads: 2,
+        health_interval: Duration::ZERO,
+        hedge_after: HEDGE_AFTER,
+        ..Default::default()
+    };
+    let vnodes = config.vnodes;
+    let specs = vec![
+        WorkerSpec::Custom(Box::new(SharedMock(Arc::clone(&slow)))),
+        WorkerSpec::Custom(Box::new(SharedMock(Arc::clone(&fast)))),
+    ];
+    let router = Router::spawn_with_workers(config, specs).expect("spawn router");
+    let addr = router.addr();
+
+    // Pick keys by who owns them, on the same ring the router builds, so
+    // the test controls which shard gets hedged.
+    let ring = {
+        let mut r = HashRing::new(vnodes);
+        r.add(0);
+        r.add(1);
+        r
+    };
+    let owned_by = |shard: usize| -> String {
+        (1u64..1000)
+            .map(analyze_body)
+            .find(|b| {
+                let key = canonical_key(&canonical_request("POST", "/v1/analyze", b.as_bytes()));
+                ring.owner(key) == Some(shard)
+            })
+            .expect("some key must hash to the shard")
+    };
+
+    // 1. Slow primary: the hedge fires after the threshold, the replica
+    //    wins, and the loser's eventual response is discarded.
+    let body = owned_by(0);
+    let t0 = Instant::now();
+    let (status, bytes) = post(addr, "/v1/analyze", &body);
+    let elapsed = t0.elapsed();
+    assert_eq!(status, 200);
+    assert_eq!(
+        bytes,
+        br#"{"from":"fast"}"#.to_vec(),
+        "the replica's answer must win the race"
+    );
+    assert!(
+        elapsed >= HEDGE_AFTER,
+        "the hedge must not fire before the threshold: {elapsed:?}"
+    );
+    assert!(
+        elapsed < SLOW,
+        "the hedged answer must beat the slow primary: {elapsed:?}"
+    );
+    assert_eq!(slow.analyze_calls.load(Ordering::SeqCst), 1);
+    assert_eq!(fast.analyze_calls.load(Ordering::SeqCst), 1);
+
+    // Let the loser finish; its response lands in a dropped channel and
+    // must change nothing.
+    std::thread::sleep(SLOW);
+    let stats = wait_for_stats(addr, "the replication write-through", |_| {
+        slow.warm_calls.load(Ordering::SeqCst) >= 1
+    });
+    assert_eq!(router_u64(&stats, &["hedges", "fired"]), 1);
+    assert_eq!(router_u64(&stats, &["hedges", "won"]), 1);
+    // Exactly-once attribution: the request is routed to the winner
+    // only — the loser's late 200 must not be double-counted.
+    let rows = shard_rows(&stats);
+    assert_eq!(rows[0].2, 0, "the discarded loser must not count: {rows:?}");
+    assert_eq!(rows[1].2, 1, "the winner carries the request: {rows:?}");
+
+    // 2. Fast primary: an answer under the threshold is never hedged.
+    let body = owned_by(1);
+    let (status, bytes) = post(addr, "/v1/analyze", &body);
+    assert_eq!(status, 200);
+    assert_eq!(bytes, br#"{"from":"fast"}"#.to_vec());
+    assert_eq!(
+        slow.analyze_calls.load(Ordering::SeqCst),
+        1,
+        "a primary answering under the threshold must not be hedged"
+    );
+    assert_eq!(fast.analyze_calls.load(Ordering::SeqCst), 2);
+    let stats = router_stats(addr);
+    assert_eq!(
+        router_u64(&stats, &["hedges", "fired"]),
+        1,
+        "no new hedge may fire for a fast primary"
+    );
+    router.shutdown_and_join().expect("router drained");
 }
 
 #[test]

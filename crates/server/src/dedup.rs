@@ -88,6 +88,7 @@ pub struct Dedup {
     hits: AtomicU64,
     waits: AtomicU64,
     misses: AtomicU64,
+    warms: AtomicU64,
 }
 
 /// Outcome of [`Dedup::claim`].
@@ -118,6 +119,9 @@ pub struct DedupStats {
     pub waits: u64,
     /// Requests that computed (became leader).
     pub misses: u64,
+    /// Responses inserted by replication warming ([`Dedup::insert`]),
+    /// i.e. answers this worker holds without ever computing them.
+    pub warmed: u64,
     /// Responses currently stored.
     pub entries: u64,
 }
@@ -136,6 +140,7 @@ impl Dedup {
             hits: AtomicU64::new(0),
             waits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            warms: AtomicU64::new(0),
         })
     }
 
@@ -200,6 +205,37 @@ impl Dedup {
         self.published.notify_all();
     }
 
+    /// Inserts a response under `key` without leadership — the
+    /// replication write-through path (`POST /v1/warm`): a replica stores
+    /// the primary's answer so a later failover hit is warm instead of a
+    /// recompute. Counted under `warmed`, not `hits`/`misses`, so compute
+    /// attribution stays exact. If the key is already cached the stored
+    /// bytes win (they are this worker's own published answer; responses
+    /// are deterministic, so the bytes agree anyway). Waiters on an
+    /// in-flight leader for the same key are woken — the fresh cache
+    /// entry answers them without waiting out the local compute.
+    pub fn insert(&self, key: &str, resp: CachedResponse) {
+        let mut inner = self.inner.lock().expect("dedup poisoned");
+        if !inner.cache.contains_key(key) {
+            if inner.cache.len() >= self.capacity {
+                if let Some(victim) = inner
+                    .cache
+                    .iter()
+                    .min_by_key(|(_, (_, tick))| *tick)
+                    .map(|(k, _)| k.clone())
+                {
+                    inner.cache.remove(&victim);
+                }
+            }
+            let tick = inner.tick;
+            inner.tick += 1;
+            inner.cache.insert(key.to_string(), (resp, tick));
+            self.warms.fetch_add(1, Ordering::Relaxed);
+        }
+        drop(inner);
+        self.published.notify_all();
+    }
+
     /// Current counters.
     pub fn stats(&self) -> DedupStats {
         let inner = self.inner.lock().expect("dedup poisoned");
@@ -207,6 +243,7 @@ impl Dedup {
             hits: self.hits.load(Ordering::Relaxed),
             waits: self.waits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            warmed: self.warms.load(Ordering::Relaxed),
             entries: inner.cache.len() as u64,
         }
     }
@@ -322,6 +359,47 @@ mod tests {
             panic!("key must be claimable again")
         };
         d.publish(tok, resp(b"second try"));
+    }
+
+    #[test]
+    fn warm_insert_serves_without_a_miss() {
+        let d = Dedup::new(8);
+        d.insert("k", resp(b"replicated"));
+        let Claim::Cached(r) = d.claim("k") else {
+            panic!("warmed key must hit, not recompute")
+        };
+        assert_eq!(&*r.body, b"replicated");
+        let s = d.stats();
+        assert_eq!((s.misses, s.hits, s.warmed, s.entries), (0, 1, 1, 1));
+        // A second insert under the same key is a no-op (stored bytes win)
+        // and is not double-counted.
+        d.insert("k", resp(b"other"));
+        let Claim::Cached(r) = d.claim("k") else {
+            panic!()
+        };
+        assert_eq!(&*r.body, b"replicated");
+        assert_eq!(d.stats().warmed, 1);
+    }
+
+    #[test]
+    fn warm_insert_wakes_waiters_on_an_inflight_key() {
+        let d = Dedup::new(8);
+        let Claim::Leader(tok) = d.claim("k") else {
+            panic!()
+        };
+        let waiter = {
+            let d = Arc::clone(&d);
+            std::thread::spawn(move || match d.claim("k") {
+                Claim::Cached(r) => r.body.as_ref().clone(),
+                Claim::Leader(_) => panic!("in-flight key must not re-lead"),
+            })
+        };
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        // The replica's warm insert lands while the local leader is still
+        // computing: the waiter takes the warmed bytes immediately.
+        d.insert("k", resp(b"warmed"));
+        assert_eq!(waiter.join().unwrap(), b"warmed");
+        drop(tok);
     }
 
     #[test]

@@ -5,8 +5,10 @@
 //! analysis failure (exit 3) is a 500. Every error body has the same
 //! shape: `{"error": {"kind": "...", "message": "..."}}`.
 
-use crate::server::AppState;
+use crate::dedup::CachedResponse;
+use crate::worker::WorkerCore;
 use std::sync::atomic::Ordering;
+use std::sync::Arc;
 use tenet_core::json::Json;
 use tenet_core::{export, presets, Analysis, AnalysisOptions, ArchSpec, Dataflow};
 use tenet_dse::{enumerate_all, explore_parallel, pareto};
@@ -53,7 +55,7 @@ impl Reply {
 
 /// Routes one request. `body` is the raw request body; dedup happens in
 /// the connection layer, not here.
-pub fn route(method: &str, path: &str, body: &[u8], state: &AppState) -> Reply {
+pub fn route(method: &str, path: &str, body: &[u8], state: &WorkerCore) -> Reply {
     match (method, path) {
         ("GET", "/v1/healthz") => Reply::ok(Json::obj([("status", Json::from("ok"))])),
         ("GET", "/v1/stats") => Reply::ok(state.stats.to_json(
@@ -67,6 +69,10 @@ pub fn route(method: &str, path: &str, body: &[u8], state: &AppState) -> Reply {
         },
         ("POST", "/v1/dse") => match decode_body(body) {
             Ok(req) => dse(&req, state),
+            Err(r) => *r,
+        },
+        ("POST", "/v1/warm") => match decode_body(body) {
+            Ok(req) => warm(&req, state),
             Err(r) => *r,
         },
         ("POST", "/v1/shutdown") => {
@@ -182,7 +188,7 @@ fn opt_u64(req: &Json, key: &str) -> Result<Option<u64>, Box<Reply>> {
 
 /// `POST /v1/analyze` — one full performance report per selected
 /// dataflow.
-fn analyze(req: &Json, _state: &AppState) -> Reply {
+fn analyze(req: &Json, _state: &WorkerCore) -> Reply {
     let problem = match load_problem(req) {
         Ok(p) => p,
         Err(r) => return *r,
@@ -239,6 +245,39 @@ fn analyze(req: &Json, _state: &AppState) -> Reply {
         ("op", Json::from(problem.kernel.name())),
         ("arch", Json::from(arch.name.as_str())),
         ("reports", Json::Arr(reports)),
+    ]))
+}
+
+/// `POST /v1/warm` — replication write-through from the sharding router:
+/// stores a response computed by the key's primary owner in this worker's
+/// dedup cache, so the key survives the primary's death as a warm hit
+/// instead of a cold recompute. Body: `{"key": <canonical request
+/// text>, "status": <u16>, "body": <response entity as a string>}`.
+/// Never cacheable itself (see [`is_cacheable`]) and never proxied — it
+/// addresses one specific replica.
+fn warm(req: &Json, state: &WorkerCore) -> Reply {
+    let key = match req.get("key").and_then(Json::as_str) {
+        Some(k) if !k.is_empty() => k,
+        _ => return Reply::bad_request("usage", "missing non-empty string field `key`"),
+    };
+    let status = match req.get("status").and_then(Json::as_u64) {
+        Some(s) if (100..=599).contains(&s) => s as u16,
+        _ => return Reply::bad_request("usage", "`status` must be an HTTP status in [100, 599]"),
+    };
+    let body = match req.get("body").and_then(Json::as_str) {
+        Some(b) => b,
+        None => return Reply::bad_request("usage", "missing string field `body`"),
+    };
+    state.dedup.insert(
+        key,
+        CachedResponse {
+            status,
+            body: Arc::new(body.as_bytes().to_vec()),
+        },
+    );
+    Reply::ok(Json::obj([
+        ("status", Json::from("warmed")),
+        ("entries", Json::from(state.dedup.stats().entries)),
     ]))
 }
 
@@ -309,7 +348,7 @@ fn select_fields(point: Json, fields: &[String]) -> Json {
 /// `POST /v1/dse` — enumerate candidate dataflows under hardware
 /// constraints, evaluate them in parallel, return the ranked points and
 /// the latency/SBW Pareto frontier.
-fn dse(req: &Json, state: &AppState) -> Reply {
+fn dse(req: &Json, state: &WorkerCore) -> Reply {
     let problem = match load_problem(req) {
         Ok(p) => p,
         Err(r) => return *r,

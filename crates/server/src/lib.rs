@@ -14,6 +14,7 @@
 //! | `POST /v1/dse` | problem text + constraints → ranked points + Pareto frontier |
 //! | `GET /v1/healthz` | liveness |
 //! | `GET /v1/stats` | counters, latency histogram, dedup and ISL-cache hit rates |
+//! | `POST /v1/warm` | replication write-through: store another shard's answer (router-internal) |
 //! | `POST /v1/shutdown` | graceful drain (stop accepting, finish in-flight) |
 //!
 //! ## Layers
@@ -32,6 +33,10 @@
 //! * [`stats`] — counters and a lock-free latency histogram.
 //! * [`handlers`] — routing and the endpoint implementations; errors
 //!   mirror the CLI's exit-code taxonomy (4xx usage/parse, 5xx analysis).
+//! * [`worker`] — [`WorkerCore`], the whole request path (counting,
+//!   dedup, routing, attribution) decoupled from the listener, so the
+//!   sharding router can dispatch into a worker in-process without a
+//!   socket or an HTTP reframe.
 //!
 //! ```no_run
 //! let config = tenet_server::ServerConfig {
@@ -54,9 +59,11 @@ pub mod http;
 pub mod pool;
 mod server;
 pub mod stats;
+pub mod worker;
 
 pub use dedup::{canonical_key, canonical_request};
-pub use server::{AppState, Server, ServerHandle, SpawnedServer};
+pub use server::{Server, ServerHandle, SpawnedServer};
+pub use worker::WorkerCore;
 
 use std::time::Duration;
 

@@ -1,40 +1,19 @@
 //! The listener: accept loop, connection lifecycle, and graceful drain.
+//!
+//! All request semantics (dedup, routing, counters) live in
+//! [`WorkerCore`]; this module only owns the TCP side — accepting,
+//! HTTP framing, keep-alive, and load shedding.
 
-use crate::dedup::{CachedResponse, Claim, Dedup};
 use crate::http::{self, RequestBuffer};
 use crate::pool::{SubmitError, WorkerPool};
-use crate::stats::ServerStats;
-use crate::{handlers, ServerConfig};
+use crate::worker::WorkerCore;
+use crate::ServerConfig;
 use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 use tenet_core::json::Json;
-
-/// State shared by the accept loop, the workers, and the handlers.
-pub struct AppState {
-    /// Service configuration (immutable after bind).
-    pub config: ServerConfig,
-    /// Request/latency counters.
-    pub stats: ServerStats,
-    /// The response/in-flight dedup layer.
-    pub dedup: Arc<Dedup>,
-    /// Set to start a graceful drain (shutdown endpoint, [`ServerHandle`]).
-    pub shutdown: Arc<AtomicBool>,
-    /// Bind time, for uptime reporting.
-    pub started: Instant,
-    /// Connections admitted but not yet picked up (filled in by the
-    /// server; handlers read it for `/v1/stats`).
-    backlog: std::sync::OnceLock<Box<dyn Fn() -> usize + Send + Sync>>,
-}
-
-impl AppState {
-    /// Jobs waiting for a worker right now.
-    pub fn backlog(&self) -> usize {
-        self.backlog.get().map_or(0, |f| f())
-    }
-}
 
 /// A cheap, clonable remote control for a running [`Server`].
 #[derive(Clone)]
@@ -89,30 +68,22 @@ impl SpawnedServer {
 /// A bound (but not yet running) analysis service.
 pub struct Server {
     listener: TcpListener,
-    state: Arc<AppState>,
+    core: Arc<WorkerCore>,
     addr: SocketAddr,
 }
 
 impl Server {
-    /// Binds `config.addr` and prepares the shared state.
+    /// Binds `config.addr` and prepares the shared core.
     pub fn bind(config: ServerConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
         // Polling accept: wakes every few milliseconds to observe the
         // shutdown flag without platform signal machinery.
         listener.set_nonblocking(true)?;
-        let dedup = Dedup::new(config.cache_capacity);
-        let state = Arc::new(AppState {
-            config,
-            stats: ServerStats::default(),
-            dedup,
-            shutdown: Arc::new(AtomicBool::new(false)),
-            started: Instant::now(),
-            backlog: std::sync::OnceLock::new(),
-        });
+        let core = WorkerCore::new(config);
         Ok(Server {
             listener,
-            state,
+            core,
             addr,
         })
     }
@@ -134,10 +105,15 @@ impl Server {
         self.addr
     }
 
+    /// The request-handling core behind this listener.
+    pub fn core(&self) -> Arc<WorkerCore> {
+        Arc::clone(&self.core)
+    }
+
     /// A remote control usable from other threads.
     pub fn handle(&self) -> ServerHandle {
         ServerHandle {
-            shutdown: Arc::clone(&self.state.shutdown),
+            shutdown: Arc::clone(&self.core.shutdown),
             addr: self.addr,
         }
     }
@@ -149,33 +125,28 @@ impl Server {
     /// closed. On shutdown the accept loop stops, admitted connections
     /// finish (bounded by the read timeout), and the workers join.
     pub fn run(self) -> std::io::Result<()> {
-        let state = Arc::clone(&self.state);
-        let pool_state = Arc::clone(&self.state);
+        let core = Arc::clone(&self.core);
+        let pool_core = Arc::clone(&self.core);
         let pool = WorkerPool::new(
             "tenet-conn",
-            state.config.threads,
-            state.config.queue_capacity,
-            move |stream: TcpStream| {
-                // Attach the server's ISL counter handle so `/v1/stats`
-                // attributes relational work to this server exactly.
-                let _attached = pool_state.stats.isl_handle.attach();
-                serve_connection(stream, &pool_state);
-            },
+            core.config.threads,
+            core.config.queue_capacity,
+            move |stream: TcpStream| serve_connection(stream, &pool_core),
         );
-        let _ = state.backlog.set(pool.backlog_probe());
-        let shutdown = Arc::clone(&state.shutdown);
+        core.set_backlog_probe(pool.backlog_probe());
+        let shutdown = Arc::clone(&core.shutdown);
         let outcome = loop {
             if shutdown.load(Ordering::Acquire) {
                 break Ok(());
             }
             match self.listener.accept() {
                 Ok((stream, _peer)) => {
-                    state.stats.connections.fetch_add(1, Ordering::Relaxed);
+                    core.stats.connections.fetch_add(1, Ordering::Relaxed);
                     match pool.try_submit(stream) {
                         Ok(()) => {}
                         Err((stream, SubmitError::Busy | SubmitError::ShuttingDown)) => {
-                            state.stats.rejected_busy.fetch_add(1, Ordering::Relaxed);
-                            shed(stream, &state);
+                            core.stats.rejected_busy.fetch_add(1, Ordering::Relaxed);
+                            shed(stream, &core);
                         }
                     }
                 }
@@ -195,8 +166,8 @@ impl Server {
 }
 
 /// Answers `503` on the accept thread when the pool refused a connection.
-fn shed(mut stream: TcpStream, state: &Arc<AppState>) {
-    let _ = stream.set_write_timeout(Some(state.config.write_timeout));
+fn shed(mut stream: TcpStream, core: &Arc<WorkerCore>) {
+    let _ = stream.set_write_timeout(Some(core.config.write_timeout));
     let body = Json::obj([(
         "error",
         Json::obj([
@@ -213,22 +184,25 @@ fn shed(mut stream: TcpStream, state: &Arc<AppState>) {
     ));
 }
 
-/// Serves one connection: parse → (dedup) → handle → respond, repeating
-/// for keep-alive/pipelined requests until close, error, or drain.
-fn serve_connection(mut stream: TcpStream, state: &Arc<AppState>) {
-    let _ = stream.set_read_timeout(Some(state.config.read_timeout));
-    let _ = stream.set_write_timeout(Some(state.config.write_timeout));
+/// Serves one connection: parse → handle (via the core) → respond,
+/// repeating for keep-alive/pipelined requests until close, error, or
+/// drain.
+fn serve_connection(mut stream: TcpStream, core: &Arc<WorkerCore>) {
+    let _ = stream.set_read_timeout(Some(core.config.read_timeout));
+    let _ = stream.set_write_timeout(Some(core.config.write_timeout));
     let _ = stream.set_nodelay(true);
-    let mut rb = RequestBuffer::new(state.config.max_header, state.config.max_body);
+    let mut rb = RequestBuffer::new(core.config.max_header, core.config.max_body);
     loop {
         // Drain every already-buffered request (pipelining) before the
         // next blocking read.
         loop {
             match rb.next_request() {
                 Ok(Some(req)) => {
-                    let draining = state.shutdown.load(Ordering::Acquire);
+                    let draining = core.is_draining();
                     let keep_alive = req.keep_alive && !draining;
-                    let bytes = process_request(&req, keep_alive, state);
+                    let (status, body) = core.handle(&req.method, &req.path, &req.body);
+                    let bytes =
+                        http::encode_response(status, "application/json", &body, keep_alive);
                     if stream.write_all(&bytes).is_err() {
                         return;
                     }
@@ -255,8 +229,8 @@ fn serve_connection(mut stream: TcpStream, state: &Arc<AppState>) {
                     ));
                     // Count the rejected request too, keeping the
                     // `total >= completed` invariant of `/v1/stats`.
-                    state.stats.requests.fetch_add(1, Ordering::Relaxed);
-                    state.stats.record(e.status(), Duration::from_micros(0));
+                    core.stats.requests.fetch_add(1, Ordering::Relaxed);
+                    core.stats.record(e.status(), Duration::from_micros(0));
                     return;
                 }
             }
@@ -267,68 +241,4 @@ fn serve_connection(mut stream: TcpStream, state: &Arc<AppState>) {
             Err(_) => return, // read timeout or reset: drop the connection
         }
     }
-}
-
-/// Runs the router, converting an escaped panic (a bug in the analysis
-/// engine on an adversarial input, or resource exhaustion inside a
-/// spawn) into a structured 500 instead of letting it unwind through the
-/// counters. Returns `cacheable = false` for the panic path: unlike a
-/// deterministic analysis error, a panic may be transient (thread/memory
-/// pressure), and a cached 500 would be replayed forever. Panic-poisoned
-/// state is not a concern: the engine works on request-local data, and
-/// the global memo cache is only ever an accelerator.
-fn route_guarded(req: &http::Request, state: &Arc<AppState>) -> (handlers::Reply, bool) {
-    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        handlers::route(&req.method, &req.path, &req.body, state)
-    })) {
-        Ok(reply) => (reply, true),
-        Err(_) => (
-            handlers::Reply {
-                status: 500,
-                body: Json::obj([(
-                    "error",
-                    Json::obj([
-                        ("kind", Json::from("internal")),
-                        ("message", Json::from("handler panicked; see server log")),
-                    ]),
-                )]),
-            },
-            false,
-        ),
-    }
-}
-
-/// Handles one parsed request, returning the encoded response bytes.
-fn process_request(req: &http::Request, keep_alive: bool, state: &Arc<AppState>) -> Vec<u8> {
-    state.stats.requests.fetch_add(1, Ordering::Relaxed);
-    state.stats.in_flight.fetch_add(1, Ordering::Relaxed);
-    let t0 = Instant::now();
-    let (status, body): (u16, Arc<Vec<u8>>) = if handlers::is_cacheable(&req.method, &req.path) {
-        let key = crate::dedup::canonical_request(&req.method, &req.path, &req.body);
-        match state.dedup.claim(&key) {
-            Claim::Cached(resp) => (resp.status, resp.body),
-            Claim::Leader(token) => {
-                let (reply, cacheable) = route_guarded(req, state);
-                let resp = CachedResponse {
-                    status: reply.status,
-                    body: Arc::new(reply.body.to_string().into_bytes()),
-                };
-                if cacheable {
-                    state.dedup.publish(token, resp.clone());
-                } else {
-                    // Dropping the token abandons leadership: a waiter
-                    // (or the next arrival) recomputes instead of
-                    // inheriting a possibly-transient failure.
-                    drop(token);
-                }
-                (resp.status, resp.body)
-            }
-        }
-    } else {
-        let (reply, _cacheable) = route_guarded(req, state);
-        (reply.status, Arc::new(reply.body.to_string().into_bytes()))
-    };
-    state.stats.record(status, t0.elapsed());
-    state.stats.in_flight.fetch_sub(1, Ordering::Relaxed);
-    http::encode_response(status, "application/json", &body, keep_alive)
 }

@@ -189,6 +189,7 @@ impl ServerStats {
                     ("hits", Json::from(dedup.hits)),
                     ("inflight_waits", Json::from(dedup.waits)),
                     ("misses", Json::from(dedup.misses)),
+                    ("warmed", Json::from(dedup.warmed)),
                     ("entries", Json::from(dedup.entries)),
                     (
                         "hit_rate",

@@ -1,0 +1,230 @@
+//! The request-handling core, decoupled from any listener.
+//!
+//! [`WorkerCore`] owns everything one analysis worker needs to answer a
+//! request — configuration, counters, the dedup layer, the drain flag —
+//! but holds no socket: canonical request bytes in, response bytes out.
+//! The TCP [`Server`](crate::Server) wraps one core behind an accept
+//! loop and the HTTP codec; the sharding router's `LocalTransport`
+//! dispatches into a core directly, skipping the loopback hop entirely.
+//! Both paths share this code, so a request is counted, deduplicated,
+//! and attributed identically whichever way it arrives.
+
+use crate::dedup::{CachedResponse, Claim, Dedup};
+use crate::stats::ServerStats;
+use crate::{handlers, ServerConfig};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+use tenet_core::json::Json;
+
+/// One worker's request-handling state: configuration, counters, dedup,
+/// and the drain flag. Shared by the accept loop, the connection
+/// workers, the handlers — and any in-process caller.
+pub struct WorkerCore {
+    /// Service configuration (immutable after construction).
+    pub config: ServerConfig,
+    /// Request/latency counters.
+    pub stats: ServerStats,
+    /// The response/in-flight dedup layer.
+    pub dedup: Arc<Dedup>,
+    /// Set to start a graceful drain (shutdown endpoint, handles).
+    pub shutdown: Arc<AtomicBool>,
+    /// Construction time, for uptime reporting.
+    pub started: Instant,
+    /// Connections admitted but not yet picked up (filled in by the
+    /// server; handlers read it for `/v1/stats`; stays 0 for a core
+    /// driven in-process, which has no backlog).
+    backlog: std::sync::OnceLock<Box<dyn Fn() -> usize + Send + Sync>>,
+}
+
+impl WorkerCore {
+    /// A fresh core. `config.addr` is ignored here — binding is the
+    /// [`Server`](crate::Server)'s job; a core used purely in-process
+    /// never touches a socket.
+    pub fn new(config: ServerConfig) -> Arc<WorkerCore> {
+        let dedup = Dedup::new(config.cache_capacity);
+        Arc::new(WorkerCore {
+            config,
+            stats: ServerStats::default(),
+            dedup,
+            shutdown: Arc::new(AtomicBool::new(false)),
+            started: Instant::now(),
+            backlog: std::sync::OnceLock::new(),
+        })
+    }
+
+    /// Jobs waiting for a worker right now (0 without a listener).
+    pub fn backlog(&self) -> usize {
+        self.backlog.get().map_or(0, |f| f())
+    }
+
+    /// Installs the live backlog probe (server bind time; first call
+    /// wins).
+    pub(crate) fn set_backlog_probe(&self, probe: Box<dyn Fn() -> usize + Send + Sync>) {
+        let _ = self.backlog.set(probe);
+    }
+
+    /// Whether a graceful drain has been requested.
+    pub fn is_draining(&self) -> bool {
+        self.shutdown.load(Ordering::Acquire)
+    }
+
+    /// Requests a graceful drain (idempotent). For a TCP-fronted core
+    /// the accept loop observes this and winds down; for an in-process
+    /// core it simply marks the worker dead to local dispatch.
+    pub fn drain(&self) {
+        self.shutdown.store(true, Ordering::Release);
+    }
+
+    /// Handles one parsed request end to end: counting, dedup, routing,
+    /// latency attribution. This is the worker's whole request path
+    /// minus HTTP framing — the body bytes in, the response status and
+    /// entity bytes out (`Arc` so cached answers are a pointer copy).
+    pub fn handle(
+        self: &Arc<WorkerCore>,
+        method: &str,
+        path: &str,
+        body: &[u8],
+    ) -> (u16, Arc<Vec<u8>>) {
+        self.handle_canonical(method, path, body, None)
+    }
+
+    /// [`handle`](WorkerCore::handle), but reusing a canonical form the
+    /// caller already computed (the sharding router canonicalizes every
+    /// request to pick an owner; recomputing it here would double the
+    /// JSON-normalization cost on the in-process dispatch path). `canon`
+    /// must be exactly `canonical_request(method, path, body)`.
+    pub fn handle_canonical(
+        self: &Arc<WorkerCore>,
+        method: &str,
+        path: &str,
+        body: &[u8],
+        canon: Option<&str>,
+    ) -> (u16, Arc<Vec<u8>>) {
+        // Attach the core's ISL counter handle for the duration of the
+        // request so `/v1/stats` attributes relational work to this
+        // worker exactly, on whichever thread the caller runs us.
+        let _attached = self.stats.isl_handle.attach();
+        self.stats.requests.fetch_add(1, Ordering::Relaxed);
+        self.stats.in_flight.fetch_add(1, Ordering::Relaxed);
+        let t0 = Instant::now();
+        let (status, bytes): (u16, Arc<Vec<u8>>) = if handlers::is_cacheable(method, path) {
+            let key = match canon {
+                Some(c) => std::borrow::Cow::Borrowed(c),
+                None => {
+                    std::borrow::Cow::Owned(crate::dedup::canonical_request(method, path, body))
+                }
+            };
+            match self.dedup.claim(&key) {
+                Claim::Cached(resp) => (resp.status, resp.body),
+                Claim::Leader(token) => {
+                    let (reply, cacheable) = self.route_guarded(method, path, body);
+                    let resp = CachedResponse {
+                        status: reply.status,
+                        body: Arc::new(reply.body.to_string().into_bytes()),
+                    };
+                    if cacheable {
+                        self.dedup.publish(token, resp.clone());
+                    } else {
+                        // Dropping the token abandons leadership: a
+                        // waiter (or the next arrival) recomputes instead
+                        // of inheriting a possibly-transient failure.
+                        drop(token);
+                    }
+                    (resp.status, resp.body)
+                }
+            }
+        } else {
+            let (reply, _cacheable) = self.route_guarded(method, path, body);
+            (reply.status, Arc::new(reply.body.to_string().into_bytes()))
+        };
+        self.stats.record(status, t0.elapsed());
+        self.stats.in_flight.fetch_sub(1, Ordering::Relaxed);
+        (status, bytes)
+    }
+
+    /// Runs the handler router, converting an escaped panic (a bug in
+    /// the analysis engine on an adversarial input, or resource
+    /// exhaustion inside a spawn) into a structured 500 instead of
+    /// letting it unwind through the counters. Returns `cacheable =
+    /// false` for the panic path: unlike a deterministic analysis error,
+    /// a panic may be transient (thread/memory pressure), and a cached
+    /// 500 would be replayed forever. Panic-poisoned state is not a
+    /// concern: the engine works on request-local data, and the global
+    /// memo cache is only ever an accelerator.
+    fn route_guarded(&self, method: &str, path: &str, body: &[u8]) -> (handlers::Reply, bool) {
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            handlers::route(method, path, body, self)
+        })) {
+            Ok(reply) => (reply, true),
+            Err(_) => (
+                handlers::Reply {
+                    status: 500,
+                    body: Json::obj([(
+                        "error",
+                        Json::obj([
+                            ("kind", Json::from("internal")),
+                            ("message", Json::from("handler panicked; see server log")),
+                        ]),
+                    )]),
+                },
+                false,
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn core() -> Arc<WorkerCore> {
+        WorkerCore::new(ServerConfig {
+            addr: "unused".into(),
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn core_answers_healthz_without_a_socket() {
+        let core = core();
+        let (status, body) = core.handle("GET", "/v1/healthz", b"");
+        assert_eq!(status, 200);
+        let v = Json::parse(std::str::from_utf8(&body).unwrap()).unwrap();
+        assert_eq!(v.get("status").and_then(Json::as_str), Some("ok"));
+    }
+
+    #[test]
+    fn repeated_analyze_is_a_pointer_copy_of_the_first_answer() {
+        let core = core();
+        let body = Json::obj([(
+            "problem",
+            Json::from(
+                "for (i = 0; i < 2; i++)\n  for (j = 0; j < 2; j++)\n    S: Y[i] += A[i][j];\n\n\
+                 { S[i,j] -> (PE[i] | T[j]) }\n\n\
+                 arch \"t\" { array = [2] interconnect = systolic1d bandwidth = 4 }\n",
+            ),
+        )])
+        .to_string();
+        let (s1, b1) = core.handle("POST", "/v1/analyze", body.as_bytes());
+        assert_eq!(s1, 200, "{}", String::from_utf8_lossy(&b1));
+        let (s2, b2) = core.handle("POST", "/v1/analyze", body.as_bytes());
+        assert_eq!(s2, 200);
+        assert!(Arc::ptr_eq(&b1, &b2), "repeat must share the cached bytes");
+        let d = core.dedup.stats();
+        assert_eq!((d.misses, d.hits), (1, 1));
+        // Both requests counted and bucketed.
+        assert_eq!(core.stats.completed.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn drain_is_observable_and_idempotent() {
+        let core = core();
+        assert!(!core.is_draining());
+        let (status, _) = core.handle("POST", "/v1/shutdown", b"");
+        assert_eq!(status, 200);
+        assert!(core.is_draining());
+        core.drain();
+        assert!(core.is_draining());
+    }
+}
