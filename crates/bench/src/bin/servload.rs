@@ -29,13 +29,25 @@
 //! plus, in router mode, that more than one shard carried traffic and
 //! that every loaded shard served warm dedup hits — exiting nonzero
 //! otherwise (and skips the artifact unless `--out` is given).
+//!
+//! Robustness knobs: `--deadline-ms N` stamps every data-path request
+//! with `X-Tenet-Deadline-Ms: N`, and `--fault-plan key=value[,...]`
+//! (repeatable, self-hosted `--router` only) wraps worker transports in
+//! seeded [`FaultTransport`]s — the chaos-smoke configuration. Each
+//! phase records its `failures` (deadline-clipped 504s, admission 429s,
+//! explicitly degraded partials) alongside the status classes; 504s are
+//! deliberately not 5xx for the smoke gate, since an honored deadline is
+//! the contract working.
 
 use std::io::Write as _;
 use std::net::TcpStream;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use tenet_core::json::Json;
-use tenet_router::{Router, RouterConfig, WorkerSpec};
+use tenet_router::{
+    FaultPlan, FaultTransport, HttpTransport, LocalTransport, Router, RouterConfig, Transport,
+    WorkerSpec,
+};
 use tenet_server::http::ResponseReader;
 use tenet_server::{Server, ServerConfig, WorkerCore};
 
@@ -98,6 +110,8 @@ struct Cli {
     out: Option<String>,
     smoke: bool,
     router: bool,
+    deadline_ms: Option<u64>,
+    fault_plans: Vec<FaultPlan>,
 }
 
 fn parse_cli() -> Result<Cli, String> {
@@ -108,6 +122,8 @@ fn parse_cli() -> Result<Cli, String> {
         out: None,
         smoke: false,
         router: false,
+        deadline_ms: None,
+        fault_plans: Vec::new(),
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -129,13 +145,47 @@ fn parse_cli() -> Result<Cli, String> {
             "--out" => cli.out = Some(args.next().ok_or("--out needs a path")?),
             "--smoke" => cli.smoke = true,
             "--router" => cli.router = true,
+            "--deadline-ms" => {
+                cli.deadline_ms = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&n| n >= 1)
+                        .ok_or("--deadline-ms needs a positive integer")?,
+                )
+            }
+            "--fault-plan" => {
+                let spec = args.next().ok_or("--fault-plan needs key=value[,...]")?;
+                cli.fault_plans.push(FaultPlan::parse(&spec)?);
+            }
             other if !other.starts_with("--") && cli.target.is_none() => {
                 cli.target = Some(other.to_string())
             }
             other => return Err(format!("unknown argument `{other}`")),
         }
     }
+    if !cli.fault_plans.is_empty() && cli.target.is_some() {
+        return Err(
+            "--fault-plan wraps self-hosted worker transports; it cannot reach an external target"
+                .into(),
+        );
+    }
+    if !cli.fault_plans.is_empty() && !cli.router {
+        return Err(
+            "--fault-plan needs --router (faults are injected at the router's transports)".into(),
+        );
+    }
     Ok(cli)
+}
+
+/// Wraps worker `i`'s transport in every fault plan that targets it
+/// (`worker=N` scoping, `None` = all workers). Wrapping composes.
+fn wrap_faults(mut inner: Box<dyn Transport>, i: usize, plans: &[FaultPlan]) -> Box<dyn Transport> {
+    for plan in plans {
+        if plan.only_worker.is_none_or(|w| w == i) {
+            inner = Box::new(FaultTransport::new(inner, plan.clone()));
+        }
+    }
+    inner
 }
 
 /// Normalizes `http://host:port/` or `host:port` to `host:port`.
@@ -147,13 +197,22 @@ fn normalize_addr(target: &str) -> String {
 }
 
 /// Sends one request on an open connection and reads the response.
+/// `deadline_ms` rides along as `X-Tenet-Deadline-Ms` on data-path
+/// shots (analyze/dse); operator probes are never deadlined.
 fn send(
     stream: &mut TcpStream,
     reader: &mut ResponseReader<TcpStream>,
     shot: &Shot,
+    deadline_ms: Option<u64>,
 ) -> std::io::Result<(u16, Vec<u8>)> {
+    let deadline = match deadline_ms {
+        Some(ms) if shot.path == "/v1/analyze" || shot.path == "/v1/dse" => {
+            format!("X-Tenet-Deadline-Ms: {ms}\r\n")
+        }
+        _ => String::new(),
+    };
     let head = format!(
-        "{} {} HTTP/1.1\r\nHost: servload\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n",
+        "{} {} HTTP/1.1\r\nHost: servload\r\nContent-Type: application/json\r\n{deadline}Content-Length: {}\r\n\r\n",
         shot.method,
         shot.path,
         shot.body.len()
@@ -180,7 +239,7 @@ fn fetch_stats(addr: &str) -> Option<Json> {
         path: "/v1/stats",
         body: String::new(),
     };
-    let (status, body) = send(&mut s, &mut r, &shot).ok()?;
+    let (status, body) = send(&mut s, &mut r, &shot, None).ok()?;
     if status != 200 {
         return None;
     }
@@ -189,13 +248,30 @@ fn fetch_stats(addr: &str) -> Option<Json> {
 
 struct ThreadResult {
     latencies_us: Vec<u64>,
-    by_class: [u64; 3], // 2xx, 4xx, 5xx/other
+    by_class: [u64; 4], // 2xx, 4xx, 5xx/other, 504-deadline
+    /// 504s: requests the deadline clipped entirely. Deliberately not a
+    /// 5xx for smoke purposes — an honored deadline is the contract
+    /// working, not the service failing.
+    deadline_exceeded: u64,
+    /// 429s: requests the router's admission control shed.
+    rejected_429: u64,
+    /// 200s whose body was an explicit partial (`"truncated":true`).
+    degraded: u64,
 }
 
-fn client_loop(addr: &str, shots: &[Shot], requests: usize, seed: usize) -> ThreadResult {
+fn client_loop(
+    addr: &str,
+    shots: &[Shot],
+    requests: usize,
+    seed: usize,
+    deadline_ms: Option<u64>,
+) -> ThreadResult {
     let mut result = ThreadResult {
         latencies_us: Vec::with_capacity(requests),
-        by_class: [0; 3],
+        by_class: [0; 4],
+        deadline_exceeded: 0,
+        rejected_429: 0,
+        degraded: 0,
     };
     let stats_probe = Shot {
         method: "GET",
@@ -219,14 +295,30 @@ fn client_loop(addr: &str, shots: &[Shot], requests: usize, seed: usize) -> Thre
             &shots[(seed + i) % shots.len()]
         };
         let t0 = Instant::now();
-        match send(&mut stream, &mut reader, shot) {
-            Ok((status, _body)) => {
+        match send(&mut stream, &mut reader, shot, deadline_ms) {
+            Ok((status, body)) => {
                 result
                     .latencies_us
                     .push(t0.elapsed().as_micros().min(u64::MAX as u128) as u64);
                 let class = match status {
-                    200..=299 => 0,
+                    200..=299 => {
+                        if body
+                            .windows(b"\"truncated\":true".len())
+                            .any(|w| w == b"\"truncated\":true")
+                        {
+                            result.degraded += 1;
+                        }
+                        0
+                    }
+                    429 => {
+                        result.rejected_429 += 1;
+                        1
+                    }
                     400..=499 => 1,
+                    504 => {
+                        result.deadline_exceeded += 1;
+                        3
+                    }
                     _ => 2,
                 };
                 result.by_class[class] += 1;
@@ -270,13 +362,16 @@ fn dedup_counts(stats: &Json) -> (u64, u64, u64) {
 type ShardRow = (u64, u64, u64, u64, u64);
 
 /// The shard rows of a router stats document; `None` for a plain worker
-/// target.
+/// target. Shards whose stats fetch failed (`stats: null` — a worker
+/// dark at snapshot time, e.g. mid-flap under a fault plan) are skipped:
+/// a zeroed row would fabricate a "served no hits" smoke failure.
 fn shard_counts(stats: &Json) -> Option<Vec<ShardRow>> {
     Some(
         stats
             .get("shards")?
             .as_arr()?
             .iter()
+            .filter(|s| matches!(s.get("stats"), Some(doc) if !matches!(doc, Json::Null)))
             .map(|s| {
                 let dedup = |k: &str| {
                     s.get("stats")
@@ -313,11 +408,12 @@ fn run_phase(label: &str, addr: &str, cli: &Cli, router_mode: bool) -> Phase {
     let shots = workload();
     // Warm-up: every distinct request once, so the measured phase sees
     // the steady state (dedup LRU and ISL memo populated) — the regime a
-    // long-running service lives in.
+    // long-running service lives in. Never deadlined: a clipped warm-up
+    // would leave caches cold and the measured phase unrepresentative.
     {
         let (mut s, mut r) = connect(addr).expect("warm-up connect");
         for shot in &shots {
-            let (status, body) = send(&mut s, &mut r, shot).expect("warm-up request");
+            let (status, body) = send(&mut s, &mut r, shot, None).expect("warm-up request");
             assert!(
                 status < 500,
                 "warm-up {} failed ({status}): {}",
@@ -334,7 +430,7 @@ fn run_phase(label: &str, addr: &str, cli: &Cli, router_mode: bool) -> Phase {
             .map(|t| {
                 let addr = addr.to_string();
                 let shots = &shots;
-                scope.spawn(move || client_loop(&addr, shots, cli.requests, t * 3))
+                scope.spawn(move || client_loop(&addr, shots, cli.requests, t * 3, cli.deadline_ms))
             })
             .collect();
         handles.into_iter().map(|h| h.join().unwrap()).collect()
@@ -347,14 +443,22 @@ fn run_phase(label: &str, addr: &str, cli: &Cli, router_mode: bool) -> Phase {
         .flat_map(|r| r.latencies_us.iter().copied())
         .collect();
     latencies.sort_unstable();
-    let (n_2xx, n_4xx, n_5xx) = results.iter().fold((0, 0, 0), |acc, r| {
+    let (n_2xx, n_4xx, n_5xx, n_504) = results.iter().fold((0, 0, 0, 0), |acc, r| {
         (
             acc.0 + r.by_class[0],
             acc.1 + r.by_class[1],
             acc.2 + r.by_class[2],
+            acc.3 + r.by_class[3],
         )
     });
-    let total = n_2xx + n_4xx + n_5xx;
+    let (deadline_exceeded, rejected_429, degraded) = results.iter().fold((0, 0, 0), |acc, r| {
+        (
+            acc.0 + r.deadline_exceeded,
+            acc.1 + r.rejected_429,
+            acc.2 + r.degraded,
+        )
+    });
+    let total = n_2xx + n_4xx + n_5xx + n_504;
     let throughput = total as f64 / wall.as_secs_f64();
     if before.is_none() || after.is_none() {
         eprintln!("servload: warning: a /v1/stats probe failed; dedup deltas are unreliable");
@@ -398,6 +502,15 @@ fn run_phase(label: &str, addr: &str, cli: &Cli, router_mode: bool) -> Phase {
                 ("s2xx", Json::from(n_2xx)),
                 ("s4xx", Json::from(n_4xx)),
                 ("s5xx", Json::from(n_5xx)),
+                ("s504", Json::from(n_504)),
+            ]),
+        ),
+        (
+            "failures".to_string(),
+            Json::obj([
+                ("deadline_exceeded", Json::from(deadline_exceeded)),
+                ("rejected_429", Json::from(rejected_429)),
+                ("degraded", Json::from(degraded)),
             ]),
         ),
         (
@@ -420,9 +533,12 @@ fn run_phase(label: &str, addr: &str, cli: &Cli, router_mode: bool) -> Phase {
         let b = before.as_ref().and_then(shard_counts).unwrap_or_default();
         let a = after.as_ref().and_then(shard_counts).unwrap_or_default();
         let mut rows = Vec::new();
-        for (i, &(worker, routed2, h2, w2, m2)) in a.iter().enumerate() {
+        for &(worker, routed2, h2, w2, m2) in &a {
+            // Snapshots are matched by worker id, not position: a shard
+            // with a failed stats fetch is absent from one snapshot.
             let (routed1, h1, w1, m1) = b
-                .get(i)
+                .iter()
+                .find(|&&(w, ..)| w == worker)
                 .map(|&(_, r, h, w, m)| (r, h, w, m))
                 .unwrap_or((0, 0, 0, 0));
             let routed = routed2.saturating_sub(routed1);
@@ -454,7 +570,8 @@ fn run_phase(label: &str, addr: &str, cli: &Cli, router_mode: bool) -> Phase {
 
     println!(
         "servload[{label}]: {total} requests in {:.1} ms -> {throughput:.0} req/s \
-         (p50 {} us, p99 {} us, 5xx {n_5xx}, dedup hit rate {dedup_rate:.4})",
+         (p50 {} us, p99 {} us, 5xx {n_5xx}, deadline {deadline_exceeded}, \
+         429 {rejected_429}, degraded {degraded}, dedup hit rate {dedup_rate:.4})",
         wall.as_secs_f64() * 1e3,
         quantile(&latencies, 0.50),
         quantile(&latencies, 0.99),
@@ -476,7 +593,8 @@ fn main() {
             eprintln!("servload: {e}");
             eprintln!(
                 "usage: servload [http://HOST:PORT] [--router] [--threads N] \
-                 [--requests N-per-thread] [--out FILE] [--smoke]"
+                 [--requests N-per-thread] [--deadline-ms MS] \
+                 [--fault-plan key=value[,...]] [--out FILE] [--smoke]"
             );
             std::process::exit(1);
         }
@@ -529,11 +647,29 @@ fn main() {
                         .expect("spawn worker")
                     })
                     .collect();
-                let router = Router::spawn(RouterConfig {
-                    workers: workers.iter().map(|w| w.addr().to_string()).collect(),
-                    ..router_config.clone()
-                })
-                .expect("spawn router");
+                let router = if cli.fault_plans.is_empty() {
+                    Router::spawn(RouterConfig {
+                        workers: workers.iter().map(|w| w.addr().to_string()).collect(),
+                        ..router_config.clone()
+                    })
+                    .expect("spawn router")
+                } else {
+                    // Fault plans wrap each worker's HTTP transport, so
+                    // the chaos applies to the real pooled wire path.
+                    let specs = workers
+                        .iter()
+                        .enumerate()
+                        .map(|(i, w)| {
+                            let http = Box::new(HttpTransport::new(
+                                w.addr(),
+                                router_config.upstream_connections,
+                            ));
+                            WorkerSpec::Custom(wrap_faults(http, i, &cli.fault_plans))
+                        })
+                        .collect();
+                    Router::spawn_with_workers(router_config.clone(), specs)
+                        .expect("spawn faulted router")
+                };
                 let addr = router.addr().to_string();
                 phases.push(("router_http", run_phase("router_http", &addr, &cli, true)));
                 let _ = router.shutdown_and_join();
@@ -554,7 +690,15 @@ fn main() {
                     .collect();
                 let specs = cores
                     .iter()
-                    .map(|c| WorkerSpec::Local(Arc::clone(c)))
+                    .enumerate()
+                    .map(|(i, c)| {
+                        if cli.fault_plans.is_empty() {
+                            WorkerSpec::Local(Arc::clone(c))
+                        } else {
+                            let local = Box::new(LocalTransport::new(Arc::clone(c)));
+                            WorkerSpec::Custom(wrap_faults(local, i, &cli.fault_plans))
+                        }
+                    })
                     .collect();
                 let router =
                     Router::spawn_with_workers(router_config, specs).expect("spawn local router");
@@ -648,8 +792,16 @@ fn main() {
         // Router smoke: in every router phase (HTTP and local alike),
         // the hash must actually shard (more than one worker loaded) and
         // every loaded shard must have served warm dedup hits — the
-        // property the sharded tier exists for.
-        for (label, phase) in phases.iter().filter(|(l, _)| l.starts_with("router")) {
+        // property the sharded tier exists for. Under a fault plan the
+        // spread gates don't hold by design: a flapping worker is off
+        // the ring for much of the run, concentrating keys on the
+        // survivors and recomputing them cold after each revival. The
+        // chaos gate is the zero-5xx assertion above.
+        let sharding_gates = cli.fault_plans.is_empty();
+        for (label, phase) in phases
+            .iter()
+            .filter(|(l, _)| sharding_gates && l.starts_with("router"))
+        {
             if phase.shards_loaded < 2 {
                 eprintln!(
                     "servload: SMOKE FAILED [{label}] only {} shard(s) carried traffic",

@@ -30,10 +30,12 @@ const VALUED: &[&str] = &[
     "transport",
     "replication",
     "hedge-ms",
+    "fault-plan",
+    "admission-rps",
 ];
 
 /// Valued keys that may be given more than once, accumulating values.
-const REPEATABLE: &[&str] = &["worker-addr"];
+const REPEATABLE: &[&str] = &["worker-addr", "fault-plan"];
 
 impl Args {
     /// Parses raw arguments (without the program name).

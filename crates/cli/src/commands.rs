@@ -61,7 +61,8 @@ USAGE:
   tenet serve    [--addr HOST:PORT] [--threads N]
   tenet route    [--addr HOST:PORT] [--workers N] [--transport local|http]
                  [--worker-addr HOST:PORT]... [--replication R]
-                 [--hedge-ms MS] [--threads N]
+                 [--hedge-ms MS] [--threads N] [--admission-rps N]
+                 [--fault-plan key=value[,...]]...
 
 A problem file holds a C-like kernel, zero or more dataflows in
 relation-centric notation, and optionally an `arch { ... }` block:
@@ -608,18 +609,45 @@ pub fn route(args: &Args) -> CmdResult {
         Some(ms) => config.hedge_after = std::time::Duration::from_millis(ms),
         None => {}
     }
+    if let Some(rps) = args
+        .option_as::<u64>("admission-rps")
+        .map_err(CmdError::usage)?
+    {
+        config.admission_rps = rps; // 0 = off (the default)
+    }
+    // Chaos drills: each --fault-plan wraps the in-process workers it
+    // targets (`worker=N` scoping; no `worker=` applies to all) in a
+    // seeded fault-injection transport. Plans wrap the spawned local
+    // cores, so they need the default local transport; external
+    // `--worker-addr` workers are never wrapped.
+    let fault_plans: Vec<tenet_router::FaultPlan> = args
+        .option_all("fault-plan")
+        .map(tenet_router::FaultPlan::parse)
+        .collect::<Result<_, _>>()
+        .map_err(CmdError::usage)?;
+    if !fault_plans.is_empty() && transport != "local" {
+        return Err(CmdError::usage(
+            "--fault-plan wraps in-process worker transports; it needs --transport local",
+        ));
+    }
     config.workers = external.clone();
 
     let mut specs = Vec::new();
     let mut spawned: Vec<tenet_server::SpawnedServer> = Vec::new();
     if transport == "local" {
-        for _ in 0..workers {
-            specs.push(tenet_router::WorkerSpec::Local(
-                tenet_server::WorkerCore::new(tenet_server::ServerConfig {
-                    addr: "in-process".into(),
-                    ..Default::default()
-                }),
-            ));
+        for i in 0..workers {
+            let core = tenet_server::WorkerCore::new(tenet_server::ServerConfig {
+                addr: "in-process".into(),
+                ..Default::default()
+            });
+            let mut t: Box<dyn tenet_router::Transport> =
+                Box::new(tenet_router::LocalTransport::new(core));
+            for plan in &fault_plans {
+                if plan.only_worker.is_none_or(|w| w == i) {
+                    t = Box::new(tenet_router::FaultTransport::new(t, plan.clone()));
+                }
+            }
+            specs.push(tenet_router::WorkerSpec::Custom(t));
         }
     } else {
         for _ in 0..workers {

@@ -44,8 +44,13 @@
 //! * [`upstream`] — [`upstream::HttpTransport`], pooled keep-alive
 //!   connections to a worker process.
 //! * [`merge`] — additive merge of per-worker `/v1/stats` documents.
-//! * [`router`] — accept loop, proxy path (hedging, replication
-//!   write-through), fan-outs, health prober, cascaded drain.
+//! * [`fault`] — [`fault::FaultTransport`], a seeded fault-injection
+//!   wrapper around any transport (latency spikes, drops, 5xx bursts,
+//!   torn responses, flap windows) for chaos tests and drills.
+//! * [`router`] — accept loop, proxy path (deadline propagation,
+//!   bounded jittered retries, per-shard circuit breakers, per-client
+//!   admission control, hedging, replication write-through), fan-outs,
+//!   health prober, cascaded drain.
 //!
 //! Like the worker, the router is loopback-oriented: no TLS, no
 //! authentication — anything beyond local deployment needs a
@@ -69,12 +74,14 @@
 
 #![warn(missing_docs)]
 
+pub mod fault;
 pub mod merge;
 pub mod ring;
 mod router;
 pub mod transport;
 pub mod upstream;
 
+pub use fault::{FaultPlan, FaultTransport};
 pub use router::{
     Router, RouterConfig, RouterHandle, RouterState, RouterStats, Shard, SpawnedRouter, WorkerSpec,
 };

@@ -106,6 +106,8 @@ pub fn merge_worker_stats(docs: &[Json]) -> Json {
         "status_4xx",
         "status_5xx",
         "rejected_busy",
+        "deadline_exceeded",
+        "degraded_responses",
         "backlog",
     ];
     let requests = Json::Obj(

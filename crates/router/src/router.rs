@@ -6,10 +6,10 @@ use crate::merge;
 use crate::ring::HashRing;
 use crate::transport::{ForwardError, LocalTransport, Transport};
 use crate::upstream::HttpTransport;
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::io::Write as _;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex, RwLock};
 use std::time::{Duration, Instant};
 use tenet_core::json::Json;
@@ -75,6 +75,23 @@ pub struct RouterConfig {
     /// synchronously on the caller's thread; there is no waiting to
     /// race).
     pub hedge_after: Duration,
+    /// Re-route attempts after the first failed dispatch of a proxied
+    /// request (transport failure or a retryable upstream `502`/`503`).
+    /// Retries back off with bounded decorrelated jitter and never sleep
+    /// past the request's deadline.
+    pub max_retries: usize,
+    /// Consecutive transport failures that trip a shard's circuit
+    /// breaker: the shard is evicted from the ring (the breaker's *open*
+    /// state) until a health probe succeeds (*half-open* → closed).
+    /// `u32::MAX` effectively disables the breaker — failures then evict
+    /// nothing and the retry budget alone decides the request's fate.
+    pub breaker_threshold: u32,
+    /// Per-client admission rate (requests/second, token bucket keyed on
+    /// `X-Tenet-Client` or the peer IP) applied to proxied data paths
+    /// before they reach the backlog. `0` disables admission control.
+    pub admission_rps: u64,
+    /// Token-bucket burst capacity; `0` means `2 × admission_rps`.
+    pub admission_burst: u64,
 }
 
 impl Default for RouterConfig {
@@ -97,6 +114,10 @@ impl Default for RouterConfig {
             health_interval: Duration::from_millis(250),
             replication: 2,
             hedge_after: Duration::from_millis(25),
+            max_retries: 2,
+            breaker_threshold: 2,
+            admission_rps: 0,
+            admission_burst: 0,
         }
     }
 }
@@ -130,6 +151,14 @@ pub struct RouterStats {
     pub hedges_won: AtomicU64,
     /// Replica cache entries written through (`POST /v1/warm` accepted).
     pub warm_writes: AtomicU64,
+    /// Circuit breakers tripped: a shard evicted because it failed
+    /// [`RouterConfig::breaker_threshold`] consecutive forwards.
+    pub breaker_trips: AtomicU64,
+    /// Requests answered `504` because their deadline expired at the
+    /// router (before or between dispatch attempts).
+    pub deadline_exceeded: AtomicU64,
+    /// Requests answered `429` by per-client admission control.
+    pub admission_rejects: AtomicU64,
 }
 
 impl RouterStats {
@@ -160,6 +189,14 @@ pub struct Shard {
     pub routed: AtomicU64,
     /// Forward attempts that failed at the transport layer.
     pub errors: AtomicU64,
+    /// The circuit breaker's failure streak: consecutive transport
+    /// failures with no intervening success. Reaching
+    /// [`RouterConfig::breaker_threshold`] trips the breaker (eviction).
+    consecutive_failures: AtomicU32,
+    /// Set when the worker acknowledged a drain (shutdown cascade); the
+    /// prober skips draining shards instead of burning probe sockets on
+    /// a worker that is leaving on purpose.
+    draining: AtomicBool,
 }
 
 impl Shard {
@@ -170,12 +207,19 @@ impl Shard {
             alive: AtomicBool::new(true),
             routed: AtomicU64::new(0),
             errors: AtomicU64::new(0),
+            consecutive_failures: AtomicU32::new(0),
+            draining: AtomicBool::new(false),
         }
     }
 
     /// Current liveness belief.
     pub fn is_alive(&self) -> bool {
         self.alive.load(Ordering::Acquire)
+    }
+
+    /// Whether this worker acknowledged a drain request.
+    pub fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::Acquire)
     }
 
     fn set_alive(&self, alive: bool) {
@@ -221,13 +265,16 @@ pub struct RouterState {
     /// present only while [`Router::run`] is live. Without it, hedging
     /// degrades to synchronous dispatch and replication is skipped.
     aux: Mutex<Option<WorkerPool<AuxJob>>>,
+    /// Per-client token buckets: `client key -> (tokens, last refill)`.
+    admission: Mutex<HashMap<String, (f64, Instant)>>,
 }
 
 impl RouterState {
     /// Evicts a worker from the ring (idempotent); keys it owned rehash
     /// to the survivors — onto the successor replica that already holds
-    /// their warm answers when replication is on.
-    fn mark_dead(&self, worker: usize) {
+    /// their warm answers when replication is on. Returns whether this
+    /// call performed the eviction (so a breaker trip is counted once).
+    fn mark_dead(&self, worker: usize) -> bool {
         let removed = {
             let mut ring = self.ring.write().expect("ring poisoned");
             ring.remove(worker)
@@ -237,18 +284,35 @@ impl RouterState {
             self.stats.rehashes.fetch_add(1, Ordering::Relaxed);
             self.warmed.write().expect("warmed poisoned").clear();
         }
+        removed
     }
 
-    /// Re-admits a worker after a successful probe (idempotent).
+    /// Re-admits a worker after a successful probe (idempotent). This is
+    /// the breaker's half-open → closed transition: the probe was the
+    /// trial request, so the failure streak resets.
     fn revive(&self, worker: usize) {
         let added = {
             let mut ring = self.ring.write().expect("ring poisoned");
             ring.add(worker)
         };
         if added {
-            self.shards[worker].set_alive(true);
+            let shard = &self.shards[worker];
+            shard.alive.store(true, Ordering::Release);
+            shard.consecutive_failures.store(0, Ordering::Relaxed);
             self.stats.revivals.fetch_add(1, Ordering::Relaxed);
             self.warmed.write().expect("warmed poisoned").clear();
+        }
+    }
+
+    /// Records one transport failure against a shard's breaker; at the
+    /// threshold the breaker trips: the shard is evicted (open) until a
+    /// probe revives it (half-open → closed).
+    fn note_failure(&self, worker: usize) {
+        let shard = &self.shards[worker];
+        shard.errors.fetch_add(1, Ordering::Relaxed);
+        let streak = shard.consecutive_failures.fetch_add(1, Ordering::Relaxed) + 1;
+        if streak >= self.config.breaker_threshold && self.mark_dead(worker) {
+            self.stats.breaker_trips.fetch_add(1, Ordering::Relaxed);
         }
     }
 
@@ -371,6 +435,7 @@ impl Router {
             started: Instant::now(),
             warmed: RwLock::new(HashSet::new()),
             aux: Mutex::new(None),
+            admission: Mutex::new(HashMap::new()),
         });
         Ok(Router {
             listener,
@@ -502,13 +567,21 @@ fn resolve_http(spec: &str, config: &RouterConfig) -> std::io::Result<HttpTransp
 /// Periodic worker liveness: a failed probe evicts (rehash), a
 /// successful probe of an evicted worker re-admits (the keys that
 /// rehashed away migrate back, restoring the original affinity).
+/// Draining shards are skipped — a worker that acknowledged a drain is
+/// leaving on purpose, and probing it wastes sockets. Each cycle's sleep
+/// carries ±20% deterministic jitter so a fleet of routers probing the
+/// same workers does not synchronize into probe bursts.
 fn health_loop(state: &Arc<RouterState>) {
     let interval = state.config.health_interval;
     let probe_timeout = interval.clamp(Duration::from_millis(100), Duration::from_secs(1));
+    let mut rng = 0x7e57_ab1e_5eed_c0de_u64;
     while !state.shutdown.load(Ordering::Acquire) {
         for shard in &state.shards {
             if state.shutdown.load(Ordering::Acquire) {
                 return;
+            }
+            if shard.is_draining() {
+                continue;
             }
             let on_ring = {
                 let ring = state.ring.read().expect("ring poisoned");
@@ -516,18 +589,31 @@ fn health_loop(state: &Arc<RouterState>) {
             };
             match (shard.transport.probe(probe_timeout), on_ring) {
                 (true, false) => state.revive(shard.index),
-                (false, true) => state.mark_dead(shard.index),
+                (false, true) => {
+                    state.mark_dead(shard.index);
+                }
                 _ => {}
             }
         }
         // Sleep in small slices so a drain is observed promptly.
+        rng = mix(rng);
+        let jittered = interval * (80 + (rng % 41) as u32) / 100;
         let mut slept = Duration::ZERO;
-        while slept < interval && !state.shutdown.load(Ordering::Acquire) {
-            let step = (interval - slept).min(Duration::from_millis(20));
+        while slept < jittered && !state.shutdown.load(Ordering::Acquire) {
+            let step = (jittered - slept).min(Duration::from_millis(20));
             std::thread::sleep(step);
             slept += step;
         }
     }
+}
+
+/// The splitmix64 finalizer: deterministic jitter and backoff draws
+/// without wall-clock entropy (reproducible under test).
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
 }
 
 fn error_body(kind: &str, message: impl Into<String>) -> Arc<Vec<u8>> {
@@ -548,11 +634,12 @@ fn error_body(kind: &str, message: impl Into<String>) -> Arc<Vec<u8>> {
 fn shed(mut stream: TcpStream, state: &Arc<RouterState>) {
     let _ = stream.set_write_timeout(Some(state.config.write_timeout));
     let body = error_body("busy", "router backlog full; retry later");
-    let _ = stream.write_all(&http::encode_response(
+    let _ = stream.write_all(&http::encode_response_with(
         503,
         "application/json",
         &body,
         false,
+        &[("Retry-After", "1".to_string())],
     ));
 }
 
@@ -564,6 +651,12 @@ fn serve_connection(mut stream: TcpStream, state: &Arc<RouterState>) {
     let _ = stream.set_read_timeout(Some(state.config.read_timeout));
     let _ = stream.set_write_timeout(Some(state.config.write_timeout));
     let _ = stream.set_nodelay(true);
+    // The admission fallback key when the client sends no
+    // `X-Tenet-Client`: one bucket per peer IP.
+    let peer = stream
+        .peer_addr()
+        .map(|a| a.ip().to_string())
+        .unwrap_or_else(|_| "unknown".into());
     let mut rb = RequestBuffer::new(state.config.max_header, state.config.max_body);
     loop {
         loop {
@@ -572,10 +665,25 @@ fn serve_connection(mut stream: TcpStream, state: &Arc<RouterState>) {
                     let draining = state.shutdown.load(Ordering::Acquire);
                     let keep_alive = req.keep_alive && !draining;
                     state.stats.requests.fetch_add(1, Ordering::Relaxed);
-                    let (status, body) = handle(&req, state);
+                    // The deadline is anchored at parse time: routing,
+                    // queueing, and compute debit it from here on.
+                    let deadline = req
+                        .deadline_ms
+                        .map(|ms| Instant::now() + Duration::from_millis(ms));
+                    let (status, body, retry_after) = handle(&req, state, &peer, deadline);
                     state.stats.record(status);
-                    let bytes =
-                        http::encode_response(status, "application/json", &body, keep_alive);
+                    let bytes = match retry_after {
+                        Some(secs) => http::encode_response_with(
+                            status,
+                            "application/json",
+                            &body,
+                            keep_alive,
+                            &[("Retry-After", secs.to_string())],
+                        ),
+                        None => {
+                            http::encode_response(status, "application/json", &body, keep_alive)
+                        }
+                    };
                     if stream.write_all(&bytes).is_err() {
                         return;
                     }
@@ -609,21 +717,85 @@ fn serve_connection(mut stream: TcpStream, state: &Arc<RouterState>) {
 }
 
 /// Routes one parsed request: local endpoints, fan-outs, or the sharded
-/// proxy path.
-fn handle(req: &http::Request, state: &Arc<RouterState>) -> (u16, Arc<Vec<u8>>) {
+/// proxy path. The third element of the return is an optional
+/// `Retry-After` value (seconds) for shed/throttle responses.
+fn handle(
+    req: &http::Request,
+    state: &Arc<RouterState>,
+    peer: &str,
+    deadline: Option<Instant>,
+) -> (u16, Arc<Vec<u8>>, Option<u64>) {
     match (req.method.as_str(), req.path.as_str()) {
-        ("GET", "/v1/healthz") => healthz(state),
-        ("GET", "/v1/stats") => stats_doc(state),
-        ("POST", "/v1/shutdown") => cascade_shutdown(state),
-        ("POST", "/v1/analyze" | "/v1/dse") => proxy(req, state),
+        ("GET", "/v1/healthz") => plain(healthz(state)),
+        ("GET", "/v1/stats") => plain(stats_doc(state)),
+        ("POST", "/v1/shutdown") => plain(cascade_shutdown(state)),
+        ("POST", "/v1/analyze" | "/v1/dse") => {
+            if let Some(secs) = admission_reject(req, state, peer) {
+                state
+                    .stats
+                    .admission_rejects
+                    .fetch_add(1, Ordering::Relaxed);
+                return (
+                    429,
+                    error_body("rate_limited", "per-client admission rate exceeded"),
+                    Some(secs),
+                );
+            }
+            proxy(req, state, deadline)
+        }
         ("GET" | "POST", _) => (
             404,
             error_body("not_found", format!("no route for {}", req.path)),
+            None,
         ),
         _ => (
             405,
             error_body("method_not_allowed", format!("method {}", req.method)),
+            None,
         ),
+    }
+}
+
+/// Adapts a plain `(status, body)` endpoint to [`handle`]'s triple.
+fn plain((status, body): (u16, Arc<Vec<u8>>)) -> (u16, Arc<Vec<u8>>, Option<u64>) {
+    (status, body, None)
+}
+
+/// Token-bucket admission on the proxied data paths, keyed on
+/// `X-Tenet-Client` (falling back to the peer IP). Returns
+/// `Some(retry_after_secs)` when the client is over its rate — the
+/// request is refused `429` *before* it can occupy a backlog slot, so a
+/// single bursting tenant throttles itself instead of pushing everyone
+/// else into `503`s. Disabled (always admits) when
+/// [`RouterConfig::admission_rps`] is `0`.
+fn admission_reject(req: &http::Request, state: &Arc<RouterState>, peer: &str) -> Option<u64> {
+    let rps = state.config.admission_rps;
+    if rps == 0 {
+        return None;
+    }
+    let burst = match state.config.admission_burst {
+        0 => rps.saturating_mul(2),
+        b => b,
+    }
+    .max(1) as f64;
+    let key = req.client.clone().unwrap_or_else(|| peer.to_string());
+    let now = Instant::now();
+    let mut buckets = state.admission.lock().expect("admission poisoned");
+    // Bound the map: a scan of spoofed client names must not grow it
+    // forever. Clearing refills every bucket — brief over-admission, no
+    // lost legitimate state.
+    if buckets.len() >= 4096 && !buckets.contains_key(&key) {
+        buckets.clear();
+    }
+    let (tokens, last) = buckets.entry(key).or_insert((burst, now));
+    *tokens = (*tokens + now.duration_since(*last).as_secs_f64() * rps as f64).min(burst);
+    *last = now;
+    if *tokens >= 1.0 {
+        *tokens -= 1.0;
+        None
+    } else {
+        let secs = ((1.0 - *tokens) / rps as f64).ceil() as u64;
+        Some(secs.max(1))
     }
 }
 
@@ -649,29 +821,62 @@ enum Dispatch {
     Reply(usize, u16, Arc<Vec<u8>>),
     /// The owner refused with backpressure; shed load, never evict.
     Busy,
-    /// These shards failed at the transport layer; evict and re-route.
+    /// These shards failed at the transport layer; count against their
+    /// breakers and re-route.
     Dead(Vec<usize>),
+    /// The request's deadline expired while waiting; answer `504`
+    /// without blaming (or evicting) any shard — a timeout is the
+    /// *request's* failure, not proof the worker is dead.
+    DeadlineExpired,
 }
 
 /// The sharded proxy path: consistent-hash the canonical request key,
 /// forward to the owning worker (hedging against the first replica when
-/// the primary is slow), and on transport failure evict + retry on the
-/// rehashed owner — which, with replication on, is exactly the successor
-/// replica already holding the key's warm answer. Re-sending is safe —
-/// analyses are pure functions of the request text, so a retry or a
-/// hedge can only recompute the same bytes. 5xx statuses *returned by a
-/// worker* are relayed untouched (a deterministic analysis failure is
-/// the answer, not a routing problem); a router-originated 5xx means an
-/// empty ring or shed load. Pool-slot exhaustion on the owning shard
-/// ([`ForwardError::Busy`]) is backpressure, answered `503 busy` without
-/// eviction: the shard is healthy, just saturated, and rehashing its
-/// keys would throw away its warm cache for nothing.
-fn proxy(req: &http::Request, state: &Arc<RouterState>) -> (u16, Arc<Vec<u8>>) {
+/// the primary is slow), and on transport failure count the shard's
+/// circuit breaker and retry — at the breaker threshold the shard is
+/// evicted, so the retry lands on the rehashed owner, which with
+/// replication on is exactly the successor replica already holding the
+/// key's warm answer. Re-sending is safe — analyses are pure functions
+/// of the request text, so a retry or a hedge can only recompute the
+/// same bytes. Retries are bounded ([`RouterConfig::max_retries`]) and
+/// back off with decorrelated jitter, never sleeping past the request's
+/// deadline; an expired deadline answers `504` between attempts without
+/// evicting anyone. Upstream `502`/`503` answers are treated as
+/// retryable soft failures (a transient shed or an injected burst) and
+/// relayed only when the retry budget is spent; other worker statuses —
+/// including `500`/`504` — are relayed untouched (a deterministic
+/// analysis failure or a worker-side deadline verdict *is* the answer).
+/// Pool-slot exhaustion on the owning shard ([`ForwardError::Busy`]) is
+/// backpressure, answered `503 busy` without eviction: the shard is
+/// healthy, just saturated, and rehashing its keys would throw away its
+/// warm cache for nothing.
+fn proxy(
+    req: &http::Request,
+    state: &Arc<RouterState>,
+    deadline: Option<Instant>,
+) -> (u16, Arc<Vec<u8>>, Option<u64>) {
     let canon = canonical_request(&req.method, &req.path, &req.body);
     let key = canonical_key(&canon);
     let replication = state.config.replication.max(1);
-    let mut attempts = 0usize;
+    let max_retries = state.config.max_retries;
+    let mut retries = 0usize;
+    let mut rng = key;
+    let mut backoff_us = 2_000u64;
     loop {
+        if expired(deadline) {
+            state
+                .stats
+                .deadline_exceeded
+                .fetch_add(1, Ordering::Relaxed);
+            return (
+                504,
+                error_body(
+                    "deadline_exceeded",
+                    "request deadline expired before a worker answered",
+                ),
+                None,
+            );
+        }
         let owners = {
             let ring = state.ring.read().expect("ring poisoned");
             ring.owners(key, replication)
@@ -680,23 +885,37 @@ fn proxy(req: &http::Request, state: &Arc<RouterState>) -> (u16, Arc<Vec<u8>>) {
             return (
                 503,
                 error_body("no_workers", "no live workers on the ring; retry later"),
+                Some(1),
             );
         };
         let hedging = owners.len() >= 2
             && state.config.hedge_after != Duration::MAX
             && state.shards[primary].transport.hedgeable();
         let outcome = if hedging {
-            hedged_call(state, &owners, req, &canon)
+            hedged_call(state, &owners, req, &canon, deadline)
         } else {
-            sync_call(state, primary, req, &canon)
+            sync_call(state, primary, req, &canon, deadline)
         };
         match outcome {
             Dispatch::Reply(winner, status, bytes) => {
+                state.shards[winner]
+                    .consecutive_failures
+                    .store(0, Ordering::Relaxed);
+                if matches!(status, 502 | 503) && retries < max_retries {
+                    // A soft upstream failure: back off and re-dispatch
+                    // (the shard answered, so its breaker is unharmed
+                    // and it keeps its keys).
+                    state.stats.retries.fetch_add(1, Ordering::Relaxed);
+                    retries += 1;
+                    backoff_sleep(&mut rng, &mut backoff_us, deadline);
+                    continue;
+                }
                 state.shards[winner].routed.fetch_add(1, Ordering::Relaxed);
                 if status == 200 {
                     maybe_replicate(state, &canon, key, &owners, winner, status, &bytes);
                 }
-                return (status, bytes);
+                let retry_after = matches!(status, 502 | 503).then_some(1);
+                return (status, bytes, retry_after);
             }
             Dispatch::Busy => {
                 state.stats.rejected_busy.fetch_add(1, Ordering::Relaxed);
@@ -706,23 +925,63 @@ fn proxy(req: &http::Request, state: &Arc<RouterState>) -> (u16, Arc<Vec<u8>>) {
                         "busy",
                         "owning shard's connection slots are busy; retry later",
                     ),
+                    Some(1),
+                );
+            }
+            Dispatch::DeadlineExpired => {
+                state
+                    .stats
+                    .deadline_exceeded
+                    .fetch_add(1, Ordering::Relaxed);
+                return (
+                    504,
+                    error_body(
+                        "deadline_exceeded",
+                        "request deadline expired while waiting for the owning shard",
+                    ),
+                    None,
                 );
             }
             Dispatch::Dead(failed) => {
                 for worker in failed {
-                    state.shards[worker].errors.fetch_add(1, Ordering::Relaxed);
-                    state.mark_dead(worker);
+                    state.note_failure(worker);
                 }
                 state.stats.retries.fetch_add(1, Ordering::Relaxed);
-                attempts += 1;
-                if attempts > state.shards.len() {
+                retries += 1;
+                if retries > max_retries {
                     return (
                         503,
-                        error_body("no_workers", "every worker failed this request"),
+                        error_body("no_workers", "retry budget exhausted; every attempt failed"),
+                        Some(1),
                     );
                 }
+                backoff_sleep(&mut rng, &mut backoff_us, deadline);
             }
         }
+    }
+}
+
+/// Whether a deadline has already passed.
+fn expired(deadline: Option<Instant>) -> bool {
+    deadline.is_some_and(|d| Instant::now() >= d)
+}
+
+/// One decorrelated-jitter backoff sleep: uniformly drawn from
+/// `[base, 3 × previous]`, capped at 50 ms, clamped to the remaining
+/// deadline. The draw is a deterministic function of the request key and
+/// the attempt number — reproducible, and de-synchronized across keys.
+fn backoff_sleep(rng: &mut u64, backoff_us: &mut u64, deadline: Option<Instant>) {
+    const BASE_US: u64 = 2_000;
+    const CAP_US: u64 = 50_000;
+    *rng = mix(*rng);
+    let hi = (*backoff_us).saturating_mul(3).clamp(BASE_US, CAP_US);
+    *backoff_us = BASE_US + *rng % (hi - BASE_US + 1);
+    let mut pause = Duration::from_micros(*backoff_us);
+    if let Some(dl) = deadline {
+        pause = pause.min(dl.saturating_duration_since(Instant::now()));
+    }
+    if !pause.is_zero() {
+        std::thread::sleep(pause);
     }
 }
 
@@ -735,17 +994,20 @@ fn sync_call(
     worker: usize,
     req: &http::Request,
     canon: &str,
+    deadline: Option<Instant>,
 ) -> Dispatch {
-    match state.shards[worker].transport.call_keyed(
+    match state.shards[worker].transport.call_with_deadline(
         &req.method,
         &req.path,
         &req.body,
         canon,
         state.config.upstream_read_timeout,
         state.config.write_timeout,
+        deadline,
     ) {
         Ok((status, bytes)) => Dispatch::Reply(worker, status, bytes),
         Err(ForwardError::Busy) => Dispatch::Busy,
+        Err(ForwardError::Transport(_)) if expired(deadline) => Dispatch::DeadlineExpired,
         Err(ForwardError::Transport(_)) => Dispatch::Dead(vec![worker]),
     }
 }
@@ -757,6 +1019,8 @@ fn submit_call(
     state: &Arc<RouterState>,
     worker: usize,
     req: &http::Request,
+    canon: &str,
+    deadline: Option<Instant>,
     tx: &mpsc::Sender<(usize, Result<(u16, Arc<Vec<u8>>), ForwardError>)>,
 ) -> bool {
     let shard = Arc::clone(&state.shards[worker]);
@@ -764,14 +1028,22 @@ fn submit_call(
     let method = req.method.clone();
     let path = req.path.clone();
     let body = req.body.clone();
+    let canon = canon.to_string();
     let read_timeout = state.config.upstream_read_timeout;
     let write_timeout = state.config.write_timeout;
     state.submit_aux(Box::new(move || {
-        let res = shard
-            .transport
-            .call(&method, &path, &body, read_timeout, write_timeout);
+        let res = shard.transport.call_with_deadline(
+            &method,
+            &path,
+            &body,
+            &canon,
+            read_timeout,
+            write_timeout,
+            deadline,
+        );
         // The receiver may be long gone (the hedge race was already
-        // decided); a loser's response is silently discarded here.
+        // decided, or the deadline expired); a loser's response is
+        // silently discarded here.
         let _ = tx.send((worker, res));
     }))
 }
@@ -787,20 +1059,36 @@ fn hedged_call(
     owners: &[usize],
     req: &http::Request,
     canon: &str,
+    deadline: Option<Instant>,
 ) -> Dispatch {
     let (tx, rx) = mpsc::channel();
-    if !submit_call(state, owners[0], req, &tx) {
+    if !submit_call(state, owners[0], req, canon, deadline, &tx) {
         // Helper pool saturated or absent: degrade to the plain
         // synchronous path — hedging is an optimization, not a
         // correctness requirement.
-        return sync_call(state, owners[0], req, canon);
+        return sync_call(state, owners[0], req, canon, deadline);
     }
     let mut pending = 1usize;
-    let mut first = match rx.recv_timeout(state.config.hedge_after) {
+    // The hedge timer never outlives the deadline: with less budget left
+    // than the hedge threshold, a second dispatch could not answer in
+    // time anyway — it would only duplicate doomed work.
+    let hedge_wait = match deadline {
+        Some(dl) => state
+            .config
+            .hedge_after
+            .min(dl.saturating_duration_since(Instant::now())),
+        None => state.config.hedge_after,
+    };
+    let mut first = match rx.recv_timeout(hedge_wait) {
         Ok(msg) => Some(msg),
         Err(_) => {
+            if expired(deadline) {
+                // Dropping the receiver discards the primary's eventual
+                // response without touching any hedge counters.
+                return Dispatch::DeadlineExpired;
+            }
             state.stats.hedges_fired.fetch_add(1, Ordering::Relaxed);
-            if submit_call(state, owners[1], req, &tx) {
+            if submit_call(state, owners[1], req, canon, deadline, &tx) {
                 pending += 1;
             }
             None
@@ -814,10 +1102,22 @@ fn hedged_call(
     while pending > 0 {
         let (worker, res) = match first.take() {
             Some(msg) => msg,
-            None => match rx.recv() {
-                Ok(msg) => msg,
-                Err(_) => break,
-            },
+            None => {
+                let received = match deadline {
+                    // The drain is bounded by the remaining budget: once
+                    // it runs out, the in-flight responses land in a
+                    // dropped receiver and are discarded.
+                    Some(dl) => rx
+                        .recv_timeout(dl.saturating_duration_since(Instant::now()))
+                        .map_err(|e| e == mpsc::RecvTimeoutError::Timeout),
+                    None => rx.recv().map_err(|_| false),
+                };
+                match received {
+                    Ok(msg) => msg,
+                    Err(true) => return Dispatch::DeadlineExpired,
+                    Err(false) => break,
+                }
+            }
         };
         pending -= 1;
         match res {
@@ -831,7 +1131,9 @@ fn hedged_call(
             Err(ForwardError::Transport(_)) => dead.push(worker),
         }
     }
-    if !dead.is_empty() {
+    if expired(deadline) {
+        Dispatch::DeadlineExpired
+    } else if !dead.is_empty() {
         Dispatch::Dead(dead)
     } else if busy {
         Dispatch::Busy
@@ -862,6 +1164,12 @@ fn maybe_replicate(
     let Ok(body_text) = std::str::from_utf8(bytes) else {
         return;
     };
+    // A degraded (deadline-truncated) answer is a timing accident, not a
+    // fact about the request — warm-replicating it would poison the
+    // replicas' caches for deadline-free repeats.
+    if body_text.contains("\"truncated\"") {
+        return;
+    }
     // Fast path: steady state is "already written through" — answer that
     // from a shared read lock so concurrent request threads never
     // serialize here.
@@ -920,7 +1228,8 @@ fn stats_doc(state: &Arc<RouterState>) -> (u16, Arc<Vec<u8>>) {
     let mut shards = Vec::with_capacity(state.shards.len());
     let mut docs = Vec::new();
     for shard in &state.shards {
-        let (doc, alive) = if shard.is_alive() {
+        let was_alive = shard.is_alive();
+        let (doc, alive) = if was_alive {
             match shard.transport.call(
                 "GET",
                 "/v1/stats",
@@ -945,7 +1254,24 @@ fn stats_doc(state: &Arc<RouterState>) -> (u16, Arc<Vec<u8>>) {
                 }
             }
         } else {
-            (None, false)
+            // Display-only best effort for an evicted shard (a flapping
+            // worker is often reachable between its dark windows): its
+            // last-known counters fill the row, but nothing revives it
+            // here — that is the prober's call — and its document stays
+            // out of the merge, which covers live shards only.
+            let doc = match shard.transport.call(
+                "GET",
+                "/v1/stats",
+                b"",
+                state.config.write_timeout,
+                state.config.write_timeout,
+            ) {
+                Ok((200, bytes)) => std::str::from_utf8(&bytes)
+                    .ok()
+                    .and_then(|t| Json::parse(t).ok()),
+                _ => None,
+            };
+            (doc, false)
         };
         shards.push(Json::obj([
             ("worker", Json::from(shard.index)),
@@ -956,8 +1282,10 @@ fn stats_doc(state: &Arc<RouterState>) -> (u16, Arc<Vec<u8>>) {
             ("errors", Json::from(shard.errors.load(Ordering::Relaxed))),
             ("stats", doc.clone().unwrap_or(Json::Null)),
         ]));
-        if let Some(d) = doc {
-            docs.push(d);
+        if was_alive {
+            if let Some(d) = doc {
+                docs.push(d);
+            }
         }
     }
     let merged = merge::merge_worker_stats(&docs);
@@ -983,11 +1311,29 @@ fn stats_doc(state: &Arc<RouterState>) -> (u16, Arc<Vec<u8>>) {
                         ("status_4xx", load(&s.status_4xx)),
                         ("status_5xx", load(&s.status_5xx)),
                         ("rejected_busy", load(&s.rejected_busy)),
+                        ("deadline_exceeded", load(&s.deadline_exceeded)),
                     ]),
                 ),
                 ("retries", load(&s.retries)),
                 ("rehashes", load(&s.rehashes)),
                 ("revivals", load(&s.revivals)),
+                (
+                    "breakers",
+                    Json::obj([
+                        (
+                            "threshold",
+                            Json::from(u64::from(state.config.breaker_threshold)),
+                        ),
+                        ("trips", load(&s.breaker_trips)),
+                    ]),
+                ),
+                (
+                    "admission",
+                    Json::obj([
+                        ("rps", Json::from(state.config.admission_rps)),
+                        ("rejects", load(&s.admission_rejects)),
+                    ]),
+                ),
                 (
                     "replication",
                     Json::obj([
@@ -1029,7 +1375,12 @@ fn cascade_shutdown(state: &Arc<RouterState>) -> (u16, Arc<Vec<u8>>) {
                 .transport
                 .send_control("POST", "/v1/shutdown", state.config.write_timeout)
             {
-                Ok((200, _)) => "draining",
+                Ok((200, _)) => {
+                    // Remember the ack so the prober stops probing a
+                    // worker that is leaving on purpose.
+                    shard.draining.store(true, Ordering::Release);
+                    "draining"
+                }
                 Ok(_) => "error",
                 Err(_) => "unreachable",
             };

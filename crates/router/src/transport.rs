@@ -15,7 +15,7 @@
 //! backpressure versus death — is carried by [`ForwardError`] for both.
 
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use tenet_server::WorkerCore;
 
 /// Why a [`Transport::call`] failed — the distinction drives the
@@ -74,6 +74,28 @@ pub trait Transport: Send + Sync {
         write_timeout: Duration,
     ) -> Result<(u16, Arc<Vec<u8>>), ForwardError> {
         self.call(method, path, body, read_timeout, write_timeout)
+    }
+
+    /// [`call_keyed`](Transport::call_keyed), plus the request's
+    /// remaining deadline. Implementations propagate it to the worker
+    /// (as `X-Tenet-Deadline-Ms` over a wire, directly in-process) and
+    /// clamp their own read timeouts to the remaining budget, so a
+    /// short-deadline request never waits out the full upstream timeout.
+    /// The default ignores the deadline — correct for transports (mocks,
+    /// wrappers) that answer faster than any plausible budget.
+    #[allow(clippy::too_many_arguments)]
+    fn call_with_deadline(
+        &self,
+        method: &str,
+        path: &str,
+        body: &[u8],
+        canon: &str,
+        read_timeout: Duration,
+        write_timeout: Duration,
+        deadline: Option<Instant>,
+    ) -> Result<(u16, Arc<Vec<u8>>), ForwardError> {
+        let _ = deadline;
+        self.call_keyed(method, path, body, canon, read_timeout, write_timeout)
     }
 
     /// One control message (`/v1/shutdown` cascades) that must get
@@ -166,6 +188,27 @@ impl Transport for LocalTransport {
             )));
         }
         Ok(self.core.handle_canonical(method, path, body, Some(canon)))
+    }
+
+    fn call_with_deadline(
+        &self,
+        method: &str,
+        path: &str,
+        body: &[u8],
+        canon: &str,
+        _read_timeout: Duration,
+        _write_timeout: Duration,
+        deadline: Option<Instant>,
+    ) -> Result<(u16, Arc<Vec<u8>>), ForwardError> {
+        if self.core.is_draining() {
+            return Err(ForwardError::Transport(std::io::Error::new(
+                std::io::ErrorKind::BrokenPipe,
+                "local worker drained",
+            )));
+        }
+        Ok(self
+            .core
+            .handle_with_deadline(method, path, body, Some(canon), deadline))
     }
 
     fn send_control(

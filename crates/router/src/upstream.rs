@@ -15,7 +15,7 @@ use crate::transport::{ForwardError, Transport};
 use std::io::Write as _;
 use std::net::{SocketAddr, TcpStream};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use tenet_server::http::ResponseReader;
 
 /// One pooled connection: the write half plus its buffered reader over a
@@ -143,9 +143,26 @@ impl HttpTransport {
         path: &str,
         body: &[u8],
     ) -> std::io::Result<(u16, Vec<u8>)> {
+        Self::send_on_with(conn, method, path, body, None)
+    }
+
+    /// [`send_on`](Self::send_on), optionally forwarding the remaining
+    /// deadline budget as `X-Tenet-Deadline-Ms` so the worker can degrade
+    /// instead of computing past it.
+    fn send_on_with(
+        conn: &mut Conn,
+        method: &str,
+        path: &str,
+        body: &[u8],
+        deadline_ms: Option<u64>,
+    ) -> std::io::Result<(u16, Vec<u8>)> {
+        let deadline_header = match deadline_ms {
+            Some(ms) => format!("X-Tenet-Deadline-Ms: {ms}\r\n"),
+            None => String::new(),
+        };
         let head = format!(
             "{method} {path} HTTP/1.1\r\nHost: tenet-router\r\nContent-Type: application/json\r\n\
-             Content-Length: {}\r\n\r\n",
+             {deadline_header}Content-Length: {}\r\n\r\n",
             body.len()
         );
         conn.stream.write_all(head.as_bytes())?;
@@ -166,6 +183,70 @@ impl HttpTransport {
         let mut conn = self.connect(timeout, timeout)?;
         Self::send_on(&mut conn, method, path, b"")
     }
+
+    /// The shared forwarding path behind [`Transport::call`] and
+    /// [`Transport::call_with_deadline`]: pooled keep-alive reuse with a
+    /// single fresh retry on a stale socket. With a deadline, the socket
+    /// read timeout is clamped to ~1.5× the remaining budget (a degraded
+    /// worker answer is still worth waiting slightly past expiry for —
+    /// it beats a torn connection) and the remaining budget rides along
+    /// as `X-Tenet-Deadline-Ms`.
+    fn call_impl(
+        &self,
+        method: &str,
+        path: &str,
+        body: &[u8],
+        read_timeout: Duration,
+        write_timeout: Duration,
+        deadline: Option<Instant>,
+    ) -> Result<(u16, Arc<Vec<u8>>), ForwardError> {
+        let (read_timeout, deadline_ms) = match deadline {
+            Some(dl) => {
+                let remaining = dl.saturating_duration_since(Instant::now());
+                let clamped = (remaining + remaining / 2 + Duration::from_millis(20))
+                    .min(read_timeout.max(Duration::from_millis(1)));
+                (
+                    clamped,
+                    Some(remaining.as_millis().min(u64::MAX as u128) as u64),
+                )
+            }
+            None => (read_timeout, None),
+        };
+        let (mut conn, was_pooled) = self.acquire(read_timeout, write_timeout, read_timeout)?;
+        // Pooled sockets keep the timeouts of the call that created
+        // them; re-arm for this call so a short-deadline fan-out is not
+        // silently governed by an earlier long-deadline proxy call.
+        let _ = conn.stream.set_read_timeout(Some(read_timeout));
+        let _ = conn.stream.set_write_timeout(Some(write_timeout));
+        let (conn, (status, bytes)) =
+            match Self::send_on_with(&mut conn, method, path, body, deadline_ms) {
+                Ok(reply) => (conn, reply),
+                Err(first_err) if was_pooled => {
+                    // Stale keep-alive; one fresh attempt before giving up.
+                    // The slot stays ours: the dead socket closes and the
+                    // fresh one takes its place in the accounting.
+                    drop(conn);
+                    let _ = first_err;
+                    let retried = self.connect(read_timeout, write_timeout).and_then(|mut c| {
+                        Self::send_on_with(&mut c, method, path, body, deadline_ms)
+                            .map(|reply| (c, reply))
+                    });
+                    match retried {
+                        Ok(pair) => pair,
+                        Err(e) => {
+                            self.release_slot();
+                            return Err(ForwardError::Transport(e));
+                        }
+                    }
+                }
+                Err(e) => {
+                    self.release_slot();
+                    return Err(ForwardError::Transport(e));
+                }
+            };
+        self.park(conn);
+        Ok((status, Arc::new(bytes)))
+    }
 }
 
 impl Transport for HttpTransport {
@@ -184,38 +265,20 @@ impl Transport for HttpTransport {
         read_timeout: Duration,
         write_timeout: Duration,
     ) -> Result<(u16, Arc<Vec<u8>>), ForwardError> {
-        let (mut conn, was_pooled) = self.acquire(read_timeout, write_timeout, read_timeout)?;
-        // Pooled sockets keep the timeouts of the call that created
-        // them; re-arm for this call so a short-deadline fan-out is not
-        // silently governed by an earlier long-deadline proxy call.
-        let _ = conn.stream.set_read_timeout(Some(read_timeout));
-        let _ = conn.stream.set_write_timeout(Some(write_timeout));
-        let (conn, (status, bytes)) = match Self::send_on(&mut conn, method, path, body) {
-            Ok(reply) => (conn, reply),
-            Err(first_err) if was_pooled => {
-                // Stale keep-alive; one fresh attempt before giving up.
-                // The slot stays ours: the dead socket closes and the
-                // fresh one takes its place in the accounting.
-                drop(conn);
-                let _ = first_err;
-                let retried = self.connect(read_timeout, write_timeout).and_then(|mut c| {
-                    Self::send_on(&mut c, method, path, body).map(|reply| (c, reply))
-                });
-                match retried {
-                    Ok(pair) => pair,
-                    Err(e) => {
-                        self.release_slot();
-                        return Err(ForwardError::Transport(e));
-                    }
-                }
-            }
-            Err(e) => {
-                self.release_slot();
-                return Err(ForwardError::Transport(e));
-            }
-        };
-        self.park(conn);
-        Ok((status, Arc::new(bytes)))
+        self.call_impl(method, path, body, read_timeout, write_timeout, None)
+    }
+
+    fn call_with_deadline(
+        &self,
+        method: &str,
+        path: &str,
+        body: &[u8],
+        _canon: &str,
+        read_timeout: Duration,
+        write_timeout: Duration,
+        deadline: Option<Instant>,
+    ) -> Result<(u16, Arc<Vec<u8>>), ForwardError> {
+        self.call_impl(method, path, body, read_timeout, write_timeout, deadline)
     }
 
     /// Control messages (`/v1/shutdown` cascades) go on a fresh unpooled

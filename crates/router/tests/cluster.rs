@@ -23,14 +23,17 @@
 //! * **framing parity** — chunked transfer encoding is 501 at the
 //!   router, exactly as at the worker.
 
-use std::io::Write;
+use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use tenet_core::json::Json;
 use tenet_router::ring::HashRing;
-use tenet_router::{ForwardError, Router, RouterConfig, SpawnedRouter, Transport, WorkerSpec};
+use tenet_router::{
+    FaultPlan, FaultTransport, ForwardError, LocalTransport, Router, RouterConfig, SpawnedRouter,
+    Transport, WorkerSpec,
+};
 use tenet_server::http::read_response;
 use tenet_server::{
     canonical_key, canonical_request, Server, ServerConfig, SpawnedServer, WorkerCore,
@@ -40,6 +43,20 @@ const GEMM_PROBLEM: &str = "\
 for (i = 0; i < 4; i++)
   for (j = 0; j < 4; j++)
     for (k = 0; k < 4; k++)
+      S: Y[i][j] += A[i][k] * B[k][j];
+
+{ S[i,j,k] -> (PE[i,j] | T[i + j + k]) }
+
+arch \"4x4\" { array = [4, 4] interconnect = systolic2d bandwidth = 8 }
+";
+
+/// A deliberately heavy kernel for the deadline test: big enough that a
+/// cold single-threaded DSE sweep takes far longer than the test's 25 ms
+/// deadline, so the clipped request provably never paid full latency.
+const DSE_SLOW_PROBLEM: &str = "\
+for (i = 0; i < 12; i++)
+  for (j = 0; j < 12; j++)
+    for (k = 0; k < 12; k++)
       S: Y[i][j] += A[i][k] * B[k][j];
 
 { S[i,j,k] -> (PE[i,j] | T[i + j + k]) }
@@ -142,6 +159,63 @@ fn post(addr: SocketAddr, path: &str, body: &str) -> (u16, Vec<u8>) {
     );
     s.write_all(req.as_bytes()).unwrap();
     read_response(&mut s).expect("read response")
+}
+
+/// [`post`] with extra request headers (deadline, client identity).
+fn post_with_headers(
+    addr: SocketAddr,
+    path: &str,
+    body: &str,
+    headers: &[(&str, &str)],
+) -> (u16, Vec<u8>) {
+    let mut s = TcpStream::connect(addr).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    let extra: String = headers
+        .iter()
+        .map(|(k, v)| format!("{k}: {v}\r\n"))
+        .collect();
+    let req = format!(
+        "POST {path} HTTP/1.1\r\nHost: t\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\n{extra}Connection: close\r\n\r\n{body}",
+        body.len()
+    );
+    s.write_all(req.as_bytes()).unwrap();
+    read_response(&mut s).expect("read response")
+}
+
+/// [`post_with_headers`] keeping the raw response head, so tests can
+/// assert on response headers (`Retry-After`) the body-only readers drop.
+fn post_raw(
+    addr: SocketAddr,
+    path: &str,
+    body: &str,
+    headers: &[(&str, &str)],
+) -> (u16, String, Vec<u8>) {
+    let mut s = TcpStream::connect(addr).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    let extra: String = headers
+        .iter()
+        .map(|(k, v)| format!("{k}: {v}\r\n"))
+        .collect();
+    let req = format!(
+        "POST {path} HTTP/1.1\r\nHost: t\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\n{extra}Connection: close\r\n\r\n{body}",
+        body.len()
+    );
+    s.write_all(req.as_bytes()).unwrap();
+    let mut raw = Vec::new();
+    s.read_to_end(&mut raw).expect("read raw response");
+    let split = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .expect("response head/body split");
+    let head = String::from_utf8_lossy(&raw[..split]).to_string();
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status line");
+    (status, head, raw[split + 4..].to_vec())
 }
 
 fn get(addr: SocketAddr, path: &str) -> (u16, Vec<u8>) {
@@ -937,4 +1011,418 @@ fn health_prober_evicts_and_revives() {
     let router_doc = stats.get("router").unwrap();
     assert!(router_doc.get("rehashes").and_then(Json::as_u64).unwrap() >= 1);
     assert!(router_doc.get("revivals").and_then(Json::as_u64).unwrap() >= 1);
+}
+
+/// Three in-process cores, each behind a seeded [`FaultTransport`]:
+/// worker 0 flaps (periodically entirely dark), workers 1–2 suffer
+/// random latency spikes. `tweak` adjusts the router config on top of
+/// the chaos defaults (fast prober, threads 2).
+fn chaos_cluster(
+    flap: FaultPlan,
+    spikes: Option<FaultPlan>,
+    tweak: impl FnOnce(&mut RouterConfig),
+) -> (SpawnedRouter, Vec<Arc<WorkerCore>>) {
+    let cores: Vec<Arc<WorkerCore>> = (0..3)
+        .map(|_| {
+            WorkerCore::new(ServerConfig {
+                addr: "in-process".into(),
+                ..Default::default()
+            })
+        })
+        .collect();
+    let specs: Vec<WorkerSpec> = cores
+        .iter()
+        .enumerate()
+        .map(|(i, core)| {
+            let local = Box::new(LocalTransport::new(Arc::clone(core)));
+            let plan = if i == 0 {
+                Some(flap.clone())
+            } else {
+                spikes.clone()
+            };
+            match plan {
+                Some(plan) => WorkerSpec::Custom(Box::new(FaultTransport::new(local, plan))),
+                None => WorkerSpec::Custom(local),
+            }
+        })
+        .collect();
+    let mut config = RouterConfig {
+        addr: "127.0.0.1:0".into(),
+        threads: 2,
+        health_interval: Duration::from_millis(20),
+        ..Default::default()
+    };
+    tweak(&mut config);
+    let router = Router::spawn_with_workers(config, specs).expect("spawn router");
+    (router, cores)
+}
+
+/// The flap plan both chaos tests share: worker 0 dark for the first 10
+/// of every 30 calls (probes included), i.e. a worker that dies and
+/// recovers over and over for the whole run.
+fn flap_plan() -> FaultPlan {
+    FaultPlan {
+        seed: 7,
+        flap_period: 30,
+        flap_down: 10,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn chaos_with_breakers_zero_5xx_and_bounded_p99() {
+    // The headline chaos proof: a seeded plan with a flapping worker and
+    // latency spikes, breakers + bounded retries on (max_retries raised
+    // to 4 so even a revive-mid-retry re-trip fits the budget), 512
+    // client requests — and the chaos must be entirely invisible: every
+    // answer a bit-identical 200, p99 bounded, breakers demonstrably
+    // doing the absorbing.
+    let spikes = FaultPlan {
+        seed: 11,
+        latency_per_mille: 100,
+        latency: Duration::from_millis(5),
+        ..Default::default()
+    };
+    let (router, _cores) = chaos_cluster(flap_plan(), Some(spikes), |c| c.max_retries = 4);
+    let addr = router.addr();
+
+    let keys: Vec<String> = (1..=16).map(analyze_body).collect();
+    let mut first: Vec<Option<Vec<u8>>> = vec![None; keys.len()];
+    let mut latencies: Vec<Duration> = Vec::new();
+    for round in 0..32 {
+        for (i, body) in keys.iter().enumerate() {
+            let t0 = Instant::now();
+            let (status, bytes) = post(addr, "/v1/analyze", body);
+            latencies.push(t0.elapsed());
+            assert_eq!(
+                status,
+                200,
+                "round {round} key {i}: chaos leaked to the client: {}",
+                String::from_utf8_lossy(&bytes)
+            );
+            match &first[i] {
+                None => first[i] = Some(bytes),
+                Some(expected) => assert_eq!(
+                    &bytes, expected,
+                    "round {round} key {i}: answers must stay bit-identical under chaos"
+                ),
+            }
+        }
+    }
+    latencies.sort();
+    let p99 = latencies[latencies.len() * 99 / 100];
+    assert!(
+        p99 < Duration::from_secs(1),
+        "p99 must stay bounded under chaos: {p99:?}"
+    );
+
+    let stats = router_stats(addr);
+    assert_eq!(
+        router_u64(&stats, &["requests", "status_5xx"]),
+        0,
+        "breakers + retries must absorb every injected fault: {stats}"
+    );
+    assert!(
+        router_u64(&stats, &["breakers", "trips"]) >= 1,
+        "the flapping worker must trip its breaker: {stats}"
+    );
+    assert!(
+        router_u64(&stats, &["retries"]) >= 1,
+        "failed dispatches must have been retried: {stats}"
+    );
+    assert!(
+        router_u64(&stats, &["revivals"]) >= 1,
+        "the prober must re-admit the flapping worker between windows: {stats}"
+    );
+    router.shutdown_and_join().expect("router drained");
+}
+
+#[test]
+fn chaos_without_breakers_leaks_5xx() {
+    // The control arm: the same flapping worker with the breaker disabled
+    // (threshold u32::MAX) and the prober off. Nothing ever takes the
+    // flapping shard off the ring, so every retry re-dials the same dark
+    // worker until the retry budget dies — a deterministic client-visible
+    // 5xx, quantifying exactly the damage the breaker absorbs above.
+    let (router, _cores) = chaos_cluster(flap_plan(), None, |c| {
+        c.breaker_threshold = u32::MAX;
+        c.health_interval = Duration::ZERO;
+    });
+    let addr = router.addr();
+    let vnodes = RouterConfig::default().vnodes;
+    let ring = {
+        let mut r = HashRing::new(vnodes);
+        for w in 0..3 {
+            r.add(w);
+        }
+        r
+    };
+    let owned_by = |shard: usize| -> String {
+        (1u64..1000)
+            .map(analyze_body)
+            .find(|b| {
+                let key = canonical_key(&canonical_request("POST", "/v1/analyze", b.as_bytes()));
+                ring.owner(key) == Some(shard)
+            })
+            .expect("some key must hash to the shard")
+    };
+
+    // Call indices 0, 1, 2 all fall in the flap-down window: the initial
+    // dispatch and both retries fail, and with the breaker off the ring
+    // never changes under the request.
+    let (status, bytes) = post(addr, "/v1/analyze", &owned_by(0));
+    assert_eq!(
+        status,
+        503,
+        "without a breaker the flap must reach the client: {}",
+        String::from_utf8_lossy(&bytes)
+    );
+    assert!(
+        String::from_utf8_lossy(&bytes).contains("retry budget exhausted"),
+        "the 503 must say the retries died: {}",
+        String::from_utf8_lossy(&bytes)
+    );
+
+    // Healthy shards are untouched collateral.
+    let (status, _) = post(addr, "/v1/analyze", &owned_by(1));
+    assert_eq!(status, 200);
+
+    let stats = router_stats(addr);
+    assert!(router_u64(&stats, &["requests", "status_5xx"]) >= 1);
+    assert!(
+        router_u64(&stats, &["retries"]) >= 2,
+        "the full retry budget must have been spent: {stats}"
+    );
+    assert_eq!(
+        router_u64(&stats, &["breakers", "trips"]),
+        0,
+        "a u32::MAX threshold must never trip: {stats}"
+    );
+    router.shutdown_and_join().expect("router drained");
+}
+
+#[test]
+fn deadline_propagates_end_to_end_and_degraded_answers_are_not_cached() {
+    // One real HTTP worker behind the router, so the deadline crosses the
+    // wire: client header → router debit → X-Tenet-Deadline-Ms forward →
+    // worker DSE chunking. `threads: 1` in the body keeps the sweep slow
+    // and the worker's chunk size minimal.
+    let cluster = Cluster::boot(1, Duration::ZERO);
+    let addr = cluster.addr();
+    let dse = Json::obj([
+        ("problem", Json::from(DSE_SLOW_PROBLEM)),
+        ("pe", Json::from(4u64)),
+        ("threads", Json::from(1u64)),
+        ("limit", Json::from(1u64)),
+    ])
+    .to_string();
+
+    // The deadline request goes FIRST (cold): if its degraded answer
+    // leaked into any cache, the full request below would return it.
+    let t0 = Instant::now();
+    let (status, bytes) =
+        post_with_headers(addr, "/v1/dse", &dse, &[("X-Tenet-Deadline-Ms", "25")]);
+    let clipped = t0.elapsed();
+    let text = String::from_utf8_lossy(&bytes).to_string();
+    let timed_out = status == 504 && text.contains("deadline_exceeded");
+    let truncated = status == 200 && text.contains("\"truncated\":true");
+    assert!(
+        timed_out || truncated,
+        "a 25 ms deadline must clip the sweep (504 or explicit partial), got {status}: {text}"
+    );
+
+    // Same body, no deadline: the full answer, computed from scratch.
+    let t1 = Instant::now();
+    let (status, bytes) = post(addr, "/v1/dse", &dse);
+    let full = t1.elapsed();
+    let text = String::from_utf8_lossy(&bytes).to_string();
+    assert_eq!(status, 200, "{text}");
+    assert!(
+        !text.contains("\"truncated\""),
+        "the degraded answer must never have been cached: {text}"
+    );
+    assert!(
+        full > Duration::from_millis(25),
+        "the sweep must be slower than the deadline for this test to prove anything: {full:?}"
+    );
+    assert!(
+        clipped < full,
+        "the clipped request must not have paid full latency: {clipped:?} vs {full:?}"
+    );
+    assert!(
+        clipped < Duration::from_secs(1),
+        "a 25 ms deadline must come back promptly: {clipped:?}"
+    );
+
+    // The expiry is attributed: either the worker clipped its own sweep
+    // (worker deadline_exceeded / degraded counters) or the router gave
+    // up waiting (router deadline_exceeded).
+    let stats = router_stats(addr);
+    let attributed = router_u64(&stats, &["requests", "deadline_exceeded"])
+        + merged_u64(&stats, &["requests", "deadline_exceeded"])
+        + merged_u64(&stats, &["requests", "degraded_responses"]);
+    assert!(attributed >= 1, "the expiry must surface in stats: {stats}");
+    // A deadline expiry is the request's failure, not the shard's: the
+    // worker must still be on the ring.
+    assert_eq!(
+        stats
+            .get("router")
+            .and_then(|r| r.get("alive_workers"))
+            .and_then(Json::as_u64),
+        Some(1),
+        "a deadline expiry must never evict the worker: {stats}"
+    );
+}
+
+#[test]
+fn hedge_timer_never_fires_past_the_deadline() {
+    // Satellite (c): the hedge threshold is 40 ms but the request's
+    // deadline is 20 ms — the deadline wins, the request 504s before the
+    // hedge timer fires, the replica is never dialed, and the abandoned
+    // primary's late answer changes nothing.
+    const HEDGE_AFTER: Duration = Duration::from_millis(40);
+    const SLOW: Duration = Duration::from_millis(800);
+    let slow = MockTransport::new("slow", SLOW, br#"{"from":"slow"}"#);
+    let fast = MockTransport::new("fast", Duration::from_millis(1), br#"{"from":"fast"}"#);
+    let config = RouterConfig {
+        addr: "127.0.0.1:0".into(),
+        threads: 2,
+        health_interval: Duration::ZERO,
+        hedge_after: HEDGE_AFTER,
+        ..Default::default()
+    };
+    let vnodes = config.vnodes;
+    let specs = vec![
+        WorkerSpec::Custom(Box::new(SharedMock(Arc::clone(&slow)))),
+        WorkerSpec::Custom(Box::new(SharedMock(Arc::clone(&fast)))),
+    ];
+    let router = Router::spawn_with_workers(config, specs).expect("spawn router");
+    let addr = router.addr();
+    let ring = {
+        let mut r = HashRing::new(vnodes);
+        r.add(0);
+        r.add(1);
+        r
+    };
+    let body = (1u64..1000)
+        .map(analyze_body)
+        .find(|b| {
+            let key = canonical_key(&canonical_request("POST", "/v1/analyze", b.as_bytes()));
+            ring.owner(key) == Some(0)
+        })
+        .expect("some key must hash to the slow shard");
+
+    let t0 = Instant::now();
+    let (status, bytes) =
+        post_with_headers(addr, "/v1/analyze", &body, &[("X-Tenet-Deadline-Ms", "20")]);
+    let elapsed = t0.elapsed();
+    assert_eq!(
+        status,
+        504,
+        "the deadline must clip the hedged wait: {}",
+        String::from_utf8_lossy(&bytes)
+    );
+    assert!(String::from_utf8_lossy(&bytes).contains("deadline_exceeded"));
+    assert!(
+        elapsed < HEDGE_AFTER + Duration::from_millis(200),
+        "the 504 must come near the deadline, not the hedge threshold or the slow worker: {elapsed:?}"
+    );
+    assert_eq!(
+        fast.analyze_calls.load(Ordering::SeqCst),
+        0,
+        "the hedge must never fire once the deadline expired"
+    );
+    assert_eq!(slow.analyze_calls.load(Ordering::SeqCst), 1);
+
+    // Let the abandoned primary finish: its late answer lands in a
+    // dropped channel and must not touch a single counter.
+    std::thread::sleep(SLOW);
+    let stats = router_stats(addr);
+    assert_eq!(router_u64(&stats, &["hedges", "fired"]), 0);
+    assert_eq!(router_u64(&stats, &["requests", "deadline_exceeded"]), 1);
+    let rows = shard_rows(&stats);
+    assert_eq!(
+        rows.iter().map(|r| r.2).sum::<u64>(),
+        0,
+        "an expired request is routed to nobody: {rows:?}"
+    );
+
+    // Without a deadline the same key hedges normally — the timer logic
+    // is intact, only clamped.
+    let (status, bytes) = post(addr, "/v1/analyze", &body);
+    assert_eq!(status, 200);
+    assert_eq!(bytes, br#"{"from":"fast"}"#.to_vec());
+    let stats = wait_for_stats(addr, "the hedge to fire", |s| {
+        router_u64(s, &["hedges", "fired"]) >= 1
+    });
+    assert_eq!(router_u64(&stats, &["hedges", "won"]), 1);
+    router.shutdown_and_join().expect("router drained");
+}
+
+#[test]
+fn admission_control_throttles_a_bursting_client() {
+    let core = WorkerCore::new(ServerConfig {
+        addr: "in-process".into(),
+        ..Default::default()
+    });
+    let config = RouterConfig {
+        addr: "127.0.0.1:0".into(),
+        threads: 2,
+        health_interval: Duration::ZERO,
+        admission_rps: 1,
+        ..Default::default()
+    };
+    let router =
+        Router::spawn_with_workers(config, vec![WorkerSpec::Local(core)]).expect("spawn router");
+    let addr = router.addr();
+    let body = analyze_body(1);
+
+    // A burst well past 1 rps (burst capacity 2× = 2): the first
+    // requests pass on burst tokens, the tail is shed with 429 +
+    // Retry-After before it can pile onto the workers.
+    let mut oks = 0;
+    let mut rejects = 0;
+    for _ in 0..6 {
+        let (status, head, bytes) = post_raw(addr, "/v1/analyze", &body, &[]);
+        match status {
+            200 => oks += 1,
+            429 => {
+                rejects += 1;
+                assert!(
+                    String::from_utf8_lossy(&bytes).contains("rate_limited"),
+                    "{}",
+                    String::from_utf8_lossy(&bytes)
+                );
+                assert!(
+                    head.to_ascii_lowercase().contains("retry-after:"),
+                    "a 429 must carry Retry-After: {head}"
+                );
+            }
+            other => panic!("unexpected status {other}"),
+        }
+    }
+    assert!(oks >= 2, "burst capacity must admit the first requests");
+    assert!(rejects >= 1, "the burst tail must be shed with 429");
+
+    // A different client identity gets its own bucket: the throttled
+    // tenant does not starve the well-behaved one.
+    let (status, _) = post_with_headers(
+        addr,
+        "/v1/analyze",
+        &body,
+        &[("X-Tenet-Client", "tenant-b")],
+    );
+    assert_eq!(status, 200, "per-client buckets must isolate tenants");
+
+    let stats = router_stats(addr);
+    assert!(
+        router_u64(&stats, &["admission", "rejects"]) >= 1,
+        "rejects must be counted: {stats}"
+    );
+    assert_eq!(
+        router_u64(&stats, &["requests", "status_5xx"]),
+        0,
+        "admission control sheds with 4xx, never 5xx: {stats}"
+    );
+    router.shutdown_and_join().expect("router drained");
 }

@@ -9,6 +9,7 @@ use crate::dedup::CachedResponse;
 use crate::worker::WorkerCore;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 use tenet_core::json::Json;
 use tenet_core::{export, presets, Analysis, AnalysisOptions, ArchSpec, Dataflow};
 use tenet_dse::{enumerate_all, explore_parallel, pareto};
@@ -21,11 +22,31 @@ pub struct Reply {
     pub status: u16,
     /// Entity body.
     pub body: Json,
+    /// Whether this is a deadline-degraded answer (a `504` or a
+    /// `"truncated": true` partial result). Degraded replies must never
+    /// enter the dedup cache: the same canonical request under a
+    /// generous deadline deserves the full answer, not a replay of a
+    /// timing accident.
+    pub degraded: bool,
 }
 
 impl Reply {
     fn ok(body: Json) -> Reply {
-        Reply { status: 200, body }
+        Reply {
+            status: 200,
+            body,
+            degraded: false,
+        }
+    }
+
+    /// A partial (truncated) 200 produced because the deadline expired
+    /// mid-computation.
+    fn degraded_ok(body: Json) -> Reply {
+        Reply {
+            status: 200,
+            body,
+            degraded: true,
+        }
     }
 
     fn error(status: u16, kind: &str, message: impl Into<String>) -> Reply {
@@ -38,7 +59,20 @@ impl Reply {
                     ("message", Json::from(message.into())),
                 ]),
             )]),
+            degraded: false,
         }
+    }
+
+    /// 504 — the request's deadline expired before any useful partial
+    /// result existed.
+    fn deadline_exceeded() -> Reply {
+        let mut reply = Reply::error(
+            504,
+            "deadline_exceeded",
+            "request deadline expired before the computation finished",
+        );
+        reply.degraded = true;
+        reply
     }
 
     /// 400 — the request itself is malformed (CLI exit codes 1/2).
@@ -54,8 +88,17 @@ impl Reply {
 }
 
 /// Routes one request. `body` is the raw request body; dedup happens in
-/// the connection layer, not here.
-pub fn route(method: &str, path: &str, body: &[u8], state: &WorkerCore) -> Reply {
+/// the connection layer, not here. `deadline` is the client's remaining
+/// time budget (from `X-Tenet-Deadline-Ms`, already debited for router
+/// time); the long-running endpoints check it between units of work and
+/// degrade instead of computing past it.
+pub fn route(
+    method: &str,
+    path: &str,
+    body: &[u8],
+    state: &WorkerCore,
+    deadline: Option<Instant>,
+) -> Reply {
     match (method, path) {
         ("GET", "/v1/healthz") => Reply::ok(Json::obj([("status", Json::from("ok"))])),
         ("GET", "/v1/stats") => Reply::ok(state.stats.to_json(
@@ -64,11 +107,11 @@ pub fn route(method: &str, path: &str, body: &[u8], state: &WorkerCore) -> Reply
             state.backlog(),
         )),
         ("POST", "/v1/analyze") => match decode_body(body) {
-            Ok(req) => analyze(&req, state),
+            Ok(req) => analyze(&req, state, deadline),
             Err(r) => *r,
         },
         ("POST", "/v1/dse") => match decode_body(body) {
-            Ok(req) => dse(&req, state),
+            Ok(req) => dse(&req, state, deadline),
             Err(r) => *r,
         },
         ("POST", "/v1/warm") => match decode_body(body) {
@@ -186,9 +229,32 @@ fn opt_u64(req: &Json, key: &str) -> Result<Option<u64>, Box<Reply>> {
     }
 }
 
+/// Combines the transport-level deadline with an optional `deadline_ms`
+/// body field (the earlier of the two wins). The body spelling exists so
+/// clients that cannot set headers still get deadline semantics.
+fn effective_deadline(
+    req: &Json,
+    deadline: Option<Instant>,
+) -> Result<Option<Instant>, Box<Reply>> {
+    match opt_u64(req, "deadline_ms")? {
+        None => Ok(deadline),
+        Some(ms) => {
+            let from_body = Instant::now() + Duration::from_millis(ms);
+            Ok(Some(match deadline {
+                Some(d) => d.min(from_body),
+                None => from_body,
+            }))
+        }
+    }
+}
+
+fn expired(deadline: Option<Instant>) -> bool {
+    deadline.is_some_and(|d| Instant::now() >= d)
+}
+
 /// `POST /v1/analyze` — one full performance report per selected
 /// dataflow.
-fn analyze(req: &Json, _state: &WorkerCore) -> Reply {
+fn analyze(req: &Json, _state: &WorkerCore, deadline: Option<Instant>) -> Reply {
     let problem = match load_problem(req) {
         Ok(p) => p,
         Err(r) => return *r,
@@ -226,8 +292,22 @@ fn analyze(req: &Json, _state: &WorkerCore) -> Reply {
         Ok(None) => problem.dataflows.iter().enumerate().collect(),
         Err(r) => return *r,
     };
+    let deadline = match effective_deadline(req, deadline) {
+        Ok(d) => d,
+        Err(r) => return *r,
+    };
     let mut reports = Vec::with_capacity(selected.len());
+    let mut truncated = false;
     for (idx, df) in selected {
+        // Check between dataflows: each analysis is an indivisible unit
+        // of ISL work, so this is the finest safe cancellation point.
+        if expired(deadline) {
+            if reports.is_empty() {
+                return Reply::deadline_exceeded();
+            }
+            truncated = true;
+            break;
+        }
         let report = Analysis::with_options(&problem.kernel, df, arch, opts.clone())
             .and_then(|a| a.report());
         match report {
@@ -241,11 +321,18 @@ fn analyze(req: &Json, _state: &WorkerCore) -> Reply {
             Err(e) => return Reply::analysis(format!("dataflow #{idx}: {e}")),
         }
     }
-    Reply::ok(Json::obj([
-        ("op", Json::from(problem.kernel.name())),
-        ("arch", Json::from(arch.name.as_str())),
-        ("reports", Json::Arr(reports)),
-    ]))
+    let mut body = vec![
+        ("op".to_string(), Json::from(problem.kernel.name())),
+        ("arch".to_string(), Json::from(arch.name.as_str())),
+        ("reports".to_string(), Json::Arr(reports)),
+    ];
+    if truncated {
+        // Appended only on the degraded path so complete responses stay
+        // byte-identical with deadline-free ones.
+        body.push(("truncated".to_string(), Json::from(true)));
+        return Reply::degraded_ok(Json::Obj(body));
+    }
+    Reply::ok(Json::Obj(body))
 }
 
 /// `POST /v1/warm` — replication write-through from the sharding router:
@@ -348,7 +435,7 @@ fn select_fields(point: Json, fields: &[String]) -> Json {
 /// `POST /v1/dse` — enumerate candidate dataflows under hardware
 /// constraints, evaluate them in parallel, return the ranked points and
 /// the latency/SBW Pareto frontier.
-fn dse(req: &Json, state: &WorkerCore) -> Reply {
+fn dse(req: &Json, state: &WorkerCore, deadline: Option<Instant>) -> Reply {
     let problem = match load_problem(req) {
         Ok(p) => p,
         Err(r) => return *r,
@@ -390,14 +477,49 @@ fn dse(req: &Json, state: &WorkerCore) -> Reply {
         Ok(None) => state.config.dse_thread_cap.min(4),
         Err(r) => return *r,
     };
+    let deadline = match effective_deadline(req, deadline) {
+        Ok(d) => d,
+        Err(r) => return *r,
+    };
+    if expired(deadline) {
+        return Reply::deadline_exceeded();
+    }
     let pe1d = arch.pe_count().min(i64::MAX as u128) as i64;
     let candidates = match enumerate_all(&problem.kernel, pe, pe1d) {
         Ok(c) => c,
         Err(e) => return Reply::analysis(format!("enumeration failed: {e}")),
     };
-    let points = match explore_parallel(&problem.kernel, arch, &candidates, threads) {
-        Ok(p) => p,
-        Err(e) => return Reply::analysis(format!("exploration failed: {e}")),
+    // With a deadline, the sweep runs in small chunks so expiry is
+    // observed between chunks: `explore_parallel` itself has no
+    // cancellation, so the chunk size bounds the overshoot past the
+    // deadline. Without one, a single call keeps the happy path
+    // identical to the deadline-free service.
+    let mut truncated = false;
+    let points = match deadline {
+        None => match explore_parallel(&problem.kernel, arch, &candidates, threads) {
+            Ok(p) => p,
+            Err(e) => return Reply::analysis(format!("exploration failed: {e}")),
+        },
+        Some(dl) => {
+            let chunk_size = (threads * 2).max(1);
+            let mut points = Vec::new();
+            let mut chunks_done = 0usize;
+            for chunk in candidates.chunks(chunk_size) {
+                if Instant::now() >= dl {
+                    truncated = true;
+                    break;
+                }
+                match explore_parallel(&problem.kernel, arch, chunk, threads) {
+                    Ok(mut p) => points.append(&mut p),
+                    Err(e) => return Reply::analysis(format!("exploration failed: {e}")),
+                }
+                chunks_done += 1;
+            }
+            if truncated && chunks_done == 0 {
+                return Reply::deadline_exceeded();
+            }
+            points
+        }
     };
     let frontier = pareto(&points);
     let project = |p: &tenet_dse::DesignPoint| match &fields {
@@ -405,22 +527,29 @@ fn dse(req: &Json, state: &WorkerCore) -> Reply {
         None => p.to_json(),
     };
     let (start, end) = page_bounds(points.len(), offset, limit);
-    Reply::ok(Json::obj([
-        ("op", Json::from(problem.kernel.name())),
-        ("arch", Json::from(arch.name.as_str())),
-        ("explored", Json::from(candidates.len())),
-        ("valid", Json::from(points.len())),
-        ("offset", Json::from(start)),
-        ("limit", Json::from(limit)),
+    let mut body = vec![
+        ("op".to_string(), Json::from(problem.kernel.name())),
+        ("arch".to_string(), Json::from(arch.name.as_str())),
+        ("explored".to_string(), Json::from(candidates.len())),
+        ("valid".to_string(), Json::from(points.len())),
+        ("offset".to_string(), Json::from(start)),
+        ("limit".to_string(), Json::from(limit)),
         (
-            "points",
+            "points".to_string(),
             Json::Arr(points[start..end].iter().map(project).collect()),
         ),
         (
-            "pareto",
+            "pareto".to_string(),
             Json::Arr(frontier.iter().map(|p| project(p)).collect()),
         ),
-    ]))
+    ];
+    if truncated {
+        // The partial frontier is explicitly marked; full responses stay
+        // byte-identical with the deadline-free encoding.
+        body.push(("truncated".to_string(), Json::from(true)));
+        return Reply::degraded_ok(Json::Obj(body));
+    }
+    Reply::ok(Json::Obj(body))
 }
 
 #[cfg(test)]

@@ -22,6 +22,14 @@ pub struct Request {
     pub body: Vec<u8>,
     /// Whether the client asked to keep the connection open.
     pub keep_alive: bool,
+    /// Remaining time budget from `X-Tenet-Deadline-Ms`, if the client
+    /// sent one (non-numeric values are ignored rather than rejected —
+    /// a garbled hint must not fail an otherwise well-formed request).
+    pub deadline_ms: Option<u64>,
+    /// Client identity from `X-Tenet-Client`, when present. The router
+    /// keys per-client admission control on this, falling back to the
+    /// peer IP.
+    pub client: Option<String>,
 }
 
 /// Protocol violations the connection loop turns into 4xx responses
@@ -130,6 +138,8 @@ impl RequestBuffer {
         let mut content_length: Option<usize> = None;
         // HTTP/1.1 defaults to keep-alive, 1.0 to close.
         let mut keep_alive = version == "HTTP/1.1";
+        let mut deadline_ms: Option<u64> = None;
+        let mut client: Option<String> = None;
         for line in lines {
             if line.is_empty() {
                 continue;
@@ -174,6 +184,12 @@ impl RequestBuffer {
                 } else if value.eq_ignore_ascii_case("keep-alive") {
                     keep_alive = true;
                 }
+            } else if name.eq_ignore_ascii_case("x-tenet-deadline-ms") {
+                if !value.is_empty() && value.bytes().all(|b| b.is_ascii_digit()) {
+                    deadline_ms = value.parse().ok();
+                }
+            } else if name.eq_ignore_ascii_case("x-tenet-client") && !value.is_empty() {
+                client = Some(value.to_string());
             }
         }
 
@@ -190,6 +206,8 @@ impl RequestBuffer {
             path: path.to_string(),
             body: self.buf[head_end..total].to_vec(),
             keep_alive,
+            deadline_ms,
+            client,
         };
         // Drop the consumed request; pipelined successors stay buffered.
         self.buf.drain(..total);
@@ -224,24 +242,46 @@ fn reason(status: u16) -> &'static str {
         404 => "Not Found",
         405 => "Method Not Allowed",
         413 => "Payload Too Large",
+        429 => "Too Many Requests",
         431 => "Request Header Fields Too Large",
         500 => "Internal Server Error",
         501 => "Not Implemented",
         503 => "Service Unavailable",
+        504 => "Gateway Timeout",
         _ => "Unknown",
     }
 }
 
 /// Encodes a complete response with `Content-Length` framing.
 pub fn encode_response(status: u16, content_type: &str, body: &[u8], keep_alive: bool) -> Vec<u8> {
-    let head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+    encode_response_with(status, content_type, body, keep_alive, &[])
+}
+
+/// [`encode_response`] with extra response headers — the shed and
+/// admission paths use this to attach `Retry-After` so well-behaved
+/// clients back off uniformly.
+pub fn encode_response_with(
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+    keep_alive: bool,
+    extra: &[(&str, String)],
+) -> Vec<u8> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
         status,
         reason(status),
         content_type,
         body.len(),
         if keep_alive { "keep-alive" } else { "close" },
     );
+    for (name, value) in extra {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
     let mut out = Vec::with_capacity(head.len() + body.len());
     out.extend_from_slice(head.as_bytes());
     out.extend_from_slice(body);
@@ -448,6 +488,44 @@ mod tests {
         assert!(!reqs[0].keep_alive);
         let (reqs, _) = parse_all(b"GET /a HTTP/1.0\r\nConnection: keep-alive\r\n\r\n");
         assert!(reqs[0].keep_alive);
+    }
+
+    #[test]
+    fn deadline_and_client_headers_parse_case_insensitively() {
+        let (reqs, err) = parse_all(
+            b"POST /v1/dse HTTP/1.1\r\nx-tenet-deadline-ms: 250\r\n\
+              X-Tenet-Client: tenant-a\r\nContent-Length: 2\r\n\r\n{}",
+        );
+        assert!(err.is_none());
+        assert_eq!(reqs[0].deadline_ms, Some(250));
+        assert_eq!(reqs[0].client.as_deref(), Some("tenant-a"));
+        // Garbled deadline hints are ignored, not fatal.
+        let (reqs, err) = parse_all(b"GET /a HTTP/1.1\r\nX-Tenet-Deadline-Ms: soon\r\n\r\n");
+        assert!(err.is_none());
+        assert_eq!(reqs[0].deadline_ms, None);
+    }
+
+    #[test]
+    fn extra_headers_are_emitted_before_the_blank_line() {
+        let bytes = encode_response_with(
+            429,
+            "application/json",
+            b"{}",
+            false,
+            &[("Retry-After", "2".to_string())],
+        );
+        let text = String::from_utf8(bytes).unwrap();
+        assert!(
+            text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"),
+            "{text}"
+        );
+        let head_end = text.find("\r\n\r\n").unwrap();
+        assert!(text[..head_end].contains("Retry-After: 2"), "{text}");
+        // 504 has a proper reason phrase too.
+        let bytes = encode_response(504, "application/json", b"{}", false);
+        assert!(String::from_utf8(bytes)
+            .unwrap()
+            .contains("504 Gateway Timeout"));
     }
 
     #[test]

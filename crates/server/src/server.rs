@@ -176,11 +176,12 @@ fn shed(mut stream: TcpStream, core: &Arc<WorkerCore>) {
         ]),
     )])
     .to_string();
-    let _ = stream.write_all(&http::encode_response(
+    let _ = stream.write_all(&http::encode_response_with(
         503,
         "application/json",
         body.as_bytes(),
         false,
+        &[("Retry-After", "1".to_string())],
     ));
 }
 
@@ -200,7 +201,19 @@ fn serve_connection(mut stream: TcpStream, core: &Arc<WorkerCore>) {
                 Ok(Some(req)) => {
                     let draining = core.is_draining();
                     let keep_alive = req.keep_alive && !draining;
-                    let (status, body) = core.handle(&req.method, &req.path, &req.body);
+                    // The deadline is anchored the moment the request is
+                    // fully parsed: queue/compute time debits it, network
+                    // transfer before this point does not.
+                    let deadline = req
+                        .deadline_ms
+                        .map(|ms| std::time::Instant::now() + Duration::from_millis(ms));
+                    let (status, body) = core.handle_with_deadline(
+                        &req.method,
+                        &req.path,
+                        &req.body,
+                        None,
+                        deadline,
+                    );
                     let bytes =
                         http::encode_response(status, "application/json", &body, keep_alive);
                     if stream.write_all(&bytes).is_err() {

@@ -45,6 +45,12 @@ pub struct ServerStats {
     pub status_5xx: AtomicU64,
     /// Connections shed with 503 because the worker backlog was full.
     pub rejected_busy: AtomicU64,
+    /// Requests answered `504` because their deadline expired before
+    /// any useful work completed.
+    pub deadline_exceeded: AtomicU64,
+    /// Requests answered with an explicitly degraded (truncated) result
+    /// because the deadline expired mid-computation.
+    pub degraded_responses: AtomicU64,
     /// Per-bucket request-latency counts (bounds in
     /// [`LATENCY_BUCKETS_US`]).
     pub latency_buckets: [AtomicU64; LATENCY_BUCKETS_US.len()],
@@ -65,6 +71,8 @@ impl Default for ServerStats {
             status_4xx: AtomicU64::new(0),
             status_5xx: AtomicU64::new(0),
             rejected_busy: AtomicU64::new(0),
+            deadline_exceeded: AtomicU64::new(0),
+            degraded_responses: AtomicU64::new(0),
             latency_buckets: std::array::from_fn(|_| AtomicU64::new(0)),
             isl_handle: CounterHandle::new(),
         }
@@ -171,6 +179,14 @@ impl ServerStats {
                     (
                         "rejected_busy",
                         Json::from(self.rejected_busy.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "deadline_exceeded",
+                        Json::from(self.deadline_exceeded.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "degraded_responses",
+                        Json::from(self.degraded_responses.load(Ordering::Relaxed)),
                     ),
                     ("backlog", Json::from(backlog)),
                 ]),

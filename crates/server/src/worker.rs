@@ -101,6 +101,23 @@ impl WorkerCore {
         body: &[u8],
         canon: Option<&str>,
     ) -> (u16, Arc<Vec<u8>>) {
+        self.handle_with_deadline(method, path, body, canon, None)
+    }
+
+    /// [`handle_canonical`](WorkerCore::handle_canonical), plus the
+    /// request's deadline. The handlers observe it between units of work
+    /// and answer `504` or an explicitly `"truncated"` partial result
+    /// instead of computing past it; degraded answers never enter the
+    /// dedup cache (the deadline is not part of the canonical key, so a
+    /// cached truncation would poison deadline-free repeats).
+    pub fn handle_with_deadline(
+        self: &Arc<WorkerCore>,
+        method: &str,
+        path: &str,
+        body: &[u8],
+        canon: Option<&str>,
+        deadline: Option<Instant>,
+    ) -> (u16, Arc<Vec<u8>>) {
         // Attach the core's ISL counter handle for the duration of the
         // request so `/v1/stats` attributes relational work to this
         // worker exactly, on whichever thread the caller runs us.
@@ -118,7 +135,7 @@ impl WorkerCore {
             match self.dedup.claim(&key) {
                 Claim::Cached(resp) => (resp.status, resp.body),
                 Claim::Leader(token) => {
-                    let (reply, cacheable) = self.route_guarded(method, path, body);
+                    let (reply, cacheable) = self.route_guarded(method, path, body, deadline);
                     let resp = CachedResponse {
                         status: reply.status,
                         body: Arc::new(reply.body.to_string().into_bytes()),
@@ -135,7 +152,7 @@ impl WorkerCore {
                 }
             }
         } else {
-            let (reply, _cacheable) = self.route_guarded(method, path, body);
+            let (reply, _cacheable) = self.route_guarded(method, path, body, deadline);
             (reply.status, Arc::new(reply.body.to_string().into_bytes()))
         };
         self.stats.record(status, t0.elapsed());
@@ -152,11 +169,29 @@ impl WorkerCore {
     /// 500 would be replayed forever. Panic-poisoned state is not a
     /// concern: the engine works on request-local data, and the global
     /// memo cache is only ever an accelerator.
-    fn route_guarded(&self, method: &str, path: &str, body: &[u8]) -> (handlers::Reply, bool) {
+    fn route_guarded(
+        &self,
+        method: &str,
+        path: &str,
+        body: &[u8],
+        deadline: Option<Instant>,
+    ) -> (handlers::Reply, bool) {
         match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            handlers::route(method, path, body, self)
+            handlers::route(method, path, body, self, deadline)
         })) {
-            Ok(reply) => (reply, true),
+            Ok(reply) => {
+                if reply.status == 504 {
+                    self.stats.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+                } else if reply.degraded {
+                    self.stats
+                        .degraded_responses
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+                // Degraded answers are timing accidents, not facts about
+                // the request — never cache them.
+                let cacheable = !reply.degraded;
+                (reply, cacheable)
+            }
             Err(_) => (
                 handlers::Reply {
                     status: 500,
@@ -167,6 +202,7 @@ impl WorkerCore {
                             ("message", Json::from("handler panicked; see server log")),
                         ]),
                     )]),
+                    degraded: false,
                 },
                 false,
             ),
