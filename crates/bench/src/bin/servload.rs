@@ -38,7 +38,14 @@
 //! explicitly degraded partials) alongside the status classes; 504s are
 //! deliberately not 5xx for the smoke gate, since an honored deadline is
 //! the contract working.
+//!
+//! `--trace` additionally harvests each response's
+//! `X-Tenet-Server-Timing` header and records the per-phase latency
+//! breakdown (queue, parse, dedup, compute, isl, serialize, …) as a
+//! `phases` object in the artifact — mean microseconds and sample count
+//! per phase, the attribution view next to the end-to-end quantiles.
 
+use std::collections::BTreeMap;
 use std::io::Write as _;
 use std::net::TcpStream;
 use std::sync::Arc;
@@ -48,7 +55,7 @@ use tenet_router::{
     FaultPlan, FaultTransport, HttpTransport, LocalTransport, Router, RouterConfig, Transport,
     WorkerSpec,
 };
-use tenet_server::http::ResponseReader;
+use tenet_server::http::{Headers, ResponseReader};
 use tenet_server::{Server, ServerConfig, WorkerCore};
 
 /// The gemm problem text the analyze variants are built from.
@@ -110,6 +117,7 @@ struct Cli {
     out: Option<String>,
     smoke: bool,
     router: bool,
+    trace: bool,
     deadline_ms: Option<u64>,
     fault_plans: Vec<FaultPlan>,
 }
@@ -122,6 +130,7 @@ fn parse_cli() -> Result<Cli, String> {
         out: None,
         smoke: false,
         router: false,
+        trace: false,
         deadline_ms: None,
         fault_plans: Vec::new(),
     };
@@ -145,6 +154,7 @@ fn parse_cli() -> Result<Cli, String> {
             "--out" => cli.out = Some(args.next().ok_or("--out needs a path")?),
             "--smoke" => cli.smoke = true,
             "--router" => cli.router = true,
+            "--trace" => cli.trace = true,
             "--deadline-ms" => {
                 cli.deadline_ms = Some(
                     args.next()
@@ -205,21 +215,67 @@ fn send(
     shot: &Shot,
     deadline_ms: Option<u64>,
 ) -> std::io::Result<(u16, Vec<u8>)> {
+    write_shot(stream, shot, deadline_ms, None)?;
+    reader.next_response()
+}
+
+/// Like [`send`] but opts the request into tracing (span recording is
+/// gated on a client-sent id) and returns the response headers, for
+/// runs that harvest the `X-Tenet-Server-Timing` phase breakdown.
+fn send_traced(
+    stream: &mut TcpStream,
+    reader: &mut ResponseReader<TcpStream>,
+    shot: &Shot,
+    deadline_ms: Option<u64>,
+    trace_id: u64,
+) -> std::io::Result<(u16, Headers, Vec<u8>)> {
+    write_shot(stream, shot, deadline_ms, Some(trace_id))?;
+    reader.next_response_with_headers()
+}
+
+fn write_shot(
+    stream: &mut TcpStream,
+    shot: &Shot,
+    deadline_ms: Option<u64>,
+    trace_id: Option<u64>,
+) -> std::io::Result<()> {
+    let data_path = shot.path == "/v1/analyze" || shot.path == "/v1/dse";
     let deadline = match deadline_ms {
-        Some(ms) if shot.path == "/v1/analyze" || shot.path == "/v1/dse" => {
-            format!("X-Tenet-Deadline-Ms: {ms}\r\n")
-        }
+        Some(ms) if data_path => format!("X-Tenet-Deadline-Ms: {ms}\r\n"),
+        _ => String::new(),
+    };
+    let trace = match trace_id {
+        Some(id) if data_path => format!("X-Tenet-Trace-Id: {id:x}\r\n"),
         _ => String::new(),
     };
     let head = format!(
-        "{} {} HTTP/1.1\r\nHost: servload\r\nContent-Type: application/json\r\n{deadline}Content-Length: {}\r\n\r\n",
+        "{} {} HTTP/1.1\r\nHost: servload\r\nContent-Type: application/json\r\n{deadline}{trace}Content-Length: {}\r\n\r\n",
         shot.method,
         shot.path,
         shot.body.len()
     );
     stream.write_all(head.as_bytes())?;
-    stream.write_all(shot.body.as_bytes())?;
-    reader.next_response()
+    stream.write_all(shot.body.as_bytes())
+}
+
+/// Folds one `Server-Timing` header value (`name;dur=<ms>,...`) into a
+/// per-phase `(total_ms, samples)` accumulator.
+fn accumulate_server_timing(value: &str, acc: &mut BTreeMap<String, (f64, u64)>) {
+    for entry in value.split(',') {
+        let mut parts = entry.trim().split(';');
+        let Some(name) = parts.next().filter(|n| !n.is_empty()) else {
+            continue;
+        };
+        for attr in parts {
+            if let Some(ms) = attr.trim().strip_prefix("dur=") {
+                if let Ok(ms) = ms.parse::<f64>() {
+                    let slot = acc.entry(name.to_string()).or_insert((0.0, 0));
+                    slot.0 += ms;
+                    slot.1 += 1;
+                }
+            }
+        }
+    }
 }
 
 /// Opens a keep-alive connection pair (write half + buffered read half).
@@ -257,6 +313,9 @@ struct ThreadResult {
     rejected_429: u64,
     /// 200s whose body was an explicit partial (`"truncated":true`).
     degraded: u64,
+    /// Per-phase `(total_ms, samples)` from `X-Tenet-Server-Timing`
+    /// headers; empty unless the run collects them (`--trace`).
+    phase_ms: BTreeMap<String, (f64, u64)>,
 }
 
 fn client_loop(
@@ -265,6 +324,7 @@ fn client_loop(
     requests: usize,
     seed: usize,
     deadline_ms: Option<u64>,
+    trace: bool,
 ) -> ThreadResult {
     let mut result = ThreadResult {
         latencies_us: Vec::with_capacity(requests),
@@ -272,6 +332,7 @@ fn client_loop(
         deadline_exceeded: 0,
         rejected_429: 0,
         degraded: 0,
+        phase_ms: BTreeMap::new(),
     };
     let stats_probe = Shot {
         method: "GET",
@@ -295,7 +356,24 @@ fn client_loop(
             &shots[(seed + i) % shots.len()]
         };
         let t0 = Instant::now();
-        match send(&mut stream, &mut reader, shot, deadline_ms) {
+        let outcome = if trace {
+            // A unique nonzero id per request (thread in the high bits);
+            // the server only records spans for requests that carry one.
+            let trace_id = ((seed as u64 + 1) << 32) | i as u64;
+            send_traced(&mut stream, &mut reader, shot, deadline_ms, trace_id).map(
+                |(status, headers, body)| {
+                    for (name, value) in &headers {
+                        if name == "x-tenet-server-timing" {
+                            accumulate_server_timing(value, &mut result.phase_ms);
+                        }
+                    }
+                    (status, body)
+                },
+            )
+        } else {
+            send(&mut stream, &mut reader, shot, deadline_ms)
+        };
+        match outcome {
             Ok((status, body)) => {
                 result
                     .latencies_us
@@ -430,7 +508,16 @@ fn run_phase(label: &str, addr: &str, cli: &Cli, router_mode: bool) -> Phase {
             .map(|t| {
                 let addr = addr.to_string();
                 let shots = &shots;
-                scope.spawn(move || client_loop(&addr, shots, cli.requests, t * 3, cli.deadline_ms))
+                scope.spawn(move || {
+                    client_loop(
+                        &addr,
+                        shots,
+                        cli.requests,
+                        t * 3,
+                        cli.deadline_ms,
+                        cli.trace,
+                    )
+                })
             })
             .collect();
         handles.into_iter().map(|h| h.join().unwrap()).collect()
@@ -559,6 +646,34 @@ fn run_phase(label: &str, addr: &str, cli: &Cli, router_mode: bool) -> Phase {
         }
         fields.push(("per_shard".to_string(), Json::Arr(rows)));
     }
+    // With --trace, fold every thread's Server-Timing samples into a
+    // per-phase mean: where a request's time actually went
+    // (queue / parse / dedup / compute / isl / serialize at the worker;
+    // queue / upstream / backoff / router at the router tier).
+    if cli.trace {
+        let mut acc: BTreeMap<String, (f64, u64)> = BTreeMap::new();
+        for r in &results {
+            for (name, (ms, n)) in &r.phase_ms {
+                let slot = acc.entry(name.clone()).or_insert((0.0, 0));
+                slot.0 += ms;
+                slot.1 += n;
+            }
+        }
+        let rows: Vec<(String, Json)> = acc
+            .into_iter()
+            .map(|(name, (ms, n))| {
+                let mean_us = if n == 0 { 0.0 } else { ms * 1e3 / n as f64 };
+                (
+                    name,
+                    Json::obj([
+                        ("mean_us", Json::from((mean_us * 10.0).round() / 10.0)),
+                        ("samples", Json::from(n)),
+                    ]),
+                )
+            })
+            .collect();
+        fields.push(("phases".to_string(), Json::Obj(rows)));
+    }
     fields.push((
         "mix".to_string(),
         Json::obj([
@@ -592,7 +707,7 @@ fn main() {
         Err(e) => {
             eprintln!("servload: {e}");
             eprintln!(
-                "usage: servload [http://HOST:PORT] [--router] [--threads N] \
+                "usage: servload [http://HOST:PORT] [--router] [--trace] [--threads N] \
                  [--requests N-per-thread] [--deadline-ms MS] \
                  [--fault-plan key=value[,...]] [--out FILE] [--smoke]"
             );

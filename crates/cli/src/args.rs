@@ -32,6 +32,8 @@ const VALUED: &[&str] = &[
     "hedge-ms",
     "fault-plan",
     "admission-rps",
+    "trace-buffer",
+    "slow-ms",
 ];
 
 /// Valued keys that may be given more than once, accumulating values.

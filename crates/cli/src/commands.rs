@@ -59,9 +59,11 @@ USAGE:
   tenet fmt      <problem.tenet>
   tenet demo     <gemm|conv2d|mttkrp|mmc|jacobi2d>
   tenet serve    [--addr HOST:PORT] [--threads N]
+                 [--trace-buffer N] [--slow-ms MS]
   tenet route    [--addr HOST:PORT] [--workers N] [--transport local|http]
                  [--worker-addr HOST:PORT]... [--replication R]
                  [--hedge-ms MS] [--threads N] [--admission-rps N]
+                 [--trace-buffer N] [--slow-ms MS]
                  [--fault-plan key=value[,...]]...
 
 A problem file holds a C-like kernel, zero or more dataflows in
@@ -523,6 +525,26 @@ pub fn demo(args: &Args) -> CmdResult {
     Ok(out)
 }
 
+/// Parses the shared observability knobs: `--trace-buffer N` (trace
+/// ring capacity, 0 disables tracing) and `--slow-ms MS` (threshold
+/// for the slow-request ring).
+fn trace_options(args: &Args) -> Result<(Option<usize>, Option<u64>), CmdError> {
+    let buffer = match args
+        .option_as::<usize>("trace-buffer")
+        .map_err(CmdError::usage)?
+    {
+        Some(n) if n <= 65536 => Some(n),
+        Some(n) => {
+            return Err(CmdError::usage(format!(
+                "--trace-buffer must be at most 65536, got {n}"
+            )))
+        }
+        None => None,
+    };
+    let slow = args.option_as::<u64>("slow-ms").map_err(CmdError::usage)?;
+    Ok((buffer, slow))
+}
+
 /// `tenet serve`: runs the HTTP/JSON analysis service until a graceful
 /// shutdown (`POST /v1/shutdown`) drains it.
 pub fn serve(args: &Args) -> CmdResult {
@@ -538,6 +560,13 @@ pub fn serve(args: &Args) -> CmdResult {
         Some(t) if t >= 1 => config.threads = t.min(256),
         Some(_) => return Err(CmdError::usage("--threads must be at least 1")),
         None => {}
+    }
+    let (buffer, slow) = trace_options(args)?;
+    if let Some(n) = buffer {
+        config.trace_buffer = n;
+    }
+    if let Some(ms) = slow {
+        config.slow_ms = ms;
     }
     let server = tenet_server::Server::bind(config)
         .map_err(|e| CmdError::input(format!("cannot bind: {e}")))?;
@@ -614,6 +643,13 @@ pub fn route(args: &Args) -> CmdResult {
         .map_err(CmdError::usage)?
     {
         config.admission_rps = rps; // 0 = off (the default)
+    }
+    let (buffer, slow) = trace_options(args)?;
+    if let Some(n) = buffer {
+        config.trace_buffer = n;
+    }
+    if let Some(ms) = slow {
+        config.slow_ms = ms;
     }
     // Chaos drills: each --fault-plan wraps the in-process workers it
     // targets (`worker=N` scoping; no `worker=` applies to all) in a

@@ -46,6 +46,7 @@ mod error;
 pub mod export;
 pub mod json;
 mod metrics;
+pub mod obs;
 mod op;
 mod validate;
 
@@ -66,4 +67,4 @@ pub use validate::{validate, ValidationReport};
 /// Exploration drivers use it to amortize relational work across
 /// candidates and to report hit rates.
 pub use tenet_isl::cache as isl_cache;
-pub use tenet_isl::{CacheStats, CounterHandle};
+pub use tenet_isl::{fast_path_stats, CacheStats, CountStats, CounterHandle};

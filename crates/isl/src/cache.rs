@@ -38,12 +38,13 @@
 
 use crate::map::Map;
 use crate::Result;
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
 
 /// Entry cap: the whole table is cleared when exceeded.
 const MAX_ENTRIES: usize = 1 << 17;
@@ -147,6 +148,13 @@ pub struct CounterHandle {
 struct HandleCounters {
     hits: AtomicU64,
     misses: AtomicU64,
+    /// Wall nanoseconds spent inside *cold* (missed) memo computations on
+    /// attached threads. Nested memoized ops only accrue at the outermost
+    /// compute, so the total never exceeds wall time.
+    cold_ns: AtomicU64,
+    /// Closed-form fast-path dispatches (`count_fast` family) taken on
+    /// attached threads.
+    fast: AtomicU64,
 }
 
 impl CounterHandle {
@@ -187,6 +195,19 @@ impl CounterHandle {
             h as f64 / (h + m) as f64
         }
     }
+
+    /// Wall nanoseconds spent in cold (missed) memo computations on
+    /// attached threads — the per-request "ISL cold time" the tracing
+    /// layer splits out of a request's compute phase.
+    pub fn cold_ns(&self) -> u64 {
+        self.inner.cold_ns.load(Ordering::Relaxed)
+    }
+
+    /// Closed-form counting fast-path dispatches taken on attached
+    /// threads (the per-request slice of [`crate::fast_path_stats`]).
+    pub fn fast_paths(&self) -> u64 {
+        self.inner.fast.load(Ordering::Relaxed)
+    }
 }
 
 /// Detaches a [`CounterHandle`] from the current thread on drop.
@@ -220,6 +241,55 @@ impl Drop for AttachGuard {
 /// logical run keeps exact attribution across its own threads.
 pub fn attached_handles() -> Vec<CounterHandle> {
     ATTACHED.with(|a| a.borrow().clone())
+}
+
+thread_local! {
+    /// Nesting depth of [`timed_compute`] on this thread: cold time is
+    /// accrued only at depth 0, so a missed op whose compute recursively
+    /// misses nested memoized ops is not double-counted.
+    static COLD_DEPTH: Cell<u32> = const { Cell::new(0) };
+}
+
+/// Runs a missed operation's `compute`, charging its wall time to every
+/// attached handle's cold-time counter. Free (one thread-local check)
+/// when no handle is attached.
+fn timed_compute<T>(compute: impl FnOnce() -> Result<T>) -> Result<T> {
+    if ATTACHED.with(|a| a.borrow().is_empty()) {
+        return compute();
+    }
+    struct Depth;
+    impl Drop for Depth {
+        fn drop(&mut self) {
+            COLD_DEPTH.with(|d| d.set(d.get() - 1));
+        }
+    }
+    let outermost = COLD_DEPTH.with(|d| {
+        let v = d.get();
+        d.set(v + 1);
+        v == 0
+    });
+    let _depth = Depth;
+    let t0 = outermost.then(Instant::now);
+    let result = compute();
+    if let Some(t0) = t0 {
+        let ns = t0.elapsed().as_nanos() as u64;
+        ATTACHED.with(|a| {
+            for h in a.borrow().iter() {
+                h.inner.cold_ns.fetch_add(ns, Ordering::Relaxed);
+            }
+        });
+    }
+    result
+}
+
+/// Bumps every attached handle's fast-path counter; called next to the
+/// global fast-path counters in the counting layer.
+pub(crate) fn note_fastpath() {
+    ATTACHED.with(|a| {
+        for h in a.borrow().iter() {
+            h.inner.fast.fetch_add(1, Ordering::Relaxed);
+        }
+    });
 }
 
 /// Bumps the global counters plus every handle attached to this thread.
@@ -454,7 +524,7 @@ pub(crate) fn memo_parse(
 ) -> Result<Map> {
     let c = ctx();
     if !c.enabled.load(Ordering::Relaxed) {
-        return compute();
+        return timed_compute(compute);
     }
     {
         let mut t = c.tables.lock().expect("isl cache poisoned");
@@ -468,7 +538,7 @@ pub(crate) fn memo_parse(
         }
         record(c, false);
     }
-    let m = compute()?;
+    let m = timed_compute(compute)?;
     let mut t = c.tables.lock().expect("isl cache poisoned");
     let table = if as_set {
         &mut t.parsed_set
@@ -495,7 +565,7 @@ pub(crate) fn memo_map(
     {
         return Ok((**m).clone());
     }
-    let result = compute()?;
+    let result = timed_compute(compute)?;
     if let Some(slot) = slot {
         store(op, &slot, extra, CachedVal::Map(Arc::new(result.clone())));
     }
@@ -517,7 +587,7 @@ pub(crate) fn memo_count(
     {
         return Ok(*n);
     }
-    let result = compute()?;
+    let result = timed_compute(compute)?;
     if let Some(slot) = slot {
         store(op, &slot, extra, CachedVal::Count(result));
     }
@@ -538,7 +608,7 @@ pub(crate) fn memo_bool(
     {
         return Ok(*v);
     }
-    let result = compute()?;
+    let result = timed_compute(compute)?;
     if let Some(slot) = slot {
         store(op, &slot, 0, CachedVal::Bool(result));
     }

@@ -943,6 +943,7 @@ fn count_fast(t: &Tableau, limit: Option<u128>, work: &mut u64) -> Result<Option
     if wide.is_empty() {
         let c = count_box(&bounds, limit)?;
         BOX_FAST.fetch_add(1, Ordering::Relaxed);
+        crate::cache::note_fastpath();
         return Ok(Some(c));
     }
     // Group the multi-variable rows by the linear expression they bound
@@ -1101,6 +1102,7 @@ fn count_fast(t: &Tableau, limit: Option<u128>, work: &mut u64) -> Result<Option
         if hs.iter().all(|&(_, _, a)| a.abs() == 1) {
             let factor = count_box(&box_bounds, limit)?;
             SLAB_FAST.fetch_add(1, Ordering::Relaxed);
+            crate::cache::note_fastpath();
             return Ok(Some(factor));
         }
         return Ok(None);
@@ -1137,6 +1139,7 @@ fn count_fast(t: &Tableau, limit: Option<u128>, work: &mut u64) -> Result<Option
     debug_assert!(upper >= lower);
     let inner = upper - lower;
     SLAB_FAST.fetch_add(1, Ordering::Relaxed);
+    crate::cache::note_fastpath();
     Ok(Some(factor.checked_mul(inner).ok_or(Error::Overflow)?))
 }
 
@@ -1446,6 +1449,7 @@ fn count_multi_slab(
         break;
     }
     MULTI_SLAB_FAST.fetch_add(1, Ordering::Relaxed);
+    crate::cache::note_fastpath();
     Ok(Some(factor.checked_mul(total).ok_or(Error::Overflow)?))
 }
 
@@ -1474,6 +1478,7 @@ fn count_rec(mut t: Tableau, limit: Option<u128>, work: &mut u64) -> Result<u128
         }
         if t.n < n_before {
             WINDOW_FAST.fetch_add(1, Ordering::Relaxed);
+            crate::cache::note_fastpath();
         }
         if t.n == 0 {
             return Ok(factor);

@@ -269,6 +269,37 @@ impl Transport for FaultTransport {
         )
     }
 
+    #[allow(clippy::too_many_arguments)]
+    fn call_traced(
+        &self,
+        method: &str,
+        path: &str,
+        body: &[u8],
+        canon: &str,
+        read_timeout: Duration,
+        write_timeout: Duration,
+        deadline: Option<Instant>,
+        trace_id: Option<u64>,
+    ) -> Result<(u16, Arc<Vec<u8>>), ForwardError> {
+        if Self::data_path(path) {
+            match self.gate() {
+                Injected::Pass => {}
+                Injected::Respond(status, bytes) => return Ok((status, bytes)),
+                Injected::Fail(e) => return Err(e),
+            }
+        }
+        self.inner.call_traced(
+            method,
+            path,
+            body,
+            canon,
+            read_timeout,
+            write_timeout,
+            deadline,
+            trace_id,
+        )
+    }
+
     fn send_control(
         &self,
         method: &str,

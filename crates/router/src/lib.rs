@@ -32,6 +32,9 @@
 //! | `POST /v1/analyze`, `POST /v1/dse` | proxied to the owning shard (hedged when slow); transport failure evicts + retries on the rehashed owner |
 //! | `GET /v1/healthz` | router liveness + live-worker count |
 //! | `GET /v1/stats` | fan-out: per-shard documents, the additive merge, router counters |
+//! | `GET /metrics` | Prometheus text: merged worker families + `tenet_router_*` counters |
+//! | `GET /v1/trace/<id>` | cross-tier span timeline: router record + live shards' records |
+//! | `GET /v1/trace/slow?ms=N` | the router's recent-slowest request timelines |
 //! | `POST /v1/shutdown` | cascaded drain: workers first, then the router |
 //!
 //! ## Layers

@@ -128,6 +128,24 @@ pub fn merge_worker_stats(docs: &[Json]) -> Json {
             })
             .collect(),
     );
+    // The exact latency sum is additive, so the merged mean is exact
+    // too; the bucket estimate and its error are recomputed from the
+    // merged histogram, mirroring each worker's own derivation.
+    let sum_us = sum(docs, &["latency", "sum_us"]);
+    let hist_total: u64 = hist.iter().map(|&(_, c)| c).sum();
+    let mean_us = if hist_total == 0 {
+        0.0
+    } else {
+        sum_us as f64 / hist_total as f64
+    };
+    let bounds: Vec<u64> = hist.iter().map(|&(le, _)| le.unwrap_or(u64::MAX)).collect();
+    let counts: Vec<u64> = hist.iter().map(|&(_, c)| c).collect();
+    let est_mean_us = tenet_server::stats::est_mean_from_buckets(&bounds, &counts);
+    let est_error = if mean_us == 0.0 {
+        0.0
+    } else {
+        (est_mean_us - mean_us) / mean_us
+    };
 
     let (dh, dw, dm) = (
         sum(docs, &["dedup", "hits"]),
@@ -148,6 +166,10 @@ pub fn merge_worker_stats(docs: &[Json]) -> Json {
             Json::obj([
                 ("p50_us", Json::from(quantile_us(&hist, 0.50))),
                 ("p99_us", Json::from(quantile_us(&hist, 0.99))),
+                ("sum_us", Json::from(sum_us)),
+                ("mean_us", Json::from(mean_us)),
+                ("est_mean_us", Json::from(est_mean_us)),
+                ("est_error", Json::from(est_error)),
                 ("histogram", histogram),
             ]),
         ),
@@ -170,6 +192,14 @@ pub fn merge_worker_stats(docs: &[Json]) -> Json {
                     ("hits", Json::from(ih)),
                     ("misses", Json::from(im)),
                     ("hit_rate", Json::from(rate(ih, ih + im))),
+                    (
+                        "cold_us",
+                        Json::from(sum(docs, &["isl_cache", "server", "cold_us"])),
+                    ),
+                    (
+                        "fast_paths",
+                        Json::from(sum(docs, &["isl_cache", "server", "fast_paths"])),
+                    ),
                 ]),
             )]),
         ),
@@ -196,6 +226,7 @@ mod tests {
                 Json::obj([
                     ("p50_us", Json::from(50u64)),
                     ("p99_us", Json::from(1000u64)),
+                    ("sum_us", Json::from(completed * 40)),
                     (
                         "histogram",
                         Json::Arr(vec![
@@ -251,6 +282,26 @@ mod tests {
             get(&merged, &["isl_cache", "process"]).is_none(),
             "shared process gauges must not be summed"
         );
+    }
+
+    #[test]
+    fn exact_latency_sum_merges_additively_and_means_recompute() {
+        let docs = vec![worker_doc(10, 8, 2, 9, 1), worker_doc(30, 24, 6, 28, 2)];
+        let merged = merge_worker_stats(&docs);
+        assert_eq!(get_u64(&merged, &["latency", "sum_us"]), 1_600);
+        let mean = get(&merged, &["latency", "mean_us"])
+            .and_then(Json::as_f64)
+            .unwrap();
+        assert!((mean - 40.0).abs() < 1e-9, "exact mean = sum/count, {mean}");
+        // Buckets: 37 within 50µs + 3 within 1000µs → estimate 121.25µs.
+        let est = get(&merged, &["latency", "est_mean_us"])
+            .and_then(Json::as_f64)
+            .unwrap();
+        assert!((est - 121.25).abs() < 1e-9, "{est}");
+        let err = get(&merged, &["latency", "est_error"])
+            .and_then(Json::as_f64)
+            .unwrap();
+        assert!((err - (121.25 - 40.0) / 40.0).abs() < 1e-9, "{err}");
     }
 
     #[test]

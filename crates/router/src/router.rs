@@ -13,6 +13,7 @@ use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex, RwLock};
 use std::time::{Duration, Instant};
 use tenet_core::json::Json;
+use tenet_core::obs::{self, EdgeTimings, PromBuf, Span, TraceRecord, TraceStore};
 use tenet_server::http::{self, RequestBuffer};
 use tenet_server::pool::{SubmitError, WorkerPool};
 use tenet_server::{canonical_key, canonical_request, WorkerCore};
@@ -92,6 +93,12 @@ pub struct RouterConfig {
     pub admission_rps: u64,
     /// Token-bucket burst capacity; `0` means `2 × admission_rps`.
     pub admission_burst: u64,
+    /// Capacity of the router's trace rings (recent + slow); `0`
+    /// disables router-tier request tracing entirely.
+    pub trace_buffer: usize,
+    /// Requests at or above this router-observed latency also enter the
+    /// slow-trace ring served by `GET /v1/trace/slow`.
+    pub slow_ms: u64,
 }
 
 impl Default for RouterConfig {
@@ -118,6 +125,8 @@ impl Default for RouterConfig {
             breaker_threshold: 2,
             admission_rps: 0,
             admission_burst: 0,
+            trace_buffer: 256,
+            slow_ms: 100,
         }
     }
 }
@@ -267,6 +276,8 @@ pub struct RouterState {
     aux: Mutex<Option<WorkerPool<AuxJob>>>,
     /// Per-client token buckets: `client key -> (tokens, last refill)`.
     admission: Mutex<HashMap<String, (f64, Instant)>>,
+    /// The router tier's trace rings, served by `GET /v1/trace/...`.
+    pub traces: TraceStore,
 }
 
 impl RouterState {
@@ -306,14 +317,18 @@ impl RouterState {
 
     /// Records one transport failure against a shard's breaker; at the
     /// threshold the breaker trips: the shard is evicted (open) until a
-    /// probe revives it (half-open → closed).
-    fn note_failure(&self, worker: usize) {
+    /// probe revives it (half-open → closed). Returns whether this call
+    /// tripped the breaker, so the proxy path can put a `breaker_trip`
+    /// event on the request's trace timeline.
+    fn note_failure(&self, worker: usize) -> bool {
         let shard = &self.shards[worker];
         shard.errors.fetch_add(1, Ordering::Relaxed);
         let streak = shard.consecutive_failures.fetch_add(1, Ordering::Relaxed) + 1;
         if streak >= self.config.breaker_threshold && self.mark_dead(worker) {
             self.stats.breaker_trips.fetch_add(1, Ordering::Relaxed);
+            return true;
         }
+        false
     }
 
     /// Live workers on the ring right now.
@@ -426,6 +441,7 @@ impl Router {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
+        let traces = TraceStore::new(config.trace_buffer, config.slow_ms.saturating_mul(1_000));
         let state = Arc::new(RouterState {
             config,
             shards,
@@ -436,6 +452,7 @@ impl Router {
             warmed: RwLock::new(HashSet::new()),
             aux: Mutex::new(None),
             admission: Mutex::new(HashMap::new()),
+            traces,
         });
         Ok(Router {
             listener,
@@ -513,7 +530,9 @@ impl Router {
             "tenet-route",
             state.config.threads,
             state.config.queue_capacity,
-            move |stream: TcpStream| serve_connection(stream, &pool_state),
+            move |(queued_at, stream): (Instant, TcpStream)| {
+                serve_connection(stream, queued_at, &pool_state)
+            },
         );
         let shutdown = Arc::clone(&state.shutdown);
         let outcome = loop {
@@ -523,9 +542,9 @@ impl Router {
             match self.listener.accept() {
                 Ok((stream, _peer)) => {
                     state.stats.connections.fetch_add(1, Ordering::Relaxed);
-                    match pool.try_submit(stream) {
+                    match pool.try_submit((Instant::now(), stream)) {
                         Ok(()) => {}
-                        Err((stream, SubmitError::Busy | SubmitError::ShuttingDown)) => {
+                        Err(((_, stream), SubmitError::Busy | SubmitError::ShuttingDown)) => {
                             state.stats.rejected_busy.fetch_add(1, Ordering::Relaxed);
                             shed(stream, &state);
                         }
@@ -616,6 +635,18 @@ fn mix(mut x: u64) -> u64 {
     x ^ (x >> 31)
 }
 
+/// A leading edge-phase span (queue wait, parse time) for the router's
+/// trace timeline.
+fn edge_span(name: &str, start_us: u64, dur_us: u64) -> Span {
+    Span {
+        name: name.into(),
+        start_us,
+        dur_us,
+        detail: String::new(),
+        phase: true,
+    }
+}
+
 fn error_body(kind: &str, message: impl Into<String>) -> Arc<Vec<u8>> {
     Arc::new(
         Json::obj([(
@@ -643,11 +674,26 @@ fn shed(mut stream: TcpStream, state: &Arc<RouterState>) {
     ));
 }
 
+/// Resolves a request's trace id at the router edge, mirroring the
+/// worker's policy: a client-sent id is accepted (a garbled one degrades
+/// to a fresh id), and header-less requests are not traced at all —
+/// span recording is opt-in per request, so the untraced hot path pays
+/// nothing (always-on recording measurably cost ~9% router throughput).
+fn resolve_trace_id(req: &http::Request) -> Option<u64> {
+    req.trace_id.as_deref().map(|text| {
+        obs::TraceId::parse(text)
+            .unwrap_or_else(obs::TraceId::generate)
+            .0
+    })
+}
+
 /// Serves one client connection: parse → handle/proxy → respond,
 /// repeating for keep-alive/pipelined requests until close, error, or
 /// drain. Mirrors the worker's connection loop so clients cannot tell a
-/// router from a single server.
-fn serve_connection(mut stream: TcpStream, state: &Arc<RouterState>) {
+/// router from a single server. `queued_at` is when the accept loop
+/// admitted the connection; the gap until the first parsed request is
+/// its traced queue phase.
+fn serve_connection(mut stream: TcpStream, queued_at: Instant, state: &Arc<RouterState>) {
     let _ = stream.set_read_timeout(Some(state.config.read_timeout));
     let _ = stream.set_write_timeout(Some(state.config.write_timeout));
     let _ = stream.set_nodelay(true);
@@ -658,9 +704,14 @@ fn serve_connection(mut stream: TcpStream, state: &Arc<RouterState>) {
         .map(|a| a.ip().to_string())
         .unwrap_or_else(|_| "unknown".into());
     let mut rb = RequestBuffer::new(state.config.max_header, state.config.max_body);
+    let mut queue_us = queued_at.elapsed().as_micros() as u64;
+    let mut parse_acc = Duration::ZERO;
     loop {
         loop {
-            match rb.next_request() {
+            let t_parse = Instant::now();
+            let parsed = rb.next_request();
+            parse_acc += t_parse.elapsed();
+            match parsed {
                 Ok(Some(req)) => {
                     let draining = state.shutdown.load(Ordering::Acquire);
                     let keep_alive = req.keep_alive && !draining;
@@ -670,19 +721,87 @@ fn serve_connection(mut stream: TcpStream, state: &Arc<RouterState>) {
                     let deadline = req
                         .deadline_ms
                         .map(|ms| Instant::now() + Duration::from_millis(ms));
-                    let (status, body, retry_after) = handle(&req, state, &peer, deadline);
+                    let edge = EdgeTimings {
+                        queue_us: std::mem::take(&mut queue_us),
+                        parse_us: parse_acc.as_micros() as u64,
+                    };
+                    parse_acc = Duration::ZERO;
+                    let trace_id = resolve_trace_id(&req);
+                    // Observability endpoints are never traced: scraping
+                    // metrics or fetching a trace must not spam the ring.
+                    let obs_path = req.method == "GET"
+                        && (req.path == "/metrics" || req.path.starts_with("/v1/trace/"));
+                    let tracing = !obs_path && trace_id.is_some() && state.traces.enabled();
+                    let scope = tracing.then(obs::begin);
+                    let t0 = Instant::now();
+                    let (status, body, retry_after) =
+                        handle(&req, state, &peer, deadline, trace_id);
                     state.stats.record(status);
-                    let bytes = match retry_after {
-                        Some(secs) => http::encode_response_with(
-                            status,
-                            "application/json",
-                            &body,
-                            keep_alive,
-                            &[("Retry-After", secs.to_string())],
-                        ),
-                        None => {
-                            http::encode_response(status, "application/json", &body, keep_alive)
+                    let record = match (scope, trace_id) {
+                        (Some(scope), Some(id)) => {
+                            let handled_us = t0.elapsed().as_micros() as u64;
+                            let mut spans = scope.finish();
+                            // Whatever the proxy path did not attribute to
+                            // upstream waits or backoff sleeps is the
+                            // router's own work (routing, framing).
+                            let attributed: u64 =
+                                spans.iter().filter(|s| s.phase).map(|s| s.dur_us).sum();
+                            let residual = handled_us.saturating_sub(attributed);
+                            if residual > 0 {
+                                spans.push(Span {
+                                    name: "router".into(),
+                                    start_us: 0,
+                                    dur_us: residual,
+                                    detail: String::new(),
+                                    phase: true,
+                                });
+                            }
+                            let off = edge.queue_us + edge.parse_us;
+                            if off > 0 {
+                                for s in &mut spans {
+                                    s.start_us += off;
+                                }
+                                if edge.parse_us > 0 {
+                                    spans.insert(
+                                        0,
+                                        edge_span("parse", edge.queue_us, edge.parse_us),
+                                    );
+                                }
+                                if edge.queue_us > 0 {
+                                    spans.insert(0, edge_span("queue", 0, edge.queue_us));
+                                }
+                            }
+                            Some(state.traces.record(TraceRecord {
+                                id,
+                                tier: "router",
+                                endpoint: format!("{} {}", req.method, req.path),
+                                status,
+                                total_us: off + handled_us,
+                                spans,
+                            }))
                         }
+                        _ => None,
+                    };
+                    let content_type = if req.path == "/metrics" {
+                        "text/plain; version=0.0.4"
+                    } else {
+                        "application/json"
+                    };
+                    let mut extra: Vec<(&str, String)> = Vec::new();
+                    if let Some(secs) = retry_after {
+                        extra.push(("Retry-After", secs.to_string()));
+                    }
+                    if let Some(rec) = &record {
+                        extra.push(("X-Tenet-Trace-Id", obs::TraceId(rec.id).to_string()));
+                        let timing = rec.server_timing();
+                        if !timing.is_empty() {
+                            extra.push(("X-Tenet-Server-Timing", timing));
+                        }
+                    }
+                    let bytes = if extra.is_empty() {
+                        http::encode_response(status, content_type, &body, keep_alive)
+                    } else {
+                        http::encode_response_with(status, content_type, &body, keep_alive, &extra)
                     };
                     if stream.write_all(&bytes).is_err() {
                         return;
@@ -724,10 +843,13 @@ fn handle(
     state: &Arc<RouterState>,
     peer: &str,
     deadline: Option<Instant>,
+    trace_id: Option<u64>,
 ) -> (u16, Arc<Vec<u8>>, Option<u64>) {
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/v1/healthz") => plain(healthz(state)),
         ("GET", "/v1/stats") => plain(stats_doc(state)),
+        ("GET", "/metrics") => plain(metrics_doc(state)),
+        ("GET", p) if p.starts_with("/v1/trace/") => plain(trace_doc(state, p)),
         ("POST", "/v1/shutdown") => plain(cascade_shutdown(state)),
         ("POST", "/v1/analyze" | "/v1/dse") => {
             if let Some(secs) = admission_reject(req, state, peer) {
@@ -741,7 +863,7 @@ fn handle(
                     Some(secs),
                 );
             }
-            proxy(req, state, deadline)
+            proxy(req, state, deadline, trace_id)
         }
         ("GET" | "POST", _) => (
             404,
@@ -854,6 +976,7 @@ fn proxy(
     req: &http::Request,
     state: &Arc<RouterState>,
     deadline: Option<Instant>,
+    trace_id: Option<u64>,
 ) -> (u16, Arc<Vec<u8>>, Option<u64>) {
     let canon = canonical_request(&req.method, &req.path, &req.body);
     let key = canonical_key(&canon);
@@ -891,11 +1014,20 @@ fn proxy(
         let hedging = owners.len() >= 2
             && state.config.hedge_after != Duration::MAX
             && state.shards[primary].transport.hedgeable();
+        let t_attempt = Instant::now();
         let outcome = if hedging {
-            hedged_call(state, &owners, req, &canon, deadline)
+            hedged_call(state, &owners, req, &canon, deadline, trace_id)
         } else {
-            sync_call(state, primary, req, &canon, deadline)
+            sync_call(state, primary, req, &canon, deadline, trace_id)
         };
+        if obs::is_active() {
+            obs::add_span(
+                "upstream",
+                t_attempt,
+                t_attempt.elapsed(),
+                format!("attempt={retries} worker={primary}"),
+            );
+        }
         match outcome {
             Dispatch::Reply(winner, status, bytes) => {
                 state.shards[winner]
@@ -906,13 +1038,18 @@ fn proxy(
                     // (the shard answered, so its breaker is unharmed
                     // and it keeps its keys).
                     state.stats.retries.fetch_add(1, Ordering::Relaxed);
+                    if obs::is_active() {
+                        obs::add_event("retry", format!("status={status} worker={winner}"));
+                    }
                     retries += 1;
                     backoff_sleep(&mut rng, &mut backoff_us, deadline);
                     continue;
                 }
                 state.shards[winner].routed.fetch_add(1, Ordering::Relaxed);
                 if status == 200 {
-                    maybe_replicate(state, &canon, key, &owners, winner, status, &bytes);
+                    maybe_replicate(
+                        state, &canon, key, &owners, winner, status, &bytes, trace_id,
+                    );
                 }
                 let retry_after = matches!(status, 502 | 503).then_some(1);
                 return (status, bytes, retry_after);
@@ -944,7 +1081,18 @@ fn proxy(
             }
             Dispatch::Dead(failed) => {
                 for worker in failed {
-                    state.note_failure(worker);
+                    let tripped = state.note_failure(worker);
+                    if obs::is_active() {
+                        if tripped {
+                            let streak = state.config.breaker_threshold;
+                            obs::add_event(
+                                "breaker_trip",
+                                format!("worker={worker} streak={streak} state=open"),
+                            );
+                        } else {
+                            obs::add_event("retry", format!("transport_failure worker={worker}"));
+                        }
+                    }
                 }
                 state.stats.retries.fetch_add(1, Ordering::Relaxed);
                 retries += 1;
@@ -981,7 +1129,11 @@ fn backoff_sleep(rng: &mut u64, backoff_us: &mut u64, deadline: Option<Instant>)
         pause = pause.min(dl.saturating_duration_since(Instant::now()));
     }
     if !pause.is_zero() {
+        let t0 = Instant::now();
         std::thread::sleep(pause);
+        if obs::is_active() {
+            obs::add_span("backoff", t0, t0.elapsed(), "");
+        }
     }
 }
 
@@ -995,8 +1147,9 @@ fn sync_call(
     req: &http::Request,
     canon: &str,
     deadline: Option<Instant>,
+    trace_id: Option<u64>,
 ) -> Dispatch {
-    match state.shards[worker].transport.call_with_deadline(
+    match state.shards[worker].transport.call_traced(
         &req.method,
         &req.path,
         &req.body,
@@ -1004,6 +1157,7 @@ fn sync_call(
         state.config.upstream_read_timeout,
         state.config.write_timeout,
         deadline,
+        trace_id,
     ) {
         Ok((status, bytes)) => Dispatch::Reply(worker, status, bytes),
         Err(ForwardError::Busy) => Dispatch::Busy,
@@ -1021,6 +1175,7 @@ fn submit_call(
     req: &http::Request,
     canon: &str,
     deadline: Option<Instant>,
+    trace_id: Option<u64>,
     tx: &mpsc::Sender<(usize, Result<(u16, Arc<Vec<u8>>), ForwardError>)>,
 ) -> bool {
     let shard = Arc::clone(&state.shards[worker]);
@@ -1032,7 +1187,7 @@ fn submit_call(
     let read_timeout = state.config.upstream_read_timeout;
     let write_timeout = state.config.write_timeout;
     state.submit_aux(Box::new(move || {
-        let res = shard.transport.call_with_deadline(
+        let res = shard.transport.call_traced(
             &method,
             &path,
             &body,
@@ -1040,6 +1195,7 @@ fn submit_call(
             read_timeout,
             write_timeout,
             deadline,
+            trace_id,
         );
         // The receiver may be long gone (the hedge race was already
         // decided, or the deadline expired); a loser's response is
@@ -1060,13 +1216,14 @@ fn hedged_call(
     req: &http::Request,
     canon: &str,
     deadline: Option<Instant>,
+    trace_id: Option<u64>,
 ) -> Dispatch {
     let (tx, rx) = mpsc::channel();
-    if !submit_call(state, owners[0], req, canon, deadline, &tx) {
+    if !submit_call(state, owners[0], req, canon, deadline, trace_id, &tx) {
         // Helper pool saturated or absent: degrade to the plain
         // synchronous path — hedging is an optimization, not a
         // correctness requirement.
-        return sync_call(state, owners[0], req, canon, deadline);
+        return sync_call(state, owners[0], req, canon, deadline, trace_id);
     }
     let mut pending = 1usize;
     // The hedge timer never outlives the deadline: with less budget left
@@ -1088,7 +1245,13 @@ fn hedged_call(
                 return Dispatch::DeadlineExpired;
             }
             state.stats.hedges_fired.fetch_add(1, Ordering::Relaxed);
-            if submit_call(state, owners[1], req, canon, deadline, &tx) {
+            if obs::is_active() {
+                obs::add_event(
+                    "hedge_fired",
+                    format!("primary={} replica={}", owners[0], owners[1]),
+                );
+            }
+            if submit_call(state, owners[1], req, canon, deadline, trace_id, &tx) {
                 pending += 1;
             }
             None
@@ -1124,6 +1287,9 @@ fn hedged_call(
             Ok((status, bytes)) => {
                 if worker != owners[0] {
                     state.stats.hedges_won.fetch_add(1, Ordering::Relaxed);
+                    if obs::is_active() {
+                        obs::add_event("hedge_won", format!("replica={worker}"));
+                    }
                 }
                 return Dispatch::Reply(worker, status, bytes);
             }
@@ -1149,6 +1315,7 @@ fn hedged_call(
 /// dedup caches (`POST /v1/warm`). The ring's successor property makes
 /// this exact: if the primary dies, the rehashed owner *is* the warmed
 /// replica, so the victim's keys stay warm instead of recomputing cold.
+#[allow(clippy::too_many_arguments)]
 fn maybe_replicate(
     state: &Arc<RouterState>,
     canon: &str,
@@ -1157,6 +1324,7 @@ fn maybe_replicate(
     winner: usize,
     status: u16,
     bytes: &Arc<Vec<u8>>,
+    trace_id: Option<u64>,
 ) {
     if state.config.replication < 2 || owners.len() < 2 {
         return;
@@ -1199,12 +1367,17 @@ fn maybe_replicate(
             if !shard.is_alive() {
                 continue;
             }
-            if let Ok((200, _)) = shard.transport.call(
+            // The warm write carries the originating request's trace id,
+            // so the replication hop shows up on the same timeline.
+            if let Ok((200, _)) = shard.transport.call_traced(
                 "POST",
                 "/v1/warm",
                 warm_body.as_bytes(),
+                "",
                 st.config.write_timeout,
                 st.config.write_timeout,
+                None,
+                trace_id,
             ) {
                 st.stats.warm_writes.fetch_add(1, Ordering::Relaxed);
             }
@@ -1356,6 +1529,169 @@ fn stats_doc(state: &Arc<RouterState>) -> (u16, Arc<Vec<u8>>) {
     .to_string()
     .into_bytes();
     (200, Arc::new(body))
+}
+
+/// `GET /metrics` at the router tier: one Prometheus text document
+/// covering the cluster. The `tenet_worker_*` families come from the
+/// additive merge of every live shard's `/v1/stats` document — so each
+/// merged series equals the sum of the per-shard expositions — and the
+/// `tenet_router_*` families append the router's own counters. The
+/// merged document carries no `isl_cache.process` section, so the
+/// single-process `tenet_process_*` families are naturally absent here.
+fn metrics_doc(state: &Arc<RouterState>) -> (u16, Arc<Vec<u8>>) {
+    let mut docs = Vec::new();
+    for shard in &state.shards {
+        if !shard.is_alive() {
+            continue;
+        }
+        match shard.transport.call(
+            "GET",
+            "/v1/stats",
+            b"",
+            state.config.write_timeout,
+            state.config.write_timeout,
+        ) {
+            Ok((200, bytes)) => {
+                match std::str::from_utf8(&bytes)
+                    .ok()
+                    .and_then(|t| Json::parse(t).ok())
+                {
+                    Some(doc) => docs.push(doc),
+                    None => {
+                        state.mark_dead(shard.index);
+                    }
+                }
+            }
+            Err(ForwardError::Busy) => {} // saturated, not dead: skip this scrape
+            Ok(_) | Err(ForwardError::Transport(_)) => {
+                state.mark_dead(shard.index);
+            }
+        }
+    }
+    let merged = merge::merge_worker_stats(&docs);
+    let mut text = tenet_server::stats::prometheus_from_worker_doc(&merged);
+    text.push_str(&router_prometheus(state));
+    (200, Arc::new(text.into_bytes()))
+}
+
+/// The router's own counter families in Prometheus text form, appended
+/// after the merged worker families by [`metrics_doc`].
+fn router_prometheus(state: &Arc<RouterState>) -> String {
+    let s = &state.stats;
+    let c = |a: &AtomicU64| a.load(Ordering::Relaxed);
+    let mut p = PromBuf::new();
+    p.gauge(
+        "tenet_router_uptime_ms",
+        &[],
+        state.started.elapsed().as_millis().min(u64::MAX as u128) as f64,
+    );
+    p.gauge("tenet_router_workers", &[], state.shards.len() as f64);
+    p.gauge(
+        "tenet_router_alive_workers",
+        &[],
+        state.alive_workers() as f64,
+    );
+    p.counter("tenet_router_connections_total", &[], c(&s.connections));
+    p.counter("tenet_router_requests_total", &[], c(&s.requests));
+    p.counter("tenet_router_completed_total", &[], c(&s.completed));
+    p.counter_vec(
+        "tenet_router_responses_total",
+        "class",
+        &[
+            ("2xx", c(&s.status_2xx)),
+            ("4xx", c(&s.status_4xx)),
+            ("5xx", c(&s.status_5xx)),
+        ],
+    );
+    p.counter("tenet_router_rejected_busy_total", &[], c(&s.rejected_busy));
+    p.counter("tenet_router_retries_total", &[], c(&s.retries));
+    p.counter("tenet_router_rehashes_total", &[], c(&s.rehashes));
+    p.counter("tenet_router_revivals_total", &[], c(&s.revivals));
+    p.counter_vec(
+        "tenet_router_hedges_total",
+        "outcome",
+        &[("fired", c(&s.hedges_fired)), ("won", c(&s.hedges_won))],
+    );
+    p.counter("tenet_router_warm_writes_total", &[], c(&s.warm_writes));
+    p.counter("tenet_router_breaker_trips_total", &[], c(&s.breaker_trips));
+    p.counter(
+        "tenet_router_deadline_exceeded_total",
+        &[],
+        c(&s.deadline_exceeded),
+    );
+    p.counter(
+        "tenet_router_admission_rejects_total",
+        &[],
+        c(&s.admission_rejects),
+    );
+    p.into_string()
+}
+
+/// `GET /v1/trace/...` at the router tier. `/v1/trace/slow` serves the
+/// router's own slow ring; `/v1/trace/<id>` assembles the cross-tier
+/// timeline — the router's record plus every live shard's records for
+/// the same id, fetched over the transport fan-out.
+fn trace_doc(state: &Arc<RouterState>, path: &str) -> (u16, Arc<Vec<u8>>) {
+    let rest = path.strip_prefix("/v1/trace/").unwrap_or("");
+    let (rest, query) = match rest.split_once('?') {
+        Some((r, q)) => (r, Some(q)),
+        None => (rest, None),
+    };
+    if rest == "slow" {
+        let min_us = query
+            .and_then(|q| q.split('&').find_map(|kv| kv.strip_prefix("ms=")))
+            .and_then(|v| v.parse::<u64>().ok())
+            .map(|ms| ms.saturating_mul(1_000));
+        let rows = state.traces.slow(min_us);
+        let body = Json::obj([(
+            "traces",
+            Json::Arr(rows.iter().map(|r| r.to_json()).collect()),
+        )]);
+        return (200, Arc::new(body.to_string().into_bytes()));
+    }
+    let Some(id) = obs::TraceId::parse(rest) else {
+        return (400, error_body("usage", "malformed trace id"));
+    };
+    let mut records: Vec<Json> = Vec::new();
+    if let Some(rec) = state.traces.find(id.0) {
+        records.push(rec.to_json());
+    }
+    let worker_path = format!("/v1/trace/{id}");
+    for shard in &state.shards {
+        if !shard.is_alive() {
+            continue;
+        }
+        if let Ok((200, bytes)) = shard.transport.call(
+            "GET",
+            &worker_path,
+            b"",
+            state.config.write_timeout,
+            state.config.write_timeout,
+        ) {
+            if let Some(doc) = std::str::from_utf8(&bytes)
+                .ok()
+                .and_then(|t| Json::parse(t).ok())
+            {
+                if let Some(rows) = doc.get("records").and_then(Json::as_arr) {
+                    records.extend(rows.iter().cloned());
+                }
+            }
+        }
+    }
+    if records.is_empty() {
+        return (
+            404,
+            error_body(
+                "not_found",
+                "trace not found at any tier (evicted, never recorded, or tracing disabled)",
+            ),
+        );
+    }
+    let body = Json::obj([
+        ("trace_id", Json::from(id.to_string())),
+        ("records", Json::Arr(records)),
+    ]);
+    (200, Arc::new(body.to_string().into_bytes()))
 }
 
 /// `POST /v1/shutdown` cascade: drain every worker, then the router

@@ -98,6 +98,36 @@ pub trait Transport: Send + Sync {
         self.call_keyed(method, path, body, canon, read_timeout, write_timeout)
     }
 
+    /// [`call_with_deadline`](Transport::call_with_deadline), plus the
+    /// request's trace id. Implementations propagate it to the worker
+    /// (as `X-Tenet-Trace-Id` over a wire, directly in-process) so the
+    /// worker records its own tier of the request's timeline under the
+    /// same id. The default drops the id — fine for transports (mocks,
+    /// wrappers) that have no worker-side trace ring behind them.
+    #[allow(clippy::too_many_arguments)]
+    fn call_traced(
+        &self,
+        method: &str,
+        path: &str,
+        body: &[u8],
+        canon: &str,
+        read_timeout: Duration,
+        write_timeout: Duration,
+        deadline: Option<Instant>,
+        trace_id: Option<u64>,
+    ) -> Result<(u16, Arc<Vec<u8>>), ForwardError> {
+        let _ = trace_id;
+        self.call_with_deadline(
+            method,
+            path,
+            body,
+            canon,
+            read_timeout,
+            write_timeout,
+            deadline,
+        )
+    }
+
     /// One control message (`/v1/shutdown` cascades) that must get
     /// through even when the data path is saturated or the worker was
     /// marked dead — delivered outside the pooled/drain-gated path.
@@ -209,6 +239,39 @@ impl Transport for LocalTransport {
         Ok(self
             .core
             .handle_with_deadline(method, path, body, Some(canon), deadline))
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn call_traced(
+        &self,
+        method: &str,
+        path: &str,
+        body: &[u8],
+        canon: &str,
+        _read_timeout: Duration,
+        _write_timeout: Duration,
+        deadline: Option<Instant>,
+        trace_id: Option<u64>,
+    ) -> Result<(u16, Arc<Vec<u8>>), ForwardError> {
+        if self.core.is_draining() {
+            return Err(ForwardError::Transport(std::io::Error::new(
+                std::io::ErrorKind::BrokenPipe,
+                "local worker drained",
+            )));
+        }
+        // The worker stores its own tier's record in its trace ring; the
+        // router assembles the cross-tier view from there, so the record
+        // returned here is deliberately dropped.
+        let (status, bytes, _record) = self.core.handle_traced(
+            method,
+            path,
+            body,
+            Some(canon),
+            deadline,
+            trace_id,
+            tenet_core::obs::EdgeTimings::default(),
+        );
+        Ok((status, bytes))
     }
 
     fn send_control(

@@ -143,26 +143,33 @@ impl HttpTransport {
         path: &str,
         body: &[u8],
     ) -> std::io::Result<(u16, Vec<u8>)> {
-        Self::send_on_with(conn, method, path, body, None)
+        Self::send_on_with(conn, method, path, body, None, None)
     }
 
     /// [`send_on`](Self::send_on), optionally forwarding the remaining
-    /// deadline budget as `X-Tenet-Deadline-Ms` so the worker can degrade
-    /// instead of computing past it.
+    /// deadline budget as `X-Tenet-Deadline-Ms` (so the worker can
+    /// degrade instead of computing past it) and the request's trace id
+    /// as `X-Tenet-Trace-Id` (so the worker's tier of the timeline lands
+    /// under the same id).
     fn send_on_with(
         conn: &mut Conn,
         method: &str,
         path: &str,
         body: &[u8],
         deadline_ms: Option<u64>,
+        trace_id: Option<u64>,
     ) -> std::io::Result<(u16, Vec<u8>)> {
         let deadline_header = match deadline_ms {
             Some(ms) => format!("X-Tenet-Deadline-Ms: {ms}\r\n"),
             None => String::new(),
         };
+        let trace_header = match trace_id {
+            Some(id) => format!("X-Tenet-Trace-Id: {id:016x}\r\n"),
+            None => String::new(),
+        };
         let head = format!(
             "{method} {path} HTTP/1.1\r\nHost: tenet-router\r\nContent-Type: application/json\r\n\
-             {deadline_header}Content-Length: {}\r\n\r\n",
+             {deadline_header}{trace_header}Content-Length: {}\r\n\r\n",
             body.len()
         );
         conn.stream.write_all(head.as_bytes())?;
@@ -191,6 +198,7 @@ impl HttpTransport {
     /// worker answer is still worth waiting slightly past expiry for —
     /// it beats a torn connection) and the remaining budget rides along
     /// as `X-Tenet-Deadline-Ms`.
+    #[allow(clippy::too_many_arguments)]
     fn call_impl(
         &self,
         method: &str,
@@ -199,6 +207,7 @@ impl HttpTransport {
         read_timeout: Duration,
         write_timeout: Duration,
         deadline: Option<Instant>,
+        trace_id: Option<u64>,
     ) -> Result<(u16, Arc<Vec<u8>>), ForwardError> {
         let (read_timeout, deadline_ms) = match deadline {
             Some(dl) => {
@@ -219,7 +228,7 @@ impl HttpTransport {
         let _ = conn.stream.set_read_timeout(Some(read_timeout));
         let _ = conn.stream.set_write_timeout(Some(write_timeout));
         let (conn, (status, bytes)) =
-            match Self::send_on_with(&mut conn, method, path, body, deadline_ms) {
+            match Self::send_on_with(&mut conn, method, path, body, deadline_ms, trace_id) {
                 Ok(reply) => (conn, reply),
                 Err(first_err) if was_pooled => {
                     // Stale keep-alive; one fresh attempt before giving up.
@@ -228,7 +237,7 @@ impl HttpTransport {
                     drop(conn);
                     let _ = first_err;
                     let retried = self.connect(read_timeout, write_timeout).and_then(|mut c| {
-                        Self::send_on_with(&mut c, method, path, body, deadline_ms)
+                        Self::send_on_with(&mut c, method, path, body, deadline_ms, trace_id)
                             .map(|reply| (c, reply))
                     });
                     match retried {
@@ -265,7 +274,7 @@ impl Transport for HttpTransport {
         read_timeout: Duration,
         write_timeout: Duration,
     ) -> Result<(u16, Arc<Vec<u8>>), ForwardError> {
-        self.call_impl(method, path, body, read_timeout, write_timeout, None)
+        self.call_impl(method, path, body, read_timeout, write_timeout, None, None)
     }
 
     fn call_with_deadline(
@@ -278,7 +287,38 @@ impl Transport for HttpTransport {
         write_timeout: Duration,
         deadline: Option<Instant>,
     ) -> Result<(u16, Arc<Vec<u8>>), ForwardError> {
-        self.call_impl(method, path, body, read_timeout, write_timeout, deadline)
+        self.call_impl(
+            method,
+            path,
+            body,
+            read_timeout,
+            write_timeout,
+            deadline,
+            None,
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn call_traced(
+        &self,
+        method: &str,
+        path: &str,
+        body: &[u8],
+        _canon: &str,
+        read_timeout: Duration,
+        write_timeout: Duration,
+        deadline: Option<Instant>,
+        trace_id: Option<u64>,
+    ) -> Result<(u16, Arc<Vec<u8>>), ForwardError> {
+        self.call_impl(
+            method,
+            path,
+            body,
+            read_timeout,
+            write_timeout,
+            deadline,
+            trace_id,
+        )
     }
 
     /// Control messages (`/v1/shutdown` cascades) go on a fresh unpooled

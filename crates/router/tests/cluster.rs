@@ -1426,3 +1426,332 @@ fn admission_control_throttles_a_bursting_client() {
     );
     router.shutdown_and_join().expect("router drained");
 }
+
+// ---------------------------------------------------------------------------
+// Observability: merged Prometheus exposition, cross-tier traces.
+// ---------------------------------------------------------------------------
+
+/// Parses a Prometheus text exposition into `series-with-labels → value`
+/// (comment and `# TYPE` lines skipped).
+fn parse_prom(text: &str) -> std::collections::BTreeMap<String, f64> {
+    text.lines()
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(|l| {
+            let (series, value) = l.rsplit_once(' ').expect("prometheus sample line");
+            (
+                series.to_string(),
+                value.parse::<f64>().expect("prometheus sample value"),
+            )
+        })
+        .collect()
+}
+
+/// True for series that are additive across shards: counters and
+/// histogram components of the worker families. Gauges (in-flight,
+/// backlog, cache entries, latency means) are snapshots, not sums, and
+/// `tenet_process_*` families are per-process facts the merge drops.
+fn summable(series: &str) -> bool {
+    let name = series.split('{').next().unwrap();
+    name.starts_with("tenet_worker_")
+        && ["_total", "_bucket", "_sum", "_count"]
+            .iter()
+            .any(|s| name.ends_with(s))
+}
+
+#[test]
+fn merged_metrics_exposition_is_the_sum_of_per_shard_expositions() {
+    use tenet_server::stats::prometheus_from_worker_doc;
+    // Hedging off: a hedge-raced duplicate compute would perturb the
+    // exact counter equality this test asserts.
+    let cluster = Cluster::boot_with(2, Duration::ZERO, |c| c.hedge_after = Duration::MAX);
+    let addr = cluster.addr();
+    for w in 1..=6 {
+        for _ in 0..2 {
+            let (status, _) = post(addr, "/v1/analyze", &analyze_body(w));
+            assert_eq!(status, 200);
+        }
+    }
+
+    // One consistent snapshot: the same fan-out produced the per-shard
+    // documents and their merge, so rendering both through the shared
+    // exposition code must agree exactly — no scrape-order skew.
+    let stats = wait_for_stats(addr, "replication write-through", |s| {
+        router_u64(s, &["replication", "warm_writes"]) >= 6
+    });
+    let merged = parse_prom(&prometheus_from_worker_doc(
+        stats.get("merged").expect("merged doc"),
+    ));
+    let shard_texts: Vec<String> = stats
+        .get("shards")
+        .and_then(Json::as_arr)
+        .expect("shards array")
+        .iter()
+        .filter(|s| s.get("alive").and_then(Json::as_bool) == Some(true))
+        .map(|s| prometheus_from_worker_doc(s.get("stats").expect("shard stats")))
+        .collect();
+    assert_eq!(shard_texts.len(), 2);
+
+    let mut summed: std::collections::BTreeMap<String, f64> = std::collections::BTreeMap::new();
+    for text in &shard_texts {
+        for (series, value) in parse_prom(text) {
+            if summable(&series) {
+                *summed.entry(series).or_insert(0.0) += value;
+            }
+        }
+    }
+    assert!(
+        summed.keys().any(|s| s.contains("_bucket")),
+        "histogram buckets must participate in the sum"
+    );
+    for (series, sum) in &summed {
+        assert_eq!(
+            merged.get(series),
+            Some(sum),
+            "merged `{series}` must equal the sum over the shard expositions"
+        );
+    }
+    // And nothing summable appears in the merge that no shard reported.
+    for series in merged.keys().filter(|s| summable(s)) {
+        assert!(
+            summed.contains_key(series),
+            "merged-only series `{series}` came from no shard"
+        );
+    }
+
+    // The live endpoint serves both tiers' families, and its histogram
+    // is well-formed: cumulative buckets ending at `+Inf`, with `_count`
+    // equal to the terminal bucket.
+    let (status, body) = get(addr, "/metrics");
+    assert_eq!(status, 200);
+    let text = String::from_utf8(body).unwrap();
+    assert!(text.contains("tenet_worker_requests_total"));
+    assert!(text.contains("tenet_router_requests_total"));
+    assert!(
+        !text.contains("tenet_process_"),
+        "process-wide gauges are per-worker facts and must not be merged"
+    );
+    let mut prev = -1.0;
+    let mut terminal = None;
+    for line in text
+        .lines()
+        .filter(|l| l.starts_with("tenet_worker_request_latency_us_bucket"))
+    {
+        let (series, value) = line.rsplit_once(' ').unwrap();
+        let v: f64 = value.parse().unwrap();
+        assert!(v >= prev, "bucket counts must be cumulative: {line}");
+        prev = v;
+        terminal = Some((series.to_string(), v));
+    }
+    let (series, inf) = terminal.expect("histogram buckets in the exposition");
+    assert!(
+        series.contains("le=\"+Inf\""),
+        "the last bucket must be +Inf: {series}"
+    );
+    let exposed = parse_prom(&text);
+    assert_eq!(
+        exposed.get("tenet_worker_request_latency_us_count"),
+        Some(&inf),
+        "`_count` must equal the +Inf bucket"
+    );
+}
+
+#[test]
+fn hedged_trace_attributes_the_request_to_exactly_one_winner() {
+    // The hedged race from the mock test above, traced: the timeline
+    // must show one hedge firing and exactly one winner, with the
+    // phase spans tiling the router's handling time.
+    const HEDGE_AFTER: Duration = Duration::from_millis(40);
+    const SLOW: Duration = Duration::from_millis(400);
+    let slow = MockTransport::new("slow", SLOW, br#"{"from":"slow"}"#);
+    let fast = MockTransport::new("fast", Duration::from_millis(1), br#"{"from":"fast"}"#);
+    let config = RouterConfig {
+        addr: "127.0.0.1:0".into(),
+        threads: 2,
+        health_interval: Duration::ZERO,
+        hedge_after: HEDGE_AFTER,
+        ..Default::default()
+    };
+    let vnodes = config.vnodes;
+    let specs = vec![
+        WorkerSpec::Custom(Box::new(SharedMock(Arc::clone(&slow)))),
+        WorkerSpec::Custom(Box::new(SharedMock(Arc::clone(&fast)))),
+    ];
+    let router = Router::spawn_with_workers(config, specs).expect("spawn router");
+    let addr = router.addr();
+    let ring = {
+        let mut r = HashRing::new(vnodes);
+        r.add(0);
+        r.add(1);
+        r
+    };
+    let body = (1u64..1000)
+        .map(analyze_body)
+        .find(|b| {
+            let key = canonical_key(&canonical_request("POST", "/v1/analyze", b.as_bytes()));
+            ring.owner(key) == Some(0)
+        })
+        .expect("some key must hash to the slow shard");
+
+    let (status, bytes) = post_with_headers(
+        addr,
+        "/v1/analyze",
+        &body,
+        &[("X-Tenet-Trace-Id", "cafe0001")],
+    );
+    assert_eq!(status, 200);
+    assert_eq!(bytes, br#"{"from":"fast"}"#.to_vec());
+
+    // Mock workers keep no trace rings (their canned bodies carry no
+    // `records` array), so the fan-out returns the router's record only.
+    let (status, body) = get(addr, "/v1/trace/cafe0001");
+    assert_eq!(status, 200);
+    let doc = Json::parse(std::str::from_utf8(&body).unwrap()).unwrap();
+    assert_eq!(
+        doc.get("trace_id").and_then(Json::as_str),
+        Some("00000000cafe0001")
+    );
+    let records = doc.get("records").and_then(Json::as_arr).expect("records");
+    let rec = records
+        .iter()
+        .find(|r| r.get("tier").and_then(Json::as_str) == Some("router"))
+        .expect("the router tier must have recorded the request");
+    let spans = rec.get("spans").and_then(Json::as_arr).expect("spans");
+    let named = |name: &str| -> Vec<&Json> {
+        spans
+            .iter()
+            .filter(|s| s.get("name").and_then(Json::as_str) == Some(name))
+            .collect()
+    };
+    assert_eq!(named("hedge_fired").len(), 1, "one hedge fired: {rec}");
+    let won = named("hedge_won");
+    assert_eq!(
+        won.len(),
+        1,
+        "the timeline must attribute the answer to exactly one winner: {rec}"
+    );
+    assert_eq!(
+        won[0].get("detail").and_then(Json::as_str),
+        Some("replica=1"),
+        "the fast replica is the winner"
+    );
+    assert_eq!(
+        named("upstream").len(),
+        1,
+        "one dispatch attempt covers the whole race: {rec}"
+    );
+    let total = rec.get("total_us").and_then(Json::as_u64).unwrap();
+    let phase_sum: u64 = spans
+        .iter()
+        .filter(|s| s.get("phase").and_then(Json::as_bool) == Some(true))
+        .filter_map(|s| s.get("dur_us").and_then(Json::as_u64))
+        .sum();
+    assert!(
+        phase_sum <= total && total - phase_sum <= total / 10,
+        "phases must sum to within 10% of the end-to-end time \
+         (sum {phase_sum}µs vs total {total}µs): {rec}"
+    );
+    router.shutdown_and_join().expect("router drained");
+}
+
+#[test]
+fn chaos_retry_trace_shows_the_breaker_trip_and_phases_sum_to_total() {
+    // The acceptance drill: under a fault plan that blacks out the owning
+    // worker, the traced request must surface the failed attempt, the
+    // breaker trip, and the rehashed retry — with phase durations summing
+    // to within 10% of the end-to-end latency. Prober off and threshold 1
+    // make the flap indices and the trip deterministic.
+    let (router, _cores) = chaos_cluster(flap_plan(), None, |c| {
+        c.breaker_threshold = 1;
+        c.health_interval = Duration::ZERO;
+    });
+    let addr = router.addr();
+    let vnodes = RouterConfig::default().vnodes;
+    let ring = {
+        let mut r = HashRing::new(vnodes);
+        for w in 0..3 {
+            r.add(w);
+        }
+        r
+    };
+    let body = (1u64..1000)
+        .map(analyze_body)
+        .find(|b| {
+            let key = canonical_key(&canonical_request("POST", "/v1/analyze", b.as_bytes()));
+            ring.owner(key) == Some(0)
+        })
+        .expect("some key must hash to the flapping shard");
+
+    // Call index 0 falls in the flap-down window: the first dispatch
+    // fails, trips the single-failure breaker, and the retry lands on
+    // the rehashed surviving owner.
+    let (status, bytes) = post_with_headers(
+        addr,
+        "/v1/analyze",
+        &body,
+        &[("X-Tenet-Trace-Id", "deadbeef")],
+    );
+    assert_eq!(
+        status,
+        200,
+        "the retry must absorb the dark worker: {}",
+        String::from_utf8_lossy(&bytes)
+    );
+
+    let (status, body) = get(addr, "/v1/trace/deadbeef");
+    assert_eq!(status, 200);
+    let doc = Json::parse(std::str::from_utf8(&body).unwrap()).unwrap();
+    let records = doc.get("records").and_then(Json::as_arr).expect("records");
+    let tiers: std::collections::BTreeSet<&str> = records
+        .iter()
+        .filter_map(|r| r.get("tier").and_then(Json::as_str))
+        .collect();
+    assert!(
+        tiers.contains("router") && tiers.contains("worker"),
+        "the trace must span both tiers: {doc}"
+    );
+
+    let rec = records
+        .iter()
+        .find(|r| r.get("tier").and_then(Json::as_str) == Some("router"))
+        .unwrap();
+    let spans = rec.get("spans").and_then(Json::as_arr).expect("spans");
+    let named = |name: &str| -> Vec<&Json> {
+        spans
+            .iter()
+            .filter(|s| s.get("name").and_then(Json::as_str) == Some(name))
+            .collect()
+    };
+    assert!(
+        named("upstream").len() >= 2,
+        "both the failed attempt and the retry must be on the timeline: {rec}"
+    );
+    let trips = named("breaker_trip");
+    assert_eq!(trips.len(), 1, "the trip must be on the timeline: {rec}");
+    let detail = trips[0].get("detail").and_then(Json::as_str).unwrap();
+    assert!(
+        detail.contains("worker=0") && detail.contains("state=open"),
+        "the trip must name the shard and the breaker state: {detail}"
+    );
+
+    // The acceptance criterion proper: at every tier, phase durations
+    // sum to within 10% of that tier's end-to-end time. (A 50 µs floor
+    // absorbs timer granularity on sub-millisecond worker records.)
+    for rec in records {
+        let total = rec.get("total_us").and_then(Json::as_u64).unwrap();
+        let phase_sum: u64 = rec
+            .get("spans")
+            .and_then(Json::as_arr)
+            .unwrap()
+            .iter()
+            .filter(|s| s.get("phase").and_then(Json::as_bool) == Some(true))
+            .filter_map(|s| s.get("dur_us").and_then(Json::as_u64))
+            .sum();
+        let slack = (total / 10).max(50);
+        assert!(
+            phase_sum <= total && total - phase_sum <= slack,
+            "phases must sum to within 10% of the end-to-end time \
+             (sum {phase_sum}µs vs total {total}µs): {rec}"
+        );
+    }
+    router.shutdown_and_join().expect("router drained");
+}

@@ -502,6 +502,7 @@ fn dse(req: &Json, state: &WorkerCore, deadline: Option<Instant>) -> Reply {
         },
         Some(dl) => {
             let chunk_size = (threads * 2).max(1);
+            let total_chunks = candidates.len().div_ceil(chunk_size.max(1));
             let mut points = Vec::new();
             let mut chunks_done = 0usize;
             for chunk in candidates.chunks(chunk_size) {
@@ -514,6 +515,14 @@ fn dse(req: &Json, state: &WorkerCore, deadline: Option<Instant>) -> Reply {
                     Err(e) => return Reply::analysis(format!("exploration failed: {e}")),
                 }
                 chunks_done += 1;
+                // Chunk progress lands on the request's trace timeline,
+                // making "where did the DSE sweep stop" answerable.
+                if tenet_core::obs::is_active() {
+                    tenet_core::obs::add_event(
+                        "dse_chunk",
+                        format!("{chunks_done}/{total_chunks}"),
+                    );
+                }
             }
             if truncated && chunks_done == 0 {
                 return Reply::deadline_exceeded();

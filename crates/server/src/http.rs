@@ -30,6 +30,10 @@ pub struct Request {
     /// keys per-client admission control on this, falling back to the
     /// peer IP.
     pub client: Option<String>,
+    /// Raw trace id from `X-Tenet-Trace-Id`, when present. Validation
+    /// (hex, non-zero) happens at the edge: a garbled id degrades to a
+    /// freshly generated one rather than failing the request.
+    pub trace_id: Option<String>,
 }
 
 /// Protocol violations the connection loop turns into 4xx responses
@@ -140,6 +144,7 @@ impl RequestBuffer {
         let mut keep_alive = version == "HTTP/1.1";
         let mut deadline_ms: Option<u64> = None;
         let mut client: Option<String> = None;
+        let mut trace_id: Option<String> = None;
         for line in lines {
             if line.is_empty() {
                 continue;
@@ -190,6 +195,8 @@ impl RequestBuffer {
                 }
             } else if name.eq_ignore_ascii_case("x-tenet-client") && !value.is_empty() {
                 client = Some(value.to_string());
+            } else if name.eq_ignore_ascii_case("x-tenet-trace-id") && !value.is_empty() {
+                trace_id = Some(value.to_string());
             }
         }
 
@@ -208,6 +215,7 @@ impl RequestBuffer {
             keep_alive,
             deadline_ms,
             client,
+            trace_id,
         };
         // Drop the consumed request; pipelined successors stay buffered.
         self.buf.drain(..total);
@@ -288,6 +296,10 @@ pub fn encode_response_with(
     out
 }
 
+/// Response headers as `(lowercased-name, trimmed-value)` pairs, in
+/// wire order.
+pub type Headers = Vec<(String, String)>;
+
 /// A buffered client-side response reader — the mirror of
 /// [`RequestBuffer`], shared by the end-to-end tests and the `servload`
 /// generator. Bytes over-read past one response are kept for the next
@@ -307,6 +319,14 @@ impl<R: Read> ResponseReader<R> {
 
     /// Reads the next full response: `(status, body)`.
     pub fn next_response(&mut self) -> std::io::Result<(u16, Vec<u8>)> {
+        self.next_response_with_headers()
+            .map(|(status, _headers, body)| (status, body))
+    }
+
+    /// Reads the next full response keeping its headers:
+    /// `(status, headers, body)`. Header names are lowercased; the load
+    /// generator uses this to collect `Server-Timing` phase breakdowns.
+    pub fn next_response_with_headers(&mut self) -> std::io::Result<(u16, Headers, Vec<u8>)> {
         let bad = |m: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, m.to_string());
         let mut chunk = [0u8; 16 * 1024];
         let head_end = loop {
@@ -327,6 +347,7 @@ impl<R: Read> ResponseReader<R> {
             .and_then(|s| s.parse().ok())
             .ok_or_else(|| bad("malformed status line"))?;
         let mut content_length = 0usize;
+        let mut headers = Vec::new();
         for line in lines {
             if let Some((name, value)) = line.split_once(':') {
                 if name.eq_ignore_ascii_case("content-length") {
@@ -335,6 +356,7 @@ impl<R: Read> ResponseReader<R> {
                         .parse()
                         .map_err(|_| bad("bad content-length"))?;
                 }
+                headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
             }
         }
         let total = head_end + content_length;
@@ -347,7 +369,7 @@ impl<R: Read> ResponseReader<R> {
         }
         let body = self.buf[head_end..total].to_vec();
         self.buf.drain(..total);
-        Ok((status, body))
+        Ok((status, headers, body))
     }
 }
 
@@ -503,6 +525,10 @@ mod tests {
         let (reqs, err) = parse_all(b"GET /a HTTP/1.1\r\nX-Tenet-Deadline-Ms: soon\r\n\r\n");
         assert!(err.is_none());
         assert_eq!(reqs[0].deadline_ms, None);
+        // Trace ids are carried through verbatim (validated at the edge).
+        let (reqs, err) = parse_all(b"GET /a HTTP/1.1\r\nx-tenet-trace-id: 00c0ffee\r\n\r\n");
+        assert!(err.is_none());
+        assert_eq!(reqs[0].trace_id.as_deref(), Some("00c0ffee"));
     }
 
     #[test]

@@ -14,6 +14,9 @@
 //! | `POST /v1/dse` | problem text + constraints → ranked points + Pareto frontier |
 //! | `GET /v1/healthz` | liveness |
 //! | `GET /v1/stats` | counters, latency histogram, dedup and ISL-cache hit rates |
+//! | `GET /metrics` | the same counters in Prometheus text exposition format |
+//! | `GET /v1/trace/<id>` | the recorded span timeline of one request |
+//! | `GET /v1/trace/slow?ms=N` | recent slowest request timelines |
 //! | `POST /v1/warm` | replication write-through: store another shard's answer (router-internal) |
 //! | `POST /v1/shutdown` | graceful drain (stop accepting, finish in-flight) |
 //!
@@ -92,6 +95,12 @@ pub struct ServerConfig {
     /// Upper bound on the `threads` a single `/v1/dse` request may ask
     /// `explore_parallel` for.
     pub dse_thread_cap: usize,
+    /// Capacity of each per-process trace ring (recent + slow); `0`
+    /// disables request tracing entirely.
+    pub trace_buffer: usize,
+    /// Requests at or above this end-to-end latency also enter the
+    /// slow-trace ring served by `GET /v1/trace/slow`.
+    pub slow_ms: u64,
 }
 
 impl Default for ServerConfig {
@@ -109,6 +118,8 @@ impl Default for ServerConfig {
             max_header: 16 * 1024, // 16 KiB
             cache_capacity: 1024,
             dse_thread_cap: 8,
+            trace_buffer: 256,
+            slow_ms: 100,
         }
     }
 }

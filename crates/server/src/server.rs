@@ -12,8 +12,9 @@ use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use tenet_core::json::Json;
+use tenet_core::obs::{self, EdgeTimings};
 
 /// A cheap, clonable remote control for a running [`Server`].
 #[derive(Clone)]
@@ -131,7 +132,9 @@ impl Server {
             "tenet-conn",
             core.config.threads,
             core.config.queue_capacity,
-            move |stream: TcpStream| serve_connection(stream, &pool_core),
+            move |(queued_at, stream): (Instant, TcpStream)| {
+                serve_connection(stream, queued_at, &pool_core)
+            },
         );
         core.set_backlog_probe(pool.backlog_probe());
         let shutdown = Arc::clone(&core.shutdown);
@@ -142,9 +145,9 @@ impl Server {
             match self.listener.accept() {
                 Ok((stream, _peer)) => {
                     core.stats.connections.fetch_add(1, Ordering::Relaxed);
-                    match pool.try_submit(stream) {
+                    match pool.try_submit((Instant::now(), stream)) {
                         Ok(()) => {}
-                        Err((stream, SubmitError::Busy | SubmitError::ShuttingDown)) => {
+                        Err(((_, stream), SubmitError::Busy | SubmitError::ShuttingDown)) => {
                             core.stats.rejected_busy.fetch_add(1, Ordering::Relaxed);
                             shed(stream, &core);
                         }
@@ -185,19 +188,40 @@ fn shed(mut stream: TcpStream, core: &Arc<WorkerCore>) {
     ));
 }
 
+/// Resolves a request's trace id at the edge: a client-sent id is
+/// accepted (a garbled one degrades to a fresh id rather than an
+/// error), and header-less requests are not traced — span recording is
+/// opt-in per request so the untraced hot path pays nothing.
+fn resolve_trace_id(req: &http::Request) -> Option<u64> {
+    req.trace_id.as_deref().map(|text| {
+        obs::TraceId::parse(text)
+            .unwrap_or_else(obs::TraceId::generate)
+            .0
+    })
+}
+
 /// Serves one connection: parse → handle (via the core) → respond,
 /// repeating for keep-alive/pipelined requests until close, error, or
-/// drain.
-fn serve_connection(mut stream: TcpStream, core: &Arc<WorkerCore>) {
+/// drain. `queued_at` is when the accept loop admitted the connection;
+/// the gap until the first parsed request is its traced queue phase.
+fn serve_connection(mut stream: TcpStream, queued_at: Instant, core: &Arc<WorkerCore>) {
     let _ = stream.set_read_timeout(Some(core.config.read_timeout));
     let _ = stream.set_write_timeout(Some(core.config.write_timeout));
     let _ = stream.set_nodelay(true);
     let mut rb = RequestBuffer::new(core.config.max_header, core.config.max_body);
+    // The queue phase is attributed to the connection's first request
+    // only; parse time accumulates across the incremental parser calls
+    // (blocking socket reads — the client's own think time — excluded).
+    let mut queue_us = queued_at.elapsed().as_micros() as u64;
+    let mut parse_acc = Duration::ZERO;
     loop {
         // Drain every already-buffered request (pipelining) before the
         // next blocking read.
         loop {
-            match rb.next_request() {
+            let t_parse = Instant::now();
+            let parsed = rb.next_request();
+            parse_acc += t_parse.elapsed();
+            match parsed {
                 Ok(Some(req)) => {
                     let draining = core.is_draining();
                     let keep_alive = req.keep_alive && !draining;
@@ -207,15 +231,43 @@ fn serve_connection(mut stream: TcpStream, core: &Arc<WorkerCore>) {
                     let deadline = req
                         .deadline_ms
                         .map(|ms| std::time::Instant::now() + Duration::from_millis(ms));
-                    let (status, body) = core.handle_with_deadline(
+                    let edge = EdgeTimings {
+                        queue_us: std::mem::take(&mut queue_us),
+                        parse_us: parse_acc.as_micros() as u64,
+                    };
+                    parse_acc = Duration::ZERO;
+                    let (status, body, trace) = core.handle_traced(
                         &req.method,
                         &req.path,
                         &req.body,
                         None,
                         deadline,
+                        resolve_trace_id(&req),
+                        edge,
                     );
-                    let bytes =
-                        http::encode_response(status, "application/json", &body, keep_alive);
+                    let content_type = if req.path == "/metrics" {
+                        "text/plain; version=0.0.4"
+                    } else {
+                        "application/json"
+                    };
+                    let bytes = match &trace {
+                        Some(rec) => {
+                            let mut extra =
+                                vec![("X-Tenet-Trace-Id", obs::TraceId(rec.id).to_string())];
+                            let timing = rec.server_timing();
+                            if !timing.is_empty() {
+                                extra.push(("X-Tenet-Server-Timing", timing));
+                            }
+                            http::encode_response_with(
+                                status,
+                                content_type,
+                                &body,
+                                keep_alive,
+                                &extra,
+                            )
+                        }
+                        None => http::encode_response(status, content_type, &body, keep_alive),
+                    };
                     if stream.write_all(&bytes).is_err() {
                         return;
                     }

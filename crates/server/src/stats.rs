@@ -54,6 +54,11 @@ pub struct ServerStats {
     /// Per-bucket request-latency counts (bounds in
     /// [`LATENCY_BUCKETS_US`]).
     pub latency_buckets: [AtomicU64; LATENCY_BUCKETS_US.len()],
+    /// Exact cumulative request latency in microseconds. The histogram
+    /// alone only supports bucket-upper-bound estimates; the exact sum
+    /// lets `/v1/stats` report the true mean and how far off the
+    /// bucketed estimate runs.
+    pub latency_sum_us: AtomicU64,
     /// ISL-cache lookups attributable to this server's workers — a
     /// [`CounterHandle`] attached on every worker thread, so the numbers
     /// stay exact even when other code in the process uses the cache.
@@ -74,6 +79,7 @@ impl Default for ServerStats {
             deadline_exceeded: AtomicU64::new(0),
             degraded_responses: AtomicU64::new(0),
             latency_buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            latency_sum_us: AtomicU64::new(0),
             isl_handle: CounterHandle::new(),
         }
     }
@@ -95,6 +101,7 @@ impl ServerStats {
             .position(|&b| us <= b)
             .unwrap_or(LATENCY_BUCKETS_US.len() - 1);
         self.latency_buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.latency_sum_us.fetch_add(us, Ordering::Relaxed);
     }
 
     /// Estimates the `q`-quantile (`0 < q <= 1`) from the histogram,
@@ -120,9 +127,41 @@ impl ServerStats {
         *LATENCY_BUCKETS_US.last().expect("non-empty buckets")
     }
 
+    /// The exact mean latency in microseconds (0 with no requests).
+    pub fn latency_mean_us(&self) -> f64 {
+        let n = self.completed.load(Ordering::Relaxed);
+        if n == 0 {
+            return 0.0;
+        }
+        self.latency_sum_us.load(Ordering::Relaxed) as f64 / n as f64
+    }
+
+    /// The mean a histogram-only consumer would estimate: each request
+    /// billed at its bucket's upper bound (the open bucket at the last
+    /// finite bound). Always ≥ the exact mean.
+    pub fn latency_est_mean_us(&self) -> f64 {
+        let counts: Vec<u64> = self
+            .latency_buckets
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect();
+        est_mean_from_buckets(&LATENCY_BUCKETS_US, &counts)
+    }
+
+    /// Relative over-report of the bucketed mean estimate:
+    /// `(est_mean - mean) / mean` (0 with no requests).
+    pub fn latency_est_error(&self) -> f64 {
+        let exact = self.latency_mean_us();
+        if exact == 0.0 {
+            return 0.0;
+        }
+        (self.latency_est_mean_us() - exact) / exact
+    }
+
     /// The full stats document served by `GET /v1/stats`.
     pub fn to_json(&self, dedup: DedupStats, uptime: Duration, backlog: usize) -> Json {
         let global = tenet_core::isl_cache::stats();
+        let fast = tenet_core::fast_path_stats();
         let histogram = Json::Arr(
             LATENCY_BUCKETS_US
                 .iter()
@@ -196,6 +235,13 @@ impl ServerStats {
                 Json::obj([
                     ("p50_us", Json::from(self.latency_quantile_us(0.50))),
                     ("p99_us", Json::from(self.latency_quantile_us(0.99))),
+                    (
+                        "sum_us",
+                        Json::from(self.latency_sum_us.load(Ordering::Relaxed)),
+                    ),
+                    ("mean_us", Json::from(self.latency_mean_us())),
+                    ("est_mean_us", Json::from(self.latency_est_mean_us())),
+                    ("est_error", Json::from(self.latency_est_error())),
                     ("histogram", histogram),
                 ]),
             ),
@@ -226,6 +272,8 @@ impl ServerStats {
                             ("hits", Json::from(self.isl_handle.hits())),
                             ("misses", Json::from(self.isl_handle.misses())),
                             ("hit_rate", Json::from(self.isl_handle.hit_rate())),
+                            ("cold_us", Json::from(self.isl_handle.cold_ns() / 1_000)),
+                            ("fast_paths", Json::from(self.isl_handle.fast_paths())),
                         ]),
                     ),
                     (
@@ -236,12 +284,225 @@ impl ServerStats {
                             ("hit_rate", Json::from(global.hit_rate())),
                             ("entries", Json::from(global.entries)),
                             ("interned", Json::from(global.interned)),
+                            (
+                                "fast_paths",
+                                Json::obj([
+                                    ("window", Json::from(fast.window_counts)),
+                                    ("box", Json::from(fast.box_counts)),
+                                    ("slab", Json::from(fast.slab_counts)),
+                                    ("multi_slab", Json::from(fast.multi_slab_counts)),
+                                ]),
+                            ),
                         ]),
                     ),
                 ]),
             ),
         ])
     }
+}
+
+/// The mean a histogram-only consumer would estimate from per-bucket
+/// counts: each sample billed at its bucket's upper bound, the open
+/// bucket at the last finite bound. Shared with the router merge path.
+pub fn est_mean_from_buckets(bounds: &[u64], counts: &[u64]) -> f64 {
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let last_finite = bounds
+        .iter()
+        .rev()
+        .find(|&&b| b != u64::MAX)
+        .copied()
+        .unwrap_or(0);
+    let weighted: f64 = bounds
+        .iter()
+        .zip(counts)
+        .map(|(&b, &c)| {
+            let bill = if b == u64::MAX { last_finite } else { b };
+            bill as f64 * c as f64
+        })
+        .sum();
+    weighted / total as f64
+}
+
+/// Renders a worker-shaped stats document (the `/v1/stats` JSON — either
+/// one worker's own, or the router's merged view of its shards) as
+/// Prometheus text. `tenet_worker_*` families are additive across
+/// shards, so the router's merged exposition equals the per-shard sum;
+/// `tenet_process_*` families describe one process and are emitted only
+/// when the document carries the per-process section (the merged
+/// document does not).
+pub fn prometheus_from_worker_doc(doc: &Json) -> String {
+    use tenet_core::obs::PromBuf;
+    let u = |path: &[&str]| -> u64 {
+        let mut node = doc;
+        for key in path {
+            match node.get(key) {
+                Some(next) => node = next,
+                None => return 0,
+            }
+        }
+        node.as_u64().unwrap_or(0)
+    };
+    let f = |path: &[&str]| -> f64 {
+        let mut node = doc;
+        for key in path {
+            match node.get(key) {
+                Some(next) => node = next,
+                None => return 0.0,
+            }
+        }
+        node.as_f64().unwrap_or(0.0)
+    };
+    let mut p = PromBuf::new();
+    p.counter(
+        "tenet_worker_connections_total",
+        &[],
+        u(&["requests", "accepted_connections"]),
+    );
+    p.counter(
+        "tenet_worker_requests_total",
+        &[],
+        u(&["requests", "total"]),
+    );
+    p.counter(
+        "tenet_worker_completed_total",
+        &[],
+        u(&["requests", "completed"]),
+    );
+    p.counter_vec(
+        "tenet_worker_responses_total",
+        "class",
+        &[
+            ("2xx", u(&["requests", "status_2xx"])),
+            ("4xx", u(&["requests", "status_4xx"])),
+            ("5xx", u(&["requests", "status_5xx"])),
+        ],
+    );
+    p.counter(
+        "tenet_worker_rejected_busy_total",
+        &[],
+        u(&["requests", "rejected_busy"]),
+    );
+    p.counter(
+        "tenet_worker_deadline_exceeded_total",
+        &[],
+        u(&["requests", "deadline_exceeded"]),
+    );
+    p.counter(
+        "tenet_worker_degraded_responses_total",
+        &[],
+        u(&["requests", "degraded_responses"]),
+    );
+    p.gauge(
+        "tenet_worker_in_flight",
+        &[],
+        u(&["requests", "in_flight"]) as f64,
+    );
+    p.gauge(
+        "tenet_worker_backlog",
+        &[],
+        u(&["requests", "backlog"]) as f64,
+    );
+    p.counter_vec(
+        "tenet_worker_dedup_total",
+        "outcome",
+        &[
+            ("hit", u(&["dedup", "hits"])),
+            ("inflight_wait", u(&["dedup", "inflight_waits"])),
+            ("miss", u(&["dedup", "misses"])),
+        ],
+    );
+    p.counter(
+        "tenet_worker_dedup_warmed_total",
+        &[],
+        u(&["dedup", "warmed"]),
+    );
+    p.gauge(
+        "tenet_worker_dedup_entries",
+        &[],
+        u(&["dedup", "entries"]) as f64,
+    );
+    p.counter(
+        "tenet_worker_isl_hits_total",
+        &[],
+        u(&["isl_cache", "server", "hits"]),
+    );
+    p.counter(
+        "tenet_worker_isl_misses_total",
+        &[],
+        u(&["isl_cache", "server", "misses"]),
+    );
+    p.counter(
+        "tenet_worker_isl_cold_us_total",
+        &[],
+        u(&["isl_cache", "server", "cold_us"]),
+    );
+    p.counter(
+        "tenet_worker_isl_fast_paths_total",
+        &[],
+        u(&["isl_cache", "server", "fast_paths"]),
+    );
+    // The latency histogram, rebucketed from the document so the same
+    // renderer serves both one worker and the router's merged view.
+    let mut bounds = Vec::new();
+    let mut counts = Vec::new();
+    if let Some(rows) = doc
+        .get("latency")
+        .and_then(|l| l.get("histogram"))
+        .and_then(Json::as_arr)
+    {
+        for row in rows {
+            bounds.push(row.get("le_us").and_then(Json::as_u64).unwrap_or(u64::MAX));
+            counts.push(row.get("count").and_then(Json::as_u64).unwrap_or(0));
+        }
+    }
+    p.histogram(
+        "tenet_worker_request_latency_us",
+        &bounds,
+        &counts,
+        u(&["latency", "sum_us"]),
+    );
+    p.gauge(
+        "tenet_worker_latency_mean_us",
+        &[],
+        f(&["latency", "mean_us"]),
+    );
+    p.gauge(
+        "tenet_worker_latency_est_error",
+        &[],
+        f(&["latency", "est_error"]),
+    );
+    // Per-process families: only meaningful for a single worker process;
+    // the merged document carries no `isl_cache.process` section, so the
+    // router exposition naturally omits them.
+    if let Some(process) = doc.get("isl_cache").and_then(|c| c.get("process")) {
+        p.gauge("tenet_process_uptime_ms", &[], u(&["uptime_ms"]) as f64);
+        let pu = |key: &str| process.get(key).and_then(Json::as_u64).unwrap_or(0);
+        p.counter("tenet_process_isl_hits_total", &[], pu("hits"));
+        p.counter("tenet_process_isl_misses_total", &[], pu("misses"));
+        p.gauge("tenet_process_isl_entries", &[], pu("entries") as f64);
+        p.gauge("tenet_process_isl_interned", &[], pu("interned") as f64);
+        let fp = |key: &str| {
+            process
+                .get("fast_paths")
+                .and_then(|f| f.get(key))
+                .and_then(Json::as_u64)
+                .unwrap_or(0)
+        };
+        p.counter_vec(
+            "tenet_process_isl_fast_paths_total",
+            "kind",
+            &[
+                ("window", fp("window")),
+                ("box", fp("box")),
+                ("slab", fp("slab")),
+                ("multi_slab", fp("multi_slab")),
+            ],
+        );
+    }
+    p.into_string()
 }
 
 #[cfg(test)]
@@ -260,6 +521,65 @@ mod tests {
         assert_eq!(s.latency_quantile_us(0.99), 50);
         assert_eq!(s.latency_quantile_us(1.0), 50_000);
         assert_eq!(s.status_2xx.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn exact_mean_beats_the_bucket_estimate() {
+        let s = ServerStats::default();
+        // Two requests at 60µs land in the (50, 100] bucket: the bucket
+        // estimate bills them at 100µs each, the exact sum knows better.
+        s.record(200, Duration::from_micros(60));
+        s.record(200, Duration::from_micros(60));
+        assert_eq!(s.latency_sum_us.load(Ordering::Relaxed), 120);
+        assert_eq!(s.latency_mean_us(), 60.0);
+        assert_eq!(s.latency_est_mean_us(), 100.0);
+        let err = s.latency_est_error();
+        assert!((err - 2.0 / 3.0).abs() < 1e-9, "over-report {err}");
+        // The open bucket bills at the last finite bound, not infinity.
+        assert_eq!(est_mean_from_buckets(&[10, u64::MAX], &[0, 2]), 10.0);
+        assert_eq!(est_mean_from_buckets(&[10, u64::MAX], &[0, 0]), 0.0);
+    }
+
+    #[test]
+    fn prometheus_exposition_renders_worker_and_process_families() {
+        let s = ServerStats::default();
+        s.record(200, Duration::from_micros(60));
+        s.record(500, Duration::from_micros(700));
+        let doc = s.to_json(DedupStats::default(), Duration::from_secs(2), 3);
+        let text = prometheus_from_worker_doc(&doc);
+        assert!(text.contains("tenet_worker_completed_total 2\n"), "{text}");
+        assert!(
+            text.contains("tenet_worker_responses_total{class=\"5xx\"} 1\n"),
+            "{text}"
+        );
+        assert!(text.contains("tenet_worker_backlog 3\n"), "{text}");
+        assert!(
+            text.contains("tenet_worker_request_latency_us_bucket{le=\"100\"} 1\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("tenet_worker_request_latency_us_bucket{le=\"+Inf\"} 2\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("tenet_worker_request_latency_us_sum 760\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("tenet_worker_request_latency_us_count 2\n"),
+            "{text}"
+        );
+        // The per-process section rode along (this doc has one)...
+        assert!(text.contains("tenet_process_isl_hits_total"), "{text}");
+        assert!(
+            text.contains("tenet_process_isl_fast_paths_total{kind=\"window\"}"),
+            "{text}"
+        );
+        // ...but a merged document without it emits no process families.
+        let mut stripped = doc.to_string();
+        stripped = stripped.replace("\"process\"", "\"process_elsewhere\"");
+        let merged = Json::parse(&stripped).unwrap();
+        assert!(!prometheus_from_worker_doc(&merged).contains("tenet_process_"));
     }
 
     #[test]

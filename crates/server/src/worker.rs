@@ -12,10 +12,12 @@
 use crate::dedup::{CachedResponse, Claim, Dedup};
 use crate::stats::ServerStats;
 use crate::{handlers, ServerConfig};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 use tenet_core::json::Json;
+use tenet_core::obs::{self, EdgeTimings, Span, TraceRecord, TraceStore};
+use tenet_core::CounterHandle;
 
 /// One worker's request-handling state: configuration, counters, dedup,
 /// and the drain flag. Shared by the accept loop, the connection
@@ -31,6 +33,9 @@ pub struct WorkerCore {
     pub shutdown: Arc<AtomicBool>,
     /// Construction time, for uptime reporting.
     pub started: Instant,
+    /// Finished request timelines (recent + recent-slowest rings),
+    /// served by `GET /v1/trace/<id>` and `GET /v1/trace/slow`.
+    pub traces: TraceStore,
     /// Connections admitted but not yet picked up (filled in by the
     /// server; handlers read it for `/v1/stats`; stays 0 for a core
     /// driven in-process, which has no backlog).
@@ -43,12 +48,14 @@ impl WorkerCore {
     /// never touches a socket.
     pub fn new(config: ServerConfig) -> Arc<WorkerCore> {
         let dedup = Dedup::new(config.cache_capacity);
+        let traces = TraceStore::new(config.trace_buffer, config.slow_ms.saturating_mul(1_000));
         Arc::new(WorkerCore {
             config,
             stats: ServerStats::default(),
             dedup,
             shutdown: Arc::new(AtomicBool::new(false)),
             started: Instant::now(),
+            traces,
             backlog: std::sync::OnceLock::new(),
         })
     }
@@ -118,28 +125,92 @@ impl WorkerCore {
         canon: Option<&str>,
         deadline: Option<Instant>,
     ) -> (u16, Arc<Vec<u8>>) {
+        let (status, bytes, _trace) = self.handle_traced(
+            method,
+            path,
+            body,
+            canon,
+            deadline,
+            None,
+            EdgeTimings::default(),
+        );
+        (status, bytes)
+    }
+
+    /// [`handle_with_deadline`](WorkerCore::handle_with_deadline), plus
+    /// request tracing. With `trace_id` set (and the trace store
+    /// enabled), the worker records a span timeline — queue/parse edge
+    /// timings handed in by the listener, canonicalization, dedup,
+    /// computation split into engine time vs cold ISL time, and
+    /// serialization — stores it in [`WorkerCore::traces`], and returns
+    /// the finished record so the caller can echo `Server-Timing`.
+    /// Cached response *bytes* are untouched by tracing: timelines ride
+    /// in headers and the trace store only.
+    #[allow(clippy::too_many_arguments)]
+    pub fn handle_traced(
+        self: &Arc<WorkerCore>,
+        method: &str,
+        path: &str,
+        body: &[u8],
+        canon: Option<&str>,
+        deadline: Option<Instant>,
+        trace_id: Option<u64>,
+        edge: EdgeTimings,
+    ) -> (u16, Arc<Vec<u8>>, Option<Arc<TraceRecord>>) {
         // Attach the core's ISL counter handle for the duration of the
         // request so `/v1/stats` attributes relational work to this
         // worker exactly, on whichever thread the caller runs us.
         let _attached = self.stats.isl_handle.attach();
         self.stats.requests.fetch_add(1, Ordering::Relaxed);
-        self.stats.in_flight.fetch_add(1, Ordering::Relaxed);
+        let _in_flight = InFlightGuard::new(&self.stats.in_flight);
         let t0 = Instant::now();
+        // Observability endpoints bypass dedup and tracing: scraping
+        // metrics must never evict a cached analysis or spam the rings.
+        if method == "GET" {
+            if let Some((status, bytes)) = self.handle_obs(path) {
+                self.stats.record(status, t0.elapsed());
+                return (status, bytes, None);
+            }
+        }
+        let tracing = trace_id.is_some() && self.traces.enabled();
+        let scope = tracing.then(obs::begin);
+        // A per-request ISL handle so the trace can split the handler's
+        // time into engine work vs cold integer-set computation.
+        let request_isl = tracing.then(CounterHandle::new);
         let (status, bytes): (u16, Arc<Vec<u8>>) = if handlers::is_cacheable(method, path) {
+            let t_canon = Instant::now();
             let key = match canon {
                 Some(c) => std::borrow::Cow::Borrowed(c),
                 None => {
                     std::borrow::Cow::Owned(crate::dedup::canonical_request(method, path, body))
                 }
             };
-            match self.dedup.claim(&key) {
-                Claim::Cached(resp) => (resp.status, resp.body),
+            if tracing && canon.is_none() {
+                obs::add_span("canon", t_canon, t_canon.elapsed(), "");
+            }
+            let t_dedup = Instant::now();
+            let claim = self.dedup.claim(&key);
+            match claim {
+                Claim::Cached(resp) => {
+                    if tracing {
+                        obs::add_span("dedup", t_dedup, t_dedup.elapsed(), "hit");
+                    }
+                    (resp.status, resp.body)
+                }
                 Claim::Leader(token) => {
-                    let (reply, cacheable) = self.route_guarded(method, path, body, deadline);
+                    if tracing {
+                        obs::add_span("dedup", t_dedup, t_dedup.elapsed(), "leader");
+                    }
+                    let (reply, cacheable) =
+                        self.route_timed(method, path, body, deadline, request_isl.as_ref());
+                    let t_ser = Instant::now();
                     let resp = CachedResponse {
                         status: reply.status,
                         body: Arc::new(reply.body.to_string().into_bytes()),
                     };
+                    if tracing {
+                        obs::add_span("serialize", t_ser, t_ser.elapsed(), "");
+                    }
                     if cacheable {
                         self.dedup.publish(token, resp.clone());
                     } else {
@@ -152,12 +223,145 @@ impl WorkerCore {
                 }
             }
         } else {
-            let (reply, _cacheable) = self.route_guarded(method, path, body, deadline);
-            (reply.status, Arc::new(reply.body.to_string().into_bytes()))
+            let (reply, _cacheable) =
+                self.route_timed(method, path, body, deadline, request_isl.as_ref());
+            let t_ser = Instant::now();
+            let bytes = Arc::new(reply.body.to_string().into_bytes());
+            if tracing {
+                obs::add_span("serialize", t_ser, t_ser.elapsed(), "");
+            }
+            (reply.status, bytes)
         };
         self.stats.record(status, t0.elapsed());
-        self.stats.in_flight.fetch_sub(1, Ordering::Relaxed);
-        (status, bytes)
+        let record = match (scope, trace_id) {
+            (Some(scope), Some(id)) => {
+                let handled_us = t0.elapsed().as_micros() as u64;
+                let mut spans = scope.finish();
+                // The edge phases (accept-queue wait, request parsing)
+                // happened before this scope began: prepend them and
+                // shift everything else right so offsets stay honest.
+                let off = edge.queue_us + edge.parse_us;
+                if off > 0 {
+                    for s in &mut spans {
+                        s.start_us += off;
+                    }
+                    if edge.parse_us > 0 {
+                        spans.insert(0, edge_span("parse", edge.queue_us, edge.parse_us));
+                    }
+                    if edge.queue_us > 0 {
+                        spans.insert(0, edge_span("queue", 0, edge.queue_us));
+                    }
+                }
+                let rec = TraceRecord {
+                    id,
+                    tier: "worker",
+                    endpoint: format!("{method} {path}"),
+                    status,
+                    total_us: off + handled_us,
+                    spans,
+                };
+                Some(self.traces.record(rec))
+            }
+            _ => None,
+        };
+        (status, bytes, record)
+    }
+
+    /// Answers the observability GETs (`/metrics`, `/v1/trace/...`), or
+    /// `None` for every other path.
+    fn handle_obs(self: &Arc<WorkerCore>, path: &str) -> Option<(u16, Arc<Vec<u8>>)> {
+        if path == "/metrics" {
+            let doc =
+                self.stats
+                    .to_json(self.dedup.stats(), self.started.elapsed(), self.backlog());
+            let text = crate::stats::prometheus_from_worker_doc(&doc);
+            return Some((200, Arc::new(text.into_bytes())));
+        }
+        let rest = path.strip_prefix("/v1/trace/")?;
+        let (rest, query) = match rest.split_once('?') {
+            Some((r, q)) => (r, Some(q)),
+            None => (rest, None),
+        };
+        if rest == "slow" {
+            let min_us = query
+                .and_then(|q| q.split('&').find_map(|kv| kv.strip_prefix("ms=")))
+                .and_then(|v| v.parse::<u64>().ok())
+                .map(|ms| ms.saturating_mul(1_000));
+            let rows = self.traces.slow(min_us);
+            let body = Json::obj([(
+                "traces",
+                Json::Arr(rows.iter().map(|r| r.to_json()).collect()),
+            )]);
+            return Some((200, Arc::new(body.to_string().into_bytes())));
+        }
+        let Some(id) = obs::TraceId::parse(rest) else {
+            let body = Json::obj([(
+                "error",
+                Json::obj([
+                    ("kind", Json::from("usage")),
+                    ("message", Json::from("malformed trace id")),
+                ]),
+            )]);
+            return Some((400, Arc::new(body.to_string().into_bytes())));
+        };
+        match self.traces.find(id.0) {
+            Some(rec) => {
+                let body = Json::obj([
+                    ("trace_id", Json::from(id.to_string())),
+                    ("records", Json::Arr(vec![rec.to_json()])),
+                ]);
+                Some((200, Arc::new(body.to_string().into_bytes())))
+            }
+            None => {
+                let body = Json::obj([
+                    ("error",
+                    Json::obj([
+                        ("kind", Json::from("not_found")),
+                        ("message", Json::from("trace not in the ring (evicted, never recorded, or tracing disabled)")),
+                    ]))
+                ]);
+                Some((404, Arc::new(body.to_string().into_bytes())))
+            }
+        }
+    }
+
+    /// [`route_guarded`](WorkerCore::route_guarded) plus trace phases:
+    /// the handler's wall time minus the request's cold ISL time becomes
+    /// the compute phase, the cold ISL time its own `isl` phase.
+    fn route_timed(
+        &self,
+        method: &str,
+        path: &str,
+        body: &[u8],
+        deadline: Option<Instant>,
+        request_isl: Option<&CounterHandle>,
+    ) -> (handlers::Reply, bool) {
+        let Some(handle) = request_isl else {
+            return self.route_guarded(method, path, body, deadline);
+        };
+        let _attached = handle.attach();
+        let t0 = Instant::now();
+        let result = self.route_guarded(method, path, body, deadline);
+        let wall = t0.elapsed();
+        let cold = std::time::Duration::from_nanos(handle.cold_ns());
+        let compute_name = match path {
+            "/v1/analyze" => "analyze",
+            "/v1/dse" => "dse",
+            _ => "compute",
+        };
+        obs::add_span(compute_name, t0, wall.saturating_sub(cold), "");
+        obs::add_span(
+            "isl",
+            t0,
+            cold,
+            format!(
+                "hits={} misses={} fast={}",
+                handle.hits(),
+                handle.misses(),
+                handle.fast_paths()
+            ),
+        );
+        result
     }
 
     /// Runs the handler router, converting an escaped panic (a bug in
@@ -210,6 +414,34 @@ impl WorkerCore {
     }
 }
 
+/// A pre-scope edge phase (queue wait, request parse).
+fn edge_span(name: &str, start_us: u64, dur_us: u64) -> Span {
+    Span {
+        name: name.to_string(),
+        start_us,
+        dur_us,
+        detail: String::new(),
+        phase: true,
+    }
+}
+
+/// RAII decrement for the `in_flight` gauge: early returns and panics
+/// unwinding out of the request path can no longer leak it upward.
+struct InFlightGuard<'a>(&'a AtomicU64);
+
+impl<'a> InFlightGuard<'a> {
+    fn new(gauge: &'a AtomicU64) -> InFlightGuard<'a> {
+        gauge.fetch_add(1, Ordering::Relaxed);
+        InFlightGuard(gauge)
+    }
+}
+
+impl Drop for InFlightGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -251,6 +483,101 @@ mod tests {
         assert_eq!((d.misses, d.hits), (1, 1));
         // Both requests counted and bucketed.
         assert_eq!(core.stats.completed.load(Ordering::Relaxed), 2);
+    }
+
+    fn analyze_body() -> String {
+        Json::obj([(
+            "problem",
+            Json::from(
+                "for (i = 0; i < 2; i++)\n  for (j = 0; j < 2; j++)\n    S: Y[i] += A[i][j];\n\n\
+                 { S[i,j] -> (PE[i] | T[j]) }\n\n\
+                 arch \"t\" { array = [2] interconnect = systolic1d bandwidth = 4 }\n",
+            ),
+        )])
+        .to_string()
+    }
+
+    #[test]
+    fn traced_request_records_phases_summing_close_to_total() {
+        let core = core();
+        let edge = EdgeTimings {
+            queue_us: 30,
+            parse_us: 20,
+        };
+        let (status, _bytes, rec) = core.handle_traced(
+            "POST",
+            "/v1/analyze",
+            analyze_body().as_bytes(),
+            None,
+            None,
+            Some(0xabc),
+            edge,
+        );
+        assert_eq!(status, 200);
+        let rec = rec.expect("traced request must yield a record");
+        assert_eq!(rec.tier, "worker");
+        assert_eq!(rec.endpoint, "POST /v1/analyze");
+        for name in [
+            "queue",
+            "parse",
+            "canon",
+            "dedup",
+            "analyze",
+            "isl",
+            "serialize",
+        ] {
+            assert!(
+                rec.spans.iter().any(|s| s.name == name && s.phase),
+                "missing phase {name:?} in {:?}",
+                rec.spans
+            );
+        }
+        // The phases tile the timeline: the only uncovered time is a few
+        // instruction-counting gaps between stopwatch reads.
+        let sum = rec.phase_sum_us();
+        assert!(
+            sum <= rec.total_us + 10 && rec.total_us.saturating_sub(sum) < 500,
+            "phase sum {sum}µs vs total {}µs",
+            rec.total_us
+        );
+        // The record is findable through the store and the endpoint.
+        assert_eq!(core.traces.find(0xabc).unwrap().id, 0xabc);
+        let (s, body) = core.handle("GET", "/v1/trace/0000000000000abc", b"");
+        assert_eq!(s, 200);
+        let v = Json::parse(std::str::from_utf8(&body).unwrap()).unwrap();
+        assert_eq!(
+            v.get("records").and_then(Json::as_arr).map(<[Json]>::len),
+            Some(1)
+        );
+        let (s, _) = core.handle("GET", "/v1/trace/ffffffffffffffff", b"");
+        assert_eq!(s, 404);
+        let (s, _) = core.handle("GET", "/v1/trace/not-hex", b"");
+        assert_eq!(s, 400);
+    }
+
+    #[test]
+    fn untraced_requests_record_nothing_and_metrics_render() {
+        let core = core();
+        let (_, _, rec) = core.handle_traced(
+            "POST",
+            "/v1/analyze",
+            analyze_body().as_bytes(),
+            None,
+            None,
+            None,
+            EdgeTimings::default(),
+        );
+        assert!(rec.is_none());
+        let (s, body) = core.handle("GET", "/metrics", b"");
+        assert_eq!(s, 200);
+        let text = String::from_utf8(body.to_vec()).unwrap();
+        assert!(text.contains("tenet_worker_requests_total"), "{text}");
+        assert!(
+            text.contains("tenet_worker_request_latency_us_bucket{le=\"+Inf\"}"),
+            "{text}"
+        );
+        // In-flight drained back to zero through the RAII guard.
+        assert_eq!(core.stats.in_flight.load(Ordering::Relaxed), 0);
     }
 
     #[test]

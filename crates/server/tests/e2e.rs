@@ -421,3 +421,112 @@ fn graceful_shutdown_drains_and_stops_accepting() {
         );
     }
 }
+
+/// [`post`] with extra request headers, keeping the response headers
+/// (lowercased names) so tests can assert on trace echoes.
+fn post_with_headers(
+    addr: std::net::SocketAddr,
+    path: &str,
+    body: &str,
+    headers: &[(&str, &str)],
+) -> (u16, Vec<(String, String)>, Vec<u8>) {
+    let mut s = TcpStream::connect(addr).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    let extra: String = headers
+        .iter()
+        .map(|(k, v)| format!("{k}: {v}\r\n"))
+        .collect();
+    let req = format!(
+        "POST {path} HTTP/1.1\r\nHost: t\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\n{extra}Connection: close\r\n\r\n{body}",
+        body.len()
+    );
+    s.write_all(req.as_bytes()).unwrap();
+    ResponseReader::new(s)
+        .next_response_with_headers()
+        .expect("read response")
+}
+
+#[test]
+fn traced_request_echoes_id_and_serves_the_timeline() {
+    // `slow_ms: 0` classifies every request as slow, so the slow ring is
+    // testable without a genuinely slow request.
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        threads: 2,
+        slow_ms: 0,
+        ..Default::default()
+    };
+    let server = Server::bind(config).expect("bind ephemeral port");
+    let addr = server.local_addr();
+    let handle = server.handle();
+    std::thread::spawn(move || server.run().expect("server run"));
+
+    // A short client id is accepted and echoed zero-padded to 16 hex.
+    let (status, headers, _body) = post_with_headers(
+        addr,
+        "/v1/analyze",
+        &analyze_body(),
+        &[("X-Tenet-Trace-Id", "abc123")],
+    );
+    assert_eq!(status, 200);
+    let header = |name: &str| -> Option<&str> {
+        headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    };
+    assert_eq!(header("x-tenet-trace-id"), Some("0000000000abc123"));
+    let timing = header("x-tenet-server-timing").expect("Server-Timing header");
+    assert!(
+        timing.contains(";dur=") && timing.contains("serialize"),
+        "the header must carry per-phase durations: {timing}"
+    );
+
+    // The worker serves the recorded timeline, phases summing ≈ total.
+    let (status, body) = get(addr, "/v1/trace/abc123");
+    assert_eq!(status, 200);
+    let doc = Json::parse(std::str::from_utf8(&body).unwrap()).unwrap();
+    assert_eq!(
+        doc.get("trace_id").and_then(Json::as_str),
+        Some("0000000000abc123")
+    );
+    let records = doc.get("records").and_then(Json::as_arr).expect("records");
+    assert_eq!(records.len(), 1);
+    let rec = &records[0];
+    assert_eq!(rec.get("tier").and_then(Json::as_str), Some("worker"));
+    let total = rec.get("total_us").and_then(Json::as_u64).unwrap();
+    let phase_sum: u64 = rec
+        .get("spans")
+        .and_then(Json::as_arr)
+        .unwrap()
+        .iter()
+        .filter(|s| s.get("phase").and_then(Json::as_bool) == Some(true))
+        .filter_map(|s| s.get("dur_us").and_then(Json::as_u64))
+        .sum();
+    let slack = (total / 10).max(50);
+    assert!(
+        phase_sum <= total && total - phase_sum <= slack,
+        "phases must sum to within 10% of the handling time \
+         (sum {phase_sum}µs vs total {total}µs): {rec}"
+    );
+
+    // With the threshold at zero, the request also lands in the slow
+    // ring, queryable without knowing its id.
+    let (status, body) = get(addr, "/v1/trace/slow?ms=0");
+    assert_eq!(status, 200);
+    let doc = Json::parse(std::str::from_utf8(&body).unwrap()).unwrap();
+    let traces = doc.get("traces").and_then(Json::as_arr).expect("traces");
+    assert!(
+        traces
+            .iter()
+            .any(|t| { t.get("trace_id").and_then(Json::as_str) == Some("0000000000abc123") }),
+        "the traced request must appear among the slow timelines: {doc}"
+    );
+
+    // A garbled id is a client error, not a 404.
+    let (status, _) = get(addr, "/v1/trace/not-hex");
+    assert_eq!(status, 400);
+
+    handle.shutdown();
+}
