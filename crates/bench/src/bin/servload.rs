@@ -15,6 +15,13 @@
 //! * **Self-hosted** (no target argument): spins up an in-process
 //!   `tenet_server::Server` on an ephemeral port, loads it, then drains
 //!   it — the reproducible configuration the committed artifact uses.
+//!   The drain writes a warm-state snapshot, and a second phase
+//!   (`restart_replay`) boots a fresh process from that file and replays
+//!   the identical mix: a restored shard must answer its old keys warm,
+//!   so the phase's p50 should sit in the single phase's warm regime
+//!   (recorded as `vs_single_p50`) and the restored process must serve
+//!   the whole replay without a single cold recompute
+//!   (`restored_cold_misses`).
 //!   With `--router`, two more phases boot a `tenet_router::Router` and
 //!   load it identically — once over two HTTP workers (`router_http`)
 //!   and once over two in-process cores behind the local transport
@@ -725,12 +732,18 @@ fn main() {
                 run_phase(label, &normalize_addr(t), &cli, cli.router),
             ));
         }
-        // Self-hosted: the single-process baseline, then (with --router)
-        // the sharded tier over two workers — same workload, same box.
+        // Self-hosted: the single-process baseline (which snapshots its
+        // warm state on drain), a restart-replay phase restored from
+        // that snapshot, then (with --router) the sharded tier over two
+        // workers — same workload, same box.
         None => {
+            let snap_path =
+                std::env::temp_dir().join(format!("servload-snap-{}.snap", std::process::id()));
+            let _ = std::fs::remove_file(&snap_path);
             let server = Server::bind(ServerConfig {
                 addr: "127.0.0.1:0".into(),
                 threads: 4,
+                snapshot_file: Some(snap_path.clone()),
                 ..Default::default()
             })
             .expect("bind ephemeral server");
@@ -740,6 +753,39 @@ fn main() {
             phases.push(("single", run_phase("single", &addr, &cli, false)));
             handle.shutdown();
             let _ = join.join();
+
+            // Restart-replay: a fresh process restored from the drained
+            // server's snapshot answers the same mix. Everything it
+            // serves — warm-up included — must come out of the restored
+            // dedup cache, never be recomputed.
+            let restored = Server::bind(ServerConfig {
+                addr: "127.0.0.1:0".into(),
+                threads: 4,
+                snapshot_file: Some(snap_path.clone()),
+                ..Default::default()
+            })
+            .expect("bind restored server");
+            let addr = restored.local_addr().to_string();
+            let handle = restored.handle();
+            let join = std::thread::spawn(move || restored.run());
+            phases.push((
+                "restart_replay",
+                run_phase("restart_replay", &addr, &cli, false),
+            ));
+            let restored_cold = fetch_stats(&addr)
+                .and_then(|s| s.get("dedup")?.get("misses")?.as_u64())
+                .unwrap_or(u64::MAX);
+            if let Some((_, phase)) = phases.last_mut() {
+                if let Json::Obj(fields) = &mut phase.report {
+                    fields.push((
+                        "restored_cold_misses".to_string(),
+                        Json::from(restored_cold),
+                    ));
+                }
+            }
+            handle.shutdown();
+            let _ = join.join();
+            let _ = std::fs::remove_file(&snap_path);
 
             if cli.router {
                 let router_config = RouterConfig {
@@ -851,6 +897,33 @@ fn main() {
             }
         }
     }
+    // The restart-replay phase records its p50 relative to the
+    // steady-state warm baseline: a restored process should sit in the
+    // same warm regime, not pay a cold-start tax per request.
+    if let Some(single_p50) = phases
+        .iter()
+        .find(|(label, _)| *label == "single")
+        .and_then(|(_, p)| p.report.get("p50_us"))
+        .and_then(Json::as_f64)
+        .filter(|&r| r > 0.0)
+    {
+        if let Some((_, phase)) = phases
+            .iter_mut()
+            .find(|(label, _)| *label == "restart_replay")
+        {
+            let p50 = phase
+                .report
+                .get("p50_us")
+                .and_then(Json::as_f64)
+                .unwrap_or(0.0);
+            if let Json::Obj(fields) = &mut phase.report {
+                fields.push((
+                    "vs_single_p50".to_string(),
+                    Json::from(((p50 / single_p50) * 1e4).round() / 1e4),
+                ));
+            }
+        }
+    }
 
     // One phase → the phase's flat document (the committed single-process
     // schema); two phases → one section per phase, side by side.
@@ -930,6 +1003,26 @@ fn main() {
                     phase.shards_without_warm_hits
                 );
                 failed = true;
+            }
+        }
+        // Restart smoke: a restored process must replay its old keys
+        // without recomputing a single one. Only gated on clean runs —
+        // under a deadline or a fault plan, clipped requests can leave
+        // leader claims uncounted either way.
+        if cli.deadline_ms.is_none() && cli.fault_plans.is_empty() {
+            for (label, phase) in phases.iter().filter(|(l, _)| *l == "restart_replay") {
+                let cold = phase
+                    .report
+                    .get("restored_cold_misses")
+                    .and_then(Json::as_u64)
+                    .unwrap_or(u64::MAX);
+                if cold != 0 {
+                    eprintln!(
+                        "servload: SMOKE FAILED [{label}] restored process recomputed \
+                         {cold} request(s) cold"
+                    );
+                    failed = true;
+                }
             }
         }
         if failed {

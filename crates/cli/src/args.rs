@@ -34,6 +34,8 @@ const VALUED: &[&str] = &[
     "admission-rps",
     "trace-buffer",
     "slow-ms",
+    "snapshot-file",
+    "snapshot-interval-s",
 ];
 
 /// Valued keys that may be given more than once, accumulating values.

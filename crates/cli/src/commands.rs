@@ -60,6 +60,7 @@ USAGE:
   tenet demo     <gemm|conv2d|mttkrp|mmc|jacobi2d>
   tenet serve    [--addr HOST:PORT] [--threads N]
                  [--trace-buffer N] [--slow-ms MS]
+                 [--snapshot-file PATH] [--snapshot-interval-s N]
   tenet route    [--addr HOST:PORT] [--workers N] [--transport local|http]
                  [--worker-addr HOST:PORT]... [--replication R]
                  [--hedge-ms MS] [--threads N] [--admission-rps N]
@@ -567,6 +568,24 @@ pub fn serve(args: &Args) -> CmdResult {
     }
     if let Some(ms) = slow {
         config.slow_ms = ms;
+    }
+    if let Some(path) = args.option("snapshot-file") {
+        config.snapshot_file = Some(std::path::PathBuf::from(path));
+    }
+    match args
+        .option_as::<u64>("snapshot-interval-s")
+        .map_err(CmdError::usage)?
+    {
+        Some(s) if s >= 1 => {
+            if config.snapshot_file.is_none() {
+                return Err(CmdError::usage(
+                    "--snapshot-interval-s needs --snapshot-file PATH",
+                ));
+            }
+            config.snapshot_interval = Some(std::time::Duration::from_secs(s));
+        }
+        Some(_) => return Err(CmdError::usage("--snapshot-interval-s must be at least 1")),
+        None => {}
     }
     let server = tenet_server::Server::bind(config)
         .map_err(|e| CmdError::input(format!("cannot bind: {e}")))?;

@@ -214,6 +214,21 @@ fn serve_rejects_bad_options() {
     assert_eq!(out.status.code(), Some(1));
     let out = tenet(&["serve", "--addr", "definitely:not:an:addr"]);
     assert_eq!(out.status.code(), Some(2));
+    // The snapshot knobs: a non-numeric or zero interval is a usage
+    // error, and an interval without a file to write makes no sense.
+    let out = tenet(&["serve", "--snapshot-interval-s", "soon"]);
+    assert_eq!(out.status.code(), Some(1));
+    let out = tenet(&[
+        "serve",
+        "--snapshot-file",
+        "x.snap",
+        "--snapshot-interval-s",
+        "0",
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    let out = tenet(&["serve", "--snapshot-interval-s", "5"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--snapshot-file"));
 }
 
 #[test]

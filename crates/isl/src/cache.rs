@@ -615,6 +615,275 @@ pub(crate) fn memo_bool(
     Ok(result)
 }
 
+// ---------------------------------------------------------------------------
+// Snapshot export / import
+// ---------------------------------------------------------------------------
+
+/// Stable wire name of an [`OpKind`]; the inverse of [`op_from_name`].
+/// Snapshot files persist these strings, so renaming a variant must keep
+/// its wire name (or bump the snapshot format version).
+fn op_name(op: OpKind) -> &'static str {
+    match op {
+        OpKind::Reverse => "reverse",
+        OpKind::ApplyRange => "apply_range",
+        OpKind::Intersect => "intersect",
+        OpKind::Subtract => "subtract",
+        OpKind::Project => "project",
+        OpKind::Union => "union",
+        OpKind::IntersectDomain => "intersect_domain",
+        OpKind::IntersectRange => "intersect_range",
+        OpKind::Card => "card",
+        OpKind::Empty => "empty",
+        OpKind::Coalesce => "coalesce",
+        OpKind::Fix => "fix",
+        OpKind::SliceMax => "slice_max",
+    }
+}
+
+fn op_from_name(name: &str) -> Option<OpKind> {
+    Some(match name {
+        "reverse" => OpKind::Reverse,
+        "apply_range" => OpKind::ApplyRange,
+        "intersect" => OpKind::Intersect,
+        "subtract" => OpKind::Subtract,
+        "project" => OpKind::Project,
+        "union" => OpKind::Union,
+        "intersect_domain" => OpKind::IntersectDomain,
+        "intersect_range" => OpKind::IntersectRange,
+        "card" => OpKind::Card,
+        "empty" => OpKind::Empty,
+        "coalesce" => OpKind::Coalesce,
+        "fix" => OpKind::Fix,
+        "slice_max" => OpKind::SliceMax,
+        _ => return None,
+    })
+}
+
+/// Whether `m` Display-prints in set notation (no `->` arrow), which
+/// decides the parser entry point on restore (`Set::parse` accepts texts
+/// `Map::parse` rejects and vice versa).
+fn set_shaped(m: &Map) -> bool {
+    m.n_in() == 0 && m.space().input.name.is_none()
+}
+
+/// A relation in portable text form: the canonical `fmt` notation plus
+/// which parser entry point reconstructs it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RelExport {
+    /// Canonical text (`Display` output, accepted by the parser).
+    pub text: String,
+    /// `true` when the text is set notation (restore via `Set::parse`).
+    pub set: bool,
+}
+
+/// A memoized result in portable form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValExport {
+    /// A map-valued result, as canonical text.
+    Map(RelExport),
+    /// A count-valued result.
+    Count(u128),
+    /// A boolean-valued result.
+    Bool(bool),
+}
+
+/// One memo entry in portable form: operand *texts*, never raw intern
+/// ids — restore is re-parse + re-intern under fresh ids.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemoExport {
+    /// Stable operation name (see [`op_name`]).
+    pub op: String,
+    /// Left operand.
+    pub lhs: RelExport,
+    /// Right operand, absent for unary operations.
+    pub rhs: Option<RelExport>,
+    /// The packed extra operand (projection side, fix column/value, …).
+    pub extra: i128,
+    /// The memoized result.
+    pub value: ValExport,
+}
+
+/// A portable, self-contained image of the memo context.
+///
+/// Produced by [`export`] under a single lock acquisition, so the image
+/// is always a consistent point-in-time view — a concurrent wholesale
+/// clear (cap overflow or [`clear`]) lands entirely before or entirely
+/// after it, never in the middle.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CacheExport {
+    /// Source texts memoized by `Map::parse`.
+    pub parsed_map: Vec<String>,
+    /// Source texts memoized by `Set::parse`.
+    pub parsed_set: Vec<String>,
+    /// Memoized operation entries.
+    pub memo: Vec<MemoExport>,
+}
+
+/// Outcome counts of [`import`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ImportReport {
+    /// Parse-table texts restored.
+    pub parsed: u64,
+    /// Memo entries restored.
+    pub memo: u64,
+    /// Entries dropped (unknown op name, unparseable text, table full).
+    pub skipped: u64,
+}
+
+/// Exports the memo context as re-parseable text.
+///
+/// The whole walk happens under one acquisition of the table mutex, so
+/// the result is a consistent snapshot even while other threads insert
+/// or clear concurrently. Entries involving an *empty* relation with a
+/// non-set space are skipped: their printed form loses the input tuple,
+/// so they cannot round-trip.
+pub fn export() -> CacheExport {
+    let c = ctx();
+    let t = c.tables.lock().expect("isl cache poisoned");
+    let mut by_id: HashMap<u64, &Arc<Map>> = HashMap::with_capacity(t.n_interned);
+    for bucket in t.ids.values() {
+        for (m, id) in bucket {
+            by_id.insert(*id, m);
+        }
+    }
+    let rel = |m: &Map| -> Option<RelExport> {
+        let set = set_shaped(m);
+        if m.basics.is_empty() && !set {
+            return None; // printed form would drop the input tuple
+        }
+        Some(RelExport {
+            text: m.to_string(),
+            set,
+        })
+    };
+    let mut memo = Vec::with_capacity(t.memo.len());
+    for (&(op, ia, ib, extra), val) in &t.memo {
+        // Operand ids always resolve: the memo and intern tables are read
+        // under the same lock acquisition, and every store went through
+        // interning. A panic here means export lost its consistency.
+        let Some(lhs) = rel(by_id.get(&ia).expect("memo lhs interned")) else {
+            continue;
+        };
+        let rhs = if ib == NO_RHS {
+            None
+        } else {
+            match rel(by_id.get(&ib).expect("memo rhs interned")) {
+                Some(r) => Some(r),
+                None => continue,
+            }
+        };
+        let value = match val {
+            CachedVal::Map(m) => match rel(m) {
+                Some(r) => ValExport::Map(r),
+                None => continue,
+            },
+            CachedVal::Count(n) => ValExport::Count(*n),
+            CachedVal::Bool(b) => ValExport::Bool(*b),
+        };
+        memo.push(MemoExport {
+            op: op_name(op).to_string(),
+            lhs,
+            rhs,
+            extra,
+            value,
+        });
+    }
+    CacheExport {
+        parsed_map: t.parsed_map.keys().cloned().collect(),
+        parsed_set: t.parsed_set.keys().cloned().collect(),
+        memo,
+    }
+}
+
+/// Re-parses `r` with the parser entry point it was exported for. Goes
+/// through the public parse paths, so the parse memo warms as a side
+/// effect.
+fn reparse(r: &RelExport) -> Option<Map> {
+    if r.set {
+        crate::Set::parse(&r.text).ok().map(crate::Set::into_map)
+    } else {
+        Map::parse(&r.text).ok()
+    }
+}
+
+/// Imports a previously [`export`]ed image: re-parse every text and
+/// re-intern under fresh ids. Unknown ops and unparseable texts are
+/// skipped (counted), never fatal — the memo is an accelerator, not a
+/// source of truth. No-op when the cache is disabled.
+pub fn import(snap: &CacheExport) -> ImportReport {
+    let c = ctx();
+    let mut report = ImportReport::default();
+    if !c.enabled.load(Ordering::Relaxed) {
+        return report;
+    }
+    for text in snap.parsed_map.iter() {
+        match Map::parse(text) {
+            Ok(_) => report.parsed += 1,
+            Err(_) => report.skipped += 1,
+        }
+    }
+    for text in snap.parsed_set.iter() {
+        match crate::Set::parse(text) {
+            Ok(_) => report.parsed += 1,
+            Err(_) => report.skipped += 1,
+        }
+    }
+    // Parse all memo operands/values outside the lock, deduplicating
+    // repeated texts, then intern + insert in one locked pass.
+    let mut parsed: HashMap<(String, bool), Option<Map>> = HashMap::new();
+    let mut resolve = |r: &RelExport| -> Option<Map> {
+        parsed
+            .entry((r.text.clone(), r.set))
+            .or_insert_with(|| reparse(r))
+            .clone()
+    };
+    let mut ready: Vec<(OpKind, Map, Option<Map>, i128, CachedVal)> = Vec::new();
+    for e in snap.memo.iter() {
+        let prepared = op_from_name(&e.op).and_then(|op| {
+            let lhs = resolve(&e.lhs)?;
+            let rhs = match &e.rhs {
+                Some(r) => Some(resolve(r)?),
+                None => None,
+            };
+            let val = match &e.value {
+                ValExport::Map(r) => CachedVal::Map(Arc::new(resolve(r)?)),
+                ValExport::Count(n) => CachedVal::Count(*n),
+                ValExport::Bool(b) => CachedVal::Bool(*b),
+            };
+            Some((op, lhs, rhs, e.extra, val))
+        });
+        match prepared {
+            Some(p) => ready.push(p),
+            None => report.skipped += 1,
+        }
+    }
+    let mut t = c.tables.lock().expect("isl cache poisoned");
+    for (op, lhs, rhs, extra, val) in ready {
+        if t.memo.len() >= MAX_ENTRIES || t.n_interned >= MAX_ENTRIES {
+            report.skipped += 1;
+            continue;
+        }
+        let ha = map_hash(&lhs);
+        let ia = match find_interned(&t, ha, &lhs) {
+            Some(id) => id,
+            None => insert_interned(&mut t, ha, Arc::new(lhs)),
+        };
+        let ib = match rhs {
+            Some(r) => {
+                let hb = map_hash(&r);
+                match find_interned(&t, hb, &r) {
+                    Some(id) => id,
+                    None => insert_interned(&mut t, hb, Arc::new(r)),
+                }
+            }
+            None => NO_RHS,
+        };
+        t.memo.entry((op, ia, ib, extra)).or_insert(val);
+        report.memo += 1;
+    }
+    report
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -712,6 +981,109 @@ mod tests {
             });
         });
         assert!(h.hits() + h.misses() >= 1, "worker lookups must count");
+    }
+
+    #[test]
+    fn export_import_round_trip_restores_hits() {
+        let _guard = test_lock();
+        set_enabled(true);
+        clear();
+        let m = Map::parse("{ S[i, j] -> PE[i] : 0 <= i < 9 and 0 <= j < 7 }").unwrap();
+        let s = crate::Set::parse("{ P[x, y] : 0 <= x < 5 and 0 <= y < 3 }").unwrap();
+        assert_eq!(m.card().unwrap(), 63);
+        assert!(!s.as_map().is_empty().unwrap());
+        let snap = export();
+        assert!(
+            snap.parsed_map.len() == 1 && snap.parsed_set.len() == 1,
+            "both parse tables exported: {snap:?}"
+        );
+        assert!(snap.memo.len() >= 2, "card + empty memoized: {snap:?}");
+        clear();
+        let report = import(&snap);
+        assert_eq!(report.skipped, 0, "round-trip must not drop entries");
+        assert_eq!(report.memo as usize, snap.memo.len());
+        // Replaying the same source texts and operations must hit: parse
+        // is deterministic, so re-parsed operands are structurally
+        // identical to the re-interned snapshot operands.
+        reset_stats();
+        let m2 = Map::parse("{ S[i, j] -> PE[i] : 0 <= i < 9 and 0 <= j < 7 }").unwrap();
+        assert_eq!(m2.card().unwrap(), 63);
+        let s2 = crate::Set::parse("{ P[x, y] : 0 <= x < 5 and 0 <= y < 3 }").unwrap();
+        assert!(!s2.as_map().is_empty().unwrap());
+        let st = stats();
+        assert_eq!(
+            st.misses, 0,
+            "replay after restore must be all-warm: {st:?}"
+        );
+        assert_eq!(st.hits, 4, "parse x2 + card + empty: {st:?}");
+    }
+
+    #[test]
+    fn export_is_consistent_under_concurrent_clears() {
+        let _guard = test_lock();
+        set_enabled(true);
+        clear();
+        // Writers keep repopulating while a clearer wipes the tables
+        // wholesale; every export must be a coherent point-in-time view
+        // (operand ids resolve — export panics if not — and importing it
+        // into a cleared context drops nothing).
+        let stop = Arc::new(AtomicBool::new(false));
+        let writer = {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let m = Map::parse("{ W[i, j] -> PE[j] : 0 <= i < 6 and 0 <= j < 4 }").unwrap();
+                while !stop.load(Ordering::Relaxed) {
+                    let _ = m.card();
+                    let _ = m.is_empty();
+                }
+            })
+        };
+        let clearer = {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    clear();
+                    std::thread::yield_now();
+                }
+            })
+        };
+        for _ in 0..200 {
+            let snap = export();
+            clear();
+            let report = import(&snap);
+            assert_eq!(
+                report.skipped, 0,
+                "a consistent export imports without drops: {snap:?}"
+            );
+        }
+        stop.store(true, Ordering::Relaxed);
+        writer.join().unwrap();
+        clearer.join().unwrap();
+    }
+
+    #[test]
+    fn import_rejects_unknown_ops_without_failing() {
+        let _guard = test_lock();
+        set_enabled(true);
+        clear();
+        let snap = CacheExport {
+            parsed_map: vec!["{ A[i] -> B[i] : 0 <= i < 3 }".into(), "not a map".into()],
+            parsed_set: Vec::new(),
+            memo: vec![MemoExport {
+                op: "warp_speed".into(),
+                lhs: RelExport {
+                    text: "{ A[i] -> B[i] : 0 <= i < 3 }".into(),
+                    set: false,
+                },
+                rhs: None,
+                extra: 0,
+                value: ValExport::Count(3),
+            }],
+        };
+        let report = import(&snap);
+        assert_eq!(report.parsed, 1);
+        assert_eq!(report.skipped, 2, "bad text + unknown op: {report:?}");
+        assert_eq!(report.memo, 0);
     }
 
     #[test]

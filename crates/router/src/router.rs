@@ -10,7 +10,7 @@ use std::collections::{HashMap, HashSet};
 use std::io::Write as _;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Mutex, RwLock};
+use std::sync::{mpsc, Arc, Mutex, OnceLock, RwLock, Weak};
 use std::time::{Duration, Instant};
 use tenet_core::json::Json;
 use tenet_core::obs::{self, EdgeTimings, PromBuf, Span, TraceRecord, TraceStore};
@@ -22,10 +22,16 @@ use tenet_server::{canonical_key, canonical_request, WorkerCore};
 /// the router's helper pool.
 type AuxJob = Box<dyn FnOnce() + Send + 'static>;
 
-/// Bound on the router's memory of already-replicated keys; reaching it
-/// clears the set (re-warming is idempotent, forgetting is only a little
-/// redundant work).
+/// Bound on the router's memory of already-replicated keys. At the cap
+/// the *older generation* is dropped ([`WarmedSet`]), so recently
+/// repeated keys stay remembered and only stale ones re-replicate
+/// (re-warming is idempotent, forgetting is only a little redundant
+/// work).
 const WARMED_KEYS_CAP: usize = 65_536;
+
+/// Upper bound on warm-ship transfers per ring change: a huge surviving
+/// cache must not turn one eviction into an unbounded background storm.
+const WARM_SHIP_MAX: usize = 4096;
 
 /// Router configuration. Defaults match [`tenet_server::ServerConfig`]'s
 /// posture: loopback, small host, every knob overridable by tests.
@@ -160,6 +166,11 @@ pub struct RouterStats {
     pub hedges_won: AtomicU64,
     /// Replica cache entries written through (`POST /v1/warm` accepted).
     pub warm_writes: AtomicU64,
+    /// Cached answers shipped to keys' new owners after an eviction
+    /// through the same `/v1/warm` write-through path.
+    pub warm_shipped: AtomicU64,
+    /// Warm-ship transfers refused or unreachable at the target.
+    pub warm_ship_failures: AtomicU64,
     /// Circuit breakers tripped: a shard evicted because it failed
     /// [`RouterConfig::breaker_threshold`] consecutive forwards.
     pub breaker_trips: AtomicU64,
@@ -179,6 +190,52 @@ impl RouterStats {
             _ => &self.status_5xx,
         }
         .fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// The router's memory of keys already written through to their replica
+/// set, bounded by generational rotation instead of a wholesale clear:
+/// inserts land in the young generation, and when it reaches half
+/// [`WARMED_KEYS_CAP`] the old generation is dropped and the young one
+/// takes its place. A key re-inserted at any sustained rate is promoted
+/// young before it ages out, so its write-through memory survives the
+/// cap — the previous behavior (clear everything at the cap) forgot
+/// *every* hot key at once and re-replicated the entire working set.
+#[derive(Default)]
+struct WarmedSet {
+    young: HashSet<u64>,
+    old: HashSet<u64>,
+}
+
+impl WarmedSet {
+    /// Whether the key is remembered in either generation.
+    fn contains(&self, key: u64) -> bool {
+        self.young.contains(&key) || self.old.contains(&key)
+    }
+
+    /// Remembers a key, returning `true` when it was not already known.
+    /// A key found in the old generation is promoted young (and reports
+    /// already-known), so repeated keys never age out while hot.
+    fn insert(&mut self, key: u64) -> bool {
+        if self.young.contains(&key) {
+            return false;
+        }
+        let known = self.old.remove(&key);
+        if self.young.len() >= WARMED_KEYS_CAP / 2 {
+            self.old = std::mem::take(&mut self.young);
+        }
+        self.young.insert(key);
+        !known
+    }
+
+    fn remove(&mut self, key: u64) {
+        self.young.remove(&key);
+        self.old.remove(&key);
+    }
+
+    fn clear(&mut self) {
+        self.young.clear();
+        self.old.clear();
     }
 }
 
@@ -269,7 +326,11 @@ pub struct RouterState {
     /// Keys already written through to their replica set. Cleared on
     /// every ring-membership change: the successor sets shift, so keys
     /// must re-replicate onto the new arrangement.
-    warmed: RwLock<HashSet<u64>>,
+    warmed: RwLock<WarmedSet>,
+    /// A weak self-reference, set right after construction, so
+    /// ring-change handlers deep in `&self` methods can hand the whole
+    /// state to a background warm-ship job.
+    self_ref: OnceLock<Weak<RouterState>>,
     /// Helper pool for hedged primaries and replication write-throughs;
     /// present only while [`Router::run`] is live. Without it, hedging
     /// degrades to synchronous dispatch and replication is skipped.
@@ -294,6 +355,7 @@ impl RouterState {
             self.shards[worker].set_alive(false);
             self.stats.rehashes.fetch_add(1, Ordering::Relaxed);
             self.warmed.write().expect("warmed poisoned").clear();
+            self.schedule_warm_ship();
         }
         removed
     }
@@ -311,8 +373,25 @@ impl RouterState {
             shard.alive.store(true, Ordering::Release);
             shard.consecutive_failures.store(0, Ordering::Relaxed);
             self.stats.revivals.fetch_add(1, Ordering::Relaxed);
+            // No eager shipping here, deliberately: the revived shard
+            // just came back from the dead, and greeting it with a burst
+            // of warm writes is a fine way to re-kill it. Clearing the
+            // `warmed` set is enough — every moved key's next winning
+            // 200 re-replicates to the revived owner through the
+            // ordinary write-through, so it re-warms at traffic pace.
             self.warmed.write().expect("warmed poisoned").clear();
         }
+    }
+
+    /// Schedules a background warm-ship pass onto the helper pool after
+    /// an eviction. Best-effort: with the pool absent or
+    /// saturated the pass is skipped, and moved keys re-warm lazily
+    /// through the ordinary replication write-through instead.
+    fn schedule_warm_ship(&self) {
+        let Some(state) = self.self_ref.get().and_then(Weak::upgrade) else {
+            return;
+        };
+        let _ = self.submit_aux(Box::new(move || warm_ship(&state)));
     }
 
     /// Records one transport failure against a shard's breaker; at the
@@ -449,11 +528,13 @@ impl Router {
             stats: RouterStats::default(),
             shutdown: Arc::new(AtomicBool::new(false)),
             started: Instant::now(),
-            warmed: RwLock::new(HashSet::new()),
+            warmed: RwLock::new(WarmedSet::default()),
+            self_ref: OnceLock::new(),
             aux: Mutex::new(None),
             admission: Mutex::new(HashMap::new()),
             traces,
         });
+        let _ = state.self_ref.set(Arc::downgrade(&state));
         Ok(Router {
             listener,
             state,
@@ -1310,6 +1391,106 @@ fn hedged_call(
     }
 }
 
+/// One warm-ship pass after an eviction: pull each surviving shard's
+/// cached responses (`GET /v1/snapshot?section=dedup`), recompute every
+/// key's owner set on the *current* ring, and write entries through to
+/// alive owners that do not already hold them (`POST /v1/warm`) — so
+/// keys that moved in the rehash greet their first post-change request
+/// warm instead of recomputing cold. Bounded by [`WARM_SHIP_MAX`]
+/// transfers; failures are only counted, never used as liveness
+/// evidence (the prober and the data path own eviction decisions).
+fn warm_ship(state: &Arc<RouterState>) {
+    let replication = state.config.replication.max(1);
+    let timeout = state.config.write_timeout;
+    // Pass 1: who holds what, per the survivors' own dedup exports.
+    // Keyed on the canonical hash — the same identity the ring shards.
+    type Held = (String, u64, String, Vec<usize>);
+    let mut held: HashMap<u64, Held> = HashMap::new();
+    for source in &state.shards {
+        if !source.is_alive() {
+            continue;
+        }
+        let Ok((200, bytes)) =
+            source
+                .transport
+                .call("GET", "/v1/snapshot?section=dedup", b"", timeout, timeout)
+        else {
+            continue;
+        };
+        let Some(doc) = std::str::from_utf8(&bytes)
+            .ok()
+            .and_then(|t| Json::parse(t).ok())
+        else {
+            continue;
+        };
+        let Some(rows) = doc.get("dedup").and_then(Json::as_arr) else {
+            continue;
+        };
+        for row in rows {
+            let (Some(canon), Some(status), Some(body)) = (
+                row.get("key").and_then(Json::as_str),
+                row.get("status").and_then(Json::as_u64),
+                row.get("body").and_then(Json::as_str),
+            ) else {
+                continue;
+            };
+            // Mirror the replication path: a deadline-truncated answer
+            // is a timing accident and must not poison anyone's cache.
+            if body.contains("\"truncated\"") {
+                continue;
+            }
+            held.entry(canonical_key(canon))
+                .or_insert_with(|| (canon.to_string(), status, body.to_string(), Vec::new()))
+                .3
+                .push(source.index);
+        }
+    }
+    // Pass 2: ship each entry to the current owners missing it.
+    let mut ships = 0usize;
+    for (key, (canon, status, body, holders)) in &held {
+        let owners = {
+            let ring = state.ring.read().expect("ring poisoned");
+            ring.owners(*key, replication)
+        };
+        let missing: Vec<usize> = owners
+            .into_iter()
+            .filter(|w| !holders.contains(w) && state.shards[*w].is_alive())
+            .collect();
+        if missing.is_empty() {
+            continue;
+        }
+        let warm_body = Json::obj([
+            ("key", Json::from(canon.as_str())),
+            ("status", Json::from(*status)),
+            ("body", Json::from(body.as_str())),
+        ])
+        .to_string();
+        for owner in missing {
+            if ships >= WARM_SHIP_MAX {
+                return;
+            }
+            ships += 1;
+            match state.shards[owner].transport.call(
+                "POST",
+                "/v1/warm",
+                warm_body.as_bytes(),
+                timeout,
+                timeout,
+            ) {
+                Ok((200, _)) => {
+                    state.stats.warm_shipped.fetch_add(1, Ordering::Relaxed);
+                }
+                _ => {
+                    state
+                        .stats
+                        .warm_ship_failures
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+}
+
 /// Replication write-through: after the first winning 2xx for a key,
 /// asynchronously store the answer in the `R-1` successor replicas'
 /// dedup caches (`POST /v1/warm`). The ring's successor property makes
@@ -1341,17 +1522,11 @@ fn maybe_replicate(
     // Fast path: steady state is "already written through" — answer that
     // from a shared read lock so concurrent request threads never
     // serialize here.
-    if state.warmed.read().expect("warmed poisoned").contains(&key) {
+    if state.warmed.read().expect("warmed poisoned").contains(key) {
         return;
     }
-    {
-        let mut warmed = state.warmed.write().expect("warmed poisoned");
-        if warmed.len() >= WARMED_KEYS_CAP {
-            warmed.clear();
-        }
-        if !warmed.insert(key) {
-            return; // already written through under this ring arrangement
-        }
+    if !state.warmed.write().expect("warmed poisoned").insert(key) {
+        return; // already written through under this ring arrangement
     }
     let warm_body = Json::obj([
         ("key", Json::from(canon)),
@@ -1386,7 +1561,7 @@ fn maybe_replicate(
     if !submitted {
         // Couldn't schedule the write-through; forget the key so a later
         // request retries it.
-        state.warmed.write().expect("warmed poisoned").remove(&key);
+        state.warmed.write().expect("warmed poisoned").remove(key);
     }
 }
 
@@ -1512,6 +1687,8 @@ fn stats_doc(state: &Arc<RouterState>) -> (u16, Arc<Vec<u8>>) {
                     Json::obj([
                         ("factor", Json::from(state.config.replication.max(1))),
                         ("warm_writes", load(&s.warm_writes)),
+                        ("warm_shipped", load(&s.warm_shipped)),
+                        ("warm_ship_failures", load(&s.warm_ship_failures)),
                     ]),
                 ),
                 (
@@ -1613,6 +1790,12 @@ fn router_prometheus(state: &Arc<RouterState>) -> String {
         &[("fired", c(&s.hedges_fired)), ("won", c(&s.hedges_won))],
     );
     p.counter("tenet_router_warm_writes_total", &[], c(&s.warm_writes));
+    p.counter("tenet_router_warm_shipped_total", &[], c(&s.warm_shipped));
+    p.counter(
+        "tenet_router_warm_ship_failures_total",
+        &[],
+        c(&s.warm_ship_failures),
+    );
     p.counter("tenet_router_breaker_trips_total", &[], c(&s.breaker_trips));
     p.counter(
         "tenet_router_deadline_exceeded_total",
@@ -1638,10 +1821,24 @@ fn trace_doc(state: &Arc<RouterState>, path: &str) -> (u16, Arc<Vec<u8>>) {
         None => (rest, None),
     };
     if rest == "slow" {
-        let min_us = query
-            .and_then(|q| q.split('&').find_map(|kv| kv.strip_prefix("ms=")))
-            .and_then(|v| v.parse::<u64>().ok())
-            .map(|ms| ms.saturating_mul(1_000));
+        // A present-but-unparseable threshold is a client mistake and
+        // must say so — silently ignoring it would serve the *unfiltered*
+        // slow ring as if the filter had applied.
+        let min_us = match query.and_then(|q| q.split('&').find_map(|kv| kv.strip_prefix("ms="))) {
+            Some(v) => match v.parse::<u64>() {
+                Ok(ms) => Some(ms.saturating_mul(1_000)),
+                Err(_) => {
+                    return (
+                        400,
+                        error_body(
+                            "usage",
+                            format!("bad `ms` value `{v}`: expected a non-negative integer"),
+                        ),
+                    );
+                }
+            },
+            None => None,
+        };
         let rows = state.traces.slow(min_us);
         let body = Json::obj([(
             "traces",
@@ -1733,4 +1930,56 @@ fn cascade_shutdown(state: &Arc<RouterState>) -> (u16, Arc<Vec<u8>>) {
     .to_string()
     .into_bytes();
     (200, Arc::new(body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The cap regression: with the old wholesale clear, hitting
+    /// [`WARMED_KEYS_CAP`] forgot *every* key, so a hot key repeated
+    /// right past the cap reported "new" again and re-replicated. With
+    /// generational rotation a repeatedly touched key must stay known
+    /// through an unbounded stream of one-shot keys.
+    #[test]
+    fn warmed_set_remembers_repeated_keys_past_the_cap() {
+        let mut w = WarmedSet::default();
+        assert!(w.insert(7), "first sighting is new");
+        for k in 0..(WARMED_KEYS_CAP as u64 * 2) {
+            w.insert((1 << 40) | k);
+            assert!(!w.insert(7), "hot key forgotten after {k} one-shot inserts");
+        }
+        // The forgetting is still bounded: two generations of half the
+        // cap each, never the unbounded set the rotation replaced.
+        assert!(w.young.len() + w.old.len() <= WARMED_KEYS_CAP);
+    }
+
+    #[test]
+    fn warmed_set_eventually_forgets_untouched_keys() {
+        let mut w = WarmedSet::default();
+        assert!(w.insert(7));
+        // Push two full generations of distinct keys with no re-touch:
+        // the key ages out and is treated as new again (harmless — the
+        // write-through it triggers is idempotent).
+        for k in 0..(WARMED_KEYS_CAP as u64) {
+            w.insert((1 << 40) | k);
+        }
+        assert!(w.insert(7), "an untouched key must age out at the cap");
+    }
+
+    #[test]
+    fn warmed_set_clear_and_remove_cover_both_generations() {
+        let mut w = WarmedSet::default();
+        for k in 0..(WARMED_KEYS_CAP as u64 / 2) {
+            w.insert(k);
+        }
+        w.insert(u64::MAX); // key 0..CAP/2 now old, MAX young
+        assert!(w.contains(0) && w.contains(u64::MAX));
+        w.remove(0);
+        w.remove(u64::MAX);
+        assert!(!w.contains(0) && !w.contains(u64::MAX));
+        w.insert(1);
+        w.clear();
+        assert!(!w.contains(1));
+    }
 }

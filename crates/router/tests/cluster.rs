@@ -1755,3 +1755,105 @@ fn chaos_retry_trace_shows_the_breaker_trip_and_phases_sum_to_total() {
     }
     router.shutdown_and_join().expect("router drained");
 }
+
+// ---------------------------------------------------------------------------
+// Warm-state operations: ring-change shipping, malformed-input parity.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn ring_change_ships_warm_state_to_new_owners() {
+    // Hedging off for exact counters; replication at its R = 2 default.
+    let mut cluster = Cluster::boot_with(3, Duration::ZERO, |c| c.hedge_after = Duration::MAX);
+    let addr = cluster.addr();
+    let keys: Vec<String> = (1..=10).map(analyze_body).collect();
+    let keys_n = keys.len() as u64;
+
+    let mut first: Vec<Vec<u8>> = Vec::new();
+    for body in &keys {
+        let (status, bytes) = post(addr, "/v1/analyze", body);
+        assert_eq!(status, 200, "{}", String::from_utf8_lossy(&bytes));
+        first.push(bytes);
+    }
+    // Wait for replication: every key on exactly two of the three shards.
+    let before = wait_for_stats(addr, "replication write-through", |s| {
+        router_u64(s, &["replication", "warm_writes"]) >= keys_n
+            && merged_u64(s, &["dedup", "entries"]) == 2 * keys_n
+    });
+    let rows = shard_rows(&before);
+    let victim = rows.iter().max_by_key(|r| r.2).unwrap();
+    let (victim_idx, victim_keys) = (victim.0 as usize, victim.2);
+    assert!(victim_keys > 0, "victim must own at least one key");
+    cluster.kill_worker(victim_idx);
+
+    // The first post-kill dispatch (or stats probe) evicts the victim;
+    // the eviction schedules the warm shipper, which streams the
+    // survivors' copies of the moved keys to their new co-owners over
+    // the same `/v1/warm` path replication uses.
+    for (i, body) in keys.iter().enumerate() {
+        let (status, bytes) = post(addr, "/v1/analyze", body);
+        assert_eq!(
+            status,
+            200,
+            "key {i} must survive the kill: {}",
+            String::from_utf8_lossy(&bytes)
+        );
+        assert_eq!(bytes, first[i], "key {i} must replay bit-identical");
+    }
+    // Shipping restores full R = 2 coverage among the survivors: the
+    // victim's copies are re-created on the keys' new second owners.
+    let after = wait_for_stats(addr, "ring-change warm shipping", |s| {
+        router_u64(s, &["replication", "warm_shipped"]) >= 1
+            && merged_u64(s, &["dedup", "entries"]) == 2 * keys_n
+    });
+    assert_eq!(
+        router_u64(&after, &["requests", "status_5xx"]),
+        0,
+        "the kill and the shipping must both be invisible to clients: {after}"
+    );
+    // The shipper moved cached bytes, never work: no survivor recomputed.
+    let after_rows = shard_rows(&after);
+    for (b, a) in rows.iter().zip(&after_rows) {
+        if b.0 as usize == victim_idx {
+            continue;
+        }
+        assert_eq!(
+            a.5, b.5,
+            "warm shipping must never trigger recomputes: {after_rows:?}"
+        );
+    }
+    // And the counters surface in the Prometheus exposition too.
+    let (status, body) = get(addr, "/metrics");
+    assert_eq!(status, 200);
+    let text = String::from_utf8(body).unwrap();
+    assert!(
+        text.contains("tenet_router_warm_shipped_total"),
+        "warm shipping must be scrapeable: {text}"
+    );
+}
+
+#[test]
+fn router_rejects_malformed_deadlines_and_trace_thresholds() {
+    // The router speaks the same codec as the worker, so a garbled
+    // deadline header fails identically at either tier: 400 with a JSON
+    // parse error, never a silent "no deadline".
+    let cluster = Cluster::boot(1, Duration::ZERO);
+    let addr = cluster.addr();
+    for bad in ["soon", "0", "-5", "1e3", ""] {
+        let (status, bytes) = post_with_headers(
+            addr,
+            "/v1/analyze",
+            &analyze_body(1),
+            &[("X-Tenet-Deadline-Ms", bad)],
+        );
+        let text = String::from_utf8_lossy(&bytes).to_string();
+        assert_eq!(status, 400, "deadline `{bad}` must be rejected: {text}");
+        assert!(text.contains("\"parse\""), "{text}");
+    }
+    // A garbled slow-trace threshold is a usage error, not an unfiltered
+    // ring served as if the filter had applied; `ms=0` stays valid.
+    let (status, body) = get(addr, "/v1/trace/slow?ms=abc");
+    assert_eq!(status, 400, "{}", String::from_utf8_lossy(&body));
+    assert!(String::from_utf8_lossy(&body).contains("\"usage\""));
+    let (status, _) = get(addr, "/v1/trace/slow?ms=0");
+    assert_eq!(status, 200);
+}

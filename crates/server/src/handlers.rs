@@ -118,6 +118,10 @@ pub fn route(
             Ok(req) => warm(&req, state),
             Err(r) => *r,
         },
+        ("GET", p) if p == "/v1/snapshot" || p.starts_with("/v1/snapshot?") => {
+            snapshot_get(p, state)
+        }
+        ("POST", "/v1/snapshot") => snapshot_save(state),
         ("POST", "/v1/shutdown") => {
             state.shutdown.store(true, Ordering::Release);
             Reply::ok(Json::obj([("status", Json::from("draining"))]))
@@ -366,6 +370,49 @@ fn warm(req: &Json, state: &WorkerCore) -> Reply {
         ("status", Json::from("warmed")),
         ("entries", Json::from(state.dedup.stats().entries)),
     ]))
+}
+
+/// `GET /v1/snapshot[?section=dedup|isl]` — the warm-state payload as
+/// JSON: the response LRU (and/or) the ISL memo context in re-parseable
+/// text form. This is what the router's ring-change warm shipper reads
+/// from surviving owners (`section=dedup`), and what operators can pull
+/// for ad-hoc state inspection. Never cacheable (see [`is_cacheable`]):
+/// it is a live view.
+fn snapshot_get(path: &str, state: &WorkerCore) -> Reply {
+    let query = path.split_once('?').map(|(_, q)| q);
+    let section = query.and_then(|q| q.split('&').find_map(|kv| kv.strip_prefix("section=")));
+    match crate::snapshot::Section::parse(section) {
+        Some(s) => Reply::ok(crate::snapshot::capture(state, s)),
+        None => Reply::bad_request(
+            "usage",
+            format!(
+                "bad `section` value `{}` (known: dedup, isl)",
+                section.unwrap_or_default()
+            ),
+        ),
+    }
+}
+
+/// `POST /v1/snapshot` — capture the full warm state and write it to the
+/// configured snapshot file (atomic tmp+rename). 400 when the worker was
+/// booted without `--snapshot-file`.
+fn snapshot_save(state: &WorkerCore) -> Reply {
+    let Some(path) = state.config.snapshot_file.as_deref() else {
+        return Reply::bad_request(
+            "usage",
+            "no snapshot file configured; boot with --snapshot-file PATH",
+        );
+    };
+    match crate::snapshot::save_to_file(state, path) {
+        Ok(report) => Reply::ok(Json::obj([
+            ("status", Json::from("saved")),
+            ("path", Json::from(path.display().to_string())),
+            ("bytes", Json::from(report.bytes)),
+            ("dedup_entries", Json::from(report.dedup_entries)),
+            ("isl_memo", Json::from(report.isl_memo)),
+        ])),
+        Err(e) => Reply::error(500, "io", format!("snapshot write failed: {e}")),
+    }
 }
 
 /// The keys a `/v1/dse` point object carries; the `fields` filter

@@ -23,8 +23,10 @@ pub struct Request {
     /// Whether the client asked to keep the connection open.
     pub keep_alive: bool,
     /// Remaining time budget from `X-Tenet-Deadline-Ms`, if the client
-    /// sent one (non-numeric values are ignored rather than rejected —
-    /// a garbled hint must not fail an otherwise well-formed request).
+    /// sent one. The value must be a positive integer that fits in
+    /// `u64`: non-numeric, zero, and overflowing values are rejected
+    /// with a 400 — a silently dropped deadline would make the request
+    /// run unbounded, which is the opposite of what the client asked.
     pub deadline_ms: Option<u64>,
     /// Client identity from `X-Tenet-Client`, when present. The router
     /// keys per-client admission control on this, falling back to the
@@ -190,8 +192,22 @@ impl RequestBuffer {
                     keep_alive = true;
                 }
             } else if name.eq_ignore_ascii_case("x-tenet-deadline-ms") {
-                if !value.is_empty() && value.bytes().all(|b| b.is_ascii_digit()) {
-                    deadline_ms = value.parse().ok();
+                // Digits-only (RFC-style), nonzero, and within u64: a
+                // garbled or zero deadline is a client bug — rejecting it
+                // beats silently running the request unbounded.
+                let parsed = if !value.is_empty() && value.bytes().all(|b| b.is_ascii_digit()) {
+                    value.parse::<u64>().ok()
+                } else {
+                    None
+                };
+                match parsed {
+                    Some(ms) if ms > 0 => deadline_ms = Some(ms),
+                    _ => {
+                        return Err(HttpError::BadRequest(format!(
+                            "bad x-tenet-deadline-ms `{value}`: expected a positive integer \
+                             of milliseconds"
+                        )))
+                    }
                 }
             } else if name.eq_ignore_ascii_case("x-tenet-client") && !value.is_empty() {
                 client = Some(value.to_string());
@@ -521,14 +537,41 @@ mod tests {
         assert!(err.is_none());
         assert_eq!(reqs[0].deadline_ms, Some(250));
         assert_eq!(reqs[0].client.as_deref(), Some("tenant-a"));
-        // Garbled deadline hints are ignored, not fatal.
-        let (reqs, err) = parse_all(b"GET /a HTTP/1.1\r\nX-Tenet-Deadline-Ms: soon\r\n\r\n");
-        assert!(err.is_none());
-        assert_eq!(reqs[0].deadline_ms, None);
         // Trace ids are carried through verbatim (validated at the edge).
         let (reqs, err) = parse_all(b"GET /a HTTP/1.1\r\nx-tenet-trace-id: 00c0ffee\r\n\r\n");
         assert!(err.is_none());
         assert_eq!(reqs[0].trace_id.as_deref(), Some("00c0ffee"));
+    }
+
+    #[test]
+    fn malformed_deadline_headers_are_rejected() {
+        // Non-numeric, zero, negative, overflowing, and empty values all
+        // 400 instead of silently running the request without a budget.
+        for bad in [
+            "soon",
+            "0",
+            "-5",
+            "1e3",
+            "99999999999999999999999",
+            "",
+            "+25",
+        ] {
+            let raw = format!("GET /a HTTP/1.1\r\nX-Tenet-Deadline-Ms: {bad}\r\n\r\n");
+            let (reqs, err) = parse_all(raw.as_bytes());
+            assert!(reqs.is_empty(), "deadline {bad:?} must not parse");
+            assert!(
+                matches!(err, Some(HttpError::BadRequest(_))),
+                "deadline {bad:?} must be a 400, got {err:?}"
+            );
+        }
+        // The largest representable deadline is still accepted.
+        let raw = format!(
+            "GET /a HTTP/1.1\r\nX-Tenet-Deadline-Ms: {}\r\n\r\n",
+            u64::MAX
+        );
+        let (reqs, err) = parse_all(raw.as_bytes());
+        assert!(err.is_none());
+        assert_eq!(reqs[0].deadline_ms, Some(u64::MAX));
     }
 
     #[test]

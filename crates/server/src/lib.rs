@@ -18,6 +18,8 @@
 //! | `GET /v1/trace/<id>` | the recorded span timeline of one request |
 //! | `GET /v1/trace/slow?ms=N` | recent slowest request timelines |
 //! | `POST /v1/warm` | replication write-through: store another shard's answer (router-internal) |
+//! | `GET /v1/snapshot[?section=dedup\|isl]` | the warm-state payload (response LRU + ISL memo) as JSON |
+//! | `POST /v1/snapshot` | write the warm state to the configured `--snapshot-file` (atomic tmp+rename) |
 //! | `POST /v1/shutdown` | graceful drain (stop accepting, finish in-flight) |
 //!
 //! ## Layers
@@ -61,6 +63,7 @@ pub mod handlers;
 pub mod http;
 pub mod pool;
 mod server;
+pub mod snapshot;
 pub mod stats;
 pub mod worker;
 
@@ -101,6 +104,14 @@ pub struct ServerConfig {
     /// Requests at or above this end-to-end latency also enter the
     /// slow-trace ring served by `GET /v1/trace/slow`.
     pub slow_ms: u64,
+    /// Warm-state snapshot file: restored at boot when present, written
+    /// by `POST /v1/snapshot`, by the periodic writer
+    /// ([`snapshot_interval`](ServerConfig::snapshot_interval)), and once
+    /// more at graceful drain. `None` disables snapshotting entirely.
+    pub snapshot_file: Option<std::path::PathBuf>,
+    /// Interval between periodic background snapshot writes; `None`
+    /// leaves only the explicit (`POST /v1/snapshot`) and at-drain saves.
+    pub snapshot_interval: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -120,6 +131,8 @@ impl Default for ServerConfig {
             dse_thread_cap: 8,
             trace_buffer: 256,
             slow_ms: 100,
+            snapshot_file: None,
+            snapshot_interval: None,
         }
     }
 }

@@ -82,6 +82,28 @@ impl Server {
         // shutdown flag without platform signal machinery.
         listener.set_nonblocking(true)?;
         let core = WorkerCore::new(config);
+        // Restore-on-boot: a present snapshot file warms the caches so a
+        // restarted shard answers its old keys with bit-identical bytes.
+        // Any failure (missing, corrupted, truncated, wrong version) is
+        // reported and the worker starts cold — never crashed.
+        if let Some(path) = core.config.snapshot_file.clone() {
+            if path.exists() {
+                match crate::snapshot::load_from_file(&core, &path) {
+                    Ok(r) => eprintln!(
+                        "tenet-server: restored snapshot {} (dedup {}, isl memo {}, isl parsed {}, skipped {})",
+                        path.display(),
+                        r.dedup,
+                        r.isl_memo,
+                        r.isl_parsed,
+                        r.skipped
+                    ),
+                    Err(e) => eprintln!(
+                        "tenet-server: rejecting snapshot {}: {e}; starting cold",
+                        path.display()
+                    ),
+                }
+            }
+        }
         Ok(Server {
             listener,
             core,
@@ -137,6 +159,33 @@ impl Server {
             },
         );
         core.set_backlog_probe(pool.backlog_probe());
+        // The periodic snapshot writer: wakes in short slices so a drain
+        // is observed promptly, writes every `snapshot_interval`. The
+        // write is atomic (tmp+rename), so a kill mid-write never leaves
+        // a torn file for the next boot.
+        let snap_thread = match (&core.config.snapshot_file, core.config.snapshot_interval) {
+            (Some(path), Some(interval)) => {
+                let core = Arc::clone(&core);
+                let path = path.clone();
+                Some(
+                    std::thread::Builder::new()
+                        .name("tenet-snapshot".into())
+                        .spawn(move || {
+                            let mut last = Instant::now();
+                            while !core.shutdown.load(Ordering::Acquire) {
+                                std::thread::sleep(Duration::from_millis(20));
+                                if last.elapsed() >= interval {
+                                    if let Err(e) = crate::snapshot::save_to_file(&core, &path) {
+                                        eprintln!("tenet-server: periodic snapshot failed: {e}");
+                                    }
+                                    last = Instant::now();
+                                }
+                            }
+                        })?,
+                )
+            }
+            _ => None,
+        };
         let shutdown = Arc::clone(&core.shutdown);
         let outcome = loop {
             if shutdown.load(Ordering::Acquire) {
@@ -164,6 +213,16 @@ impl Server {
             }
         };
         pool.shutdown();
+        if let Some(t) = snap_thread {
+            let _ = t.join();
+        }
+        // One final save after the drain so an orderly shutdown persists
+        // everything the last requests warmed.
+        if let Some(path) = &core.config.snapshot_file {
+            if let Err(e) = crate::snapshot::save_to_file(&core, path) {
+                eprintln!("tenet-server: final snapshot failed: {e}");
+            }
+        }
         outcome
     }
 }

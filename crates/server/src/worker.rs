@@ -283,10 +283,31 @@ impl WorkerCore {
             None => (rest, None),
         };
         if rest == "slow" {
-            let min_us = query
-                .and_then(|q| q.split('&').find_map(|kv| kv.strip_prefix("ms=")))
-                .and_then(|v| v.parse::<u64>().ok())
-                .map(|ms| ms.saturating_mul(1_000));
+            // A present-but-unparseable `ms=` is a client error, not a
+            // silent fall-through to the unfiltered listing. `ms=0` is
+            // valid (explicitly "no threshold").
+            let min_us =
+                match query.and_then(|q| q.split('&').find_map(|kv| kv.strip_prefix("ms="))) {
+                    Some(v) => match v.parse::<u64>() {
+                        Ok(ms) => Some(ms.saturating_mul(1_000)),
+                        Err(_) => {
+                            let body = Json::obj([(
+                                "error",
+                                Json::obj([
+                                    ("kind", Json::from("usage")),
+                                    (
+                                        "message",
+                                        Json::from(format!(
+                                            "bad `ms` value `{v}`: expected a non-negative integer"
+                                        )),
+                                    ),
+                                ]),
+                            )]);
+                            return Some((400, Arc::new(body.to_string().into_bytes())));
+                        }
+                    },
+                    None => None,
+                };
             let rows = self.traces.slow(min_us);
             let body = Json::obj([(
                 "traces",

@@ -530,3 +530,143 @@ fn traced_request_echoes_id_and_serves_the_timeline() {
 
     handle.shutdown();
 }
+
+#[test]
+fn malformed_deadline_headers_and_trace_thresholds_are_400() {
+    let (addr, handle) = start();
+
+    // A deadline the server cannot honor as stated must be refused, not
+    // silently treated as "no deadline" — the client believes it has a
+    // budget, and serving an unbounded request under that belief is the
+    // worse failure. Zero is meaningless (already expired) and overflow
+    // is not a number of milliseconds this server can count to.
+    for bad in ["soon", "0", "-5", "1e3", "", "99999999999999999999999"] {
+        let (status, _, body) = post_with_headers(
+            addr,
+            "/v1/analyze",
+            &analyze_body(),
+            &[("X-Tenet-Deadline-Ms", bad)],
+        );
+        let text = String::from_utf8_lossy(&body).to_string();
+        assert_eq!(status, 400, "deadline `{bad}` must be rejected: {text}");
+        let v = Json::parse(&text).expect("a JSON error body");
+        assert_eq!(
+            v.get("error")
+                .and_then(|e| e.get("kind"))
+                .and_then(Json::as_str),
+            Some("parse"),
+            "{text}"
+        );
+    }
+    // A plausible deadline still passes.
+    let (status, _, _) = post_with_headers(
+        addr,
+        "/v1/analyze",
+        &analyze_body(),
+        &[("X-Tenet-Deadline-Ms", "30000")],
+    );
+    assert_eq!(status, 200);
+
+    // Same policy for the slow-trace threshold: a present-but-garbled
+    // `ms=` is a usage error (serving the unfiltered ring would silently
+    // ignore the filter the client asked for); `ms=0` stays valid.
+    let (status, body) = get(addr, "/v1/trace/slow?ms=abc");
+    assert_eq!(status, 400, "{}", String::from_utf8_lossy(&body));
+    let v = Json::parse(std::str::from_utf8(&body).unwrap()).unwrap();
+    assert_eq!(
+        v.get("error")
+            .and_then(|e| e.get("kind"))
+            .and_then(Json::as_str),
+        Some("usage")
+    );
+    let (status, _) = get(addr, "/v1/trace/slow?ms=0");
+    assert_eq!(status, 200);
+
+    handle.shutdown();
+}
+
+#[test]
+fn snapshot_round_trip_restores_warm_state_and_rejects_corruption() {
+    let snap = std::env::temp_dir().join(format!("tenet-e2e-snap-{}.snap", std::process::id()));
+    let _ = std::fs::remove_file(&snap);
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        threads: 4,
+        snapshot_file: Some(snap.clone()),
+        ..Default::default()
+    };
+    let boot = |cfg: ServerConfig| {
+        let server = Server::bind(cfg).expect("bind");
+        let addr = server.local_addr();
+        let handle = server.handle();
+        let thread = std::thread::spawn(move || server.run());
+        (addr, handle, thread)
+    };
+
+    // Warm a key, snapshot explicitly, drain.
+    let (addr, handle, thread) = boot(config.clone());
+    let (status, first) = post(addr, "/v1/analyze", &analyze_body());
+    assert_eq!(status, 200);
+    let (status, body) = post(addr, "/v1/snapshot", "");
+    assert_eq!(status, 200, "{}", String::from_utf8_lossy(&body));
+    let v = Json::parse(std::str::from_utf8(&body).unwrap()).unwrap();
+    assert_eq!(v.get("status").and_then(Json::as_str), Some("saved"));
+    assert!(v.get("dedup_entries").and_then(Json::as_u64).unwrap() >= 1);
+    handle.shutdown();
+    thread.join().unwrap().expect("clean drain");
+    let valid = std::fs::read(&snap).expect("snapshot written");
+
+    // Restart on the snapshot: the replayed key is answered from the
+    // restored cache — bit-identical bytes, zero recomputes.
+    let (addr, handle, thread) = boot(config.clone());
+    let (status, replay) = post(addr, "/v1/analyze", &analyze_body());
+    assert_eq!(status, 200);
+    assert_eq!(replay, first, "a restored shard must serve its old bytes");
+    let (status, body) = get(addr, "/v1/stats");
+    assert_eq!(status, 200);
+    let v = Json::parse(std::str::from_utf8(&body).unwrap()).unwrap();
+    let dedup = v.get("dedup").unwrap();
+    assert_eq!(
+        dedup.get("misses").and_then(Json::as_u64),
+        Some(0),
+        "the restored key must never recompute: {v}"
+    );
+    assert!(
+        dedup.get("warmed").and_then(Json::as_u64).unwrap() >= 1,
+        "restored entries count as warmed: {v}"
+    );
+    handle.shutdown();
+    thread.join().unwrap().expect("clean drain");
+
+    // Corrupted, truncated, and version-mismatched files must each be
+    // rejected at boot with a *cold* start — never a crash, never a
+    // silently poisoned cache.
+    let mut corrupt = valid.clone();
+    let n = corrupt.len();
+    corrupt[n - 1] ^= 0x01;
+    for bad in [
+        corrupt.as_slice(),
+        &valid[..n / 2],
+        b"TENETSNAP 999 0123456789abcdef 2\n{}".as_slice(),
+    ] {
+        std::fs::write(&snap, bad).unwrap();
+        let (addr, handle, thread) = boot(config.clone());
+        let (status, body) = get(addr, "/v1/stats");
+        assert_eq!(status, 200);
+        let v = Json::parse(std::str::from_utf8(&body).unwrap()).unwrap();
+        assert_eq!(
+            v.get("dedup")
+                .and_then(|d| d.get("entries"))
+                .and_then(Json::as_u64),
+            Some(0),
+            "a rejected snapshot must leave the cache cold: {v}"
+        );
+        // And the cold server still computes.
+        let (status, bytes) = post(addr, "/v1/analyze", &analyze_body());
+        assert_eq!(status, 200);
+        assert_eq!(bytes, first, "a cold recompute is still the same answer");
+        handle.shutdown();
+        thread.join().unwrap().expect("clean drain");
+    }
+    let _ = std::fs::remove_file(&snap);
+}
