@@ -129,8 +129,24 @@ fn bench_isl(dir: &std::path::Path) {
          and 0 <= x + z and x + z <= 50 }",
     )
     .unwrap();
+    // Coupled slabs (disjoint supports survive the pinning) and a long
+    // two-variable chain: the PR 10 closed forms — coupled-slab floor-sum
+    // products and the pair-chain value-table DP.
+    let coupled_slab = Set::parse(
+        "{ A[x,y,z,w] : 0 <= x < 30 and 0 <= y < 30 and 0 <= z < 30 and 0 <= w < 30 \
+         and 10 <= x + y and x + y <= 40 and 5 <= z + w and z + w <= 45 }",
+    )
+    .unwrap();
+    let pair_chain = Set::parse(
+        "{ A[a,b,c,d,e] : 0 <= a <= 1999 and 0 <= b <= 1999 and 0 <= c <= 1999 \
+         and 0 <= d <= 1999 and 0 <= e <= 1999 \
+         and 0 <= a - b and 0 <= b - c and 0 <= c - d and 0 <= d - e }",
+    )
+    .unwrap();
     assert_eq!(two_slab.card().unwrap(), 109_459);
     assert_eq!(three_slab.card().unwrap(), 41_553);
+    assert_eq!(coupled_slab.card().unwrap(), 535_156);
+    assert_eq!(pair_chain.card().unwrap(), 268_002_335_000_400);
 
     let entries = vec![
         measure("isl_reverse", || theta.reverse()),
@@ -144,6 +160,8 @@ fn bench_isl(dir: &std::path::Path) {
         }),
         measure("isl_card_two_slab", || two_slab.card().unwrap()),
         measure("isl_card_three_slab", || three_slab.card().unwrap()),
+        measure("isl_card_coupled_slab", || coupled_slab.card().unwrap()),
+        measure("isl_card_pair_chain", || pair_chain.card().unwrap()),
         measure("isl_parse", || Map::parse(theta_text).unwrap()),
     ];
     for e in &entries {
@@ -199,8 +217,21 @@ fn bench_modeling(dir: &std::path::Path) {
         dse_ms,
         stats.hit_rate() * 100.0
     );
+    // Cold-vs-warm ratio per preset as its own block: the warm path must
+    // stay flat while cold analysis keeps getting cheaper.
+    let mut ratios = String::from("\"cold_warm_ratio\": {");
+    for (i, e) in entries.iter().enumerate() {
+        let _ = write!(
+            ratios,
+            "{}\"{}\": {:.2}",
+            if i == 0 { "" } else { ", " },
+            e.op,
+            e.cold_ns / e.warm_ns.max(1e-9)
+        );
+    }
+    ratios.push_str("},\n  ");
     let extra = format!(
-        "\"dse\": {{\"bench\": \"dse_gemm_8x8\", \"candidates\": {}, \"evaluated\": {}, \
+        "{ratios}\"dse\": {{\"bench\": \"dse_gemm_8x8\", \"candidates\": {}, \"evaluated\": {}, \
          \"wall_ms\": {:.1}, \"cache_hit_rate\": {:.4}}}",
         candidates.len(),
         stats.evaluated,
@@ -230,6 +261,27 @@ fn smoke() {
     )
     .unwrap();
     assert_eq!(multi.card().unwrap(), 778, "multi-slab count");
+    // Disjoint-support slab pair: both slabs must survive the pinning and
+    // close through the coupled-slab floor-sum product.
+    let coupled = Set::parse(
+        "{ A[x, y, z, w] : 0 <= x < 8 and 0 <= y < 8 and 0 <= z < 8 and 0 <= w < 8 \
+         and 3 <= x + y and x + y <= 10 and 2 <= z + w and z + w <= 12 }",
+    )
+    .unwrap();
+    assert_eq!(coupled.card().unwrap(), 2784, "coupled-slab count");
+    // Monotone 5-chain: too wide for the multi-slab odometer, exactly the
+    // pair-chain value-table DP's shape (multichoose(2000, 5)).
+    let chain = Set::parse(
+        "{ A[a, b, c, d, e] : 0 <= a <= 1999 and 0 <= b <= 1999 and 0 <= c <= 1999 \
+         and 0 <= d <= 1999 and 0 <= e <= 1999 \
+         and 0 <= a - b and 0 <= b - c and 0 <= c - d and 0 <= d - e }",
+    )
+    .unwrap();
+    assert_eq!(
+        chain.card().unwrap(),
+        268_002_335_000_400,
+        "pair-chain count"
+    );
     // One-sided box: feasibility probes saturate through the residual-box
     // branch (bounded boxes collapse through the window drop instead).
     let open_box = Set::parse("{ A[x, y] : x >= 0 and y >= 0 }").unwrap();
@@ -250,6 +302,14 @@ fn smoke() {
     assert!(
         after.multi_slab_counts > before.multi_slab_counts,
         "multi-slab fast path not taken: {before:?} -> {after:?}"
+    );
+    assert!(
+        after.coupled_slab_counts > before.coupled_slab_counts,
+        "coupled-slab fast path not taken: {before:?} -> {after:?}"
+    );
+    assert!(
+        after.pair_chain_counts > before.pair_chain_counts,
+        "pair-chain fast path not taken: {before:?} -> {after:?}"
     );
     // The memo layer must replay bit-identically on a warm hit.
     isl_cache::clear();

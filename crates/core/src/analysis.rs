@@ -7,7 +7,7 @@ use crate::metrics::*;
 use crate::op::{Role, TensorOp};
 use crate::{Error, Result};
 use std::collections::BTreeMap;
-use std::sync::OnceLock;
+use std::sync::{Mutex, OnceLock};
 use tenet_isl::Map;
 
 /// Options controlling the (rare) non-analytic corners of the model.
@@ -74,6 +74,16 @@ pub struct Analysis<'a> {
     /// `Analysis` instances — in a DSE sweep, candidates that agree on an
     /// access map or an intermediate relation reuse each other's work.
     util: OnceLock<Utilization>,
+    /// Per-tensor volume metrics latch. `latency`, `bandwidth`, `energy`,
+    /// and `report` each walk every tensor's volumes; without the latch a
+    /// full report pays that relational pipeline four times over — the
+    /// process-wide memo absorbs the repeats only when the cache is
+    /// enabled, and a cold shard (or a cache-off run) would recompute.
+    vols: Mutex<BTreeMap<String, VolumeMetrics>>,
+    /// Latched spacetime maps: both are pure functions of the dataflow +
+    /// architecture and are needed once per tensor per volumes call.
+    smap: OnceLock<Map>,
+    tmap: OnceLock<Map>,
 }
 
 impl<'a> Analysis<'a> {
@@ -110,6 +120,9 @@ impl<'a> Analysis<'a> {
             options,
             theta,
             util: OnceLock::new(),
+            vols: Mutex::new(BTreeMap::new()),
+            smap: OnceLock::new(),
+            tmap: OnceLock::new(),
         };
         if analysis.options.check_bounds {
             let used = analysis.df.used_pes(analysis.op)?;
@@ -243,32 +256,36 @@ impl<'a> Analysis<'a> {
     /// mixed-radix order, so "one cycle later" includes inner-dimension
     /// rollover (expressed as explicit stamp deltas).
     pub fn spatial_map(&self) -> Result<Map> {
+        if let Some(m) = self.smap.get() {
+            return Ok(m.clone());
+        }
         let offsets = self.arch.interconnect.offsets(self.df.n_space())?;
         let dt = self.arch.interconnect.time_delta();
-        if dt == 0 || self.df.n_time() == 1 {
-            return Ok(Map::parse(&self.spacetime_map_text(&offsets, dt))?);
-        }
-        let extents = self.time_extents()?;
-        Ok(Map::parse(
-            &self.windowed_map_text(&offsets, dt, dt, &extents)?,
-        )?)
+        let m = if dt == 0 || self.df.n_time() == 1 {
+            Map::parse(&self.spacetime_map_text(&offsets, dt))?
+        } else {
+            let extents = self.time_extents()?;
+            Map::parse(&self.windowed_map_text(&offsets, dt, dt, &extents)?)?
+        };
+        Ok(self.smap.get_or_init(|| m).clone())
     }
 
     /// The temporal spacetime map `M_temporal`: same PE, a previous
     /// time-stamp within the reuse window (Section IV-D's time interval).
     pub fn temporal_map(&self) -> Result<Map> {
+        if let Some(m) = self.tmap.get() {
+            return Ok(m.clone());
+        }
         let zero = vec![vec![0i64; self.df.n_space()]];
         let w = self.options.reuse_window.max(1) as i64;
-        if self.df.n_time() == 1 {
-            // Single time dim: the window is a plain offset range.
-            if w == 1 {
-                return Ok(Map::parse(&self.spacetime_map_text(&zero, 1))?);
-            }
+        let m = if self.df.n_time() == 1 && w == 1 {
+            // Single time dim, unit window: a plain offset map.
+            Map::parse(&self.spacetime_map_text(&zero, 1))?
+        } else {
             let extents = self.time_extents()?;
-            return Ok(Map::parse(&self.windowed_map_text(&zero, 1, w, &extents)?)?);
-        }
-        let extents = self.time_extents()?;
-        Ok(Map::parse(&self.windowed_map_text(&zero, 1, w, &extents)?)?)
+            Map::parse(&self.windowed_map_text(&zero, 1, w, &extents)?)?
+        };
+        Ok(self.tmap.get_or_init(|| m).clone())
     }
 
     fn avail(&self, tensor: &str, spatial: bool) -> Result<Map> {
@@ -288,6 +305,9 @@ impl<'a> Analysis<'a> {
     /// counted first (same-PE), and spatial reuse counts the remaining
     /// accesses satisfiable only from an interconnected neighbor.
     pub fn volumes(&self, tensor: &str) -> Result<VolumeMetrics> {
+        if let Some(v) = self.vols.lock().expect("volumes latch").get(tensor) {
+            return Ok(*v);
+        }
         let adf = self.assignment(tensor)?;
         let total = adf.card()?;
         let avail_t = self.avail(tensor, false)?;
@@ -296,13 +316,19 @@ impl<'a> Analysis<'a> {
         let temporal = temporal_set.card()?;
         let reuse_set = adf.intersect(&avail_s.union(&avail_t)?)?;
         let reuse = reuse_set.card()?;
-        Ok(VolumeMetrics {
+        let v = VolumeMetrics {
             total,
             reuse,
             unique: total - reuse,
             temporal_reuse: temporal,
             spatial_reuse: reuse - temporal,
-        })
+        };
+        Ok(*self
+            .vols
+            .lock()
+            .expect("volumes latch")
+            .entry(tensor.to_string())
+            .or_insert(v))
     }
 
     /// The reuse vectors of a tensor: the set of spacetime deltas

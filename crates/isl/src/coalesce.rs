@@ -34,21 +34,45 @@ fn expand(bm: &BasicMap) -> Expanded {
     Expanded { rows }
 }
 
-/// Splits `x \ y` and `y \ x` row sets.
-fn diff_rows(x: &Expanded, y: &Expanded) -> (Vec<Row>, Vec<Row>) {
-    let x_only: Vec<Row> = x
-        .rows
-        .iter()
-        .filter(|r| !y.rows.contains(r))
-        .cloned()
-        .collect();
-    let y_only: Vec<Row> = y
-        .rows
-        .iter()
-        .filter(|r| !x.rows.contains(r))
-        .cloned()
-        .collect();
-    (x_only, y_only)
+/// Splits `x \ y` and `y \ x` row sets. Both sides are sorted and
+/// deduplicated ([`expand`]), so a single merge walk suffices; the walk
+/// aborts early once both differences are too large to ever merge
+/// (&gt; 2 rows each) — the common case across unrelated pieces.
+fn diff_rows(x: &Expanded, y: &Expanded) -> Option<(Vec<Row>, Vec<Row>)> {
+    let mut x_only: Vec<Row> = Vec::new();
+    let mut y_only: Vec<Row> = Vec::new();
+    let (mut i, mut j) = (0, 0);
+    while i < x.rows.len() || j < y.rows.len() {
+        if x_only.len() > 2 && y_only.len() > 2 {
+            return None;
+        }
+        match (x.rows.get(i), y.rows.get(j)) {
+            (Some(a), Some(b)) => match a.cmp(b) {
+                std::cmp::Ordering::Equal => {
+                    i += 1;
+                    j += 1;
+                }
+                std::cmp::Ordering::Less => {
+                    x_only.push(a.clone());
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    y_only.push(b.clone());
+                    j += 1;
+                }
+            },
+            (Some(a), None) => {
+                x_only.push(a.clone());
+                i += 1;
+            }
+            (None, Some(b)) => {
+                y_only.push(b.clone());
+                j += 1;
+            }
+            (None, None) => unreachable!(),
+        }
+    }
+    Some((x_only, y_only))
 }
 
 /// Classifies a set of 1-2 rows as bounds on a common direction vector.
@@ -103,14 +127,13 @@ fn interval_rows(dir: &[i64], lo: i64, hi: i64) -> Vec<Row> {
     out
 }
 
-/// Attempts to merge two basics; returns the merged basic on success.
-fn try_merge(x: &BasicMap, y: &BasicMap) -> Option<BasicMap> {
+/// Attempts to merge two basics (with their precomputed expansions);
+/// returns the merged basic on success.
+fn try_merge(x: &BasicMap, y: &BasicMap, ex: &Expanded, ey: &Expanded) -> Option<BasicMap> {
     if x.divs != y.divs {
         return None;
     }
-    let ex = expand(x);
-    let ey = expand(y);
-    let (x_only, y_only) = diff_rows(&ex, &ey);
+    let (x_only, y_only) = diff_rows(ex, ey)?;
     if x_only.is_empty() {
         // y ⊆ x.
         return Some(x.clone());
@@ -152,25 +175,43 @@ fn try_merge(x: &BasicMap, y: &BasicMap) -> Option<BasicMap> {
 }
 
 /// Coalesces the disjuncts of a map (exact; fixpoint with a work cap).
+///
+/// Each piece's expanded inequality form is computed once and cached
+/// next to it, refreshed only when the piece itself changes by a merge;
+/// a pass applies every merge it finds in place (no restart from
+/// scratch), and passes repeat until one finds nothing. Merges strictly
+/// shrink the piece count, so at most `n` passes of cheap sorted-row
+/// diffs run — the previous restart-per-merge fixpoint re-expanded
+/// (sorted + deduplicated) every pair's rows from scratch after every
+/// single merge, which dominated cold `apply_range` time on case-split
+/// unions.
 pub(crate) fn coalesce_map(map: &Map) -> Map {
     let mut basics = map.basics.clone();
+    let mut exp: Vec<Expanded> = basics.iter().map(expand).collect();
     let mut changed = true;
     let mut guard = 0;
     while changed && guard < 1000 {
         changed = false;
         guard += 1;
-        'outer: for i in 0..basics.len() {
-            for j in (i + 1)..basics.len() {
-                if let Some(m) = try_merge(&basics[i], &basics[j]) {
-                    let mut m = m;
+        let mut i = 0;
+        while i < basics.len() {
+            let mut j = i + 1;
+            while j < basics.len() {
+                if let Some(mut m) = try_merge(&basics[i], &basics[j], &exp[i], &exp[j]) {
                     m.simplify();
                     m.drop_unused_divs();
+                    exp[i] = expand(&m);
                     basics[i] = m;
                     basics.swap_remove(j);
+                    exp.swap_remove(j);
                     changed = true;
-                    break 'outer;
+                    // Do not advance `j`: the swap moved a fresh piece
+                    // into this slot, and the grown `i` may absorb it.
+                } else {
+                    j += 1;
                 }
             }
+            i += 1;
         }
     }
     Map {

@@ -31,10 +31,51 @@ const WORK_LIMIT: u64 = 400_000_000;
 /// each time a shape dispatches to a fast path instead of the recursive
 /// enumerator. Monotonic since process start; used by the `perfbench`
 /// smoke mode (and tests) to assert the fast paths are actually taken.
+/// Tests needing exact attribution under `cargo test` parallelism use
+/// the scoped view ([`crate::CounterHandle::fast_path_stats`]) instead.
 static WINDOW_FAST: AtomicU64 = AtomicU64::new(0);
 static BOX_FAST: AtomicU64 = AtomicU64::new(0);
 static SLAB_FAST: AtomicU64 = AtomicU64::new(0);
 static MULTI_SLAB_FAST: AtomicU64 = AtomicU64::new(0);
+static PAIR_CHAIN_FAST: AtomicU64 = AtomicU64::new(0);
+static COUPLED_SLAB_FAST: AtomicU64 = AtomicU64::new(0);
+
+/// Which closed-form counting shortcut dispatched. The discriminants
+/// index the per-handle counter array in [`crate::cache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum FastPathKind {
+    /// Functional-window projection.
+    Window = 0,
+    /// Axis-aligned box.
+    Box = 1,
+    /// Box ∩ single slab.
+    Slab = 2,
+    /// Box ∩ k≥2 independent slab directions.
+    MultiSlab = 3,
+    /// Two-variable closed form / chained two-variable value-table DP.
+    PairChain = 4,
+    /// Coupled slabs sharing variables, closed per shared assignment.
+    CoupledSlab = 5,
+}
+
+/// Number of [`FastPathKind`] variants (length of per-handle arrays).
+pub(crate) const FAST_PATH_KINDS: usize = 6;
+
+/// Bumps the process-wide counter for `kind` plus every attached
+/// [`crate::CounterHandle`]'s scoped per-shape counter.
+fn note(kind: FastPathKind) {
+    let ctr = match kind {
+        FastPathKind::Window => &WINDOW_FAST,
+        FastPathKind::Box => &BOX_FAST,
+        FastPathKind::Slab => &SLAB_FAST,
+        FastPathKind::MultiSlab => &MULTI_SLAB_FAST,
+        FastPathKind::PairChain => &PAIR_CHAIN_FAST,
+        FastPathKind::CoupledSlab => &COUPLED_SLAB_FAST,
+    };
+    ctr.fetch_add(1, Ordering::Relaxed);
+    crate::cache::note_fastpath(kind);
+}
 
 /// Point-in-time snapshot of the closed-form dispatch counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -49,6 +90,24 @@ pub struct CountStats {
     /// Box ∩ k≥2 independent slab directions counted by the split-and-
     /// floor-sum path.
     pub multi_slab_counts: u64,
+    /// Two-variable projections closed by the generalized pair series,
+    /// and chained two-variable components closed by the value-table DP.
+    pub pair_chain_counts: u64,
+    /// Coupled-slab shapes (slabs sharing variables) closed by
+    /// per-assignment interval intersection with multiple kept slabs.
+    pub coupled_slab_counts: u64,
+}
+
+impl CountStats {
+    /// Sum of all dispatch counters.
+    pub fn total(&self) -> u64 {
+        self.window_counts
+            + self.box_counts
+            + self.slab_counts
+            + self.multi_slab_counts
+            + self.pair_chain_counts
+            + self.coupled_slab_counts
+    }
 }
 
 /// Current fast-path dispatch counters (process-wide, monotonic).
@@ -58,6 +117,8 @@ pub fn fast_path_stats() -> CountStats {
         box_counts: BOX_FAST.load(Ordering::Relaxed),
         slab_counts: SLAB_FAST.load(Ordering::Relaxed),
         multi_slab_counts: MULTI_SLAB_FAST.load(Ordering::Relaxed),
+        pair_chain_counts: PAIR_CHAIN_FAST.load(Ordering::Relaxed),
+        coupled_slab_counts: COUPLED_SLAB_FAST.load(Ordering::Relaxed),
     }
 }
 
@@ -456,14 +517,18 @@ impl Tableau {
         Ok(out)
     }
 
-    /// Substitutes `var = val`, folding the column into the constant.
-    /// Fails with [`Error::Overflow`] when the folded constant leaves i64.
-    fn fix(&self, var: usize, val: i64) -> Result<Tableau> {
+    /// Substitutes `var = val`, folding the column into the constant,
+    /// drawing the row containers from `arena` instead of allocating
+    /// fresh ones — the recursive counter's enumeration loop builds and
+    /// drops one tableau per enumerated value, so the containers cycle
+    /// through the pool instead of the allocator. Fails with
+    /// [`Error::Overflow`] when the folded constant leaves i64.
+    fn fix_with(&self, var: usize, val: i64, arena: &mut RowArena) -> Result<Tableau> {
         let n = self.n;
         let mut t = Tableau {
             n: n - 1,
-            eqs: Vec::with_capacity(self.eqs.len()),
-            ineqs: Vec::with_capacity(self.ineqs.len()),
+            eqs: arena.take(self.eqs.len()),
+            ineqs: arena.take(self.ineqs.len()),
         };
         let conv = |r: &Row| -> Result<Row> {
             let mut out = Row::with_capacity(n);
@@ -479,12 +544,71 @@ impl Tableau {
             Ok(out)
         };
         for r in &self.eqs {
-            t.eqs.push(conv(r)?);
+            match conv(r) {
+                Ok(row) => t.eqs.push(row),
+                Err(e) => {
+                    arena.reclaim(t);
+                    return Err(e);
+                }
+            }
         }
         for r in &self.ineqs {
-            t.ineqs.push(conv(r)?);
+            match conv(r) {
+                Ok(row) => t.ineqs.push(row),
+                Err(e) => {
+                    arena.reclaim(t);
+                    return Err(e);
+                }
+            }
         }
         Ok(t)
+    }
+}
+
+/// Pool of `Vec<Row>` containers cycled through the recursive counter's
+/// cold path.
+///
+/// Rows up to 16 columns wide store their coefficients inline
+/// ([`crate::row`]), so the only heap traffic of a tableau clone is the
+/// two `Vec<Row>` containers themselves — exactly what `fix`-per-value
+/// enumeration churns. The pool keeps dropped containers (cleared, with
+/// their capacity) for the next clone at the same recursion depth.
+pub(crate) struct RowArena {
+    pool: Vec<Vec<Row>>,
+}
+
+impl RowArena {
+    /// Containers kept across [`RowArena::put`]; beyond this they drop.
+    const MAX_POOLED: usize = 64;
+
+    pub(crate) fn new() -> RowArena {
+        RowArena { pool: Vec::new() }
+    }
+
+    /// An empty container with room for `cap` rows, reusing a pooled
+    /// allocation when one is available.
+    fn take(&mut self, cap: usize) -> Vec<Row> {
+        match self.pool.pop() {
+            Some(mut v) => {
+                v.reserve(cap);
+                v
+            }
+            None => Vec::with_capacity(cap),
+        }
+    }
+
+    /// Returns a container (cleared) to the pool.
+    fn put(&mut self, mut v: Vec<Row>) {
+        if self.pool.len() < Self::MAX_POOLED {
+            v.clear();
+            self.pool.push(v);
+        }
+    }
+
+    /// Returns a finished tableau's containers to the pool.
+    fn reclaim(&mut self, t: Tableau) {
+        self.put(t.eqs);
+        self.put(t.ineqs);
     }
 }
 
@@ -771,12 +895,13 @@ fn components(t: &Tableau) -> Vec<Vec<usize>> {
     groups
 }
 
-/// Extracts the subsystem touching exactly the variables in `vars`.
-fn subsystem(t: &Tableau, vars: &[usize]) -> Tableau {
+/// Extracts the subsystem touching exactly the variables in `vars`,
+/// drawing row containers from `arena`.
+fn subsystem_with(t: &Tableau, vars: &[usize], arena: &mut RowArena) -> Tableau {
     let mut sub = Tableau {
         n: vars.len(),
-        eqs: Vec::new(),
-        ineqs: Vec::new(),
+        eqs: arena.take(0),
+        ineqs: arena.take(0),
     };
     let conv = |r: &Row| -> Option<Row> {
         // Row belongs to this component iff all its nonzero vars are inside.
@@ -834,45 +959,59 @@ fn count_single(t: &Tableau, limit: Option<u128>) -> Result<u128> {
     }
 }
 
-/// Arithmetic-series closed form for a two-variable component where the
-/// second variable has exactly one unit-coefficient lower and upper bound.
-/// Returns `Ok(None)` when the structure does not match and
-/// [`Error::Overflow`] when the series total exceeds the exact range.
+/// Closed form for an arbitrary two-variable projection whose inner
+/// variable has (after merging parallel rows) exactly one lower and one
+/// upper bound — any integer coefficients, not just ±1.
+///
+/// With lower row `aₗ·x + p·y + cₗ ≥ 0` (`p > 0`) and upper row
+/// `aᵤ·x − q·y + cᵤ ≥ 0` (`q > 0`), the per-`x` count is
+///
+/// ```text
+/// #y(x) = ⌊(aᵤx + cᵤ)/q⌋ − ⌈−(aₗx + cₗ)/p⌉ + 1
+///       = ⌊(aᵤx + cᵤ)/q⌋ + ⌊(aₗx + cₗ)/p⌋ + 1
+/// ```
+///
+/// which is nonnegative exactly where the *rational* interval is
+/// nonempty, i.e. on the half-line `(p·aᵤ + q·aₗ)·x + (p·cᵤ + q·cₗ) ≥ 0`
+/// (cross-multiplying with positive denominators). Restricting `x` to
+/// that region therefore drops only zero-count values, and the sum
+/// telescopes into two Euclidean [`floor_sum`]s — `O(log)` regardless of
+/// range width. Returns `Ok(None)` when the structure does not match
+/// (several irreducible bounds on both orientations) and
+/// [`Error::Overflow`] when the total exceeds the checked-i128 range.
 fn count_pair_series(t: &Tableau, ranges: &[(Option<i64>, Option<i64>)]) -> Result<Option<u128>> {
     debug_assert_eq!(t.n, 2);
     if !t.eqs.is_empty() {
         return Ok(None);
     }
-    // Choose y = variable 1 (arbitrary; try both orders).
+    // Try both orientations: either variable may be the closed-form inner.
     for (x, y) in [(0usize, 1usize), (1usize, 0usize)] {
-        let mut lowers = Vec::new();
-        let mut uppers = Vec::new();
+        // Partition rows; merge parallel y-rows (same (a, b) after the
+        // gcd normalization `normalize_ineqs` already applied) keeping
+        // the strongest constant — smaller c is tighter for `… + c ≥ 0`.
+        let mut lowers: Vec<(i128, i128, i128)> = Vec::new(); // (a_x, b_y>0, c)
+        let mut uppers: Vec<(i128, i128, i128)> = Vec::new(); // (a_x, b_y<0, c)
         let mut x_rows = Vec::new();
-        let mut ok = true;
         for r in &t.ineqs {
-            if r[y] == 0 {
+            let (a, b, c) = (r[x] as i128, r[y] as i128, r[2] as i128);
+            if b == 0 {
                 x_rows.push(r);
-            } else if r[y] == 1 {
-                lowers.push(r);
-            } else if r[y] == -1 {
-                uppers.push(r);
-            } else {
-                ok = false;
-                break;
+                continue;
+            }
+            let side = if b > 0 { &mut lowers } else { &mut uppers };
+            match side.iter_mut().find(|(pa, pb, _)| *pa == a && *pb == b) {
+                Some(row) => row.2 = row.2.min(c),
+                None => side.push((a, b, c)),
             }
         }
-        if !ok || lowers.len() != 1 || uppers.len() != 1 {
+        if lowers.len() != 1 || uppers.len() != 1 {
             continue;
         }
-        let (xlo, xhi) = match ranges[x] {
-            (Some(l), Some(h)) => (l, h),
+        let (mut xlo, mut xhi) = match ranges[x] {
+            (Some(l), Some(h)) => (l as i128, h as i128),
             _ => continue,
         };
-        // y >= -(b x + c_l); y <= u x + c_u.
-        let l = lowers[0];
-        let u = uppers[0];
         // Tighten the x range with x-only rows (i128: `-c` must not wrap).
-        let (mut xlo, mut xhi) = (xlo as i128, xhi as i128);
         for r in &x_rows {
             let a = r[x] as i128;
             let c = r[2] as i128;
@@ -884,45 +1023,50 @@ fn count_pair_series(t: &Tableau, ranges: &[(Option<i64>, Option<i64>)]) -> Resu
                 return Ok(Some(0));
             }
         }
+        let (al, p, cl) = lowers[0];
+        let (au, nq, cu) = uppers[0];
+        let q = -nq;
+        debug_assert!(p > 0 && q > 0);
+        // Rational-feasibility region: A·x + C >= 0. i64-sourced factors
+        // keep every product within i128 (|v| <= 2^63, products <= 2^126).
+        let a_reg = p
+            .checked_mul(au)
+            .and_then(|v| v.checked_add(q.checked_mul(al)?))
+            .ok_or(Error::Overflow)?;
+        let c_reg = p
+            .checked_mul(cu)
+            .and_then(|v| v.checked_add(q.checked_mul(cl)?))
+            .ok_or(Error::Overflow)?;
+        if a_reg > 0 {
+            xlo = xlo.max(cd128(-c_reg, a_reg));
+        } else if a_reg < 0 {
+            xhi = xhi.min(fd128(-c_reg, a_reg));
+        } else if c_reg < 0 {
+            return Ok(Some(0));
+        }
         if xhi < xlo {
             return Ok(Some(0));
         }
-        // len(x) = (u[x] + l[x]) x + (u[2] + l[2] + 1)
-        let a = (u[x] as i128) + (l[x] as i128);
-        let b = (u[2] as i128) + (l[2] as i128) + 1;
-        let (mut s, mut e) = (xlo, xhi);
-        if a == 0 {
-            if b <= 0 {
-                return Ok(Some(0));
-            }
-            let total = (b as u128)
-                .checked_mul((e - s + 1) as u128)
-                .ok_or(Error::Overflow)?;
-            return Ok(Some(total));
-        }
-        // Solve a*x + b >= 1 over [s, e].
-        if a > 0 {
-            s = s.max(cd128(1 - b, a));
-        } else {
-            e = e.min(fd128(1 - b, a));
-        }
-        if e < s {
-            return Ok(Some(0));
-        }
-        // Sum of (a*x + b) for x in [s, e]: arithmetic series, with every
-        // product checked — ranges near i64 width overflow i128 here and
-        // must surface as Error::Overflow, not wrap.
-        let cnt = e - s + 1;
-        let series = a
-            .checked_mul(s.checked_add(e).ok_or(Error::Overflow)?)
-            .and_then(|v| v.checked_mul(cnt))
-            .ok_or(Error::Overflow)?
-            / 2;
-        let total = b
-            .checked_mul(cnt)
-            .and_then(|v| v.checked_add(series))
+        // Σ_{x=xlo}^{xhi} #y(x): two floor-sums plus the +1 term. Every
+        // intermediate is checked — ranges near i64 width must surface as
+        // Error::Overflow, not wrap.
+        let n = xhi - xlo + 1;
+        let off_u = au
+            .checked_mul(xlo)
+            .and_then(|v| v.checked_add(cu))
             .ok_or(Error::Overflow)?;
-        debug_assert!(total >= 0);
+        let off_l = al
+            .checked_mul(xlo)
+            .and_then(|v| v.checked_add(cl))
+            .ok_or(Error::Overflow)?;
+        let sum_u = floor_sum(n, q, au, off_u).ok_or(Error::Overflow)?;
+        let sum_l = floor_sum(n, p, al, off_l).ok_or(Error::Overflow)?;
+        let total = sum_u
+            .checked_add(sum_l)
+            .and_then(|v| v.checked_add(n))
+            .ok_or(Error::Overflow)?;
+        debug_assert!(total >= 0, "per-x counts are nonnegative on the region");
+        note(FastPathKind::PairChain);
         return Ok(Some(total as u128));
     }
     Ok(None)
@@ -933,6 +1077,201 @@ fn count_pair_series(t: &Tableau, ranges: &[(Option<i64>, Option<i64>)]) -> Resu
 /// a single slab (one halfspace, or two-plus parallel ones), `None` when
 /// the shape needs the recursive counter. `work` shares [`count_rec`]'s
 /// effort budget: the halfspace enumeration charges its loop count.
+/// Total value-table cells (sum of variable range widths) the pair-chain
+/// DP may allocate before deferring to the recursive counter.
+const PAIR_CHAIN_CELL_LIMIT: u128 = 1 << 18;
+
+/// Value-table DP over a tableau whose constraint graph is a forest of
+/// two-variable links.
+///
+/// Every inequality may touch at most two variables; distinct variable
+/// pairs are the edges of a graph over the variables, and when that
+/// graph is acyclic each tree closes bottom-up: `f_v(x)` = number of
+/// assignments to `v`'s subtree consistent with `v = x`, computed per
+/// child as a *prefix-sum range query* — the rows on the `(parent,
+/// child)` edge pin the child to one contiguous interval for each parent
+/// value, so a child's whole table folds into its parent in
+/// `O(w_parent + w_child)`. The answer is the product over trees of `Σ_x f_root(x)`
+/// (times plain interval widths for edge-free variables). Total cost is
+/// linear in the summed range widths, guarded by
+/// [`PAIR_CHAIN_CELL_LIMIT`], where recursion would pay a tableau
+/// rebuild per enumerated value.
+///
+/// Single-variable rows are folded into `ranges` (the caller's
+/// [`Tableau::propagate_bounds`] output) already; restricting each
+/// variable to its derived range is sound because derived bounds are
+/// implied. Returns `Ok(None)` — fall back to recursion — on any wider
+/// row, a cycle, an unbounded variable, or a too-large table.
+fn count_pair_chain(
+    t: &Tableau,
+    ranges: &[(Option<i64>, Option<i64>)],
+    work: &mut u64,
+) -> Result<Option<u128>> {
+    if !t.eqs.is_empty() {
+        return Ok(None);
+    }
+    let n = t.n;
+    // Edges: canonical (lo, hi) variable pairs with their row indices.
+    let mut edges: Vec<(usize, usize, Vec<usize>)> = Vec::new();
+    for (ri, r) in t.ineqs.iter().enumerate() {
+        let mut vars = (0..n).filter(|&j| r[j] != 0);
+        let (a, b) = match (vars.next(), vars.next(), vars.next()) {
+            (Some(a), Some(b), None) => (a, b),
+            (_, _, Some(_)) => return Ok(None), // 3+ variables: not a pair graph
+            _ => continue,                      // 0/1-var rows live in `ranges`
+        };
+        match edges.iter_mut().find(|(ea, eb, _)| (*ea, *eb) == (a, b)) {
+            Some((_, _, rows)) => rows.push(ri),
+            None => edges.push((a, b, vec![ri])),
+        }
+    }
+    if edges.is_empty() {
+        return Ok(None); // pure box: count_fast owns that shape
+    }
+    // Acyclicity check (union-find over distinct pairs).
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut [usize], x: usize) -> usize {
+        let mut r = x;
+        while parent[r] != r {
+            r = parent[r];
+        }
+        parent[x] = r;
+        r
+    }
+    for &(a, b, _) in &edges {
+        let (ra, rb) = (find(&mut parent, a), find(&mut parent, b));
+        if ra == rb {
+            return Ok(None); // cycle: intervals are no longer independent
+        }
+        parent[ra] = rb;
+    }
+    // Every edge variable needs a finite range within the table budget.
+    let mut lo = vec![0i64; n];
+    let mut width = vec![0usize; n]; // 0 = not on any edge
+    let mut cells: u128 = 0;
+    for &(a, b, _) in &edges {
+        for v in [a, b] {
+            if width[v] != 0 {
+                continue;
+            }
+            let (Some(l), Some(h)) = ranges[v] else {
+                return Ok(None);
+            };
+            let w = h as i128 - l as i128 + 1;
+            debug_assert!(w >= 1, "caller rejected empty ranges");
+            cells += w as u128;
+            if cells > PAIR_CHAIN_CELL_LIMIT {
+                return Ok(None);
+            }
+            lo[v] = l;
+            width[v] = w as usize;
+        }
+    }
+    *work = work.saturating_add(cells.min(u64::MAX as u128) as u64);
+    if *work > WORK_LIMIT {
+        return Err(Error::TooComplex("counting work limit exceeded".into()));
+    }
+    // Adjacency over the forest.
+    let mut adj: Vec<Vec<(usize, usize)>> = vec![Vec::new(); n]; // (neighbor, edge idx)
+    for (ei, &(a, b, _)) in edges.iter().enumerate() {
+        adj[a].push((b, ei));
+        adj[b].push((a, ei));
+    }
+    // Interval a row pins `child` to, given `pval` for the other
+    // variable; intersected into (clo, chi).
+    let pin = |r: &Row, child: usize, other: usize, pval: i64, clo: &mut i128, chi: &mut i128| {
+        let ac = r[child] as i128;
+        let c = (r[other] as i128) * (pval as i128) + (r[n] as i128);
+        if ac > 0 {
+            *clo = (*clo).max(cd128(-c, ac));
+        } else {
+            *chi = (*chi).min(fd128(-c, ac));
+        }
+    };
+    let mut tables: Vec<Vec<u128>> = vec![Vec::new(); n];
+    let mut prefix: Vec<u128> = Vec::new();
+    let mut total: u128 = 1;
+    let mut visited = vec![false; n];
+    for root in 0..n {
+        if width[root] == 0 || visited[root] {
+            continue;
+        }
+        // Iterative post-order: push children first, fold on unwind.
+        let mut order: Vec<(usize, usize)> = Vec::new(); // (var, parent)
+        let mut stack = vec![(root, usize::MAX)];
+        while let Some((v, p)) = stack.pop() {
+            visited[v] = true;
+            order.push((v, p));
+            for &(u, _) in &adj[v] {
+                if u != p {
+                    stack.push((u, v));
+                }
+            }
+        }
+        for &(v, _) in order.iter().rev() {
+            tables[v] = vec![1u128; width[v]];
+            for &(u, ei) in &adj[v] {
+                if tables[u].is_empty() {
+                    continue; // u is v's parent (not yet folded)
+                }
+                // Fold child u into v via prefix sums over u's table.
+                prefix.clear();
+                prefix.reserve(width[u] + 1);
+                prefix.push(0);
+                for &f in &tables[u] {
+                    let last = *prefix.last().unwrap();
+                    prefix.push(last.checked_add(f).ok_or(Error::Overflow)?);
+                }
+                let rows = &edges[ei].2;
+                for (i, fv) in tables[v].iter_mut().enumerate() {
+                    if *fv == 0 {
+                        continue;
+                    }
+                    let pval = lo[v] + i as i64;
+                    let (mut clo, mut chi) = (lo[u] as i128, lo[u] as i128 + width[u] as i128 - 1);
+                    for &ri in rows {
+                        pin(&t.ineqs[ri], u, v, pval, &mut clo, &mut chi);
+                    }
+                    let s = if clo > chi {
+                        0
+                    } else {
+                        let a = (clo - lo[u] as i128) as usize;
+                        let b = (chi - lo[u] as i128) as usize;
+                        prefix[b + 1] - prefix[a]
+                    };
+                    *fv = fv.checked_mul(s).ok_or(Error::Overflow)?;
+                }
+                tables[u] = Vec::new(); // release folded child storage
+            }
+        }
+        let mut tree: u128 = 0;
+        for &f in &tables[root] {
+            tree = tree.checked_add(f).ok_or(Error::Overflow)?;
+        }
+        tables[root] = Vec::new();
+        if tree == 0 {
+            note(FastPathKind::PairChain);
+            return Ok(Some(0));
+        }
+        total = total.checked_mul(tree).ok_or(Error::Overflow)?;
+    }
+    // Variables on no edge contribute their plain interval width (their
+    // single-variable rows are already folded into `ranges`).
+    for v in 0..n {
+        if width[v] != 0 {
+            continue;
+        }
+        let (Some(l), Some(h)) = ranges[v] else {
+            return Ok(None);
+        };
+        total = total
+            .checked_mul((h as i128 - l as i128 + 1) as u128)
+            .ok_or(Error::Overflow)?;
+    }
+    note(FastPathKind::PairChain);
+    Ok(Some(total))
+}
+
 fn count_fast(t: &Tableau, limit: Option<u128>, work: &mut u64) -> Result<Option<u128>> {
     if !t.eqs.is_empty() {
         return Ok(None);
@@ -942,8 +1281,7 @@ fn count_fast(t: &Tableau, limit: Option<u128>, work: &mut u64) -> Result<Option
     };
     if wide.is_empty() {
         let c = count_box(&bounds, limit)?;
-        BOX_FAST.fetch_add(1, Ordering::Relaxed);
-        crate::cache::note_fastpath();
+        note(FastPathKind::Box);
         return Ok(Some(c));
     }
     // Group the multi-variable rows by the linear expression they bound
@@ -1101,8 +1439,7 @@ fn count_fast(t: &Tableau, limit: Option<u128>, work: &mut u64) -> Result<Option
         // machinery.
         if hs.iter().all(|&(_, _, a)| a.abs() == 1) {
             let factor = count_box(&box_bounds, limit)?;
-            SLAB_FAST.fetch_add(1, Ordering::Relaxed);
-            crate::cache::note_fastpath();
+            note(FastPathKind::Slab);
             return Ok(Some(factor));
         }
         return Ok(None);
@@ -1138,8 +1475,7 @@ fn count_fast(t: &Tableau, limit: Option<u128>, work: &mut u64) -> Result<Option
     };
     debug_assert!(upper >= lower);
     let inner = upper - lower;
-    SLAB_FAST.fetch_add(1, Ordering::Relaxed);
-    crate::cache::note_fastpath();
+    note(FastPathKind::Slab);
     Ok(Some(factor.checked_mul(inner).ok_or(Error::Overflow)?))
 }
 
@@ -1156,16 +1492,25 @@ struct SlabGroup {
 const MAX_SLAB_GROUPS: usize = 6;
 
 /// Exactly counts a box intersected with `k >= 2` slabs of independent
-/// directions.
+/// directions, including *coupled* slabs that share variables.
 ///
 /// A small enumeration set `E` of variables is chosen greedily so that
-/// after pinning `E`, at most one slab still touches two or more free
-/// variables. Every other slab then collapses to a *single-variable
-/// interval* (or a constant feasibility check), which merely tightens that
-/// variable's box bounds — and the one remaining true slab closes with
-/// the same Euclidean floor-sum telescoping the single-slab path uses.
-/// Pinning proceeds by odometer over `E`'s box ranges with cheap integer
-/// arithmetic only; no tableau is rebuilt anywhere.
+/// after pinning `E`, the slabs still touching two or more free
+/// variables are pairwise variable-disjoint — only *shared* variables
+/// are ever pinned, so two slabs coupled through one variable cost a
+/// single odometer axis instead of a whole slab's worth. Each remaining
+/// multi-variable slab closes independently with the same Euclidean
+/// floor-sum telescoping the single-slab path uses (their free-variable
+/// sets are disjoint, so the per-assignment counts multiply); every
+/// other slab collapses to a *single-variable interval* (or a constant
+/// feasibility check), which merely tightens that variable's box
+/// bounds. Pinning proceeds by odometer over `E`'s box ranges with
+/// cheap integer arithmetic only; no tableau is rebuilt anywhere.
+///
+/// Dispatch is recorded as [`FastPathKind::CoupledSlab`] when two or
+/// more true slabs survive the pinning (the shapes the old greedy — pin
+/// until one slab remains — enumerated much more widely), and
+/// [`FastPathKind::MultiSlab`] otherwise.
 ///
 /// Returns `Ok(None)` when the shape is unsuitable (unboxed slab
 /// variables, enumeration too wide, extreme coefficients) — the caller
@@ -1234,9 +1579,13 @@ fn count_multi_slab(
     let free_of = |g: &SlabGroup, in_e: &[bool]| -> usize {
         (0..n).filter(|&v| g.dir[v] != 0 && !in_e[v]).count()
     };
-    // Greedy enumeration set: while two or more slabs keep >= 2 free
-    // variables, pin the variable covering the most such slabs (ties:
-    // narrowest range first — it costs the least to enumerate).
+    // Greedy enumeration set: while some variable is *shared* by two or
+    // more slabs that keep >= 2 free variables, pin the variable
+    // covering the most such slabs (ties: narrowest range first — it
+    // costs the least to enumerate). Pinning stops as soon as the
+    // multi-variable slabs are pairwise disjoint on free variables:
+    // disjoint slabs close independently, so nothing more need be
+    // enumerated.
     let mut in_e = vec![false; n];
     loop {
         let multi: Vec<usize> = (0..groups.len())
@@ -1251,7 +1600,7 @@ fn count_multi_slab(
                 continue;
             }
             let cov = multi.iter().filter(|&&i| groups[i].dir[v] != 0).count();
-            if cov == 0 {
+            if cov < 2 {
                 continue;
             }
             let w = width(v);
@@ -1259,26 +1608,41 @@ fn count_multi_slab(
                 best = Some((v, cov, w));
             }
         }
-        in_e[best.expect(">=2 multi slabs imply a free slab var").0] = true;
+        match best {
+            Some((v, _, _)) => in_e[v] = true,
+            // No shared variable left: the remaining multi-variable
+            // slabs are pairwise disjoint and each closes on its own.
+            None => break,
+        }
     }
     let enum_vars: Vec<usize> = (0..n).filter(|&v| in_e[v]).collect();
-    let kept: Option<usize> = (0..groups.len()).find(|&i| free_of(&groups[i], &in_e) >= 2);
-    let kept_r: Vec<usize> = kept
-        .map(|kj| {
+    let kept: Vec<usize> = (0..groups.len())
+        .filter(|&i| free_of(&groups[i], &in_e) >= 2)
+        .collect();
+    let kept_r: Vec<Vec<usize>> = kept
+        .iter()
+        .map(|&kj| {
             (0..n)
                 .filter(|&v| groups[kj].dir[v] != 0 && !in_e[v])
                 .collect()
         })
-        .unwrap_or_default();
-    // Work guard: odometer volume × the kept slab's inner enumeration
+        .collect();
+    debug_assert!(
+        kept_r
+            .iter()
+            .enumerate()
+            .all(|(i, a)| kept_r[..i].iter().all(|b| a.iter().all(|v| !b.contains(v)))),
+        "kept slabs must be pairwise disjoint on free variables"
+    );
+    // Work guard: odometer volume × each kept slab's inner enumeration
     // (its dimensions beyond the two widest, like the single-slab path).
     let mut volume: u128 = 1;
     for &v in &enum_vars {
         volume = volume.saturating_mul(width(v) as u128);
     }
     let mut inner_work: u128 = 1;
-    {
-        let mut widths: Vec<i128> = kept_r.iter().map(|&v| width(v)).collect();
+    for r in &kept_r {
+        let mut widths: Vec<i128> = r.iter().map(|&v| width(v)).collect();
         widths.sort_unstable_by_key(|&w| std::cmp::Reverse(w));
         for &w in widths.iter().skip(2) {
             inner_work = inner_work.saturating_mul(w as u128);
@@ -1321,7 +1685,7 @@ fn count_multi_slab(
             .map(|(ei, &v)| (ei, g.dir[v] as i128))
             .collect();
         let mut free_var = None;
-        if Some(i) != kept {
+        if !kept.contains(&i) {
             for (v, &pinned) in in_e.iter().enumerate() {
                 if g.dir[v] != 0 && !pinned {
                     debug_assert!(free_var.is_none(), "non-kept slab must have <= 1 free var");
@@ -1334,14 +1698,14 @@ fn count_multi_slab(
     // Odometer over E.
     let mut point: Vec<i128> = enum_vars.iter().map(|&v| bounds[v].0.unwrap()).collect();
     let mut tb: Vec<(i128, i128)> = vec![(0, 0); n]; // tightened bounds, by var
-    let mut triples: Vec<(i128, i128, i64)> = Vec::with_capacity(kept_r.len());
+    let mut triples: Vec<(i128, i128, i64)> = Vec::new();
+    let mut kept_shifts: Vec<i128> = vec![0; kept.len()];
     let mut total: u128 = 0;
     'outer: loop {
         for &v in &touched {
             tb[v] = (bounds[v].0.unwrap(), bounds[v].1.unwrap());
         }
         let mut feasible = true;
-        let mut kept_shift: i128 = 0;
         for (i, plan) in plans.iter().enumerate() {
             let mut c: i128 = 0;
             for &(ei, a) in &plan.e_coeffs {
@@ -1350,8 +1714,8 @@ fn count_multi_slab(
                     .and_then(|t| c.checked_add(t))
                     .ok_or(Error::Overflow)?;
             }
-            if Some(i) == kept {
-                kept_shift = c;
+            if let Some(ki) = kept.iter().position(|&kj| kj == i) {
+                kept_shifts[ki] = c;
                 continue;
             }
             let lo = windows[i].0.checked_sub(c).ok_or(Error::Overflow)?;
@@ -1381,11 +1745,12 @@ fn count_multi_slab(
             }
         }
         if feasible {
-            // Interval-collapsed variables outside the kept slab multiply
-            // directly; the kept slab's residual closes with floor-sums.
+            // Interval-collapsed variables outside every kept slab
+            // multiply directly; each kept slab's residual closes with
+            // floor-sums over its own (disjoint) free variables.
             let mut cnt: u128 = 1;
             for &v in &touched {
-                if kept_r.contains(&v) {
+                if kept_r.iter().any(|r| r.contains(&v)) {
                     continue;
                 }
                 cnt = cnt
@@ -1393,10 +1758,10 @@ fn count_multi_slab(
                     .ok_or(Error::Overflow)?;
             }
             if cnt > 0 {
-                if let Some(kj) = kept {
+                for (ki, &kj) in kept.iter().enumerate() {
                     let (mut r_min, mut r_max) = (0i128, 0i128);
                     triples.clear();
-                    for &v in &kept_r {
+                    for &v in &kept_r[ki] {
                         let a = groups[kj].dir[v] as i128;
                         let (l, h) = tb[v];
                         let (tmin, tmax) = if a > 0 { (l, h) } else { (h, l) };
@@ -1412,12 +1777,12 @@ fn count_multi_slab(
                     }
                     let lo = windows[kj]
                         .0
-                        .checked_sub(kept_shift)
+                        .checked_sub(kept_shifts[ki])
                         .ok_or(Error::Overflow)?
                         .max(r_min);
                     let hi = windows[kj]
                         .1
-                        .checked_sub(kept_shift)
+                        .checked_sub(kept_shifts[ki])
                         .ok_or(Error::Overflow)?
                         .min(r_max);
                     let inner = if hi < lo {
@@ -1434,6 +1799,9 @@ fn count_multi_slab(
                         upper - lower
                     };
                     cnt = cnt.checked_mul(inner).ok_or(Error::Overflow)?;
+                    if cnt == 0 {
+                        break;
+                    }
                 }
                 total = total.checked_add(cnt).ok_or(Error::Overflow)?;
             }
@@ -1448,14 +1816,40 @@ fn count_multi_slab(
         }
         break;
     }
-    MULTI_SLAB_FAST.fetch_add(1, Ordering::Relaxed);
-    crate::cache::note_fastpath();
+    note(if kept.len() >= 2 {
+        FastPathKind::CoupledSlab
+    } else {
+        FastPathKind::MultiSlab
+    });
     Ok(Some(factor.checked_mul(total).ok_or(Error::Overflow)?))
 }
 
 /// Recursively counts a pure-inequality tableau. `limit` allows early exit
-/// (used for emptiness checks). `work` guards total effort.
-fn count_rec(mut t: Tableau, limit: Option<u128>, work: &mut u64) -> Result<u128> {
+/// (used for emptiness checks). `work` guards total effort. The owned
+/// tableau's row containers return to `arena` when counting finishes.
+fn count_rec(
+    t: Tableau,
+    limit: Option<u128>,
+    work: &mut u64,
+    arena: &mut RowArena,
+) -> Result<u128> {
+    let mut t = t;
+    let r = count_rec_inner(&mut t, limit, work, arena, false);
+    arena.reclaim(t);
+    r
+}
+
+/// [`count_rec`] body. `par` permits one work-stealing split across
+/// threads at this node's enumeration fallback (set only by
+/// [`count_tableau`] for top-level exact counts; recursion below a split
+/// is always serial).
+fn count_rec_inner(
+    t: &mut Tableau,
+    limit: Option<u128>,
+    work: &mut u64,
+    arena: &mut RowArena,
+    par: bool,
+) -> Result<u128> {
     *work += 1;
     if *work > WORK_LIMIT {
         return Err(Error::TooComplex("counting work limit exceeded".into()));
@@ -1477,15 +1871,14 @@ fn count_rec(mut t: Tableau, limit: Option<u128>, work: &mut u64) -> Result<u128
             return Ok(0);
         }
         if t.n < n_before {
-            WINDOW_FAST.fetch_add(1, Ordering::Relaxed);
-            crate::cache::note_fastpath();
+            note(FastPathKind::Window);
         }
         if t.n == 0 {
             return Ok(factor);
         }
     }
     if factor > 1 {
-        let inner = count_rec(t, limit, work)?;
+        let inner = count_rec_inner(t, limit, work, arena, par)?;
         return match limit {
             Some(_) => Ok(inner.saturating_mul(factor)),
             None => inner.checked_mul(factor).ok_or(Error::Overflow),
@@ -1508,18 +1901,18 @@ fn count_rec(mut t: Tableau, limit: Option<u128>, work: &mut u64) -> Result<u128
         return Ok(1);
     }
     if t.n == 1 {
-        return count_single(&t, limit);
+        return count_single(t, limit);
     }
     // Closed-form shortcuts: boxes and box ∩ slab count without recursion.
-    if let Some(c) = count_fast(&t, limit, work)? {
+    if let Some(c) = count_fast(t, limit, work)? {
         return Ok(c);
     }
-    let groups = components(&t);
+    let groups = components(t);
     if groups.len() > 1 {
         let mut prod: u128 = 1;
         for g in &groups {
-            let sub = subsystem(&t, g);
-            let c = count_rec(sub, limit, work)?;
+            let sub = subsystem_with(t, g, arena);
+            let c = count_rec(sub, limit, work, arena)?;
             if c == 0 {
                 return Ok(0);
             }
@@ -1540,7 +1933,16 @@ fn count_rec(mut t: Tableau, limit: Option<u128>, work: &mut u64) -> Result<u128
         }
     }
     if t.n == 2 {
-        if let Some(c) = count_pair_series(&t, &ranges)? {
+        if let Some(c) = count_pair_series(t, &ranges)? {
+            return Ok(c);
+        }
+    }
+    // Chained two-variable links (and pair shapes the series above could
+    // not close) fold by value-table DP instead of per-value recursion.
+    // Limited probes skip it: enumeration exits at the first point, the
+    // DP always pays the full table.
+    if limit.is_none() {
+        if let Some(c) = count_pair_chain(t, &ranges, work)? {
             return Ok(c);
         }
     }
@@ -1564,14 +1966,23 @@ fn count_rec(mut t: Tableau, limit: Option<u128>, work: &mut u64) -> Result<u128
             hi as i128 - lo as i128 + 1
         )));
     }
+    if par && limit.is_none() && hi <= i64::MAX - 65 {
+        // (The cursor in the split may run `threads` past `hi`; the guard
+        // keeps its `fetch_add` off the wrapping edge.)
+        let threads = enum_threads();
+        if threads > 1 && hi as i128 - lo as i128 + 1 >= PAR_SPLIT_MIN_WIDTH as i128 {
+            return count_split_parallel(t, var, lo, hi, threads);
+        }
+    }
     let mut total: u128 = 0;
     for v in lo..=hi {
-        let sub = t.fix(var, v)?;
+        let sub = t.fix_with(var, v, arena)?;
         total = total
             .checked_add(count_rec(
                 sub,
                 limit.map(|l| l.saturating_sub(total)),
                 work,
+                arena,
             )?)
             .ok_or(Error::Overflow)?;
         if let Some(l) = limit {
@@ -1579,6 +1990,75 @@ fn count_rec(mut t: Tableau, limit: Option<u128>, work: &mut u64) -> Result<u128
                 return Ok(total);
             }
         }
+    }
+    Ok(total)
+}
+
+/// Minimum enumeration width before the top-level counting split fans
+/// out across threads (narrower splits don't amortize thread spawn).
+const PAR_SPLIT_MIN_WIDTH: u64 = 16;
+
+/// Worker threads for parallel enumeration/counting: the machine's
+/// available parallelism capped at 8, overridable via
+/// `TENET_ISL_THREADS` (useful to force the parallel paths on small
+/// boxes, or to pin them off).
+fn enum_threads() -> usize {
+    static THREADS: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *THREADS.get_or_init(|| {
+        if let Ok(v) = std::env::var("TENET_ISL_THREADS") {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                return n.clamp(1, 64);
+            }
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(8)
+    })
+}
+
+/// Work-stealing parallel form of the enumeration fallback: workers
+/// claim values of `var` off a shared atomic cursor (granularity 1, so
+/// skewed per-value costs balance), each counting its substituted
+/// subproblem serially with a private arena. Partial totals add with
+/// overflow checks; the first error wins. Each worker carries its own
+/// [`WORK_LIMIT`] budget — a deliberate widening (≤ `threads ×` the
+/// serial budget) in exchange for not contending on a shared counter.
+/// Attached [`crate::CounterHandle`]s propagate to the workers, so
+/// scoped fast-path/dispatch attribution stays exact across the split.
+fn count_split_parallel(t: &Tableau, var: usize, lo: i64, hi: i64, threads: usize) -> Result<u128> {
+    use std::sync::atomic::AtomicI64;
+    let next = AtomicI64::new(lo);
+    let span = (hi as i128 - lo as i128 + 1).min(threads as i128) as usize;
+    let handles = crate::cache::attached_handles();
+    let results: Vec<Result<u128>> = std::thread::scope(|s| {
+        let workers: Vec<_> = (0..span)
+            .map(|_| {
+                let next = &next;
+                let handles = &handles;
+                s.spawn(move || -> Result<u128> {
+                    let _guards: Vec<_> = handles.iter().map(|h| h.attach()).collect();
+                    let mut arena = RowArena::new();
+                    let mut work = 0u64;
+                    let mut total: u128 = 0;
+                    loop {
+                        let v = next.fetch_add(1, Ordering::Relaxed);
+                        if v > hi {
+                            return Ok(total);
+                        }
+                        let sub = t.fix_with(var, v, &mut arena)?;
+                        total = total
+                            .checked_add(count_rec(sub, None, &mut work, &mut arena)?)
+                            .ok_or(Error::Overflow)?;
+                    }
+                })
+            })
+            .collect();
+        workers.into_iter().map(|w| w.join().unwrap()).collect()
+    });
+    let mut total: u128 = 0;
+    for r in results {
+        total = total.checked_add(r?).ok_or(Error::Overflow)?;
     }
     Ok(total)
 }
@@ -1600,7 +2080,11 @@ fn count_tableau(mut t: Tableau, limit: Option<u128>) -> Result<u128> {
         return Ok(0);
     }
     let mut work = 0u64;
-    count_rec(t, limit, &mut work)
+    let mut arena = RowArena::new();
+    // Exact top-level counts may split their enumeration fallback across
+    // threads; recursion below the split (and every limited probe, which
+    // wants first-point early exit) stays serial.
+    count_rec_inner(&mut t, limit, &mut work, &mut arena, limit.is_none())
 }
 
 /// Whether a basic map contains no integer point.
@@ -1641,7 +2125,28 @@ pub(crate) fn basic_sample(bm: &BasicMap) -> Result<Option<Vec<i64>>> {
 /// Enumerates all points (over the visible dims) of a basic map.
 /// Intended for small sets (simulation, testing); errors out beyond
 /// `limit` points.
+///
+/// With more than one available thread (see [`enum_threads`]) and an
+/// outermost variable of finite width ≥ 2, the walk splits into a
+/// work-stealing scan over that variable's propagated range: workers
+/// claim one value at a time off an atomic cursor and run the ordinary
+/// depth-first enumeration below it; per-value buckets merge back in
+/// ascending order, so the output order matches the serial walk exactly.
 pub(crate) fn basic_points(bm: &BasicMap, limit: usize) -> Result<Vec<Vec<i64>>> {
+    let threads = enum_threads();
+    if threads > 1 {
+        let n_vis = bm.div0();
+        let t = Tableau::from_basic(bm)?;
+        if t.n > 0 {
+            let ranges = t.propagate_bounds()?;
+            if let (Some(lo), Some(hi)) = ranges[0] {
+                // Same wrap guard as the counting split's cursor.
+                if hi as i128 - lo as i128 + 1 >= 2 && hi <= i64::MAX - 65 {
+                    return basic_points_par(&t, n_vis, lo, hi, limit, threads, &ranges);
+                }
+            }
+        }
+    }
     let mut out: Vec<Vec<i64>> = Vec::new();
     basic_points_visit(bm, &mut |p| {
         if out.len() >= limit {
@@ -1652,6 +2157,85 @@ pub(crate) fn basic_points(bm: &BasicMap, limit: usize) -> Result<Vec<Vec<i64>>>
         out.push(p.to_vec());
         Ok(())
     })?;
+    Ok(out)
+}
+
+/// Parallel body of [`basic_points`]: splits on the outermost variable.
+///
+/// Enumerating from depth 1 with `point[0]` pinned is sound because the
+/// leaf check validates *every* row exactly — a pinned value that
+/// violates some depth-0 bound simply yields no points. The propagated
+/// ranges are implied by the system, so scanning `[lo, hi]` covers every
+/// solution.
+fn basic_points_par(
+    t: &Tableau,
+    n_vis: usize,
+    lo: i64,
+    hi: i64,
+    limit: usize,
+    threads: usize,
+    ranges: &[(Option<i64>, Option<i64>)],
+) -> Result<Vec<Vec<i64>>> {
+    use std::sync::atomic::AtomicI64;
+    let next = AtomicI64::new(lo);
+    let span = (hi as i128 - lo as i128 + 1).min(threads as i128) as usize;
+    type Buckets = Vec<(i64, Vec<Vec<i64>>)>;
+    let results: Vec<Result<Buckets>> = std::thread::scope(|s| {
+        let workers: Vec<_> = (0..span)
+            .map(|_| {
+                let next = &next;
+                s.spawn(move || -> Result<Buckets> {
+                    let mut buckets: Buckets = Vec::new();
+                    let mut point = vec![0i64; t.n];
+                    let mut rng = Some(ranges.to_vec());
+                    let mut mine = 0usize;
+                    loop {
+                        let v = next.fetch_add(1, Ordering::Relaxed);
+                        if v > hi {
+                            return Ok(buckets);
+                        }
+                        point[0] = v;
+                        let mut pts: Vec<Vec<i64>> = Vec::new();
+                        enum_rec(
+                            t,
+                            1,
+                            &mut point,
+                            &mut |p| {
+                                if mine >= limit {
+                                    return Err(Error::TooComplex(format!(
+                                        "more than {limit} points during enumeration"
+                                    )));
+                                }
+                                mine += 1;
+                                pts.push(p.to_vec());
+                                Ok(())
+                            },
+                            n_vis,
+                            &mut rng,
+                        )?;
+                        if !pts.is_empty() {
+                            buckets.push((v, pts));
+                        }
+                    }
+                })
+            })
+            .collect();
+        workers.into_iter().map(|w| w.join().unwrap()).collect()
+    });
+    let mut all: Buckets = Vec::new();
+    for r in results {
+        all.extend(r?);
+    }
+    all.sort_unstable_by_key(|&(v, _)| v);
+    let mut out: Vec<Vec<i64>> = Vec::new();
+    for (_, mut pts) in all {
+        out.append(&mut pts);
+    }
+    if out.len() > limit {
+        return Err(Error::TooComplex(format!(
+            "more than {limit} points during enumeration"
+        )));
+    }
     Ok(out)
 }
 

@@ -163,6 +163,33 @@ fn display_is_parseable_for_maps() {
 }
 
 #[test]
+fn huge_slope_pair_card_is_exact() {
+    // y ≤ M·x with M = 2e18: y's derived bound overflows i64, so no slab
+    // closed form applies — the generalized pair series must still return
+    // the exact Σ (M·x + 1) without enumerating anything.
+    const M: u128 = 2_000_000_000_000_000_000;
+    let s = Set::parse("{ A[x, y] : 0 <= x <= 9 and 0 <= y and 2000000000000000000*x - y >= 0 }")
+        .unwrap();
+    assert_eq!(s.card().unwrap(), 45 * M + 10);
+}
+
+#[test]
+fn card_overflow_is_reported_not_wrapped() {
+    // The same series with x spanning [0, 2^62]: the total exceeds i128,
+    // which must surface as a structured error, never a wrapped count.
+    let s = Set::parse(
+        "{ A[x, y] : 0 <= x <= 4611686018427387904 and 0 <= y \
+         and 4611686018427387904*x - y >= 0 }",
+    )
+    .unwrap();
+    assert!(
+        matches!(s.card(), Err(Error::Overflow)),
+        "expected Overflow, got {:?}",
+        s.card()
+    );
+}
+
+#[test]
 fn wide_symmetric_bounds_not_empty() {
     // Regression: simplify()'s opposite-pair contradiction check summed the
     // two constants in i64, wrapping 2^62 + 2^62 negative and reporting

@@ -11,7 +11,7 @@
 use proptest::prelude::*;
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
-use tenet_isl::{cache, fast_path_stats, Map, Set};
+use tenet_isl::{cache, CountStats, CounterHandle, Map, Set};
 
 /// Brute-force point count over the bounding box `[lo, hi]^d`, using only
 /// `contains_point`.
@@ -212,13 +212,28 @@ proptest! {
     }
 }
 
+/// Counts `text` with the cache off while a scoped [`CounterHandle`] is
+/// attached, returning the card together with the handle's per-kind
+/// dispatch stats. Unlike the process-global [`tenet_isl::fast_path_stats`],
+/// the handle only sees this thread's dispatches, so the assertions stay
+/// exact when the test harness runs other counting tests in parallel.
+fn card_with_dispatch(text: &str) -> (u128, CountStats) {
+    let _guard = test_lock();
+    cache::set_enabled(false);
+    let handle = CounterHandle::new();
+    let card = {
+        let _attached = handle.attach();
+        Set::parse(text).unwrap().card().unwrap()
+    };
+    cache::set_enabled(true);
+    (card, handle.fast_path_stats())
+}
+
 /// The k≥2 multi-slab closed form must actually be taken (not silently
 /// fall back) and stay exact, for both the interval-collapse and the
 /// kept-slab floor-sum shapes.
 #[test]
 fn multi_slab_fast_path_taken_and_exact() {
-    let _guard = test_lock();
-    cache::set_enabled(false); // force recomputation
     let shapes = [
         // Shared-support pair: every slab collapses to intervals.
         "{ A[x, y] : 0 <= x < 25 and 0 <= y < 25 \
@@ -232,16 +247,449 @@ fn multi_slab_fast_path_taken_and_exact() {
          and 0 <= x + z and x + z <= 16 }",
     ];
     for text in shapes {
-        let before = fast_path_stats().multi_slab_counts;
+        let (card, stats) = card_with_dispatch(text);
         let s = Set::parse(text).unwrap();
-        let card = s.card().unwrap();
         assert_eq!(card, count_by_points(&s, -1, 27), "{text}");
         assert!(
-            fast_path_stats().multi_slab_counts > before,
-            "multi-slab path not taken for {text}"
+            stats.multi_slab_counts + stats.coupled_slab_counts > 0,
+            "multi-slab path not taken for {text}: {stats:?}"
         );
     }
+}
+
+// ---------------------------------------------------------------------------
+// Seeded generative corpus
+//
+// A hand-rolled splitmix64 stream (not proptest) drives these so a failing
+// case reproduces exactly from the seed printed in the panic message:
+//
+//     TENET_ORACLE_SEED=0x1234 cargo test -p tenet-isl --test oracle
+//
+// Five shape classes — window, box, slab, coupled-slab, pair-chain — are
+// generated over 1–5 dimensions with the bounding window shrunk as the
+// dimension grows (the brute-force oracle scans the full window). Every
+// case checks `card` against `count_by_points` cold (cache off) and warm
+// (second run against populated tables). `TENET_ORACLE_DEEP=1` grows the
+// corpus from 64 to 500 cases per class (the CI oracle-deep job).
+// ---------------------------------------------------------------------------
+
+/// splitmix64: tiny, seedable, and identical on every platform.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+
+    fn range(&mut self, lo: i64, hi: i64) -> i64 {
+        debug_assert!(lo <= hi);
+        lo + self.below((hi - lo + 1) as u64) as i64
+    }
+
+    /// A nonzero coefficient in `[-bound, bound]`.
+    fn coef(&mut self, bound: i64) -> i64 {
+        loop {
+            let c = self.range(-bound, bound);
+            if c != 0 {
+                return c;
+            }
+        }
+    }
+}
+
+fn corpus_seed() -> u64 {
+    match std::env::var("TENET_ORACLE_SEED") {
+        Ok(v) => {
+            let v = v.trim();
+            let parsed = match v.strip_prefix("0x") {
+                Some(h) => u64::from_str_radix(h, 16).ok(),
+                None => v.parse().ok(),
+            };
+            parsed.unwrap_or_else(|| panic!("unparseable TENET_ORACLE_SEED: {v:?}"))
+        }
+        Err(_) => 0xC0FF_EE5E_EDC0_FFEE,
+    }
+}
+
+fn corpus_cases() -> usize {
+    match std::env::var("TENET_ORACLE_DEEP") {
+        Ok(v) if !v.is_empty() && v != "0" => 500,
+        _ => 64,
+    }
+}
+
+/// Brute-force window per dimension count: higher dimensions scan a
+/// smaller box so the oracle stays cheap (7^5 points at d = 5).
+fn window_for(d: usize) -> (i64, i64) {
+    match d {
+        0..=2 => (-6, 9),
+        3 => (-4, 7),
+        4 => (-3, 5),
+        _ => (-2, 4),
+    }
+}
+
+/// Random box text over `d` dims with bounds inside the oracle window.
+/// One case in 16 deliberately inverts a dimension's bounds to cover the
+/// empty-set corners of every fast path.
+fn gen_box(rng: &mut Rng, d: usize, wlo: i64, whi: i64) -> String {
+    let invert = if rng.below(16) == 0 {
+        Some(rng.below(d as u64) as usize)
+    } else {
+        None
+    };
+    let dims: Vec<String> = (0..d).map(|i| format!("x{i}")).collect();
+    let cons: Vec<String> = (0..d)
+        .map(|i| {
+            let a = rng.range(wlo, whi);
+            let b = rng.range(wlo, whi);
+            let (mut lo, mut hi) = (a.min(b), a.max(b));
+            if invert == Some(i) && lo != hi {
+                std::mem::swap(&mut lo, &mut hi);
+            }
+            format!("{lo} <= x{i} and x{i} <= {hi}")
+        })
+        .collect();
+    format!("{{ A[{}] : {} }}", dims.join(", "), cons.join(" and "))
+}
+
+/// Appends extra `and …` constraints to a box text.
+fn with_extra(base: String, extra: &[String]) -> String {
+    let mut t = base.trim_end_matches(" }").to_string();
+    for e in extra {
+        t.push_str(" and ");
+        t.push_str(e);
+    }
+    t.push_str(" }");
+    t
+}
+
+/// A linear expression over a subset of the dims (at least one term).
+fn gen_dir(rng: &mut Rng, dims: &[usize]) -> String {
+    let k = 1 + rng.below(dims.len() as u64) as usize;
+    let terms: Vec<String> = dims[..k]
+        .iter()
+        .map(|&v| format!("{}*x{v}", rng.coef(3)))
+        .collect();
+    terms.join(" + ")
+}
+
+/// Slab constraint `lo <= e <= lo + width` (or a single halfspace).
+fn gen_slab_on(rng: &mut Rng, e: &str) -> String {
+    let lo = rng.range(-12, 6);
+    if rng.below(4) == 0 {
+        format!("{e} <= {}", lo + rng.range(0, 16))
+    } else {
+        format!("{lo} <= {e} and {e} <= {}", lo + rng.range(0, 16))
+    }
+}
+
+fn gen_window_case(rng: &mut Rng, d: usize, wlo: i64, whi: i64) -> String {
+    let base = gen_box(rng, d, wlo, whi);
+    let n = 1 + rng.below(2);
+    let extra: Vec<String> = (0..n)
+        .map(|_| {
+            let terms: Vec<String> = (0..d)
+                .filter_map(|v| {
+                    let c = rng.range(0, 3);
+                    (c != 0 || v == 0).then(|| format!("{}*x{v}", c.max(1)))
+                })
+                .collect();
+            let m = rng.range(2, 5);
+            let r = rng.range(0, m - 1);
+            format!("({}) mod {m} <= {r}", terms.join(" + "))
+        })
+        .collect();
+    with_extra(base, &extra)
+}
+
+fn gen_slab_case(rng: &mut Rng, d: usize, wlo: i64, whi: i64) -> String {
+    let base = gen_box(rng, d, wlo, whi);
+    let dims: Vec<usize> = (0..d).collect();
+    let e = gen_dir(rng, &dims);
+    let slab = gen_slab_on(rng, &e);
+    with_extra(base, &[slab])
+}
+
+/// Two-plus slab directions, half the time on disjoint variable subsets
+/// (the coupled-slab split where both slabs survive the pinning).
+fn gen_coupled_case(rng: &mut Rng, d: usize, wlo: i64, whi: i64) -> String {
+    let base = gen_box(rng, d, wlo, whi);
+    let all: Vec<usize> = (0..d).collect();
+    let mut extra = Vec::new();
+    if d >= 4 && rng.below(2) == 0 {
+        let cut = d / 2;
+        let (e1, e2) = (gen_dir(rng, &all[..cut]), gen_dir(rng, &all[cut..]));
+        extra.push(gen_slab_on(rng, &e1));
+        extra.push(gen_slab_on(rng, &e2));
+    } else {
+        let k = 2 + rng.below(2);
+        for _ in 0..k {
+            let e = gen_dir(rng, &all);
+            extra.push(gen_slab_on(rng, &e));
+        }
+    }
+    with_extra(base, &extra)
+}
+
+/// A random forest of two-variable rows: each dim optionally links back
+/// to an earlier dim with a slab or halfspace on `a*xi + b*xj`.
+fn gen_chain_case(rng: &mut Rng, d: usize, wlo: i64, whi: i64) -> String {
+    let base = gen_box(rng, d, wlo, whi);
+    let mut extra = Vec::new();
+    for j in 1..d {
+        if rng.below(4) < 3 {
+            let i = rng.below(j as u64) as usize;
+            let e = format!("{}*x{i} + {}*x{j}", rng.coef(3), rng.coef(3));
+            extra.push(gen_slab_on(rng, &e));
+        }
+    }
+    with_extra(base, &extra)
+}
+
+/// Differentially checks every generated case: `card` (cold and warm)
+/// against the `contains_point` scan of the full window.
+fn run_corpus(class: &str, min_d: usize, gen: impl Fn(&mut Rng, usize, i64, i64) -> String) {
+    let seed = corpus_seed();
+    let cases = corpus_cases();
+    let mut h = DefaultHasher::new();
+    class.hash(&mut h);
+    let mut rng = Rng(seed ^ h.finish());
+    for case in 0..cases {
+        let d = rng.range(min_d as i64, 5) as usize;
+        let (wlo, whi) = window_for(d);
+        let text = gen(&mut rng, d, wlo, whi);
+        let s = Set::parse(&text)
+            .unwrap_or_else(|e| panic!("[{class} seed={seed:#x} case={case}] parse {text}: {e}"));
+        let oracle = count_by_points(&s, wlo, whi);
+        let (cold, warm) = with_and_without_cache(|| {
+            Set::parse(&text)
+                .unwrap()
+                .card()
+                .unwrap_or_else(|e| panic!("[{class} seed={seed:#x} case={case}] card {text}: {e}"))
+        });
+        assert_eq!(
+            cold, oracle,
+            "[{class} seed={seed:#x} case={case}] cold card vs oracle for {text}"
+        );
+        assert_eq!(
+            warm, oracle,
+            "[{class} seed={seed:#x} case={case}] warm card vs oracle for {text}"
+        );
+    }
+}
+
+#[test]
+fn corpus_box() {
+    run_corpus("box", 1, gen_box);
+}
+
+#[test]
+fn corpus_window() {
+    run_corpus("window", 1, gen_window_case);
+}
+
+#[test]
+fn corpus_slab() {
+    run_corpus("slab", 2, gen_slab_case);
+}
+
+#[test]
+fn corpus_coupled_slab() {
+    run_corpus("coupled-slab", 2, gen_coupled_case);
+}
+
+#[test]
+fn corpus_pair_chain() {
+    run_corpus("pair-chain", 2, gen_chain_case);
+}
+
+// ---------------------------------------------------------------------------
+// i64-extreme constants: the counters must either produce the exact value
+// or report a structured error (Overflow / TooComplex / Unbounded) — never
+// panic, wrap, or disagree between cold and warm runs.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn extreme_constants_known_values() {
+    const M: u128 = 2_000_000_000_000_000_000;
+    let cases: [(&str, u128); 4] = [
+        // Full symmetric i64-width interval: 2^64 - 1 points.
+        (
+            "{ A[x] : -9223372036854775807 <= x <= 9223372036854775807 }",
+            u64::MAX as u128,
+        ),
+        // Near-max box times a small factor.
+        (
+            "{ A[x, y] : 0 <= x <= 9223372036854775806 and 0 <= y <= 1 }",
+            ((1u128 << 63) - 1) * 2,
+        ),
+        // Huge-slope pair series: y ≤ M·x over x ∈ [0, 9] sums to 45M+10,
+        // far beyond any enumerable range.
+        (
+            "{ A[x, y] : 0 <= x <= 9 and 0 <= y and 2000000000000000000*x - y >= 0 }",
+            45 * M + 10,
+        ),
+        // Triangle with a 2^31-wide leg: closed form, no enumeration.
+        (
+            "{ A[x, y] : 0 <= x <= 2147483647 and 0 <= y and x - y >= 0 }",
+            (1u128 << 31) * ((1u128 << 31) + 1) / 2,
+        ),
+    ];
+    for (text, expect) in cases {
+        let (cold, warm) = with_and_without_cache(|| Set::parse(text).unwrap().card().unwrap());
+        assert_eq!(cold, expect, "cold {text}");
+        assert_eq!(warm, expect, "warm {text}");
+    }
+}
+
+#[test]
+fn extreme_constants_never_panic_and_agree() {
+    let seed = corpus_seed();
+    let mut rng = Rng(seed ^ 0xE17E_4E5E);
+    let cases = corpus_cases().min(200);
+    let extremes: [i64; 8] = [
+        i64::MAX,
+        i64::MIN + 1,
+        1 << 62,
+        -(1 << 62),
+        (1 << 62) + 12_345,
+        i64::MAX - 1,
+        1 << 45,
+        -(1 << 45),
+    ];
+    for case in 0..cases {
+        let d = rng.range(1, 3) as usize;
+        let dims: Vec<String> = (0..d).map(|i| format!("x{i}")).collect();
+        let mut cons = Vec::new();
+        for i in 0..d {
+            // Either a tiny window or an astronomically wide one: wide
+            // ranges must be rejected structurally (TooComplex/Overflow),
+            // not ground through enumeration.
+            if rng.below(2) == 0 {
+                let lo = rng.range(-4, 2);
+                cons.push(format!("{lo} <= x{i} and x{i} <= {}", lo + rng.range(0, 5)));
+            } else {
+                let hi = extremes[rng.below(8) as usize].max(2);
+                cons.push(format!("0 <= x{i} and x{i} <= {hi}"));
+            }
+        }
+        if d >= 2 {
+            let a = extremes[rng.below(8) as usize];
+            cons.push(format!("{a}*x0 + {}*x1 <= {a}", rng.coef(3)));
+        }
+        let text = format!("{{ A[{}] : {} }}", dims.join(", "), cons.join(" and "));
+        let (cold, warm) = with_and_without_cache(|| Set::parse(&text).unwrap().card());
+        assert_eq!(
+            cold, warm,
+            "[extreme seed={seed:#x} case={case}] cold and warm must agree for {text}"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch proofs: one deterministic shape per fast-path kind, asserted
+// through a scoped CounterHandle so the counters cannot be perturbed by
+// concurrent tests.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn box_dispatch_taken() {
+    // Bounded boxes collapse through the functional-window drop, so the
+    // residual-box branch is exercised by feasibility probes on one-sided
+    // boxes instead (unbounded vars can't be window-dropped, and limited
+    // counts saturate through `count_box`).
+    let _guard = test_lock();
+    cache::set_enabled(false);
+    let handle = CounterHandle::new();
+    {
+        let _attached = handle.attach();
+        let s = Set::parse("{ A[x, y] : x >= 0 and y >= 0 }").unwrap();
+        assert!(!s.is_empty().unwrap());
+    }
     cache::set_enabled(true);
+    let stats = handle.fast_path_stats();
+    assert!(stats.box_counts > 0, "box path not taken: {stats:?}");
+}
+
+#[test]
+fn window_dispatch_taken() {
+    // A plain bounded box is the canonical functional-window shape: each
+    // variable's two rows sandwich a width-w window with m = 1, so the
+    // whole box collapses through the drop as a multiplicative factor.
+    let text = "{ A[x, y] : 0 <= x < 12 and 0 <= y < 12 }";
+    let (card, stats) = card_with_dispatch(text);
+    assert_eq!(card, 144);
+    assert!(stats.window_counts > 0, "window path not taken: {stats:?}");
+}
+
+#[test]
+fn slab_dispatch_taken() {
+    let text = "{ A[x, y] : 0 <= x < 10 and 0 <= y < 10 and 3 <= x + y and x + y <= 11 }";
+    let (card, stats) = card_with_dispatch(text);
+    let s = Set::parse(text).unwrap();
+    assert_eq!(card, count_by_points(&s, -1, 10));
+    assert!(stats.slab_counts > 0, "slab path not taken: {stats:?}");
+}
+
+#[test]
+fn coupled_slab_dispatch_taken() {
+    // Disjoint supports: both slabs survive pinning untouched.
+    let disjoint = "{ A[x, y, z, w] : 0 <= x < 8 and 0 <= y < 8 and 0 <= z < 8 and 0 <= w < 8 \
+                    and 3 <= x + y and x + y <= 10 and 2 <= z + w and z + w <= 12 }";
+    // Shared variable: pinning x decouples the two three-term slabs.
+    let shared = "{ A[v, w, x, y, z] : 0 <= v < 8 and 0 <= w < 8 and 0 <= x < 8 \
+                  and 0 <= y < 8 and 0 <= z < 8 \
+                  and 3 <= v + w + x and v + w + x <= 14 \
+                  and 2 <= x + y + z and x + y + z <= 15 }";
+    for text in [disjoint, shared] {
+        let (card, stats) = card_with_dispatch(text);
+        let s = Set::parse(text).unwrap();
+        assert_eq!(card, count_by_points(&s, -1, 8), "{text}");
+        assert!(
+            stats.coupled_slab_counts > 0,
+            "coupled-slab path not taken for {text}: {stats:?}"
+        );
+    }
+}
+
+#[test]
+fn pair_series_dispatch_taken() {
+    // y's upper bound (M·9 ≈ 1.8e19) exceeds i64, so the slab path cannot
+    // box it and the two-variable floor-sum series must close the count.
+    const M: u128 = 2_000_000_000_000_000_000;
+    let text = "{ A[x, y] : 0 <= x <= 9 and 0 <= y and 2000000000000000000*x - y >= 0 }";
+    let (card, stats) = card_with_dispatch(text);
+    assert_eq!(card, 45 * M + 10);
+    assert!(
+        stats.pair_chain_counts > 0,
+        "pair-series path not taken: {stats:?}"
+    );
+}
+
+#[test]
+fn pair_chain_dispatch_taken() {
+    // Monotone 5-chain over [0, 1999]: the multi-slab odometer would pin
+    // two shared variables (2000² assignments > its work cap) so the
+    // value-table DP must take over. Count is multichoose(2000, 5).
+    let text = "{ A[a, b, c, d, e] : 0 <= a <= 1999 and 0 <= b <= 1999 and 0 <= c <= 1999 \
+                and 0 <= d <= 1999 and 0 <= e <= 1999 \
+                and 0 <= a - b and 0 <= b - c and 0 <= c - d and 0 <= d - e }";
+    let (card, stats) = card_with_dispatch(text);
+    let expect: u128 = 2004 * 2003 * 2002 * 2001 * 2000 / 120;
+    assert_eq!(card, expect);
+    assert!(
+        stats.pair_chain_counts > 0,
+        "pair-chain DP not taken: {stats:?}"
+    );
 }
 
 fn hash_of<T: Hash>(v: &T) -> u64 {

@@ -194,6 +194,75 @@ proptest! {
     }
 }
 
+/// Random pair-graph shapes (a forest of two-variable windows over a
+/// box): the chained closed forms must agree with brute force.
+fn set3_chain_strategy() -> impl Strategy<Value = Set> {
+    (
+        -2i64..=2,
+        proptest::collection::vec((1i64..=2, 1i64..=2, -8i64..=2, 0i64..=10), 2),
+    )
+        .prop_map(|(lo0, links)| {
+            let mut text =
+                String::from("{ A[x, y, z] : 0 <= x <= 6 and 0 <= y <= 6 and 0 <= z <= 6");
+            let dims = ["x", "y", "z"];
+            for (i, (a, b, lo, w)) in links.iter().enumerate() {
+                let (u, v) = (dims[i], dims[i + 1]);
+                text.push_str(&format!(
+                    " and {lo} <= {a}*{u} + -{b}*{v} and {a}*{u} + -{b}*{v} <= {}",
+                    lo + w
+                ));
+            }
+            text.push_str(&format!(" and {lo0} <= x"));
+            text.push_str(" }");
+            Set::parse(&text).unwrap()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Chained two-variable windows: card equals brute force, and the
+    /// count survives pinning any single variable.
+    #[test]
+    fn chain_card_matches_brute_force(s in set3_chain_strategy(), dim in 0usize..3, val in 0i64..=6) {
+        prop_assert_eq!(s.card().unwrap(), brute_count(&s, -1, 7));
+        let fixed = s.fix(dim, val);
+        prop_assert_eq!(fixed.card().unwrap(), brute_count(&fixed, -1, 7));
+    }
+
+    /// Coupled slabs (two multi-variable windows sharing a dimension):
+    /// card equals brute force across random widths and offsets.
+    #[test]
+    fn coupled_slab_card_matches_brute_force(
+        lo1 in -4i64..=4, w1 in 0i64..=12,
+        lo2 in -4i64..=4, w2 in 0i64..=12,
+    ) {
+        let text = format!(
+            "{{ A[x, y, z, w] : 0 <= x <= 6 and 0 <= y <= 6 and 0 <= z <= 6 and 0 <= w <= 6 \
+             and {lo1} <= x + y + z and x + y + z <= {} \
+             and {lo2} <= z + w and z + w <= {} }}",
+            lo1 + w1,
+            lo2 + w2,
+        );
+        let s = Set::parse(&text).unwrap();
+        prop_assert_eq!(s.card().unwrap(), brute_count(&s, -1, 7), "{}", text);
+    }
+}
+
+#[test]
+fn huge_extent_chain_closed_form() {
+    // Monotone 5-chain over [0, 1999]: far beyond enumeration, the
+    // value-table DP must close it exactly (multichoose(2000, 5)).
+    let s = Set::parse(
+        "{ A[a, b, c, d, e] : 0 <= a <= 1999 and 0 <= b <= 1999 and 0 <= c <= 1999 \
+         and 0 <= d <= 1999 and 0 <= e <= 1999 \
+         and 0 <= a - b and 0 <= b - c and 0 <= c - d and 0 <= d - e }",
+    )
+    .unwrap();
+    let expect: u128 = 2004 * 2003 * 2002 * 2001 * 2000 / 120;
+    assert_eq!(s.card().unwrap(), expect);
+}
+
 #[test]
 fn compose_with_mod_div_through_mid() {
     // Eliminating the mid dims requires looking through divs: the
